@@ -1,0 +1,56 @@
+// Command faultinject regenerates the out-of-model fault-injection
+// studies: Figure 4 (workload outcomes with plaintext vs encrypted
+// memory) and Figure 5 (inference accuracy histograms).
+//
+// Usage:
+//
+//	faultinject -fig 4 [-injections 2000]
+//	faultinject -fig 5 [-injections 2500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"polyecc/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("faultinject: ")
+	fig := flag.Int("fig", 4, "figure to regenerate: 4 or 5")
+	injections := flag.Int("injections", 0, "injections per campaign (default: the paper's count)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	out := flag.String("o", "", "also write the output to this file")
+	flag.Parse()
+
+	var text string
+	switch *fig {
+	case 4:
+		n := *injections
+		if n == 0 {
+			n = 2000 // the paper's Leveugle-sized campaign
+		}
+		rows, err := exp.Figure4(n, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		text = exp.RenderFigure4(rows)
+	case 5:
+		n := *injections
+		if n == 0 {
+			n = 2500
+		}
+		text = exp.RenderFigure5(exp.Figure5(n, *seed))
+	default:
+		log.Fatalf("unknown figure %d (use 4 or 5)", *fig)
+	}
+	fmt.Print(text)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

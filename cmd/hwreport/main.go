@@ -1,0 +1,52 @@
+// Command hwreport regenerates Table VI (hardware cost of the
+// Polymorphic ECC circuits from the analytical 45nm model, plus exact
+// hint-table storage) and the §VIII-C correction-latency analysis.
+//
+// Usage:
+//
+//	hwreport [-latency] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"polyecc/internal/exp"
+	"polyecc/internal/hwmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hwreport: ")
+	latency := flag.Bool("latency", false, "also print the correction-latency analysis")
+	out := flag.String("o", "", "also write the output to this file")
+	flag.Parse()
+
+	var b strings.Builder
+	b.WriteString(exp.TableVI().Render())
+	if *latency {
+		l := hwmodel.Latency()
+		b.WriteString("\nCorrection latency (§VIII-C):\n")
+		fmt.Fprintf(&b, "  model: %s\n", l)
+		for _, n := range []int{1, 228, 4464, 3000000} {
+			ns := l.CorrectionNS(n)
+			switch {
+			case ns < 1e3:
+				fmt.Fprintf(&b, "  N=%-8d -> %.2f ns\n", n, ns)
+			case ns < 1e6:
+				fmt.Fprintf(&b, "  N=%-8d -> %.2f us\n", n, ns/1e3)
+			default:
+				fmt.Fprintf(&b, "  N=%-8d -> %.2f ms\n", n, ns/1e6)
+			}
+		}
+	}
+	fmt.Print(b.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command multsearch explores the multiplier design space: it lists
+// admissible Polymorphic ECC multipliers for a symbol geometry and
+// redundancy budget with their aliasing statistics, and can also find the
+// smallest MUSE-style unique-remainder multiplier for comparison. This is
+// the tool you would run to adapt the code to a new memory technology
+// (the HBM3 direction the paper's §VIII-A sketches).
+//
+// Usage:
+//
+//	multsearch [-symbols 10] [-bits 8] [-budget 11] [-data 64] [-top 10] [-muse]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"polyecc/internal/exp"
+	"polyecc/internal/muse"
+	"polyecc/internal/residue"
+	"polyecc/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("multsearch: ")
+	symbols := flag.Int("symbols", 10, "symbols per codeword")
+	symBits := flag.Int("bits", 8, "bits per symbol")
+	budget := flag.Int("budget", 11, "redundancy budget in bits")
+	dataBits := flag.Int("data", 64, "data bits per codeword")
+	top := flag.Int("top", 10, "multipliers to print (lowest average aliasing first)")
+	museMode := flag.Bool("muse", false, "also search the smallest MUSE (unique-remainder) multiplier")
+	hbm := flag.Bool("hbm", false, "print the HBM-style geometry study instead")
+	storage := flag.Bool("storage", false, "print the §V-B storage comparison instead")
+	flag.Parse()
+
+	if *hbm {
+		fmt.Print(exp.RenderHBMStudy(exp.HBMStudy()))
+		return
+	}
+	if *storage {
+		fmt.Print(exp.RenderStorageComparison(exp.StorageComparison()))
+		return
+	}
+
+	g := residue.Geometry{NumSymbols: *symbols, SymbolBits: *symBits}
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	results := residue.Search(*budget, *budget, g, *dataBits)
+	if len(results) == 0 {
+		log.Fatalf("no admissible multipliers with %d redundancy bits for %+v", *budget, g)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Stats.Avg < results[j].Stats.Avg })
+	if *top > len(results) {
+		*top = len(results)
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Admissible multipliers: %d symbols x %d bits, %d-bit budget (%d found)",
+			*symbols, *symBits, *budget, len(results)),
+		"M", "MAC bits/codeword", "Avg aliasing", "Max", "Remainders")
+	for _, r := range results[:*top] {
+		t.AddRow(fmt.Sprintf("%d", r.M), r.MACBits, r.Stats.Avg, r.Stats.Max, r.Stats.Remainders)
+	}
+	fmt.Print(t.String())
+
+	if *museMode {
+		m := muse.Search(g, *dataBits, 1<<uint(g.CodewordBits()-*dataBits))
+		if m == 0 {
+			fmt.Println("\nMUSE: no unique-remainder multiplier fits this geometry")
+			return
+		}
+		code, err := muse.New(m, g, *dataBits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nMUSE (unique remainders): smallest M = %d (%d redundancy bits, %d-entry table)\n",
+			m, code.RedundancyBits(), code.TableEntries())
+	}
+}

@@ -1,0 +1,48 @@
+// Command profiler regenerates the profiling tables of the paper:
+// Table II (misdetection of out-of-model errors by Hamming and RS),
+// Table III (aliasing-degree histograms), and Table IV (aliasing degrees
+// per fault model per configuration).
+//
+// Usage:
+//
+//	profiler -table 2 [-trials N] [-o file]
+//	profiler -table 3
+//	profiler -table 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"polyecc/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("profiler: ")
+	table := flag.Int("table", 2, "table to regenerate: 2, 3, or 4")
+	trials := flag.Int("trials", 100000, "Monte Carlo trials per cell (Table II)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	out := flag.String("o", "", "also write the output to this file")
+	flag.Parse()
+
+	var text string
+	switch *table {
+	case 2:
+		text = exp.TableII(*trials, *seed).Render()
+	case 3:
+		text = exp.TableIII().Render()
+	case 4:
+		text = exp.RenderTableIV(exp.TableIV())
+	default:
+		log.Fatalf("unknown table %d (use 2, 3, or 4)", *table)
+	}
+	fmt.Print(text)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

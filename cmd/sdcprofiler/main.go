@@ -1,0 +1,58 @@
+// Command sdcprofiler regenerates the correction-performance results:
+// Table V (fault coverage and SDC/DUE rates across codes), the
+// rowhammer row of Table V, and Figure 10 (DEC cost vs corrupted
+// codewords).
+//
+// Usage:
+//
+//	sdcprofiler -table 5 [-trials N] [-dectrials N]
+//	sdcprofiler -rowhammer [-patterns N]
+//	sdcprofiler -fig10 [-trials N]
+//
+// The paper ran 10^5 cachelines per model (a week on 96 cores for DEC);
+// the defaults here finish on a laptop and scale linearly if you raise
+// them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"polyecc/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sdcprofiler: ")
+	table5 := flag.Int("table", 5, "table to regenerate (5)")
+	fig10 := flag.Bool("fig10", false, "regenerate Figure 10 instead")
+	rowhammer := flag.Bool("rowhammer", false, "regenerate the rowhammer row instead")
+	trials := flag.Int("trials", 2000, "cachelines per fault model")
+	decTrials := flag.Int("dectrials", 100, "cachelines for the expensive DEC rows")
+	patterns := flag.Int("patterns", 94892, "rowhammer patterns (paper: 94892)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	out := flag.String("o", "", "also write the output to this file")
+	flag.Parse()
+
+	var text string
+	switch {
+	case *fig10:
+		text = exp.RenderFigure10(exp.Figure10(*trials, *seed))
+	case *rowhammer:
+		row := exp.RowhammerRow(*patterns, *seed)
+		text = exp.RenderTableV([]exp.TableVRow{row})
+	case *table5 == 5:
+		res := exp.TableV(*trials, *decTrials, *seed)
+		text = exp.RenderTableV(res.Rows)
+	default:
+		log.Fatalf("unknown table %d", *table5)
+	}
+	fmt.Print(text)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

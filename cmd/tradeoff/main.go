@@ -1,0 +1,35 @@
+// Command tradeoff regenerates Figure 7: the trade-off between
+// multiplier size, aliasing degree, and MAC size for 8-bit symbols.
+//
+// Usage:
+//
+//	tradeoff [-min 9] [-max 14] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"polyecc/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tradeoff: ")
+	minBits := flag.Int("min", 9, "smallest redundancy budget in bits")
+	maxBits := flag.Int("max", 14, "largest redundancy budget in bits")
+	out := flag.String("o", "", "also write the output to this file")
+	flag.Parse()
+	if *minBits < 9 || *maxBits > 16 || *minBits > *maxBits {
+		log.Fatalf("budget range %d..%d unsupported (9..16)", *minBits, *maxBits)
+	}
+	text := exp.RenderFigure7(exp.Figure7(*minBits, *maxBits))
+	fmt.Print(text)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Scrubber runs a background memory scrubber over a simulated DRAM
+// region protected by Polymorphic ECC, the deployment pattern datacenter
+// operators pair with proactive DIMM replacement (§VIII-C of the paper).
+// Faults accumulate between sweeps — random cell flips plus, eventually,
+// a stuck pin — and the scrubber corrects what it finds, reporting the
+// classified fault mix a Memory Fault Management Infrastructure (the
+// OCP FMI the paper's conclusion points at) would consume.
+//
+//	go run ./examples/scrubber [-lines 512] [-sweeps 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"polyecc"
+)
+
+type region struct {
+	code  *polyecc.Code
+	lines []polyecc.Line
+	truth [][polyecc.LineBytes]byte
+}
+
+func main() {
+	log.SetFlags(0)
+	nLines := flag.Int("lines", 512, "cachelines in the scrubbed region")
+	sweeps := flag.Int("sweeps", 20, "scrub sweeps to run")
+	seed := flag.Int64("seed", 11, "deterministic seed")
+	flag.Parse()
+
+	key := [16]byte{2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5}
+	reg := region{code: polyecc.MustNew(polyecc.ConfigM2005(), polyecc.NewSipHashMAC(key, 40))}
+	r := rand.New(rand.NewSource(*seed))
+	for i := 0; i < *nLines; i++ {
+		var data [polyecc.LineBytes]byte
+		r.Read(data[:])
+		reg.truth = append(reg.truth, data)
+		reg.lines = append(reg.lines, reg.code.EncodeLine(&data))
+	}
+	fmt.Printf("scrubbing %d lines (%d KiB) protected by M=%d Polymorphic ECC\n\n",
+		*nLines, *nLines*polyecc.LineBytes/1024, reg.code.M())
+
+	var corrected, clean, due int
+	modelCounts := map[polyecc.FaultModel]int{}
+	stuckPinFrom := *sweeps / 2
+	for sweep := 0; sweep < *sweeps; sweep++ {
+		// Faults accumulate between sweeps: a few random cell flips...
+		for i := 0; i < 1+r.Intn(4); i++ {
+			li := r.Intn(*nLines)
+			w := r.Intn(reg.code.Words())
+			reg.lines[li].Words[w] = reg.lines[li].Words[w].FlipBit(r.Intn(80))
+		}
+		// ...and, in the second half of the run, a degrading device that
+		// smears a symbol across a few lines (an aging chip).
+		if sweep >= stuckPinFrom {
+			dev := 3
+			for i := 0; i < 2; i++ {
+				li := r.Intn(*nLines)
+				for w := range reg.lines[li].Words {
+					old := reg.lines[li].Words[w].Field(dev*8, 8)
+					reg.lines[li].Words[w] = reg.lines[li].Words[w].WithField(dev*8, 8, old^uint64(1+r.Intn(255)))
+				}
+			}
+		}
+		// Scrub sweep: read, correct, write back.
+		for li := range reg.lines {
+			data, rep := reg.code.DecodeLine(reg.lines[li])
+			switch rep.Status {
+			case polyecc.StatusClean:
+				clean++
+			case polyecc.StatusCorrected:
+				corrected++
+				modelCounts[rep.Model]++
+				if data != reg.truth[li] {
+					log.Fatalf("sweep %d line %d: silent corruption", sweep, li)
+				}
+				reg.lines[li] = reg.code.EncodeLine(&data)
+			case polyecc.StatusUncorrectable:
+				due++
+				// Re-provision the line from its (simulated) mirror.
+				d := reg.truth[li]
+				reg.lines[li] = reg.code.EncodeLine(&d)
+			}
+		}
+	}
+
+	fmt.Printf("sweeps=%d  clean-reads=%d  corrected=%d  DUE=%d\n", *sweeps, clean, corrected, due)
+	fmt.Println("fault classification for the FMI log:")
+	for _, m := range []polyecc.FaultModel{polyecc.ModelChipKill, polyecc.ModelSSC, polyecc.ModelBFBF, polyecc.ModelChipKillPlus1, polyecc.ModelDEC} {
+		if modelCounts[m] > 0 {
+			fmt.Printf("  %-11s %d\n", m, modelCounts[m])
+		}
+	}
+	fmt.Println("\nevery correction verified against ground truth — no SDCs")
+}

@@ -1,0 +1,127 @@
+// Securekv demonstrates the security-reliability co-design the paper
+// argues for (§III-B): an in-memory key-value store whose values are AES
+// encrypted (confidentiality) and whose ciphertext cachelines are
+// protected by Polymorphic ECC (integrity + correction).
+//
+// Without ECC, a single miscorrected bit in ciphertext diffuses into
+// ~half a block of garbage plaintext; with Polymorphic ECC the error is
+// corrected before decryption and the MAC guarantees what survives.
+//
+//	go run ./examples/securekv
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"polyecc"
+	"polyecc/internal/aes"
+)
+
+// record is one stored value: a 64-byte encrypted cacheline protected by
+// an encoded Polymorphic ECC line.
+type record struct {
+	line polyecc.Line
+	addr uint64
+}
+
+type store struct {
+	code *polyecc.Code
+	mem  *aes.Memory
+	data map[string]record
+	next uint64
+}
+
+func newStore() *store {
+	key := [16]byte{1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144 & 0xff, 233 & 0xff, 121, 98, 219}
+	return &store{
+		code: polyecc.MustNew(polyecc.ConfigM2005(), polyecc.NewSipHashMAC(key, 40)),
+		mem:  aes.MustNewMemory(key[:], append([]byte{0xA5}, key[1:]...)),
+		data: make(map[string]record),
+	}
+}
+
+// Put encrypts the value into a cacheline and protects it.
+func (s *store) Put(k, v string) {
+	if len(v) > polyecc.LineBytes {
+		log.Fatalf("value %q too long for one cacheline", v)
+	}
+	var plain [polyecc.LineBytes]byte
+	copy(plain[:], v)
+	plain[polyecc.LineBytes-1] = byte(len(v))
+	var cipher [polyecc.LineBytes]byte
+	addr := s.next * polyecc.LineBytes
+	s.next++
+	s.mem.EncryptLine(cipher[:], plain[:], addr)
+	s.data[k] = record{line: s.code.EncodeLine(&cipher), addr: addr}
+}
+
+// Get corrects any in-memory corruption, verifies the MAC, and decrypts.
+func (s *store) Get(k string) (string, polyecc.Report, bool) {
+	rec, ok := s.data[k]
+	if !ok {
+		return "", polyecc.Report{}, false
+	}
+	cipher, rep := s.code.DecodeLine(rec.line)
+	if rep.Status == polyecc.StatusUncorrectable {
+		return "", rep, false
+	}
+	var plain [polyecc.LineBytes]byte
+	s.mem.DecryptLine(plain[:], cipher[:], rec.addr)
+	n := int(plain[polyecc.LineBytes-1])
+	if n > polyecc.LineBytes-1 {
+		n = polyecc.LineBytes - 1
+	}
+	return string(plain[:n]), rep, true
+}
+
+// corrupt flips bits in the stored (encoded, encrypted) line — the DRAM
+// fault.
+func (s *store) corrupt(k string, r *rand.Rand, bits int) {
+	rec := s.data[k]
+	for i := 0; i < bits; i++ {
+		w := r.Intn(len(rec.line.Words))
+		rec.line.Words[w] = rec.line.Words[w].FlipBit(r.Intn(80))
+	}
+	s.data[k] = rec
+}
+
+func main() {
+	log.SetFlags(0)
+	s := newStore()
+	r := rand.New(rand.NewSource(42))
+
+	entries := map[string]string{
+		"patient/117/diagnosis": "hypertension, stage 1",
+		"patient/117/dob":       "1971-03-14",
+		"txn/99041":             "transfer $12,400.00 -> acct 5501",
+		"secret/api-key":        "sk-polymorphic-ecc-rocks",
+	}
+	for k, v := range entries {
+		s.Put(k, v)
+	}
+	fmt.Printf("stored %d encrypted, ECC-protected values\n\n", len(entries))
+
+	// Rowhammer-ish corruption: 1-2 bit flips per record.
+	for k := range entries {
+		s.corrupt(k, r, 1+r.Intn(2))
+	}
+	fmt.Println("corrupted every stored cacheline with 1-2 bit flips")
+
+	for k, want := range entries {
+		got, rep, ok := s.Get(k)
+		if !ok {
+			log.Fatalf("%s: uncorrectable", k)
+		}
+		status := "clean"
+		if rep.Status == polyecc.StatusCorrected {
+			status = fmt.Sprintf("corrected via %s in %d iterations", rep.Model, rep.Iterations)
+		}
+		fmt.Printf("  %-22s %s\n", k, status)
+		if got != want {
+			log.Fatalf("%s: silent corruption: %q != %q", k, got, want)
+		}
+	}
+	fmt.Println("\nall values decrypted intact — no diffusion damage reached the plaintext")
+}

@@ -1,0 +1,3 @@
+module polyecc
+
+go 1.22

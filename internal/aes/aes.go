@@ -1,0 +1,306 @@
+// Package aes implements AES-128 from first principles plus the
+// encrypted-memory model the paper uses to study encryption-amplified
+// errors (§II-C, §III-B, Figure 3).
+//
+// In a system with memory encryption, data is encrypted, ECC is applied
+// to the ciphertext, and the ciphertext is stored. An ECC miscorrection
+// leaves the ciphertext corrupted; AES's bit diffusion then amplifies a
+// few wrong ciphertext bits into roughly half the bits of the decrypted
+// 16-byte block. This package provides the cipher (validated against the
+// standard library in tests) and a cacheline-granularity encryption model
+// with per-block address tweaks.
+package aes
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// sbox and its inverse are generated in init from the multiplicative
+// inverse in GF(2^8) mod x^8+x^4+x^3+x+1 followed by the affine map, per
+// FIPS-197 — generating rather than transcribing removes a class of
+// table typos.
+var sbox, sboxInv [256]byte
+
+// mul is the GF(2^8) multiplication table rows needed by (Inv)MixColumns.
+var mul2, mul3, mul9, mul11, mul13, mul14 [256]byte
+
+func gmul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func init() {
+	// Multiplicative inverses by brute force (256^2 is trivial).
+	var inv [256]byte
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			if gmul(byte(a), byte(b)) == 1 {
+				inv[a] = byte(b)
+				break
+			}
+		}
+	}
+	rotl8 := func(x byte, n uint) byte { return x<<n | x>>(8-n) }
+	for x := 0; x < 256; x++ {
+		b := inv[x]
+		s := b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63
+		sbox[x] = s
+		sboxInv[s] = byte(x)
+	}
+	for x := 0; x < 256; x++ {
+		mul2[x] = gmul(byte(x), 2)
+		mul3[x] = gmul(byte(x), 3)
+		mul9[x] = gmul(byte(x), 9)
+		mul11[x] = gmul(byte(x), 11)
+		mul13[x] = gmul(byte(x), 13)
+		mul14[x] = gmul(byte(x), 14)
+	}
+}
+
+// Cipher is an expanded AES-128 key. It is immutable and safe for
+// concurrent use.
+type Cipher struct {
+	rk [11][16]byte // round keys, column-major order as in the state
+}
+
+// New expands a 16-byte AES-128 key.
+func New(key []byte) (*Cipher, error) {
+	if len(key) != 16 {
+		return nil, fmt.Errorf("aes: key length %d, want 16", len(key))
+	}
+	var c Cipher
+	// Key schedule over 44 words.
+	var w [44][4]byte
+	for i := 0; i < 4; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	rcon := byte(1)
+	for i := 4; i < 44; i++ {
+		t := w[i-1]
+		if i%4 == 0 {
+			// RotWord + SubWord + Rcon.
+			t = [4]byte{sbox[t[1]], sbox[t[2]], sbox[t[3]], sbox[t[0]]}
+			t[0] ^= rcon
+			rcon = gmul(rcon, 2)
+		}
+		for j := 0; j < 4; j++ {
+			w[i][j] = w[i-4][j] ^ t[j]
+		}
+	}
+	for r := 0; r < 11; r++ {
+		for cix := 0; cix < 4; cix++ {
+			copy(c.rk[r][4*cix:4*cix+4], w[4*r+cix][:])
+		}
+	}
+	return &c, nil
+}
+
+// MustNew is New for known-good keys.
+func MustNew(key []byte) *Cipher {
+	c, err := New(key)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func addRoundKey(s *[16]byte, rk *[16]byte) {
+	for i := range s {
+		s[i] ^= rk[i]
+	}
+}
+
+func subBytes(s *[16]byte) {
+	for i := range s {
+		s[i] = sbox[s[i]]
+	}
+}
+
+func invSubBytes(s *[16]byte) {
+	for i := range s {
+		s[i] = sboxInv[s[i]]
+	}
+}
+
+// State layout: s[4*c+r] is row r, column c (FIPS column-major bytes).
+func shiftRows(s *[16]byte) {
+	var t [16]byte
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			t[4*c+r] = s[4*((c+r)%4)+r]
+		}
+	}
+	*s = t
+}
+
+func invShiftRows(s *[16]byte) {
+	var t [16]byte
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			t[4*((c+r)%4)+r] = s[4*c+r]
+		}
+	}
+	*s = t
+}
+
+func mixColumns(s *[16]byte) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		s[4*c] = mul2[a0] ^ mul3[a1] ^ a2 ^ a3
+		s[4*c+1] = a0 ^ mul2[a1] ^ mul3[a2] ^ a3
+		s[4*c+2] = a0 ^ a1 ^ mul2[a2] ^ mul3[a3]
+		s[4*c+3] = mul3[a0] ^ a1 ^ a2 ^ mul2[a3]
+	}
+}
+
+func invMixColumns(s *[16]byte) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		s[4*c] = mul14[a0] ^ mul11[a1] ^ mul13[a2] ^ mul9[a3]
+		s[4*c+1] = mul9[a0] ^ mul14[a1] ^ mul11[a2] ^ mul13[a3]
+		s[4*c+2] = mul13[a0] ^ mul9[a1] ^ mul14[a2] ^ mul11[a3]
+		s[4*c+3] = mul11[a0] ^ mul13[a1] ^ mul9[a2] ^ mul14[a3]
+	}
+}
+
+// Encrypt enciphers one 16-byte block; dst and src may overlap.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	var s [16]byte
+	copy(s[:], src)
+	addRoundKey(&s, &c.rk[0])
+	for r := 1; r <= 9; r++ {
+		subBytes(&s)
+		shiftRows(&s)
+		mixColumns(&s)
+		addRoundKey(&s, &c.rk[r])
+	}
+	subBytes(&s)
+	shiftRows(&s)
+	addRoundKey(&s, &c.rk[10])
+	copy(dst, s[:])
+}
+
+// Decrypt deciphers one 16-byte block; dst and src may overlap.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	var s [16]byte
+	copy(s[:], src)
+	addRoundKey(&s, &c.rk[10])
+	invShiftRows(&s)
+	invSubBytes(&s)
+	for r := 9; r >= 1; r-- {
+		addRoundKey(&s, &c.rk[r])
+		invMixColumns(&s)
+		invShiftRows(&s)
+		invSubBytes(&s)
+	}
+	addRoundKey(&s, &c.rk[0])
+	copy(dst, s[:])
+}
+
+// Memory models cacheline-granularity memory encryption: each 16-byte
+// block of a 64-byte cacheline is encrypted in XEX mode with a tweak
+// derived from the line address and block index, mirroring TDX/SEV-style
+// engines. Corrupting the stored ciphertext and decrypting reproduces
+// the paper's encryption-amplified error patterns.
+type Memory struct {
+	data  *Cipher
+	tweak *Cipher
+}
+
+// NewMemory builds a memory-encryption engine from two 16-byte keys.
+func NewMemory(dataKey, tweakKey []byte) (*Memory, error) {
+	d, err := New(dataKey)
+	if err != nil {
+		return nil, err
+	}
+	t, err := New(tweakKey)
+	if err != nil {
+		return nil, err
+	}
+	return &Memory{data: d, tweak: t}, nil
+}
+
+// MustNewMemory is NewMemory for known-good keys.
+func MustNewMemory(dataKey, tweakKey []byte) *Memory {
+	m, err := NewMemory(dataKey, tweakKey)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m *Memory) tweakBlock(addr uint64, idx int) [16]byte {
+	var in, out [16]byte
+	for i := 0; i < 8; i++ {
+		in[i] = byte(addr >> uint(56-8*i))
+	}
+	in[8] = byte(idx)
+	m.tweak.Encrypt(out[:], in[:])
+	return out
+}
+
+// EncryptLine encrypts a 64-byte cacheline at the given address.
+func (m *Memory) EncryptLine(dst, src []byte, addr uint64) {
+	if len(src) < 64 || len(dst) < 64 {
+		panic("aes: cacheline must be 64 bytes")
+	}
+	for b := 0; b < 4; b++ {
+		tw := m.tweakBlock(addr, b)
+		var blk [16]byte
+		copy(blk[:], src[16*b:])
+		for i := range blk {
+			blk[i] ^= tw[i]
+		}
+		m.data.Encrypt(blk[:], blk[:])
+		for i := range blk {
+			blk[i] ^= tw[i]
+		}
+		copy(dst[16*b:16*b+16], blk[:])
+	}
+}
+
+// DecryptLine inverts EncryptLine.
+func (m *Memory) DecryptLine(dst, src []byte, addr uint64) {
+	if len(src) < 64 || len(dst) < 64 {
+		panic("aes: cacheline must be 64 bytes")
+	}
+	for b := 0; b < 4; b++ {
+		tw := m.tweakBlock(addr, b)
+		var blk [16]byte
+		copy(blk[:], src[16*b:])
+		for i := range blk {
+			blk[i] ^= tw[i]
+		}
+		m.data.Decrypt(blk[:], blk[:])
+		for i := range blk {
+			blk[i] ^= tw[i]
+		}
+		copy(dst[16*b:16*b+16], blk[:])
+	}
+}
+
+// AmplifyError models the paper's Figure 3: it takes a plaintext
+// cacheline and a ciphertext-domain error mask, and returns the plaintext
+// the CPU would observe after the corrupted ciphertext is decrypted.
+func (m *Memory) AmplifyError(line []byte, mask []byte, addr uint64) []byte {
+	ct := make([]byte, 64)
+	m.EncryptLine(ct, line, addr)
+	for i := 0; i < 64 && i < len(mask); i++ {
+		ct[i] ^= mask[i]
+	}
+	out := make([]byte, 64)
+	m.DecryptLine(out, ct, addr)
+	return out
+}

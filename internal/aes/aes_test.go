@@ -1,0 +1,178 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS-197 Appendix B example vector.
+func TestFIPSVector(t *testing.T) {
+	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	pt := []byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+	want := []byte{0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32}
+	c := MustNew(key)
+	got := make([]byte, 16)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("FIPS vector: got %x, want %x", got, want)
+	}
+	dec := make([]byte, 16)
+	c.Decrypt(dec, got)
+	if !bytes.Equal(dec, pt) {
+		t.Fatalf("decrypt: got %x, want %x", dec, pt)
+	}
+}
+
+// Cross-validate against the standard library for many random keys and
+// blocks — our implementation must be bit-identical.
+func TestAgainstStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		key := make([]byte, 16)
+		r.Read(key)
+		ours := MustNew(key)
+		ref, err := stdaes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := make([]byte, 16)
+		r.Read(pt)
+		got := make([]byte, 16)
+		want := make([]byte, 16)
+		ours.Encrypt(got, pt)
+		ref.Encrypt(want, pt)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key %x block %x: got %x, want %x", key, pt, got, want)
+		}
+		back := make([]byte, 16)
+		ours.Decrypt(back, got)
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("decrypt mismatch")
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(make([]byte, 15)); err == nil {
+		t.Error("15-byte key should fail")
+	}
+	if _, err := New(make([]byte, 32)); err == nil {
+		t.Error("32-byte key should fail (only AES-128 here)")
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := MustNewMemory(bytes.Repeat([]byte{1}, 16), bytes.Repeat([]byte{2}, 16))
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		line := make([]byte, 64)
+		r.Read(line)
+		addr := r.Uint64()
+		ct := make([]byte, 64)
+		m.EncryptLine(ct, line, addr)
+		if bytes.Equal(ct, line) {
+			t.Fatal("ciphertext equals plaintext")
+		}
+		pt := make([]byte, 64)
+		m.DecryptLine(pt, ct, addr)
+		if !bytes.Equal(pt, line) {
+			t.Fatal("round trip failed")
+		}
+	}
+}
+
+// The same plaintext at different addresses must encrypt differently
+// (the XEX tweak binds the address).
+func TestMemoryAddressTweak(t *testing.T) {
+	m := MustNewMemory(bytes.Repeat([]byte{1}, 16), bytes.Repeat([]byte{2}, 16))
+	line := make([]byte, 64)
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	m.EncryptLine(a, line, 0x1000)
+	m.EncryptLine(b, line, 0x1040)
+	if bytes.Equal(a, b) {
+		t.Fatal("address does not affect ciphertext")
+	}
+}
+
+// Figure 3 of the paper: a small ciphertext-domain corruption diffuses
+// into ~half the bits of the affected 16-byte block after decryption,
+// and leaves the other blocks untouched.
+func TestAmplifyErrorDiffusion(t *testing.T) {
+	m := MustNewMemory(bytes.Repeat([]byte{3}, 16), bytes.Repeat([]byte{4}, 16))
+	r := rand.New(rand.NewSource(3))
+	var totalFlipped int
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		line := make([]byte, 64)
+		r.Read(line)
+		mask := make([]byte, 64)
+		mask[r.Intn(16)] = 1 << uint(r.Intn(8)) // 1-bit error in block 0
+		out := m.AmplifyError(line, mask, 0x2000)
+		// Blocks 1..3 untouched.
+		if !bytes.Equal(out[16:], line[16:]) {
+			t.Fatal("error leaked into other blocks")
+		}
+		flipped := 0
+		for j := 0; j < 16; j++ {
+			d := out[j] ^ line[j]
+			for d != 0 {
+				flipped++
+				d &= d - 1
+			}
+		}
+		if flipped == 0 {
+			t.Fatal("no diffusion")
+		}
+		totalFlipped += flipped
+	}
+	avg := float64(totalFlipped) / trials
+	if avg < 48 || avg > 80 {
+		t.Fatalf("average diffusion = %.1f bits, want ~64 of 128", avg)
+	}
+}
+
+func TestCachelinePanics(t *testing.T) {
+	m := MustNewMemory(make([]byte, 16), make([]byte, 16))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short line")
+		}
+	}()
+	m.EncryptLine(make([]byte, 64), make([]byte, 10), 0)
+}
+
+// Property: encrypt/decrypt are inverse for arbitrary blocks.
+func TestPropInverse(t *testing.T) {
+	c := MustNew(bytes.Repeat([]byte{7}, 16))
+	f := func(block [16]byte) bool {
+		var ct, pt [16]byte
+		c.Encrypt(ct[:], block[:])
+		c.Decrypt(pt[:], ct[:])
+		return pt == block
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncryptBlock(b *testing.B) {
+	c := MustNew(make([]byte, 16))
+	blk := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(blk, blk)
+	}
+}
+
+func BenchmarkEncryptLine(b *testing.B) {
+	m := MustNewMemory(make([]byte, 16), make([]byte, 16))
+	line := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		m.EncryptLine(line, line, 0x1000)
+	}
+}

@@ -1,0 +1,239 @@
+// Package dram models the DDR5 memory organization of §II-A of the
+// paper: a 40-bit ECC sub-channel built from ten x4 DRAM devices, moving
+// a 64-byte cacheline plus redundancy as a 16-beat burst (Figure 1).
+//
+// All the compared codes — Polymorphic ECC, the SDDC Reed-Solomon code,
+// Unity ECC and Bamboo ECC — protect the same 640 wire bits; they differ
+// only in how they group those bits into codewords and symbols
+// (Figure 2). This package owns the wire layout and the views each code
+// takes of it, so that a single physical fault (a dead device, a stuck
+// pin, a flipped cell) is seen by every code exactly as the hardware
+// would present it.
+package dram
+
+import (
+	"fmt"
+
+	"polyecc/internal/wideint"
+)
+
+// Geometry of one DDR5 ECC sub-channel.
+const (
+	PinsPerDevice = 4  // x4 DRAMs
+	Devices       = 10 // 8 data + 2 ECC devices (Figure 1, bottom)
+	Pins          = PinsPerDevice * Devices
+	Beats         = 16           // burst length BL16
+	BurstBits     = Pins * Beats // 640: 512 data + 128 redundancy
+	BurstBytes    = BurstBits / 8
+)
+
+// Burst is the 640 bits a sub-channel transfers for one cacheline,
+// including redundancy. Bit (beat, pin) is stored at index beat*Pins+pin.
+type Burst [BurstBytes]byte
+
+// BitIndex maps a (beat, pin) coordinate to a flat bit index.
+func BitIndex(beat, pin int) int { return beat*Pins + pin }
+
+// Bit returns the wire bit at (beat, pin).
+func (b *Burst) Bit(beat, pin int) uint {
+	i := BitIndex(beat, pin)
+	return uint(b[i/8]>>(i%8)) & 1
+}
+
+// SetBit sets the wire bit at (beat, pin).
+func (b *Burst) SetBit(beat, pin int, v uint) {
+	i := BitIndex(beat, pin)
+	if v == 0 {
+		b[i/8] &^= 1 << (i % 8)
+	} else {
+		b[i/8] |= 1 << (i % 8)
+	}
+}
+
+// FlipBit inverts the wire bit at (beat, pin).
+func (b *Burst) FlipBit(beat, pin int) {
+	i := BitIndex(beat, pin)
+	b[i/8] ^= 1 << (i % 8)
+}
+
+// Xor applies a flip mask to the burst, modelling in-memory corruption.
+func (b *Burst) Xor(mask *Burst) {
+	for i := range b {
+		b[i] ^= mask[i]
+	}
+}
+
+// IsZero reports whether no bit is set (useful for masks).
+func (b *Burst) IsZero() bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the number of set bits.
+func (b *Burst) OnesCount() int {
+	n := 0
+	for _, v := range b {
+		for v != 0 {
+			n++
+			v &= v - 1
+		}
+	}
+	return n
+}
+
+// DeviceOfPin returns the device that drives a pin.
+func DeviceOfPin(pin int) int { return pin / PinsPerDevice }
+
+// --- Polymorphic ECC / symbol-folded views -------------------------------
+
+// WordGeometry describes a symbol-folded codeword view: symbolBits bits
+// per device gathered across symbolBits/PinsPerDevice consecutive beats.
+// The 8-bit-symbol view yields eight 80-bit codewords per burst; the
+// 16-bit view yields four 160-bit codewords (§VIII-A).
+type WordGeometry struct {
+	SymbolBits int
+}
+
+// BeatsPerWord returns how many beats one codeword spans.
+func (g WordGeometry) BeatsPerWord() int { return g.SymbolBits / PinsPerDevice }
+
+// WordsPerBurst returns how many codewords one burst carries.
+func (g WordGeometry) WordsPerBurst() int { return Beats / g.BeatsPerWord() }
+
+// WordBits returns the codeword width in bits.
+func (g WordGeometry) WordBits() int { return Devices * g.SymbolBits }
+
+// Validate checks the geometry is one the channel supports.
+func (g WordGeometry) Validate() error {
+	if g.SymbolBits%PinsPerDevice != 0 || g.SymbolBits <= 0 || Beats%g.BeatsPerWord() != 0 {
+		return fmt.Errorf("dram: unsupported symbol width %d", g.SymbolBits)
+	}
+	return nil
+}
+
+// wireCoord maps bit i of codeword w to its (beat, pin) wire coordinate:
+// symbol s = device s, filled beat-major (Figure 2(b): an 8-bit symbol
+// holds two beats of one x4 device).
+func (g WordGeometry) wireCoord(w, i int) (beat, pin int) {
+	s := i / g.SymbolBits
+	k := i % g.SymbolBits
+	beat = w*g.BeatsPerWord() + k/PinsPerDevice
+	pin = s*PinsPerDevice + k%PinsPerDevice
+	return
+}
+
+// Word extracts codeword w of the burst as an integer whose bit layout
+// places symbol s at bit offset s*SymbolBits.
+func (g WordGeometry) Word(b *Burst, w int) wideint.U192 {
+	var u wideint.U192
+	for i := 0; i < g.WordBits(); i++ {
+		beat, pin := g.wireCoord(w, i)
+		if b.Bit(beat, pin) != 0 {
+			u = u.SetBit(i, 1)
+		}
+	}
+	return u
+}
+
+// SetWord stores an integer codeword back into the burst.
+func (g WordGeometry) SetWord(b *Burst, w int, u wideint.U192) {
+	for i := 0; i < g.WordBits(); i++ {
+		beat, pin := g.wireCoord(w, i)
+		b.SetBit(beat, pin, u.Bit(i))
+	}
+}
+
+// WordBytes extracts codeword w as a byte slice in symbol order; for the
+// 8-bit-symbol view this is the 10-symbol slice the SDDC Reed-Solomon and
+// Unity decoders consume (symbol s = device s).
+func (g WordGeometry) WordBytes(b *Burst, w int) []byte {
+	u := g.Word(b, w)
+	nBytes := g.WordBits() / 8
+	out := make([]byte, nBytes)
+	for i := range out {
+		out[i] = byte(u.Field(8*i, 8))
+	}
+	return out
+}
+
+// SetWordBytes stores a byte-sliced codeword back into the burst.
+func (g WordGeometry) SetWordBytes(b *Burst, w int, bytes []byte) {
+	var u wideint.U192
+	for i, v := range bytes {
+		u = u.WithField(8*i, 8, uint64(v))
+	}
+	g.SetWord(b, w, u)
+}
+
+// --- Bamboo (pin-aligned) view -------------------------------------------
+
+// BambooWordsPerBurst is how many pin-aligned codewords one burst holds:
+// Bamboo uses half-cacheline codewords with 8-bit symbols (§VII-A), each
+// spanning 8 beats so that symbol p is exactly the 8 bits pin p supplies.
+const BambooWordsPerBurst = 2
+
+// BambooBeats is the number of beats one Bamboo codeword spans.
+const BambooBeats = Beats / BambooWordsPerBurst
+
+// BambooWord extracts pin-aligned codeword h (0 or 1): 40 symbols, symbol
+// p gathering pin p across the 8 beats of that half.
+func BambooWord(b *Burst, h int) []byte {
+	out := make([]byte, Pins)
+	for p := 0; p < Pins; p++ {
+		var v byte
+		for k := 0; k < BambooBeats; k++ {
+			v |= byte(b.Bit(h*BambooBeats+k, p)) << uint(k)
+		}
+		out[p] = v
+	}
+	return out
+}
+
+// SetBambooWord stores a pin-aligned codeword back into the burst.
+func SetBambooWord(b *Burst, h int, sym []byte) {
+	for p := 0; p < Pins; p++ {
+		for k := 0; k < BambooBeats; k++ {
+			b.SetBit(h*BambooBeats+k, p, uint(sym[p]>>uint(k))&1)
+		}
+	}
+}
+
+// --- Physical fault-mask builders ----------------------------------------
+
+// DeviceMask returns a flip mask covering the given bit pattern on one
+// device: for each beat in [beatLo, beatHi), pattern bits 0..3 select
+// which of the device's pins flip in that beat. patterns[beat-beatLo]
+// supplies the per-beat nibble.
+func DeviceMask(dev int, beatLo, beatHi int, patterns []byte) Burst {
+	var m Burst
+	for beat := beatLo; beat < beatHi; beat++ {
+		nib := patterns[beat-beatLo]
+		for p := 0; p < PinsPerDevice; p++ {
+			if nib>>uint(p)&1 != 0 {
+				m.SetBit(beat, dev*PinsPerDevice+p, 1)
+			}
+		}
+	}
+	return m
+}
+
+// PinMask returns a flip mask with the given pin flipped on every beat in
+// [beatLo, beatHi) — the failed-IO-pin fault of the ChipKill+1 model.
+func PinMask(pin, beatLo, beatHi int) Burst {
+	var m Burst
+	for beat := beatLo; beat < beatHi; beat++ {
+		m.SetBit(beat, pin, 1)
+	}
+	return m
+}
+
+// BitMask returns a mask with a single wire bit set.
+func BitMask(beat, pin int) Burst {
+	var m Burst
+	m.SetBit(beat, pin, 1)
+	return m
+}

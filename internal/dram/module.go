@@ -1,0 +1,132 @@
+package dram
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Module models one rank of a DDR5 sub-channel as an addressable array of
+// bursts plus a device-level fault state: stuck pins corrupt every read,
+// dead devices return junk, and weak cells hold latent single-bit faults
+// (the rowhammer-susceptible population). The fault state reproduces the
+// failure taxonomy of §II-B — IO faults manifest on every access, array
+// faults only where they live.
+type Module struct {
+	lines     []Burst
+	stuckPins map[int]uint // pin -> polarity
+	deadDevs  map[int]bool
+	weakCells map[cellAddr]bool
+	junk      uint64 // LFSR state for dead-device reads
+}
+
+type cellAddr struct {
+	line, beat, pin int
+}
+
+// NewModule allocates a module holding the given number of bursts.
+func NewModule(lines int) *Module {
+	return &Module{
+		lines:     make([]Burst, lines),
+		stuckPins: make(map[int]uint),
+		deadDevs:  make(map[int]bool),
+		weakCells: make(map[cellAddr]bool),
+		junk:      0x9e3779b97f4a7c15,
+	}
+}
+
+// Lines returns the module capacity in bursts.
+func (m *Module) Lines() int { return len(m.lines) }
+
+// WriteBurst stores a burst. Writing a line rewrites its array cells, so
+// any latched flips on the line are cleared (this is how scrubbing heals
+// array faults); stuck pins and dead devices are IO/device faults and
+// keep corrupting subsequent reads.
+func (m *Module) WriteBurst(i int, b Burst) {
+	m.lines[i] = b
+	m.HealLine(i)
+}
+
+// ReadBurst returns the stored burst as the failing hardware would
+// deliver it: weak cells flipped, dead devices replaced with junk, stuck
+// pins forced to their polarity on every beat.
+func (m *Module) ReadBurst(i int) Burst {
+	b := m.lines[i]
+	for cell := range m.weakCells {
+		if cell.line == i {
+			b.FlipBit(cell.beat, cell.pin)
+		}
+	}
+	for dev := range m.deadDevs {
+		for beat := 0; beat < Beats; beat++ {
+			for p := 0; p < PinsPerDevice; p++ {
+				m.junk ^= m.junk << 13
+				m.junk ^= m.junk >> 7
+				m.junk ^= m.junk << 17
+				b.SetBit(beat, dev*PinsPerDevice+p, uint(m.junk)&1)
+			}
+		}
+	}
+	for pin, polarity := range m.stuckPins {
+		for beat := 0; beat < Beats; beat++ {
+			b.SetBit(beat, pin, polarity)
+		}
+	}
+	return b
+}
+
+// AddStuckPin registers an IO pin stuck at the given polarity.
+func (m *Module) AddStuckPin(pin int, polarity uint) error {
+	if pin < 0 || pin >= Pins {
+		return fmt.Errorf("dram: pin %d out of range", pin)
+	}
+	m.stuckPins[pin] = polarity & 1
+	return nil
+}
+
+// ClearStuckPin removes a stuck-pin fault (e.g. after a repair action).
+func (m *Module) ClearStuckPin(pin int) { delete(m.stuckPins, pin) }
+
+// KillDevice marks a whole device as failed.
+func (m *Module) KillDevice(dev int) error {
+	if dev < 0 || dev >= Devices {
+		return fmt.Errorf("dram: device %d out of range", dev)
+	}
+	m.deadDevs[dev] = true
+	return nil
+}
+
+// ReviveDevice clears a device failure (a replaced DIMM in the model).
+func (m *Module) ReviveDevice(dev int) { delete(m.deadDevs, dev) }
+
+// AddWeakCell registers a latched single-bit array flip: the stored bit
+// reads inverted until the line is rewritten.
+func (m *Module) AddWeakCell(line, beat, pin int) error {
+	if line < 0 || line >= len(m.lines) || beat < 0 || beat >= Beats || pin < 0 || pin >= Pins {
+		return fmt.Errorf("dram: cell (%d,%d,%d) out of range", line, beat, pin)
+	}
+	m.weakCells[cellAddr{line, beat, pin}] = true
+	return nil
+}
+
+// HealLine clears every latched flip on one line (a rewrite).
+func (m *Module) HealLine(line int) {
+	for cell := range m.weakCells {
+		if cell.line == line {
+			delete(m.weakCells, cell)
+		}
+	}
+}
+
+// FaultCounts summarizes the active fault state.
+func (m *Module) FaultCounts() (stuckPins, deadDevices, weakCells int) {
+	return len(m.stuckPins), len(m.deadDevs), len(m.weakCells)
+}
+
+// Hammer models a rowhammer episode: each aggressor activation flips a
+// few random cells on the victim line with the supplied RNG, registering
+// them as weak cells so they persist until healed.
+func (m *Module) Hammer(victim int, flips int, r *rand.Rand) {
+	for i := 0; i < flips; i++ {
+		_ = m.AddWeakCell(victim, r.Intn(Beats), r.Intn(Pins))
+	}
+}

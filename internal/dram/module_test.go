@@ -1,0 +1,141 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestModuleCleanRoundTrip(t *testing.T) {
+	m := NewModule(16)
+	if m.Lines() != 16 {
+		t.Fatalf("Lines = %d", m.Lines())
+	}
+	var b Burst
+	b.SetBit(3, 7, 1)
+	m.WriteBurst(5, b)
+	if got := m.ReadBurst(5); got != b {
+		t.Fatal("clean read differs from write")
+	}
+	if got := m.ReadBurst(0); !got.IsZero() {
+		t.Fatal("unwritten line should be zero")
+	}
+}
+
+func TestWeakCellFlipsUntilRewritten(t *testing.T) {
+	m := NewModule(4)
+	var b Burst
+	m.WriteBurst(1, b)
+	if err := m.AddWeakCell(1, 2, 9); err != nil {
+		t.Fatal(err)
+	}
+	got := m.ReadBurst(1)
+	if got.Bit(2, 9) != 1 || got.OnesCount() != 1 {
+		t.Fatal("weak cell did not flip the stored bit")
+	}
+	// Other lines unaffected.
+	if other := m.ReadBurst(0); !other.IsZero() {
+		t.Fatal("weak cell leaked to another line")
+	}
+	// Rewriting the line heals the latch.
+	m.WriteBurst(1, b)
+	if healed := m.ReadBurst(1); !healed.IsZero() {
+		t.Fatal("rewrite did not heal the flip")
+	}
+}
+
+func TestStuckPinCorruptsEveryRead(t *testing.T) {
+	m := NewModule(2)
+	var b Burst
+	m.WriteBurst(0, b)
+	if err := m.AddStuckPin(13, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := m.ReadBurst(0)
+	for beat := 0; beat < Beats; beat++ {
+		if got.Bit(beat, 13) != 1 {
+			t.Fatalf("beat %d: stuck pin not forced high", beat)
+		}
+	}
+	if got.OnesCount() != Beats {
+		t.Fatalf("stuck pin corrupted %d bits, want %d", got.OnesCount(), Beats)
+	}
+	// Rewrites do not fix IO faults.
+	m.WriteBurst(0, b)
+	if after := m.ReadBurst(0); after.IsZero() {
+		t.Fatal("rewrite should not heal a stuck pin")
+	}
+	m.ClearStuckPin(13)
+	if cleared := m.ReadBurst(0); !cleared.IsZero() {
+		t.Fatal("cleared pin still corrupting")
+	}
+}
+
+func TestDeadDeviceReturnsJunk(t *testing.T) {
+	m := NewModule(2)
+	var b Burst
+	m.WriteBurst(0, b)
+	if err := m.KillDevice(4); err != nil {
+		t.Fatal(err)
+	}
+	got := m.ReadBurst(0)
+	// The dead device's pins carry junk; the rest stay intact.
+	junkBits := 0
+	for beat := 0; beat < Beats; beat++ {
+		for pin := 0; pin < Pins; pin++ {
+			if got.Bit(beat, pin) != 0 {
+				if DeviceOfPin(pin) != 4 {
+					t.Fatalf("corruption outside the dead device at pin %d", pin)
+				}
+				junkBits++
+			}
+		}
+	}
+	if junkBits == 0 {
+		t.Fatal("dead device returned all zeros — junk generator broken")
+	}
+	m.ReviveDevice(4)
+	if revived := m.ReadBurst(0); !revived.IsZero() {
+		t.Fatal("revived device still corrupting")
+	}
+}
+
+func TestModuleValidation(t *testing.T) {
+	m := NewModule(2)
+	if err := m.AddStuckPin(40, 1); err == nil {
+		t.Error("out-of-range pin accepted")
+	}
+	if err := m.KillDevice(10); err == nil {
+		t.Error("out-of-range device accepted")
+	}
+	if err := m.AddWeakCell(2, 0, 0); err == nil {
+		t.Error("out-of-range line accepted")
+	}
+	if err := m.AddWeakCell(0, 16, 0); err == nil {
+		t.Error("out-of-range beat accepted")
+	}
+}
+
+func TestFaultCounts(t *testing.T) {
+	m := NewModule(4)
+	_ = m.AddStuckPin(1, 0)
+	_ = m.KillDevice(2)
+	_ = m.AddWeakCell(0, 0, 0)
+	_ = m.AddWeakCell(0, 1, 1)
+	sp, dd, wc := m.FaultCounts()
+	if sp != 1 || dd != 1 || wc != 2 {
+		t.Fatalf("FaultCounts = %d %d %d", sp, dd, wc)
+	}
+}
+
+func TestHammer(t *testing.T) {
+	m := NewModule(8)
+	r := rand.New(rand.NewSource(1))
+	m.Hammer(3, 2, r)
+	_, _, wc := m.FaultCounts()
+	if wc == 0 || wc > 2 {
+		t.Fatalf("Hammer registered %d flips, want 1..2", wc)
+	}
+	if hammered := m.ReadBurst(3); hammered.OnesCount() == 0 {
+		t.Fatal("hammered line reads clean")
+	}
+}

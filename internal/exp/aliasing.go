@@ -1,0 +1,229 @@
+package exp
+
+import (
+	"fmt"
+
+	"polyecc/internal/residue"
+	"polyecc/internal/stats"
+)
+
+// decRemainders enumerates every double-bit error (same-symbol and
+// cross-symbol, both flip directions) of a codeword and returns their
+// remainders mod m.
+func decRemainders(m uint64, g residue.Geometry) []uint64 {
+	bits := g.CodewordBits()
+	var out []uint64
+	signs := []int64{1, -1}
+	for b1 := 0; b1 < bits; b1++ {
+		for b2 := b1 + 1; b2 < bits; b2++ {
+			for _, s1 := range signs {
+				for _, s2 := range signs {
+					e1 := residue.SymbolErrorRemainder(s1<<uint(b1%g.SymbolBits), b1/g.SymbolBits, m, g)
+					e2 := residue.SymbolErrorRemainder(s2<<uint(b2%g.SymbolBits), b2/g.SymbolBits, m, g)
+					out = append(out, (e1+e2)%m)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// bfbfRemainders enumerates double bounded faults (two beat-aligned
+// nibble corruptions in different symbols) for 8-bit symbols.
+func bfbfRemainders(m uint64) []uint64 {
+	g := residue.DDR5x8
+	var nibbleDeltas []int64
+	for x := int64(1); x <= 15; x++ {
+		nibbleDeltas = append(nibbleDeltas, x, -x, x<<4, -(x << 4))
+	}
+	var out []uint64
+	for sA := 0; sA < g.NumSymbols; sA++ {
+		for sB := sA + 1; sB < g.NumSymbols; sB++ {
+			for _, dA := range nibbleDeltas {
+				for _, dB := range nibbleDeltas {
+					rA := residue.SymbolErrorRemainder(dA, sA, m, g)
+					rB := residue.SymbolErrorRemainder(dB, sB, m, g)
+					out = append(out, (rA+rB)%m)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ck1Remainders enumerates ChipKill+1 errors: any symbol delta on a
+// failed device plus a both-beat pin pattern on a second device.
+func ck1Remainders(m uint64) []uint64 {
+	g := residue.DDR5x8
+	var pinDeltas []int64
+	for k := 0; k < 4; k++ {
+		for _, s1 := range []int64{1, -1} {
+			for _, s2 := range []int64{1, -1} {
+				pinDeltas = append(pinDeltas, s1<<uint(k)+s2<<uint(k+4))
+			}
+		}
+	}
+	var out []uint64
+	for devA := 0; devA < g.NumSymbols; devA++ {
+		for dA := int64(1); dA <= 255; dA++ {
+			for _, sign := range []int64{1, -1} {
+				rA := residue.SymbolErrorRemainder(sign*dA, devA, m, g)
+				for devB := 0; devB < g.NumSymbols; devB++ {
+					if devB == devA {
+						continue
+					}
+					for _, dB := range pinDeltas {
+						rB := residue.SymbolErrorRemainder(dB, devB, m, g)
+						out = append(out, (rA+rB)%m)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TableIIIResult reproduces Table III: the aliasing-degree histograms of
+// the single-symbol (SSC) model for M=511 and M=2005.
+type TableIIIResult struct {
+	M511, M2005 residue.AliasStats
+}
+
+// TableIII computes the histograms (deterministic).
+func TableIII() TableIIIResult {
+	_, d511 := residue.CheckMultiplier(511, residue.DDR5x8)
+	_, d2005 := residue.CheckMultiplier(2005, residue.DDR5x8)
+	return TableIIIResult{M511: residue.Stats(d511), M2005: residue.Stats(d2005)}
+}
+
+// Render formats the result like the paper's Table III.
+func (r TableIIIResult) Render() string {
+	t := stats.NewTable("Table III: Remainder Aliasing Degree vs. Multiplier Value",
+		"Multiplier", "Aliasing Degree", "Remainder Counts")
+	t.AddRow("511", "10", fmt.Sprintf("%d", r.M511.Histogram[10]))
+	for _, deg := range []int{1, 2, 3, 4, 5, 6, 7} {
+		t.AddRow("2005", fmt.Sprintf("%d", deg), fmt.Sprintf("%d", r.M2005.Histogram[deg]))
+	}
+	return t.String()
+}
+
+// TableIVRow is one (configuration, fault model) row of Table IV.
+type TableIVRow struct {
+	SymbolBits int
+	M          uint64
+	Model      string
+	Stats      residue.AliasStats
+	MACBits    int // per cacheline
+}
+
+// TableIV enumerates the aliasing degrees of every fault model each
+// configuration supports, with the cacheline MAC budget.
+func TableIV() []TableIVRow {
+	var rows []TableIVRow
+	add := func(symBits int, m uint64, model string, st residue.AliasStats, macBits int) {
+		rows = append(rows, TableIVRow{SymbolBits: symBits, M: m, Model: model, Stats: st, MACBits: macBits})
+	}
+	sscStats := func(m uint64, g residue.Geometry) residue.AliasStats {
+		_, d := residue.CheckMultiplierRelaxed(m, g)
+		return residue.Stats(d)
+	}
+	fromRems := func(rems []uint64) residue.AliasStats {
+		return residue.Stats(residue.DegreesOfInts(rems))
+	}
+
+	// 16-bit symbols, M=131049: SSC and DEC, 60-bit MAC.
+	g16 := residue.DDR5x16
+	mac16 := residue.MACBits(131049, g16, 128) * 4
+	add(16, 131049, "SSC", sscStats(131049, g16), mac16)
+	add(16, 131049, "DEC", fromRems(decRemainders(131049, g16)), mac16)
+
+	// 8-bit symbols.
+	g8 := residue.DDR5x8
+	for _, cfg := range []struct {
+		m      uint64
+		models []string
+	}{
+		{511, []string{"SSC"}},
+		{1021, []string{"SSC", "DEC"}},
+		{2005, []string{"SSC", "DEC", "BF+BF", "ChipKill+1"}},
+	} {
+		mac8 := residue.MACBits(cfg.m, g8, 64) * 8
+		for _, model := range cfg.models {
+			var st residue.AliasStats
+			switch model {
+			case "SSC":
+				st = sscStats(cfg.m, g8)
+			case "DEC":
+				st = fromRems(decRemainders(cfg.m, g8))
+			case "BF+BF":
+				st = fromRems(bfbfRemainders(cfg.m))
+			case "ChipKill+1":
+				st = fromRems(ck1Remainders(cfg.m))
+			}
+			add(8, cfg.m, model, st, mac8)
+		}
+	}
+	return rows
+}
+
+// RenderTableIV formats rows like the paper's Table IV.
+func RenderTableIV(rows []TableIVRow) string {
+	t := stats.NewTable("Table IV: Aliasing Degrees for Fault Models",
+		"Symbols", "M", "Fault Model", "Max", "Avg±Std", "MAC bits")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%db", r.SymbolBits), fmt.Sprintf("%d", r.M), r.Model,
+			r.Stats.Max, fmt.Sprintf("%.2f ± %.2f", r.Stats.Avg, r.Stats.Std), r.MACBits)
+	}
+	return t.String()
+}
+
+// Figure7Point is one multiplier's contribution to the Figure 7
+// trade-off: redundancy bits vs aliasing degree vs MAC budget.
+type Figure7Point struct {
+	Bits       int // multiplier bit budget
+	MACBits    int // per cacheline (8 codewords)
+	MinAvg     float64
+	MeanAvg    float64
+	MaxAvg     float64
+	Candidates int // admissible multipliers in this budget
+}
+
+// Figure7 sweeps the multiplier bit budgets for 8-bit symbols, returning
+// per-budget min/mean/max of the average aliasing degree — the trade-off
+// curve of the paper's Figure 7 (smaller multipliers = more MAC bits but
+// higher aliasing, with wide error bars within a budget).
+func Figure7(minBits, maxBits int) []Figure7Point {
+	var out []Figure7Point
+	for bits := minBits; bits <= maxBits; bits++ {
+		results := residue.Search(bits, bits, residue.DDR5x8, 64)
+		if len(results) == 0 {
+			continue
+		}
+		p := Figure7Point{Bits: bits, MACBits: results[0].MACBits * 8, Candidates: len(results)}
+		p.MinAvg = results[0].Stats.Avg
+		for _, r := range results {
+			a := r.Stats.Avg
+			if a < p.MinAvg {
+				p.MinAvg = a
+			}
+			if a > p.MaxAvg {
+				p.MaxAvg = a
+			}
+			p.MeanAvg += a
+		}
+		p.MeanAvg /= float64(len(results))
+		out = append(out, p)
+	}
+	return out
+}
+
+// RenderFigure7 formats the series as the artifact's text output.
+func RenderFigure7(points []Figure7Point) string {
+	t := stats.NewTable("Figure 7: multiplier size vs aliasing degree vs MAC size (8-bit symbols)",
+		"Redundancy bits", "MAC bits/line", "Multipliers", "Min avg degree", "Mean avg degree", "Max avg degree")
+	for _, p := range points {
+		t.AddRow(p.Bits, p.MACBits, p.Candidates, p.MinAvg, p.MeanAvg, p.MaxAvg)
+	}
+	return t.String()
+}

@@ -1,0 +1,220 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polyecc/internal/aes"
+	"polyecc/internal/faults"
+	"polyecc/internal/inference"
+	"polyecc/internal/linecode"
+	"polyecc/internal/stats"
+	"polyecc/internal/workload"
+)
+
+// MiscorrectionPool holds cacheline error masks produced by profiling the
+// SDDC Reed-Solomon code against out-of-model faults (§VII-B "Memory
+// Errors Generation"): each mask is the data-visible difference between
+// the truth and what RS silently returned after miscorrecting.
+type MiscorrectionPool struct {
+	Masks [][linecode.LineBytes]byte
+}
+
+// NewMiscorrectionPool profiles RS until want masks are collected.
+func NewMiscorrectionPool(want int, seed int64) MiscorrectionPool {
+	code := linecode.NewRS()
+	r := rand.New(rand.NewSource(seed))
+	var pool MiscorrectionPool
+	for len(pool.Masks) < want {
+		var data [linecode.LineBytes]byte
+		r.Read(data[:])
+		burst := code.Encode(&data)
+		// Out-of-model fault: a handful of random bit flips.
+		faults.RandomBits{N: 2 + r.Intn(4)}.Inject(r, &burst)
+		got, outcome, _ := code.Decode(&burst)
+		if outcome != linecode.OK || got == data {
+			continue
+		}
+		var mask [linecode.LineBytes]byte
+		for i := range mask {
+			mask[i] = got[i] ^ data[i]
+		}
+		pool.Masks = append(pool.Masks, mask)
+	}
+	return pool
+}
+
+// Figure4Row is one workload's outcome shares, in percent.
+type Figure4Row struct {
+	Workload  string
+	Encrypted bool
+	Crashed   float64
+	Hang      float64
+	SDC       float64
+	NoEffect  float64
+}
+
+// Figure4 runs the fault-injection campaign of §III-B: for every
+// workload, inject RS-miscorrection masks into the memory image at
+// uniformly random times and cacheline addresses, once against plaintext
+// memory (NE) and once AES-amplified (E), using the same checkpoint,
+// time, address, and error for both — exactly the paper's pairing.
+func Figure4(injections int, seed int64) ([]Figure4Row, error) {
+	pool := NewMiscorrectionPool(256, seed)
+	mem := aes.MustNewMemory(DefaultKey[:], append([]byte{0xAA}, DefaultKey[1:]...))
+	var rows []Figure4Row
+	const maxSteps = 200000
+	for _, p := range workload.Programs() {
+		digest, steps, err := workload.Baseline(p, seed, maxSteps)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", p.Name(), err)
+		}
+		var counts [2]map[workload.Outcome]int
+		counts[0] = map[workload.Outcome]int{}
+		counts[1] = map[workload.Outcome]int{}
+		r := rand.New(rand.NewSource(seed ^ int64(len(p.Name()))*65537))
+		for i := 0; i < injections; i++ {
+			tInj := r.Intn(steps)
+			mask := pool.Masks[r.Intn(len(pool.Masks))]
+			var aInj int
+			// Both runs share t_inj, A_inj, and the error (§VII-B).
+			pickAddr := func(memImg []byte) int {
+				if aInj == 0 {
+					lines := len(memImg) / linecode.LineBytes
+					aInj = r.Intn(lines) * linecode.LineBytes
+				}
+				return aInj
+			}
+			outNE := workload.Inject(p, seed, tInj, func(m []byte) {
+				addr := pickAddr(m)
+				for j := 0; j < linecode.LineBytes; j++ {
+					m[addr+j] ^= mask[j]
+				}
+			}, digest, steps)
+			counts[0][outNE]++
+			outE := workload.Inject(p, seed, tInj, func(m []byte) {
+				addr := pickAddr(m)
+				amplified := mem.AmplifyError(m[addr:addr+linecode.LineBytes], mask[:], uint64(addr))
+				copy(m[addr:addr+linecode.LineBytes], amplified)
+			}, digest, steps)
+			counts[1][outE]++
+		}
+		for enc := 0; enc <= 1; enc++ {
+			total := float64(injections)
+			rows = append(rows, Figure4Row{
+				Workload:  p.Name(),
+				Encrypted: enc == 1,
+				Crashed:   100 * float64(counts[enc][workload.Crashed]) / total,
+				Hang:      100 * float64(counts[enc][workload.Hang]) / total,
+				SDC:       100 * float64(counts[enc][workload.SDC]) / total,
+				NoEffect:  100 * float64(counts[enc][workload.NoEffect]) / total,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFigure4 formats the campaign like the paper's stacked bars.
+func RenderFigure4(rows []Figure4Row) string {
+	t := stats.NewTable("Figure 4: SPEC-like fault-injection outcomes (%), NE = plain, E = encrypted memory",
+		"Workload", "Memory", "Crashed", "Hang", "SDC", "NoEffect")
+	for _, r := range rows {
+		memLabel := "NE"
+		if r.Encrypted {
+			memLabel = "E"
+		}
+		t.AddRow(r.Workload, memLabel, r.Crashed, r.Hang, r.SDC, r.NoEffect)
+	}
+	return t.String()
+}
+
+// Figure5Bucket is one accuracy-histogram bucket.
+type Figure5Bucket struct {
+	LowPct, HighPct int // accuracy range relative to baseline, percent
+	Count           int
+}
+
+// Figure5Result is one inference campaign: the accuracy histogram plus
+// the failed-inference count.
+type Figure5Result struct {
+	Name         string
+	BaselineAcc  float64
+	Buckets      []Figure5Bucket
+	Failed       int
+	NearBaseline int // injections within 1% of baseline accuracy
+	BigDropShare float64
+	Injections   int
+}
+
+// Figure5 runs the inference fault-injection study: (a) the MobileNet
+// stand-in with plaintext vs encrypted weight memory, and (b) the
+// CryptoNets/FHE stand-in where every corruption diffuses across its
+// ciphertext block. Returns results in the order: plain, encrypted, FHE.
+func Figure5(injections int, seed int64) []Figure5Result {
+	pool := NewMiscorrectionPool(256, seed+1)
+	mem := aes.MustNewMemory(DefaultKey[:], append([]byte{0xBB}, DefaultKey[1:]...))
+
+	run := func(name string, act inference.Activation, samples int, amplify bool) Figure5Result {
+		model := inference.NewModel(seed, act)
+		ds := inference.NewDataset(seed, samples)
+		base := model.Evaluate(model.Image(), ds)
+		res := Figure5Result{Name: name, BaselineAcc: base.Accuracy, Injections: injections}
+		hist := stats.NewHistogram()
+		r := rand.New(rand.NewSource(seed ^ int64(samples)))
+		for i := 0; i < injections; i++ {
+			img := model.Image()
+			mask := pool.Masks[r.Intn(len(pool.Masks))]
+			lines := len(img) / linecode.LineBytes
+			addr := r.Intn(lines) * linecode.LineBytes
+			if amplify {
+				amplified := mem.AmplifyError(img[addr:addr+linecode.LineBytes], mask[:], uint64(addr))
+				copy(img[addr:addr+linecode.LineBytes], amplified)
+			} else {
+				for j := 0; j < linecode.LineBytes; j++ {
+					img[addr+j] ^= mask[j]
+				}
+			}
+			out := model.Evaluate(img, ds)
+			if out.Failed {
+				res.Failed++
+				continue
+			}
+			if out.Accuracy >= base.Accuracy-0.01 {
+				res.NearBaseline++
+			}
+			if out.Accuracy < base.Accuracy-0.10 {
+				res.BigDropShare++
+			}
+			bucket := int(out.Accuracy * 10)
+			if bucket > 9 {
+				bucket = 9
+			}
+			hist.Add(bucket)
+		}
+		res.BigDropShare /= float64(injections)
+		for _, k := range hist.Keys() {
+			res.Buckets = append(res.Buckets, Figure5Bucket{LowPct: k * 10, HighPct: (k + 1) * 10, Count: hist.Count(k)})
+		}
+		return res
+	}
+
+	return []Figure5Result{
+		run("mobilenet-like/plain", inference.ReLU, 500, false),
+		run("mobilenet-like/encrypted", inference.ReLU, 500, true),
+		run("cryptonets-like/FHE", inference.Square, 100, true),
+	}
+}
+
+// RenderFigure5 formats the histograms.
+func RenderFigure5(results []Figure5Result) string {
+	t := stats.NewTable("Figure 5: inference accuracy distribution under injected faults",
+		"Campaign", "Baseline", "Near-baseline", "Failed", ">10% drop share", "Histogram (decile:count)")
+	for _, r := range results {
+		histStr := ""
+		for _, b := range r.Buckets {
+			histStr += fmt.Sprintf("%d-%d%%:%d ", b.LowPct, b.HighPct, b.Count)
+		}
+		t.AddRow(r.Name, r.BaselineAcc, r.NearBaseline, r.Failed, r.BigDropShare, histStr)
+	}
+	return t.String()
+}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+
+	"polyecc/internal/residue"
+	"polyecc/internal/stats"
+)
+
+// HBMRow is one candidate geometry of the HBM-style study.
+type HBMRow struct {
+	Label      string
+	Geometry   residue.Geometry
+	DataBits   int
+	SmallestM  uint64
+	CheckBits  int
+	MACBits    int // per codeword
+	AvgAliases float64
+}
+
+// HBMStudy sketches the paper's stated future work (§VIII-A): adapting
+// Polymorphic ECC to HBM3-style interfaces, whose channels and fault
+// units differ from DDR5. For each candidate geometry — pseudo-channel
+// widths with 8- or 16-bit fault-containment symbols — it finds the
+// smallest admissible multiplier and reports the redundancy/MAC split and
+// the aliasing (correction-latency) consequences, the trade study the
+// paper says is required.
+func HBMStudy() []HBMRow {
+	candidates := []struct {
+		label    string
+		g        residue.Geometry
+		dataBits int
+	}{
+		// DDR5 reference points.
+		{"DDR5 x4, 8b symbols (paper)", residue.DDR5x8, 64},
+		{"DDR5 x4, 16b symbols (paper)", residue.DDR5x16, 128},
+		// HBM-style pseudo-channels: a 32-bit data + 8-bit ECC transfer
+		// slice gives 40 bits per beat; with 8 beats per transaction and
+		// 8-bit fault units, a codeword is 10 symbols of 8 bits again but
+		// the fault unit is a column of the stacked die...
+		{"HBM 40-bit slice, 8b symbols", residue.Geometry{NumSymbols: 10, SymbolBits: 8}, 64},
+		// ...or a wider 80-bit transaction slice with 16-bit symbols,
+		{"HBM 80-bit slice, 16b symbols", residue.Geometry{NumSymbols: 5, SymbolBits: 16}, 56},
+		// ...or fine-grained 4-bit symbols for per-TSV containment.
+		{"HBM 40-bit slice, 4b symbols", residue.Geometry{NumSymbols: 10, SymbolBits: 4}, 24},
+	}
+	var rows []HBMRow
+	for _, c := range candidates {
+		row := HBMRow{Label: c.label, Geometry: c.g, DataBits: c.dataBits}
+		row.SmallestM = residue.SmallestMultiplier(c.g, 1<<uint(c.g.CodewordBits()-c.dataBits))
+		if row.SmallestM != 0 {
+			row.CheckBits = bitlen(row.SmallestM)
+			row.MACBits = residue.MACBits(row.SmallestM, c.g, c.dataBits)
+			if ok, degrees := residue.CheckMultiplier(row.SmallestM, c.g); ok {
+				row.AvgAliases = residue.Stats(degrees).Avg
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func bitlen(v uint64) int {
+	n := 0
+	for v != 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// RenderHBMStudy formats the study.
+func RenderHBMStudy(rows []HBMRow) string {
+	t := stats.NewTable("HBM-style geometry study (the paper's §VIII-A future work)",
+		"Geometry", "Symbols", "Data bits", "Smallest M", "Check bits", "MAC bits/codeword", "Avg aliasing")
+	for _, r := range rows {
+		if r.SmallestM == 0 {
+			t.AddRow(r.Label, fmt.Sprintf("%dx%db", r.Geometry.NumSymbols, r.Geometry.SymbolBits),
+				r.DataBits, "none", "-", "-", "-")
+			continue
+		}
+		t.AddRow(r.Label, fmt.Sprintf("%dx%db", r.Geometry.NumSymbols, r.Geometry.SymbolBits),
+			r.DataBits, fmt.Sprintf("%d", r.SmallestM), r.CheckBits, r.MACBits, r.AvgAliases)
+	}
+	return t.String()
+}

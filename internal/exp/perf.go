@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+
+	"polyecc/internal/memsim"
+	"polyecc/internal/stats"
+	"polyecc/internal/workload"
+)
+
+// Figure11Row is one workload's normalized slowdown from the Polymorphic
+// ECC write-path hardware (encoder + MAC, 4.2 ns).
+type Figure11Row struct {
+	Workload    string
+	BaseCycles  uint64
+	DelayCycles uint64
+	SlowdownPct float64
+	TraceLength int
+	DRAMWriteSh float64 // DRAM writes per 1000 accesses, the driver of the cost
+}
+
+// Figure11 collects each workload's real address trace (through the
+// workload.Trace hook) and replays it through the timing hierarchy twice:
+// the TDX-like baseline and the same hierarchy with the 4.2 ns ECC+MAC
+// write-path delay (§VII-C). It is single-threaded because the trace hook
+// is global.
+func Figure11(maxRefs int, seed int64) ([]Figure11Row, error) {
+	var rows []Figure11Row
+	const maxSteps = 200000
+	for _, p := range workload.Programs() {
+		trace := make([]memsim.Ref, 0, maxRefs)
+		workload.Trace = func(addr int, write bool) {
+			if len(trace) < maxRefs {
+				trace = append(trace, memsim.Ref{Addr: uint64(addr), Write: write})
+			}
+		}
+		_, _, err := workload.Baseline(p, seed, maxSteps)
+		workload.Trace = nil
+		if err != nil {
+			return nil, fmt.Errorf("tracing %s: %w", p.Name(), err)
+		}
+		base, err := memsim.Replay(memsim.Default(), trace, 3)
+		if err != nil {
+			return nil, err
+		}
+		delayed, err := memsim.Replay(memsim.Default().WithPolymorphicWriteDelay(), trace, 3)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure11Row{
+			Workload:    p.Name(),
+			BaseCycles:  base.Cycles,
+			DelayCycles: delayed.Cycles,
+			TraceLength: len(trace),
+		}
+		if base.Cycles > 0 {
+			row.SlowdownPct = 100 * (float64(delayed.Cycles)/float64(base.Cycles) - 1)
+		}
+		if base.Accesses > 0 {
+			row.DRAMWriteSh = 1000 * float64(base.DRAMWrites) / float64(base.Accesses)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure11 formats the slowdowns like the paper's bars, with the
+// geometric-mean row the paper quotes ("on average ≈1%").
+func RenderFigure11(rows []Figure11Row) string {
+	t := stats.NewTable("Figure 11: normalized slowdown from the ECC encoder + MAC write path",
+		"Workload", "Trace refs", "Base cycles", "Delayed cycles", "Slowdown %", "DRAM wr/1k acc")
+	var sum float64
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.TraceLength, r.BaseCycles, r.DelayCycles, r.SlowdownPct, r.DRAMWriteSh)
+		sum += r.SlowdownPct
+	}
+	if len(rows) > 0 {
+		t.AddRow("average", "", "", "", sum/float64(len(rows)), "")
+	}
+	return t.String()
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+
+	"polyecc/internal/hwmodel"
+	"polyecc/internal/mac"
+	"polyecc/internal/poly"
+	"polyecc/internal/stats"
+)
+
+// HintStorageRow is one hint-table storage entry of Table VI.
+type HintStorageRow struct {
+	SymbolBits int
+	Model      string
+	Entries    int
+	EntryBits  int
+	KB         float64
+}
+
+// TableVIResult reproduces Table VI: the circuit cost rows from the
+// analytical 45nm model and the hint-table storage computed from the real
+// hint tables.
+type TableVIResult struct {
+	Circuits []hwmodel.Circuit
+	Latency  hwmodel.LatencyModel
+	Hints    []HintStorageRow
+}
+
+// TableVI builds the full table. The DEC and BF+BF entry counts come
+// from the hint tables internal/poly actually constructs; ChipKill+1 is
+// derived at runtime in our decoder (§V-D suggests this as future work),
+// so its storage row is the as-if-stored cost of its error enumeration.
+func TableVI() TableVIResult {
+	res := TableVIResult{Circuits: hwmodel.All(), Latency: hwmodel.Latency()}
+
+	code8 := poly.MustNew(poly.ConfigM2005(), mac.MustSipHash(DefaultKey, 40))
+	add := func(symBits int, model string, entries int) {
+		bits := hwmodel.HintEntryBits(model)
+		res.Hints = append(res.Hints, HintStorageRow{
+			SymbolBits: symBits,
+			Model:      model,
+			Entries:    entries,
+			EntryBits:  bits,
+			KB:         hwmodel.HintStorageKB(entries, bits),
+		})
+	}
+	add(8, "DEC", code8.HintTableEntries(poly.ModelDEC))
+	add(8, "BF+BF", code8.HintTableEntries(poly.ModelBFBF))
+	// ChipKill+1 enumeration: 10 failed devices x 510 signed symbol
+	// deltas x 9 second devices x 16 signed pin patterns.
+	add(8, "ChipKill+1", 10*510*9*16)
+
+	cfg16 := poly.ConfigM131049()
+	cfg16.Models = []poly.FaultModel{poly.ModelChipKill, poly.ModelSSC, poly.ModelDEC}
+	code16 := poly.MustNew(cfg16, mac.MustSipHash(DefaultKey, 60))
+	add(16, "DEC", code16.HintTableEntries(poly.ModelDEC))
+	return res
+}
+
+// Render formats the result like the paper's Table VI.
+func (r TableVIResult) Render() string {
+	t := stats.NewTable("Table VI: Hardware Implementation Results (analytical 45nm model), M = 2005",
+		"Circuit", "Latency, ns", "Area, um^2", "Power, W")
+	for _, c := range r.Circuits {
+		t.AddRow(c.Name, c.LatencyNS, fmt.Sprintf("%.0f", c.AreaUM2), c.PowerW)
+	}
+	out := t.String()
+	out += fmt.Sprintf("\nCorrection latency model: %s\n\n", r.Latency)
+	h := stats.NewTable("Hint storage", "Symbols", "Model", "Entries", "Bits/entry", "kB")
+	for _, row := range r.Hints {
+		h.AddRow(fmt.Sprintf("%db", row.SymbolBits), row.Model, row.Entries, row.EntryBits, row.KB)
+	}
+	return out + h.String()
+}

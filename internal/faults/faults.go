@@ -1,0 +1,188 @@
+// Package faults implements the DRAM fault models of the paper's
+// evaluation (§VIII-B, Table V) as physical injectors over a DDR5 burst.
+// Each injector corrupts the 640 wire bits the way the hardware failure
+// would, so every code under comparison (Polymorphic ECC, SDDC
+// Reed-Solomon, Unity, Bamboo) observes the same event through its own
+// codeword geometry.
+//
+// Following the paper's conservative methodology, the per-codeword models
+// corrupt every codeword of the cacheline ("we conservatively assume that
+// every codeword has an error"), which corresponds to a bit error rate of
+// roughly 5e-2.
+package faults
+
+import (
+	"math/rand"
+
+	"polyecc/internal/dram"
+)
+
+// Injector corrupts a burst in place according to one fault model.
+type Injector interface {
+	// Name returns the paper's label for the model.
+	Name() string
+	// Inject applies one random fault instance.
+	Inject(r *rand.Rand, b *dram.Burst)
+}
+
+// nonZeroMask returns a uniformly random nonzero value of width bits.
+func nonZeroMask(r *rand.Rand, width int) uint64 {
+	return uint64(1 + r.Intn(1<<uint(width)-1))
+}
+
+// xorSymbol XORs a mask into symbol s of codeword w under a geometry.
+func xorSymbol(g dram.WordGeometry, b *dram.Burst, w, s int, mask uint64) {
+	u := g.Word(b, w)
+	off := s * g.SymbolBits
+	u = u.WithField(off, g.SymbolBits, u.Field(off, g.SymbolBits)^mask)
+	g.SetWord(b, w, u)
+}
+
+// ChipKill models a whole-device failure: every codeword's symbol for one
+// device is corrupted with an independent random error.
+type ChipKill struct {
+	Geometry dram.WordGeometry
+}
+
+// Name implements Injector.
+func (ChipKill) Name() string { return "ChipKill" }
+
+// Inject implements Injector.
+func (f ChipKill) Inject(r *rand.Rand, b *dram.Burst) {
+	dev := r.Intn(dram.Devices)
+	for w := 0; w < f.Geometry.WordsPerBurst(); w++ {
+		xorSymbol(f.Geometry, b, w, dev, nonZeroMask(r, f.Geometry.SymbolBits))
+	}
+}
+
+// SSC models independent single-symbol errors: every codeword has one
+// random symbol corrupted with a random error.
+type SSC struct {
+	Geometry dram.WordGeometry
+}
+
+// Name implements Injector.
+func (SSC) Name() string { return "SSC" }
+
+// Inject implements Injector.
+func (f SSC) Inject(r *rand.Rand, b *dram.Burst) {
+	for w := 0; w < f.Geometry.WordsPerBurst(); w++ {
+		xorSymbol(f.Geometry, b, w, r.Intn(dram.Devices), nonZeroMask(r, f.Geometry.SymbolBits))
+	}
+}
+
+// DEC models two random single-bit errors per codeword. Words limits how
+// many codewords are corrupted (0 means all), which drives the Figure 10
+// bit-error-rate sweep.
+type DEC struct {
+	Geometry dram.WordGeometry
+	Words    int
+}
+
+// Name implements Injector.
+func (DEC) Name() string { return "DEC" }
+
+// Inject implements Injector.
+func (f DEC) Inject(r *rand.Rand, b *dram.Burst) {
+	n := f.Words
+	total := f.Geometry.WordsPerBurst()
+	if n <= 0 || n > total {
+		n = total
+	}
+	words := r.Perm(total)[:n]
+	bitsPerWord := f.Geometry.WordBits()
+	for _, w := range words {
+		u := f.Geometry.Word(b, w)
+		b1 := r.Intn(bitsPerWord)
+		b2 := r.Intn(bitsPerWord)
+		for b2 == b1 {
+			b2 = r.Intn(bitsPerWord)
+		}
+		u = u.FlipBit(b1).FlipBit(b2)
+		f.Geometry.SetWord(b, w, u)
+	}
+}
+
+// BFBF models an aligned double bounded fault: two devices each suffer a
+// bounded fault (corruption confined to one beat-aligned nibble per
+// codeword). The device pair is a device-level event shared by the whole
+// cacheline; the affected beats and values vary per codeword.
+type BFBF struct {
+	Geometry dram.WordGeometry
+}
+
+// Name implements Injector.
+func (BFBF) Name() string { return "BF+BF" }
+
+// Inject implements Injector.
+func (f BFBF) Inject(r *rand.Rand, b *dram.Burst) {
+	devA := r.Intn(dram.Devices)
+	devB := r.Intn(dram.Devices)
+	for devB == devA {
+		devB = r.Intn(dram.Devices)
+	}
+	nibblesPerSymbol := f.Geometry.SymbolBits / 4
+	for w := 0; w < f.Geometry.WordsPerBurst(); w++ {
+		for _, dev := range []int{devA, devB} {
+			u := f.Geometry.Word(b, w)
+			off := dev*f.Geometry.SymbolBits + 4*r.Intn(nibblesPerSymbol)
+			u = u.WithField(off, 4, u.Field(off, 4)^nonZeroMask(r, 4))
+			f.Geometry.SetWord(b, w, u)
+		}
+	}
+}
+
+// ChipKillPlus1 models a whole-device failure plus a failed (stuck) pin
+// on a second device (§VIII-A): the pin is forced to one polarity on
+// every beat, so its effect on each codeword depends on the data.
+type ChipKillPlus1 struct {
+	Geometry dram.WordGeometry
+}
+
+// Name implements Injector.
+func (ChipKillPlus1) Name() string { return "ChipKill+1" }
+
+// Inject implements Injector.
+func (f ChipKillPlus1) Inject(r *rand.Rand, b *dram.Burst) {
+	devA := r.Intn(dram.Devices)
+	devB := r.Intn(dram.Devices)
+	for devB == devA {
+		devB = r.Intn(dram.Devices)
+	}
+	for w := 0; w < f.Geometry.WordsPerBurst(); w++ {
+		xorSymbol(f.Geometry, b, w, devA, nonZeroMask(r, f.Geometry.SymbolBits))
+	}
+	pin := devB*dram.PinsPerDevice + r.Intn(dram.PinsPerDevice)
+	polarity := uint(r.Intn(2))
+	for beat := 0; beat < dram.Beats; beat++ {
+		b.SetBit(beat, pin, polarity)
+	}
+}
+
+// RandomBits flips exactly N uniformly random distinct wire bits — the
+// out-of-model profiling workhorse.
+type RandomBits struct {
+	N int
+}
+
+// Name implements Injector.
+func (f RandomBits) Name() string { return "RandomBits" }
+
+// Inject implements Injector.
+func (f RandomBits) Inject(r *rand.Rand, b *dram.Burst) {
+	perm := r.Perm(dram.BurstBits)[:f.N]
+	for _, i := range perm {
+		b[i/8] ^= 1 << (i % 8)
+	}
+}
+
+// Models returns the Table V fault-model suite for a geometry.
+func Models(g dram.WordGeometry) []Injector {
+	return []Injector{
+		ChipKill{Geometry: g},
+		SSC{Geometry: g},
+		DEC{Geometry: g},
+		BFBF{Geometry: g},
+		ChipKillPlus1{Geometry: g},
+	}
+}

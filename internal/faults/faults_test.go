@@ -1,0 +1,195 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"polyecc/internal/dram"
+)
+
+var g8 = dram.WordGeometry{SymbolBits: 8}
+
+// corruptedSymbols returns, per codeword, which symbols differ.
+func corruptedSymbols(g dram.WordGeometry, a, b *dram.Burst) [][]int {
+	out := make([][]int, g.WordsPerBurst())
+	for w := range out {
+		ua, ub := g.Word(a, w), g.Word(b, w)
+		for s := 0; s < dram.Devices; s++ {
+			if ua.Field(s*g.SymbolBits, g.SymbolBits) != ub.Field(s*g.SymbolBits, g.SymbolBits) {
+				out[w] = append(out[w], s)
+			}
+		}
+	}
+	return out
+}
+
+func randBurst(r *rand.Rand) dram.Burst {
+	var b dram.Burst
+	r.Read(b[:])
+	return b
+}
+
+func TestChipKillShape(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		b := randBurst(r)
+		orig := b
+		ChipKill{Geometry: g8}.Inject(r, &b)
+		per := corruptedSymbols(g8, &orig, &b)
+		dev := -1
+		for w, syms := range per {
+			if len(syms) != 1 {
+				t.Fatalf("word %d: %d corrupted symbols, want 1", w, len(syms))
+			}
+			if dev == -1 {
+				dev = syms[0]
+			}
+			if syms[0] != dev {
+				t.Fatal("ChipKill corrupted different devices across codewords")
+			}
+		}
+	}
+}
+
+func TestSSCShape(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	differentSeen := false
+	for trial := 0; trial < 100; trial++ {
+		b := randBurst(r)
+		orig := b
+		SSC{Geometry: g8}.Inject(r, &b)
+		per := corruptedSymbols(g8, &orig, &b)
+		devs := map[int]bool{}
+		for w, syms := range per {
+			if len(syms) != 1 {
+				t.Fatalf("word %d: %d corrupted symbols, want 1", w, len(syms))
+			}
+			devs[syms[0]] = true
+		}
+		if len(devs) > 1 {
+			differentSeen = true
+		}
+	}
+	if !differentSeen {
+		t.Error("SSC never used different symbols across codewords")
+	}
+}
+
+func TestDECShape(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		b := randBurst(r)
+		orig := b
+		DEC{Geometry: g8}.Inject(r, &b)
+		for w := 0; w < g8.WordsPerBurst(); w++ {
+			diff := g8.Word(&b, w).Xor(g8.Word(&orig, w))
+			if diff.OnesCount() != 2 {
+				t.Fatalf("word %d: %d flipped bits, want 2", w, diff.OnesCount())
+			}
+		}
+	}
+}
+
+func TestDECWordLimit(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, k := range []int{1, 3, 8} {
+		b := randBurst(r)
+		orig := b
+		DEC{Geometry: g8, Words: k}.Inject(r, &b)
+		corrupted := 0
+		for w := 0; w < g8.WordsPerBurst(); w++ {
+			if g8.Word(&b, w) != g8.Word(&orig, w) {
+				corrupted++
+			}
+		}
+		if corrupted != k {
+			t.Fatalf("Words=%d corrupted %d codewords", k, corrupted)
+		}
+	}
+}
+
+func TestBFBFShape(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		b := randBurst(r)
+		orig := b
+		BFBF{Geometry: g8}.Inject(r, &b)
+		pair := map[int]bool{}
+		for w := 0; w < g8.WordsPerBurst(); w++ {
+			diff := g8.Word(&b, w).Xor(g8.Word(&orig, w))
+			for s := 0; s < dram.Devices; s++ {
+				f := diff.Field(s*8, 8)
+				if f == 0 {
+					continue
+				}
+				pair[s] = true
+				// Confined to one nibble.
+				if f&0xf != f && f&0xf0 != f {
+					t.Fatalf("word %d symbol %d: corruption %08b spans nibbles", w, s, f)
+				}
+			}
+			if diff.IsZero() {
+				t.Fatalf("word %d: no corruption", w)
+			}
+		}
+		if len(pair) > 2 {
+			t.Fatalf("BF+BF touched %d devices, want at most 2", len(pair))
+		}
+	}
+}
+
+func TestChipKillPlus1Shape(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	pinEffectSeen := false
+	for trial := 0; trial < 200; trial++ {
+		b := randBurst(r)
+		orig := b
+		ChipKillPlus1{Geometry: g8}.Inject(r, &b)
+		per := corruptedSymbols(g8, &orig, &b)
+		devs := map[int]bool{}
+		for _, syms := range per {
+			for _, s := range syms {
+				devs[s] = true
+			}
+		}
+		if len(devs) > 2 {
+			t.Fatalf("ChipKill+1 touched %d devices", len(devs))
+		}
+		if len(devs) == 2 {
+			pinEffectSeen = true
+		}
+	}
+	if !pinEffectSeen {
+		t.Error("stuck pin never visibly corrupted a second device")
+	}
+}
+
+func TestRandomBits(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 3, 8} {
+		var b dram.Burst
+		RandomBits{N: n}.Inject(r, &b)
+		if b.OnesCount() != n {
+			t.Fatalf("RandomBits{%d} flipped %d bits", n, b.OnesCount())
+		}
+	}
+}
+
+func TestModelsSuite(t *testing.T) {
+	ms := Models(g8)
+	if len(ms) != 5 {
+		t.Fatalf("suite has %d models, want 5", len(ms))
+	}
+	names := map[string]bool{}
+	for _, m := range ms {
+		if m.Name() == "" {
+			t.Error("unnamed model")
+		}
+		names[m.Name()] = true
+	}
+	for _, want := range []string{"ChipKill", "SSC", "DEC", "BF+BF", "ChipKill+1"} {
+		if !names[want] {
+			t.Errorf("missing model %q", want)
+		}
+	}
+}

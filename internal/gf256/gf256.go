@@ -1,0 +1,232 @@
+// Package gf256 implements arithmetic over GF(2^8), the field underlying
+// the Reed-Solomon, Unity-style and Bamboo-style baseline codes the paper
+// compares Polymorphic ECC against.
+//
+// The field is constructed with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the conventional choice for
+// byte-oriented storage codes.
+package gf256
+
+import "fmt"
+
+// Poly is the primitive polynomial used to construct the field.
+const Poly = 0x11d
+
+var (
+	expTable [512]byte // alpha^i for i in 0..509, doubled to avoid mod 255
+	logTable [256]byte // log_alpha(x) for x != 0
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a+b in GF(2^8) (carry-less: XOR). Subtraction is identical.
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a/b in GF(2^8). It panics if b == 0.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a == 0.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns alpha^i for any integer i (alpha is the primitive element).
+func Exp(i int) byte {
+	i %= 255
+	if i < 0 {
+		i += 255
+	}
+	return expTable[i]
+}
+
+// Log returns log_alpha(a). It panics if a == 0.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// Pow returns a^n.
+func Pow(a byte, n int) byte {
+	if a == 0 {
+		if n == 0 {
+			return 1
+		}
+		return 0
+	}
+	ln := (int(logTable[a]) * n) % 255
+	if ln < 0 {
+		ln += 255
+	}
+	return expTable[ln]
+}
+
+// A Polynomial over GF(2^8) is a coefficient slice with index = degree:
+// p[0] + p[1]x + p[2]x^2 + ...
+type Polynomial []byte
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func (p Polynomial) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Trim returns p with trailing zero coefficients removed.
+func (p Polynomial) Trim() Polynomial {
+	return p[:p.Degree()+1]
+}
+
+// Eval evaluates p at x by Horner's rule.
+func (p Polynomial) Eval(x byte) byte {
+	var y byte
+	for i := len(p) - 1; i >= 0; i-- {
+		y = Mul(y, x) ^ p[i]
+	}
+	return y
+}
+
+// AddPoly returns p+q.
+func AddPoly(p, q Polynomial) Polynomial {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	r := make(Polynomial, n)
+	copy(r, p)
+	for i, c := range q {
+		r[i] ^= c
+	}
+	return r
+}
+
+// MulPoly returns p*q.
+func MulPoly(p, q Polynomial) Polynomial {
+	if len(p) == 0 || len(q) == 0 {
+		return Polynomial{}
+	}
+	r := make(Polynomial, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			r[i+j] ^= Mul(a, b)
+		}
+	}
+	return r
+}
+
+// Scale returns c*p.
+func Scale(p Polynomial, c byte) Polynomial {
+	r := make(Polynomial, len(p))
+	for i, a := range p {
+		r[i] = Mul(a, c)
+	}
+	return r
+}
+
+// MulXPow returns p * x^n.
+func MulXPow(p Polynomial, n int) Polynomial {
+	r := make(Polynomial, len(p)+n)
+	copy(r[n:], p)
+	return r
+}
+
+// Mod returns p mod q. It panics if q is zero.
+func Mod(p, q Polynomial) Polynomial {
+	dq := q.Degree()
+	if dq < 0 {
+		panic("gf256: polynomial modulo by zero")
+	}
+	r := make(Polynomial, len(p))
+	copy(r, p)
+	lead := Inv(q[dq])
+	for dr := r.Degree(); dr >= dq; dr = r.Degree() {
+		c := Mul(r[dr], lead)
+		for i := 0; i <= dq; i++ {
+			r[dr-dq+i] ^= Mul(c, q[i])
+		}
+	}
+	if dq == 0 {
+		return Polynomial{}
+	}
+	out := make(Polynomial, dq)
+	copy(out, r[:min(len(r), dq)])
+	return out
+}
+
+// Derivative returns the formal derivative of p (odd-degree terms shifted
+// down; even-degree terms vanish in characteristic 2).
+func (p Polynomial) Derivative() Polynomial {
+	if len(p) <= 1 {
+		return Polynomial{}
+	}
+	r := make(Polynomial, len(p)-1)
+	for i := 1; i < len(p); i += 2 {
+		r[i-1] = p[i]
+	}
+	return r
+}
+
+// String renders the polynomial for debugging.
+func (p Polynomial) String() string {
+	d := p.Degree()
+	if d < 0 {
+		return "0"
+	}
+	s := ""
+	for i := d; i >= 0; i-- {
+		if p[i] == 0 {
+			continue
+		}
+		if s != "" {
+			s += " + "
+		}
+		switch i {
+		case 0:
+			s += fmt.Sprintf("%02x", p[i])
+		case 1:
+			s += fmt.Sprintf("%02x·x", p[i])
+		default:
+			s += fmt.Sprintf("%02x·x^%d", p[i], i)
+		}
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+// Package hamming implements a Hsiao-style SEC-DED Hamming(72,64) code,
+// the classic single-error-correcting, double-error-detecting ECC the
+// paper profiles in Table II and uses to motivate out-of-model faults
+// (§III-A): odd-weight multi-bit errors frequently alias to single-bit
+// syndromes and are miscorrected, amplifying the corruption.
+package hamming
+
+import "math/bits"
+
+// Codeword is a 72-bit SEC-DED codeword: 64 data bits and 8 check bits.
+// Bit positions 0..63 address the data, 64..71 the check bits.
+type Codeword struct {
+	Data  uint64
+	Check uint8
+}
+
+// Status classifies a decode outcome.
+type Status int
+
+const (
+	// Clean means the syndrome was zero.
+	Clean Status = iota
+	// CorrectedSingle means the syndrome matched one column and that bit
+	// was flipped back. If the true error had more bits this is a
+	// miscorrection — the decoder cannot tell.
+	CorrectedSingle
+	// DetectedDouble means an even-weight (double-bit-style) error was
+	// detected but not corrected.
+	DetectedDouble
+	// DetectedMulti means an odd-weight syndrome matched no column:
+	// a detectable but uncorrectable multi-bit error.
+	DetectedMulti
+)
+
+func (s Status) String() string {
+	switch s {
+	case Clean:
+		return "clean"
+	case CorrectedSingle:
+		return "corrected-single"
+	case DetectedDouble:
+		return "detected-double"
+	case DetectedMulti:
+		return "detected-multi"
+	}
+	return "unknown"
+}
+
+// columns[i] is the H-matrix column (syndrome) of bit i. The Hsiao
+// construction uses distinct odd-weight columns: the 8 weight-1 columns
+// protect the check bits themselves, and the 56 weight-3 plus 8 weight-5
+// columns cover the 64 data bits, giving a minimum distance of 4.
+var columns [72]uint8
+
+// columnToBit inverts columns for O(1) syndrome lookup; 0xff = no column.
+var columnToBit [256]uint8
+
+func init() {
+	idx := 0
+	// Data bits: weight-3 columns first (there are C(8,3)=56), then
+	// weight-5 columns (C(8,5)=56 available, we need 8).
+	for w := 3; w <= 5 && idx < 64; w += 2 {
+		for c := 1; c < 256 && idx < 64; c++ {
+			if bits.OnesCount8(uint8(c)) == w {
+				columns[idx] = uint8(c)
+				idx++
+			}
+		}
+	}
+	// Check bits: weight-1 columns.
+	for i := 0; i < 8; i++ {
+		columns[64+i] = 1 << uint(i)
+	}
+	for i := range columnToBit {
+		columnToBit[i] = 0xff
+	}
+	for i, c := range columns {
+		columnToBit[c] = uint8(i)
+	}
+}
+
+// Encode computes the 8 check bits for 64 data bits.
+func Encode(data uint64) Codeword {
+	var check uint8
+	d := data
+	for d != 0 {
+		i := bits.TrailingZeros64(d)
+		check ^= columns[i]
+		d &= d - 1
+	}
+	return Codeword{Data: data, Check: check}
+}
+
+// Syndrome returns the 8-bit syndrome of a received codeword.
+func Syndrome(cw Codeword) uint8 {
+	s := Encode(cw.Data).Check ^ cw.Check
+	return s
+}
+
+// Decode inspects a received codeword, corrects a single-bit syndrome
+// match in place, and classifies the outcome. The returned codeword is
+// the decoder's belief; for multi-bit injected errors it may be a
+// miscorrection (Table II of the paper).
+func Decode(cw Codeword) (Codeword, Status) {
+	syn := Syndrome(cw)
+	if syn == 0 {
+		return cw, Clean
+	}
+	if bits.OnesCount8(syn)%2 == 0 {
+		return cw, DetectedDouble
+	}
+	bit := columnToBit[syn]
+	if bit == 0xff {
+		return cw, DetectedMulti
+	}
+	if bit < 64 {
+		cw.Data ^= 1 << uint(bit)
+	} else {
+		cw.Check ^= 1 << uint(bit-64)
+	}
+	return cw, CorrectedSingle
+}
+
+// FlipBits returns cw with the given bit positions (0..71) inverted.
+func FlipBits(cw Codeword, positions ...int) Codeword {
+	for _, p := range positions {
+		if p < 64 {
+			cw.Data ^= 1 << uint(p)
+		} else {
+			cw.Check ^= 1 << uint(p-64)
+		}
+	}
+	return cw
+}
+
+// Columns exposes the H-matrix column of a bit position (for tests and
+// the profiling experiments).
+func Columns(bit int) uint8 { return columns[bit] }

@@ -1,0 +1,92 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// The paper's encoder critical path is eight full adders plus one CLA,
+// synthesizing to 2.52 ns.
+func TestEncoderLatencyMatchesPaperDecomposition(t *testing.T) {
+	got := EncoderDecoder().LatencyNS
+	if math.Abs(got-2.52) > 0.01 {
+		t.Fatalf("encoder latency = %.3f ns, want 2.52", got)
+	}
+}
+
+// The latency model must reproduce the paper's T = 3.98 + 5.36*N within
+// calibration tolerance.
+func TestLatencyModelNearPaper(t *testing.T) {
+	l := Latency()
+	if math.Abs(l.FixedNS-3.98) > 0.3 {
+		t.Errorf("fixed latency = %.3f ns, want ≈3.98", l.FixedNS)
+	}
+	if math.Abs(l.PerIterNS-5.36) > 0.6 {
+		t.Errorf("per-iteration latency = %.3f ns, want ≈5.36", l.PerIterNS)
+	}
+	// ChipKill in one iteration should be under ~10 ns (paper: 9.34).
+	if one := l.CorrectionNS(1); one < 7 || one > 12 {
+		t.Errorf("1-iteration correction = %.2f ns, want ≈9.34", one)
+	}
+	if l.String() == "" {
+		t.Error("empty model string")
+	}
+}
+
+func TestCorrectionNSLinear(t *testing.T) {
+	l := LatencyModel{FixedNS: 4, PerIterNS: 5}
+	if l.CorrectionNS(0) != 4 || l.CorrectionNS(10) != 54 {
+		t.Fatal("CorrectionNS not linear")
+	}
+}
+
+func TestAllCircuitsPopulated(t *testing.T) {
+	rows := All()
+	if len(rows) != 6 {
+		t.Fatalf("Table VI has %d circuit rows, want 6", len(rows))
+	}
+	for _, c := range rows {
+		if c.Name == "" || c.LatencyNS <= 0 || c.AreaUM2 <= 0 || c.PowerW <= 0 {
+			t.Errorf("degenerate circuit row %+v", c)
+		}
+	}
+	// Orderings the paper's table exhibits: the modulo/cipher blocks are
+	// the slow, big ones; the counter is tiny.
+	byName := map[string]Circuit{}
+	for _, c := range rows {
+		byName[c.Name] = c
+	}
+	if byName["ITER_DRVR"].AreaUM2 >= byName["Encoder/Decoder"].AreaUM2 {
+		t.Error("ITER_DRVR should be far smaller than the encoder")
+	}
+	if byName["ITER_DRVR"].LatencyNS >= byName["ECG (10 symbols)"].LatencyNS {
+		t.Error("ITER_DRVR should be faster than the ECG")
+	}
+	if byName["ERR_INT_GEN (Eq. 2)"].AreaUM2 >= byName["ECG (10 symbols)"].AreaUM2 {
+		t.Error("one Eq. 2 unit must be smaller than the 10-unit ECG")
+	}
+}
+
+// Hint storage: entry widths and the kB conversion; with the real table
+// cardinalities these land near the paper's Table VI rows (DEC 17 kB,
+// BF+BF 259 kB).
+func TestHintStorage(t *testing.T) {
+	if HintEntryBits("DEC") != 10 || HintEntryBits("BF+BF") != 12 || HintEntryBits("ChipKill+1") != 13 {
+		t.Fatal("entry widths changed")
+	}
+	if HintEntryBits("nope") != 0 {
+		t.Fatal("unknown model should cost nothing")
+	}
+	dec := HintStorageKB(45*16*16, HintEntryBits("DEC"))
+	if dec < 10 || dec > 25 {
+		t.Errorf("DEC hint storage = %.1f kB, want ≈14 (paper: 17)", dec)
+	}
+	bfbf := HintStorageKB(45*60*60, HintEntryBits("BF+BF"))
+	if bfbf < 200 || bfbf > 300 {
+		t.Errorf("BF+BF hint storage = %.1f kB, want ≈237 (paper: 259)", bfbf)
+	}
+	ck1 := HintStorageKB(10*510*9*16, HintEntryBits("ChipKill+1"))
+	if ck1 < 700 || ck1 > 1400 {
+		t.Errorf("ChipKill+1 hint storage = %.1f kB, want ≈1166 (paper: 892)", ck1)
+	}
+}

@@ -1,0 +1,228 @@
+// Package inference provides the fixed-point neural-network stand-ins for
+// the paper's ML fault-injection study (§III-B, Figure 5).
+//
+// The paper injects RS-miscorrected (and encryption-amplified) errors
+// into MobileNet-v2 inference over ImageNet and into a CryptoNets-style
+// network under fully homomorphic encryption, then histograms the Top-1
+// accuracy across injections. The mechanism under test is how a corrupted
+// weight cacheline — possibly diffused across 16 bytes by AES — shifts
+// inference accuracy. This package reproduces that mechanism with a
+// deterministic fixed-point classifier over a synthetic clustered
+// dataset: weights live in a flat byte image (the injection surface),
+// arithmetic is saturating integer math, and a "failed" inference is one
+// whose outputs degenerate (saturation or a collapsed argmax), mirroring
+// the crashed ONNX sessions of the original setup.
+package inference
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Activation selects the nonlinearity.
+type Activation int
+
+const (
+	// ReLU is used by the plaintext MobileNet stand-in.
+	ReLU Activation = iota
+	// Square is the CryptoNets-style FHE-friendly activation.
+	Square
+)
+
+// Network geometry.
+const (
+	Inputs  = 16
+	Hidden  = 20
+	Classes = 10
+)
+
+// Dataset is a labelled synthetic classification set: Gaussian-ish
+// clusters around one prototype per class.
+type Dataset struct {
+	X [][]int16
+	Y []int
+}
+
+// prototypes returns the per-class feature prototypes for a seed.
+func prototypes(seed int64) [Classes][Inputs]int16 {
+	r := rand.New(rand.NewSource(seed))
+	var p [Classes][Inputs]int16
+	for c := 0; c < Classes; c++ {
+		for i := 0; i < Inputs; i++ {
+			p[c][i] = int16(r.Intn(200) - 100)
+		}
+	}
+	return p
+}
+
+// NewDataset samples n points around the class prototypes.
+func NewDataset(seed int64, n int) Dataset {
+	r := rand.New(rand.NewSource(seed ^ 0x5eed))
+	protos := prototypes(seed)
+	ds := Dataset{X: make([][]int16, n), Y: make([]int, n)}
+	for k := 0; k < n; k++ {
+		c := r.Intn(Classes)
+		x := make([]int16, Inputs)
+		for i := 0; i < Inputs; i++ {
+			x[i] = protos[c][i] + int16(r.Intn(31)-15)
+		}
+		ds.X[k] = x
+		ds.Y[k] = c
+	}
+	return ds
+}
+
+// Model is a two-layer fixed-point classifier whose weights live in a
+// byte image. Layer 1 has two prototype-matched filters per class;
+// layer 2 routes each filter to its class logit.
+type Model struct {
+	act Activation
+	img []byte
+}
+
+// Weight image layout: W1 (Hidden x Inputs int16), then W2 (Classes x
+// Hidden int16), row-major little-endian.
+const (
+	w1Off     = 0
+	w1Size    = Hidden * Inputs * 2
+	w2Off     = w1Size
+	w2Size    = Classes * Hidden * 2
+	imageSize = w1Size + w2Size
+)
+
+// ImageSize is the weight image length in bytes.
+const ImageSize = imageSize
+
+// NewModel constructs a classifier matched to NewDataset(seed, n).
+func NewModel(seed int64, act Activation) *Model {
+	m := &Model{act: act, img: make([]byte, imageSize)}
+	protos := prototypes(seed)
+	// W1: filter h responds to class h%Classes (two filters per class),
+	// using the (scaled) prototype as a matched filter.
+	for h := 0; h < Hidden; h++ {
+		c := h % Classes
+		for i := 0; i < Inputs; i++ {
+			w := int16(protos[c][i] / 4)
+			if h >= Classes {
+				w = protos[c][i] / 8 // a weaker secondary filter
+			}
+			m.setW(w1Off, h*Inputs+i, w)
+		}
+	}
+	// W2: route filter h to class h%Classes.
+	for c := 0; c < Classes; c++ {
+		for h := 0; h < Hidden; h++ {
+			var w int16
+			if h%Classes == c {
+				w = 8
+				if h >= Classes {
+					w = 4
+				}
+			}
+			m.setW(w2Off, c*Hidden+h, w)
+		}
+	}
+	return m
+}
+
+func (m *Model) setW(base, idx int, v int16) {
+	m.img[base+2*idx] = byte(v)
+	m.img[base+2*idx+1] = byte(uint16(v) >> 8)
+}
+
+func getW(img []byte, base, idx int) int16 {
+	return int16(uint16(img[base+2*idx]) | uint16(img[base+2*idx+1])<<8)
+}
+
+// Image returns a copy of the weight image — the injection surface.
+func (m *Model) Image() []byte {
+	out := make([]byte, len(m.img))
+	copy(out, m.img)
+	return out
+}
+
+// saturating clamp for the fixed-point accumulators.
+const satLimit = 1 << 28
+
+func clamp(v int64, saturated *bool) int64 {
+	if v > satLimit {
+		*saturated = true
+		return satLimit
+	}
+	if v < -satLimit {
+		*saturated = true
+		return -satLimit
+	}
+	return v
+}
+
+// Classify runs a forward pass with the given weight image, returning the
+// argmax class and whether any accumulator saturated.
+func (m *Model) Classify(img []byte, x []int16) (class int, saturated bool) {
+	if len(img) != imageSize {
+		panic(fmt.Sprintf("inference: image size %d, want %d", len(img), imageSize))
+	}
+	var hidden [Hidden]int64
+	for h := 0; h < Hidden; h++ {
+		var acc int64
+		for i := 0; i < Inputs; i++ {
+			acc += int64(getW(img, w1Off, h*Inputs+i)) * int64(x[i])
+		}
+		acc = clamp(acc, &saturated)
+		switch m.act {
+		case ReLU:
+			if acc < 0 {
+				acc = 0
+			}
+		case Square:
+			acc = clamp(acc/256*acc/256, &saturated)
+		}
+		hidden[h] = acc
+	}
+	best := int64(-1 << 62)
+	for c := 0; c < Classes; c++ {
+		var acc int64
+		for h := 0; h < Hidden; h++ {
+			acc += int64(getW(img, w2Off, c*Hidden+h)) * hidden[h] / 16
+		}
+		acc = clamp(acc, &saturated)
+		if acc > best {
+			best = acc
+			class = c
+		}
+	}
+	return class, saturated
+}
+
+// Result summarizes one evaluation over a dataset.
+type Result struct {
+	Accuracy float64 // Top-1 accuracy
+	Failed   bool    // degenerate run: heavy saturation or collapsed argmax
+}
+
+// Evaluate measures Top-1 accuracy of a weight image over a dataset.
+// A run counts as Failed — the analogue of the paper's failed ONNX
+// inferences — when more than half the samples saturate, or when every
+// sample lands in one class on a balanced set.
+func (m *Model) Evaluate(img []byte, ds Dataset) Result {
+	if len(ds.X) == 0 {
+		return Result{}
+	}
+	correct, saturations := 0, 0
+	classSeen := map[int]bool{}
+	for k := range ds.X {
+		class, sat := m.Classify(img, ds.X[k])
+		if sat {
+			saturations++
+		}
+		if class == ds.Y[k] {
+			correct++
+		}
+		classSeen[class] = true
+	}
+	res := Result{Accuracy: float64(correct) / float64(len(ds.X))}
+	if saturations > len(ds.X)/2 || (len(ds.X) >= Classes && len(classSeen) == 1) {
+		res.Failed = true
+	}
+	return res
+}

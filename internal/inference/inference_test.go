@@ -1,0 +1,132 @@
+package inference
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCleanAccuracyHigh(t *testing.T) {
+	for _, act := range []Activation{ReLU, Square} {
+		m := NewModel(1, act)
+		ds := NewDataset(1, 500)
+		res := m.Evaluate(m.Image(), ds)
+		if res.Failed {
+			t.Fatalf("act=%v: clean run classified failed", act)
+		}
+		if res.Accuracy < 0.9 {
+			t.Fatalf("act=%v: clean accuracy %.3f, want >= 0.9", act, res.Accuracy)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	m1 := NewModel(7, ReLU)
+	m2 := NewModel(7, ReLU)
+	if !bytes.Equal(m1.Image(), m2.Image()) {
+		t.Fatal("model construction nondeterministic")
+	}
+	ds := NewDataset(7, 100)
+	a := m1.Evaluate(m1.Image(), ds)
+	b := m2.Evaluate(m2.Image(), ds)
+	if a != b {
+		t.Fatal("evaluation nondeterministic")
+	}
+}
+
+func TestImageIsACopy(t *testing.T) {
+	m := NewModel(1, ReLU)
+	img := m.Image()
+	img[0] ^= 0xff
+	if bytes.Equal(img, m.Image()) {
+		t.Fatal("Image does not return a copy")
+	}
+}
+
+func TestDatasetBalancedish(t *testing.T) {
+	ds := NewDataset(3, 1000)
+	counts := make([]int, Classes)
+	for _, y := range ds.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n < 50 {
+			t.Errorf("class %d has only %d samples", c, n)
+		}
+	}
+}
+
+// Corrupting weights degrades accuracy on average; a wide corruption
+// (simulating encryption amplification) degrades it more than a single
+// bit flip — the Figure 5 effect.
+func TestCorruptionDegradesAccuracy(t *testing.T) {
+	m := NewModel(1, ReLU)
+	ds := NewDataset(1, 300)
+	clean := m.Evaluate(m.Image(), ds).Accuracy
+	r := rand.New(rand.NewSource(2))
+	var narrowDrop, wideDrop float64
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		// Narrow: one flipped bit.
+		img := m.Image()
+		bit := r.Intn(len(img) * 8)
+		img[bit/8] ^= 1 << uint(bit%8)
+		narrowDrop += clean - m.Evaluate(img, ds).Accuracy
+
+		// Wide: 16 consecutive bytes randomized (an AES-diffused block).
+		img2 := m.Image()
+		off := r.Intn(len(img2)/16) * 16
+		r.Read(img2[off : off+16])
+		wideDrop += clean - m.Evaluate(img2, ds).Accuracy
+	}
+	narrowDrop /= trials
+	wideDrop /= trials
+	if wideDrop <= narrowDrop {
+		t.Errorf("wide corruption drop %.4f should exceed narrow drop %.4f", wideDrop, narrowDrop)
+	}
+	if wideDrop <= 0 {
+		t.Error("wide corruption did not degrade accuracy at all")
+	}
+}
+
+func TestFailedDetection(t *testing.T) {
+	m := NewModel(1, ReLU)
+	ds := NewDataset(1, 200)
+	// An all-0xFF weight image saturates or collapses.
+	img := make([]byte, ImageSize)
+	for i := range img {
+		img[i] = 0xff
+	}
+	res := m.Evaluate(img, ds)
+	if !res.Failed {
+		t.Error("degenerate weights not flagged as failed")
+	}
+}
+
+func TestEvaluateEmptyDataset(t *testing.T) {
+	m := NewModel(1, ReLU)
+	res := m.Evaluate(m.Image(), Dataset{})
+	if res.Accuracy != 0 || res.Failed {
+		t.Error("empty dataset should be a zero result")
+	}
+}
+
+func TestClassifyPanicsOnBadImage(t *testing.T) {
+	m := NewModel(1, ReLU)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Classify(make([]byte, 3), make([]int16, Inputs))
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	m := NewModel(1, ReLU)
+	ds := NewDataset(1, 100)
+	img := m.Image()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Evaluate(img, ds)
+	}
+}

@@ -1,0 +1,189 @@
+// Package mac provides keyed message authentication codes truncated to a
+// configurable width, the error-detection half of Polymorphic ECC.
+//
+// Polymorphic ECC "poses no restriction on the MAC itself" (§IV of the
+// paper): any keyed MAC meeting the system's security bar can fill the
+// per-cacheline MAC slot. Two implementations are provided:
+//
+//   - SipHash-2-4, bit-compatible with the reference specification — the
+//     fast software default used by the simulation harness, and
+//   - a QARMA-64-based chained MAC mirroring the hardware unit the
+//     paper's Table VI synthesizes.
+//
+// An n-bit MAC detects any corruption with probability 1 - 2^-n, which is
+// what converts the iterative corrector's trial-and-error into a safe
+// procedure (one MAC collision on a wrong candidate is an SDC; §VIII-C).
+package mac
+
+import (
+	"fmt"
+	"math/bits"
+
+	"polyecc/internal/qarma"
+)
+
+// MAC computes a keyed tag of at most 64 bits over a byte string.
+type MAC interface {
+	// Bits returns the tag width in bits (1..64).
+	Bits() int
+	// Sum returns the tag in the low Bits() bits.
+	Sum(data []byte) uint64
+}
+
+// Truncate masks a 64-bit value down to n bits.
+func Truncate(v uint64, n int) uint64 {
+	if n >= 64 {
+		return v
+	}
+	return v & (1<<uint(n) - 1)
+}
+
+// SipHash is the SipHash-2-4 pseudorandom function truncated to a
+// configurable tag width.
+type SipHash struct {
+	k0, k1 uint64
+	bits   int
+}
+
+// NewSipHash builds a SipHash-2-4 MAC with the given 128-bit key
+// (little-endian halves, per the reference implementation) and tag width.
+func NewSipHash(key [16]byte, bitsN int) (*SipHash, error) {
+	if bitsN < 1 || bitsN > 64 {
+		return nil, fmt.Errorf("mac: tag width %d out of range 1..64", bitsN)
+	}
+	le := func(b []byte) uint64 {
+		var v uint64
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(b[i])
+		}
+		return v
+	}
+	return &SipHash{k0: le(key[:8]), k1: le(key[8:]), bits: bitsN}, nil
+}
+
+// MustSipHash is NewSipHash for known-good widths.
+func MustSipHash(key [16]byte, bitsN int) *SipHash {
+	m, err := NewSipHash(key, bitsN)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Bits returns the tag width.
+func (s *SipHash) Bits() int { return s.bits }
+
+func sipRound(v0, v1, v2, v3 uint64) (uint64, uint64, uint64, uint64) {
+	v0 += v1
+	v1 = bits.RotateLeft64(v1, 13)
+	v1 ^= v0
+	v0 = bits.RotateLeft64(v0, 32)
+	v2 += v3
+	v3 = bits.RotateLeft64(v3, 16)
+	v3 ^= v2
+	v0 += v3
+	v3 = bits.RotateLeft64(v3, 21)
+	v3 ^= v0
+	v2 += v1
+	v1 = bits.RotateLeft64(v1, 17)
+	v1 ^= v2
+	v2 = bits.RotateLeft64(v2, 32)
+	return v0, v1, v2, v3
+}
+
+// Sum64 returns the full 64-bit SipHash-2-4 tag.
+func (s *SipHash) Sum64(data []byte) uint64 {
+	v0 := s.k0 ^ 0x736f6d6570736575
+	v1 := s.k1 ^ 0x646f72616e646f6d
+	v2 := s.k0 ^ 0x6c7967656e657261
+	v3 := s.k1 ^ 0x7465646279746573
+
+	n := len(data)
+	for ; len(data) >= 8; data = data[8:] {
+		var m uint64
+		for i := 7; i >= 0; i-- {
+			m = m<<8 | uint64(data[i])
+		}
+		v3 ^= m
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+		v0 ^= m
+	}
+	// Final block: remaining bytes little-endian plus the length byte in
+	// the top position.
+	m := uint64(n&0xff) << 56
+	for i := len(data) - 1; i >= 0; i-- {
+		m |= uint64(data[i]) << uint(8*i)
+	}
+	v3 ^= m
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0 ^= m
+	v2 ^= 0xff
+	for i := 0; i < 4; i++ {
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	}
+	return v0 ^ v1 ^ v2 ^ v3
+}
+
+// Sum returns the truncated tag.
+func (s *SipHash) Sum(data []byte) uint64 { return Truncate(s.Sum64(data), s.bits) }
+
+// Qarma is a chained MAC over 8-byte blocks built on the QARMA-style
+// tweakable block cipher, modelling the hardware MAC unit of Table VI.
+// Block i is absorbed as state = E(state ^ block_i, tweak=i); the final
+// tag encrypts the length under a distinguished tweak.
+type Qarma struct {
+	c    *qarma.Cipher
+	bits int
+}
+
+// NewQarma builds a QARMA-based MAC from a 128-bit key.
+func NewQarma(key [16]byte, bitsN int) (*Qarma, error) {
+	if bitsN < 1 || bitsN > 64 {
+		return nil, fmt.Errorf("mac: tag width %d out of range 1..64", bitsN)
+	}
+	return &Qarma{c: qarma.NewFromBytes(key), bits: bitsN}, nil
+}
+
+// MustQarma is NewQarma for known-good widths.
+func MustQarma(key [16]byte, bitsN int) *Qarma {
+	m, err := NewQarma(key, bitsN)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Bits returns the tag width.
+func (q *Qarma) Bits() int { return q.bits }
+
+// Sum returns the truncated chained-cipher tag.
+func (q *Qarma) Sum(data []byte) uint64 {
+	total := uint64(len(data))
+	var state uint64
+	var tweak uint64
+	for len(data) >= 8 {
+		var m uint64
+		for i := 0; i < 8; i++ {
+			m = m<<8 | uint64(data[i])
+		}
+		state = q.c.Encrypt(state^m, tweak)
+		tweak++
+		data = data[8:]
+	}
+	if len(data) > 0 {
+		// Partial block: bytes in the low bits, the fragment length and a
+		// domain-separator bit above them so prefixes never collide.
+		var m uint64
+		for i, b := range data {
+			m |= uint64(b) << uint(8*i)
+		}
+		m |= uint64(len(data))<<56 | 1<<63
+		state = q.c.Encrypt(state^m, tweak)
+		tweak++
+	}
+	// Finalize under a distinguished tweak, binding the total length.
+	state = q.c.Encrypt(state^total, ^uint64(0))
+	return Truncate(state, q.bits)
+}

@@ -1,0 +1,179 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var refKey = [16]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+
+// Published SipHash-2-4 test vectors (Aumasson & Bernstein, reference
+// implementation appendix) for the key 000102...0f and messages of
+// increasing length 0, 1, 2, ... bytes where message byte i is i.
+func TestSipHashReferenceVectors(t *testing.T) {
+	vectors := []uint64{
+		0x726fdb47dd0e0e31,
+		0x74f839c593dc67fd,
+		0x0d6c8009d9a94f5a,
+		0x85676696d7fb7e2d,
+	}
+	s := MustSipHash(refKey, 64)
+	msg := []byte{}
+	for i, want := range vectors {
+		if got := s.Sum64(msg); got != want {
+			t.Fatalf("vector %d: got %016x, want %016x", i, got, want)
+		}
+		msg = append(msg, byte(i))
+	}
+}
+
+func TestSipHashLongMessages(t *testing.T) {
+	s := MustSipHash(refKey, 64)
+	r := rand.New(rand.NewSource(1))
+	seen := map[uint64]bool{}
+	for n := 0; n < 100; n++ {
+		msg := make([]byte, n)
+		r.Read(msg)
+		h := s.Sum64(msg)
+		if seen[h] {
+			t.Fatalf("collision at length %d (astronomically unlikely)", n)
+		}
+		seen[h] = true
+		if s.Sum64(msg) != h {
+			t.Fatal("nondeterministic")
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if Truncate(0xffffffffffffffff, 40) != 0xffffffffff {
+		t.Error("Truncate 40 wrong")
+	}
+	if Truncate(0x123, 64) != 0x123 {
+		t.Error("Truncate 64 wrong")
+	}
+	if Truncate(0xff, 1) != 1 {
+		t.Error("Truncate 1 wrong")
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	for _, n := range []int{0, -1, 65} {
+		if _, err := NewSipHash(refKey, n); err == nil {
+			t.Errorf("NewSipHash(%d) should fail", n)
+		}
+		if _, err := NewQarma(refKey, n); err == nil {
+			t.Errorf("NewQarma(%d) should fail", n)
+		}
+	}
+}
+
+func TestBitsReported(t *testing.T) {
+	if MustSipHash(refKey, 40).Bits() != 40 {
+		t.Error("SipHash Bits wrong")
+	}
+	if MustQarma(refKey, 60).Bits() != 60 {
+		t.Error("Qarma Bits wrong")
+	}
+}
+
+func TestSumRespectsWidth(t *testing.T) {
+	for _, m := range []MAC{MustSipHash(refKey, 40), MustQarma(refKey, 40)} {
+		for i := 0; i < 100; i++ {
+			tag := m.Sum([]byte{byte(i)})
+			if tag>>40 != 0 {
+				t.Fatalf("tag %x exceeds 40 bits", tag)
+			}
+		}
+	}
+}
+
+// Flipping any single bit of a 64-byte cacheline must change the tag —
+// this is the near-100% detection property Polymorphic ECC relies on.
+func TestSingleBitDetection(t *testing.T) {
+	line := make([]byte, 64)
+	for i := range line {
+		line[i] = byte(i * 7)
+	}
+	for _, m := range []MAC{MustSipHash(refKey, 40), MustQarma(refKey, 40)} {
+		ref := m.Sum(line)
+		for bit := 0; bit < 512; bit++ {
+			line[bit/8] ^= 1 << uint(bit%8)
+			if m.Sum(line) == ref {
+				t.Fatalf("%T: single-bit flip at %d undetected", m, bit)
+			}
+			line[bit/8] ^= 1 << uint(bit%8)
+		}
+	}
+}
+
+// Different keys must produce different tags (sampled).
+func TestKeySeparation(t *testing.T) {
+	k2 := refKey
+	k2[0] ^= 1
+	a := MustSipHash(refKey, 64)
+	b := MustSipHash(k2, 64)
+	if a.Sum64([]byte("hello")) == b.Sum64([]byte("hello")) {
+		t.Error("key change did not change SipHash tag")
+	}
+	qa := MustQarma(refKey, 64)
+	qb := MustQarma(k2, 64)
+	if qa.Sum([]byte("hello")) == qb.Sum([]byte("hello")) {
+		t.Error("key change did not change Qarma tag")
+	}
+}
+
+// Length extension/domain separation: messages that are prefixes must not
+// collide, including the empty vs zero-byte distinction.
+func TestLengthDomainSeparation(t *testing.T) {
+	for _, m := range []MAC{MustSipHash(refKey, 64), MustQarma(refKey, 64)} {
+		msgs := [][]byte{
+			{},
+			{0},
+			{0, 0},
+			make([]byte, 8),
+			make([]byte, 16),
+		}
+		seen := map[uint64][]byte{}
+		for _, msg := range msgs {
+			h := m.Sum(msg)
+			if prev, dup := seen[h]; dup {
+				t.Fatalf("%T: %v and %v collide", m, prev, msg)
+			}
+			seen[h] = msg
+		}
+	}
+}
+
+// Property: Qarma MAC distinguishes random pairs of distinct cachelines.
+func TestPropQarmaNoEasyCollisions(t *testing.T) {
+	m := MustQarma(refKey, 64)
+	f := func(a, b [16]byte) bool {
+		if a == b {
+			return true
+		}
+		return m.Sum(a[:]) != m.Sum(b[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSipHashCacheline(b *testing.B) {
+	m := MustSipHash(refKey, 40)
+	line := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		m.Sum(line)
+	}
+}
+
+func BenchmarkQarmaCacheline(b *testing.B) {
+	m := MustQarma(refKey, 40)
+	line := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		m.Sum(line)
+	}
+}

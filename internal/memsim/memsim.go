@@ -1,0 +1,305 @@
+// Package memsim is a trace-driven timing model of a cache/memory
+// hierarchy, standing in for the paper's gem5 TimingCPU setup (§VII-C,
+// Figure 11): instructions execute in one cycle while memory accesses are
+// modelled in detail, and the Polymorphic ECC hardware is represented as
+// an extra fixed delay on the DRAM write path (codeword encoding plus MAC
+// computation; reads are free because the code is systematic).
+//
+// The default configuration mirrors the paper's: 64 kB L1, 256 kB L2,
+// 8 MB L3, 3.4 GHz clock, and a 4.2 ns write-path delay for the encoder
+// and MAC unit (Table VI).
+package memsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	SizeBytes    int
+	Ways         int
+	LatencyCycle int // hit latency
+}
+
+// Config describes the hierarchy.
+type Config struct {
+	LineBytes   int
+	L1, L2, L3  CacheConfig
+	DRAMLatency int     // cycles per DRAM access
+	ClockGHz    float64 // for converting the write delay
+	WriteDelay  float64 // extra ns per DRAM write (the ECC+MAC encoder)
+}
+
+// Default returns the paper's evaluation configuration (§VII-C), without
+// the write delay.
+func Default() Config {
+	return Config{
+		LineBytes:   64,
+		L1:          CacheConfig{SizeBytes: 64 << 10, Ways: 4, LatencyCycle: 2},
+		L2:          CacheConfig{SizeBytes: 256 << 10, Ways: 8, LatencyCycle: 12},
+		L3:          CacheConfig{SizeBytes: 8 << 20, Ways: 16, LatencyCycle: 36},
+		DRAMLatency: 340, // ~100 ns at 3.4 GHz
+		ClockGHz:    3.4,
+	}
+}
+
+// WithPolymorphicWriteDelay returns the configuration with the paper's
+// 4.2 ns encoder+MAC write-path delay applied.
+func (c Config) WithPolymorphicWriteDelay() Config {
+	c.WriteDelay = 4.2
+	return c
+}
+
+// writeDelayCycles converts the delay to clock cycles.
+func (c Config) writeDelayCycles() uint64 {
+	return uint64(math.Ceil(c.WriteDelay * c.ClockGHz))
+}
+
+// Stats accumulates the run.
+type Stats struct {
+	Instructions uint64
+	Accesses     uint64
+	Cycles       uint64
+	L1Hits       uint64
+	L2Hits       uint64
+	L3Hits       uint64
+	DRAMReads    uint64
+	DRAMWrites   uint64
+}
+
+// IPC returns instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+type cache struct {
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	lat      uint64
+}
+
+func newCache(cfg CacheConfig, lineBytes int) (*cache, error) {
+	nLines := cfg.SizeBytes / lineBytes
+	if cfg.Ways <= 0 || nLines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("memsim: cache %+v not divisible into %d-byte lines of %d ways", cfg, lineBytes, cfg.Ways)
+	}
+	nSets := nLines / cfg.Ways
+	if nSets&(nSets-1) != 0 {
+		return nil, fmt.Errorf("memsim: set count %d is not a power of two", nSets)
+	}
+	sets := make([][]line, nSets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	lb := uint(0)
+	for 1<<lb < lineBytes {
+		lb++
+	}
+	return &cache{sets: sets, setMask: uint64(nSets - 1), lineBits: lb, lat: uint64(cfg.LatencyCycle)}, nil
+}
+
+// lookup returns whether the address hits; on hit it refreshes LRU and
+// optionally marks dirty.
+func (c *cache) lookup(addr uint64, now uint64, markDirty bool) bool {
+	tag := addr >> c.lineBits
+	set := c.sets[tag&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = now
+			if markDirty {
+				set[i].dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// fill inserts a line, returning the evicted dirty victim tag if any.
+func (c *cache) fill(addr uint64, now uint64, dirty bool) (victimAddr uint64, writeback bool) {
+	tag := addr >> c.lineBits
+	set := c.sets[tag&c.setMask]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		victimAddr = set[victim].tag << c.lineBits
+		writeback = true
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: dirty, lastUse: now}
+	return victimAddr, writeback
+}
+
+// Hierarchy is a three-level write-back, write-allocate hierarchy with a
+// DRAM write-path delay knob.
+type Hierarchy struct {
+	cfg        Config
+	l1, l2, l3 *cache
+	stats      Stats
+}
+
+// New builds a hierarchy.
+func New(cfg Config) (*Hierarchy, error) {
+	if cfg.LineBytes <= 0 {
+		return nil, fmt.Errorf("memsim: line size %d", cfg.LineBytes)
+	}
+	l1, err := newCache(cfg.L1, cfg.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := newCache(cfg.L2, cfg.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := newCache(cfg.L3, cfg.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{cfg: cfg, l1: l1, l2: l2, l3: l3}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Hierarchy {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Stats returns the accumulated statistics.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// Tick models non-memory instructions: one cycle each.
+func (h *Hierarchy) Tick(instructions uint64) {
+	h.stats.Instructions += instructions
+	h.stats.Cycles += instructions
+}
+
+// dramWrite accounts one DRAM write, including the ECC/MAC encoder delay.
+func (h *Hierarchy) dramWrite() uint64 {
+	h.stats.DRAMWrites++
+	return uint64(h.cfg.DRAMLatency) + h.cfg.writeDelayCycles()
+}
+
+// Access runs one load or store through the hierarchy and returns its
+// latency in cycles.
+func (h *Hierarchy) Access(addr uint64, write bool) uint64 {
+	h.stats.Accesses++
+	h.stats.Instructions++
+	now := h.stats.Cycles
+	lat := h.l1.lat
+	switch {
+	case h.l1.lookup(addr, now, write):
+		h.stats.L1Hits++
+	case h.l2.lookup(addr, now, false):
+		h.stats.L2Hits++
+		lat += h.l2.lat
+		h.fillL1(addr, now, write, &lat)
+	case h.l3.lookup(addr, now, false):
+		h.stats.L3Hits++
+		lat += h.l2.lat + h.l3.lat
+		h.fillL2(addr, now, &lat)
+		h.fillL1(addr, now, write, &lat)
+	default:
+		h.stats.DRAMReads++
+		lat += h.l2.lat + h.l3.lat + uint64(h.cfg.DRAMLatency)
+		if victim, wb := h.l3.fill(addr, now, false); wb {
+			_ = victim
+			lat += h.dramWrite()
+		}
+		h.fillL2(addr, now, &lat)
+		h.fillL1(addr, now, write, &lat)
+	}
+	h.stats.Cycles += lat
+	return lat
+}
+
+// fillL1 inserts into L1, pushing dirty victims down to L2.
+func (h *Hierarchy) fillL1(addr uint64, now uint64, dirty bool, lat *uint64) {
+	if victim, wb := h.l1.fill(addr, now, dirty); wb {
+		// Dirty L1 victim lands in L2 (present or filled).
+		if !h.l2.lookup(victim, now, true) {
+			if v2, wb2 := h.l2.fill(victim, now, true); wb2 {
+				h.spillL3(v2, now, lat)
+			}
+		}
+	}
+}
+
+// fillL2 inserts into L2, spilling dirty victims to L3.
+func (h *Hierarchy) fillL2(addr uint64, now uint64, lat *uint64) {
+	if victim, wb := h.l2.fill(addr, now, false); wb {
+		h.spillL3(victim, now, lat)
+	}
+}
+
+// spillL3 lands a dirty line in L3, writing back to DRAM on eviction.
+func (h *Hierarchy) spillL3(addr uint64, now uint64, lat *uint64) {
+	if !h.l3.lookup(addr, now, true) {
+		if victim, wb := h.l3.fill(addr, now, true); wb {
+			_ = victim
+			*lat += h.dramWrite()
+		}
+	}
+}
+
+// Drain flushes all dirty lines to DRAM (end-of-run accounting) and
+// returns the cycles spent.
+func (h *Hierarchy) Drain() uint64 {
+	var cycles uint64
+	for _, c := range []*cache{h.l1, h.l2, h.l3} {
+		for _, set := range c.sets {
+			for i := range set {
+				if set[i].valid && set[i].dirty {
+					cycles += h.dramWrite()
+					set[i].dirty = false
+				}
+			}
+		}
+	}
+	h.stats.Cycles += cycles
+	return cycles
+}
+
+// Ref is one trace record.
+type Ref struct {
+	Addr  uint64
+	Write bool
+}
+
+// Replay runs a trace with interleaved single-cycle instructions
+// (instrPerAccess models the compute density) and returns the stats.
+func Replay(cfg Config, trace []Ref, instrPerAccess int) (Stats, error) {
+	h, err := New(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	for _, ref := range trace {
+		if instrPerAccess > 0 {
+			h.Tick(uint64(instrPerAccess))
+		}
+		h.Access(ref.Addr, ref.Write)
+	}
+	h.Drain()
+	return h.Stats(), nil
+}

@@ -1,0 +1,194 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	cfg := Default()
+	cfg.LineBytes = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero line size accepted")
+	}
+	cfg = Default()
+	cfg.L1.Ways = 7
+	if _, err := New(cfg); err == nil {
+		t.Error("non-dividing way count accepted")
+	}
+}
+
+func TestRepeatedAccessHitsL1(t *testing.T) {
+	h := MustNew(Default())
+	h.Access(0x1000, false)
+	for i := 0; i < 10; i++ {
+		h.Access(0x1000, false)
+	}
+	st := h.Stats()
+	if st.L1Hits != 10 {
+		t.Fatalf("L1 hits = %d, want 10", st.L1Hits)
+	}
+	if st.DRAMReads != 1 {
+		t.Fatalf("DRAM reads = %d, want 1", st.DRAMReads)
+	}
+}
+
+func TestLineGranularity(t *testing.T) {
+	h := MustNew(Default())
+	h.Access(0x1000, false)
+	h.Access(0x1037, false) // same 64B line
+	if h.Stats().L1Hits != 1 {
+		t.Fatalf("same-line access missed: %+v", h.Stats())
+	}
+}
+
+func TestCapacityMissesReachDRAM(t *testing.T) {
+	h := MustNew(Default())
+	// Stream far beyond L3 capacity.
+	span := uint64(32 << 20)
+	for addr := uint64(0); addr < span; addr += 64 {
+		h.Access(addr, false)
+	}
+	st := h.Stats()
+	if st.DRAMReads != span/64 {
+		t.Fatalf("DRAM reads = %d, want %d (pure streaming)", st.DRAMReads, span/64)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	h := MustNew(Default())
+	// Dirty many lines, then stream reads to evict everything.
+	for addr := uint64(0); addr < 1<<20; addr += 64 {
+		h.Access(addr, true)
+	}
+	for addr := uint64(1 << 30); addr < 1<<30+32<<20; addr += 64 {
+		h.Access(addr, false)
+	}
+	if h.Stats().DRAMWrites == 0 {
+		t.Fatal("no writebacks observed")
+	}
+}
+
+func TestDrainFlushesDirtyLines(t *testing.T) {
+	h := MustNew(Default())
+	for addr := uint64(0); addr < 4096; addr += 64 {
+		h.Access(addr, true)
+	}
+	before := h.Stats().DRAMWrites
+	h.Drain()
+	after := h.Stats().DRAMWrites
+	if after-before != 4096/64 {
+		t.Fatalf("drain wrote back %d lines, want %d", after-before, 4096/64)
+	}
+	// A second drain is a no-op.
+	if h.Drain() != 0 {
+		t.Fatal("second drain not idempotent")
+	}
+}
+
+// The write-path delay must slow a write-heavy run and leave a read-only
+// run with no DRAM writes untouched — the Figure 11 mechanism.
+func TestWriteDelayShape(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	trace := make([]Ref, 200000)
+	for i := range trace {
+		trace[i] = Ref{Addr: uint64(r.Intn(16<<20)) &^ 63, Write: i%2 == 0}
+	}
+	base, err := Replay(Default(), trace, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := Replay(Default().WithPolymorphicWriteDelay(), trace, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delayed.Cycles <= base.Cycles {
+		t.Fatalf("write delay did not cost cycles: %d vs %d", delayed.Cycles, base.Cycles)
+	}
+	slowdown := float64(delayed.Cycles)/float64(base.Cycles) - 1
+	if slowdown > 0.10 {
+		t.Errorf("slowdown %.3f implausibly high for a 4.2ns write delay", slowdown)
+	}
+
+	// Read-only trace fitting in cache: identical cycle counts.
+	small := make([]Ref, 50000)
+	for i := range small {
+		small[i] = Ref{Addr: uint64(r.Intn(32<<10)) &^ 63}
+	}
+	b2, _ := Replay(Default(), small, 3)
+	d2, _ := Replay(Default().WithPolymorphicWriteDelay(), small, 3)
+	if b2.Cycles != d2.Cycles {
+		t.Errorf("read-only run affected by write delay: %d vs %d", b2.Cycles, d2.Cycles)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 {
+		t.Error("IPC of empty stats should be 0")
+	}
+	s = Stats{Instructions: 100, Cycles: 200}
+	if s.IPC() != 0.5 {
+		t.Errorf("IPC = %v", s.IPC())
+	}
+}
+
+func TestWriteDelayCycles(t *testing.T) {
+	cfg := Default().WithPolymorphicWriteDelay()
+	// 4.2 ns at 3.4 GHz = 14.28 cycles -> 15.
+	if got := cfg.writeDelayCycles(); got != 15 {
+		t.Fatalf("writeDelayCycles = %d, want 15", got)
+	}
+	if Default().writeDelayCycles() != 0 {
+		t.Fatal("default should have no write delay")
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	h := MustNew(Default())
+	r := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1<<22)) &^ 63
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(addrs[i%len(addrs)], i%3 == 0)
+	}
+}
+
+// LRU: with a 4-way L1 set, touching four lines then a fifth mapping to
+// the same set must evict the least-recently used one.
+func TestLRUEvictionOrder(t *testing.T) {
+	h := MustNew(Default())
+	// 64kB/64B/4-way = 256 sets; addresses 256*64 apart share set 0.
+	stride := uint64(256 * 64)
+	for i := uint64(0); i < 4; i++ {
+		h.Access(i*stride, false)
+	}
+	h.Access(0, false) // refresh line 0: line 1 is now LRU
+	h.Access(4*stride, false)
+	// Line 0 must still hit L1; line 1 must have been evicted to L2.
+	before := h.Stats().L1Hits
+	h.Access(0, false)
+	if h.Stats().L1Hits != before+1 {
+		t.Fatal("refreshed line was evicted — LRU broken")
+	}
+	beforeL2 := h.Stats().L2Hits
+	h.Access(stride, false)
+	if h.Stats().L2Hits != beforeL2+1 {
+		t.Fatal("evicted line did not land in L2")
+	}
+}
+
+// A miss filled from L2 must cost more than an L1 hit and less than DRAM.
+func TestLatencyOrdering(t *testing.T) {
+	h := MustNew(Default())
+	dram := h.Access(0x100000, false) // cold: DRAM
+	h2 := MustNew(Default())
+	h2.Access(0x0, false)
+	l1 := h2.Access(0x0, false) // hot: L1
+	if l1 >= dram {
+		t.Fatalf("L1 hit (%d cycles) not cheaper than DRAM fill (%d)", l1, dram)
+	}
+}

@@ -1,0 +1,162 @@
+// Package muse implements MUSE ECC (Manzhosov et al., MICRO 2022), the
+// residue-code predecessor Polymorphic ECC builds on (§II-B of the
+// paper). The comparison motivates every design choice in Polymorphic
+// ECC, so the baseline is implemented in full:
+//
+//   - codewords are non-systematic products C = D × M,
+//   - the multiplier must give every symbol error a *unique* nonzero
+//     remainder (no aliasing — the property Polymorphic ECC relaxes),
+//   - correction is a single lookup in a remainder→error map,
+//   - errors with remainder zero are undetectable, and out-of-model
+//     errors that alias into the map are silently miscorrected —
+//     there is no MAC to arbitrate.
+//
+// Uniqueness over the whole codeword forces small symbols and big
+// multipliers: with 4-bit symbols a 64-bit dataword needs 19 symbols
+// (76 bits) and a 12-bit multiplier, so MUSE needs an 80-bit channel and
+// 33% more redundancy than the 9 bits Polymorphic ECC's M=511 spends for
+// the same SDDC guarantee (§V-B).
+package muse
+
+import (
+	"errors"
+	"fmt"
+
+	"polyecc/internal/residue"
+	"polyecc/internal/wideint"
+)
+
+// ErrUncorrectable is returned for detected uncorrectable errors.
+var ErrUncorrectable = errors.New("muse: detected uncorrectable error")
+
+// Geometry4Bit is the MUSE SDDC configuration for 64-bit datawords:
+// nineteen 4-bit symbols (the 76-bit product of a 64-bit dataword and a
+// 12-bit multiplier).
+var Geometry4Bit = residue.Geometry{NumSymbols: 19, SymbolBits: 4}
+
+// Status classifies a decode.
+type Status int
+
+const (
+	// Clean means the remainder was zero.
+	Clean Status = iota
+	// Corrected means the remainder matched a mapped symbol error.
+	Corrected
+)
+
+func (s Status) String() string {
+	switch s {
+	case Clean:
+		return "clean"
+	case Corrected:
+		return "corrected"
+	}
+	return "unknown"
+}
+
+// Code is a MUSE ECC instance. Safe for concurrent use once built.
+type Code struct {
+	m        uint64
+	geometry residue.Geometry
+	dataBits int
+	table    map[uint64]residue.Candidate
+}
+
+// New builds a MUSE code for a multiplier and geometry, verifying the
+// uniqueness property: every signed symbol error must map to a distinct
+// nonzero remainder across the whole codeword.
+func New(m uint64, g residue.Geometry, dataBits int) (*Code, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if m < 2 || m%2 == 0 {
+		return nil, fmt.Errorf("muse: multiplier %d must be odd and > 1", m)
+	}
+	prodBits := dataBits + bitsLen(m)
+	if prodBits > g.CodewordBits() {
+		return nil, fmt.Errorf("muse: %d-bit data x %d-bit multiplier exceeds the %d-bit codeword",
+			dataBits, bitsLen(m), g.CodewordBits())
+	}
+	table := make(map[uint64]residue.Candidate)
+	maxDelta := int64(1)<<uint(g.SymbolBits) - 1
+	for s := 0; s < g.NumSymbols; s++ {
+		for d := int64(1); d <= maxDelta; d++ {
+			for _, sd := range []int64{d, -d} {
+				rem := residue.SymbolErrorRemainder(sd, s, m, g)
+				if rem == 0 {
+					return nil, fmt.Errorf("muse: error (sym %d, delta %d) is undetectable mod %d", s, sd, m)
+				}
+				if prev, dup := table[rem]; dup {
+					return nil, fmt.Errorf("muse: multiplier %d aliases (sym %d, delta %d) with (sym %d, delta %d)",
+						m, s, sd, prev.Symbol, prev.Delta)
+				}
+				table[rem] = residue.Candidate{Symbol: s, Delta: sd}
+			}
+		}
+	}
+	return &Code{m: m, geometry: g, dataBits: dataBits, table: table}, nil
+}
+
+func bitsLen(v uint64) int {
+	n := 0
+	for v != 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// Search returns the smallest odd multiplier defining a MUSE code for the
+// geometry and data width, or 0 if none exists below limit. This is the
+// search procedure §II-B alludes to.
+func Search(g residue.Geometry, dataBits int, limit uint64) uint64 {
+	for m := uint64(3); m < limit; m += 2 {
+		if _, err := New(m, g, dataBits); err == nil {
+			return m
+		}
+	}
+	return 0
+}
+
+// M returns the multiplier.
+func (c *Code) M() uint64 { return c.m }
+
+// RedundancyBits returns the redundancy cost: bitlen(M).
+func (c *Code) RedundancyBits() int { return bitsLen(c.m) }
+
+// TableEntries returns the remainder-map cardinality (MUSE's lookup
+// storage, which Polymorphic ECC's Eq. 2 eliminates).
+func (c *Code) TableEntries() int { return len(c.table) }
+
+// Encode returns the codeword C = D x M.
+func (c *Code) Encode(data uint64) wideint.U192 {
+	return wideint.FromUint64(data).MulUint64(c.m)
+}
+
+// Decode checks the remainder, applies the mapped correction if any, and
+// recovers the dataword (Eq. 1 of the paper). Out-of-model errors whose
+// remainder happens to be mapped are silently miscorrected; unmapped
+// remainders are ErrUncorrectable; remainder-zero corruption is
+// undetectable by construction.
+func (c *Code) Decode(w wideint.U192) (uint64, Status, error) {
+	q, rem := w.DivMod64(c.m)
+	if rem == 0 {
+		return q.W0, Clean, nil
+	}
+	cand, ok := c.table[rem]
+	if !ok {
+		return 0, Clean, ErrUncorrectable
+	}
+	off := c.geometry.SymbolOffset(cand.Symbol)
+	v := int64(w.Field(off, c.geometry.SymbolBits))
+	nv := v - cand.Delta
+	if nv < 0 || nv > int64(1)<<uint(c.geometry.SymbolBits)-1 {
+		return 0, Clean, ErrUncorrectable
+	}
+	corrected := w.WithField(off, c.geometry.SymbolBits, uint64(nv))
+	q, rem = corrected.DivMod64(c.m)
+	if rem != 0 {
+		return 0, Clean, ErrUncorrectable
+	}
+	return q.W0, Corrected, nil
+}

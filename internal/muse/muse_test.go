@@ -1,0 +1,183 @@
+package muse
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"polyecc/internal/residue"
+)
+
+// testM is a known-good SDDC multiplier for the 4-bit geometry, found
+// once by Search and pinned for test speed.
+var testM = func() uint64 {
+	m := Search(Geometry4Bit, 64, 8192)
+	if m == 0 {
+		panic("no MUSE multiplier found")
+	}
+	return m
+}()
+
+func newCode(t testing.TB) *Code {
+	t.Helper()
+	c, err := New(testM, Geometry4Bit, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// The paper: MUSE SDDC needs 12 redundancy bits where Polymorphic ECC
+// needs 9 (M=511).
+func TestRedundancyCostVsPolymorphic(t *testing.T) {
+	c := newCode(t)
+	if got := c.RedundancyBits(); got < 10 || got > 13 {
+		t.Fatalf("MUSE redundancy = %d bits, paper says ~12", got)
+	}
+	if c.RedundancyBits() <= 9 {
+		t.Fatal("MUSE must cost more redundancy than Polymorphic ECC's 9 bits")
+	}
+	// The unique-remainder table is the storage Polymorphic ECC removes.
+	if c.TableEntries() != 19*15*2 {
+		t.Fatalf("table entries = %d, want %d", c.TableEntries(), 19*15*2)
+	}
+}
+
+func TestNewRejections(t *testing.T) {
+	if _, err := New(4, Geometry4Bit, 64); err == nil {
+		t.Error("even multiplier accepted")
+	}
+	if _, err := New(31, Geometry4Bit, 64); err == nil {
+		t.Error("aliasing multiplier accepted (31 cannot give 570 unique remainders)")
+	}
+	if _, err := New(1<<13+1, Geometry4Bit, 64); err == nil {
+		t.Error("oversized multiplier accepted")
+	}
+	if _, err := New(testM, residue.Geometry{NumSymbols: 1, SymbolBits: 40}, 64); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}
+
+func TestEncodeDecodeClean(t *testing.T) {
+	c := newCode(t)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		d := r.Uint64()
+		got, st, err := c.Decode(c.Encode(d))
+		if err != nil || st != Clean || got != d {
+			t.Fatalf("clean roundtrip failed: %v %v", st, err)
+		}
+	}
+}
+
+// Every single-symbol error (the SDDC model) must be corrected — that is
+// MUSE's whole guarantee.
+func TestAllSymbolErrorsCorrected(t *testing.T) {
+	c := newCode(t)
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		d := r.Uint64()
+		w := c.Encode(d)
+		s := r.Intn(Geometry4Bit.NumSymbols)
+		off := s * 4
+		old := w.Field(off, 4)
+		bad := w.WithField(off, 4, old^uint64(1+r.Intn(15)))
+		got, st, err := c.Decode(bad)
+		if err != nil {
+			t.Fatalf("symbol error not corrected: %v", err)
+		}
+		if st != Corrected || got != d {
+			t.Fatalf("wrong correction: %v %x != %x", st, got, d)
+		}
+	}
+}
+
+// Out-of-model double-symbol errors either alias into the table
+// (miscorrection — MUSE has no MAC to catch it) or are detected.
+func TestOutOfModelBehaviour(t *testing.T) {
+	c := newCode(t)
+	r := rand.New(rand.NewSource(3))
+	var misc, due int
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		d := r.Uint64()
+		w := c.Encode(d)
+		s1 := r.Intn(Geometry4Bit.NumSymbols)
+		s2 := r.Intn(Geometry4Bit.NumSymbols)
+		for s2 == s1 {
+			s2 = r.Intn(Geometry4Bit.NumSymbols)
+		}
+		bad := w
+		for _, s := range []int{s1, s2} {
+			off := s * 4
+			bad = bad.WithField(off, 4, bad.Field(off, 4)^uint64(1+r.Intn(15)))
+		}
+		got, _, err := c.Decode(bad)
+		switch {
+		case errors.Is(err, ErrUncorrectable):
+			due++
+		case err == nil && got != d:
+			misc++
+		case err == nil && got == d:
+			t.Fatal("double-symbol error silently healed — impossible without aliasing onto itself")
+		}
+	}
+	if misc == 0 {
+		t.Error("expected some silent miscorrections (no MAC!)")
+	}
+	if due == 0 {
+		t.Error("expected some detected uncorrectable errors")
+	}
+}
+
+// Polymorphic ECC's pitch against MUSE (§V-B): same SDDC guarantee with
+// aliasing allowed needs only M=511, i.e. the smallest polymorphic
+// multiplier is far below the smallest MUSE multiplier for an equivalent
+// 64-bit dataword.
+func TestMuseNeedsBiggerMultiplierThanPolymorphic(t *testing.T) {
+	if testM <= 511 {
+		t.Fatalf("MUSE multiplier %d should exceed Polymorphic's 511", testM)
+	}
+}
+
+func TestSearchMiss(t *testing.T) {
+	if m := Search(Geometry4Bit, 64, 100); m != 0 {
+		t.Fatalf("Search found impossible multiplier %d", m)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{Clean, Corrected, Status(7)} {
+		if s.String() == "" {
+			t.Error("empty status string")
+		}
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	c, err := New(testM, Geometry4Bit, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := c.Encode(0x0123456789abcdef)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Decode(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeCorrect(b *testing.B) {
+	c, err := New(testM, Geometry4Bit, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := c.Encode(0x0123456789abcdef).FlipBit(22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Decode(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package poly
+
+import (
+	"math/bits"
+	"sort"
+
+	"polyecc/internal/residue"
+	"polyecc/internal/wideint"
+)
+
+// symDelta is one symbol-value adjustment: the value of symbol Sym is
+// believed to have increased by Delta in memory, so correction subtracts
+// Delta.
+type symDelta struct {
+	Sym   int
+	Delta int64
+}
+
+// correction is one error candidate: a set of symbol adjustments whose
+// combined error integer is congruent to the observed remainder. It is a
+// decoded P_ENTRY sub-entry (Figure 9(b)).
+type correction struct {
+	deltas []symDelta
+	valid  bool // survives the PRUNER for the word it was generated for
+}
+
+// cost orders corrections for the REORDERER: fewer touched symbols and
+// smaller magnitudes first.
+func (co correction) cost() int64 {
+	c := int64(len(co.deltas)) << 32
+	for _, d := range co.deltas {
+		if d.Delta >= 0 {
+			c += d.Delta
+		} else {
+			c -= d.Delta
+		}
+	}
+	return c
+}
+
+// applyCorrection subtracts a candidate error from a codeword. The bool
+// reports whether every symbol stayed in range (no underflow/overflow).
+func (c *Code) applyCorrection(w wideint.U192, co correction) (wideint.U192, bool) {
+	S := c.cfg.Geometry.SymbolBits
+	for _, sd := range co.deltas {
+		off := sd.Sym * S
+		v := int64(w.Field(off, S))
+		nv := v - sd.Delta
+		if nv < 0 || nv > c.maxSym() {
+			return w, false
+		}
+		w = w.WithField(off, S, uint64(nv))
+	}
+	return w, true
+}
+
+// flipsOf returns the XOR pattern a correction implies on one symbol of a
+// word, for fault-model consistency checks.
+func (c *Code) flipsOf(w wideint.U192, sd symDelta) (uint64, bool) {
+	S := c.cfg.Geometry.SymbolBits
+	off := sd.Sym * S
+	v := int64(w.Field(off, S))
+	nv := v - sd.Delta
+	if nv < 0 || nv > c.maxSym() {
+		return 0, false
+	}
+	return uint64(v ^ nv), true
+}
+
+// prune marks a correction valid if applying it to the word keeps every
+// symbol in range and the implied bit-flip pattern is consistent with the
+// fault model. This is the PRUNER & REORDERER's pruning half (§VI-C): an
+// aliased candidate that would underflow or overflow a symbol, or whose
+// flips could not have been produced by the model, cannot be the error.
+func (c *Code) prune(w wideint.U192, co correction, model FaultModel) bool {
+	for _, sd := range co.deltas {
+		flips, ok := c.flipsOf(w, sd)
+		if !ok {
+			return false
+		}
+		switch model {
+		case ModelDEC:
+			want := 1
+			if len(co.deltas) == 1 {
+				want = 2 // both flipped bits inside one symbol
+			}
+			if bits.OnesCount64(flips) != want {
+				return false
+			}
+		case ModelBFBF:
+			// Each bounded fault stays inside one beat-aligned nibble.
+			if flips == 0 || (flips&0xf != flips && flips&0xf0 != flips) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finishCandidates applies pruning policy and ordering to a raw list.
+func (c *Code) finishCandidates(w wideint.U192, raw []correction, model FaultModel) []correction {
+	out := raw[:0]
+	for _, co := range raw {
+		co.valid = c.prune(w, co, model)
+		if co.valid || c.cfg.DisablePrune {
+			out = append(out, co)
+		}
+	}
+	if !c.cfg.NaturalOrder {
+		sort.SliceStable(out, func(i, j int) bool {
+			if out[i].valid != out[j].valid {
+				return out[i].valid
+			}
+			return out[i].cost() < out[j].cost()
+		})
+	}
+	return out
+}
+
+// sscCandidates derives single-symbol candidates from Eq. 2 at runtime —
+// no table needed (§V-D).
+func (c *Code) sscCandidates(w wideint.U192, rem uint64) []correction {
+	var raw []correction
+	for _, cand := range residue.SymbolCandidates(rem, c.cfg.M, c.cfg.Geometry, c.inv) {
+		raw = append(raw, correction{deltas: []symDelta{{Sym: cand.Symbol, Delta: cand.Delta}}})
+	}
+	return c.finishCandidates(w, raw, ModelSSC)
+}
+
+// sscCandidatesAt restricts Eq. 2 to one hypothesized symbol (the
+// ChipKill hypothesis: a known failing device).
+func (c *Code) sscCandidatesAt(w wideint.U192, rem uint64, sym int) []correction {
+	var raw []correction
+	for _, cand := range residue.SymbolCandidates(rem, c.cfg.M, c.cfg.Geometry, c.inv) {
+		if cand.Symbol == sym {
+			raw = append(raw, correction{deltas: []symDelta{{Sym: cand.Symbol, Delta: cand.Delta}}})
+		}
+	}
+	return c.finishCandidates(w, raw, ModelChipKill)
+}
+
+// decCandidates reinterprets a remainder as a double-bit error: the
+// same-symbol pairs come from Eq. 2 (any single-symbol candidate whose
+// flip pattern has exactly two bits), the cross-symbol pairs from the DEC
+// hint table plus Eq. 3.
+func (c *Code) decCandidates(w wideint.U192, rem uint64) []correction {
+	var raw []correction
+	for _, cand := range residue.SymbolCandidates(rem, c.cfg.M, c.cfg.Geometry, c.inv) {
+		raw = append(raw, correction{deltas: []symDelta{{Sym: cand.Symbol, Delta: cand.Delta}}})
+	}
+	raw = append(raw, c.pairCandidates(rem, ModelDEC)...)
+	return c.finishCandidates(w, raw, ModelDEC)
+}
+
+// bfbfCandidates reinterprets a remainder as a double bounded fault
+// anywhere in the codeword (used by the aliasing-degree studies; the
+// corrector itself walks pair hypotheses via bfbfCandidatesAt).
+func (c *Code) bfbfCandidates(w wideint.U192, rem uint64) []correction {
+	raw := c.pairCandidates(rem, ModelBFBF)
+	return c.finishCandidates(w, raw, ModelBFBF)
+}
+
+// bfbfCandidatesAt restricts the double-bounded-fault hints to one
+// hypothesized device pair. The pair is a device-level event shared by
+// the whole cacheline, so the corrector iterates pairs the way it
+// iterates ChipKill devices.
+func (c *Code) bfbfCandidatesAt(w wideint.U192, rem uint64, devA, devB int) []correction {
+	var raw []correction
+	for _, h := range c.hints[ModelBFBF][rem] {
+		if int(h.symA) != devA || int(h.symB) != devB {
+			continue
+		}
+		dA, ok := residue.SolvePair(rem, devA, devB, int64(h.deltaB), c.cfg.M, c.cfg.Geometry, c.inv)
+		if !ok {
+			continue
+		}
+		raw = append(raw, correction{deltas: []symDelta{
+			{Sym: devA, Delta: dA},
+			{Sym: devB, Delta: int64(h.deltaB)},
+		}})
+	}
+	// A bounded fault on one device may leave the other device's symbol
+	// intact in this codeword: single-nibble candidates on either device.
+	for _, cand := range residue.SymbolCandidates(rem, c.cfg.M, c.cfg.Geometry, c.inv) {
+		if cand.Symbol == devA || cand.Symbol == devB {
+			raw = append(raw, correction{deltas: []symDelta{{Sym: cand.Symbol, Delta: cand.Delta}}})
+		}
+	}
+	return c.finishCandidates(w, raw, ModelBFBF)
+}
+
+// pairCandidates expands the stored hints of a double-symbol fault model:
+// each hint names the two faulty symbols and the second error; the first
+// is derived with Eq. 3.
+func (c *Code) pairCandidates(rem uint64, model FaultModel) []correction {
+	var out []correction
+	for _, h := range c.hints[model][rem] {
+		dA, ok := residue.SolvePair(rem, int(h.symA), int(h.symB), int64(h.deltaB), c.cfg.M, c.cfg.Geometry, c.inv)
+		if !ok {
+			continue
+		}
+		out = append(out, correction{deltas: []symDelta{
+			{Sym: int(h.symA), Delta: dA},
+			{Sym: int(h.symB), Delta: int64(h.deltaB)},
+		}})
+	}
+	return out
+}
+
+// buildDECHints enumerates every cross-symbol double-bit error and files
+// a hint (locations plus second delta) under its remainder. Same-symbol
+// pairs are recoverable from Eq. 2 directly and are not stored.
+func (c *Code) buildDECHints() map[uint64][]pairHint {
+	g := c.cfg.Geometry
+	table := make(map[uint64][]pairHint)
+	for sA := 0; sA < g.NumSymbols; sA++ {
+		for sB := sA + 1; sB < g.NumSymbols; sB++ {
+			for tA := 0; tA < g.SymbolBits; tA++ {
+				for tB := 0; tB < g.SymbolBits; tB++ {
+					for _, signA := range []int64{1, -1} {
+						for _, signB := range []int64{1, -1} {
+							dA := signA << uint(tA)
+							dB := signB << uint(tB)
+							rem := residue.SymbolErrorRemainder(dA, sA, c.cfg.M, g) +
+								residue.SymbolErrorRemainder(dB, sB, c.cfg.M, g)
+							rem %= c.cfg.M
+							table[rem] = append(table[rem], pairHint{symA: int8(sA), symB: int8(sB), deltaB: int32(dB)})
+						}
+					}
+				}
+			}
+		}
+	}
+	dedupeHints(table)
+	return table
+}
+
+// buildBFBFHints enumerates double bounded faults: two beat-aligned
+// nibble corruptions in different symbols (a bounded fault is what one
+// beat of one x4 device can corrupt).
+func (c *Code) buildBFBFHints() map[uint64][]pairHint {
+	g := c.cfg.Geometry
+	table := make(map[uint64][]pairHint)
+	nibbleDeltas := make([]int64, 0, 60)
+	for x := int64(1); x <= 15; x++ {
+		nibbleDeltas = append(nibbleDeltas, x, -x, x<<4, -(x << 4))
+	}
+	for sA := 0; sA < g.NumSymbols; sA++ {
+		for sB := sA + 1; sB < g.NumSymbols; sB++ {
+			for _, dA := range nibbleDeltas {
+				for _, dB := range nibbleDeltas {
+					rem := residue.SymbolErrorRemainder(dA, sA, c.cfg.M, g) +
+						residue.SymbolErrorRemainder(dB, sB, c.cfg.M, g)
+					rem %= c.cfg.M
+					table[rem] = append(table[rem], pairHint{symA: int8(sA), symB: int8(sB), deltaB: int32(dB)})
+				}
+			}
+		}
+	}
+	dedupeHints(table)
+	return table
+}
+
+// dedupeHints removes duplicate sub-entries within each remainder bucket
+// (distinct first-symbol deltas of one (pair, deltaB) combination always
+// share the derived value, so duplicates carry no information).
+func dedupeHints(table map[uint64][]pairHint) {
+	for rem, hs := range table {
+		seen := make(map[pairHint]bool, len(hs))
+		out := hs[:0]
+		for _, h := range hs {
+			if !seen[h] {
+				seen[h] = true
+				out = append(out, h)
+			}
+		}
+		table[rem] = out
+	}
+}
+
+// pinDeltaPatterns returns the signed in-symbol deltas a single failed
+// pin can produce on one codeword of the 8-bit-symbol layout: the pin's
+// bit in the first beat (bit k), in the second beat (bit k+4), or both.
+func pinDeltaPatterns() []pinPattern {
+	var out []pinPattern
+	for k := 0; k < 4; k++ {
+		for _, s1 := range []int64{-1, 0, 1} {
+			for _, s2 := range []int64{-1, 0, 1} {
+				if s1 == 0 && s2 == 0 {
+					continue
+				}
+				out = append(out, pinPattern{pin: k, delta: s1<<uint(k) + s2<<uint(k+4)})
+			}
+		}
+	}
+	return out
+}
+
+type pinPattern struct {
+	pin   int
+	delta int64
+}
+
+// chipKillPlus1Candidates generates per-word candidates under the
+// hypothesis (failed device a, second device b with failed pin k): the
+// pin contributes one of its patterns (or nothing) and device a's symbol
+// error is derived from the residual remainder via Eq. 2/Eq. 3.
+func (c *Code) chipKillPlus1Candidates(w wideint.U192, rem uint64, devA, devB, pin int, patterns []pinPattern) []correction {
+	var raw []correction
+	// Pin quiet on this codeword: pure device-a error.
+	for _, cand := range residue.SymbolCandidates(rem, c.cfg.M, c.cfg.Geometry, c.inv) {
+		if cand.Symbol == devA {
+			raw = append(raw, correction{deltas: []symDelta{{Sym: devA, Delta: cand.Delta}}})
+		}
+	}
+	for _, p := range patterns {
+		if p.pin != pin {
+			continue
+		}
+		// A failed pin only ever flips its own two in-symbol bits; drop
+		// deltas whose subtraction would borrow into other bits (the
+		// pin-side half of the PRUNER's model-consistency filtering).
+		if !c.pinDeltaConsistent(w, devB, pin, p.delta) {
+			continue
+		}
+		// Pin-only: the whole remainder explained by the pin pattern.
+		if residue.SymbolErrorRemainder(p.delta, devB, c.cfg.M, c.cfg.Geometry) == rem {
+			raw = append(raw, correction{deltas: []symDelta{{Sym: devB, Delta: p.delta}}})
+		}
+		// Pin plus device-a error.
+		if dA, ok := residue.SolvePair(rem, devA, devB, p.delta, c.cfg.M, c.cfg.Geometry, c.inv); ok {
+			raw = append(raw, correction{deltas: []symDelta{
+				{Sym: devA, Delta: dA},
+				{Sym: devB, Delta: p.delta},
+			}})
+		}
+	}
+	return c.finishCandidates(w, raw, ModelChipKillPlus1)
+}
+
+// pinDeltaConsistent checks that undoing delta on the device's symbol
+// flips only the two bits pin k drives (bits k and k+4 of the symbol).
+func (c *Code) pinDeltaConsistent(w wideint.U192, dev, pin int, delta int64) bool {
+	flips, ok := c.flipsOf(w, symDelta{Sym: dev, Delta: delta})
+	if !ok {
+		return false
+	}
+	allowed := uint64(1)<<uint(pin) | uint64(1)<<uint(pin+4)
+	return flips != 0 && flips&^allowed == 0
+}

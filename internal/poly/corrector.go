@@ -1,0 +1,322 @@
+package poly
+
+import "polyecc/internal/wideint"
+
+// Status classifies a DecodeLine outcome.
+type Status int
+
+const (
+	// StatusClean means all remainders were zero and the MAC matched.
+	StatusClean Status = iota
+	// StatusCorrected means one correction trial produced a MAC match.
+	// With probability ~2^-|MAC| per trial this can be a silent
+	// miscorrection (the SDC analysis of §VIII-C); callers measuring SDC
+	// compare the returned data against ground truth.
+	StatusCorrected
+	// StatusUncorrectable means every candidate of every enabled fault
+	// model was exhausted (or the iteration budget ran out) without a MAC
+	// match — a DUE.
+	StatusUncorrectable
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusClean:
+		return "clean"
+	case StatusCorrected:
+		return "corrected"
+	case StatusUncorrectable:
+		return "uncorrectable"
+	}
+	return "unknown"
+}
+
+// Report describes what DecodeLine did.
+type Report struct {
+	Status         Status
+	Model          FaultModel // the model that produced the match
+	Iterations     int        // correction trials (MAC recomputations)
+	CorruptedWords int        // codewords with nonzero remainder
+	ECCFixed       bool       // the Update-ECC step rewrote check bits
+}
+
+// DecodeLine runs the full read path of Figure 8: remainder computation,
+// MAC verification, and — on mismatch — iterative correction across the
+// configured fault models. It returns the (possibly corrected) data and a
+// report. When the status is StatusUncorrectable the data is the
+// best-effort assembly of the uncorrected line.
+func (c *Code) DecodeLine(l Line) ([LineBytes]byte, Report) {
+	rems := make([]uint64, c.words)
+	var corrupted []int
+	for i, w := range l.Words {
+		rems[i] = c.Remainder(w)
+		if rems[i] != 0 {
+			corrupted = append(corrupted, i)
+		}
+	}
+	var data [LineBytes]byte
+	rep := Report{CorruptedWords: len(corrupted)}
+
+	embedded := c.assemble(l.Words, &data)
+	if c.mac.Sum(data[:]) == embedded {
+		// All-zero remainders with a matching MAC is the common case; a
+		// nonzero remainder with a matching MAC means the corruption is
+		// confined to check bits — fix them from the intact payload
+		// (the Update-ECC path).
+		if len(corrupted) > 0 {
+			rep.Status = StatusCorrected
+			rep.Model = ModelSSC
+			rep.ECCFixed = true
+			return data, rep
+		}
+		rep.Status = StatusClean
+		return data, rep
+	}
+
+	remaining := c.cfg.MaxIterations // 0 = unlimited
+	var scratch [LineBytes]byte
+	for _, model := range c.models {
+		hit, words := c.tryModel(model, l.Words, rems, corrupted, &rep.Iterations, &remaining, &scratch)
+		if hit {
+			rep.Status = StatusCorrected
+			rep.Model = model
+			for i := range words {
+				canon := c.canonicalCheck(words[i])
+				if c.WordCheck(words[i]) != canon {
+					words[i] = words[i].WithField(0, c.k, canon)
+					rep.ECCFixed = true
+				}
+			}
+			c.assemble(words, &data)
+			return data, rep
+		}
+		if c.cfg.MaxIterations > 0 && remaining == 0 {
+			break
+		}
+	}
+	rep.Status = StatusUncorrectable
+	return data, rep
+}
+
+// tryModel enumerates a fault model's candidate space. It returns whether
+// a MAC match was found and, if so, the corrected codewords.
+func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, corrupted []int, iters, remaining *int, scratch *[LineBytes]byte) (bool, []wideint.U192) {
+	switch model {
+	case ModelChipKill:
+		// Hypothesis: device s failed. Errors are correlated — every
+		// corrupted codeword must decode at symbol s.
+		for s := 0; s < c.cfg.Geometry.NumSymbols; s++ {
+			lists := make([][]correction, len(corrupted))
+			ok := true
+			for d, wi := range corrupted {
+				lists[d] = c.sscCandidatesAt(base[wi], rems[wi], s)
+				if len(lists[d]) == 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if hit, words := c.runCounter(base, corrupted, lists, iters, remaining, scratch); hit {
+				return true, words
+			}
+			if c.cfg.MaxIterations > 0 && *remaining == 0 {
+				return false, nil
+			}
+		}
+		return false, nil
+
+	case ModelBFBF:
+		// Hypothesis: devices (a, b) each suffered a bounded fault — the
+		// fault pair is a device-level event, so it is correlated across
+		// the cacheline like ChipKill. Per codeword the nibble deltas
+		// come from the hint bucket filtered to the hypothesized pair.
+		n := c.cfg.Geometry.NumSymbols
+		for devA := 0; devA < n; devA++ {
+			for devB := devA + 1; devB < n; devB++ {
+				lists := make([][]correction, len(corrupted))
+				ok := true
+				for d, wi := range corrupted {
+					lists[d] = c.bfbfCandidatesAt(base[wi], rems[wi], devA, devB)
+					if len(lists[d]) == 0 {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				if hit, words := c.runCounter(base, corrupted, lists, iters, remaining, scratch); hit {
+					return true, words
+				}
+				if c.cfg.MaxIterations > 0 && *remaining == 0 {
+					return false, nil
+				}
+			}
+		}
+		return false, nil
+
+	case ModelChipKillPlus1:
+		patterns := pinDeltaPatterns()
+		n := c.cfg.Geometry.NumSymbols
+		// ChipKill+1 has errors that alias to remainder zero (the paper
+		// counts 218 for M=2005, §VIII-A): a device error cancelling the
+		// pin pattern mod M leaves a clean-looking codeword. With the
+		// two-phase option on, clean codewords join the hypothesis with a
+		// no-op candidate plus the zero-remainder pin+device pairs.
+		dims := corrupted
+		if c.cfg.TryZeroRemainder {
+			dims = make([]int, c.words)
+			for i := range dims {
+				dims[i] = i
+			}
+		}
+		for devA := 0; devA < n; devA++ {
+			for devB := 0; devB < n; devB++ {
+				if devB == devA {
+					continue
+				}
+				for pin := 0; pin < 4; pin++ {
+					lists := make([][]correction, len(dims))
+					ok := true
+					for d, wi := range dims {
+						lists[d] = c.chipKillPlus1Candidates(base[wi], rems[wi], devA, devB, pin, patterns)
+						if rems[wi] == 0 {
+							lists[d] = append([]correction{{valid: true}}, lists[d]...)
+						}
+						if len(lists[d]) == 0 {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+					if hit, words := c.runCounter(base, dims, lists, iters, remaining, scratch); hit {
+						return true, words
+					}
+					if c.cfg.MaxIterations > 0 && *remaining == 0 {
+						return false, nil
+					}
+				}
+			}
+		}
+		return false, nil
+
+	default:
+		// Independent per-codeword models: SSC, DEC, BF+BF.
+		dims := corrupted
+		if c.cfg.TryZeroRemainder && c.hints[model] != nil {
+			// Phase two (§VIII-A): errors aliasing to remainder zero are
+			// also considered, so clean-looking codewords get a no-op
+			// candidate plus the zero-remainder hint bucket.
+			dims = make([]int, c.words)
+			for i := range dims {
+				dims[i] = i
+			}
+		}
+		lists := make([][]correction, len(dims))
+		for d, wi := range dims {
+			lists[d] = c.modelCandidates(model, base[wi], rems[wi])
+			if rems[wi] == 0 {
+				lists[d] = append([]correction{{valid: true}}, lists[d]...)
+			}
+			if len(lists[d]) == 0 {
+				return false, nil
+			}
+		}
+		if len(dims) == 0 {
+			return false, nil
+		}
+		return c.runCounter(base, dims, lists, iters, remaining, scratch)
+	}
+}
+
+// modelCandidates dispatches per-codeword candidate generation.
+func (c *Code) modelCandidates(model FaultModel, w wideint.U192, rem uint64) []correction {
+	if rem == 0 {
+		if c.cfg.TryZeroRemainder && c.hints[model] != nil {
+			return c.pairCandidatesPruned(w, model)
+		}
+		return nil
+	}
+	switch model {
+	case ModelSSC:
+		return c.sscCandidates(w, rem)
+	case ModelDEC:
+		return c.decCandidates(w, rem)
+	case ModelBFBF:
+		return c.bfbfCandidates(w, rem)
+	}
+	return nil
+}
+
+// pairCandidatesPruned is the zero-remainder hint bucket with pruning.
+func (c *Code) pairCandidatesPruned(w wideint.U192, model FaultModel) []correction {
+	return c.finishCandidates(w, c.pairCandidates(0, model), model)
+}
+
+// runCounter is the ITER_DRVR of Figure 9(e), implementing Algorithm 2:
+// a multidimensional counter over the candidate lists of the corrupted
+// codewords. Each step selects one candidate per codeword, applies them
+// to a copy of the cacheline, and checks the MAC; the first match stops
+// the walk (the STOP signal).
+func (c *Code) runCounter(base []wideint.U192, dims []int, lists [][]correction, iters, remaining *int, scratch *[LineBytes]byte) (bool, []wideint.U192) {
+	if len(dims) == 0 {
+		// A residue-invisible error (every remainder zero) offers nothing
+		// to iterate over; only the zero-remainder phase can help.
+		return false, nil
+	}
+	// Precompute the corrected codeword for every candidate so each trial
+	// is an O(words) splice plus one MAC.
+	applied := make([][]wideint.U192, len(dims))
+	usable := make([][]bool, len(dims))
+	for d, wi := range dims {
+		applied[d] = make([]wideint.U192, len(lists[d]))
+		usable[d] = make([]bool, len(lists[d]))
+		for j, co := range lists[d] {
+			w, ok := c.applyCorrection(base[wi], co)
+			applied[d][j] = w
+			usable[d][j] = ok && co.valid
+		}
+	}
+	trial := make([]wideint.U192, len(base))
+	counters := make([]int, len(dims))
+	for {
+		copy(trial, base)
+		ok := true
+		for d, wi := range dims {
+			j := counters[d]
+			if !usable[d][j] {
+				ok = false
+				break
+			}
+			trial[wi] = applied[d][j]
+		}
+		*iters++
+		if ok && c.macMatches(trial, scratch) {
+			return true, trial
+		}
+		if c.cfg.MaxIterations > 0 {
+			*remaining--
+			if *remaining <= 0 {
+				*remaining = 0
+				return false, nil
+			}
+		}
+		// Algorithm 2: increment the lowest counter, carrying upward.
+		d := 0
+		for {
+			counters[d]++
+			if counters[d] < len(lists[d]) {
+				break
+			}
+			counters[d] = 0
+			d++
+			if d == len(dims) {
+				return false, nil // LAST_ITERATION
+			}
+		}
+	}
+}

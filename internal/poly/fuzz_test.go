@@ -1,0 +1,70 @@
+package poly
+
+import (
+	"testing"
+
+	"polyecc/internal/mac"
+	"polyecc/internal/wideint"
+)
+
+// FuzzDecodeLine throws arbitrary corruption at the decoder: it must
+// never panic, never claim Clean for a line whose MAC cannot match, and
+// whatever it returns as Corrected must verify (remainders zero, MAC
+// consistent). This is the robustness bar for a decoder that sits on a
+// memory controller's critical path.
+func FuzzDecodeLine(f *testing.F) {
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	var data [LineBytes]byte
+	clean := c.EncodeLine(&data)
+	f.Add(uint8(0), uint8(3), uint64(0x8000), uint64(0))
+	f.Add(uint8(7), uint8(79), uint64(1), uint64(1<<60))
+	f.Add(uint8(3), uint8(40), ^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, word, bit uint8, xorLo, xorHi uint64) {
+		l := clean.Clone()
+		w := int(word) % c.Words()
+		l.Words[w] = l.Words[w].Xor(wideint.U192{W0: xorLo, W1: xorHi & (1<<16 - 1)})
+		l.Words[(w+1)%c.Words()] = l.Words[(w+1)%c.Words()].FlipBit(int(bit) % 80)
+		got, rep := c.DecodeLine(l)
+		switch rep.Status {
+		case StatusClean:
+			if got != data {
+				t.Fatal("Clean with wrong data")
+			}
+		case StatusCorrected:
+			// Re-encode what it returned: all remainders must be zero and
+			// the embedded MAC must match (the decoder's own invariant).
+			re := c.EncodeLine(&got)
+			for i, wv := range re.Words {
+				if c.Remainder(wv) != 0 {
+					t.Fatalf("corrected word %d has nonzero remainder", i)
+				}
+			}
+		case StatusUncorrectable:
+			// Fine: arbitrary corruption may exceed every model.
+		default:
+			t.Fatalf("unknown status %v", rep.Status)
+		}
+	})
+}
+
+// FuzzEncodeWord checks the encode invariants over arbitrary payloads.
+func FuzzEncodeWord(f *testing.F) {
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, d, slice uint64) {
+		w := c.EncodeWord(wideint.FromUint64(d), slice)
+		if c.Remainder(w) != 0 {
+			t.Fatal("fresh codeword has nonzero remainder")
+		}
+		if got := c.WordData(w); got.W0 != d || got.W1 != 0 {
+			t.Fatal("data field mangled")
+		}
+		if c.WordMACSlice(w) != slice&(1<<5-1) {
+			t.Fatal("MAC slice mangled")
+		}
+		if w.BitLen() > 80 {
+			t.Fatal("codeword exceeds 80 bits")
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package poly
+
+import "sync"
+
+// ParallelDecoder fans DecodeLine out over a worker pool — the shape of a
+// memory controller serving several sub-channels at once, and the way the
+// Monte Carlo experiments use multicore hosts (the paper ran its DEC
+// campaign on 96 cores). A Code is immutable after construction, so the
+// workers share it safely.
+type ParallelDecoder struct {
+	code    *Code
+	workers int
+}
+
+// NewParallelDecoder builds a decoder pool; workers <= 0 selects a
+// single worker.
+func NewParallelDecoder(code *Code, workers int) *ParallelDecoder {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &ParallelDecoder{code: code, workers: workers}
+}
+
+// Result pairs one decode's output with its input index.
+type Result struct {
+	Index  int
+	Data   [LineBytes]byte
+	Report Report
+}
+
+// DecodeAll decodes every line concurrently and returns results indexed
+// like the input.
+func (p *ParallelDecoder) DecodeAll(lines []Line) []Result {
+	results := make([]Result, len(lines))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				data, rep := p.code.DecodeLine(lines[i])
+				results[i] = Result{Index: i, Data: data, Report: rep}
+			}
+		}()
+	}
+	for i := range lines {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

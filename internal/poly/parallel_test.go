@@ -1,0 +1,105 @@
+package poly
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"polyecc/internal/mac"
+)
+
+func TestParallelDecoderMatchesSerial(t *testing.T) {
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	r := rand.New(rand.NewSource(1))
+	const n = 64
+	lines := make([]Line, n)
+	truth := make([][LineBytes]byte, n)
+	for i := range lines {
+		truth[i] = randLine(r)
+		lines[i] = c.EncodeLine(&truth[i])
+		if i%3 == 0 {
+			lines[i].Words[r.Intn(8)] = lines[i].Words[0].FlipBit(r.Intn(80))
+		}
+		if i%3 == 1 {
+			// Symbol error.
+			w := r.Intn(8)
+			s := r.Intn(10)
+			old := lines[i].Words[w].Field(s*8, 8)
+			lines[i].Words[w] = lines[i].Words[w].WithField(s*8, 8, old^uint64(1+r.Intn(255)))
+		}
+	}
+	pd := NewParallelDecoder(c, runtime.GOMAXPROCS(0))
+	results := pd.DecodeAll(lines)
+	if len(results) != n {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, res := range results {
+		if res.Index != i {
+			t.Fatalf("result %d has index %d", i, res.Index)
+		}
+		wantData, wantRep := c.DecodeLine(lines[i])
+		if res.Data != wantData || res.Report != wantRep {
+			t.Fatalf("line %d: parallel result differs from serial", i)
+		}
+	}
+}
+
+func TestParallelDecoderWorkerClamping(t *testing.T) {
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	pd := NewParallelDecoder(c, -5)
+	var data [LineBytes]byte
+	res := pd.DecodeAll([]Line{c.EncodeLine(&data)})
+	if len(res) != 1 || res[0].Report.Status != StatusClean {
+		t.Fatal("single-worker fallback broken")
+	}
+	if out := pd.DecodeAll(nil); len(out) != 0 {
+		t.Fatal("empty input should return empty results")
+	}
+}
+
+// Race check: the same Code shared by many goroutines (run with -race).
+func TestParallelDecoderRace(t *testing.T) {
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	r := rand.New(rand.NewSource(2))
+	lines := make([]Line, 32)
+	for i := range lines {
+		d := randLine(r)
+		lines[i] = c.EncodeLine(&d)
+		lines[i].Words[0] = lines[i].Words[0].FlipBit(i % 80)
+	}
+	pd := NewParallelDecoder(c, 8)
+	for round := 0; round < 4; round++ {
+		for _, res := range pd.DecodeAll(lines) {
+			if res.Report.Status == StatusUncorrectable {
+				t.Fatal("single-bit flip uncorrectable")
+			}
+		}
+	}
+}
+
+func BenchmarkParallelDecode(b *testing.B) {
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	r := rand.New(rand.NewSource(3))
+	lines := make([]Line, 128)
+	for i := range lines {
+		d := randLine(r)
+		lines[i] = c.EncodeLine(&d)
+		w := r.Intn(8)
+		s := r.Intn(10)
+		old := lines[i].Words[w].Field(s*8, 8)
+		lines[i].Words[w] = lines[i].Words[w].WithField(s*8, 8, old^uint64(1+r.Intn(255)))
+	}
+	for _, workers := range []int{1, 4} {
+		name := "workers1"
+		if workers == 4 {
+			name = "workers4"
+		}
+		b.Run(name, func(b *testing.B) {
+			pd := NewParallelDecoder(c, workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pd.DecodeAll(lines)
+			}
+		})
+	}
+}

@@ -1,0 +1,373 @@
+// Package poly implements Polymorphic ECC, the primary contribution of
+// "Polymorphic Error Correction" (Manzhosov & Sethumadhavan, MICRO 2024).
+//
+// A 64-byte cacheline is protected by (1) a keyed MAC inlined with the
+// data and (2) a systematic residue code per DDR5 codeword. Each codeword
+// holds, from bit 0 upward: k check bits (k = bitlen(M)), a slice of the
+// cacheline MAC, and the data (Figure 6(b) of the paper). Check bits are
+// chosen so the codeword is ≡ 0 (mod M); a memory error with integer
+// value e leaves remainder R = e mod M.
+//
+// Error detection is the MAC comparison; error correction is iterative
+// (Figure 8): the same remainder R is reinterpreted under each supported
+// fault model — redundancy polymorphism — to derive candidate
+// corrections, which are tried in turn until the recomputed MAC matches
+// the embedded one (Corrected), the iteration budget is exhausted, or all
+// models run dry (a detected uncorrectable error, DUE).
+package poly
+
+import (
+	"fmt"
+	"math/bits"
+
+	"polyecc/internal/dram"
+	"polyecc/internal/mac"
+	"polyecc/internal/residue"
+	"polyecc/internal/wideint"
+)
+
+// FaultModel identifies one of the error families the corrector can
+// reinterpret a remainder under (§V-C, Table IV).
+type FaultModel int
+
+const (
+	// ModelChipKill is a whole-device failure: the same symbol position
+	// corrupted in every codeword of the cacheline.
+	ModelChipKill FaultModel = iota
+	// ModelSSC is an independent single-symbol error per codeword.
+	ModelSSC
+	// ModelDEC is two random single-bit errors per codeword.
+	ModelDEC
+	// ModelBFBF is a double bounded fault: two beat-aligned nibble
+	// corruptions in different symbols of a codeword.
+	ModelBFBF
+	// ModelChipKillPlus1 is a device failure plus a failed pin on a
+	// second device (§VIII-A).
+	ModelChipKillPlus1
+)
+
+func (m FaultModel) String() string {
+	switch m {
+	case ModelChipKill:
+		return "ChipKill"
+	case ModelSSC:
+		return "SSC"
+	case ModelDEC:
+		return "DEC"
+	case ModelBFBF:
+		return "BF+BF"
+	case ModelChipKillPlus1:
+		return "ChipKill+1"
+	}
+	return fmt.Sprintf("FaultModel(%d)", int(m))
+}
+
+// DefaultModels is the paper's recommended correction order: cheap,
+// correlated hypotheses first, the expensive independent ones last.
+var DefaultModels = []FaultModel{ModelChipKill, ModelSSC, ModelBFBF, ModelChipKillPlus1, ModelDEC}
+
+// Config selects a Polymorphic ECC instance.
+type Config struct {
+	Geometry residue.Geometry // symbols per codeword and symbol width
+	M        uint64           // the residue multiplier
+	Relaxed  bool             // admit within-symbol aliasing (16-bit regime)
+
+	// Models is the fault-model correction order; nil means DefaultModels.
+	Models []FaultModel
+	// MaxIterations caps correction trials per cacheline (the N_max bound
+	// of §VIII-C); 0 means unlimited.
+	MaxIterations int
+	// DisablePrune turns off the PRUNER (overflow/underflow and
+	// fault-model-consistency filtering) for ablation studies.
+	DisablePrune bool
+	// NaturalOrder turns off the REORDERER (candidates tried in
+	// generation order) for ablation studies.
+	NaturalOrder bool
+	// TryZeroRemainder enables the second correction phase of §VIII-A for
+	// errors that alias to remainder zero.
+	TryZeroRemainder bool
+}
+
+// The paper's DDR5 configurations (Table IV).
+
+// ConfigM511 is the 8-bit-symbol code with the smallest multiplier,
+// leaving a 56-bit cacheline MAC.
+func ConfigM511() Config { return Config{Geometry: residue.DDR5x8, M: 511} }
+
+// ConfigM1021 is the 8-bit-symbol code with a 48-bit MAC that also
+// supports DEC.
+func ConfigM1021() Config { return Config{Geometry: residue.DDR5x8, M: 1021} }
+
+// ConfigM2005 is the paper's flagship 8-bit-symbol code: 40-bit MAC and
+// support for SSC, DEC, BF+BF, and ChipKill+1.
+func ConfigM2005() Config { return Config{Geometry: residue.DDR5x8, M: 2005} }
+
+// ConfigM131049 is the 16-bit-symbol code: 60-bit MAC, SSC and DEC.
+func ConfigM131049() Config {
+	return Config{
+		Geometry: residue.DDR5x16,
+		M:        131049,
+		Relaxed:  true,
+		Models:   []FaultModel{ModelChipKill, ModelSSC, ModelDEC},
+	}
+}
+
+// LineBytes is the protected cacheline size.
+const LineBytes = 64
+
+// Code is a ready-to-use Polymorphic ECC instance. It is safe for
+// concurrent use once built.
+type Code struct {
+	cfg      Config
+	mac      mac.MAC
+	k        int // check bits per codeword = bitlen(M)
+	dataBits int // data bits per codeword
+	macBits  int // MAC slice bits per codeword
+	words    int // codewords per cacheline
+	inv      []uint64
+	models   []FaultModel
+
+	hints map[FaultModel]map[uint64][]pairHint
+}
+
+// pairHint is a stored sub-entry for a double-symbol fault model: the
+// locations of both faulty symbols and the error of the second; the first
+// is derived at runtime with Eq. 3 (§V-D, §VI-B).
+type pairHint struct {
+	symA, symB int8
+	deltaB     int32 // symbol-level signed delta of symbol B
+}
+
+// New builds a Code. The MAC's width must equal the free MAC bits of the
+// configuration (macBits per codeword × codewords per line).
+func New(cfg Config, m mac.MAC) (*Code, error) {
+	g := cfg.Geometry
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	wordGeo := dram.WordGeometry{SymbolBits: g.SymbolBits}
+	if err := wordGeo.Validate(); err != nil {
+		return nil, err
+	}
+	if g.CodewordBits() != wordGeo.WordBits() {
+		return nil, fmt.Errorf("poly: geometry %+v does not match the DDR5 channel", g)
+	}
+	ok := false
+	if cfg.Relaxed {
+		ok, _ = residue.CheckMultiplierRelaxed(cfg.M, g)
+	} else {
+		ok, _ = residue.CheckMultiplier(cfg.M, g)
+	}
+	if !ok {
+		return nil, fmt.Errorf("poly: multiplier %d does not define a code for %+v (relaxed=%v)", cfg.M, g, cfg.Relaxed)
+	}
+	words := wordGeo.WordsPerBurst()
+	dataBits := LineBytes * 8 / words
+	k := bits.Len64(cfg.M)
+	macBits := g.CodewordBits() - dataBits - k
+	if macBits < 0 {
+		return nil, fmt.Errorf("poly: multiplier %d needs %d check bits, leaving no room for data", cfg.M, k)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("poly: a MAC is required")
+	}
+	if m.Bits() != macBits*words {
+		return nil, fmt.Errorf("poly: MAC is %d bits, configuration embeds %d", m.Bits(), macBits*words)
+	}
+	inv, err := residue.Pow2Inverses(cfg.M, g)
+	if err != nil {
+		return nil, err
+	}
+	models := cfg.Models
+	if models == nil {
+		models = DefaultModels
+	}
+	c := &Code{
+		cfg:      cfg,
+		mac:      m,
+		k:        k,
+		dataBits: dataBits,
+		macBits:  macBits,
+		words:    words,
+		inv:      inv,
+		models:   models,
+		hints:    make(map[FaultModel]map[uint64][]pairHint),
+	}
+	for _, fm := range models {
+		switch fm {
+		case ModelDEC:
+			c.hints[ModelDEC] = c.buildDECHints()
+		case ModelBFBF:
+			if g.SymbolBits != 8 {
+				return nil, fmt.Errorf("poly: BF+BF hints implemented for 8-bit symbols only")
+			}
+			c.hints[ModelBFBF] = c.buildBFBFHints()
+		}
+	}
+	return c, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config, m mac.MAC) *Code {
+	c, err := New(cfg, m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// M returns the multiplier.
+func (c *Code) M() uint64 { return c.cfg.M }
+
+// CheckBits returns the redundancy bits per codeword.
+func (c *Code) CheckBits() int { return c.k }
+
+// MACBitsPerWord returns the MAC slice width per codeword.
+func (c *Code) MACBitsPerWord() int { return c.macBits }
+
+// LineMACBits returns the total inlined MAC width per cacheline.
+func (c *Code) LineMACBits() int { return c.macBits * c.words }
+
+// Words returns the codewords per cacheline.
+func (c *Code) Words() int { return c.words }
+
+// Geometry returns the symbol geometry.
+func (c *Code) Geometry() residue.Geometry { return c.cfg.Geometry }
+
+// HintTableEntries returns the stored sub-entry count of a fault model's
+// hint table (0 when the model derives candidates purely at runtime).
+// Table VI's hint-storage rows are computed from these counts.
+func (c *Code) HintTableEntries(m FaultModel) int {
+	n := 0
+	for _, hs := range c.hints[m] {
+		n += len(hs)
+	}
+	return n
+}
+
+// --- Codeword encode/decode -----------------------------------------------
+
+// maxSym returns the largest symbol value.
+func (c *Code) maxSym() int64 { return int64(1)<<uint(c.cfg.Geometry.SymbolBits) - 1 }
+
+// EncodeWord builds a codeword from dataBits of data (low bits of data,
+// which may span two limbs for the 16-bit configuration) and a macBits
+// MAC slice: V = (data ‖ slice) << k, check = (-V) mod M, C = V | check.
+func (c *Code) EncodeWord(data wideint.U192, slice uint64) wideint.U192 {
+	payload := data.Lsh(uint(c.macBits)).Or(wideint.FromUint64(mac.Truncate(slice, c.macBits)))
+	v := payload.Lsh(uint(c.k))
+	r := v.Mod64(c.cfg.M)
+	check := (c.cfg.M - r) % c.cfg.M
+	return v.Or(wideint.FromUint64(check))
+}
+
+// Remainder returns C mod M — zero for an intact codeword.
+func (c *Code) Remainder(w wideint.U192) uint64 { return w.Mod64(c.cfg.M) }
+
+// WordData extracts the data field of a codeword.
+func (c *Code) WordData(w wideint.U192) wideint.U192 {
+	return w.Rsh(uint(c.k + c.macBits)).And(wideint.Mask(0, c.dataBits))
+}
+
+// WordMACSlice extracts the MAC slice of a codeword.
+func (c *Code) WordMACSlice(w wideint.U192) uint64 {
+	return w.Field(c.k, c.macBits)
+}
+
+// WordCheck extracts the stored check bits of a codeword.
+func (c *Code) WordCheck(w wideint.U192) uint64 {
+	return w.Field(0, c.k)
+}
+
+// canonicalCheck returns the check bits implied by a codeword's payload.
+func (c *Code) canonicalCheck(w wideint.U192) uint64 {
+	v := w.Rsh(uint(c.k)).Lsh(uint(c.k))
+	r := v.Mod64(c.cfg.M)
+	return (c.cfg.M - r) % c.cfg.M
+}
+
+// --- Cacheline encode/decode ----------------------------------------------
+
+// Line is an encoded cacheline: one residue codeword per DDR5 burst
+// slice, with the MAC distributed across the codewords (Figure 6(a)).
+type Line struct {
+	Words []wideint.U192
+}
+
+// Clone deep-copies a Line.
+func (l Line) Clone() Line {
+	w := make([]wideint.U192, len(l.Words))
+	copy(w, l.Words)
+	return Line{Words: w}
+}
+
+// EncodeLine protects a 64-byte cacheline: the MAC is computed over the
+// data, sliced evenly across the codewords, and each codeword's check
+// bits cover its data and MAC slice.
+func (c *Code) EncodeLine(data *[LineBytes]byte) Line {
+	tag := c.mac.Sum(data[:])
+	words := make([]wideint.U192, c.words)
+	for w := 0; w < c.words; w++ {
+		d := c.dataField(data, w)
+		slice := tag >> uint(w*c.macBits) & (1<<uint(c.macBits) - 1)
+		words[w] = c.EncodeWord(d, slice)
+	}
+	return Line{Words: words}
+}
+
+// dataField extracts codeword w's data bits from the cacheline.
+func (c *Code) dataField(data *[LineBytes]byte, w int) wideint.U192 {
+	nBytes := c.dataBits / 8
+	return wideint.FromBytes(reverseBytes(data[w*nBytes : (w+1)*nBytes]))
+}
+
+// reverseBytes maps the little-endian line layout into FromBytes's
+// big-endian argument order.
+func reverseBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		out[len(b)-1-i] = v
+	}
+	return out
+}
+
+// assemble reconstructs the data bytes and the embedded MAC of a line.
+func (c *Code) assemble(words []wideint.U192, data *[LineBytes]byte) (embedded uint64) {
+	nBytes := c.dataBits / 8
+	for w, word := range words {
+		d := c.WordData(word)
+		for i := 0; i < nBytes; i++ {
+			data[w*nBytes+i] = byte(d.Field(8*i, 8))
+		}
+		embedded |= c.WordMACSlice(word) << uint(w*c.macBits)
+	}
+	return embedded
+}
+
+// macMatches recomputes the MAC over assembled data and compares it to
+// the embedded slices. It is the per-iteration check of Figure 8.
+func (c *Code) macMatches(words []wideint.U192, scratch *[LineBytes]byte) bool {
+	embedded := c.assemble(words, scratch)
+	return c.mac.Sum(scratch[:]) == embedded
+}
+
+// ToBurst lays an encoded line onto the DDR5 wire (for experiments that
+// inject physical faults shared with the baseline codes).
+func (c *Code) ToBurst(l Line) dram.Burst {
+	g := dram.WordGeometry{SymbolBits: c.cfg.Geometry.SymbolBits}
+	var b dram.Burst
+	for w, word := range l.Words {
+		g.SetWord(&b, w, word)
+	}
+	return b
+}
+
+// FromBurst reads an encoded line off the wire.
+func (c *Code) FromBurst(b *dram.Burst) Line {
+	g := dram.WordGeometry{SymbolBits: c.cfg.Geometry.SymbolBits}
+	words := make([]wideint.U192, c.words)
+	for w := range words {
+		words[w] = g.Word(b, w)
+	}
+	return Line{Words: words}
+}

@@ -1,0 +1,507 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+
+	"polyecc/internal/mac"
+	"polyecc/internal/residue"
+	"polyecc/internal/wideint"
+)
+
+var testKey = [16]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+
+func newM2005(t testing.TB) *Code {
+	t.Helper()
+	c, err := New(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randLine(r *rand.Rand) [LineBytes]byte {
+	var d [LineBytes]byte
+	r.Read(d[:])
+	return d
+}
+
+func TestConfigPresets(t *testing.T) {
+	cases := []struct {
+		cfg     Config
+		macBits int
+		words   int
+		check   int
+	}{
+		{ConfigM511(), 56, 8, 9},
+		{ConfigM1021(), 48, 8, 10},
+		{ConfigM2005(), 40, 8, 11},
+		{ConfigM131049(), 60, 4, 17},
+	}
+	for _, cse := range cases {
+		c, err := New(cse.cfg, mac.MustSipHash(testKey, cse.macBits))
+		if err != nil {
+			t.Fatalf("M=%d: %v", cse.cfg.M, err)
+		}
+		if c.LineMACBits() != cse.macBits {
+			t.Errorf("M=%d: LineMACBits = %d, want %d", cse.cfg.M, c.LineMACBits(), cse.macBits)
+		}
+		if c.Words() != cse.words {
+			t.Errorf("M=%d: Words = %d, want %d", cse.cfg.M, c.Words(), cse.words)
+		}
+		if c.CheckBits() != cse.check {
+			t.Errorf("M=%d: CheckBits = %d, want %d", cse.cfg.M, c.CheckBits(), cse.check)
+		}
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	if _, err := New(Config{Geometry: residue.DDR5x8, M: 510}, mac.MustSipHash(testKey, 40)); err == nil {
+		t.Error("even multiplier accepted")
+	}
+	if _, err := New(ConfigM2005(), mac.MustSipHash(testKey, 39)); err == nil {
+		t.Error("wrong MAC width accepted")
+	}
+	if _, err := New(ConfigM2005(), nil); err == nil {
+		t.Error("nil MAC accepted")
+	}
+	// 131049 requires the relaxed mode.
+	cfg := ConfigM131049()
+	cfg.Relaxed = false
+	if _, err := New(cfg, mac.MustSipHash(testKey, 60)); err == nil {
+		t.Error("strict mode should reject 131049")
+	}
+}
+
+func TestEncodeWordRemainderZero(t *testing.T) {
+	c := newM2005(t)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		w := c.EncodeWord(wideint.FromUint64(r.Uint64()), r.Uint64())
+		if c.Remainder(w) != 0 {
+			t.Fatal("fresh codeword has nonzero remainder")
+		}
+		if w.BitLen() > 80 {
+			t.Fatalf("codeword exceeds 80 bits: %v", w)
+		}
+	}
+}
+
+func TestWordFieldExtraction(t *testing.T) {
+	c := newM2005(t)
+	data := wideint.FromUint64(0x0123456789abcdef)
+	w := c.EncodeWord(data, 0x15)
+	if got := c.WordData(w); got != data {
+		t.Fatalf("WordData = %v, want %v", got, data)
+	}
+	if got := c.WordMACSlice(w); got != 0x15 {
+		t.Fatalf("WordMACSlice = %#x, want 0x15", got)
+	}
+	if got := c.WordCheck(w); got != c.canonicalCheck(w) {
+		t.Fatalf("stored check %#x differs from canonical %#x", got, c.canonicalCheck(w))
+	}
+}
+
+func TestEncodeDecodeLineClean(t *testing.T) {
+	c := newM2005(t)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		data := randLine(r)
+		l := c.EncodeLine(&data)
+		got, rep := c.DecodeLine(l)
+		if rep.Status != StatusClean || rep.Iterations != 0 {
+			t.Fatalf("clean line: %+v", rep)
+		}
+		if got != data {
+			t.Fatal("clean decode corrupted data")
+		}
+	}
+}
+
+// Every single-bit flip in any codeword (including MAC slice and check
+// bits) must be corrected back to the original data.
+func TestSingleBitErrorsAllPositions(t *testing.T) {
+	c := newM2005(t)
+	r := rand.New(rand.NewSource(3))
+	data := randLine(r)
+	l := c.EncodeLine(&data)
+	for w := 0; w < c.Words(); w++ {
+		for bit := 0; bit < 80; bit++ {
+			bad := l.Clone()
+			bad.Words[w] = bad.Words[w].FlipBit(bit)
+			got, rep := c.DecodeLine(bad)
+			if rep.Status != StatusCorrected {
+				t.Fatalf("word %d bit %d: status %v", w, bit, rep.Status)
+			}
+			if got != data {
+				t.Fatalf("word %d bit %d: wrong data", w, bit)
+			}
+		}
+	}
+}
+
+// The paper's §V-C worked example: a bit flip in the MAC slice of one
+// codeword yields remainder 86 (error candidates (86, sym 0) then
+// (16, sym 1)); the second candidate corrects it, so correction takes at
+// most two iterations.
+func TestPaperWorkedExample(t *testing.T) {
+	c := newM2005(t)
+	r := rand.New(rand.NewSource(4))
+	for {
+		data := randLine(r)
+		l := c.EncodeLine(&data)
+		// Need bit 12 (inside the MAC slice, symbol 1) to be 0 so the
+		// flip is a +2^12 error with remainder 4096 mod 2005 = 86.
+		if l.Words[0].Bit(12) != 0 {
+			continue
+		}
+		bad := l.Clone()
+		bad.Words[0] = bad.Words[0].FlipBit(12)
+		if got := c.Remainder(bad.Words[0]); got != 86 {
+			t.Fatalf("remainder = %d, want 86", got)
+		}
+		got, rep := c.DecodeLine(bad)
+		if rep.Status != StatusCorrected || got != data {
+			t.Fatalf("correction failed: %+v", rep)
+		}
+		if rep.Iterations > 2 {
+			t.Fatalf("iterations = %d, want <= 2", rep.Iterations)
+		}
+		return
+	}
+}
+
+// ChipKill: corrupt the same symbol in every codeword. Must be corrected,
+// and cheaply (the paper reports ~1 iteration).
+func TestChipKillFault(t *testing.T) {
+	c := newM2005(t)
+	r := rand.New(rand.NewSource(5))
+	var totalIters int
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		data := randLine(r)
+		l := c.EncodeLine(&data)
+		dev := r.Intn(10)
+		bad := l.Clone()
+		for w := range bad.Words {
+			bad.Words[w] = bad.Words[w].WithField(dev*8, 8, uint64(r.Intn(256)))
+		}
+		got, rep := c.DecodeLine(bad)
+		if rep.Status != StatusCorrected && rep.Status != StatusClean {
+			t.Fatalf("trial %d: status %v after %d iters", i, rep.Status, rep.Iterations)
+		}
+		if got != data {
+			t.Fatalf("trial %d: wrong data", i)
+		}
+		totalIters += rep.Iterations
+	}
+	if avg := float64(totalIters) / trials; avg > 12 {
+		t.Errorf("ChipKill average iterations = %.1f, expected ~1", avg)
+	}
+}
+
+// SSC: an independent random symbol error in every codeword.
+func TestSSCFault(t *testing.T) {
+	c := newM2005(t)
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		data := randLine(r)
+		l := c.EncodeLine(&data)
+		bad := l.Clone()
+		for w := range bad.Words {
+			s := r.Intn(10)
+			old := bad.Words[w].Field(s*8, 8)
+			bad.Words[w] = bad.Words[w].WithField(s*8, 8, old^uint64(1+r.Intn(255)))
+		}
+		got, rep := c.DecodeLine(bad)
+		if rep.Status != StatusCorrected || got != data {
+			t.Fatalf("trial %d: %+v", i, rep)
+		}
+	}
+}
+
+// DEC: two random bit flips per codeword (restricted to a few codewords
+// to keep the iteration space small in tests).
+func TestDECFault(t *testing.T) {
+	c := newM2005(t)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 30; i++ {
+		data := randLine(r)
+		l := c.EncodeLine(&data)
+		bad := l.Clone()
+		for _, w := range []int{0, 3} {
+			b1 := r.Intn(80)
+			b2 := r.Intn(80)
+			for b2 == b1 {
+				b2 = r.Intn(80)
+			}
+			bad.Words[w] = bad.Words[w].FlipBit(b1).FlipBit(b2)
+		}
+		got, rep := c.DecodeLine(bad)
+		if rep.Status != StatusCorrected || got != data {
+			t.Fatalf("trial %d: %+v", i, rep)
+		}
+	}
+}
+
+// BF+BF: two beat-aligned nibble corruptions per codeword on one device
+// pair. The pair is a device-level event shared by the cacheline (the
+// "aligned" double bounded fault), while the corrupted nibbles and values
+// vary per codeword.
+func TestBFBFFault(t *testing.T) {
+	c := newM2005(t)
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 30; i++ {
+		data := randLine(r)
+		l := c.EncodeLine(&data)
+		s1 := r.Intn(10)
+		s2 := r.Intn(10)
+		for s2 == s1 {
+			s2 = r.Intn(10)
+		}
+		bad := l.Clone()
+		for w := range bad.Words {
+			for _, s := range []int{s1, s2} {
+				half := r.Intn(2)
+				off := s*8 + 4*half
+				old := bad.Words[w].Field(off, 4)
+				bad.Words[w] = bad.Words[w].WithField(off, 4, old^uint64(1+r.Intn(15)))
+			}
+		}
+		got, rep := c.DecodeLine(bad)
+		if rep.Status != StatusCorrected || got != data {
+			t.Fatalf("trial %d: %+v", i, rep)
+		}
+	}
+}
+
+// ChipKill+1: a dead device plus a stuck pin on a second device.
+func TestChipKillPlus1Fault(t *testing.T) {
+	c := newM2005(t)
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		data := randLine(r)
+		l := c.EncodeLine(&data)
+		devA := r.Intn(10)
+		devB := r.Intn(10)
+		for devB == devA {
+			devB = r.Intn(10)
+		}
+		pin := r.Intn(4)
+		bad := l.Clone()
+		for w := range bad.Words {
+			// Device A: random symbol value.
+			bad.Words[w] = bad.Words[w].WithField(devA*8, 8, uint64(r.Intn(256)))
+			// Device B: pin stuck at 1 (bits pin and pin+4 forced high).
+			old := bad.Words[w].Field(devB*8, 8)
+			bad.Words[w] = bad.Words[w].WithField(devB*8, 8, old|1<<uint(pin)|1<<uint(pin+4))
+		}
+		got, rep := c.DecodeLine(bad)
+		if rep.Status != StatusCorrected && rep.Status != StatusClean {
+			t.Fatalf("trial %d: status %v iters %d", i, rep.Status, rep.Iterations)
+		}
+		if got != data {
+			t.Fatalf("trial %d: wrong data", i)
+		}
+	}
+}
+
+// Corruption confined to check bits: MAC still matches, Update-ECC fixes.
+func TestCheckBitOnlyError(t *testing.T) {
+	c := newM2005(t)
+	r := rand.New(rand.NewSource(10))
+	data := randLine(r)
+	l := c.EncodeLine(&data)
+	bad := l.Clone()
+	bad.Words[2] = bad.Words[2].FlipBit(3) // inside the 11 check bits
+	got, rep := c.DecodeLine(bad)
+	if rep.Status != StatusCorrected || !rep.ECCFixed {
+		t.Fatalf("check-bit error: %+v", rep)
+	}
+	if got != data {
+		t.Fatal("data corrupted")
+	}
+}
+
+// A three-symbol error per codeword is beyond every enabled model: DUE.
+func TestUncorrectableError(t *testing.T) {
+	cfg := ConfigM2005()
+	cfg.Models = []FaultModel{ModelChipKill, ModelSSC, ModelBFBF} // keep the test fast
+	c := MustNew(cfg, mac.MustSipHash(testKey, 40))
+	r := rand.New(rand.NewSource(11))
+	data := randLine(r)
+	l := c.EncodeLine(&data)
+	bad := l.Clone()
+	for w := range bad.Words {
+		for _, s := range []int{0, 4, 7} {
+			old := bad.Words[w].Field(s*8, 8)
+			bad.Words[w] = bad.Words[w].WithField(s*8, 8, old^uint64(1+r.Intn(255)))
+		}
+	}
+	_, rep := c.DecodeLine(bad)
+	if rep.Status != StatusUncorrectable {
+		t.Fatalf("status %v, want uncorrectable", rep.Status)
+	}
+	// Iterations may legitimately be zero: every hypothesis can die at
+	// candidate-list construction before a single MAC trial.
+}
+
+// The MaxIterations budget (N_max of §VIII-C) converts long corrections
+// into DUEs.
+func TestIterationBudget(t *testing.T) {
+	cfg := ConfigM2005()
+	cfg.MaxIterations = 5
+	c := MustNew(cfg, mac.MustSipHash(testKey, 40))
+	r := rand.New(rand.NewSource(12))
+	data := randLine(r)
+	l := c.EncodeLine(&data)
+	bad := l.Clone()
+	for w := range bad.Words {
+		for _, s := range []int{0, 4, 7} {
+			old := bad.Words[w].Field(s*8, 8)
+			bad.Words[w] = bad.Words[w].WithField(s*8, 8, old^uint64(1+r.Intn(255)))
+		}
+	}
+	_, rep := c.DecodeLine(bad)
+	if rep.Status != StatusUncorrectable {
+		t.Fatalf("status %v", rep.Status)
+	}
+	if rep.Iterations > 5 {
+		t.Fatalf("iterations = %d exceeds budget 5", rep.Iterations)
+	}
+}
+
+// The 16-bit-symbol configuration must also correct single-symbol faults.
+func TestSixteenBitSymbols(t *testing.T) {
+	c := MustNew(ConfigM131049(), mac.MustSipHash(testKey, 60))
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 20; i++ {
+		data := randLine(r)
+		l := c.EncodeLine(&data)
+		bad := l.Clone()
+		for w := range bad.Words {
+			s := r.Intn(10)
+			old := bad.Words[w].Field(s*16, 16)
+			bad.Words[w] = bad.Words[w].WithField(s*16, 16, old^uint64(1+r.Intn(65535)))
+		}
+		got, rep := c.DecodeLine(bad)
+		if rep.Status != StatusCorrected || got != data {
+			t.Fatalf("trial %d: %+v", i, rep)
+		}
+	}
+}
+
+// DEC hint table cardinality: 45 symbol pairs x 16 x 16 signed bit pairs.
+func TestDECHintTableSize(t *testing.T) {
+	c := newM2005(t)
+	if got := c.HintTableEntries(ModelDEC); got != 45*16*16 {
+		t.Fatalf("DEC hint entries = %d, want %d", got, 45*16*16)
+	}
+}
+
+// BF+BF hint table cardinality: 45 pairs x 60 x 60 nibble deltas.
+func TestBFBFHintTableSize(t *testing.T) {
+	c := newM2005(t)
+	if got := c.HintTableEntries(ModelBFBF); got != 45*60*60 {
+		t.Fatalf("BF+BF hint entries = %d, want %d", got, 45*60*60)
+	}
+}
+
+// Burst round trip: EncodeLine -> wire -> FromBurst -> DecodeLine.
+func TestBurstRoundTrip(t *testing.T) {
+	c := newM2005(t)
+	r := rand.New(rand.NewSource(14))
+	data := randLine(r)
+	l := c.EncodeLine(&data)
+	b := c.ToBurst(l)
+	l2 := c.FromBurst(&b)
+	for w := range l.Words {
+		if l.Words[w] != l2.Words[w] {
+			t.Fatalf("word %d changed across the wire", w)
+		}
+	}
+	got, rep := c.DecodeLine(l2)
+	if rep.Status != StatusClean || got != data {
+		t.Fatal("wire round trip failed")
+	}
+}
+
+// Ablation: with pruning disabled the corrector must still correct, just
+// with at least as many iterations.
+func TestPruningAblation(t *testing.T) {
+	cfgOn := ConfigM2005()
+	cfgOff := ConfigM2005()
+	cfgOff.DisablePrune = true
+	on := MustNew(cfgOn, mac.MustSipHash(testKey, 40))
+	off := MustNew(cfgOff, mac.MustSipHash(testKey, 40))
+	r := rand.New(rand.NewSource(15))
+	var itersOn, itersOff int
+	for i := 0; i < 20; i++ {
+		data := randLine(r)
+		l := on.EncodeLine(&data)
+		bad := l.Clone()
+		for w := range bad.Words {
+			s := r.Intn(10)
+			old := bad.Words[w].Field(s*8, 8)
+			bad.Words[w] = bad.Words[w].WithField(s*8, 8, old^uint64(1+r.Intn(255)))
+		}
+		gotOn, repOn := on.DecodeLine(bad.Clone())
+		gotOff, repOff := off.DecodeLine(bad.Clone())
+		if repOn.Status != StatusCorrected || repOff.Status != StatusCorrected {
+			t.Fatalf("trial %d: on=%v off=%v", i, repOn.Status, repOff.Status)
+		}
+		if gotOn != data || gotOff != data {
+			t.Fatalf("trial %d: data mismatch", i)
+		}
+		itersOn += repOn.Iterations
+		itersOff += repOff.Iterations
+	}
+	if itersOff < itersOn {
+		t.Errorf("pruning should not increase iterations: on=%d off=%d", itersOn, itersOff)
+	}
+}
+
+func TestFaultModelString(t *testing.T) {
+	for _, m := range []FaultModel{ModelChipKill, ModelSSC, ModelDEC, ModelBFBF, ModelChipKillPlus1, FaultModel(42)} {
+		if m.String() == "" {
+			t.Error("empty model name")
+		}
+	}
+	for _, s := range []Status{StatusClean, StatusCorrected, StatusUncorrectable, Status(9)} {
+		if s.String() == "" {
+			t.Error("empty status name")
+		}
+	}
+}
+
+func BenchmarkEncodeLine(b *testing.B) {
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	var data [LineBytes]byte
+	b.SetBytes(LineBytes)
+	for i := 0; i < b.N; i++ {
+		c.EncodeLine(&data)
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	var data [LineBytes]byte
+	l := c.EncodeLine(&data)
+	b.SetBytes(LineBytes)
+	for i := 0; i < b.N; i++ {
+		c.DecodeLine(l)
+	}
+}
+
+func BenchmarkCorrectSingleBit(b *testing.B) {
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	var data [LineBytes]byte
+	l := c.EncodeLine(&data)
+	l.Words[0] = l.Words[0].FlipBit(20)
+	for i := 0; i < b.N; i++ {
+		_, rep := c.DecodeLine(l)
+		if rep.Status != StatusCorrected {
+			b.Fatal("not corrected")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"polyecc/internal/mac"
+	"polyecc/internal/wideint"
+)
+
+// weakMAC is an intentionally broken MAC whose tag ignores most of the
+// data: it forces the MAC-collision behaviour that a real 40-bit MAC
+// exhibits with probability 2^-40, so the SDC path of §VIII-C becomes
+// testable.
+type weakMAC struct {
+	bits int
+}
+
+func (w weakMAC) Bits() int { return w.bits }
+
+// Sum hashes only the first byte, so almost every correction candidate
+// "verifies".
+func (w weakMAC) Sum(data []byte) uint64 {
+	return mac.Truncate(uint64(data[0])*0x9e3779b97f4a7c15, w.bits)
+}
+
+// With a colliding MAC, the corrector accepts the first candidate that
+// restores residue consistency — usually the wrong one. That is exactly
+// the silent-data-corruption mechanism the paper quantifies, so the
+// decode must report Corrected while the data differs from the truth.
+func TestWeakMACCausesSDC(t *testing.T) {
+	c := MustNew(ConfigM2005(), weakMAC{bits: 40})
+	r := rand.New(rand.NewSource(1))
+	var sdc, trueCorrections int
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		data := randLine(r)
+		l := c.EncodeLine(&data)
+		bad := l.Clone()
+		// A symbol error per codeword: many aliased candidates per word.
+		for w := range bad.Words {
+			s := r.Intn(10)
+			old := bad.Words[w].Field(s*8, 8)
+			bad.Words[w] = bad.Words[w].WithField(s*8, 8, old^uint64(1+r.Intn(255)))
+		}
+		got, rep := c.DecodeLine(bad)
+		if rep.Status != StatusCorrected {
+			t.Fatalf("trial %d: weak MAC should accept something: %+v", i, rep)
+		}
+		if got != data {
+			sdc++
+		} else {
+			trueCorrections++
+		}
+	}
+	if sdc == 0 {
+		t.Fatal("no SDCs despite a colliding MAC — the SDC path is unreachable")
+	}
+	t.Logf("weak MAC: %d SDCs, %d true corrections out of %d", sdc, trueCorrections, trials)
+}
+
+// A real 40-bit MAC makes the same experiment SDC-free at these trial
+// counts (p ≈ iters x 2^-40 per line).
+func TestRealMACPreventsSDC(t *testing.T) {
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		data := randLine(r)
+		l := c.EncodeLine(&data)
+		bad := l.Clone()
+		for w := range bad.Words {
+			s := r.Intn(10)
+			old := bad.Words[w].Field(s*8, 8)
+			bad.Words[w] = bad.Words[w].WithField(s*8, 8, old^uint64(1+r.Intn(255)))
+		}
+		got, rep := c.DecodeLine(bad)
+		if rep.Status != StatusCorrected || got != data {
+			t.Fatalf("trial %d: %+v", i, rep)
+		}
+	}
+}
+
+// Property: any single random symbol corruption in any codeword decodes
+// back to the original data.
+func TestPropSingleSymbolAlwaysCorrected(t *testing.T) {
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	f := func(seed int64, wRaw, sRaw uint8, maskRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		data := randLine(r)
+		l := c.EncodeLine(&data)
+		w := int(wRaw) % c.Words()
+		s := int(sRaw) % 10
+		m := uint64(maskRaw)
+		if m == 0 {
+			m = 1
+		}
+		bad := l.Clone()
+		old := bad.Words[w].Field(s*8, 8)
+		bad.Words[w] = bad.Words[w].WithField(s*8, 8, old^m)
+		got, rep := c.DecodeLine(bad)
+		return rep.Status == StatusCorrected && got == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encode/decode is the identity over random cachelines for
+// every configuration.
+func TestPropEncodeDecodeIdentity(t *testing.T) {
+	codes := []*Code{
+		MustNew(ConfigM511(), mac.MustSipHash(testKey, 56)),
+		MustNew(ConfigM1021(), mac.MustSipHash(testKey, 48)),
+		MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40)),
+		MustNew(ConfigM131049(), mac.MustSipHash(testKey, 60)),
+	}
+	f := func(raw [LineBytes]byte, which uint8) bool {
+		c := codes[int(which)%len(codes)]
+		got, rep := c.DecodeLine(c.EncodeLine(&raw))
+		return rep.Status == StatusClean && got == raw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the remainder of a codeword with an injected symbol delta is
+// the delta's residue — the algebra the whole scheme rests on.
+func TestPropRemainderOfInjectedDelta(t *testing.T) {
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	f := func(data uint64, slice uint64, sRaw uint8, deltaRaw uint8) bool {
+		w := c.EncodeWord(wideint.FromUint64(data), slice)
+		s := int(sRaw) % 10
+		delta := int64(deltaRaw)
+		if delta == 0 {
+			delta = 1
+		}
+		old := int64(w.Field(s*8, 8))
+		nv := old + delta
+		if nv > 255 {
+			return true // overflow: not a representable value change
+		}
+		bad := w.WithField(s*8, 8, uint64(nv))
+		want := uint64(delta) % c.M()
+		for off := 0; off < s; off++ {
+			want = want * 256 % c.M()
+		}
+		return c.Remainder(bad) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

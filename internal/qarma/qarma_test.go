@@ -1,0 +1,183 @@
+package qarma
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComponentsArePermutations(t *testing.T) {
+	seen := map[byte]bool{}
+	for v := byte(0); v < 16; v++ {
+		if seen[sbox[v]] {
+			t.Fatal("sbox not a permutation")
+		}
+		seen[sbox[v]] = true
+		if sboxInv[sbox[v]] != v {
+			t.Fatal("sboxInv wrong")
+		}
+	}
+	for v := byte(0); v < 16; v++ {
+		if lfsr4Inv(lfsr4(v)) != v {
+			t.Fatalf("lfsr4Inv(lfsr4(%d)) = %d", v, lfsr4Inv(lfsr4(v)))
+		}
+	}
+}
+
+func TestMixColumnsIsInvolution(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		s := r.Uint64()
+		if mixColumns(mixColumns(s)) != s {
+			t.Fatalf("mixColumns not an involution at %x", s)
+		}
+	}
+}
+
+func TestShuffleInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		s := r.Uint64()
+		if shuffleCells(shuffleCells(s, &shuffle), &shuffleInv) != s {
+			t.Fatalf("shuffle inverse broken at %x", s)
+		}
+	}
+}
+
+func TestTweakScheduleInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		tw := r.Uint64()
+		if downdateTweak(updateTweak(tw)) != tw {
+			t.Fatalf("tweak schedule inverse broken at %x", tw)
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		c := New(r.Uint64(), r.Uint64())
+		block, tweak := r.Uint64(), r.Uint64()
+		ct := c.Encrypt(block, tweak)
+		if got := c.Decrypt(ct, tweak); got != block {
+			t.Fatalf("roundtrip failed: key instance %d", i)
+		}
+	}
+}
+
+func TestEncryptIsDeterministic(t *testing.T) {
+	c := New(1, 2)
+	if c.Encrypt(3, 4) != c.Encrypt(3, 4) {
+		t.Fatal("nondeterministic")
+	}
+}
+
+// A different tweak must yield a different ciphertext (a PRP family).
+func TestTweakSensitivity(t *testing.T) {
+	c := New(0x0123456789abcdef, 0xfedcba9876543210)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		b := r.Uint64()
+		t1, t2 := r.Uint64(), r.Uint64()
+		if t1 == t2 {
+			continue
+		}
+		if c.Encrypt(b, t1) == c.Encrypt(b, t2) {
+			t.Fatalf("tweaks %x and %x collide on block %x", t1, t2, b)
+		}
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	c1 := New(1, 1)
+	c2 := New(1, 2)
+	c3 := New(2, 1)
+	if c1.Encrypt(7, 7) == c2.Encrypt(7, 7) || c1.Encrypt(7, 7) == c3.Encrypt(7, 7) {
+		t.Fatal("key halves do not both affect output")
+	}
+}
+
+// Avalanche: flipping one plaintext bit should flip ~32 of 64 ciphertext
+// bits on average. We accept 24..40 as "full diffusion".
+func TestAvalanche(t *testing.T) {
+	c := New(0x243f6a8885a308d3, 0x13198a2e03707344)
+	r := rand.New(rand.NewSource(6))
+	var total, n int
+	for i := 0; i < 2000; i++ {
+		b := r.Uint64()
+		bit := uint(r.Intn(64))
+		d := c.Encrypt(b, 42) ^ c.Encrypt(b^1<<bit, 42)
+		total += bits.OnesCount64(d)
+		n++
+	}
+	avg := float64(total) / float64(n)
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average = %.2f bits, want ~32", avg)
+	}
+}
+
+// Tweak avalanche: flipping one tweak bit should also diffuse fully.
+func TestTweakAvalanche(t *testing.T) {
+	c := New(0xa4093822299f31d0, 0x082efa98ec4e6c89)
+	r := rand.New(rand.NewSource(7))
+	var total, n int
+	for i := 0; i < 2000; i++ {
+		tw := r.Uint64()
+		bit := uint(r.Intn(64))
+		d := c.Encrypt(0x1122334455667788, tw) ^ c.Encrypt(0x1122334455667788, tw^1<<bit)
+		total += bits.OnesCount64(d)
+		n++
+	}
+	avg := float64(total) / float64(n)
+	if avg < 24 || avg > 40 {
+		t.Fatalf("tweak avalanche average = %.2f bits, want ~32", avg)
+	}
+}
+
+func TestNewFromBytes(t *testing.T) {
+	var key [16]byte
+	for i := range key {
+		key[i] = byte(i + 1)
+	}
+	c := NewFromBytes(key)
+	want := New(0x0102030405060708, 0x090a0b0c0d0e0f10)
+	if c.Encrypt(5, 6) != want.Encrypt(5, 6) {
+		t.Fatal("NewFromBytes disagrees with New")
+	}
+}
+
+// Property: Decrypt∘Encrypt is the identity for arbitrary key/tweak/block.
+func TestPropInverse(t *testing.T) {
+	f := func(w0, k0, block, tweak uint64) bool {
+		c := New(w0, k0)
+		return c.Decrypt(c.Encrypt(block, tweak), tweak) == block
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Encrypt with a fixed key/tweak is injective (sampled).
+func TestPropInjective(t *testing.T) {
+	c := New(11, 13)
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return c.Encrypt(a, 99) != c.Encrypt(b, 99)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c := New(1, 2)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s ^= c.Encrypt(uint64(i), 42)
+	}
+	_ = s
+}

@@ -1,0 +1,114 @@
+// Package reliability implements the deployment-level reliability
+// arithmetic of the paper's §VIII-C: converting per-correction SDC
+// probabilities and iteration counts into the numbers an operator plans
+// with — SDC exposure across a DIMM's corrected-error budget, bounded
+// correction latencies under an N_max cap, and the detection guarantee of
+// an n-bit MAC.
+package reliability
+
+import (
+	"fmt"
+	"math"
+)
+
+// MACDetection returns the probability an n-bit MAC detects an arbitrary
+// corruption: 1 - 2^-n (§IV).
+func MACDetection(macBits int) float64 {
+	return 1 - math.Pow(2, -float64(macBits))
+}
+
+// SDCPerCorrection estimates the silent-corruption probability of one
+// iterative correction: each of the expected iterations is a fresh
+// chance for a wrong candidate to collide with the n-bit MAC
+// (§VIII-C: p = E[iterations] x 2^-|MAC|).
+func SDCPerCorrection(meanIterations float64, macBits int) float64 {
+	return meanIterations * math.Pow(2, -float64(macBits))
+}
+
+// SDCOverBudget returns the probability of at least one SDC across a
+// corrected-error budget: 1 - (1 - p)^n. The paper evaluates n = 100,
+// the corrected-error count at which conservative operators replace a
+// DIMM.
+func SDCOverBudget(pSDC float64, corrections int) float64 {
+	if corrections <= 0 {
+		return 0
+	}
+	// For tiny p the direct form loses precision; use log1p.
+	return -math.Expm1(float64(corrections) * math.Log1p(-pSDC))
+}
+
+// LatencyBound describes a §VIII-C latency-control configuration.
+type LatencyBound struct {
+	// NMax caps the iterations per correction (0 = uncapped).
+	NMax int
+	// CoveredShare is the share of errors corrected within NMax.
+	CoveredShare float64
+	// WorstNS is the worst-case correction latency under the cap.
+	WorstNS float64
+}
+
+// Bound computes the latency bound for an iteration cap given the
+// latency model constants (fixed + per-iteration ns) and the iteration
+// distribution summarized as mean and standard deviation. The covered
+// share uses the 3-sigma normal bound the paper quotes (99.73% within
+// mean + 3 sigma).
+func Bound(fixedNS, perIterNS float64, meanIters, stdIters float64, nMax int) LatencyBound {
+	lb := LatencyBound{NMax: nMax}
+	if nMax <= 0 {
+		lb.CoveredShare = 1
+		lb.WorstNS = math.Inf(1)
+		return lb
+	}
+	lb.WorstNS = fixedNS + float64(nMax)*perIterNS
+	switch {
+	case float64(nMax) >= meanIters+3*stdIters:
+		lb.CoveredShare = 0.9973
+	case float64(nMax) >= meanIters+2*stdIters:
+		lb.CoveredShare = 0.9545
+	case float64(nMax) >= meanIters+stdIters:
+		lb.CoveredShare = 0.8413
+	case float64(nMax) >= meanIters:
+		lb.CoveredShare = 0.5
+	default:
+		lb.CoveredShare = 0
+	}
+	return lb
+}
+
+// FormatNS renders a nanosecond latency with a human unit.
+func FormatNS(ns float64) string {
+	switch {
+	case math.IsInf(ns, 1):
+		return "unbounded"
+	case ns < 1e3:
+		return fmt.Sprintf("%.2f ns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.2f us", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.2f ms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2f s", ns/1e9)
+	}
+}
+
+// FITCombine adds independent failure rates (failures per 10^9 device
+// hours) — the fleet-level view the paper's cost argument gestures at.
+func FITCombine(fits ...float64) float64 {
+	var total float64
+	for _, f := range fits {
+		total += f
+	}
+	return total
+}
+
+// AvailabilityUnderDUE models the paper's rowhammer availability
+// argument (§VIII-E and examples/rowhammerdefense): given a DUE rate per
+// protected read, a read rate, and a restart penalty, it returns the
+// steady-state availability in [0, 1].
+func AvailabilityUnderDUE(duePerRead float64, readsPerSecond, restartSeconds float64) float64 {
+	if duePerRead <= 0 {
+		return 1
+	}
+	downtimePerSecond := duePerRead * readsPerSecond * restartSeconds
+	return 1 / (1 + downtimePerSecond)
+}

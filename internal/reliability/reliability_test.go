@@ -1,0 +1,107 @@
+package reliability
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMACDetection(t *testing.T) {
+	if got := MACDetection(40); math.Abs(got-(1-math.Pow(2, -40))) > 1e-18 {
+		t.Fatalf("MACDetection(40) = %v", got)
+	}
+	if MACDetection(1) != 0.5 {
+		t.Fatal("1-bit MAC should detect half of corruptions")
+	}
+}
+
+// §VIII-C: an SSC correction averaging 228 iterations under a 40-bit MAC
+// gives p_SDC ≈ 2.1e-10.
+func TestSDCPerCorrectionPaperPoint(t *testing.T) {
+	p := SDCPerCorrection(228, 40)
+	if p < 2.0e-10 || p > 2.2e-10 {
+		t.Fatalf("p_SDC = %e, paper reports 2.1e-10", p)
+	}
+}
+
+// §VIII-C: the chance of an SDC across 100 corrected errors is
+// 1-(1-p)^100 ≈ 2.1e-8 for the 8-bit-symbol code.
+func TestSDCOverBudgetPaperPoint(t *testing.T) {
+	p := SDCOverBudget(2.1e-10, 100)
+	if p < 2.0e-8 || p > 2.2e-8 {
+		t.Fatalf("budget SDC = %e, paper reports 2.1e-8", p)
+	}
+	if SDCOverBudget(0.5, 0) != 0 {
+		t.Fatal("zero corrections should carry zero risk")
+	}
+	// Monotone in the budget.
+	if SDCOverBudget(1e-10, 1000) <= SDCOverBudget(1e-10, 100) {
+		t.Fatal("risk must grow with the budget")
+	}
+}
+
+func TestBoundTiers(t *testing.T) {
+	// Paper example: an N_max near 3,000,000 costs ≈16.1 ms with
+	// T = 3.98 + 5.36N and covers the 3-sigma share of DEC corrections.
+	// (With the paper's own mean/std, mean+3sigma is 3.77M, so the exact
+	// 3-sigma cap sits slightly above the quoted 3M.)
+	lb := Bound(3.98, 5.36, 554132, 1073304, 3000000)
+	if lb.CoveredShare != 0.9545 {
+		t.Fatalf("covered share at 3M = %v, want the 2-sigma tier", lb.CoveredShare)
+	}
+	if lb.WorstNS < 15e6 || lb.WorstNS > 17e6 {
+		t.Fatalf("worst latency = %v ns, paper reports ≈16.1 ms", lb.WorstNS)
+	}
+	if full := Bound(3.98, 5.36, 554132, 1073304, 3800000); full.CoveredShare != 0.9973 {
+		t.Fatalf("covered share at 3.8M = %v, want 0.9973", full.CoveredShare)
+	}
+	if got := Bound(4, 5, 100, 50, 0); !math.IsInf(got.WorstNS, 1) || got.CoveredShare != 1 {
+		t.Fatal("uncapped bound wrong")
+	}
+	if Bound(4, 5, 100, 50, 10).CoveredShare != 0 {
+		t.Fatal("cap below the mean should cover ~nothing")
+	}
+	if Bound(4, 5, 100, 50, 160).CoveredShare != 0.8413 {
+		t.Fatal("one-sigma tier wrong")
+	}
+}
+
+func TestFormatNS(t *testing.T) {
+	cases := map[float64]string{
+		9.34:   "ns",
+		23930:  "us",
+		16.1e6: "ms",
+		2e9:    "s",
+	}
+	for ns, unit := range cases {
+		if got := FormatNS(ns); !strings.HasSuffix(got, unit) {
+			t.Errorf("FormatNS(%v) = %q, want suffix %q", ns, got, unit)
+		}
+	}
+	if FormatNS(math.Inf(1)) != "unbounded" {
+		t.Error("infinite latency should render unbounded")
+	}
+}
+
+func TestFITCombine(t *testing.T) {
+	if FITCombine(1, 2, 3.5) != 6.5 {
+		t.Fatal("FITCombine wrong")
+	}
+	if FITCombine() != 0 {
+		t.Fatal("empty combine should be zero")
+	}
+}
+
+func TestAvailabilityUnderDUE(t *testing.T) {
+	if AvailabilityUnderDUE(0, 1000, 90) != 1 {
+		t.Fatal("no DUEs means full availability")
+	}
+	a := AvailabilityUnderDUE(1e-6, 1000, 90)
+	b := AvailabilityUnderDUE(1e-4, 1000, 90)
+	if a <= b {
+		t.Fatal("higher DUE rate must reduce availability")
+	}
+	if a <= 0 || a > 1 || b <= 0 || b > 1 {
+		t.Fatal("availability out of range")
+	}
+}

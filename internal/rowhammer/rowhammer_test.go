@@ -1,0 +1,92 @@
+package rowhammer
+
+import (
+	"testing"
+
+	"polyecc/internal/dram"
+)
+
+var g8 = dram.WordGeometry{SymbolBits: 8}
+
+func TestPatternsAreNonEmptyAndSmall(t *testing.T) {
+	gen := New(1, g8)
+	for i := 0; i < 5000; i++ {
+		m := gen.Next()
+		n := m.OnesCount()
+		if n == 0 {
+			t.Fatal("empty pattern")
+		}
+		if n > 3 {
+			t.Fatalf("pattern with %d flips, want <= 3", n)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(42, g8)
+	b := New(42, g8)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("generator is not deterministic")
+		}
+	}
+}
+
+// The multi-bit-per-codeword share must match the dataset statistics the
+// paper reports (~1.17% two-bit, ~0.025% three-bit) within sampling noise.
+func TestClusterShares(t *testing.T) {
+	gen := New(7, g8)
+	const n = 200000
+	var twoBit, threeBit int
+	for i := 0; i < n; i++ {
+		m := gen.Next()
+		maxPerWord := 0
+		for w := 0; w < g8.WordsPerBurst(); w++ {
+			c := g8.Word(&m, w).OnesCount()
+			if c > maxPerWord {
+				maxPerWord = c
+			}
+		}
+		switch maxPerWord {
+		case 2:
+			twoBit++
+		case 3:
+			threeBit++
+		}
+	}
+	wantTwo := float64(PaperDoubleBit) / float64(PaperPatterns)
+	gotTwo := float64(twoBit) / n
+	if gotTwo < wantTwo*0.7 || gotTwo > wantTwo*1.3 {
+		t.Errorf("two-bit share = %.4f, want ≈%.4f", gotTwo, wantTwo)
+	}
+	wantThree := float64(PaperTripleBit) / float64(PaperPatterns)
+	gotThree := float64(threeBit) / n
+	if gotThree < wantThree*0.3 || gotThree > wantThree*3 {
+		t.Errorf("three-bit share = %.5f, want ≈%.5f", gotThree, wantThree)
+	}
+}
+
+// Clusters stay inside one codeword.
+func TestClustersConfinedToOneWord(t *testing.T) {
+	gen := New(9, g8)
+	for i := 0; i < 100000; i++ {
+		m := gen.Next()
+		if m.OnesCount() < 2 {
+			continue
+		}
+		wordsHit := 0
+		multi := false
+		for w := 0; w < g8.WordsPerBurst(); w++ {
+			c := g8.Word(&m, w).OnesCount()
+			if c > 0 {
+				wordsHit++
+			}
+			if c > 1 {
+				multi = true
+			}
+		}
+		if multi && wordsHit != 1 {
+			t.Fatal("multi-bit cluster leaked across codewords")
+		}
+	}
+}

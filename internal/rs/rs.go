@@ -1,0 +1,211 @@
+// Package rs implements systematic Reed-Solomon codes over GF(2^8) with a
+// Berlekamp-Massey decoder. These are the paper's baseline ChipKill-class
+// codes: the commercial-style SDDC code of Table V (one 8-bit symbol per
+// x4 device, "symbol folding"), the RS(18,16) single-symbol-correcting
+// code profiled in Table II, and the long pin-aligned codewords of
+// Bamboo ECC.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"polyecc/internal/gf256"
+)
+
+// ErrUncorrectable is returned when the decoder detects an error pattern
+// beyond its correction capability (a DUE in the paper's terminology).
+var ErrUncorrectable = errors.New("rs: detected uncorrectable error")
+
+// Code is a systematic RS(n, k) code over GF(2^8): k data symbols, n-k
+// parity symbols, correcting up to t = (n-k)/2 symbol errors.
+type Code struct {
+	n, k int
+	gen  gf256.Polynomial // generator, degree n-k, roots alpha^0..alpha^(n-k-1)
+}
+
+// New constructs an RS(n, k) code. n must be at most 255 and greater
+// than k.
+func New(n, k int) (*Code, error) {
+	if n <= k || k <= 0 || n > 255 {
+		return nil, fmt.Errorf("rs: invalid parameters n=%d k=%d", n, k)
+	}
+	gen := gf256.Polynomial{1}
+	for i := 0; i < n-k; i++ {
+		gen = gf256.MulPoly(gen, gf256.Polynomial{gf256.Exp(i), 1})
+	}
+	return &Code{n: n, k: k, gen: gen}, nil
+}
+
+// MustNew is New for known-good parameters.
+func MustNew(n, k int) *Code {
+	c, err := New(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// N returns the codeword length in symbols.
+func (c *Code) N() int { return c.n }
+
+// K returns the data length in symbols.
+func (c *Code) K() int { return c.k }
+
+// T returns the symbol-correction capability.
+func (c *Code) T() int { return (c.n - c.k) / 2 }
+
+// Encode returns the n-symbol systematic codeword for the k data symbols:
+// data followed by parity.
+func (c *Code) Encode(data []byte) ([]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("rs: data length %d, want %d", len(data), c.k)
+	}
+	// Message polynomial with data[0] as the highest-degree coefficient.
+	p := make(gf256.Polynomial, c.n)
+	for i, d := range data {
+		p[c.n-1-i] = d
+	}
+	rem := gf256.Mod(p, c.gen)
+	cw := make([]byte, c.n)
+	copy(cw, data)
+	for i := 0; i < c.n-c.k; i++ {
+		// rem has degree < n-k; coefficient of x^j lands at byte n-1-j.
+		var v byte
+		j := c.n - c.k - 1 - i
+		if j < len(rem) {
+			v = rem[j]
+		}
+		cw[c.k+i] = v
+	}
+	return cw, nil
+}
+
+// asPoly converts a codeword (byte 0 = highest degree) into a polynomial.
+func (c *Code) asPoly(cw []byte) gf256.Polynomial {
+	p := make(gf256.Polynomial, c.n)
+	for i, v := range cw {
+		p[c.n-1-i] = v
+	}
+	return p
+}
+
+// Syndromes returns the n-k syndromes of a received word and whether any
+// is nonzero (i.e. an error is detected).
+func (c *Code) Syndromes(cw []byte) ([]byte, bool) {
+	p := c.asPoly(cw)
+	syn := make([]byte, c.n-c.k)
+	bad := false
+	for i := range syn {
+		syn[i] = p.Eval(gf256.Exp(i))
+		if syn[i] != 0 {
+			bad = true
+		}
+	}
+	return syn, bad
+}
+
+// DecodeResult reports what the decoder did.
+type DecodeResult struct {
+	Corrected  []byte // the (possibly corrected) codeword
+	NumErrors  int    // symbols corrected
+	ErrorBytes []int  // byte indices corrected
+}
+
+// Decode attempts to correct up to T symbol errors in place of a received
+// codeword. It returns ErrUncorrectable when the error locator does not
+// factor cleanly or the corrected word still has nonzero syndromes. Note
+// that, as Table II of the paper quantifies, error patterns beyond T
+// symbols may decode "successfully" into a wrong codeword (miscorrection);
+// that is inherent to bounded-distance decoding and is precisely what the
+// profiling experiments measure.
+func (c *Code) Decode(cw []byte) (DecodeResult, error) {
+	if len(cw) != c.n {
+		return DecodeResult{}, fmt.Errorf("rs: codeword length %d, want %d", len(cw), c.n)
+	}
+	syn, bad := c.Syndromes(cw)
+	out := make([]byte, c.n)
+	copy(out, cw)
+	if !bad {
+		return DecodeResult{Corrected: out}, nil
+	}
+
+	lambda := berlekampMassey(syn)
+	degL := lambda.Degree()
+	if degL < 1 || degL > c.T() {
+		return DecodeResult{}, ErrUncorrectable
+	}
+
+	// Chien search over valid positions.
+	var positions []int // polynomial powers
+	for p := 0; p < c.n; p++ {
+		xinv := gf256.Exp(-p)
+		if lambda.Eval(xinv) == 0 {
+			positions = append(positions, p)
+		}
+	}
+	if len(positions) != degL {
+		return DecodeResult{}, ErrUncorrectable
+	}
+
+	// Forney's algorithm: Omega(x) = S(x)*Lambda(x) mod x^(n-k).
+	sPoly := gf256.Polynomial(syn)
+	omega := gf256.MulPoly(sPoly, lambda)
+	if len(omega) > c.n-c.k {
+		omega = omega[:c.n-c.k]
+	}
+	lambdaPrime := lambda.Derivative()
+
+	res := DecodeResult{NumErrors: degL}
+	for _, p := range positions {
+		xinv := gf256.Exp(-p)
+		denom := lambdaPrime.Eval(xinv)
+		if denom == 0 {
+			return DecodeResult{}, ErrUncorrectable
+		}
+		// First consecutive root is alpha^0 (b=0), so the magnitude is
+		// X_j * Omega(X_j^-1) / Lambda'(X_j^-1).
+		mag := gf256.Mul(gf256.Exp(p), gf256.Div(omega.Eval(xinv), denom))
+		idx := c.n - 1 - p
+		out[idx] ^= mag
+		res.ErrorBytes = append(res.ErrorBytes, idx)
+	}
+
+	if _, stillBad := c.Syndromes(out); stillBad {
+		return DecodeResult{}, ErrUncorrectable
+	}
+	res.Corrected = out
+	return res, nil
+}
+
+// berlekampMassey computes the error-locator polynomial from syndromes.
+func berlekampMassey(syn []byte) gf256.Polynomial {
+	cPoly := gf256.Polynomial{1}
+	bPoly := gf256.Polynomial{1}
+	var L, m int = 0, 1
+	b := byte(1)
+	for n := 0; n < len(syn); n++ {
+		// Discrepancy.
+		d := syn[n]
+		for i := 1; i <= L && i < len(cPoly); i++ {
+			d ^= gf256.Mul(cPoly[i], syn[n-i])
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*L <= n {
+			t := make(gf256.Polynomial, len(cPoly))
+			copy(t, cPoly)
+			cPoly = gf256.AddPoly(cPoly, gf256.MulXPow(gf256.Scale(bPoly, gf256.Div(d, b)), m))
+			L = n + 1 - L
+			bPoly = t
+			b = d
+			m = 1
+		} else {
+			cPoly = gf256.AddPoly(cPoly, gf256.MulXPow(gf256.Scale(bPoly, gf256.Div(d, b)), m))
+			m++
+		}
+	}
+	return cPoly.Trim()
+}

@@ -1,0 +1,236 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func randData(r *rand.Rand, k int) []byte {
+	d := make([]byte, k)
+	r.Read(d)
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{10, 10}, {10, 0}, {256, 16}, {5, 8}} {
+		if _, err := New(c.n, c.k); err == nil {
+			t.Errorf("New(%d,%d) should fail", c.n, c.k)
+		}
+	}
+	c, err := New(18, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 18 || c.K() != 16 || c.T() != 1 {
+		t.Errorf("params wrong: %d %d %d", c.N(), c.K(), c.T())
+	}
+}
+
+func TestEncodeLength(t *testing.T) {
+	c := MustNew(18, 16)
+	if _, err := c.Encode(make([]byte, 15)); err == nil {
+		t.Error("short data should fail")
+	}
+	cw, err := c.Encode(make([]byte, 16))
+	if err != nil || len(cw) != 18 {
+		t.Fatalf("Encode: %v len=%d", err, len(cw))
+	}
+}
+
+func TestEncodeIsSystematicAndValid(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, params := range []struct{ n, k int }{{18, 16}, {10, 8}, {40, 32}, {255, 223}} {
+		c := MustNew(params.n, params.k)
+		for i := 0; i < 50; i++ {
+			data := randData(r, params.k)
+			cw, err := c.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(cw[:params.k], data) {
+				t.Fatalf("RS(%d,%d): not systematic", params.n, params.k)
+			}
+			if _, bad := c.Syndromes(cw); bad {
+				t.Fatalf("RS(%d,%d): fresh codeword has nonzero syndrome", params.n, params.k)
+			}
+		}
+	}
+}
+
+func TestDecodeClean(t *testing.T) {
+	c := MustNew(18, 16)
+	cw, _ := c.Encode(randData(rand.New(rand.NewSource(2)), 16))
+	res, err := c.Decode(cw)
+	if err != nil || res.NumErrors != 0 {
+		t.Fatalf("clean decode: %v %d", err, res.NumErrors)
+	}
+	if !bytes.Equal(res.Corrected, cw) {
+		t.Fatal("clean decode modified codeword")
+	}
+}
+
+func TestDecodeWrongLength(t *testing.T) {
+	c := MustNew(18, 16)
+	if _, err := c.Decode(make([]byte, 17)); err == nil {
+		t.Fatal("wrong length should fail")
+	}
+}
+
+// Inject up to T symbol errors and verify full recovery, for several
+// configurations including the paper's RS(18,16) (Table II), the 10-symbol
+// SDDC code (Table V), and the Bamboo-style RS(40,32) with t=4.
+func TestDecodeCorrectsUpToT(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, params := range []struct{ n, k int }{{18, 16}, {10, 8}, {40, 32}, {80, 64}} {
+		c := MustNew(params.n, params.k)
+		for trial := 0; trial < 300; trial++ {
+			data := randData(r, params.k)
+			cw, _ := c.Encode(data)
+			nerr := 1 + r.Intn(c.T())
+			corrupted := make([]byte, len(cw))
+			copy(corrupted, cw)
+			pos := r.Perm(params.n)[:nerr]
+			for _, p := range pos {
+				corrupted[p] ^= byte(1 + r.Intn(255))
+			}
+			res, err := c.Decode(corrupted)
+			if err != nil {
+				t.Fatalf("RS(%d,%d): decode failed with %d errors: %v", params.n, params.k, nerr, err)
+			}
+			if !bytes.Equal(res.Corrected, cw) {
+				t.Fatalf("RS(%d,%d): miscorrected %d errors", params.n, params.k, nerr)
+			}
+			if res.NumErrors != nerr {
+				t.Fatalf("RS(%d,%d): NumErrors = %d, want %d", params.n, params.k, res.NumErrors, nerr)
+			}
+		}
+	}
+}
+
+// Beyond-T errors must either be flagged uncorrectable or miscorrect into
+// a *valid* codeword (never return an inconsistent word). Table II of the
+// paper quantifies the miscorrection share.
+func TestDecodeBeyondT(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	c := MustNew(18, 16)
+	var due, misc int
+	for trial := 0; trial < 2000; trial++ {
+		data := randData(r, 16)
+		cw, _ := c.Encode(data)
+		corrupted := make([]byte, len(cw))
+		copy(corrupted, cw)
+		for _, p := range r.Perm(18)[:3] {
+			corrupted[p] ^= byte(1 + r.Intn(255))
+		}
+		res, err := c.Decode(corrupted)
+		if errors.Is(err, ErrUncorrectable) {
+			due++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, bad := c.Syndromes(res.Corrected); bad {
+			t.Fatal("decoder returned invalid codeword")
+		}
+		if !bytes.Equal(res.Corrected, cw) {
+			misc++
+		}
+	}
+	if due == 0 {
+		t.Error("expected some DUEs for 3-symbol errors")
+	}
+	if misc == 0 {
+		t.Error("expected some miscorrections for 3-symbol errors (Table II)")
+	}
+	// Misdetection rate should be near (n-3)*255/65536 ≈ 5.8% of trials,
+	// loosely bounded here.
+	rate := float64(misc) / 2000
+	if rate < 0.01 || rate > 0.15 {
+		t.Errorf("miscorrection rate = %.3f, expected a few percent", rate)
+	}
+}
+
+func TestErrorBytesReported(t *testing.T) {
+	c := MustNew(10, 8)
+	r := rand.New(rand.NewSource(5))
+	data := randData(r, 8)
+	cw, _ := c.Encode(data)
+	corrupted := make([]byte, len(cw))
+	copy(corrupted, cw)
+	corrupted[3] ^= 0x5a
+	res, err := c.Decode(corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ErrorBytes) != 1 || res.ErrorBytes[0] != 3 {
+		t.Fatalf("ErrorBytes = %v, want [3]", res.ErrorBytes)
+	}
+}
+
+// Parity-region errors must be corrected too.
+func TestDecodeParityErrors(t *testing.T) {
+	c := MustNew(40, 32)
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		data := randData(r, 32)
+		cw, _ := c.Encode(data)
+		corrupted := make([]byte, len(cw))
+		copy(corrupted, cw)
+		for _, p := range []int{32, 35, 39} { // all in parity
+			corrupted[p] ^= byte(1 + r.Intn(255))
+		}
+		res, err := c.Decode(corrupted)
+		if err != nil || !bytes.Equal(res.Corrected, cw) {
+			t.Fatalf("parity-region correction failed: %v", err)
+		}
+	}
+}
+
+// Exhaustive single-symbol check for the Table II code: every single
+// symbol error in every position with every magnitude must be corrected.
+func TestExhaustiveSingleSymbolRS18(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive")
+	}
+	c := MustNew(18, 16)
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	cw, _ := c.Encode(data)
+	for pos := 0; pos < 18; pos++ {
+		for mag := 1; mag < 256; mag++ {
+			corrupted := make([]byte, len(cw))
+			copy(corrupted, cw)
+			corrupted[pos] ^= byte(mag)
+			res, err := c.Decode(corrupted)
+			if err != nil || !bytes.Equal(res.Corrected, cw) {
+				t.Fatalf("single error pos=%d mag=%d not corrected: %v", pos, mag, err)
+			}
+		}
+	}
+}
+
+func BenchmarkEncode18_16(b *testing.B) {
+	c := MustNew(18, 16)
+	data := make([]byte, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeOneError(b *testing.B) {
+	c := MustNew(18, 16)
+	data := make([]byte, 16)
+	cw, _ := c.Encode(data)
+	cw[5] ^= 0x42
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package scrub implements a patrol memory scrubber over a Polymorphic
+// ECC-protected store — the deployment pattern §VIII-C of the paper
+// assumes when it computes SDC exposure after "as few as 100 correctable
+// errors" trigger proactive DIMM replacement. The scrubber sweeps the
+// region, corrects what the code can correct, writes clean lines back
+// (healing latent array faults), and emits per-fault-model counts in the
+// shape an OCP Fault Management Infrastructure log consumes (the paper's
+// conclusion).
+package scrub
+
+import (
+	"fmt"
+
+	"polyecc/internal/dram"
+	"polyecc/internal/poly"
+)
+
+// Store is the memory being scrubbed, at burst granularity.
+type Store interface {
+	Lines() int
+	ReadBurst(i int) dram.Burst
+	WriteBurst(i int, b dram.Burst)
+}
+
+// Event is one noteworthy scrub observation.
+type Event struct {
+	Line   int
+	Report poly.Report
+}
+
+// Stats summarizes a sweep.
+type Stats struct {
+	Clean     int
+	Corrected int
+	DUE       int
+	PerModel  map[poly.FaultModel]int
+}
+
+// Policy tunes scrubber behaviour.
+type Policy struct {
+	// RewriteCorrected controls whether corrected lines are re-encoded
+	// and written back (healing array faults at the cost of writes).
+	RewriteCorrected bool
+	// ReplacementThreshold is the corrected-error count after which the
+	// scrubber recommends replacing the DIMM (the paper cites operators
+	// replacing after as few as 100 correctable errors).
+	ReplacementThreshold int
+}
+
+// DefaultPolicy mirrors the datacenter practice the paper describes.
+func DefaultPolicy() Policy {
+	return Policy{RewriteCorrected: true, ReplacementThreshold: 100}
+}
+
+// Scrubber patrols one store with one code instance.
+type Scrubber struct {
+	code   *poly.Code
+	store  Store
+	policy Policy
+
+	totalCorrected int
+	totalDUE       int
+}
+
+// New builds a scrubber.
+func New(code *poly.Code, store Store, policy Policy) (*Scrubber, error) {
+	if code == nil || store == nil {
+		return nil, fmt.Errorf("scrub: code and store are required")
+	}
+	return &Scrubber{code: code, store: store, policy: policy}, nil
+}
+
+// TotalCorrected returns the lifetime corrected-error count.
+func (s *Scrubber) TotalCorrected() int { return s.totalCorrected }
+
+// TotalDUE returns the lifetime detected-uncorrectable count.
+func (s *Scrubber) TotalDUE() int { return s.totalDUE }
+
+// ReplacementDue reports whether the corrected-error budget is spent and
+// the module should be proactively replaced.
+func (s *Scrubber) ReplacementDue() bool {
+	return s.policy.ReplacementThreshold > 0 && s.totalCorrected >= s.policy.ReplacementThreshold
+}
+
+// Sweep reads every line, corrects what it can, optionally rewrites the
+// corrected lines, and returns the sweep statistics plus the events
+// (corrections and DUEs) for the fault-management log.
+func (s *Scrubber) Sweep() (Stats, []Event) {
+	st := Stats{PerModel: make(map[poly.FaultModel]int)}
+	var events []Event
+	for i := 0; i < s.store.Lines(); i++ {
+		burst := s.store.ReadBurst(i)
+		line := s.code.FromBurst(&burst)
+		data, rep := s.code.DecodeLine(line)
+		switch rep.Status {
+		case poly.StatusClean:
+			st.Clean++
+		case poly.StatusCorrected:
+			st.Corrected++
+			s.totalCorrected++
+			st.PerModel[rep.Model]++
+			events = append(events, Event{Line: i, Report: rep})
+			if s.policy.RewriteCorrected {
+				clean := s.code.ToBurst(s.code.EncodeLine(&data))
+				s.store.WriteBurst(i, clean)
+			}
+		case poly.StatusUncorrectable:
+			st.DUE++
+			s.totalDUE++
+			events = append(events, Event{Line: i, Report: rep})
+		}
+	}
+	return st, events
+}

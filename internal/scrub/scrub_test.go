@@ -1,0 +1,153 @@
+package scrub
+
+import (
+	"math/rand"
+	"testing"
+
+	"polyecc/internal/dram"
+	"polyecc/internal/mac"
+	"polyecc/internal/poly"
+)
+
+var key = [16]byte{7, 7, 7, 7, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+
+func setup(t testing.TB, lines int) (*poly.Code, *dram.Module, [][poly.LineBytes]byte) {
+	t.Helper()
+	code := poly.MustNew(poly.ConfigM2005(), mac.MustSipHash(key, 40))
+	mod := dram.NewModule(lines)
+	truth := make([][poly.LineBytes]byte, lines)
+	r := rand.New(rand.NewSource(1))
+	for i := range truth {
+		r.Read(truth[i][:])
+		mod.WriteBurst(i, code.ToBurst(code.EncodeLine(&truth[i])))
+	}
+	return code, mod, truth
+}
+
+func TestNewValidation(t *testing.T) {
+	code, mod, _ := setup(t, 1)
+	if _, err := New(nil, mod, DefaultPolicy()); err == nil {
+		t.Error("nil code accepted")
+	}
+	if _, err := New(code, nil, DefaultPolicy()); err == nil {
+		t.Error("nil store accepted")
+	}
+}
+
+func TestSweepCleanRegion(t *testing.T) {
+	code, mod, _ := setup(t, 32)
+	s, err := New(code, mod, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, events := s.Sweep()
+	if st.Clean != 32 || st.Corrected != 0 || st.DUE != 0 || len(events) != 0 {
+		t.Fatalf("clean sweep: %+v", st)
+	}
+}
+
+// A sweep corrects latched flips and, with rewriting on, heals them so
+// the next sweep is clean.
+func TestSweepHealsWeakCells(t *testing.T) {
+	code, mod, truth := setup(t, 32)
+	for _, line := range []int{3, 9, 20} {
+		if err := mod.AddWeakCell(line, 2, 17); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, _ := New(code, mod, DefaultPolicy())
+	st, events := s.Sweep()
+	if st.Corrected != 3 {
+		t.Fatalf("corrected %d lines, want 3: %+v", st.Corrected, st)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	// Verify the healed data is right.
+	for _, line := range []int{3, 9, 20} {
+		burst := mod.ReadBurst(line)
+		data, rep := code.DecodeLine(code.FromBurst(&burst))
+		if rep.Status != poly.StatusClean || data != truth[line] {
+			t.Fatalf("line %d not healed: %+v", line, rep)
+		}
+	}
+	st2, _ := s.Sweep()
+	if st2.Clean != 32 {
+		t.Fatalf("second sweep not clean: %+v", st2)
+	}
+	if s.TotalCorrected() != 3 {
+		t.Fatalf("TotalCorrected = %d", s.TotalCorrected())
+	}
+}
+
+// Without rewriting, the flips persist and every sweep pays corrections.
+func TestSweepWithoutRewrite(t *testing.T) {
+	code, mod, _ := setup(t, 8)
+	_ = mod.AddWeakCell(2, 0, 5)
+	s, _ := New(code, mod, Policy{RewriteCorrected: false})
+	for sweep := 0; sweep < 3; sweep++ {
+		st, _ := s.Sweep()
+		if st.Corrected != 1 {
+			t.Fatalf("sweep %d corrected %d, want 1", sweep, st.Corrected)
+		}
+	}
+	if s.TotalCorrected() != 3 {
+		t.Fatalf("TotalCorrected = %d", s.TotalCorrected())
+	}
+}
+
+// A dead device is ChipKill: every line corrects through the ChipKill
+// hypothesis and the per-model log reflects it. Rewrites cannot heal a
+// device fault, so corrections persist sweep over sweep.
+func TestSweepClassifiesChipKill(t *testing.T) {
+	code, mod, truth := setup(t, 8)
+	if err := mod.KillDevice(6); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := New(code, mod, DefaultPolicy())
+	st, _ := s.Sweep()
+	if st.DUE != 0 {
+		t.Fatalf("DUEs under a single device failure: %+v", st)
+	}
+	if st.PerModel[poly.ModelChipKill] < st.Corrected/2 {
+		t.Fatalf("ChipKill classification missing: %+v", st.PerModel)
+	}
+	// Ground truth intact through the corrections.
+	for i := range truth {
+		burst := mod.ReadBurst(i)
+		data, rep := code.DecodeLine(code.FromBurst(&burst))
+		if rep.Status == poly.StatusUncorrectable || data != truth[i] {
+			t.Fatalf("line %d wrong under dead device", i)
+		}
+	}
+}
+
+func TestReplacementThreshold(t *testing.T) {
+	code, mod, _ := setup(t, 4)
+	s, _ := New(code, mod, Policy{RewriteCorrected: false, ReplacementThreshold: 2})
+	_ = mod.AddWeakCell(0, 0, 0)
+	_ = mod.AddWeakCell(1, 0, 0)
+	if s.ReplacementDue() {
+		t.Fatal("replacement due before any corrections")
+	}
+	s.Sweep()
+	if !s.ReplacementDue() {
+		t.Fatalf("replacement not flagged after %d corrections", s.TotalCorrected())
+	}
+}
+
+func TestSweepCountsDUE(t *testing.T) {
+	code, mod, _ := setup(t, 4)
+	// Two dead devices exceed every fault model.
+	_ = mod.KillDevice(1)
+	_ = mod.KillDevice(5)
+	_ = mod.AddStuckPin(33, 1)
+	s, _ := New(code, mod, DefaultPolicy())
+	st, _ := s.Sweep()
+	if st.DUE == 0 {
+		t.Fatalf("expected DUEs under two dead devices + stuck pin: %+v", st)
+	}
+	if s.TotalDUE() != st.DUE {
+		t.Fatal("TotalDUE mismatch")
+	}
+}

@@ -1,0 +1,217 @@
+// Package stats provides the statistical helpers the experiments share:
+// running moments, histograms, the Leveugle et al. statistical
+// fault-injection sample sizing the paper uses (§VII-C), and plain-text
+// table rendering for the reproduced tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Running accumulates count/mean/variance online (Welford's algorithm),
+// so experiment drivers never hold raw sample slices.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one sample in.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the sample count.
+func (r Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 for no samples).
+func (r Running) Mean() float64 { return r.mean }
+
+// Std returns the population standard deviation.
+func (r Running) Std() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n))
+}
+
+// Min returns the smallest sample (0 for no samples).
+func (r Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (0 for no samples).
+func (r Running) Max() float64 { return r.max }
+
+// String renders mean ± std.
+func (r Running) String() string {
+	return fmt.Sprintf("%.2f ± %.2f", r.Mean(), r.Std())
+}
+
+// Histogram counts integer-keyed observations.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add increments a bucket.
+func (h *Histogram) Add(key int) { h.counts[key]++; h.total++ }
+
+// AddN increments a bucket by n.
+func (h *Histogram) AddN(key, n int) { h.counts[key] += n; h.total += n }
+
+// Count returns a bucket's count.
+func (h *Histogram) Count(key int) int { return h.counts[key] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Keys returns the occupied buckets in ascending order.
+func (h *Histogram) Keys() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Share returns a bucket's fraction of all observations.
+func (h *Histogram) Share(key int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[key]) / float64(h.total)
+}
+
+// LeveugleSamples returns the number of fault injections needed for a
+// confidence level and error margin over a population of N possible
+// faults, per Leveugle et al. [47]:
+//
+//	n = N / (1 + e^2 (N-1) / (z^2 p(1-p)))
+//
+// with the conservative p = 0.5. The paper uses 95% confidence and a 2.1%
+// margin, which yields about 2000 injections for large N.
+func LeveugleSamples(population int, confidence, margin float64) int {
+	z := zScore(confidence)
+	p := 0.5
+	N := float64(population)
+	n := N / (1 + margin*margin*(N-1)/(z*z*p*(1-p)))
+	return int(math.Ceil(n))
+}
+
+// zScore maps the common confidence levels to two-sided z values.
+func zScore(confidence float64) float64 {
+	switch {
+	case confidence >= 0.999:
+		return 3.29
+	case confidence >= 0.99:
+		return 2.576
+	case confidence >= 0.95:
+		return 1.96
+	case confidence >= 0.90:
+		return 1.645
+	default:
+		return 1.0
+	}
+}
+
+// Table renders plain-text tables in the style of the paper's artifact
+// output files.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) < 1e-3 || math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.2e", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(v)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if r.Mean() != 5 {
+		t.Errorf("Mean = %v", r.Mean())
+	}
+	if r.Std() != 2 {
+		t.Errorf("Std = %v (population std of the classic example is 2)", r.Std())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+	if !strings.Contains(r.String(), "±") {
+		t.Error("String missing ±")
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Std() != 0 || r.N() != 0 {
+		t.Error("empty Running should be zero")
+	}
+}
+
+// Property: Running agrees with the direct two-pass computation.
+func TestPropRunningMatchesDirect(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r Running
+		var sum float64
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return true
+			}
+			r.Add(v)
+			sum += v
+		}
+		mean := sum / float64(len(raw))
+		var varSum float64
+		for _, v := range raw {
+			varSum += (v - mean) * (v - mean)
+		}
+		std := math.Sqrt(varSum / float64(len(raw)))
+		return math.Abs(r.Mean()-mean) < 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(r.Std()-std) < 1e-6*(1+std)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add(3)
+	h.Add(3)
+	h.AddN(5, 4)
+	if h.Count(3) != 2 || h.Count(5) != 4 || h.Total() != 6 {
+		t.Fatalf("histogram wrong: %v %v %v", h.Count(3), h.Count(5), h.Total())
+	}
+	keys := h.Keys()
+	if len(keys) != 2 || keys[0] != 3 || keys[1] != 5 {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if h.Share(5) != 4.0/6 {
+		t.Errorf("Share = %v", h.Share(5))
+	}
+	if NewHistogram().Share(1) != 0 {
+		t.Error("empty share should be 0")
+	}
+}
+
+// The paper's setup: 95% confidence, 2.1% margin -> about 2000 samples
+// for large populations (§VII-C).
+func TestLeveugleSamplesPaperPoint(t *testing.T) {
+	n := LeveugleSamples(100000000, 0.95, 0.021)
+	if n < 2000 || n > 2300 {
+		t.Fatalf("samples = %d, want ≈2178 (the paper rounds to 2000)", n)
+	}
+	// Small populations need fewer samples than their size.
+	if got := LeveugleSamples(100, 0.95, 0.021); got > 100 {
+		t.Errorf("small population needs %d > 100 samples", got)
+	}
+	// Higher confidence costs more samples.
+	if LeveugleSamples(1000000, 0.99, 0.021) <= LeveugleSamples(1000000, 0.95, 0.021) {
+		t.Error("99% confidence should need more samples than 95%")
+	}
+	if LeveugleSamples(1000000, 0.5, 0.021) <= 0 {
+		t.Error("fallback z must still produce samples")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "A", "BB")
+	tab.AddRow("x", 1)
+	tab.AddRow(3.14159, 1e-9)
+	s := tab.String()
+	if !strings.Contains(s, "Title") || !strings.Contains(s, "BB") {
+		t.Fatalf("render missing pieces: %q", s)
+	}
+	if !strings.Contains(s, "3.14") {
+		t.Errorf("float formatting: %q", s)
+	}
+	if !strings.Contains(s, "1.00e-09") {
+		t.Errorf("scientific formatting: %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d: %q", len(lines), s)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "A")
+	tab.AddRow(0.0)
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+	if !strings.Contains(tab.String(), "0") {
+		t.Error("zero formatting broken")
+	}
+}

@@ -1,0 +1,195 @@
+package unity
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	c := New()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		data := make([]byte, K)
+		r.Read(data)
+		cw, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Decode(cw)
+		if err != nil || res.Kind != KindClean {
+			t.Fatalf("clean decode: %v %v", err, res.Kind)
+		}
+		if !bytes.Equal(res.Corrected, cw) {
+			t.Fatal("clean decode changed codeword")
+		}
+	}
+}
+
+func TestDecodeWrongLength(t *testing.T) {
+	if _, err := New().Decode(make([]byte, 9)); err == nil {
+		t.Fatal("short codeword accepted")
+	}
+}
+
+// Single-symbol (chip) errors: the SDDC path.
+func TestSymbolCorrection(t *testing.T) {
+	c := New()
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		data := make([]byte, K)
+		r.Read(data)
+		cw, _ := c.Encode(data)
+		bad := make([]byte, N)
+		copy(bad, cw)
+		bad[r.Intn(N)] ^= byte(1 + r.Intn(255))
+		res, err := c.Decode(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kind != KindSymbol || !bytes.Equal(res.Corrected, cw) {
+			t.Fatalf("symbol correction failed: %v", res.Kind)
+		}
+	}
+}
+
+// Cross-symbol double-bit errors: Unity's extension beyond SDDC RS.
+func TestDoubleBitCorrection(t *testing.T) {
+	c := New()
+	r := rand.New(rand.NewSource(3))
+	var corrected, other int
+	for i := 0; i < 1000; i++ {
+		data := make([]byte, K)
+		r.Read(data)
+		cw, _ := c.Encode(data)
+		bad := make([]byte, N)
+		copy(bad, cw)
+		b1 := r.Intn(N * 8)
+		b2 := r.Intn(N * 8)
+		for b2/8 == b1/8 { // force different symbols
+			b2 = r.Intn(N * 8)
+		}
+		bad[b1/8] ^= 1 << uint(b1%8)
+		bad[b2/8] ^= 1 << uint(b2%8)
+		res, err := c.Decode(bad)
+		if err != nil {
+			other++ // ambiguous syndrome: detected uncorrectable
+			continue
+		}
+		if res.Kind == KindDoubleBit {
+			if !bytes.Equal(res.Corrected, cw) {
+				t.Fatal("double-bit path returned wrong data")
+			}
+			corrected++
+		} else {
+			other++ // aliased into the single-symbol region: miscorrection
+		}
+	}
+	// The searched H-matrix leaves at most 5 of 2880 patterns ambiguous,
+	// so virtually every cross-symbol double-bit error must correct.
+	if corrected < 990 {
+		t.Fatalf("only %d/1000 double-bit errors corrected", corrected)
+	}
+}
+
+// Errors in two symbols with multi-bit magnitudes (the BF+BF model) are
+// beyond Unity: mostly DUE, sometimes miscorrected — never silently OK
+// with correct data unless by chance.
+func TestTwoSymbolErrorsMostlyDUE(t *testing.T) {
+	c := New()
+	r := rand.New(rand.NewSource(4))
+	var due, misc int
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		data := make([]byte, K)
+		r.Read(data)
+		cw, _ := c.Encode(data)
+		bad := make([]byte, N)
+		copy(bad, cw)
+		s1 := r.Intn(N)
+		s2 := r.Intn(N)
+		for s2 == s1 {
+			s2 = r.Intn(N)
+		}
+		// 3+ bit corruption across two symbols.
+		bad[s1] ^= byte(1 + r.Intn(255))
+		bad[s2] ^= byte(0x11 + r.Intn(200))
+		res, err := c.Decode(bad)
+		if errors.Is(err, ErrUncorrectable) {
+			due++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Corrected, cw) {
+			misc++
+		}
+	}
+	if due+misc < trials*8/10 {
+		t.Fatalf("due=%d misc=%d out of %d: two-symbol errors should overwhelm Unity", due, misc, trials)
+	}
+	if due == 0 {
+		t.Error("expected DUEs")
+	}
+}
+
+func TestPairTableSize(t *testing.T) {
+	c := New()
+	n := c.PairTableSize()
+	// 45 symbol pairs x 64 bit pairs = 2880 cross-symbol patterns; the
+	// searched H-matrix resolves all but a handful.
+	if n < 2870 || n > 2880 {
+		t.Fatalf("pair table size = %d, want 2875±5", n)
+	}
+	if c.AmbiguousPairs() > 5 {
+		t.Fatalf("ambiguous pairs = %d, want <= 5", c.AmbiguousPairs())
+	}
+}
+
+// Every single symbol error must decode through the SDDC path — the
+// spread construction guarantees disjoint block images.
+func TestSymbolSyndromesExhaustive(t *testing.T) {
+	c := New()
+	data := make([]byte, K)
+	for i := range data {
+		data[i] = byte(0x3c ^ i)
+	}
+	cw, _ := c.Encode(data)
+	for pos := 0; pos < N; pos++ {
+		for m := 1; m < 256; m++ {
+			bad := make([]byte, N)
+			copy(bad, cw)
+			bad[pos] ^= byte(m)
+			res, err := c.Decode(bad)
+			if err != nil || res.Kind != KindSymbol || !bytes.Equal(res.Corrected, cw) {
+				t.Fatalf("symbol %d mask %02x not corrected", pos, m)
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{KindClean, KindSymbol, KindDoubleBit, Kind(9)} {
+		if k.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+}
+
+func BenchmarkDecodeDoubleBit(b *testing.B) {
+	c := New()
+	data := make([]byte, K)
+	cw, _ := c.Encode(data)
+	bad := make([]byte, N)
+	copy(bad, cw)
+	bad[0] ^= 1
+	bad[5] ^= 0x10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(bad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package wideint
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func big192(u U192) *big.Int {
+	b := new(big.Int).SetUint64(u.W2)
+	b.Lsh(b, 64)
+	b.Or(b, new(big.Int).SetUint64(u.W1))
+	b.Lsh(b, 64)
+	b.Or(b, new(big.Int).SetUint64(u.W0))
+	return b
+}
+
+var mod192 = new(big.Int).Lsh(big.NewInt(1), 192)
+
+func randU192(r *rand.Rand) U192 {
+	return U192{r.Uint64(), r.Uint64(), r.Uint64()}
+}
+
+func TestFromUint64(t *testing.T) {
+	u := FromUint64(0xdeadbeef)
+	if u.W0 != 0xdeadbeef || u.W1 != 0 || u.W2 != 0 {
+		t.Fatalf("FromUint64 = %+v", u)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(U192{}).IsZero() {
+		t.Error("zero value should be zero")
+	}
+	if FromUint64(1).IsZero() {
+		t.Error("1 should not be zero")
+	}
+	if (U192{W2: 1}).IsZero() {
+		t.Error("2^128 should not be zero")
+	}
+}
+
+func TestAddSubAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randU192(r), randU192(r)
+		gotAdd := big192(a.Add(b))
+		wantAdd := new(big.Int).Add(big192(a), big192(b))
+		wantAdd.Mod(wantAdd, mod192)
+		if gotAdd.Cmp(wantAdd) != 0 {
+			t.Fatalf("Add(%v,%v) = %v, want %v", a, b, gotAdd, wantAdd)
+		}
+		gotSub := big192(a.Sub(b))
+		wantSub := new(big.Int).Sub(big192(a), big192(b))
+		wantSub.Mod(wantSub, mod192)
+		if gotSub.Cmp(wantSub) != 0 {
+			t.Fatalf("Sub(%v,%v) = %v, want %v", a, b, gotSub, wantSub)
+		}
+	}
+}
+
+func TestMulUint64AgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a := randU192(r)
+		m := r.Uint64()
+		got := big192(a.MulUint64(m))
+		want := new(big.Int).Mul(big192(a), new(big.Int).SetUint64(m))
+		want.Mod(want, mod192)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("MulUint64(%v,%d) = %v, want %v", a, m, got, want)
+		}
+	}
+}
+
+func TestShiftsAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a := randU192(r)
+		n := uint(r.Intn(200))
+		gotL := big192(a.Lsh(n))
+		wantL := new(big.Int).Lsh(big192(a), n)
+		wantL.Mod(wantL, mod192)
+		if gotL.Cmp(wantL) != 0 {
+			t.Fatalf("Lsh(%v,%d) = %v, want %v", a, n, gotL, wantL)
+		}
+		gotR := big192(a.Rsh(n))
+		wantR := new(big.Int).Rsh(big192(a), n)
+		if gotR.Cmp(wantR) != 0 {
+			t.Fatalf("Rsh(%v,%d) = %v, want %v", a, n, gotR, wantR)
+		}
+	}
+}
+
+func TestShiftBoundaries(t *testing.T) {
+	a := U192{0x0123456789abcdef, 0xfedcba9876543210, 0x0f1e2d3c4b5a6978}
+	for _, n := range []uint{0, 1, 63, 64, 65, 127, 128, 129, 191, 192, 300} {
+		gotL := big192(a.Lsh(n))
+		wantL := new(big.Int).Lsh(big192(a), n)
+		wantL.Mod(wantL, mod192)
+		if gotL.Cmp(wantL) != 0 {
+			t.Errorf("Lsh(%d) mismatch", n)
+		}
+		gotR := big192(a.Rsh(n))
+		wantR := new(big.Int).Rsh(big192(a), n)
+		if gotR.Cmp(wantR) != 0 {
+			t.Errorf("Rsh(%d) mismatch", n)
+		}
+	}
+}
+
+func TestMod64AgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	moduli := []uint64{1, 2, 3, 511, 1021, 2005, 2041, 131049, 1<<62 - 57}
+	for i := 0; i < 1000; i++ {
+		a := randU192(r)
+		for _, m := range moduli {
+			got := a.Mod64(m)
+			want := new(big.Int).Mod(big192(a), new(big.Int).SetUint64(m)).Uint64()
+			if got != want {
+				t.Fatalf("Mod64(%v,%d) = %d, want %d", a, m, got, want)
+			}
+		}
+	}
+}
+
+func TestMod64PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromUint64(5).Mod64(0)
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b U192
+		want int
+	}{
+		{U192{}, U192{}, 0},
+		{FromUint64(1), U192{}, 1},
+		{U192{}, FromUint64(1), -1},
+		{U192{W2: 1}, U192{W1: ^uint64(0), W0: ^uint64(0)}, 1},
+		{U192{W1: 1}, U192{W0: ^uint64(0)}, 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	var u U192
+	for _, i := range []int{0, 1, 63, 64, 100, 127, 128, 191} {
+		u = u.SetBit(i, 1)
+		if u.Bit(i) != 1 {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if u.OnesCount() != 8 {
+		t.Fatalf("OnesCount = %d, want 8", u.OnesCount())
+	}
+	for _, i := range []int{0, 64, 191} {
+		u = u.FlipBit(i)
+		if u.Bit(i) != 0 {
+			t.Fatalf("bit %d not cleared by flip", i)
+		}
+	}
+	u = u.SetBit(70, 0)
+	if u.Bit(70) != 0 {
+		t.Fatal("SetBit(...,0) did not clear")
+	}
+	if u.Bit(-1) != 0 || u.Bit(192) != 0 {
+		t.Fatal("out-of-range Bit should be 0")
+	}
+}
+
+func TestMask(t *testing.T) {
+	m := Mask(8, 16)
+	if m.W0 != 0xffff00 {
+		t.Fatalf("Mask(8,16) = %v", m)
+	}
+	if !Mask(0, 0).IsZero() {
+		t.Error("Mask(0,0) should be zero")
+	}
+	if Mask(0, 192).OnesCount() != 192 {
+		t.Error("Mask(0,192) should be all ones")
+	}
+	if Mask(190, 16).OnesCount() != 2 {
+		t.Error("Mask should clamp at 192 bits")
+	}
+}
+
+func TestFieldRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		u := randU192(r)
+		width := 1 + r.Intn(64)
+		offset := r.Intn(192 - width)
+		val := r.Uint64()
+		u2 := u.WithField(offset, width, val)
+		wantVal := val
+		if width < 64 {
+			wantVal &= 1<<uint(width) - 1
+		}
+		if got := u2.Field(offset, width); got != wantVal {
+			t.Fatalf("Field after WithField(off=%d,w=%d) = %x, want %x", offset, width, got, wantVal)
+		}
+		// Bits outside the field must be untouched.
+		mask := Mask(offset, width)
+		if !u2.And(mask.Not()).Xor(u.And(mask.Not())).IsZero() {
+			t.Fatalf("WithField disturbed outside bits (off=%d,w=%d)", offset, width)
+		}
+	}
+}
+
+func TestFieldPanics(t *testing.T) {
+	for _, w := range []int{0, 65, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Field width %d: expected panic", w)
+				}
+			}()
+			FromUint64(1).Field(0, w)
+		}()
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		u := randU192(r)
+		b := u.Bytes()
+		if got := FromBytes(b[:]); got != u {
+			t.Fatalf("FromBytes(Bytes(%v)) = %v", u, got)
+		}
+	}
+	if got := FromBytes([]byte{0x12, 0x34}); got.W0 != 0x1234 {
+		t.Fatalf("FromBytes short = %v", got)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	if (U192{}).BitLen() != 0 {
+		t.Error("BitLen(0) != 0")
+	}
+	if FromUint64(1).Lsh(100).BitLen() != 101 {
+		t.Error("BitLen(2^100) != 101")
+	}
+	if FromUint64(1).Lsh(191).BitLen() != 192 {
+		t.Error("BitLen(2^191) != 192")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := FromUint64(255).String(); s != "0xff" {
+		t.Errorf("String = %q", s)
+	}
+	if s := FromUint64(1).Lsh(64).String(); s != "0x10000000000000000" {
+		t.Errorf("String = %q", s)
+	}
+	if s := FromUint64(1).Lsh(128).String(); s != "0x100000000000000000000000000000000" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: (a+b)-b == a.
+func TestPropAddSubInverse(t *testing.T) {
+	f := func(a0, a1, a2, b0, b1, b2 uint64) bool {
+		a := U192{a0, a1, a2}
+		b := U192{b0, b1, b2}
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XOR is self-inverse and And/Or/Not satisfy De Morgan.
+func TestPropBoolean(t *testing.T) {
+	f := func(a0, a1, a2, b0, b1, b2 uint64) bool {
+		a := U192{a0, a1, a2}
+		b := U192{b0, b1, b2}
+		if a.Xor(b).Xor(b) != a {
+			return false
+		}
+		return a.And(b).Not() == a.Not().Or(b.Not())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shifting left then right by the same in-range amount restores
+// the value when no bits fall off the top.
+func TestPropShiftRoundTrip(t *testing.T) {
+	f := func(a0 uint64, nRaw uint8) bool {
+		n := uint(nRaw) % 128
+		a := FromUint64(a0)
+		return a.Lsh(n).Rsh(n) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mod64 result is always < m and congruent via reconstruction
+// for single-limb values.
+func TestPropMod64(t *testing.T) {
+	f := func(v uint64, mRaw uint64) bool {
+		m := mRaw%100000 + 1
+		r := FromUint64(v).Mod64(m)
+		return r < m && r == v%m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMod64(b *testing.B) {
+	u := U192{0x0123456789abcdef, 0xfedcba9876543210, 0xffff}
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += u.Mod64(2005)
+	}
+	_ = s
+}
+
+func BenchmarkAdd(b *testing.B) {
+	u := U192{1, 2, 3}
+	v := U192{5, 6, 7}
+	for i := 0; i < b.N; i++ {
+		u = u.Add(v)
+	}
+	_ = u
+}

@@ -1,0 +1,1002 @@
+package workload
+
+import "math"
+
+// The eleven synthetic programs mirror the memory-access structure of the
+// paper's SPEC'17 mix: dense floating-point kernels (waves, stencil2d,
+// lattice, forces), pointer-chasing and tree codes (chase, xmltree,
+// treesearch), and integer/table codes (compress, symtab, convolve).
+// Every loop counter, pointer, and index lives in the memory image, so an
+// injected corruption can produce a crash (wild pointer), a hang
+// (corrupted trip count), an SDC (corrupted data), or nothing (dead
+// memory) — the four outcomes of Figure 4.
+
+// Header layout shared by all programs (offsets into the image):
+const (
+	hdrPC     = 0  // current phase/iteration counter
+	hdrLimit  = 8  // iteration target
+	hdrCursor = 16 // program-specific pointer/index
+	hdrAccum  = 24 // running accumulator
+	hdrRNG    = 32 // in-image PRNG state
+	hdrAux    = 40 // program-specific
+	hdrData   = 64 // start of the data region
+)
+
+func initHeader(mem []byte, limit uint64, seed int64) {
+	_ = st64(mem, hdrPC, 0)
+	_ = st64(mem, hdrLimit, limit)
+	_ = st64(mem, hdrRNG, uint64(seed)*0x9e3779b97f4a7c15+1)
+}
+
+// advance bumps the phase counter and reports completion.
+func advance(mem []byte) (bool, error) {
+	pc, err := ld64(mem, hdrPC)
+	if err != nil {
+		return false, err
+	}
+	limit, err := ld64(mem, hdrLimit)
+	if err != nil {
+		return false, err
+	}
+	pc++
+	if err := st64(mem, hdrPC, pc); err != nil {
+		return false, err
+	}
+	return pc >= limit, nil
+}
+
+// Programs returns the full synthetic suite.
+func Programs() []Program {
+	return []Program{
+		Waves{}, Chase{}, Stencil2D{}, TreeSearch{}, Lattice{},
+		Compress{}, SymTab{}, Convolve{}, Forces{}, XMLTree{}, Solver{},
+	}
+}
+
+// ByName returns a program by its Name, or nil.
+func ByName(name string) Program {
+	for _, p := range Programs() {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// --- waves: dense matrix-vector iteration (bwaves-like) --------------------
+
+// Waves repeatedly multiplies a dense matrix into a vector and
+// renormalizes — the access pattern of a blocked fluid solver.
+type Waves struct{}
+
+const wavesN = 48
+
+// Name implements Program.
+func (Waves) Name() string { return "waves" }
+
+// Init implements Program.
+func (Waves) Init(seed int64) []byte {
+	mem := make([]byte, hdrData+(wavesN*wavesN+2*wavesN)*8)
+	initHeader(mem, 40*wavesN, seed) // 40 full multiplications, one row per step
+	rng := uint64(seed)*2654435761 + 12345
+	for i := 0; i < wavesN*wavesN; i++ {
+		rng = xorshift(rng)
+		_ = stF(mem, hdrData+8*i, 0.5+float64(rng%1000)/2000)
+	}
+	vec := hdrData + 8*wavesN*wavesN
+	for i := 0; i < wavesN; i++ {
+		rng = xorshift(rng)
+		_ = stF(mem, vec+8*i, float64(rng%100)/100+0.1)
+	}
+	return mem
+}
+
+// Step implements Program.
+func (Waves) Step(mem []byte) (bool, error) {
+	pc, err := ld64(mem, hdrPC)
+	if err != nil {
+		return false, err
+	}
+	row := int(pc % wavesN)
+	vec := hdrData + 8*wavesN*wavesN
+	out := vec + 8*wavesN
+	var sum float64
+	for j := 0; j < wavesN; j++ {
+		a, err := ldF(mem, hdrData+8*(row*wavesN+j))
+		if err != nil {
+			return false, err
+		}
+		x, err := ldF(mem, vec+8*j)
+		if err != nil {
+			return false, err
+		}
+		sum += a * x
+	}
+	if err := stF(mem, out+8*row, sum); err != nil {
+		return false, err
+	}
+	if row == wavesN-1 {
+		// Normalize and swap: out becomes the next input vector.
+		var norm float64
+		for j := 0; j < wavesN; j++ {
+			v, err := ldF(mem, out+8*j)
+			if err != nil {
+				return false, err
+			}
+			norm += v * v
+		}
+		norm = math.Sqrt(norm) + 1e-12
+		for j := 0; j < wavesN; j++ {
+			v, _ := ldF(mem, out+8*j)
+			if err := stF(mem, vec+8*j, v/norm); err != nil {
+				return false, err
+			}
+		}
+	}
+	return advance(mem)
+}
+
+// Digest implements Program.
+func (Waves) Digest(mem []byte) uint64 {
+	vec := hdrData + 8*wavesN*wavesN
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < wavesN; i++ {
+		f, _ := ldF(mem, vec+8*i)
+		// Quantize so that last-ulp noise does not count as SDC.
+		h = fnv(h, uint64(int64(f*1e6)))
+	}
+	return h
+}
+
+// --- chase: pointer chasing over a linked ring (mcf-like) ------------------
+
+// Chase walks a pseudo-random linked ring whose "pointers" are byte
+// offsets stored in memory — the classic cache-hostile optimizer loop.
+type Chase struct{}
+
+const chaseNodes = 4096
+
+// Name implements Program.
+func (Chase) Name() string { return "chase" }
+
+// Init implements Program.
+func (Chase) Init(seed int64) []byte {
+	// Node i: [next u64][value u64].
+	mem := make([]byte, hdrData+chaseNodes*16)
+	initHeader(mem, 3000, seed)
+	_ = st64(mem, hdrCursor, uint64(hdrData)) // current node pointer
+	// Sattolo shuffle for a single cycle.
+	perm := make([]int, chaseNodes)
+	for i := range perm {
+		perm[i] = i
+	}
+	rng := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := chaseNodes - 1; i > 0; i-- {
+		rng = xorshift(rng)
+		j := int(rng % uint64(i))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < chaseNodes; i++ {
+		from := perm[i]
+		to := perm[(i+1)%chaseNodes]
+		_ = st64(mem, hdrData+16*from, uint64(hdrData+16*to))
+		rng = xorshift(rng)
+		_ = st64(mem, hdrData+16*from+8, rng%100000)
+	}
+	return mem
+}
+
+// Step implements Program.
+func (Chase) Step(mem []byte) (bool, error) {
+	cur, err := ld64(mem, hdrCursor)
+	if err != nil {
+		return false, err
+	}
+	acc, err := ld64(mem, hdrAccum)
+	if err != nil {
+		return false, err
+	}
+	for k := 0; k < 64; k++ {
+		v, err := ld64(mem, int(cur)+8)
+		if err != nil {
+			return false, err
+		}
+		acc = fnv(acc, v)
+		cur, err = ld64(mem, int(cur))
+		if err != nil {
+			return false, err
+		}
+	}
+	if err := st64(mem, hdrCursor, cur); err != nil {
+		return false, err
+	}
+	if err := st64(mem, hdrAccum, acc); err != nil {
+		return false, err
+	}
+	return advance(mem)
+}
+
+// Digest implements Program.
+func (Chase) Digest(mem []byte) uint64 {
+	v, _ := ld64(mem, hdrAccum)
+	return v
+}
+
+// --- stencil2d: Jacobi sweep over a grid (roms-like) -----------------------
+
+// Stencil2D relaxes a 2D grid with a 5-point stencil, one row per step.
+type Stencil2D struct{}
+
+const stGrid = 64
+
+// Name implements Program.
+func (Stencil2D) Name() string { return "stencil2d" }
+
+// Init implements Program.
+func (Stencil2D) Init(seed int64) []byte {
+	mem := make([]byte, hdrData+2*stGrid*stGrid*8)
+	initHeader(mem, uint64(30*(stGrid-2)), seed)
+	rng := uint64(seed) + 7
+	for i := 0; i < stGrid*stGrid; i++ {
+		rng = xorshift(rng)
+		_ = stF(mem, hdrData+8*i, float64(rng%1000)/1000)
+	}
+	return mem
+}
+
+func (Stencil2D) buf(phase uint64) (src, dst int) {
+	a := hdrData
+	b := hdrData + stGrid*stGrid*8
+	if phase%2 == 0 {
+		return a, b
+	}
+	return b, a
+}
+
+// Step implements Program.
+func (s Stencil2D) Step(mem []byte) (bool, error) {
+	pc, err := ld64(mem, hdrPC)
+	if err != nil {
+		return false, err
+	}
+	rows := uint64(stGrid - 2)
+	sweep := pc / rows
+	row := int(pc%rows) + 1
+	src, dst := s.buf(sweep)
+	for col := 1; col < stGrid-1; col++ {
+		idx := row*stGrid + col
+		c, err := ldF(mem, src+8*idx)
+		if err != nil {
+			return false, err
+		}
+		n, _ := ldF(mem, src+8*(idx-stGrid))
+		sv, _ := ldF(mem, src+8*(idx+stGrid))
+		w, _ := ldF(mem, src+8*(idx-1))
+		e, err := ldF(mem, src+8*(idx+1))
+		if err != nil {
+			return false, err
+		}
+		if err := stF(mem, dst+8*idx, 0.2*(c+n+sv+w+e)); err != nil {
+			return false, err
+		}
+	}
+	// Copy boundary rows on the first row of each sweep.
+	if row == 1 {
+		for col := 0; col < stGrid; col++ {
+			v, _ := ldF(mem, src+8*col)
+			_ = stF(mem, dst+8*col, v)
+			v2, _ := ldF(mem, src+8*((stGrid-1)*stGrid+col))
+			_ = stF(mem, dst+8*((stGrid-1)*stGrid+col), v2)
+		}
+		for r := 0; r < stGrid; r++ {
+			v, _ := ldF(mem, src+8*(r*stGrid))
+			_ = stF(mem, dst+8*(r*stGrid), v)
+			v2, _ := ldF(mem, src+8*(r*stGrid+stGrid-1))
+			_ = stF(mem, dst+8*(r*stGrid+stGrid-1), v2)
+		}
+	}
+	return advance(mem)
+}
+
+// Digest implements Program.
+func (s Stencil2D) Digest(mem []byte) uint64 {
+	pc, _ := ld64(mem, hdrPC)
+	rows := uint64(stGrid - 2)
+	src, _ := s.buf(pc / rows)
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < stGrid*stGrid; i += 7 {
+		f, _ := ldF(mem, src+8*i)
+		h = fnv(h, uint64(int64(f*1e6)))
+	}
+	return h
+}
+
+// --- treesearch: minimax over an implicit game tree (deepsjeng-like) -------
+
+// TreeSearch runs an iterative-deepening negamax over an implicit tree
+// whose branching and leaf values come from an in-memory table; the
+// explicit stack lives in the image.
+type TreeSearch struct{}
+
+const (
+	tsTable = 8192 // leaf-value table entries
+	tsStack = 256  // stack slots: [node u64][child u64][best u64]
+)
+
+// Name implements Program.
+func (TreeSearch) Name() string { return "treesearch" }
+
+// Init implements Program.
+func (TreeSearch) Init(seed int64) []byte {
+	mem := make([]byte, hdrData+tsTable*8+tsStack*24)
+	initHeader(mem, 2500, seed)
+	rng := uint64(seed) ^ 0xabcdef
+	for i := 0; i < tsTable; i++ {
+		rng = xorshift(rng)
+		_ = st64(mem, hdrData+8*i, rng%4096)
+	}
+	// hdrCursor = stack depth; hdrAux = root nonce.
+	_ = st64(mem, hdrCursor, 0)
+	_ = st64(mem, hdrAux, uint64(seed)|1)
+	return mem
+}
+
+func tsSlot(depth int) int { return hdrData + tsTable*8 + depth*24 }
+
+// Step implements Program.
+func (TreeSearch) Step(mem []byte) (bool, error) {
+	// One step = one bounded depth-3 negamax from a fresh root.
+	nonce, err := ld64(mem, hdrAux)
+	if err != nil {
+		return false, err
+	}
+	acc, err := ld64(mem, hdrAccum)
+	if err != nil {
+		return false, err
+	}
+	// Push root.
+	if err := st64(mem, hdrCursor, 0); err != nil {
+		return false, err
+	}
+	node := nonce
+	var explore func(node uint64, depth int) (uint64, error)
+	explore = func(node uint64, depth int) (uint64, error) {
+		if depth >= 3 {
+			v, err := ld64(mem, hdrData+8*int(node%tsTable))
+			return v, err
+		}
+		// Record the frame in the in-memory stack (corruptible).
+		d, err := ld64(mem, hdrCursor)
+		if err != nil {
+			return 0, err
+		}
+		if d >= tsStack {
+			return 0, ErrFault
+		}
+		if err := st64(mem, tsSlot(int(d)), node); err != nil {
+			return 0, err
+		}
+		if err := st64(mem, hdrCursor, d+1); err != nil {
+			return 0, err
+		}
+		branch := 2 + int(node%3)
+		var best uint64
+		for c := 0; c < branch; c++ {
+			child := xorshift(node + uint64(c)*0x9e3779b9)
+			v, err := explore(child, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if v > best {
+				best = v
+			}
+		}
+		if err := st64(mem, hdrCursor, d); err != nil {
+			return 0, err
+		}
+		return 4096 - best, nil
+	}
+	val, err := explore(node, 0)
+	if err != nil {
+		return false, err
+	}
+	acc = fnv(acc, val)
+	if err := st64(mem, hdrAccum, acc); err != nil {
+		return false, err
+	}
+	if err := st64(mem, hdrAux, xorshift(nonce)); err != nil {
+		return false, err
+	}
+	return advance(mem)
+}
+
+// Digest implements Program.
+func (TreeSearch) Digest(mem []byte) uint64 {
+	v, _ := ld64(mem, hdrAccum)
+	return v
+}
+
+// --- lattice: 1D streaming update (lbm-like) --------------------------------
+
+// Lattice streams three distribution arrays along a 1D lattice with
+// collision mixing, one pass per step.
+type Lattice struct{}
+
+const latN = 2048
+
+// Name implements Program.
+func (Lattice) Name() string { return "lattice" }
+
+// Init implements Program.
+func (Lattice) Init(seed int64) []byte {
+	mem := make([]byte, hdrData+3*latN*8)
+	initHeader(mem, 600, seed)
+	rng := uint64(seed) + 99
+	for i := 0; i < 3*latN; i++ {
+		rng = xorshift(rng)
+		_ = stF(mem, hdrData+8*i, 0.1+float64(rng%100)/300)
+	}
+	return mem
+}
+
+// Step implements Program.
+func (Lattice) Step(mem []byte) (bool, error) {
+	f0, f1, f2 := hdrData, hdrData+latN*8, hdrData+2*latN*8
+	// Collision + streaming, strided to bound per-step work.
+	pc, err := ld64(mem, hdrPC)
+	if err != nil {
+		return false, err
+	}
+	start := int(pc % 4)
+	for i := start; i < latN-1; i += 4 {
+		a, err := ldF(mem, f0+8*i)
+		if err != nil {
+			return false, err
+		}
+		b, _ := ldF(mem, f1+8*i)
+		c, err := ldF(mem, f2+8*i)
+		if err != nil {
+			return false, err
+		}
+		rho := a + b + c
+		eq := rho / 3
+		om := 0.6
+		if err := stF(mem, f0+8*i+8, a+om*(eq-a)); err != nil {
+			return false, err
+		}
+		if err := stF(mem, f1+8*i, b+om*(eq-b)); err != nil {
+			return false, err
+		}
+		j := i - 1
+		if j < 0 {
+			j = latN - 1
+		}
+		if err := stF(mem, f2+8*j, c+om*(eq-c)); err != nil {
+			return false, err
+		}
+	}
+	return advance(mem)
+}
+
+// Digest implements Program.
+func (Lattice) Digest(mem []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < 3*latN; i += 13 {
+		f, _ := ldF(mem, hdrData+8*i)
+		h = fnv(h, uint64(int64(f*1e6)))
+	}
+	return h
+}
+
+// --- compress: rolling-hash match finder (xz-like) --------------------------
+
+// Compress scans a byte buffer with a rolling hash, recording match
+// offsets into an output log — LZ-style dictionary compression.
+type Compress struct{}
+
+const (
+	czData = 32768
+	czHash = 4096
+	czOut  = 8192
+)
+
+// Name implements Program.
+func (Compress) Name() string { return "compress" }
+
+// Init implements Program.
+func (Compress) Init(seed int64) []byte {
+	mem := make([]byte, hdrData+czData+czHash*8+czOut)
+	initHeader(mem, uint64(czData/64), seed)
+	rng := uint64(seed) * 31
+	// Compressible data: repeated fragments.
+	for i := 0; i < czData; i++ {
+		rng = xorshift(rng)
+		if rng%4 == 0 && i >= 256 {
+			mem[hdrData+i] = mem[hdrData+i-256]
+		} else {
+			mem[hdrData+i] = byte(rng % 64)
+		}
+	}
+	_ = st64(mem, hdrCursor, 0) // output write index
+	return mem
+}
+
+// Step implements Program.
+func (Compress) Step(mem []byte) (bool, error) {
+	pc, err := ld64(mem, hdrPC)
+	if err != nil {
+		return false, err
+	}
+	hashBase := hdrData + czData
+	outBase := hashBase + czHash*8
+	outIdx, err := ld64(mem, hdrCursor)
+	if err != nil {
+		return false, err
+	}
+	start := int(pc) * 64
+	for i := start; i < start+64 && i+4 <= czData; i++ {
+		b0, err := ldB(mem, hdrData+i)
+		if err != nil {
+			return false, err
+		}
+		b1, _ := ldB(mem, hdrData+i+1)
+		b2, _ := ldB(mem, hdrData+i+2)
+		b3, err := ldB(mem, hdrData+i+3)
+		if err != nil {
+			return false, err
+		}
+		h := (uint64(b0)*131*131*131 + uint64(b1)*131*131 + uint64(b2)*131 + uint64(b3)) % czHash
+		prev, err := ld64(mem, hashBase+8*int(h))
+		if err != nil {
+			return false, err
+		}
+		if prev != 0 {
+			p0, err := ldB(mem, hdrData+int(prev-1))
+			if err != nil {
+				return false, err
+			}
+			if p0 == b0 {
+				if err := stB(mem, outBase+int(outIdx%czOut), byte(i)^byte(prev)); err != nil {
+					return false, err
+				}
+				outIdx++
+			}
+		}
+		if err := st64(mem, hashBase+8*int(h), uint64(i+1)); err != nil {
+			return false, err
+		}
+	}
+	if err := st64(mem, hdrCursor, outIdx); err != nil {
+		return false, err
+	}
+	return advance(mem)
+}
+
+// Digest implements Program.
+func (Compress) Digest(mem []byte) uint64 {
+	outBase := hdrData + czData + czHash*8
+	n, _ := ld64(mem, hdrCursor)
+	return fnv(digestRange(mem, outBase, outBase+czOut), n)
+}
+
+// --- symtab: open-addressing hash table (gcc-like) --------------------------
+
+// SymTab interns synthetic symbols into an open-addressing table and
+// then re-resolves them — compiler front-end behaviour.
+type SymTab struct{}
+
+const (
+	stSlots = 8192 // table slots: [key u64][value u64]
+)
+
+// Name implements Program.
+func (SymTab) Name() string { return "symtab" }
+
+// Init implements Program.
+func (SymTab) Init(seed int64) []byte {
+	mem := make([]byte, hdrData+stSlots*16)
+	initHeader(mem, 4000, seed)
+	return mem
+}
+
+// Step implements Program.
+func (SymTab) Step(mem []byte) (bool, error) {
+	rng, err := ld64(mem, hdrRNG)
+	if err != nil {
+		return false, err
+	}
+	acc, err := ld64(mem, hdrAccum)
+	if err != nil {
+		return false, err
+	}
+	for op := 0; op < 8; op++ {
+		rng = xorshift(rng)
+		// Bounded key universe keeps the table's load factor near 0.7,
+		// so only corruption can drive it to pathological fullness.
+		key := rng%6000 + 1
+		slot := int(key % stSlots)
+		for probe := 0; ; probe++ {
+			if probe > stSlots {
+				return false, ErrFault // table corrupted into fullness
+			}
+			k, err := ld64(mem, hdrData+16*slot)
+			if err != nil {
+				return false, err
+			}
+			if k == key {
+				v, err := ld64(mem, hdrData+16*slot+8)
+				if err != nil {
+					return false, err
+				}
+				acc = fnv(acc, v)
+				break
+			}
+			if k == 0 {
+				if err := st64(mem, hdrData+16*slot, key); err != nil {
+					return false, err
+				}
+				if err := st64(mem, hdrData+16*slot+8, key*2654435761); err != nil {
+					return false, err
+				}
+				break
+			}
+			slot = (slot + 1) % stSlots
+		}
+	}
+	if err := st64(mem, hdrRNG, rng); err != nil {
+		return false, err
+	}
+	if err := st64(mem, hdrAccum, acc); err != nil {
+		return false, err
+	}
+	return advance(mem)
+}
+
+// Digest implements Program.
+func (SymTab) Digest(mem []byte) uint64 {
+	v, _ := ld64(mem, hdrAccum)
+	return v
+}
+
+// --- convolve: integer image convolution (imagick-like) ---------------------
+
+// Convolve applies a 3x3 integer kernel (stored in memory) over an image,
+// one row per step.
+type Convolve struct{}
+
+const cvW = 96
+
+// Name implements Program.
+func (Convolve) Name() string { return "convolve" }
+
+// Init implements Program.
+func (Convolve) Init(seed int64) []byte {
+	// image (cvW x cvW bytes), kernel (9 x u64), output (same size).
+	mem := make([]byte, hdrData+cvW*cvW+9*8+cvW*cvW)
+	initHeader(mem, uint64(20*(cvW-2)), seed)
+	rng := uint64(seed) * 1000003
+	for i := 0; i < cvW*cvW; i++ {
+		rng = xorshift(rng)
+		mem[hdrData+i] = byte(rng)
+	}
+	kernel := [9]uint64{1, 2, 1, 2, 4, 2, 1, 2, 1}
+	for i, k := range kernel {
+		_ = st64(mem, hdrData+cvW*cvW+8*i, k)
+	}
+	return mem
+}
+
+// Step implements Program.
+func (Convolve) Step(mem []byte) (bool, error) {
+	pc, err := ld64(mem, hdrPC)
+	if err != nil {
+		return false, err
+	}
+	rows := uint64(cvW - 2)
+	row := int(pc%rows) + 1
+	kBase := hdrData + cvW*cvW
+	oBase := kBase + 9*8
+	for col := 1; col < cvW-1; col++ {
+		var sum uint64
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				px, err := ldB(mem, hdrData+(row+dy)*cvW+(col+dx))
+				if err != nil {
+					return false, err
+				}
+				k, err := ld64(mem, kBase+8*((dy+1)*3+(dx+1)))
+				if err != nil {
+					return false, err
+				}
+				sum += uint64(px) * k
+			}
+		}
+		if err := stB(mem, oBase+row*cvW+col, byte(sum/16)); err != nil {
+			return false, err
+		}
+	}
+	// Feed the output back as input every full pass, like filter chains.
+	if row == cvW-2 {
+		copy(mem[hdrData:hdrData+cvW*cvW], mem[oBase:oBase+cvW*cvW])
+	}
+	return advance(mem)
+}
+
+// Digest implements Program.
+func (Convolve) Digest(mem []byte) uint64 {
+	oBase := hdrData + cvW*cvW + 9*8
+	return digestRange(mem, oBase, oBase+cvW*cvW)
+}
+
+// --- forces: pairwise force accumulation (nab-like) --------------------------
+
+// Forces accumulates inverse-square interactions between particles, one
+// particle against all others per step.
+type Forces struct{}
+
+const fcN = 256
+
+// Name implements Program.
+func (Forces) Name() string { return "forces" }
+
+// Init implements Program.
+func (Forces) Init(seed int64) []byte {
+	// positions (x,y) and forces (fx,fy): 4 float64 per particle.
+	mem := make([]byte, hdrData+fcN*32)
+	initHeader(mem, 10*fcN, seed)
+	rng := uint64(seed) + 0xfeed
+	for i := 0; i < fcN; i++ {
+		rng = xorshift(rng)
+		_ = stF(mem, hdrData+32*i, float64(rng%1000)/10)
+		rng = xorshift(rng)
+		_ = stF(mem, hdrData+32*i+8, float64(rng%1000)/10)
+	}
+	return mem
+}
+
+// Step implements Program.
+func (Forces) Step(mem []byte) (bool, error) {
+	pc, err := ld64(mem, hdrPC)
+	if err != nil {
+		return false, err
+	}
+	i := int(pc % fcN)
+	xi, err := ldF(mem, hdrData+32*i)
+	if err != nil {
+		return false, err
+	}
+	yi, err := ldF(mem, hdrData+32*i+8)
+	if err != nil {
+		return false, err
+	}
+	var fx, fy float64
+	for j := 0; j < fcN; j++ {
+		if j == i {
+			continue
+		}
+		xj, err := ldF(mem, hdrData+32*j)
+		if err != nil {
+			return false, err
+		}
+		yj, _ := ldF(mem, hdrData+32*j+8)
+		dx, dy := xi-xj, yi-yj
+		d2 := dx*dx + dy*dy + 1e-6
+		inv := 1 / (d2 * math.Sqrt(d2))
+		fx += dx * inv
+		fy += dy * inv
+	}
+	if err := stF(mem, hdrData+32*i+16, fx); err != nil {
+		return false, err
+	}
+	if err := stF(mem, hdrData+32*i+24, fy); err != nil {
+		return false, err
+	}
+	// Nudge the particle along the force at the end of each sweep.
+	if err := stF(mem, hdrData+32*i, xi+0.001*fx); err != nil {
+		return false, err
+	}
+	if err := stF(mem, hdrData+32*i+8, yi+0.001*fy); err != nil {
+		return false, err
+	}
+	return advance(mem)
+}
+
+// Digest implements Program.
+func (Forces) Digest(mem []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < fcN; i++ {
+		fx, _ := ldF(mem, hdrData+32*i+16)
+		fy, _ := ldF(mem, hdrData+32*i+24)
+		h = fnv(h, uint64(int64(fx*1e3)))
+		h = fnv(h, uint64(int64(fy*1e3)))
+	}
+	return h
+}
+
+// --- xmltree: binary search tree lookups (xalancbmk-like) -------------------
+
+// XMLTree builds a binary search tree of records with child offsets
+// stored in memory, then performs repeated descents.
+type XMLTree struct{}
+
+const xtNodes = 4096
+
+// Name implements Program.
+func (XMLTree) Name() string { return "xmltree" }
+
+// Init implements Program.
+func (XMLTree) Init(seed int64) []byte {
+	// Node: [key u64][left u64][right u64][payload u64].
+	mem := make([]byte, hdrData+xtNodes*32)
+	initHeader(mem, 3000, seed)
+	rng := uint64(seed)*48271 + 11
+	// Insert nodes sequentially; node 0 is the root.
+	rng = xorshift(rng)
+	_ = st64(mem, hdrData, rng%1000000)
+	_ = st64(mem, hdrData+24, rng)
+	for i := 1; i < xtNodes; i++ {
+		rng = xorshift(rng)
+		key := rng % 1000000
+		addr := hdrData
+		for {
+			k, _ := ld64(mem, addr)
+			childOff := 8
+			if key >= k {
+				childOff = 16
+			}
+			child, _ := ld64(mem, addr+childOff)
+			if child == 0 {
+				nodeAddr := hdrData + 32*i
+				_ = st64(mem, addr+childOff, uint64(nodeAddr))
+				_ = st64(mem, nodeAddr, key)
+				_ = st64(mem, nodeAddr+24, rng)
+				break
+			}
+			addr = int(child)
+		}
+	}
+	return mem
+}
+
+// Step implements Program.
+func (XMLTree) Step(mem []byte) (bool, error) {
+	rng, err := ld64(mem, hdrRNG)
+	if err != nil {
+		return false, err
+	}
+	acc, err := ld64(mem, hdrAccum)
+	if err != nil {
+		return false, err
+	}
+	for q := 0; q < 8; q++ {
+		rng = xorshift(rng)
+		key := rng % 1000000
+		addr := hdrData
+		for depth := 0; ; depth++ {
+			if depth > xtNodes {
+				return false, ErrFault // cycle from corrupted links
+			}
+			k, err := ld64(mem, addr)
+			if err != nil {
+				return false, err
+			}
+			if k == key {
+				p, err := ld64(mem, addr+24)
+				if err != nil {
+					return false, err
+				}
+				acc = fnv(acc, p)
+				break
+			}
+			childOff := 8
+			if key > k {
+				childOff = 16
+			}
+			child, err := ld64(mem, addr+childOff)
+			if err != nil {
+				return false, err
+			}
+			if child == 0 {
+				acc = fnv(acc, k)
+				break
+			}
+			addr = int(child)
+		}
+	}
+	if err := st64(mem, hdrRNG, rng); err != nil {
+		return false, err
+	}
+	if err := st64(mem, hdrAccum, acc); err != nil {
+		return false, err
+	}
+	return advance(mem)
+}
+
+// Digest implements Program.
+func (XMLTree) Digest(mem []byte) uint64 {
+	v, _ := ld64(mem, hdrAccum)
+	return v
+}
+
+// --- solver: convergence-terminated Jacobi iteration ------------------------
+
+// Solver relaxes a diagonally dominant linear system until the update
+// residual drops below a tolerance *stored in memory*. Termination is
+// data-dependent — the behaviour class SPEC's iterative solvers exhibit —
+// so a corrupted tolerance or state vector can make the loop run forever:
+// the realistic Hang mechanism of Figure 4.
+type Solver struct{}
+
+const svN = 512
+
+// Name implements Program.
+func (Solver) Name() string { return "solver" }
+
+// Init implements Program.
+func (Solver) Init(seed int64) []byte {
+	// x[svN], b[svN] float64; tolerance at hdrAux.
+	mem := make([]byte, hdrData+2*svN*8)
+	initHeader(mem, 50000, seed) // safety cap far beyond convergence
+	_ = stF(mem, hdrAux, 1e-8)
+	rng := uint64(seed)*2862933555777941757 + 3037000493
+	for i := 0; i < svN; i++ {
+		rng = xorshift(rng)
+		_ = stF(mem, hdrData+svN*8+8*i, float64(rng%1000)/1000)
+	}
+	return mem
+}
+
+// Step implements Program: one Jacobi sweep x_i <- (b_i + x_{i-1} +
+// x_{i+1}) / 2.5 over a cyclic tridiagonal system, finishing when the
+// sweep's total update falls below the in-memory tolerance.
+func (Solver) Step(mem []byte) (bool, error) {
+	xBase := hdrData
+	bBase := hdrData + svN*8
+	eps, err := ldF(mem, hdrAux)
+	if err != nil {
+		return false, err
+	}
+	var residual float64
+	prev, err := ldF(mem, xBase)
+	if err != nil {
+		return false, err
+	}
+	first := prev
+	for i := 0; i < svN; i++ {
+		right := first
+		if i < svN-1 {
+			right, err = ldF(mem, xBase+8*(i+1))
+			if err != nil {
+				return false, err
+			}
+		}
+		bi, err := ldF(mem, bBase+8*i)
+		if err != nil {
+			return false, err
+		}
+		cur, err := ldF(mem, xBase+8*i)
+		if err != nil {
+			return false, err
+		}
+		nv := (bi + prev + right) / 2.5
+		if err := stF(mem, xBase+8*i, nv); err != nil {
+			return false, err
+		}
+		residual += math.Abs(nv - cur)
+		prev = nv
+	}
+	if residual < eps && residual == residual { // NaN residual never converges
+		return true, nil
+	}
+	return advance(mem)
+}
+
+// Digest implements Program.
+func (Solver) Digest(mem []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < svN; i += 5 {
+		f, _ := ldF(mem, hdrData+8*i)
+		h = fnv(h, uint64(int64(f*1e9)))
+	}
+	return h
+}

@@ -1,0 +1,235 @@
+// Package workload provides deterministic synthetic programs for the
+// paper's fault-injection campaign (§III-B, §VII-B, Figure 4).
+//
+// The paper checkpoints SPEC CPU2017 programs with CRIU, corrupts one
+// cacheline of the checkpointed memory image with an (optionally
+// encryption-amplified) RS-miscorrection pattern, resumes, and classifies
+// the outcome as Crashed, Hang, SDC, or No Effect. This package
+// reproduces that experiment's mechanics with license-free programs:
+// each workload keeps its *entire* state — loop counters, pointers,
+// indices, data — inside a flat memory image, so a corruption can hit
+// control state (crash/hang) or data (SDC) exactly as it would in a
+// checkpointed process. Execution is split into bounded steps; the
+// injection happens between steps, mirroring the checkpoint/corrupt/
+// resume flow.
+//
+// Outcome classification follows §VII-B: Crashed = an out-of-bounds
+// access; Hang = execution exceeding 3x the fault-free step count; SDC =
+// finished with a different output digest; No Effect = finished with the
+// fault-free digest.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrFault is the synthetic segmentation fault: a load or store outside
+// the program's memory image.
+var ErrFault = errors.New("workload: memory fault")
+
+// Trace, when non-nil, observes every bounds-checked load and store the
+// programs perform; the Figure 11 performance study uses it to collect
+// address traces for the timing simulator. It is a package-level hook for
+// single-threaded trace collection only — leave it nil during parallel
+// fault-injection campaigns.
+var Trace func(addr int, write bool)
+
+// Outcome classifies one injection run (§VII-B).
+type Outcome int
+
+const (
+	// NoEffect means the program finished on time with the correct output.
+	NoEffect Outcome = iota
+	// SDC means the program finished on time with a wrong output.
+	SDC
+	// Hang means execution exceeded 3x its fault-free step count.
+	Hang
+	// Crashed means the program performed an invalid memory access.
+	Crashed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case NoEffect:
+		return "no-effect"
+	case SDC:
+		return "sdc"
+	case Hang:
+		return "hang"
+	case Crashed:
+		return "crashed"
+	}
+	return "unknown"
+}
+
+// Program is a deterministic synthetic workload. Implementations are
+// stateless: all run state lives in the memory image so that injected
+// corruption can reach it.
+type Program interface {
+	// Name returns the benchmark-style identifier.
+	Name() string
+	// Init builds the initial memory image for a seed.
+	Init(seed int64) []byte
+	// Step executes one bounded work quantum against the image. It
+	// returns done=true when the program has finished, or ErrFault-based
+	// errors for invalid accesses.
+	Step(mem []byte) (done bool, err error)
+	// Digest summarizes the program output after completion.
+	Digest(mem []byte) uint64
+}
+
+// --- bounds-checked memory accessors ---------------------------------------
+
+func ld64(mem []byte, addr int) (uint64, error) {
+	if Trace != nil {
+		Trace(addr, false)
+	}
+	if addr < 0 || addr+8 > len(mem) {
+		return 0, fmt.Errorf("%w: load at %#x", ErrFault, addr)
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(mem[addr+i])
+	}
+	return v, nil
+}
+
+func st64(mem []byte, addr int, v uint64) error {
+	if Trace != nil {
+		Trace(addr, true)
+	}
+	if addr < 0 || addr+8 > len(mem) {
+		return fmt.Errorf("%w: store at %#x", ErrFault, addr)
+	}
+	for i := 0; i < 8; i++ {
+		mem[addr+i] = byte(v >> uint(8*i))
+	}
+	return nil
+}
+
+func ldF(mem []byte, addr int) (float64, error) {
+	v, err := ld64(mem, addr)
+	return math.Float64frombits(v), err
+}
+
+func stF(mem []byte, addr int, f float64) error {
+	return st64(mem, addr, math.Float64bits(f))
+}
+
+func ldB(mem []byte, addr int) (byte, error) {
+	if Trace != nil {
+		Trace(addr, false)
+	}
+	if addr < 0 || addr >= len(mem) {
+		return 0, fmt.Errorf("%w: load at %#x", ErrFault, addr)
+	}
+	return mem[addr], nil
+}
+
+func stB(mem []byte, addr int, v byte) error {
+	if Trace != nil {
+		Trace(addr, true)
+	}
+	if addr < 0 || addr >= len(mem) {
+		return fmt.Errorf("%w: store at %#x", ErrFault, addr)
+	}
+	mem[addr] = v
+	return nil
+}
+
+// fnv folds a value into a running FNV-1a style digest.
+func fnv(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v >> uint(8*i) & 0xff
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// digestRange hashes a memory region.
+func digestRange(mem []byte, lo, hi int) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(mem) {
+		hi = len(mem)
+	}
+	for _, b := range mem[lo:hi] {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// xorshift is the in-image PRNG several programs use; its state lives in
+// program memory so it, too, is corruptible.
+func xorshift(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	return x
+}
+
+// --- runner -----------------------------------------------------------------
+
+// HangFactor is the paper's cutoff: a run is a Hang once it exceeds this
+// multiple of its fault-free step count.
+const HangFactor = 3
+
+// Baseline runs a program fault-free and returns its digest and step
+// count. maxSteps bounds runaway programs (an Init bug, not a fault).
+func Baseline(p Program, seed int64, maxSteps int) (digest uint64, steps int, err error) {
+	mem := p.Init(seed)
+	for steps = 0; steps < maxSteps; steps++ {
+		done, err := p.Step(mem)
+		if err != nil {
+			return 0, steps, err
+		}
+		if done {
+			return p.Digest(mem), steps + 1, nil
+		}
+	}
+	return 0, steps, fmt.Errorf("workload %s: no completion within %d steps", p.Name(), maxSteps)
+}
+
+// Inject reproduces the checkpoint/corrupt/resume flow: run injectStep
+// steps, apply corrupt to the live memory image, resume, and classify
+// against the fault-free digest and step count.
+func Inject(p Program, seed int64, injectStep int, corrupt func(mem []byte), baseDigest uint64, baseSteps int) Outcome {
+	mem := p.Init(seed)
+	limit := HangFactor * baseSteps
+	step := 0
+	for ; step < injectStep && step < limit; step++ {
+		done, err := p.Step(mem)
+		if err != nil {
+			return Crashed
+		}
+		if done {
+			// Injection time past completion: nothing to corrupt.
+			if p.Digest(mem) == baseDigest {
+				return NoEffect
+			}
+			return SDC
+		}
+	}
+	corrupt(mem)
+	for ; step < limit; step++ {
+		done, err := p.Step(mem)
+		if err != nil {
+			return Crashed
+		}
+		if done {
+			if p.Digest(mem) == baseDigest {
+				return NoEffect
+			}
+			return SDC
+		}
+	}
+	return Hang
+}

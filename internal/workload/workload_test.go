@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const maxSteps = 200000
+
+func TestAllProgramsCompleteDeterministically(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			t.Parallel()
+			d1, s1, err := Baseline(p, 1, maxSteps)
+			if err != nil {
+				t.Fatalf("baseline failed: %v", err)
+			}
+			if s1 == 0 {
+				t.Fatal("zero steps")
+			}
+			d2, s2, err := Baseline(p, 1, maxSteps)
+			if err != nil || d1 != d2 || s1 != s2 {
+				t.Fatalf("nondeterministic: (%x,%d) vs (%x,%d) err=%v", d1, s1, d2, s2, err)
+			}
+		})
+	}
+}
+
+func TestDifferentSeedsDifferentOutputs(t *testing.T) {
+	for _, p := range Programs() {
+		d1, _, err1 := Baseline(p, 1, maxSteps)
+		d2, _, err2 := Baseline(p, 2, maxSteps)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v %v", p.Name(), err1, err2)
+		}
+		if d1 == d2 {
+			t.Errorf("%s: seeds 1 and 2 produced identical digests", p.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("waves") == nil {
+		t.Error("waves not found")
+	}
+	if ByName("nope") != nil {
+		t.Error("unexpected program")
+	}
+	names := map[string]bool{}
+	for _, p := range Programs() {
+		if names[p.Name()] {
+			t.Errorf("duplicate name %s", p.Name())
+		}
+		names[p.Name()] = true
+	}
+	if len(names) != len(Programs()) {
+		t.Errorf("suite has %d programs, want %d", len(names), len(Programs()))
+	}
+}
+
+// A no-op corruption must always classify as NoEffect.
+func TestInjectNoop(t *testing.T) {
+	for _, p := range Programs() {
+		d, s, err := Baseline(p, 3, maxSteps)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		out := Inject(p, 3, s/2, func([]byte) {}, d, s)
+		if out != NoEffect {
+			t.Errorf("%s: no-op injection classified %v", p.Name(), out)
+		}
+	}
+}
+
+// Injections past completion still classify sanely.
+func TestInjectAfterCompletion(t *testing.T) {
+	p := Waves{}
+	d, s, _ := Baseline(p, 3, maxSteps)
+	out := Inject(p, 3, s+100, func(mem []byte) { mem[len(mem)/2] ^= 0xff }, d, s)
+	if out != NoEffect {
+		t.Errorf("late injection classified %v", out)
+	}
+}
+
+// Corrupting the trip count must hang: the limit grows beyond 3x.
+func TestInjectHang(t *testing.T) {
+	p := Chase{}
+	d, s, _ := Baseline(p, 5, maxSteps)
+	out := Inject(p, 5, s/2, func(mem []byte) {
+		// Blow up the iteration target.
+		_ = st64(mem, hdrLimit, 1<<40)
+	}, d, s)
+	if out != Hang {
+		t.Errorf("limit corruption classified %v, want hang", out)
+	}
+}
+
+// Corrupting a pointer must (almost always) crash the pointer chaser.
+func TestInjectCrash(t *testing.T) {
+	p := Chase{}
+	d, s, _ := Baseline(p, 7, maxSteps)
+	out := Inject(p, 7, s/2, func(mem []byte) {
+		_ = st64(mem, hdrCursor, 1<<50)
+	}, d, s)
+	if out != Crashed {
+		t.Errorf("wild pointer classified %v, want crashed", out)
+	}
+}
+
+// Corrupting output data must be an SDC.
+func TestInjectSDC(t *testing.T) {
+	p := Chase{}
+	d, s, _ := Baseline(p, 9, maxSteps)
+	out := Inject(p, 9, s-2, func(mem []byte) {
+		v, _ := ld64(mem, hdrAccum)
+		_ = st64(mem, hdrAccum, v^0xdeadbeef)
+	}, d, s)
+	if out != SDC {
+		t.Errorf("accumulator corruption classified %v, want sdc", out)
+	}
+}
+
+// Random cacheline corruptions across the suite must produce a mix of
+// outcomes — the premise of Figure 4.
+func TestOutcomeDiversity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("injection campaign")
+	}
+	r := rand.New(rand.NewSource(1))
+	counts := map[Outcome]int{}
+	for _, p := range Programs() {
+		d, s, err := Baseline(p, 11, maxSteps)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		for i := 0; i < 40; i++ {
+			step := r.Intn(s)
+			out := Inject(p, 11, step, func(mem []byte) {
+				addr := r.Intn(len(mem)/64) * 64
+				for j := 0; j < 8; j++ {
+					mem[addr+r.Intn(64)] ^= byte(1 + r.Intn(255))
+				}
+			}, d, s)
+			counts[out]++
+		}
+	}
+	t.Logf("outcomes: %v", counts)
+	if counts[SDC] == 0 {
+		t.Error("no SDCs observed")
+	}
+	if counts[NoEffect] == 0 {
+		t.Error("no NoEffect observed")
+	}
+	if counts[Crashed] == 0 {
+		t.Error("no crashes observed")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for _, o := range []Outcome{NoEffect, SDC, Hang, Crashed, Outcome(9)} {
+		if o.String() == "" {
+			t.Error("empty outcome string")
+		}
+	}
+}
+
+func TestBaselineMaxSteps(t *testing.T) {
+	if _, _, err := Baseline(Waves{}, 1, 3); err == nil {
+		t.Error("tiny step budget should fail")
+	}
+}
+
+func BenchmarkWavesBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Baseline(Waves{}, 1, maxSteps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChaseBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Baseline(Chase{}, 1, maxSteps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The solver's convergence-based termination is the realistic hang
+// mechanism: shrinking the in-memory tolerance below what Jacobi can
+// reach makes the loop run past 3x its fault-free step count.
+func TestSolverConvergenceHang(t *testing.T) {
+	p := Solver{}
+	d, s, err := Baseline(p, 5, maxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 2000 {
+		t.Fatalf("solver baseline took %d sweeps; convergence broken", s)
+	}
+	out := Inject(p, 5, s/2, func(mem []byte) {
+		_ = stF(mem, hdrAux, 0) // tolerance zero: never converges
+	}, d, s)
+	if out != Hang {
+		t.Fatalf("zeroed tolerance classified %v, want hang", out)
+	}
+	// Corrupting the state vector mid-run delays convergence but the
+	// solver still finishes — with a different fixed point reached from
+	// corrupted data being an SDC or, since Jacobi forgets its start,
+	// usually NoEffect.
+	out = Inject(p, 5, s/2, func(mem []byte) {
+		_ = stF(mem, hdrData+8*100, 1e6)
+	}, d, s)
+	if out == Crashed {
+		t.Fatalf("state corruption crashed the solver")
+	}
+}

@@ -1,0 +1,83 @@
+package polyecc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"polyecc"
+)
+
+var key = [16]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 6}
+
+func TestFacadeRoundTrip(t *testing.T) {
+	code, err := polyecc.New(polyecc.ConfigM2005(), polyecc.NewSipHashMAC(key, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data [polyecc.LineBytes]byte
+	rand.New(rand.NewSource(1)).Read(data[:])
+	line := code.EncodeLine(&data)
+	got, rep := code.DecodeLine(line)
+	if rep.Status != polyecc.StatusClean || got != data {
+		t.Fatalf("clean decode: %+v", rep)
+	}
+}
+
+func TestFacadeCorrection(t *testing.T) {
+	code := polyecc.MustNew(polyecc.ConfigM2005(), polyecc.NewQarmaMAC(key, 40))
+	var data [polyecc.LineBytes]byte
+	r := rand.New(rand.NewSource(2))
+	r.Read(data[:])
+	line := code.EncodeLine(&data)
+	line.Words[3] = line.Words[3].FlipBit(42)
+	got, rep := code.DecodeLine(line)
+	if rep.Status != polyecc.StatusCorrected || got != data {
+		t.Fatalf("correction failed: %+v", rep)
+	}
+}
+
+func TestFacadeSimInjectors(t *testing.T) {
+	code := polyecc.MustNew(polyecc.ConfigM2005(), polyecc.NewSipHashMAC(key, 40))
+	r := rand.New(rand.NewSource(3))
+	injectors := []polyecc.Injector{
+		polyecc.SimChipKill(code),
+		polyecc.SimSSC(code),
+		polyecc.SimDEC(code, 2),
+		polyecc.SimBFBF(code),
+		polyecc.SimChipKillPlus1(code),
+		polyecc.SimRandomBits(1),
+	}
+	for _, inj := range injectors {
+		var data [polyecc.LineBytes]byte
+		r.Read(data[:])
+		burst := code.ToBurst(code.EncodeLine(&data))
+		inj.Inject(r, &burst)
+		got, rep := code.DecodeLine(code.FromBurst(&burst))
+		if rep.Status == polyecc.StatusUncorrectable {
+			t.Fatalf("%s: DUE on an in-model fault", inj.Name())
+		}
+		if got != data {
+			t.Fatalf("%s: wrong data", inj.Name())
+		}
+	}
+}
+
+func TestFacadeConfigs(t *testing.T) {
+	for _, c := range []struct {
+		cfg  polyecc.Config
+		bits int
+	}{
+		{polyecc.ConfigM511(), 56},
+		{polyecc.ConfigM1021(), 48},
+		{polyecc.ConfigM2005(), 40},
+		{polyecc.ConfigM131049(), 60},
+	} {
+		code, err := polyecc.New(c.cfg, polyecc.NewSipHashMAC(key, c.bits))
+		if err != nil {
+			t.Fatalf("M=%d: %v", c.cfg.M, err)
+		}
+		if code.LineMACBits() != c.bits {
+			t.Errorf("M=%d: MAC bits %d, want %d", c.cfg.M, code.LineMACBits(), c.bits)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+# Developer entry points. `make ci` is the tier-1 gate every PR must
+# keep green; `make bench-snapshot` refreshes the decode-path perf
+# snapshot future PRs are compared against.
+
+GO ?= go
+
+.PHONY: ci build vet test race bench bench-snapshot
+
+ci: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap -o BENCH_decode.json

@@ -223,6 +223,40 @@ func BenchmarkAblationMAC(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeLine measures the decode hot paths in isolation — the
+// scenarios cmd/benchsnap snapshots into BENCH_decode.json. The
+// +metrics variants quantify the telemetry overhead; the bare variants
+// must stay flat across PRs (a nil hook costs one branch).
+func BenchmarkDecodeLine(b *testing.B) {
+	var data [polyecc.LineBytes]byte
+	rand.New(rand.NewSource(1)).Read(data[:])
+	newCode := func(m *polyecc.DecodeMetrics) *polyecc.Code {
+		cfg := polyecc.ConfigM2005()
+		cfg.Metrics = m
+		return polyecc.MustNew(cfg, polyecc.NewSipHashMAC(benchKey, 40))
+	}
+	bare := newCode(nil)
+	instrumented := newCode(polyecc.NewDecodeMetrics())
+	clean := bare.EncodeLine(&data)
+	bad := clean.Clone()
+	bad.Words[3] = bad.Words[3].FlipBit(40) // one data-symbol error
+	run := func(code *polyecc.Code, line polyecc.Line, wantClean bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, rep := code.DecodeLine(line)
+				if (rep.Status == polyecc.StatusClean) != wantClean {
+					b.Fatalf("unexpected status %v", rep.Status)
+				}
+			}
+		}
+	}
+	b.Run("clean", run(bare, clean, true))
+	b.Run("clean+metrics", run(instrumented, clean, true))
+	b.Run("corrected", run(bare, bad, false))
+	b.Run("corrected+metrics", run(instrumented, bad, false))
+}
+
 // BenchmarkEncodeDecodePath measures the common (fault-free) read/write
 // path the memory controller would see.
 func BenchmarkEncodeDecodePath(b *testing.B) {

@@ -1,0 +1,137 @@
+// Command benchsnap measures the DecodeLine hot paths with the testing
+// package's benchmark driver and writes a JSON snapshot, seeding the
+// perf trajectory future PRs are held against. The scenarios cover the
+// fault-free (clean) path and the single-symbol correction path, each
+// bare and with a telemetry collector attached, so a regression in
+// either the decoder or the nil-hook instrumentation overhead shows up
+// as a ns/op delta between snapshots.
+//
+// Usage:
+//
+//	benchsnap [-o BENCH_decode.json] [-v]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"flag"
+
+	"polyecc"
+	"polyecc/internal/telemetry"
+)
+
+// Snapshot is the file format of BENCH_decode.json.
+type Snapshot struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOARCH      string   `json:"goarch"`
+	Config      string   `json:"config"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+// Result is one scenario's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+var benchKey = [16]byte{0xb, 0xe, 0xa, 0xc, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+
+// corrupt returns line with one random data-symbol error in one word.
+func corrupt(code *polyecc.Code, line polyecc.Line, r *rand.Rand) polyecc.Line {
+	bad := line.Clone()
+	w := r.Intn(code.Words())
+	s := 2 + r.Intn(6) // stay inside the data field
+	old := bad.Words[w].Field(s*8, 8)
+	bad.Words[w] = bad.Words[w].WithField(s*8, 8, old^uint64(1+r.Intn(255)))
+	return bad
+}
+
+func main() {
+	out := flag.String("o", "BENCH_decode.json", "snapshot output path")
+	var obs telemetry.CLIFlags
+	obs.Register(flag.CommandLine)
+	flag.Parse()
+	logger := obs.Init("benchsnap")
+
+	newCode := func(m *polyecc.DecodeMetrics) *polyecc.Code {
+		cfg := polyecc.ConfigM2005()
+		cfg.Metrics = m
+		return polyecc.MustNew(cfg, polyecc.NewSipHashMAC(benchKey, 40))
+	}
+	r := rand.New(rand.NewSource(1))
+	var data [polyecc.LineBytes]byte
+	r.Read(data[:])
+
+	bare := newCode(nil)
+	instrumented := newCode(polyecc.NewDecodeMetrics())
+	clean := bare.EncodeLine(&data)
+	bad := corrupt(bare, clean, r)
+
+	decodeBench := func(code *polyecc.Code, line polyecc.Line, wantClean bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, rep := code.DecodeLine(line)
+				if (rep.Status == polyecc.StatusClean) != wantClean {
+					b.Fatalf("unexpected status %v", rep.Status)
+				}
+			}
+		}
+	}
+	scenarios := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"encode", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bare.EncodeLine(&data)
+			}
+		}},
+		{"decode/clean", decodeBench(bare, clean, true)},
+		{"decode/clean+metrics", decodeBench(instrumented, clean, true)},
+		{"decode/corrected-ssc", decodeBench(bare, bad, false)},
+		{"decode/corrected-ssc+metrics", decodeBench(instrumented, bad, false)},
+	}
+
+	snap := Snapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		Config:      "M2005/siphash40",
+	}
+	for _, sc := range scenarios {
+		logger.Info("benchmarking", "scenario", sc.name)
+		res := testing.Benchmark(sc.fn)
+		snap.Benchmarks = append(snap.Benchmarks, Result{
+			Name:        sc.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Iterations:  res.N,
+		})
+		logger.Info("result", "scenario", sc.name,
+			"ns_per_op", fmt.Sprintf("%.1f", float64(res.T.Nanoseconds())/float64(res.N)),
+			"allocs_per_op", res.AllocsPerOp())
+	}
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		telemetry.Fatal(logger, "marshal snapshot", "err", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		telemetry.Fatal(logger, "write snapshot", "path", *out, "err", err)
+	}
+	logger.Info("wrote snapshot", "path", *out, "scenarios", len(snap.Benchmarks))
+}

@@ -1,56 +1,82 @@
 // Command faultinject regenerates the out-of-model fault-injection
-// studies: Figure 4 (workload outcomes with plaintext vs encrypted
-// memory) and Figure 5 (inference accuracy histograms).
+// studies — Figure 4 (workload outcomes with plaintext vs encrypted
+// memory) and Figure 5 (inference accuracy histograms) — and runs the
+// live in-model soak that exercises the Polymorphic ECC decode path
+// under every fault model.
+//
+// With -metrics-addr the run is observable while in flight: the
+// campaign counters (faultinject.*) and the decode collectors
+// (decode.*) are served at /debug/vars, and /debug/pprof offers live
+// CPU/heap profiles.
 //
 // Usage:
 //
-//	faultinject -fig 4 [-injections 2000]
+//	faultinject -fig 4 [-injections 2000] [-metrics-addr :8080] [-v]
 //	faultinject -fig 5 [-injections 2500]
+//	faultinject -poly [-injections 2000]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"polyecc/internal/exp"
+	"polyecc/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("faultinject: ")
 	fig := flag.Int("fig", 4, "figure to regenerate: 4 or 5")
+	polySoak := flag.Bool("poly", false, "run the live in-model soak against the M=2005 decoder instead")
 	injections := flag.Int("injections", 0, "injections per campaign (default: the paper's count)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	out := flag.String("o", "", "also write the output to this file")
+	var obs telemetry.CLIFlags
+	obs.Register(flag.CommandLine)
 	flag.Parse()
+	logger := obs.Init("faultinject")
+
+	// The decode collectors are published up front so /debug/vars shows
+	// the full metric surface from the first scrape; the -poly soak (and
+	// any future in-model campaign) feeds them.
+	decodeMetrics := telemetry.NewDecodeMetrics()
+	decodeMetrics.Publish("decode")
 
 	var text string
-	switch *fig {
-	case 4:
+	switch {
+	case *polySoak:
+		n := *injections
+		if n == 0 {
+			n = 2000
+		}
+		logger.Info("running in-model soak", "trials", n)
+		text = exp.RenderPolySoak(exp.PolySoak(n, *seed, decodeMetrics))
+	case *fig == 4:
 		n := *injections
 		if n == 0 {
 			n = 2000 // the paper's Leveugle-sized campaign
 		}
+		logger.Info("running figure 4 campaign", "injections", n)
 		rows, err := exp.Figure4(n, *seed)
 		if err != nil {
-			log.Fatal(err)
+			telemetry.Fatal(logger, "figure 4 failed", "err", err)
 		}
 		text = exp.RenderFigure4(rows)
-	case 5:
+	case *fig == 5:
 		n := *injections
 		if n == 0 {
 			n = 2500
 		}
+		logger.Info("running figure 5 campaign", "injections", n)
 		text = exp.RenderFigure5(exp.Figure5(n, *seed))
 	default:
-		log.Fatalf("unknown figure %d (use 4 or 5)", *fig)
+		telemetry.Fatal(logger, "unknown figure (use 4 or 5)", "fig", *fig)
 	}
 	fmt.Print(text)
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-			log.Fatal(err)
+			telemetry.Fatal(logger, "write output", "path", *out, "err", err)
 		}
+		logger.Info("wrote output", "path", *out)
 	}
 }

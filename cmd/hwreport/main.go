@@ -10,20 +10,21 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 
 	"polyecc/internal/exp"
 	"polyecc/internal/hwmodel"
+	"polyecc/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hwreport: ")
 	latency := flag.Bool("latency", false, "also print the correction-latency analysis")
 	out := flag.String("o", "", "also write the output to this file")
+	var obs telemetry.CLIFlags
+	obs.Register(flag.CommandLine)
 	flag.Parse()
+	logger := obs.Init("hwreport")
 
 	var b strings.Builder
 	b.WriteString(exp.TableVI().Render())
@@ -46,7 +47,8 @@ func main() {
 	fmt.Print(b.String())
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
-			log.Fatal(err)
+			telemetry.Fatal(logger, "write output", "path", *out, "err", err)
 		}
+		logger.Info("wrote output", "path", *out)
 	}
 }

@@ -13,18 +13,16 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"sort"
 
 	"polyecc/internal/exp"
 	"polyecc/internal/muse"
 	"polyecc/internal/residue"
 	"polyecc/internal/stats"
+	"polyecc/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("multsearch: ")
 	symbols := flag.Int("symbols", 10, "symbols per codeword")
 	symBits := flag.Int("bits", 8, "bits per symbol")
 	budget := flag.Int("budget", 11, "redundancy budget in bits")
@@ -33,7 +31,10 @@ func main() {
 	museMode := flag.Bool("muse", false, "also search the smallest MUSE (unique-remainder) multiplier")
 	hbm := flag.Bool("hbm", false, "print the HBM-style geometry study instead")
 	storage := flag.Bool("storage", false, "print the §V-B storage comparison instead")
+	var obs telemetry.CLIFlags
+	obs.Register(flag.CommandLine)
 	flag.Parse()
+	logger := obs.Init("multsearch")
 
 	if *hbm {
 		fmt.Print(exp.RenderHBMStudy(exp.HBMStudy()))
@@ -46,11 +47,11 @@ func main() {
 
 	g := residue.Geometry{NumSymbols: *symbols, SymbolBits: *symBits}
 	if err := g.Validate(); err != nil {
-		log.Fatal(err)
+		telemetry.Fatal(logger, "invalid geometry", "err", err)
 	}
 	results := residue.Search(*budget, *budget, g, *dataBits)
 	if len(results) == 0 {
-		log.Fatalf("no admissible multipliers with %d redundancy bits for %+v", *budget, g)
+		telemetry.Fatal(logger, "no admissible multipliers", "budget", *budget, "geometry", fmt.Sprintf("%+v", g))
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Stats.Avg < results[j].Stats.Avg })
 	if *top > len(results) {
@@ -73,7 +74,7 @@ func main() {
 		}
 		code, err := muse.New(m, g, *dataBits)
 		if err != nil {
-			log.Fatal(err)
+			telemetry.Fatal(logger, "building MUSE code", "err", err)
 		}
 		fmt.Printf("\nMUSE (unique remainders): smallest M = %d (%d redundancy bits, %d-entry table)\n",
 			m, code.RedundancyBits(), code.TableEntries())

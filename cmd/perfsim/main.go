@@ -10,29 +10,31 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"polyecc/internal/exp"
+	"polyecc/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("perfsim: ")
 	refs := flag.Int("refs", 2000000, "maximum trace references per workload")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	out := flag.String("o", "", "also write the output to this file")
+	var obs telemetry.CLIFlags
+	obs.Register(flag.CommandLine)
 	flag.Parse()
+	logger := obs.Init("perfsim")
 
 	rows, err := exp.Figure11(*refs, *seed)
 	if err != nil {
-		log.Fatal(err)
+		telemetry.Fatal(logger, "figure 11 failed", "err", err)
 	}
 	text := exp.RenderFigure11(rows)
 	fmt.Print(text)
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-			log.Fatal(err)
+			telemetry.Fatal(logger, "write output", "path", *out, "err", err)
 		}
+		logger.Info("wrote output", "path", *out)
 	}
 }

@@ -1,16 +1,16 @@
 // Command polyecc demonstrates the Polymorphic ECC read/write path on a
 // single cacheline: encode, inject a fault model of your choosing, and
-// watch the iterative corrector recover the data.
+// watch the iterative corrector recover the data. With -v the per-trial
+// trace hook logs every correction hypothesis the corrector tries.
 //
 // Usage:
 //
-//	polyecc [-m 511|1021|2005|131049] [-model chipkill|ssc|dec|bfbf|chipkill+1] [-seed N]
+//	polyecc [-m 511|1021|2005|131049] [-model chipkill|ssc|dec|bfbf|chipkill+1] [-seed N] [-v] [-metrics-addr :8080]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"os"
 	"strings"
@@ -20,15 +20,17 @@ import (
 	"polyecc/internal/linecode"
 	"polyecc/internal/mac"
 	"polyecc/internal/poly"
+	"polyecc/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("polyecc: ")
 	multiplier := flag.Uint64("m", 2005, "residue multiplier (511, 1021, 2005, or 131049)")
 	model := flag.String("model", "ssc", "fault model: chipkill, ssc, dec, bfbf, chipkill+1")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	var obs telemetry.CLIFlags
+	obs.Register(flag.CommandLine)
 	flag.Parse()
+	logger := obs.Init("polyecc")
 
 	var cfg poly.Config
 	var macBits int
@@ -42,12 +44,23 @@ func main() {
 	case 131049:
 		cfg, macBits = poly.ConfigM131049(), 60
 	default:
-		log.Fatalf("unsupported multiplier %d", *multiplier)
+		telemetry.Fatal(logger, "unsupported multiplier", "m", *multiplier)
 	}
+
+	metrics := telemetry.NewDecodeMetrics()
+	metrics.Publish("decode")
+	cfg.Metrics = metrics
+	if obs.Verbose {
+		cfg.Trace = func(e poly.TraceEvent) {
+			logger.Debug("correction trial", "model", e.Model.String(),
+				"trial", e.Trial, "word", e.Word, "candidate", e.Candidate, "macMatch", e.MACMatch)
+		}
+	}
+
 	key := [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
 	code, err := poly.New(cfg, mac.MustSipHash(key, macBits))
 	if err != nil {
-		log.Fatal(err)
+		telemetry.Fatal(logger, "building code", "err", err)
 	}
 
 	g := dram.WordGeometry{SymbolBits: cfg.Geometry.SymbolBits}
@@ -64,7 +77,7 @@ func main() {
 	case "chipkill+1":
 		inj = faults.ChipKillPlus1{Geometry: g}
 	default:
-		log.Fatalf("unknown fault model %q", *model)
+		telemetry.Fatal(logger, "unknown fault model", "model", *model)
 	}
 
 	r := rand.New(rand.NewSource(*seed))
@@ -88,8 +101,13 @@ func main() {
 	fmt.Printf("injected %s fault: %d of %d codewords have nonzero remainders\n", inj.Name(), corrupted, code.Words())
 
 	got, rep := code.DecodeLine(line)
-	fmt.Printf("decode: status=%s model=%s iterations=%d eccFixed=%v\n",
-		rep.Status, rep.Model, rep.Iterations, rep.ECCFixed)
+	fmt.Printf("decode: status=%s model=%s iterations=%d eccFixed=%v elapsed=%s\n",
+		rep.Status, rep.Model, rep.Iterations, rep.ECCFixed, rep.Elapsed)
+	for _, fm := range []poly.FaultModel{poly.ModelChipKill, poly.ModelSSC, poly.ModelDEC, poly.ModelBFBF, poly.ModelChipKillPlus1} {
+		if n := rep.TrialsFor(fm); n > 0 {
+			fmt.Printf("  %-11s %d trials\n", fm, n)
+		}
+	}
 	if rep.Status == poly.StatusUncorrectable {
 		fmt.Println("detected uncorrectable error (DUE)")
 		os.Exit(1)

@@ -13,20 +13,21 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"polyecc/internal/exp"
+	"polyecc/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("profiler: ")
 	table := flag.Int("table", 2, "table to regenerate: 2, 3, or 4")
 	trials := flag.Int("trials", 100000, "Monte Carlo trials per cell (Table II)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	out := flag.String("o", "", "also write the output to this file")
+	var obs telemetry.CLIFlags
+	obs.Register(flag.CommandLine)
 	flag.Parse()
+	logger := obs.Init("profiler")
 
 	var text string
 	switch *table {
@@ -37,12 +38,13 @@ func main() {
 	case 4:
 		text = exp.RenderTableIV(exp.TableIV())
 	default:
-		log.Fatalf("unknown table %d (use 2, 3, or 4)", *table)
+		telemetry.Fatal(logger, "unknown table (use 2, 3, or 4)", "table", *table)
 	}
 	fmt.Print(text)
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-			log.Fatal(err)
+			telemetry.Fatal(logger, "write output", "path", *out, "err", err)
 		}
+		logger.Info("wrote output", "path", *out)
 	}
 }

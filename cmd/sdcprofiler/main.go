@@ -17,15 +17,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"polyecc/internal/exp"
+	"polyecc/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sdcprofiler: ")
 	table5 := flag.Int("table", 5, "table to regenerate (5)")
 	fig10 := flag.Bool("fig10", false, "regenerate Figure 10 instead")
 	rowhammer := flag.Bool("rowhammer", false, "regenerate the rowhammer row instead")
@@ -34,7 +32,10 @@ func main() {
 	patterns := flag.Int("patterns", 94892, "rowhammer patterns (paper: 94892)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	out := flag.String("o", "", "also write the output to this file")
+	var obs telemetry.CLIFlags
+	obs.Register(flag.CommandLine)
 	flag.Parse()
+	logger := obs.Init("sdcprofiler")
 
 	var text string
 	switch {
@@ -47,12 +48,13 @@ func main() {
 		res := exp.TableV(*trials, *decTrials, *seed)
 		text = exp.RenderTableV(res.Rows)
 	default:
-		log.Fatalf("unknown table %d", *table5)
+		telemetry.Fatal(logger, "unknown table", "table", *table5)
 	}
 	fmt.Print(text)
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-			log.Fatal(err)
+			telemetry.Fatal(logger, "write output", "path", *out, "err", err)
 		}
+		logger.Info("wrote output", "path", *out)
 	}
 }

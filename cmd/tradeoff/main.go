@@ -9,27 +9,29 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"polyecc/internal/exp"
+	"polyecc/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tradeoff: ")
 	minBits := flag.Int("min", 9, "smallest redundancy budget in bits")
 	maxBits := flag.Int("max", 14, "largest redundancy budget in bits")
 	out := flag.String("o", "", "also write the output to this file")
+	var obs telemetry.CLIFlags
+	obs.Register(flag.CommandLine)
 	flag.Parse()
+	logger := obs.Init("tradeoff")
 	if *minBits < 9 || *maxBits > 16 || *minBits > *maxBits {
-		log.Fatalf("budget range %d..%d unsupported (9..16)", *minBits, *maxBits)
+		telemetry.Fatal(logger, "unsupported budget range (9..16)", "min", *minBits, "max", *maxBits)
 	}
 	text := exp.RenderFigure7(exp.Figure7(*minBits, *maxBits))
 	fmt.Print(text)
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-			log.Fatal(err)
+			telemetry.Fatal(logger, "write output", "path", *out, "err", err)
 		}
+		logger.Info("wrote output", "path", *out)
 	}
 }

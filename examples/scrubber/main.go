@@ -6,16 +6,20 @@
 // classified fault mix a Memory Fault Management Infrastructure (the
 // OCP FMI the paper's conclusion points at) would consume.
 //
-//	go run ./examples/scrubber [-lines 512] [-sweeps 20]
+// The scrubber is also the deployment-shaped telemetry demo: a
+// DecodeMetrics collector rides the decode path and is published at
+// /debug/vars (with /debug/pprof alongside) when -metrics-addr is set.
+//
+//	go run ./examples/scrubber [-lines 512] [-sweeps 20] [-metrics-addr :8080] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 
 	"polyecc"
+	"polyecc/internal/telemetry"
 )
 
 type region struct {
@@ -25,14 +29,21 @@ type region struct {
 }
 
 func main() {
-	log.SetFlags(0)
 	nLines := flag.Int("lines", 512, "cachelines in the scrubbed region")
 	sweeps := flag.Int("sweeps", 20, "scrub sweeps to run")
 	seed := flag.Int64("seed", 11, "deterministic seed")
+	var obs telemetry.CLIFlags
+	obs.Register(flag.CommandLine)
 	flag.Parse()
+	logger := obs.Init("scrubber")
+
+	metrics := polyecc.NewDecodeMetrics()
+	metrics.Publish("scrubber.decode")
+	cfg := polyecc.ConfigM2005()
+	cfg.Metrics = metrics
 
 	key := [16]byte{2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5}
-	reg := region{code: polyecc.MustNew(polyecc.ConfigM2005(), polyecc.NewSipHashMAC(key, 40))}
+	reg := region{code: polyecc.MustNew(cfg, polyecc.NewSipHashMAC(key, 40))}
 	r := rand.New(rand.NewSource(*seed))
 	for i := 0; i < *nLines; i++ {
 		var data [polyecc.LineBytes]byte
@@ -75,7 +86,7 @@ func main() {
 				corrected++
 				modelCounts[rep.Model]++
 				if data != reg.truth[li] {
-					log.Fatalf("sweep %d line %d: silent corruption", sweep, li)
+					telemetry.Fatal(logger, "silent corruption", "sweep", sweep, "line", li)
 				}
 				reg.lines[li] = reg.code.EncodeLine(&data)
 			case polyecc.StatusUncorrectable:
@@ -85,6 +96,8 @@ func main() {
 				reg.lines[li] = reg.code.EncodeLine(&d)
 			}
 		}
+		logger.Debug("sweep complete", "sweep", sweep,
+			"corrected", metrics.Corrected.Value(), "due", metrics.Uncorrectable.Value())
 	}
 
 	fmt.Printf("sweeps=%d  clean-reads=%d  corrected=%d  DUE=%d\n", *sweeps, clean, corrected, due)
@@ -94,5 +107,7 @@ func main() {
 			fmt.Printf("  %-11s %d\n", m, modelCounts[m])
 		}
 	}
-	fmt.Println("\nevery correction verified against ground truth — no SDCs")
+	fmt.Printf("\ntelemetry: decode latency samples=%d, correction-trial histogram %s\n",
+		metrics.Latency.Count(), metrics.Iterations.String())
+	fmt.Println("every correction verified against ground truth — no SDCs")
 }

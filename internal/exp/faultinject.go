@@ -2,15 +2,48 @@ package exp
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
+	"sync"
 
 	"polyecc/internal/aes"
+	"polyecc/internal/dram"
 	"polyecc/internal/faults"
 	"polyecc/internal/inference"
 	"polyecc/internal/linecode"
+	"polyecc/internal/mac"
+	"polyecc/internal/poly"
 	"polyecc/internal/stats"
+	"polyecc/internal/telemetry"
 	"polyecc/internal/workload"
 )
+
+// CampaignMetrics are the live collectors of a running fault-injection
+// campaign. Watch them at /debug/vars under the "faultinject." prefix
+// while a cmd/faultinject run is in flight.
+type CampaignMetrics struct {
+	PoolTrials telemetry.Counter        // RS profiling attempts while building the pool
+	PoolMasks  telemetry.Counter        // miscorrection masks collected
+	Injections telemetry.Counter        // workload/inference injections performed
+	Outcomes   telemetry.LabeledCounter // injection outcomes by class
+}
+
+var (
+	campaignOnce sync.Once
+	campaign     CampaignMetrics
+)
+
+// Campaign returns the process-wide campaign collectors, publishing
+// them in expvar on first use.
+func Campaign() *CampaignMetrics {
+	campaignOnce.Do(func() {
+		telemetry.Publish("faultinject.pool.trials", &campaign.PoolTrials)
+		telemetry.Publish("faultinject.pool.masks", &campaign.PoolMasks)
+		telemetry.Publish("faultinject.injections", &campaign.Injections)
+		telemetry.Publish("faultinject.outcomes", &campaign.Outcomes)
+	})
+	return &campaign
+}
 
 // MiscorrectionPool holds cacheline error masks produced by profiling the
 // SDDC Reed-Solomon code against out-of-model faults (§VII-B "Memory
@@ -22,10 +55,12 @@ type MiscorrectionPool struct {
 
 // NewMiscorrectionPool profiles RS until want masks are collected.
 func NewMiscorrectionPool(want int, seed int64) MiscorrectionPool {
+	cm := Campaign()
 	code := linecode.NewRS()
 	r := rand.New(rand.NewSource(seed))
 	var pool MiscorrectionPool
 	for len(pool.Masks) < want {
+		cm.PoolTrials.Add(1)
 		var data [linecode.LineBytes]byte
 		r.Read(data[:])
 		burst := code.Encode(&data)
@@ -40,7 +75,9 @@ func NewMiscorrectionPool(want int, seed int64) MiscorrectionPool {
 			mask[i] = got[i] ^ data[i]
 		}
 		pool.Masks = append(pool.Masks, mask)
+		cm.PoolMasks.Add(1)
 	}
+	slog.Debug("miscorrection pool ready", "masks", len(pool.Masks), "trials", cm.PoolTrials.Value())
 	return pool
 }
 
@@ -98,7 +135,15 @@ func Figure4(injections int, seed int64) ([]Figure4Row, error) {
 				copy(m[addr:addr+linecode.LineBytes], amplified)
 			}, digest, steps)
 			counts[1][outE]++
+			cm := Campaign()
+			cm.Injections.Add(2)
+			cm.Outcomes.Add(outNE.String(), 1)
+			cm.Outcomes.Add(outE.String(), 1)
+			if (i+1)%500 == 0 {
+				slog.Debug("figure 4 progress", "workload", p.Name(), "injections", i+1, "of", injections)
+			}
 		}
+		slog.Debug("figure 4 workload done", "workload", p.Name(), "injections", injections)
 		for enc := 0; enc <= 1; enc++ {
 			total := float64(injections)
 			rows = append(rows, Figure4Row{
@@ -174,11 +219,15 @@ func Figure5(injections int, seed int64) []Figure5Result {
 					img[addr+j] ^= mask[j]
 				}
 			}
+			cm := Campaign()
+			cm.Injections.Add(1)
 			out := model.Evaluate(img, ds)
 			if out.Failed {
 				res.Failed++
+				cm.Outcomes.Add("inference-failed", 1)
 				continue
 			}
+			cm.Outcomes.Add("inference-ok", 1)
 			if out.Accuracy >= base.Accuracy-0.01 {
 				res.NearBaseline++
 			}
@@ -203,6 +252,87 @@ func Figure5(injections int, seed int64) []Figure5Result {
 		run("mobilenet-like/encrypted", inference.ReLU, 500, true),
 		run("cryptonets-like/FHE", inference.Square, 100, true),
 	}
+}
+
+// --- Live in-model soak ----------------------------------------------------
+
+// PolySoakResult summarises a PolySoak campaign.
+type PolySoakResult struct {
+	Trials        int
+	Clean         int
+	Corrected     int
+	Uncorrectable int
+	SDC           int // corrected but wrong data (MAC collision)
+	PerModel      map[string]int
+	Iterations    int64 // total correction trials
+}
+
+// PolySoak drives random in-model faults through the flagship M=2005
+// Polymorphic ECC code with the collector m attached to the decode
+// path. It is the live observability workload of cmd/faultinject: with
+// -metrics-addr set, the decode.* counters, per-model hits, and the
+// iteration histogram tick at /debug/vars while the soak runs.
+func PolySoak(trials int, seed int64, m *telemetry.DecodeMetrics) PolySoakResult {
+	cfg := poly.ConfigM2005()
+	cfg.MaxIterations = 20000 // the N_max bound keeps worst-case DEC trials sane
+	cfg.Metrics = m
+	key := DefaultKey
+	code := poly.MustNew(cfg, mac.MustSipHash(key, 40))
+	g := dram.WordGeometry{SymbolBits: cfg.Geometry.SymbolBits}
+	injectors := []faults.Injector{
+		faults.ChipKill{Geometry: g},
+		faults.SSC{Geometry: g},
+		faults.DEC{Geometry: g, Words: 2},
+		faults.BFBF{Geometry: g},
+		faults.ChipKillPlus1{Geometry: g},
+	}
+	r := rand.New(rand.NewSource(seed))
+	res := PolySoakResult{Trials: trials, PerModel: map[string]int{}}
+	for i := 0; i < trials; i++ {
+		var data [poly.LineBytes]byte
+		r.Read(data[:])
+		burst := code.ToBurst(code.EncodeLine(&data))
+		inj := injectors[r.Intn(len(injectors))]
+		inj.Inject(r, &burst)
+		got, rep := code.DecodeLine(code.FromBurst(&burst))
+		res.Iterations += int64(rep.Iterations)
+		switch rep.Status {
+		case poly.StatusClean:
+			res.Clean++
+		case poly.StatusCorrected:
+			res.Corrected++
+			res.PerModel[rep.Model.String()]++
+			if got != data {
+				res.SDC++
+			}
+		case poly.StatusUncorrectable:
+			res.Uncorrectable++
+		}
+		if (i+1)%500 == 0 {
+			slog.Debug("poly soak progress", "trials", i+1, "of", trials,
+				"corrected", res.Corrected, "due", res.Uncorrectable)
+		}
+	}
+	return res
+}
+
+// RenderPolySoak formats a soak summary.
+func RenderPolySoak(res PolySoakResult) string {
+	t := stats.NewTable("Live in-model soak: M=2005 decode outcomes",
+		"Trials", "Clean", "Corrected", "DUE", "SDC", "Avg iters")
+	avg := 0.0
+	if res.Trials > 0 {
+		avg = float64(res.Iterations) / float64(res.Trials)
+	}
+	t.AddRow(res.Trials, res.Clean, res.Corrected, res.Uncorrectable, res.SDC, avg)
+	out := t.String()
+	out += "corrections by fault model:\n"
+	for _, name := range []string{"ChipKill", "SSC", "DEC", "BF+BF", "ChipKill+1"} {
+		if n := res.PerModel[name]; n > 0 {
+			out += fmt.Sprintf("  %-11s %d\n", name, n)
+		}
+	}
+	return out
 }
 
 // RenderFigure5 formats the histograms.

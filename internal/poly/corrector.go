@@ -1,6 +1,10 @@
 package poly
 
-import "polyecc/internal/wideint"
+import (
+	"time"
+
+	"polyecc/internal/wideint"
+)
 
 // Status classifies a DecodeLine outcome.
 type Status int
@@ -38,6 +42,23 @@ type Report struct {
 	Iterations     int        // correction trials (MAC recomputations)
 	CorruptedWords int        // codewords with nonzero remainder
 	ECCFixed       bool       // the Update-ECC step rewrote check bits
+
+	// PerModelTrials counts the correction trials spent under each fault
+	// model, indexed by FaultModel; the entries sum to Iterations. It is
+	// the per-decode view of §VIII-C's N budget analysis.
+	PerModelTrials [NumFaultModels]int
+	// Elapsed is the DecodeLine wall time. It is populated only when the
+	// Code was built with a Metrics collector or Trace hook — the bare
+	// decode path skips the clock reads entirely.
+	Elapsed time.Duration
+}
+
+// TrialsFor returns the correction trials spent under model m.
+func (r *Report) TrialsFor(m FaultModel) int {
+	if int(m) < 0 || int(m) >= NumFaultModels {
+		return 0
+	}
+	return r.PerModelTrials[m]
 }
 
 // DecodeLine runs the full read path of Figure 8: remainder computation,
@@ -45,7 +66,26 @@ type Report struct {
 // configured fault models. It returns the (possibly corrected) data and a
 // report. When the status is StatusUncorrectable the data is the
 // best-effort assembly of the uncorrected line.
+//
+// When the Code carries telemetry (Config.Metrics or Config.Trace) each
+// decode also stamps Report.Elapsed, feeds the collector, and invokes
+// the trace hook per correction trial; an uninstrumented Code pays none
+// of that.
 func (c *Code) DecodeLine(l Line) ([LineBytes]byte, Report) {
+	if !c.instrumented() {
+		return c.decodeLine(l)
+	}
+	start := time.Now()
+	data, rep := c.decodeLine(l)
+	rep.Elapsed = time.Since(start)
+	if c.metrics != nil {
+		c.observe(&rep)
+	}
+	return data, rep
+}
+
+// decodeLine is the uninstrumented decode path.
+func (c *Code) decodeLine(l Line) ([LineBytes]byte, Report) {
 	rems := make([]uint64, c.words)
 	var corrupted []int
 	for i, w := range l.Words {
@@ -76,7 +116,7 @@ func (c *Code) DecodeLine(l Line) ([LineBytes]byte, Report) {
 	remaining := c.cfg.MaxIterations // 0 = unlimited
 	var scratch [LineBytes]byte
 	for _, model := range c.models {
-		hit, words := c.tryModel(model, l.Words, rems, corrupted, &rep.Iterations, &remaining, &scratch)
+		hit, words := c.tryModel(model, l.Words, rems, corrupted, &rep, &remaining, &scratch)
 		if hit {
 			rep.Status = StatusCorrected
 			rep.Model = model
@@ -100,7 +140,7 @@ func (c *Code) DecodeLine(l Line) ([LineBytes]byte, Report) {
 
 // tryModel enumerates a fault model's candidate space. It returns whether
 // a MAC match was found and, if so, the corrected codewords.
-func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, corrupted []int, iters, remaining *int, scratch *[LineBytes]byte) (bool, []wideint.U192) {
+func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, corrupted []int, rep *Report, remaining *int, scratch *[LineBytes]byte) (bool, []wideint.U192) {
 	switch model {
 	case ModelChipKill:
 		// Hypothesis: device s failed. Errors are correlated — every
@@ -118,7 +158,7 @@ func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, co
 			if !ok {
 				continue
 			}
-			if hit, words := c.runCounter(base, corrupted, lists, iters, remaining, scratch); hit {
+			if hit, words := c.runCounter(model, base, corrupted, lists, rep, remaining, scratch); hit {
 				return true, words
 			}
 			if c.cfg.MaxIterations > 0 && *remaining == 0 {
@@ -147,7 +187,7 @@ func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, co
 				if !ok {
 					continue
 				}
-				if hit, words := c.runCounter(base, corrupted, lists, iters, remaining, scratch); hit {
+				if hit, words := c.runCounter(model, base, corrupted, lists, rep, remaining, scratch); hit {
 					return true, words
 				}
 				if c.cfg.MaxIterations > 0 && *remaining == 0 {
@@ -193,7 +233,7 @@ func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, co
 					if !ok {
 						continue
 					}
-					if hit, words := c.runCounter(base, dims, lists, iters, remaining, scratch); hit {
+					if hit, words := c.runCounter(model, base, dims, lists, rep, remaining, scratch); hit {
 						return true, words
 					}
 					if c.cfg.MaxIterations > 0 && *remaining == 0 {
@@ -229,7 +269,7 @@ func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, co
 		if len(dims) == 0 {
 			return false, nil
 		}
-		return c.runCounter(base, dims, lists, iters, remaining, scratch)
+		return c.runCounter(model, base, dims, lists, rep, remaining, scratch)
 	}
 }
 
@@ -261,8 +301,9 @@ func (c *Code) pairCandidatesPruned(w wideint.U192, model FaultModel) []correcti
 // a multidimensional counter over the candidate lists of the corrupted
 // codewords. Each step selects one candidate per codeword, applies them
 // to a copy of the cacheline, and checks the MAC; the first match stops
-// the walk (the STOP signal).
-func (c *Code) runCounter(base []wideint.U192, dims []int, lists [][]correction, iters, remaining *int, scratch *[LineBytes]byte) (bool, []wideint.U192) {
+// the walk (the STOP signal). Every step is billed to model in the
+// report and, when a trace hook is attached, emitted as TraceEvents.
+func (c *Code) runCounter(model FaultModel, base []wideint.U192, dims []int, lists [][]correction, rep *Report, remaining *int, scratch *[LineBytes]byte) (bool, []wideint.U192) {
 	if len(dims) == 0 {
 		// A residue-invisible error (every remainder zero) offers nothing
 		// to iterate over; only the zero-remainder phase can help.
@@ -294,8 +335,21 @@ func (c *Code) runCounter(base []wideint.U192, dims []int, lists [][]correction,
 			}
 			trial[wi] = applied[d][j]
 		}
-		*iters++
-		if ok && c.macMatches(trial, scratch) {
+		rep.Iterations++
+		rep.PerModelTrials[model]++
+		match := ok && c.macMatches(trial, scratch)
+		if c.trace != nil {
+			for d, wi := range dims {
+				c.trace(TraceEvent{
+					Model:     model,
+					Trial:     rep.Iterations,
+					Word:      wi,
+					Candidate: counters[d],
+					MACMatch:  match,
+				})
+			}
+		}
+		if match {
 			return true, trial
 		}
 		if c.cfg.MaxIterations > 0 {

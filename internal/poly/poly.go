@@ -23,6 +23,7 @@ import (
 	"polyecc/internal/dram"
 	"polyecc/internal/mac"
 	"polyecc/internal/residue"
+	"polyecc/internal/telemetry"
 	"polyecc/internal/wideint"
 )
 
@@ -86,6 +87,15 @@ type Config struct {
 	// TryZeroRemainder enables the second correction phase of §VIII-A for
 	// errors that alias to remainder zero.
 	TryZeroRemainder bool
+
+	// Metrics, when non-nil, receives every decode's outcome counters,
+	// per-fault-model trial/hit counters, and iteration/latency
+	// histograms. One collector may be shared across Codes and
+	// goroutines; see telemetry.DecodeMetrics.Publish for expvar wiring.
+	Metrics *telemetry.DecodeMetrics
+	// Trace, when non-nil, observes every correction trial (the
+	// TraceFunc contract). A nil hook adds no work to the decode path.
+	Trace TraceFunc
 }
 
 // The paper's DDR5 configurations (Table IV).
@@ -126,6 +136,8 @@ type Code struct {
 	words    int // codewords per cacheline
 	inv      []uint64
 	models   []FaultModel
+	metrics  *telemetry.DecodeMetrics
+	trace    TraceFunc
 
 	hints map[FaultModel]map[uint64][]pairHint
 }
@@ -191,6 +203,8 @@ func New(cfg Config, m mac.MAC) (*Code, error) {
 		words:    words,
 		inv:      inv,
 		models:   models,
+		metrics:  cfg.Metrics,
+		trace:    cfg.Trace,
 		hints:    make(map[FaultModel]map[uint64][]pairHint),
 	}
 	for _, fm := range models {

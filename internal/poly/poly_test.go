@@ -167,6 +167,12 @@ func TestPaperWorkedExample(t *testing.T) {
 		if rep.Iterations > 2 {
 			t.Fatalf("iterations = %d, want <= 2", rep.Iterations)
 		}
+		if sum := rep.TrialsFor(ModelChipKill) + rep.TrialsFor(ModelSSC); sum != rep.Iterations {
+			t.Fatalf("ChipKill+SSC trials = %d, want all %d iterations", sum, rep.Iterations)
+		}
+		if rep.Elapsed != 0 {
+			t.Fatalf("uninstrumented decode stamped Elapsed = %v", rep.Elapsed)
+		}
 		return
 	}
 }

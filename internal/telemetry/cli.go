@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+)
+
+// CLIFlags is the shared observability flag set of the cmd tools:
+// structured-logging verbosity and the live metrics/profiling endpoint.
+type CLIFlags struct {
+	Verbose     bool
+	MetricsAddr string
+}
+
+// Register binds -v and -metrics-addr on fs.
+func (f *CLIFlags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Verbose, "v", false, "verbose (debug-level) logging")
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "",
+		"serve /debug/vars and /debug/pprof on this address (e.g. :8080)")
+}
+
+// Init installs the process-wide slog logger (also returned) and, when
+// -metrics-addr was given, starts the observability server. Call it
+// once, after flag.Parse.
+func (f *CLIFlags) Init(tool string) *slog.Logger {
+	logger := NewLogger(tool, f.Verbose)
+	if f.MetricsAddr != "" {
+		addr, err := StartServer(f.MetricsAddr)
+		if err != nil {
+			Fatal(logger, "metrics server failed", "addr", f.MetricsAddr, "err", err)
+		}
+		logger.Info("observability server listening",
+			"addr", addr, "vars", "/debug/vars", "pprof", "/debug/pprof/")
+	}
+	return logger
+}
+
+// NewLogger builds the shared text-handler slog logger, tags every
+// record with the tool name, and installs it as the slog default so
+// library packages (internal/exp progress logging) inherit it.
+func NewLogger(tool string, verbose bool) *slog.Logger {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	logger := slog.New(h).With("tool", tool)
+	slog.SetDefault(logger)
+	return logger
+}
+
+// Fatal logs at error level and exits — the slog replacement for the
+// cmd tools' former log.Fatal calls.
+func Fatal(l *slog.Logger, msg string, args ...any) {
+	l.Error(msg, args...)
+	os.Exit(1)
+}

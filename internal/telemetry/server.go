@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the observability HTTP mux: /debug/vars (the expvar
+// registry, including every collector registered through Publish) and
+// the /debug/pprof endpoints (CPU/heap/goroutine profiles and execution
+// traces) for live profiling of a running campaign.
+func NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartServer listens on addr (e.g. ":8080") and serves NewMux in a
+// background goroutine for the life of the process. The listen happens
+// synchronously so a bad address fails fast; the resolved address is
+// returned (useful with ":0").
+func StartServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: NewMux()}
+	go srv.Serve(ln) //nolint:errcheck — lives until process exit
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,272 @@
+// Package telemetry is the observability substrate of the repo: atomic
+// counters, bounded histograms, and labeled counter families that
+// publish themselves through the standard library's expvar registry, a
+// /debug/vars + /debug/pprof HTTP server, and slog helpers shared by
+// every cmd tool.
+//
+// The package is stdlib-only by design (the container has no external
+// metric libraries) and every collector is safe for concurrent use: the
+// hot-path operations are single atomic adds, so instrumented code — the
+// poly.DecodeLine corrector in particular — pays nothing beyond the
+// increments it asks for.
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// --- Counter ---------------------------------------------------------------
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use. It implements expvar.Var.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// String renders the count for expvar.
+func (c *Counter) String() string { return strconv.FormatInt(c.v.Load(), 10) }
+
+// --- LabeledCounter --------------------------------------------------------
+
+// LabeledCounter is a family of counters keyed by a string label — the
+// per-fault-model counter shape. The zero value is ready to use. It
+// implements expvar.Var, rendering as a JSON object of label → count.
+type LabeledCounter struct {
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// get returns the counter for label, creating it on first use.
+func (lc *LabeledCounter) get(label string) *Counter {
+	lc.mu.RLock()
+	c := lc.m[label]
+	lc.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.m == nil {
+		lc.m = make(map[string]*Counter)
+	}
+	if c = lc.m[label]; c == nil {
+		c = &Counter{}
+		lc.m[label] = c
+	}
+	return c
+}
+
+// Add increments the counter for label by n.
+func (lc *LabeledCounter) Add(label string, n int64) { lc.get(label).Add(n) }
+
+// Value returns the count for label (0 if the label was never used).
+func (lc *LabeledCounter) Value(label string) int64 {
+	lc.mu.RLock()
+	defer lc.mu.RUnlock()
+	if c := lc.m[label]; c != nil {
+		return c.Value()
+	}
+	return 0
+}
+
+// Do calls f for every label in sorted order.
+func (lc *LabeledCounter) Do(f func(label string, value int64)) {
+	lc.mu.RLock()
+	labels := make([]string, 0, len(lc.m))
+	for l := range lc.m {
+		labels = append(labels, l)
+	}
+	lc.mu.RUnlock()
+	sort.Strings(labels)
+	for _, l := range labels {
+		f(l, lc.Value(l))
+	}
+}
+
+// String renders the family as a JSON object for expvar.
+func (lc *LabeledCounter) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	lc.Do(func(label string, value int64) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%q: %d", label, value)
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// --- Histogram -------------------------------------------------------------
+
+// Histogram counts int64 observations into fixed buckets. Bucket i
+// holds observations v <= bounds[i]; a final implicit +Inf bucket
+// catches the rest. Observation is one atomic add after a binary
+// search, so it is safe and cheap on hot paths. It implements
+// expvar.Var, rendering counts, sum, and buckets as JSON.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a histogram from strictly increasing upper
+// bounds. It panics on an empty or unsorted bound list (a programming
+// error, caught at construction).
+func NewHistogram(bounds ...int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not increasing at %d", i))
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// ExpBuckets returns n upper bounds in a geometric series: start,
+// start*factor, start*factor^2, ...
+func ExpBuckets(start, factor int64, n int) []int64 {
+	if start <= 0 || factor < 2 || n <= 0 {
+		panic("telemetry: ExpBuckets needs start > 0, factor >= 2, n > 0")
+	}
+	out := make([]int64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// NumBuckets returns the bucket count including the +Inf bucket.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Bound returns bucket i's inclusive upper bound; the last bucket
+// reports true for inf.
+func (h *Histogram) Bound(i int) (bound int64, inf bool) {
+	if i >= len(h.bounds) {
+		return 0, true
+	}
+	return h.bounds[i], false
+}
+
+// BucketCount returns the observation count of bucket i.
+func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }
+
+// String renders the histogram as JSON for expvar:
+//
+//	{"count": 3, "sum": 17, "buckets": [{"le": 1, "n": 0}, ..., {"le": "+Inf", "n": 1}]}
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"count": %d, "sum": %d, "buckets": [`, h.Count(), h.Sum())
+	for i := range h.counts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if bound, inf := h.Bound(i); inf {
+			fmt.Fprintf(&b, `{"le": "+Inf", "n": %d}`, h.BucketCount(i))
+		} else {
+			fmt.Fprintf(&b, `{"le": %d, "n": %d}`, bound, h.BucketCount(i))
+		}
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// --- expvar publication ----------------------------------------------------
+
+var publishMu sync.Mutex
+
+// Publish registers v in the process-wide expvar registry under name.
+// Unlike expvar.Publish it is idempotent: re-publishing an existing
+// name is a no-op (first registration wins), so collectors can be wired
+// from tests and long-lived tools without panicking.
+func Publish(name string, v expvar.Var) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, v)
+	}
+}
+
+// --- DecodeMetrics ---------------------------------------------------------
+
+// DecodeMetrics collects the decode-path measurements of §VIII of the
+// paper as live counters: outcome counts, per-fault-model trial and hit
+// counts, the iteration-count distribution (the N budget of §VIII-C),
+// and the decode wall-time distribution. A single value may be shared
+// by many goroutines and many Codes.
+type DecodeMetrics struct {
+	Clean         Counter // decodes with zero remainders and a matching MAC
+	Corrected     Counter // decodes recovered by a correction trial (or Update-ECC)
+	Uncorrectable Counter // DUEs: every candidate of every model exhausted
+	ECCFixed      Counter // decodes that rewrote corrupted check bits
+
+	ModelHits   LabeledCounter // fault model that produced the MAC match
+	ModelTrials LabeledCounter // correction trials attempted, per fault model
+
+	Iterations *Histogram // trials per non-clean decode
+	Latency    *Histogram // DecodeLine wall time in nanoseconds
+}
+
+// NewDecodeMetrics builds a collector with the default bucket layout:
+// iteration buckets doubling 1..32768 (the paper's N_max analysis runs
+// to ~4464 for ChipKill+1) and latency buckets ×4 from 256ns to ~67ms.
+func NewDecodeMetrics() *DecodeMetrics {
+	return &DecodeMetrics{
+		Iterations: NewHistogram(ExpBuckets(1, 2, 16)...),
+		Latency:    NewHistogram(ExpBuckets(256, 4, 10)...),
+	}
+}
+
+// ObserveLatency records one decode's wall time.
+func (m *DecodeMetrics) ObserveLatency(d time.Duration) { m.Latency.Observe(int64(d)) }
+
+// Publish registers every collector under prefix: prefix.clean,
+// prefix.corrected, prefix.uncorrectable, prefix.ecc_fixed,
+// prefix.model_hits, prefix.model_trials, prefix.iterations, and
+// prefix.latency_ns. Idempotent, like Publish.
+func (m *DecodeMetrics) Publish(prefix string) {
+	Publish(prefix+".clean", &m.Clean)
+	Publish(prefix+".corrected", &m.Corrected)
+	Publish(prefix+".uncorrectable", &m.Uncorrectable)
+	Publish(prefix+".ecc_fixed", &m.ECCFixed)
+	Publish(prefix+".model_hits", &m.ModelHits)
+	Publish(prefix+".model_trials", &m.ModelTrials)
+	Publish(prefix+".iterations", m.Iterations)
+	Publish(prefix+".latency_ns", m.Latency)
+}

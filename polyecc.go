@@ -21,6 +21,13 @@
 // For experiments that inject physical faults, Code.ToBurst and
 // Code.FromBurst move encoded lines across a modelled 40-bit DDR5
 // sub-channel; the Sim* helpers expose the paper's fault models.
+//
+// The decode path is observable: attach a DecodeMetrics collector
+// (Config.Metrics) for outcome/per-model counters and
+// iteration/latency histograms, a TraceFunc (Config.Trace) for
+// per-trial events, and serve everything live with ServeMetrics
+// (/debug/vars + /debug/pprof). Both are strictly opt-in; an
+// uninstrumented Code pays nothing.
 package polyecc
 
 import (
@@ -28,6 +35,7 @@ import (
 	"polyecc/internal/faults"
 	"polyecc/internal/mac"
 	"polyecc/internal/poly"
+	"polyecc/internal/telemetry"
 )
 
 // LineBytes is the protected cacheline size.
@@ -58,6 +66,17 @@ type (
 	Burst = dram.Burst
 	// Injector corrupts a burst according to one fault model.
 	Injector = faults.Injector
+
+	// DecodeMetrics collects live decode-path telemetry: outcome
+	// counters, per-fault-model trial/hit counters, and
+	// iteration/latency histograms. Attach one via Config.Metrics and
+	// publish it to /debug/vars with its Publish method.
+	DecodeMetrics = telemetry.DecodeMetrics
+	// TraceEvent describes one candidate application within a
+	// correction trial (Config.Trace receives these).
+	TraceEvent = poly.TraceEvent
+	// TraceFunc observes correction trials; nil hooks cost nothing.
+	TraceFunc = poly.TraceFunc
 )
 
 // Decode statuses.
@@ -97,6 +116,15 @@ func ConfigM2005() Config { return poly.ConfigM2005() }
 
 // ConfigM131049 is the 16-bit-symbol configuration with a 60-bit MAC.
 func ConfigM131049() Config { return poly.ConfigM131049() }
+
+// NewDecodeMetrics builds a decode-telemetry collector with the default
+// bucket layout; share it across Codes and goroutines freely.
+func NewDecodeMetrics() *DecodeMetrics { return telemetry.NewDecodeMetrics() }
+
+// ServeMetrics starts the observability HTTP server (/debug/vars with
+// every published collector plus /debug/pprof) on addr in a background
+// goroutine, returning the resolved listen address.
+func ServeMetrics(addr string) (string, error) { return telemetry.StartServer(addr) }
 
 // NewSipHashMAC returns a SipHash-2-4 MAC truncated to bits — the fast
 // software default.

@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-snapshot
+.PHONY: ci build vet test race bench bench-snapshot smoke-campaign
 
-ci: vet build race
+ci: vet build race smoke-campaign
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,15 @@ bench:
 
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -o BENCH_decode.json
+
+# Tiny end-to-end campaign: run the in-model soak with a checkpoint and
+# a timeout, then resume it to completion — the interrupt/resume round
+# trip every long fault-injection run depends on.
+SMOKE_CKPT := $(shell mktemp -u /tmp/polyecc-smoke.XXXXXX)
+smoke-campaign:
+	$(GO) run ./cmd/faultinject -poly -injections 40 -workers 4 \
+		-checkpoint $(SMOKE_CKPT) -checkpoint-every 5 -timeout 120s >/dev/null
+	$(GO) run ./cmd/faultinject -poly -injections 40 -workers 2 \
+		-checkpoint $(SMOKE_CKPT) -resume >/dev/null
+	@rm -f $(SMOKE_CKPT)
+	@echo "smoke-campaign: checkpoint/resume round trip OK"

@@ -4,23 +4,38 @@
 // live in-model soak that exercises the Polymorphic ECC decode path
 // under every fault model.
 //
+// The campaigns run on the resilient campaign engine: trials are
+// sharded across -workers goroutines, progress is checkpointed
+// atomically to -checkpoint every -checkpoint-every trials, and an
+// interrupted run (Ctrl-C, -timeout, or a crash) picks up exactly where
+// it left off with -resume — same seed, bit-identical final counts, at
+// any worker count. Per-trial panics are absorbed and counted instead
+// of killing the campaign.
+//
 // With -metrics-addr the run is observable while in flight: the
-// campaign counters (faultinject.*) and the decode collectors
-// (decode.*) are served at /debug/vars, and /debug/pprof offers live
-// CPU/heap profiles.
+// campaign counters (faultinject.*, including
+// faultinject.campaign.{completed,panics,checkpoints}) and the decode
+// collectors (decode.*) are served at /debug/vars, and /debug/pprof
+// offers live CPU/heap profiles.
 //
 // Usage:
 //
-//	faultinject -fig 4 [-injections 2000] [-metrics-addr :8080] [-v]
+//	faultinject -fig 4 [-injections 2000] [-workers 8] [-metrics-addr :8080] [-v]
 //	faultinject -fig 5 [-injections 2500]
 //	faultinject -poly [-injections 2000]
+//	faultinject -fig 4 -checkpoint fig4.ckpt -checkpoint-every 200 -timeout 1h
+//	faultinject -fig 4 -checkpoint fig4.ckpt -resume   # continue after an interrupt
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"polyecc/internal/campaign"
 	"polyecc/internal/exp"
 	"polyecc/internal/telemetry"
 )
@@ -31,10 +46,35 @@ func main() {
 	injections := flag.Int("injections", 0, "injections per campaign (default: the paper's count)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	out := flag.String("o", "", "also write the output to this file")
+	workers := flag.Int("workers", 0, "concurrent trial workers (default GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the campaign after this long, keeping partial results")
+	ckpt := flag.String("checkpoint", "", "checkpoint campaign progress to this file")
+	ckptEvery := flag.Int("checkpoint-every", 0, "trials between checkpoints (default 1000)")
+	resume := flag.Bool("resume", false, "resume from -checkpoint, skipping completed trials")
 	var obs telemetry.CLIFlags
 	obs.Register(flag.CommandLine)
 	flag.Parse()
 	logger := obs.Init("faultinject")
+
+	opts := exp.CampaignOpts{
+		Workers:         *workers,
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
+	}
+	if *resume && *ckpt == "" {
+		telemetry.Fatal(logger, "-resume needs -checkpoint")
+	}
+
+	// Ctrl-C (or -timeout) drains the campaign instead of killing it: a
+	// final checkpoint is written and the partial report still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	// The decode collectors are published up front so /debug/vars shows
 	// the full metric surface from the first scrape; the -poly soak (and
@@ -43,35 +83,63 @@ func main() {
 	decodeMetrics.Publish("decode")
 
 	var text string
+	var run campaign.Result
 	switch {
 	case *polySoak:
 		n := *injections
 		if n == 0 {
 			n = 2000
 		}
-		logger.Info("running in-model soak", "trials", n)
-		text = exp.RenderPolySoak(exp.PolySoak(n, *seed, decodeMetrics))
+		logger.Info("running in-model soak", "trials", n, "workers", opts.Workers)
+		res, err := exp.PolySoakCtx(ctx, n, *seed, decodeMetrics, opts)
+		if err != nil {
+			telemetry.Fatal(logger, "soak failed", "err", err)
+		}
+		run = campaign.Result{Name: "polysoak", Trials: res.Trials, Completed: res.Completed,
+			Partial: res.Partial, Panics: res.Panics}
+		text = exp.RenderPolySoak(res)
 	case *fig == 4:
 		n := *injections
 		if n == 0 {
 			n = 2000 // the paper's Leveugle-sized campaign
 		}
-		logger.Info("running figure 4 campaign", "injections", n)
-		rows, err := exp.Figure4(n, *seed)
+		logger.Info("running figure 4 campaign", "injections", n, "workers", opts.Workers)
+		rows, res, err := exp.Figure4Ctx(ctx, n, *seed, opts)
 		if err != nil {
 			telemetry.Fatal(logger, "figure 4 failed", "err", err)
 		}
+		run = res
 		text = exp.RenderFigure4(rows)
 	case *fig == 5:
 		n := *injections
 		if n == 0 {
 			n = 2500
 		}
-		logger.Info("running figure 5 campaign", "injections", n)
-		text = exp.RenderFigure5(exp.Figure5(n, *seed))
+		logger.Info("running figure 5 campaign", "injections", n, "workers", opts.Workers)
+		results, res, err := exp.Figure5Ctx(ctx, n, *seed, opts)
+		if err != nil {
+			telemetry.Fatal(logger, "figure 5 failed", "err", err)
+		}
+		run = res
+		text = exp.RenderFigure5(results)
 	default:
 		telemetry.Fatal(logger, "unknown figure (use 4 or 5)", "fig", *fig)
 	}
+
+	if run.Partial {
+		banner := fmt.Sprintf("*** PARTIAL RUN: %d/%d trials completed", run.Completed, run.Trials)
+		if *ckpt != "" {
+			banner += fmt.Sprintf(" — resume with -resume -checkpoint %s", *ckpt)
+		}
+		text = banner + " ***\n\n" + text
+	}
+	if run.Panics > 0 {
+		logger.Warn("trials panicked and were absorbed", "panics", run.Panics)
+	}
+	if run.Skipped > 0 {
+		logger.Info("resumed from checkpoint", "skipped", run.Skipped)
+	}
+
 	fmt.Print(text)
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {

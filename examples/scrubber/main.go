@@ -6,31 +6,38 @@
 // classified fault mix a Memory Fault Management Infrastructure (the
 // OCP FMI the paper's conclusion points at) would consume.
 //
+// The patrol is the long-run-safe scrub.Scrubber.Run loop: it sweeps a
+// dram.Module until the context is cancelled (sweep budget reached, or
+// Ctrl-C), heals correctable array faults by rewriting, and never writes
+// back a DUE line — the host re-provisions those from its mirror in the
+// OnSweep hook, the way a hypervisor would repair from a replica.
+//
 // The scrubber is also the deployment-shaped telemetry demo: a
 // DecodeMetrics collector rides the decode path and is published at
 // /debug/vars (with /debug/pprof alongside) when -metrics-addr is set.
 //
-//	go run ./examples/scrubber [-lines 512] [-sweeps 20] [-metrics-addr :8080] [-v]
+//	go run ./examples/scrubber [-lines 512] [-sweeps 20] [-interval 0] [-metrics-addr :8080] [-v]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"polyecc"
+	"polyecc/internal/dram"
+	"polyecc/internal/scrub"
 	"polyecc/internal/telemetry"
 )
 
-type region struct {
-	code  *polyecc.Code
-	lines []polyecc.Line
-	truth [][polyecc.LineBytes]byte
-}
-
 func main() {
 	nLines := flag.Int("lines", 512, "cachelines in the scrubbed region")
-	sweeps := flag.Int("sweeps", 20, "scrub sweeps to run")
+	sweeps := flag.Int("sweeps", 20, "scrub sweeps to run (0 = until interrupted)")
+	interval := flag.Duration("interval", 0, "pause between patrol sweeps")
 	seed := flag.Int64("seed", 11, "deterministic seed")
 	var obs telemetry.CLIFlags
 	obs.Register(flag.CommandLine)
@@ -43,71 +50,87 @@ func main() {
 	cfg.Metrics = metrics
 
 	key := [16]byte{2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5}
-	reg := region{code: polyecc.MustNew(cfg, polyecc.NewSipHashMAC(key, 40))}
+	code := polyecc.MustNew(cfg, polyecc.NewSipHashMAC(key, 40))
+	mod := dram.NewModule(*nLines)
+	truth := make([][polyecc.LineBytes]byte, *nLines)
 	r := rand.New(rand.NewSource(*seed))
-	for i := 0; i < *nLines; i++ {
-		var data [polyecc.LineBytes]byte
-		r.Read(data[:])
-		reg.truth = append(reg.truth, data)
-		reg.lines = append(reg.lines, reg.code.EncodeLine(&data))
+	for i := range truth {
+		r.Read(truth[i][:])
+		mod.WriteBurst(i, code.ToBurst(code.EncodeLine(&truth[i])))
 	}
 	fmt.Printf("scrubbing %d lines (%d KiB) protected by M=%d Polymorphic ECC\n\n",
-		*nLines, *nLines*polyecc.LineBytes/1024, reg.code.M())
+		*nLines, *nLines*polyecc.LineBytes/1024, code.M())
 
-	var corrected, clean, due int
-	modelCounts := map[polyecc.FaultModel]int{}
+	// Ctrl-C drains the patrol instead of killing it: Run returns the
+	// counts gathered so far and the summary below still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	stuckPinFrom := *sweeps / 2
-	for sweep := 0; sweep < *sweeps; sweep++ {
+	policy := scrub.DefaultPolicy()
+	policy.OnSweep = func(sweep int, st scrub.Stats, events []scrub.Event) {
+		logger.Debug("sweep complete", "sweep", sweep,
+			"corrected", st.Corrected, "due", st.DUE,
+			"lifetime-corrected", metrics.Corrected.Value())
+		// The host's repair action: DUE lines are re-provisioned from the
+		// (simulated) mirror — the scrubber itself left them untouched.
+		for _, ev := range events {
+			if ev.Report.Status == polyecc.StatusUncorrectable {
+				d := truth[ev.Line]
+				mod.WriteBurst(ev.Line, code.ToBurst(code.EncodeLine(&d)))
+			}
+		}
 		// Faults accumulate between sweeps: a few random cell flips...
 		for i := 0; i < 1+r.Intn(4); i++ {
-			li := r.Intn(*nLines)
-			w := r.Intn(reg.code.Words())
-			reg.lines[li].Words[w] = reg.lines[li].Words[w].FlipBit(r.Intn(80))
+			mod.Hammer(r.Intn(*nLines), 1, r)
 		}
-		// ...and, in the second half of the run, a degrading device that
-		// smears a symbol across a few lines (an aging chip).
-		if sweep >= stuckPinFrom {
-			dev := 3
-			for i := 0; i < 2; i++ {
-				li := r.Intn(*nLines)
-				for w := range reg.lines[li].Words {
-					old := reg.lines[li].Words[w].Field(dev*8, 8)
-					reg.lines[li].Words[w] = reg.lines[li].Words[w].WithField(dev*8, 8, old^uint64(1+r.Intn(255)))
-				}
+		// ...and, in the second half of the run, an IO pin that sticks
+		// (an aging device smearing one bit across every beat).
+		if *sweeps > 0 && sweep == stuckPinFrom {
+			if err := mod.AddStuckPin(3*dram.PinsPerDevice, 1); err != nil {
+				telemetry.Fatal(logger, "stuck pin", "err", err)
 			}
 		}
-		// Scrub sweep: read, correct, write back.
-		for li := range reg.lines {
-			data, rep := reg.code.DecodeLine(reg.lines[li])
-			switch rep.Status {
-			case polyecc.StatusClean:
-				clean++
-			case polyecc.StatusCorrected:
-				corrected++
-				modelCounts[rep.Model]++
-				if data != reg.truth[li] {
-					telemetry.Fatal(logger, "silent corruption", "sweep", sweep, "line", li)
-				}
-				reg.lines[li] = reg.code.EncodeLine(&data)
-			case polyecc.StatusUncorrectable:
-				due++
-				// Re-provision the line from its (simulated) mirror.
-				d := reg.truth[li]
-				reg.lines[li] = reg.code.EncodeLine(&d)
-			}
+		if *sweeps > 0 && sweep >= *sweeps {
+			cancel()
 		}
-		logger.Debug("sweep complete", "sweep", sweep,
-			"corrected", metrics.Corrected.Value(), "due", metrics.Uncorrectable.Value())
 	}
 
-	fmt.Printf("sweeps=%d  clean-reads=%d  corrected=%d  DUE=%d\n", *sweeps, clean, corrected, due)
+	s, err := scrub.New(code, mod, policy)
+	if err != nil {
+		telemetry.Fatal(logger, "scrubber setup", "err", err)
+	}
+	start := time.Now()
+	agg := s.Run(ctx, *interval)
+
+	fmt.Printf("sweeps=%d  clean-reads=%d  corrected=%d  DUE=%d  (%.1fs)\n",
+		agg.Sweeps, agg.Clean, agg.Corrected, agg.DUE, time.Since(start).Seconds())
+	if s.ReplacementDue() {
+		fmt.Printf("replacement due: %d lifetime corrections crossed the threshold\n", s.TotalCorrected())
+	}
 	fmt.Println("fault classification for the FMI log:")
 	for _, m := range []polyecc.FaultModel{polyecc.ModelChipKill, polyecc.ModelSSC, polyecc.ModelBFBF, polyecc.ModelChipKillPlus1, polyecc.ModelDEC} {
-		if modelCounts[m] > 0 {
-			fmt.Printf("  %-11s %d\n", m, modelCounts[m])
+		if agg.PerModel[m] > 0 {
+			fmt.Printf("  %-11s %d\n", m, agg.PerModel[m])
+		}
+	}
+
+	// Every surviving line must still decode to ground truth — the patrol
+	// corrected and healed without ever silently corrupting data.
+	sdc := 0
+	for i := range truth {
+		burst := mod.ReadBurst(i)
+		data, rep := code.DecodeLine(code.FromBurst(&burst))
+		if rep.Status != polyecc.StatusUncorrectable && data != truth[i] {
+			sdc++
 		}
 	}
 	fmt.Printf("\ntelemetry: decode latency samples=%d, correction-trial histogram %s\n",
 		metrics.Latency.Count(), metrics.Iterations.String())
+	if sdc > 0 {
+		telemetry.Fatal(logger, "silent corruption", "lines", sdc)
+	}
 	fmt.Println("every correction verified against ground truth — no SDCs")
 }

@@ -1,0 +1,441 @@
+// Package campaign is the resilient Monte Carlo engine behind the
+// paper-scale fault-injection studies. The paper's evaluation runs up to
+// 10^6 cachelines per fault model — "a week on 96 cores" for DEC — and a
+// campaign of that length cannot afford to be single-threaded, lose its
+// state to a Ctrl-C, or die to one panicking trial. This package runs a
+// trial budget the way a production measurement pipeline would:
+//
+//   - The budget is split into shards with a deterministic per-trial RNG
+//     derived from (seed, trial index), so the same seed produces
+//     bit-identical outcome counts at any worker count.
+//   - Workers pull shards from a queue; per-shard progress and outcome
+//     counts are committed trial by trial under one lock, so a snapshot
+//     of the state is always consistent.
+//   - Progress is checkpointed periodically to an atomic JSON file
+//     (temp file + rename); a resumed campaign skips exactly the trials
+//     the checkpoint accounts for and reproduces the uninterrupted run.
+//   - A panicking trial is recovered, counted under Config.PanicLabel,
+//     and the campaign continues — one bad cacheline cannot kill a week
+//     of compute.
+//   - Context cancellation (SIGINT, -timeout) drains gracefully: workers
+//     stop at the next trial boundary, a final checkpoint is written,
+//     and the partial result is clearly marked.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"polyecc/internal/telemetry"
+)
+
+// TrialFunc runs one trial. It must derive all randomness from t.RNG and
+// report outcomes through t.Record/t.Add; under those two rules a
+// campaign is reproducible and resumable. A panic inside the function is
+// recovered by the runner and counted as Config.PanicLabel.
+type TrialFunc func(t *Trial)
+
+// Trial is one unit of campaign work.
+type Trial struct {
+	// Index is the global trial index in [0, Config.Trials).
+	Index int
+	// Shard is the shard the trial belongs to.
+	Shard int
+	// RNG is the trial's private deterministic generator, derived from
+	// (Config.Seed, Index). It does not depend on worker count, shard
+	// scheduling, or which trials ran before.
+	RNG *rand.Rand
+
+	adds map[string]int64
+}
+
+// Record counts one occurrence of an outcome label.
+func (t *Trial) Record(outcome string) { t.Add(outcome, 1) }
+
+// Add accumulates n under an outcome label. Labels are free-form; sums
+// (e.g. total correction iterations) are as welcome as event counts.
+func (t *Trial) Add(outcome string, n int64) {
+	if t.adds == nil {
+		t.adds = make(map[string]int64, 4)
+	}
+	t.adds[outcome] += n
+}
+
+// Config parameterizes a campaign run.
+type Config struct {
+	// Name identifies the campaign; a checkpoint only resumes a campaign
+	// with the same name.
+	Name string
+	// Trials is the total trial budget. Required.
+	Trials int
+	// Shards is the checkpointing granularity: each shard owns a
+	// contiguous slice of the trial budget and records its own progress.
+	// The default (64) is independent of worker count; results never
+	// depend on the shard count, but a checkpoint only resumes with the
+	// same one.
+	Shards int
+	// Workers is the number of concurrent trial goroutines. Defaults to
+	// GOMAXPROCS.
+	Workers int
+	// Seed drives every trial's RNG derivation.
+	Seed int64
+	// CheckpointPath, when set, receives an atomic JSON snapshot of the
+	// campaign state every CheckpointEvery trials and once at the end.
+	CheckpointPath string
+	// CheckpointEvery is the number of committed trials between
+	// checkpoint writes (default 1000).
+	CheckpointEvery int
+	// Resume loads CheckpointPath before running and skips the trials it
+	// accounts for. The checkpoint must match Name, Seed, Trials, and
+	// Shards exactly.
+	Resume bool
+	// PanicLabel is the outcome label for recovered trial panics
+	// (default "panic"). A panicked trial contributes exactly one count
+	// of this label and nothing else, so reruns stay deterministic.
+	PanicLabel string
+	// Metrics, when non-nil, receives live counter updates.
+	Metrics *Metrics
+	// Logger defaults to slog.Default().
+	Logger *slog.Logger
+	// ProgressEvery is the interval between progress/ETA log lines
+	// (default 10s; negative disables).
+	ProgressEvery time.Duration
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 64
+	}
+	if cfg.Shards > cfg.Trials {
+		cfg.Shards = cfg.Trials
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1000
+	}
+	if cfg.PanicLabel == "" {
+		cfg.PanicLabel = "panic"
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.ProgressEvery == 0 {
+		cfg.ProgressEvery = 10 * time.Second
+	}
+}
+
+// Result summarizes a campaign run.
+type Result struct {
+	Name      string
+	Trials    int
+	Completed int // trials accounted for, including resumed ones
+	Skipped   int // trials restored from the checkpoint instead of re-run
+	Panics    int64
+	Partial   bool // cancelled or timed out before the budget was spent
+	Elapsed   time.Duration
+	Counts    map[string]int64 // aggregated outcome labels
+}
+
+// Count returns the aggregated count for one outcome label.
+func (r Result) Count(label string) int64 { return r.Counts[label] }
+
+// Metrics are the live collectors of a running campaign, shaped for
+// telemetry.Publish under one prefix.
+type Metrics struct {
+	Completed   telemetry.Counter        // trials committed (this process)
+	Panics      telemetry.Counter        // trial panics recovered
+	Resumed     telemetry.Counter        // trials skipped via checkpoint resume
+	Checkpoints telemetry.Counter        // checkpoint files written
+	Outcomes    telemetry.LabeledCounter // outcome labels, live
+}
+
+// Publish registers every collector under prefix.<name> in expvar.
+func (m *Metrics) Publish(prefix string) {
+	telemetry.Publish(prefix+".completed", &m.Completed)
+	telemetry.Publish(prefix+".panics", &m.Panics)
+	telemetry.Publish(prefix+".resumed", &m.Resumed)
+	telemetry.Publish(prefix+".checkpoints", &m.Checkpoints)
+	telemetry.Publish(prefix+".outcomes", &m.Outcomes)
+}
+
+// shardRange returns the start index and length of one shard's
+// contiguous slice of the trial budget.
+func shardRange(trials, shards, s int) (start, n int) {
+	base, rem := trials/shards, trials%shards
+	start = s*base + min(s, rem)
+	n = base
+	if s < rem {
+		n++
+	}
+	return start, n
+}
+
+// trialSeed derives the per-trial RNG seed with a splitmix64-style
+// finalizer, so neighbouring indices get uncorrelated streams.
+func trialSeed(seed int64, index int) int64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(index) + 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// state is the shared campaign progress, guarded by mu. Checkpoint
+// writes happen under the lock: they are rare (every CheckpointEvery
+// trials) and small, and holding the lock makes every written snapshot
+// consistent — done[s] trials are exactly what counts[s] accounts for.
+type state struct {
+	mu        sync.Mutex
+	done      []int
+	counts    []map[string]int64
+	completed int
+	panics    int64
+	sinceCkpt int
+	saveErr   error
+}
+
+func newState(shards int) *state {
+	st := &state{done: make([]int, shards), counts: make([]map[string]int64, shards)}
+	for i := range st.counts {
+		st.counts[i] = make(map[string]int64)
+	}
+	return st
+}
+
+func (st *state) doneOf(shard int) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.done[shard]
+}
+
+func (st *state) completedNow() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.completed
+}
+
+// commit records one finished trial and writes a checkpoint when due.
+func (st *state) commit(cfg *Config, shard int, adds map[string]int64, panicked bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.done[shard]++
+	st.completed++
+	for label, n := range adds {
+		st.counts[shard][label] += n
+	}
+	if panicked {
+		st.panics++
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Completed.Add(1)
+		if panicked {
+			cfg.Metrics.Panics.Add(1)
+		}
+		for label, n := range adds {
+			cfg.Metrics.Outcomes.Add(label, n)
+		}
+	}
+	if cfg.CheckpointPath == "" {
+		return
+	}
+	st.sinceCkpt++
+	if st.sinceCkpt >= cfg.CheckpointEvery {
+		st.sinceCkpt = 0
+		st.saveLocked(cfg)
+	}
+}
+
+// saveLocked writes a checkpoint snapshot; callers hold st.mu.
+func (st *state) saveLocked(cfg *Config) {
+	ck := st.snapshotLocked(cfg)
+	if err := ck.save(cfg.CheckpointPath); err != nil {
+		// A failed checkpoint write must not kill the campaign; remember
+		// the error, log it, and keep computing.
+		st.saveErr = err
+		cfg.Logger.Error("campaign checkpoint write failed", "name", cfg.Name,
+			"path", cfg.CheckpointPath, "err", err)
+		return
+	}
+	st.saveErr = nil
+	if cfg.Metrics != nil {
+		cfg.Metrics.Checkpoints.Add(1)
+	}
+}
+
+func (st *state) result(cfg *Config, skipped int, elapsed time.Duration) Result {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	counts := make(map[string]int64)
+	for _, m := range st.counts {
+		for label, n := range m {
+			counts[label] += n
+		}
+	}
+	return Result{
+		Name:      cfg.Name,
+		Trials:    cfg.Trials,
+		Completed: st.completed,
+		Skipped:   skipped,
+		Panics:    st.panics,
+		Partial:   st.completed < cfg.Trials,
+		Elapsed:   elapsed,
+		Counts:    counts,
+	}
+}
+
+// safeTrial runs fn with panic isolation. A panicked trial's partial
+// outcome records are discarded so it contributes exactly one
+// PanicLabel count — keeping reruns bit-identical.
+func safeTrial(fn TrialFunc, t *Trial, panicLabel string, logger *slog.Logger) (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			t.adds = map[string]int64{panicLabel: 1}
+			logger.Warn("campaign trial panicked; counted and continuing",
+				"trial", t.Index, "shard", t.Shard, "panic", fmt.Sprint(r))
+		}
+	}()
+	fn(t)
+	return false
+}
+
+func runShard(ctx context.Context, cfg *Config, fn TrialFunc, st *state, shard int) {
+	lo, n := shardRange(cfg.Trials, cfg.Shards, shard)
+	for k := st.doneOf(shard); k < n; k++ {
+		if ctx.Err() != nil {
+			return
+		}
+		idx := lo + k
+		t := &Trial{
+			Index: idx,
+			Shard: shard,
+			RNG:   rand.New(rand.NewSource(trialSeed(cfg.Seed, idx))),
+		}
+		panicked := safeTrial(fn, t, cfg.PanicLabel, cfg.Logger)
+		st.commit(cfg, shard, t.adds, panicked)
+	}
+}
+
+// Run executes the campaign until the budget is spent or ctx is
+// cancelled. Cancellation is not an error: the returned Result is marked
+// Partial and, when CheckpointPath is set, a final checkpoint has been
+// written so the run can be resumed. Errors are reserved for unusable
+// configuration, checkpoint mismatches, and failed final state writes.
+func Run(ctx context.Context, cfg Config, fn TrialFunc) (Result, error) {
+	start := time.Now()
+	if fn == nil {
+		return Result{}, errors.New("campaign: nil trial function")
+	}
+	if cfg.Trials <= 0 {
+		return Result{}, fmt.Errorf("campaign %q: trial budget must be positive, got %d", cfg.Name, cfg.Trials)
+	}
+	cfg.applyDefaults()
+
+	st := newState(cfg.Shards)
+	skipped := 0
+	if cfg.Resume {
+		if cfg.CheckpointPath == "" {
+			return Result{}, errors.New("campaign: Resume requires CheckpointPath")
+		}
+		ck, err := loadCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := ck.matches(&cfg); err != nil {
+			return Result{}, err
+		}
+		st.done = ck.Done
+		for s := range st.counts {
+			if ck.Counts[s] != nil {
+				st.counts[s] = ck.Counts[s]
+			}
+		}
+		st.panics = ck.Panics
+		for _, d := range ck.Done {
+			skipped += d
+		}
+		st.completed = skipped
+		if cfg.Metrics != nil {
+			cfg.Metrics.Resumed.Add(int64(skipped))
+		}
+		cfg.Logger.Info("campaign resumed from checkpoint", "name", cfg.Name,
+			"path", cfg.CheckpointPath, "completed", skipped, "of", cfg.Trials)
+	}
+
+	stopProgress := make(chan struct{})
+	if cfg.ProgressEvery > 0 {
+		go progressLoop(&cfg, st, start, skipped, stopProgress)
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				runShard(ctx, &cfg, fn, st, s)
+			}
+		}()
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	close(stopProgress)
+
+	if cfg.CheckpointPath != "" {
+		st.mu.Lock()
+		st.saveLocked(&cfg)
+		st.mu.Unlock()
+	}
+	res := st.result(&cfg, skipped, time.Since(start))
+	if res.Partial {
+		cfg.Logger.Info("campaign drained with partial results", "name", cfg.Name,
+			"completed", res.Completed, "of", res.Trials, "panics", res.Panics,
+			"cause", context.Cause(ctx))
+	} else {
+		cfg.Logger.Info("campaign complete", "name", cfg.Name, "trials", res.Completed,
+			"skipped", res.Skipped, "panics", res.Panics, "elapsed", res.Elapsed.Round(time.Millisecond))
+	}
+	st.mu.Lock()
+	saveErr := st.saveErr
+	st.mu.Unlock()
+	return res, saveErr
+}
+
+// progressLoop logs completion and an ETA extrapolated from this run's
+// own trial rate (resumed trials don't count toward the rate).
+func progressLoop(cfg *Config, st *state, start time.Time, skipped int, stop <-chan struct{}) {
+	ticker := time.NewTicker(cfg.ProgressEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			completed := st.completedNow()
+			ranHere := completed - skipped
+			eta := time.Duration(0)
+			if ranHere > 0 && completed < cfg.Trials {
+				perTrial := time.Since(start) / time.Duration(ranHere)
+				eta = time.Duration(cfg.Trials-completed) * perTrial
+			}
+			cfg.Logger.Info("campaign progress", "name", cfg.Name,
+				"completed", completed, "of", cfg.Trials,
+				"pct", fmt.Sprintf("%.1f", 100*float64(completed)/float64(cfg.Trials)),
+				"eta", eta.Round(time.Second))
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package campaign
+
+import (
+	"context"
+	"log/slog"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// quietLogger keeps the panic-isolation and drain tests from spamming
+// the test output.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(discard{}, &slog.HandlerOptions{Level: slog.LevelError}))
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// testTrial is a deterministic workload: every outcome is a pure
+// function of the trial RNG.
+func testTrial(t *Trial) {
+	v := t.RNG.Intn(100)
+	switch {
+	case v < 50:
+		t.Record("a")
+	case v < 80:
+		t.Record("b")
+	default:
+		t.Record("c")
+	}
+	t.Add("sum", int64(v))
+}
+
+func baseConfig(trials int) Config {
+	return Config{
+		Name:          "test",
+		Trials:        trials,
+		Seed:          42,
+		Logger:        quietLogger(),
+		ProgressEvery: -1,
+	}
+}
+
+func TestShardRangesPartitionBudget(t *testing.T) {
+	for _, tc := range []struct{ trials, shards int }{{100, 7}, {64, 64}, {5, 5}, {1000, 64}, {3, 1}} {
+		next := 0
+		for s := 0; s < tc.shards; s++ {
+			start, n := shardRange(tc.trials, tc.shards, s)
+			if start != next {
+				t.Fatalf("trials=%d shards=%d: shard %d starts at %d, want %d", tc.trials, tc.shards, s, start, next)
+			}
+			next = start + n
+		}
+		if next != tc.trials {
+			t.Fatalf("trials=%d shards=%d: shards cover %d trials", tc.trials, tc.shards, next)
+		}
+	}
+}
+
+// Same seed, different worker counts: outcome counts must be
+// bit-identical — the property that lets an operator change -workers
+// between a checkpoint and its resume.
+func TestWorkerCountInvariance(t *testing.T) {
+	var counts []map[string]int64
+	for _, workers := range []int{1, 3, 8} {
+		cfg := baseConfig(500)
+		cfg.Workers = workers
+		res, err := Run(context.Background(), cfg, testTrial)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Completed != 500 || res.Partial {
+			t.Fatalf("workers=%d: completed=%d partial=%v", workers, res.Completed, res.Partial)
+		}
+		counts = append(counts, res.Counts)
+	}
+	for i := 1; i < len(counts); i++ {
+		if !reflect.DeepEqual(counts[0], counts[i]) {
+			t.Fatalf("worker count changed the outcome counts:\n%v\nvs\n%v", counts[0], counts[i])
+		}
+	}
+}
+
+// Interrupt a campaign mid-flight, then resume from its checkpoint: the
+// combined outcome counts must exactly equal an uninterrupted run.
+func TestCheckpointResumeIsExact(t *testing.T) {
+	const trials = 600
+	full, err := Run(context.Background(), baseConfig(trials), testTrial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var n atomic.Int64
+	cfg := baseConfig(trials)
+	cfg.Workers = 4
+	cfg.CheckpointPath = path
+	cfg.CheckpointEvery = 25
+	interrupted, err := Run(ctx, cfg, func(t *Trial) {
+		if n.Add(1) == 150 {
+			cancel() // the SIGINT stand-in
+		}
+		testTrial(t)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interrupted.Partial || interrupted.Completed >= trials {
+		t.Fatalf("expected a partial run, got completed=%d partial=%v", interrupted.Completed, interrupted.Partial)
+	}
+
+	cfg2 := baseConfig(trials)
+	cfg2.Workers = 7 // resume at a different worker count on purpose
+	cfg2.CheckpointPath = path
+	cfg2.Resume = true
+	resumed, err := Run(context.Background(), cfg2, testTrial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Partial {
+		t.Fatal("resumed run did not finish")
+	}
+	if resumed.Skipped != interrupted.Completed {
+		t.Fatalf("resume skipped %d trials, checkpoint held %d", resumed.Skipped, interrupted.Completed)
+	}
+	if resumed.Completed != trials {
+		t.Fatalf("resumed run accounts for %d/%d trials", resumed.Completed, trials)
+	}
+	if !reflect.DeepEqual(full.Counts, resumed.Counts) {
+		t.Fatalf("interrupted+resumed counts differ from uninterrupted run:\n%v\nvs\n%v", full.Counts, resumed.Counts)
+	}
+
+	// The final checkpoint of the finished run must load and report the
+	// campaign as complete.
+	ck, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Partial || ck.Completed != trials {
+		t.Fatalf("final checkpoint: %+v", ck)
+	}
+}
+
+// A panicking trial is absorbed, counted deterministically, and visible
+// through the Metrics collectors — the campaign runs to completion.
+func TestPanicIsolation(t *testing.T) {
+	const trials = 50
+	var m Metrics
+	cfg := baseConfig(trials)
+	cfg.Workers = 4
+	cfg.Metrics = &m
+	res, err := Run(context.Background(), cfg, func(t *Trial) {
+		if t.Index%7 == 3 {
+			t.Record("should-be-discarded")
+			panic("injected trial fault")
+		}
+		testTrial(t)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPanics := int64(0)
+	for i := 0; i < trials; i++ {
+		if i%7 == 3 {
+			wantPanics++
+		}
+	}
+	if res.Panics != wantPanics || res.Count("panic") != wantPanics {
+		t.Fatalf("panics=%d counts[panic]=%d, want %d", res.Panics, res.Count("panic"), wantPanics)
+	}
+	if res.Count("should-be-discarded") != 0 {
+		t.Fatal("partial outcome records of a panicked trial survived")
+	}
+	if res.Partial || res.Completed != trials {
+		t.Fatalf("panics aborted the campaign: completed=%d partial=%v", res.Completed, res.Partial)
+	}
+	if m.Panics.Value() != wantPanics || m.Completed.Value() != trials {
+		t.Fatalf("telemetry: panics=%d completed=%d", m.Panics.Value(), m.Completed.Value())
+	}
+	if m.Outcomes.Value("panic") != wantPanics {
+		t.Fatalf("telemetry outcome label: %d", m.Outcomes.Value("panic"))
+	}
+}
+
+// Panicked trials count identically across worker counts and through a
+// resume — determinism holds for crashes too.
+func TestPanicsAreDeterministic(t *testing.T) {
+	crashy := func(t *Trial) {
+		if t.RNG.Intn(10) == 0 {
+			panic("boom")
+		}
+		testTrial(t)
+	}
+	cfg1 := baseConfig(300)
+	cfg1.Workers = 1
+	r1, err := Run(context.Background(), cfg1, crashy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := baseConfig(300)
+	cfg2.Workers = 6
+	r2, err := Run(context.Background(), cfg2, crashy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Counts, r2.Counts) {
+		t.Fatalf("crash counts differ across worker counts:\n%v\nvs\n%v", r1.Counts, r2.Counts)
+	}
+}
+
+func TestCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, baseConfig(100), testTrial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.Completed != 0 {
+		t.Fatalf("pre-cancelled run: completed=%d partial=%v", res.Completed, res.Partial)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	cfg := baseConfig(40)
+	cfg.CheckpointPath = path
+	if _, err := Run(context.Background(), cfg, testTrial); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := baseConfig(40)
+	bad.Resume = true
+	if _, err := Run(context.Background(), bad, testTrial); err == nil {
+		t.Error("resume without a checkpoint path accepted")
+	}
+
+	bad = baseConfig(40)
+	bad.CheckpointPath = filepath.Join(t.TempDir(), "missing.json")
+	bad.Resume = true
+	if _, err := Run(context.Background(), bad, testTrial); err == nil {
+		t.Error("resume from a missing checkpoint accepted")
+	}
+
+	for name, mutate := range map[string]func(*Config){
+		"seed":   func(c *Config) { c.Seed = 43 },
+		"trials": func(c *Config) { c.Trials = 41 },
+		"name":   func(c *Config) { c.Name = "other" },
+		"shards": func(c *Config) { c.Shards = 13 },
+	} {
+		c := baseConfig(40)
+		c.CheckpointPath = path
+		c.Resume = true
+		mutate(&c)
+		if _, err := Run(context.Background(), c, testTrial); err == nil {
+			t.Errorf("resume with mismatched %s accepted", name)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), baseConfig(10), nil); err == nil {
+		t.Error("nil trial function accepted")
+	}
+	if _, err := Run(context.Background(), baseConfig(0), testTrial); err == nil {
+		t.Error("zero trial budget accepted")
+	}
+}
+
+// Tiny budgets still work when shards would outnumber trials.
+func TestFewerTrialsThanShards(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.Shards = 64
+	res, err := Run(context.Background(), cfg, testTrial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+}

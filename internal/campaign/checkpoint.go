@@ -1,0 +1,134 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// checkpointVersion guards the on-disk format; bump on layout changes.
+const checkpointVersion = 1
+
+// checkpoint is the on-disk campaign state. Done[s] trials of shard s
+// are accounted for, and Counts[s] holds exactly those trials' outcome
+// labels — the snapshot is taken under the state lock, so the two are
+// always consistent with each other.
+type checkpoint struct {
+	Version   int                `json:"version"`
+	Name      string             `json:"campaign"`
+	Seed      int64              `json:"seed"`
+	Trials    int                `json:"trials"`
+	Shards    int                `json:"shards"`
+	Completed int                `json:"completed"`
+	Panics    int64              `json:"panics"`
+	Partial   bool               `json:"partial"`
+	SavedAt   time.Time          `json:"saved_at"`
+	Done      []int              `json:"done"`
+	Counts    []map[string]int64 `json:"counts"`
+}
+
+// snapshotLocked copies the live state into a checkpoint; callers hold
+// st.mu.
+func (st *state) snapshotLocked(cfg *Config) *checkpoint {
+	ck := &checkpoint{
+		Version:   checkpointVersion,
+		Name:      cfg.Name,
+		Seed:      cfg.Seed,
+		Trials:    cfg.Trials,
+		Shards:    cfg.Shards,
+		Completed: st.completed,
+		Panics:    st.panics,
+		Partial:   st.completed < cfg.Trials,
+		SavedAt:   time.Now().UTC(),
+		Done:      append([]int(nil), st.done...),
+		Counts:    make([]map[string]int64, len(st.counts)),
+	}
+	for s, m := range st.counts {
+		cp := make(map[string]int64, len(m))
+		for label, n := range m {
+			cp[label] = n
+		}
+		ck.Counts[s] = cp
+	}
+	return ck
+}
+
+// save writes the checkpoint atomically: marshal, write a temp file in
+// the target directory, then rename over the destination. A crash
+// mid-write leaves the previous checkpoint intact.
+func (ck *checkpoint) save(path string) error {
+	data, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("campaign: create checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("campaign: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("campaign: install checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads and structurally validates a checkpoint file.
+func loadCheckpoint(path string) (*checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("campaign: parse checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	if len(ck.Done) != ck.Shards || len(ck.Counts) != ck.Shards {
+		return nil, fmt.Errorf("campaign: checkpoint %s is inconsistent: %d shards, %d done entries, %d count entries",
+			path, ck.Shards, len(ck.Done), len(ck.Counts))
+	}
+	total := 0
+	for s, d := range ck.Done {
+		_, n := shardRange(ck.Trials, ck.Shards, s)
+		if d < 0 || d > n {
+			return nil, fmt.Errorf("campaign: checkpoint %s shard %d claims %d/%d trials", path, s, d, n)
+		}
+		total += d
+	}
+	if total != ck.Completed {
+		return nil, fmt.Errorf("campaign: checkpoint %s completed=%d but shards sum to %d", path, ck.Completed, total)
+	}
+	return &ck, nil
+}
+
+// matches verifies the checkpoint belongs to this exact campaign; a
+// resumed run with a different identity would silently produce garbage,
+// so every mismatch is an error.
+func (ck *checkpoint) matches(cfg *Config) error {
+	switch {
+	case ck.Name != cfg.Name:
+		return fmt.Errorf("campaign: checkpoint is for campaign %q, not %q", ck.Name, cfg.Name)
+	case ck.Seed != cfg.Seed:
+		return fmt.Errorf("campaign %q: checkpoint seed %d does not match configured seed %d", cfg.Name, ck.Seed, cfg.Seed)
+	case ck.Trials != cfg.Trials:
+		return fmt.Errorf("campaign %q: checkpoint budget %d does not match configured budget %d", cfg.Name, ck.Trials, cfg.Trials)
+	case ck.Shards != cfg.Shards:
+		return fmt.Errorf("campaign %q: checkpoint has %d shards, configured %d", cfg.Name, ck.Shards, cfg.Shards)
+	}
+	return nil
+}

@@ -1,8 +1,12 @@
 package exp
 
 import (
+	"context"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"polyecc/internal/workload"
 )
@@ -230,7 +234,10 @@ func TestFigure10Shape(t *testing.T) {
 
 // The miscorrection pool produces nonzero masks.
 func TestMiscorrectionPool(t *testing.T) {
-	pool := NewMiscorrectionPool(20, 1)
+	pool, err := NewMiscorrectionPool(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pool.Masks) != 20 {
 		t.Fatalf("masks = %d", len(pool.Masks))
 	}
@@ -244,6 +251,18 @@ func TestMiscorrectionPool(t *testing.T) {
 		if !nonzero {
 			t.Fatal("zero mask in pool")
 		}
+	}
+}
+
+// An exhausted profiling budget is an error with a partial pool, not an
+// unbounded spin.
+func TestMiscorrectionPoolBudget(t *testing.T) {
+	pool, err := newMiscorrectionPool(1000, 1, 50)
+	if err == nil {
+		t.Fatal("a 50-trial budget cannot yield 1000 masks; want an error")
+	}
+	if len(pool.Masks) >= 1000 {
+		t.Fatalf("partial pool holds %d masks", len(pool.Masks))
 	}
 }
 
@@ -284,7 +303,10 @@ func TestFigure4Shape(t *testing.T) {
 // more near-baseline inferences than plaintext ones (the 16% decrease of
 // the paper), and the FHE campaign reports a >10% drop share.
 func TestFigure5Shape(t *testing.T) {
-	results := Figure5(500, 7)
+	results, err := Figure5(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != 3 {
 		t.Fatalf("results = %d", len(results))
 	}
@@ -413,5 +435,62 @@ func TestStorageComparison(t *testing.T) {
 	}
 	if !strings.Contains(RenderStorageComparison(rows), "MUSE") {
 		t.Error("render broken")
+	}
+}
+
+// A soak that is drained mid-flight and resumed from its checkpoint must
+// reproduce the uninterrupted run's outcome counts exactly — at three
+// different worker counts along the way.
+func TestPolySoakResumeMatchesUninterrupted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("injection campaign")
+	}
+	const trials, seed = 300, 9
+	full, err := PolySoakCtx(context.Background(), trials, seed, nil, CampaignOpts{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Partial || full.Completed != trials {
+		t.Fatalf("uninterrupted run incomplete: %+v", full)
+	}
+
+	path := filepath.Join(t.TempDir(), "soak.ckpt.json")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	interrupted, err := PolySoakCtx(ctx, trials, seed, nil,
+		CampaignOpts{Workers: 2, CheckpointPath: path, CheckpointEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("interrupted run completed %d/%d trials", interrupted.Completed, trials)
+
+	resumed, err := PolySoakCtx(context.Background(), trials, seed, nil,
+		CampaignOpts{Workers: 7, CheckpointPath: path, CheckpointEvery: 10, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Partial || resumed.Completed != trials {
+		t.Fatalf("resumed run incomplete: %+v", resumed)
+	}
+	resumed.Trials = full.Trials // normalize bookkeeping fields before the deep compare
+	if !reflect.DeepEqual(full, resumed) {
+		t.Fatalf("interrupted+resumed soak differs from uninterrupted run:\n%+v\nvs\n%+v", full, resumed)
+	}
+}
+
+// A cancelled Figure 4 campaign drains into a partial result instead of
+// an error, and only reports workloads it actually reached.
+func TestFigure4PartialDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, res, err := Figure4Ctx(ctx, 10, 5, CampaignOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("pre-cancelled campaign not marked partial")
+	}
+	if res.Completed != 0 || len(rows) != 0 {
+		t.Fatalf("pre-cancelled campaign reported rows: completed=%d rows=%d", res.Completed, len(rows))
 	}
 }

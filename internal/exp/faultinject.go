@@ -1,12 +1,16 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 
 	"polyecc/internal/aes"
+	"polyecc/internal/campaign"
 	"polyecc/internal/dram"
 	"polyecc/internal/faults"
 	"polyecc/internal/inference"
@@ -20,29 +24,63 @@ import (
 
 // CampaignMetrics are the live collectors of a running fault-injection
 // campaign. Watch them at /debug/vars under the "faultinject." prefix
-// while a cmd/faultinject run is in flight.
+// while a cmd/faultinject run is in flight; the campaign runner's own
+// progress/panic/checkpoint counters live under "faultinject.campaign.".
 type CampaignMetrics struct {
 	PoolTrials telemetry.Counter        // RS profiling attempts while building the pool
 	PoolMasks  telemetry.Counter        // miscorrection masks collected
 	Injections telemetry.Counter        // workload/inference injections performed
 	Outcomes   telemetry.LabeledCounter // injection outcomes by class
+	Runner     campaign.Metrics         // campaign engine: completed/panics/resumed/checkpoints
 }
 
 var (
-	campaignOnce sync.Once
-	campaign     CampaignMetrics
+	fiOnce    sync.Once
+	fiMetrics CampaignMetrics
 )
 
 // Campaign returns the process-wide campaign collectors, publishing
 // them in expvar on first use.
 func Campaign() *CampaignMetrics {
-	campaignOnce.Do(func() {
-		telemetry.Publish("faultinject.pool.trials", &campaign.PoolTrials)
-		telemetry.Publish("faultinject.pool.masks", &campaign.PoolMasks)
-		telemetry.Publish("faultinject.injections", &campaign.Injections)
-		telemetry.Publish("faultinject.outcomes", &campaign.Outcomes)
+	fiOnce.Do(func() {
+		telemetry.Publish("faultinject.pool.trials", &fiMetrics.PoolTrials)
+		telemetry.Publish("faultinject.pool.masks", &fiMetrics.PoolMasks)
+		telemetry.Publish("faultinject.injections", &fiMetrics.Injections)
+		telemetry.Publish("faultinject.outcomes", &fiMetrics.Outcomes)
+		fiMetrics.Runner.Publish("faultinject.campaign")
 	})
-	return &campaign
+	return &fiMetrics
+}
+
+// CampaignOpts are the operator knobs shared by the long-running
+// fault-injection campaigns — the cmd/faultinject -workers, -checkpoint,
+// -checkpoint-every, and -resume flags. The zero value runs in-memory
+// with GOMAXPROCS workers.
+type CampaignOpts struct {
+	// Workers is the concurrent trial goroutine count (default GOMAXPROCS).
+	Workers int
+	// CheckpointPath periodically receives an atomic JSON snapshot of
+	// campaign progress when non-empty.
+	CheckpointPath string
+	// CheckpointEvery is the trial count between checkpoints (default 1000).
+	CheckpointEvery int
+	// Resume restarts from CheckpointPath, skipping completed trials.
+	Resume bool
+}
+
+// config assembles the campaign.Config for one named study, wiring the
+// shared faultinject telemetry in.
+func (o CampaignOpts) config(name string, trials int, seed int64) campaign.Config {
+	return campaign.Config{
+		Name:            name,
+		Trials:          trials,
+		Seed:            seed,
+		Workers:         o.Workers,
+		CheckpointPath:  o.CheckpointPath,
+		CheckpointEvery: o.CheckpointEvery,
+		Resume:          o.Resume,
+		Metrics:         &Campaign().Runner,
+	}
 }
 
 // MiscorrectionPool holds cacheline error masks produced by profiling the
@@ -53,13 +91,25 @@ type MiscorrectionPool struct {
 	Masks [][linecode.LineBytes]byte
 }
 
-// NewMiscorrectionPool profiles RS until want masks are collected.
-func NewMiscorrectionPool(want int, seed int64) MiscorrectionPool {
+// poolTrialsPerMask bounds pool profiling: RS miscorrects a few percent
+// of random multi-bit flips, so a budget of 1000 trials per wanted mask
+// is ~20x headroom — if it runs out, the code under profile has stopped
+// miscorrecting and looping further would spin forever.
+const poolTrialsPerMask = 1000
+
+// NewMiscorrectionPool profiles RS until want masks are collected or the
+// trial budget is exhausted. On exhaustion it returns the partial pool
+// alongside the error, so a caller may still choose to proceed.
+func NewMiscorrectionPool(want int, seed int64) (MiscorrectionPool, error) {
+	return newMiscorrectionPool(want, seed, want*poolTrialsPerMask)
+}
+
+func newMiscorrectionPool(want int, seed int64, maxTrials int) (MiscorrectionPool, error) {
 	cm := Campaign()
 	code := linecode.NewRS()
 	r := rand.New(rand.NewSource(seed))
 	var pool MiscorrectionPool
-	for len(pool.Masks) < want {
+	for trials := 0; len(pool.Masks) < want && trials < maxTrials; trials++ {
 		cm.PoolTrials.Add(1)
 		var data [linecode.LineBytes]byte
 		r.Read(data[:])
@@ -77,8 +127,12 @@ func NewMiscorrectionPool(want int, seed int64) MiscorrectionPool {
 		pool.Masks = append(pool.Masks, mask)
 		cm.PoolMasks.Add(1)
 	}
+	if len(pool.Masks) < want {
+		return pool, fmt.Errorf("exp: miscorrection pool exhausted its %d-trial budget with %d/%d masks",
+			maxTrials, len(pool.Masks), want)
+	}
 	slog.Debug("miscorrection pool ready", "masks", len(pool.Masks), "trials", cm.PoolTrials.Value())
-	return pool
+	return pool, nil
 }
 
 // Figure4Row is one workload's outcome shares, in percent.
@@ -91,72 +145,104 @@ type Figure4Row struct {
 	NoEffect  float64
 }
 
-// Figure4 runs the fault-injection campaign of §III-B: for every
-// workload, inject RS-miscorrection masks into the memory image at
-// uniformly random times and cacheline addresses, once against plaintext
-// memory (NE) and once AES-amplified (E), using the same checkpoint,
-// time, address, and error for both — exactly the paper's pairing.
+// Figure4 runs the full campaign uninterruptibly; see Figure4Ctx.
 func Figure4(injections int, seed int64) ([]Figure4Row, error) {
-	pool := NewMiscorrectionPool(256, seed)
+	rows, _, err := Figure4Ctx(context.Background(), injections, seed, CampaignOpts{})
+	return rows, err
+}
+
+// Figure4Ctx runs the fault-injection campaign of §III-B on the
+// resilient campaign engine: for every workload, inject RS-miscorrection
+// masks into the memory image at uniformly random times and cacheline
+// addresses, once against plaintext memory (NE) and once AES-amplified
+// (E), using the same checkpoint, time, address, and error for both —
+// exactly the paper's pairing. Each trial is one such pair; trials are
+// sharded across workers, checkpointable, and resumable. On cancellation
+// the returned rows cover the completed trials and the campaign.Result
+// is marked Partial.
+func Figure4Ctx(ctx context.Context, injections int, seed int64, opts CampaignOpts) ([]Figure4Row, campaign.Result, error) {
+	pool, err := NewMiscorrectionPool(256, seed)
+	if err != nil {
+		return nil, campaign.Result{}, err
+	}
 	mem := aes.MustNewMemory(DefaultKey[:], append([]byte{0xAA}, DefaultKey[1:]...))
-	var rows []Figure4Row
+	programs := workload.Programs()
+	type baseline struct {
+		digest uint64
+		steps  int
+	}
+	bases := make([]baseline, len(programs))
 	const maxSteps = 200000
-	for _, p := range workload.Programs() {
+	for i, p := range programs {
 		digest, steps, err := workload.Baseline(p, seed, maxSteps)
 		if err != nil {
-			return nil, fmt.Errorf("baseline %s: %w", p.Name(), err)
+			return nil, campaign.Result{}, fmt.Errorf("baseline %s: %w", p.Name(), err)
 		}
-		var counts [2]map[workload.Outcome]int
-		counts[0] = map[workload.Outcome]int{}
-		counts[1] = map[workload.Outcome]int{}
-		r := rand.New(rand.NewSource(seed ^ int64(len(p.Name()))*65537))
-		for i := 0; i < injections; i++ {
-			tInj := r.Intn(steps)
-			mask := pool.Masks[r.Intn(len(pool.Masks))]
-			var aInj int
-			// Both runs share t_inj, A_inj, and the error (§VII-B).
-			pickAddr := func(memImg []byte) int {
-				if aInj == 0 {
-					lines := len(memImg) / linecode.LineBytes
-					aInj = r.Intn(lines) * linecode.LineBytes
-				}
-				return aInj
+		bases[i] = baseline{digest, steps}
+	}
+
+	cm := Campaign()
+	res, err := campaign.Run(ctx, opts.config("figure4", injections*len(programs), seed), func(t *campaign.Trial) {
+		p := programs[t.Index/injections]
+		b := bases[t.Index/injections]
+		r := t.RNG
+		tInj := r.Intn(b.steps)
+		mask := pool.Masks[r.Intn(len(pool.Masks))]
+		aInj := -1
+		// Both runs share t_inj, A_inj, and the error (§VII-B).
+		pickAddr := func(memImg []byte) int {
+			if aInj < 0 {
+				lines := len(memImg) / linecode.LineBytes
+				aInj = r.Intn(lines) * linecode.LineBytes
 			}
-			outNE := workload.Inject(p, seed, tInj, func(m []byte) {
-				addr := pickAddr(m)
-				for j := 0; j < linecode.LineBytes; j++ {
-					m[addr+j] ^= mask[j]
-				}
-			}, digest, steps)
-			counts[0][outNE]++
-			outE := workload.Inject(p, seed, tInj, func(m []byte) {
-				addr := pickAddr(m)
-				amplified := mem.AmplifyError(m[addr:addr+linecode.LineBytes], mask[:], uint64(addr))
-				copy(m[addr:addr+linecode.LineBytes], amplified)
-			}, digest, steps)
-			counts[1][outE]++
-			cm := Campaign()
-			cm.Injections.Add(2)
-			cm.Outcomes.Add(outNE.String(), 1)
-			cm.Outcomes.Add(outE.String(), 1)
-			if (i+1)%500 == 0 {
-				slog.Debug("figure 4 progress", "workload", p.Name(), "injections", i+1, "of", injections)
-			}
+			return aInj
 		}
-		slog.Debug("figure 4 workload done", "workload", p.Name(), "injections", injections)
+		outNE := workload.Inject(p, seed, tInj, func(m []byte) {
+			addr := pickAddr(m)
+			for j := 0; j < linecode.LineBytes; j++ {
+				m[addr+j] ^= mask[j]
+			}
+		}, b.digest, b.steps)
+		outE := workload.Inject(p, seed, tInj, func(m []byte) {
+			addr := pickAddr(m)
+			amplified := mem.AmplifyError(m[addr:addr+linecode.LineBytes], mask[:], uint64(addr))
+			copy(m[addr:addr+linecode.LineBytes], amplified)
+		}, b.digest, b.steps)
+		name := p.Name()
+		t.Record(name + ".trials")
+		t.Record(name + ".ne." + outNE.String())
+		t.Record(name + ".e." + outE.String())
+		cm.Injections.Add(2)
+		cm.Outcomes.Add(outNE.String(), 1)
+		cm.Outcomes.Add(outE.String(), 1)
+	})
+	if err != nil {
+		return nil, res, err
+	}
+
+	var rows []Figure4Row
+	for _, p := range programs {
+		name := p.Name()
+		total := float64(res.Count(name + ".trials"))
+		if total == 0 {
+			continue // a partial run never reached this workload
+		}
 		for enc := 0; enc <= 1; enc++ {
-			total := float64(injections)
+			prefix := name + ".ne."
+			if enc == 1 {
+				prefix = name + ".e."
+			}
 			rows = append(rows, Figure4Row{
-				Workload:  p.Name(),
+				Workload:  name,
 				Encrypted: enc == 1,
-				Crashed:   100 * float64(counts[enc][workload.Crashed]) / total,
-				Hang:      100 * float64(counts[enc][workload.Hang]) / total,
-				SDC:       100 * float64(counts[enc][workload.SDC]) / total,
-				NoEffect:  100 * float64(counts[enc][workload.NoEffect]) / total,
+				Crashed:   100 * float64(res.Count(prefix+workload.Crashed.String())) / total,
+				Hang:      100 * float64(res.Count(prefix+workload.Hang.String())) / total,
+				SDC:       100 * float64(res.Count(prefix+workload.SDC.String())) / total,
+				NoEffect:  100 * float64(res.Count(prefix+workload.NoEffect.String())) / total,
 			})
 		}
 	}
-	return rows, nil
+	return rows, res, nil
 }
 
 // RenderFigure4 formats the campaign like the paper's stacked bars.
@@ -188,77 +274,116 @@ type Figure5Result struct {
 	Failed       int
 	NearBaseline int // injections within 1% of baseline accuracy
 	BigDropShare float64
-	Injections   int
+	Injections   int // trials actually accounted for (== requested unless partial)
 }
 
-// Figure5 runs the inference fault-injection study: (a) the MobileNet
-// stand-in with plaintext vs encrypted weight memory, and (b) the
-// CryptoNets/FHE stand-in where every corruption diffuses across its
-// ciphertext block. Returns results in the order: plain, encrypted, FHE.
-func Figure5(injections int, seed int64) []Figure5Result {
-	pool := NewMiscorrectionPool(256, seed+1)
+// Figure5 runs the full campaign uninterruptibly; see Figure5Ctx.
+func Figure5(injections int, seed int64) ([]Figure5Result, error) {
+	results, _, err := Figure5Ctx(context.Background(), injections, seed, CampaignOpts{})
+	return results, err
+}
+
+// Figure5Ctx runs the inference fault-injection study on the campaign
+// engine: (a) the MobileNet stand-in with plaintext vs encrypted weight
+// memory, and (b) the CryptoNets/FHE stand-in where every corruption
+// diffuses across its ciphertext block. Returns results in the order:
+// plain, encrypted, FHE.
+func Figure5Ctx(ctx context.Context, injections int, seed int64, opts CampaignOpts) ([]Figure5Result, campaign.Result, error) {
+	pool, err := NewMiscorrectionPool(256, seed+1)
+	if err != nil {
+		return nil, campaign.Result{}, err
+	}
 	mem := aes.MustNewMemory(DefaultKey[:], append([]byte{0xBB}, DefaultKey[1:]...))
 
-	run := func(name string, act inference.Activation, samples int, amplify bool) Figure5Result {
-		model := inference.NewModel(seed, act)
-		ds := inference.NewDataset(seed, samples)
-		base := model.Evaluate(model.Image(), ds)
-		res := Figure5Result{Name: name, BaselineAcc: base.Accuracy, Injections: injections}
-		hist := stats.NewHistogram()
-		r := rand.New(rand.NewSource(seed ^ int64(samples)))
-		for i := 0; i < injections; i++ {
-			img := model.Image()
-			mask := pool.Masks[r.Intn(len(pool.Masks))]
-			lines := len(img) / linecode.LineBytes
-			addr := r.Intn(lines) * linecode.LineBytes
-			if amplify {
-				amplified := mem.AmplifyError(img[addr:addr+linecode.LineBytes], mask[:], uint64(addr))
-				copy(img[addr:addr+linecode.LineBytes], amplified)
-			} else {
-				for j := 0; j < linecode.LineBytes; j++ {
-					img[addr+j] ^= mask[j]
-				}
-			}
-			cm := Campaign()
-			cm.Injections.Add(1)
-			out := model.Evaluate(img, ds)
-			if out.Failed {
-				res.Failed++
-				cm.Outcomes.Add("inference-failed", 1)
-				continue
-			}
-			cm.Outcomes.Add("inference-ok", 1)
-			if out.Accuracy >= base.Accuracy-0.01 {
-				res.NearBaseline++
-			}
-			if out.Accuracy < base.Accuracy-0.10 {
-				res.BigDropShare++
-			}
-			bucket := int(out.Accuracy * 10)
-			if bucket > 9 {
-				bucket = 9
-			}
-			hist.Add(bucket)
-		}
-		res.BigDropShare /= float64(injections)
-		for _, k := range hist.Keys() {
-			res.Buckets = append(res.Buckets, Figure5Bucket{LowPct: k * 10, HighPct: (k + 1) * 10, Count: hist.Count(k)})
-		}
-		return res
+	subs := []struct {
+		name    string
+		prefix  string
+		act     inference.Activation
+		samples int
+		amplify bool
+	}{
+		{"mobilenet-like/plain", "plain", inference.ReLU, 500, false},
+		{"mobilenet-like/encrypted", "enc", inference.ReLU, 500, true},
+		{"cryptonets-like/FHE", "fhe", inference.Square, 100, true},
+	}
+	models := make([]*inference.Model, len(subs))
+	datasets := make([]inference.Dataset, len(subs))
+	baselines := make([]float64, len(subs))
+	for i, s := range subs {
+		models[i] = inference.NewModel(seed, s.act)
+		datasets[i] = inference.NewDataset(seed, s.samples)
+		baselines[i] = models[i].Evaluate(models[i].Image(), datasets[i]).Accuracy
 	}
 
-	return []Figure5Result{
-		run("mobilenet-like/plain", inference.ReLU, 500, false),
-		run("mobilenet-like/encrypted", inference.ReLU, 500, true),
-		run("cryptonets-like/FHE", inference.Square, 100, true),
+	cm := Campaign()
+	res, err := campaign.Run(ctx, opts.config("figure5", injections*len(subs), seed), func(t *campaign.Trial) {
+		si := t.Index / injections
+		s, model, ds, base := subs[si], models[si], datasets[si], baselines[si]
+		r := t.RNG
+		img := model.Image()
+		mask := pool.Masks[r.Intn(len(pool.Masks))]
+		addr := r.Intn(len(img)/linecode.LineBytes) * linecode.LineBytes
+		if s.amplify {
+			amplified := mem.AmplifyError(img[addr:addr+linecode.LineBytes], mask[:], uint64(addr))
+			copy(img[addr:addr+linecode.LineBytes], amplified)
+		} else {
+			for j := 0; j < linecode.LineBytes; j++ {
+				img[addr+j] ^= mask[j]
+			}
+		}
+		cm.Injections.Add(1)
+		t.Record(s.prefix + ".trials")
+		out := model.Evaluate(img, ds)
+		if out.Failed {
+			t.Record(s.prefix + ".failed")
+			cm.Outcomes.Add("inference-failed", 1)
+			return
+		}
+		cm.Outcomes.Add("inference-ok", 1)
+		if out.Accuracy >= base-0.01 {
+			t.Record(s.prefix + ".near-baseline")
+		}
+		if out.Accuracy < base-0.10 {
+			t.Record(s.prefix + ".big-drop")
+		}
+		bucket := min(int(out.Accuracy*10), 9)
+		t.Record(fmt.Sprintf("%s.bucket.%d", s.prefix, bucket))
+	})
+	if err != nil {
+		return nil, res, err
 	}
+
+	results := make([]Figure5Result, len(subs))
+	for i, s := range subs {
+		total := res.Count(s.prefix + ".trials")
+		fr := Figure5Result{
+			Name:         s.name,
+			BaselineAcc:  baselines[i],
+			Failed:       int(res.Count(s.prefix + ".failed")),
+			NearBaseline: int(res.Count(s.prefix + ".near-baseline")),
+			Injections:   int(total),
+		}
+		if total > 0 {
+			fr.BigDropShare = float64(res.Count(s.prefix+".big-drop")) / float64(total)
+		}
+		for b := 0; b < 10; b++ {
+			if n := res.Count(fmt.Sprintf("%s.bucket.%d", s.prefix, b)); n > 0 {
+				fr.Buckets = append(fr.Buckets, Figure5Bucket{LowPct: b * 10, HighPct: (b + 1) * 10, Count: int(n)})
+			}
+		}
+		results[i] = fr
+	}
+	return results, res, nil
 }
 
 // --- Live in-model soak ----------------------------------------------------
 
 // PolySoakResult summarises a PolySoak campaign.
 type PolySoakResult struct {
-	Trials        int
+	Trials        int // requested budget
+	Completed     int // trials accounted for (== Trials unless Partial)
+	Partial       bool
+	Panics        int64
 	Clean         int
 	Corrected     int
 	Uncorrectable int
@@ -267,12 +392,20 @@ type PolySoakResult struct {
 	Iterations    int64 // total correction trials
 }
 
-// PolySoak drives random in-model faults through the flagship M=2005
-// Polymorphic ECC code with the collector m attached to the decode
-// path. It is the live observability workload of cmd/faultinject: with
-// -metrics-addr set, the decode.* counters, per-model hits, and the
-// iteration histogram tick at /debug/vars while the soak runs.
+// PolySoak runs the full soak uninterruptibly; see PolySoakCtx.
 func PolySoak(trials int, seed int64, m *telemetry.DecodeMetrics) PolySoakResult {
+	res, _ := PolySoakCtx(context.Background(), trials, seed, m, CampaignOpts{})
+	return res
+}
+
+// PolySoakCtx drives random in-model faults through the flagship M=2005
+// Polymorphic ECC code with the collector m attached to the decode
+// path, sharded across campaign workers. It is the live observability
+// workload of cmd/faultinject: with -metrics-addr set, the decode.*
+// counters, per-model hits, and the iteration histogram tick at
+// /debug/vars while the soak runs, and faultinject.campaign.* tracks
+// progress, panics, and checkpoints.
+func PolySoakCtx(ctx context.Context, trials int, seed int64, m *telemetry.DecodeMetrics, opts CampaignOpts) (PolySoakResult, error) {
 	cfg := poly.ConfigM2005()
 	cfg.MaxIterations = 20000 // the N_max bound keeps worst-case DEC trials sane
 	cfg.Metrics = m
@@ -286,48 +419,73 @@ func PolySoak(trials int, seed int64, m *telemetry.DecodeMetrics) PolySoakResult
 		faults.BFBF{Geometry: g},
 		faults.ChipKillPlus1{Geometry: g},
 	}
-	r := rand.New(rand.NewSource(seed))
-	res := PolySoakResult{Trials: trials, PerModel: map[string]int{}}
-	for i := 0; i < trials; i++ {
+
+	res, err := campaign.Run(ctx, opts.config("polysoak", trials, seed), func(t *campaign.Trial) {
+		r := t.RNG
 		var data [poly.LineBytes]byte
 		r.Read(data[:])
 		burst := code.ToBurst(code.EncodeLine(&data))
 		inj := injectors[r.Intn(len(injectors))]
 		inj.Inject(r, &burst)
 		got, rep := code.DecodeLine(code.FromBurst(&burst))
-		res.Iterations += int64(rep.Iterations)
+		t.Add("iterations", int64(rep.Iterations))
 		switch rep.Status {
 		case poly.StatusClean:
-			res.Clean++
+			t.Record("clean")
 		case poly.StatusCorrected:
-			res.Corrected++
-			res.PerModel[rep.Model.String()]++
+			t.Record("corrected")
+			t.Record("model." + rep.Model.String())
 			if got != data {
-				res.SDC++
+				t.Record("sdc")
 			}
 		case poly.StatusUncorrectable:
-			res.Uncorrectable++
+			t.Record("due")
 		}
-		if (i+1)%500 == 0 {
-			slog.Debug("poly soak progress", "trials", i+1, "of", trials,
-				"corrected", res.Corrected, "due", res.Uncorrectable)
+	})
+	soak := PolySoakResult{
+		Trials:        trials,
+		Completed:     res.Completed,
+		Partial:       res.Partial,
+		Panics:        res.Panics,
+		Clean:         int(res.Count("clean")),
+		Corrected:     int(res.Count("corrected")),
+		Uncorrectable: int(res.Count("due")),
+		SDC:           int(res.Count("sdc")),
+		PerModel:      map[string]int{},
+		Iterations:    res.Count("iterations"),
+	}
+	for label, n := range res.Counts {
+		if model, ok := strings.CutPrefix(label, "model."); ok {
+			soak.PerModel[model] = int(n)
 		}
 	}
-	return res
+	return soak, err
 }
 
 // RenderPolySoak formats a soak summary.
 func RenderPolySoak(res PolySoakResult) string {
-	t := stats.NewTable("Live in-model soak: M=2005 decode outcomes",
+	title := "Live in-model soak: M=2005 decode outcomes"
+	if res.Partial {
+		title += fmt.Sprintf(" (PARTIAL: %d/%d trials)", res.Completed, res.Trials)
+	}
+	t := stats.NewTable(title,
 		"Trials", "Clean", "Corrected", "DUE", "SDC", "Avg iters")
 	avg := 0.0
-	if res.Trials > 0 {
-		avg = float64(res.Iterations) / float64(res.Trials)
+	if res.Completed > 0 {
+		avg = float64(res.Iterations) / float64(res.Completed)
 	}
-	t.AddRow(res.Trials, res.Clean, res.Corrected, res.Uncorrectable, res.SDC, avg)
+	t.AddRow(res.Completed, res.Clean, res.Corrected, res.Uncorrectable, res.SDC, avg)
 	out := t.String()
+	if res.Panics > 0 {
+		out += fmt.Sprintf("absorbed trial panics: %d\n", res.Panics)
+	}
 	out += "corrections by fault model:\n"
-	for _, name := range []string{"ChipKill", "SSC", "DEC", "BF+BF", "ChipKill+1"} {
+	models := make([]string, 0, len(res.PerModel))
+	for name := range res.PerModel {
+		models = append(models, name)
+	}
+	sort.Strings(models)
+	for _, name := range models {
 		if n := res.PerModel[name]; n > 0 {
 			out += fmt.Sprintf("  %-11s %d\n", name, n)
 		}

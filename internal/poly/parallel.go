@@ -1,6 +1,10 @@
 package poly
 
-import "sync"
+import (
+	"context"
+	"fmt"
+	"sync"
+)
 
 // ParallelDecoder fans DecodeLine out over a worker pool — the shape of a
 // memory controller serving several sub-channels at once, and the way the
@@ -26,11 +30,25 @@ type Result struct {
 	Index  int
 	Data   [LineBytes]byte
 	Report Report
+	// Err is non-nil when the decode of this line panicked; Data and
+	// Report are zero. One poisoned line fails alone instead of taking
+	// the whole batch's goroutine down.
+	Err error
 }
 
 // DecodeAll decodes every line concurrently and returns results indexed
 // like the input.
 func (p *ParallelDecoder) DecodeAll(lines []Line) []Result {
+	results, _ := p.DecodeAllContext(context.Background(), lines)
+	return results
+}
+
+// DecodeAllContext decodes lines concurrently until ctx is cancelled.
+// Lines are dispatched in order; on cancellation no new line is started,
+// in-flight decodes finish, and the completed prefix of results is
+// returned together with the context's error. A nil error means every
+// line was decoded.
+func (p *ParallelDecoder) DecodeAllContext(ctx context.Context, lines []Line) ([]Result, error) {
 	results := make([]Result, len(lines))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -39,15 +57,40 @@ func (p *ParallelDecoder) DecodeAll(lines []Line) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				data, rep := p.code.DecodeLine(lines[i])
-				results[i] = Result{Index: i, Data: data, Report: rep}
+				p.decodeOne(i, lines, results)
 			}
 		}()
 	}
+	dispatched := 0
+dispatch:
 	for i := range lines {
-		jobs <- i
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case jobs <- i:
+			dispatched++
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return results
+	if err := ctx.Err(); err != nil {
+		return results[:dispatched], err
+	}
+	return results, nil
+}
+
+// decodeOne runs a single decode with panic isolation: a panicking
+// decode is recovered into that line's Err instead of crashing the
+// worker (and with it the process sharing this pool).
+func (p *ParallelDecoder) decodeOne(i int, lines []Line, results []Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			results[i] = Result{Index: i, Err: fmt.Errorf("poly: decode of line %d panicked: %v", i, r)}
+		}
+	}()
+	data, rep := p.code.DecodeLine(lines[i])
+	results[i] = Result{Index: i, Data: data, Report: rep}
 }

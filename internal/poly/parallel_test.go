@@ -1,9 +1,11 @@
 package poly
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"polyecc/internal/mac"
 )
@@ -101,5 +103,77 @@ func BenchmarkParallelDecode(b *testing.B) {
 				pd.DecodeAll(lines)
 			}
 		})
+	}
+}
+
+// A panicking decode is isolated into that line's Err; the other lines
+// still decode.
+func TestDecodeAllRecoversPanics(t *testing.T) {
+	pd := NewParallelDecoder(nil, 2) // nil code: every decode panics
+	var data [LineBytes]byte
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	lines := []Line{c.EncodeLine(&data), c.EncodeLine(&data), c.EncodeLine(&data)}
+	results := pd.DecodeAll(lines)
+	if len(results) != len(lines) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, res := range results {
+		if res.Err == nil {
+			t.Fatalf("line %d: panic not captured", i)
+		}
+		if res.Index != i {
+			t.Fatalf("line %d: index %d", i, res.Index)
+		}
+	}
+}
+
+// Cancellation stops dispatching and returns the completed prefix; the
+// prefix matches serial decodes.
+func TestDecodeAllContextCancellation(t *testing.T) {
+	c := MustNew(ConfigM2005(), mac.MustSipHash(testKey, 40))
+	r := rand.New(rand.NewSource(4))
+	lines := make([]Line, 64)
+	for i := range lines {
+		d := randLine(r)
+		lines[i] = c.EncodeLine(&d)
+		lines[i].Words[0] = lines[i].Words[0].FlipBit(r.Intn(80))
+	}
+	pd := NewParallelDecoder(c, 4)
+
+	// Pre-cancelled: nothing is dispatched.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := pd.DecodeAllContext(ctx, lines)
+	if err == nil {
+		t.Fatal("cancelled context reported no error")
+	}
+	if len(results) != 0 {
+		t.Fatalf("pre-cancelled decode dispatched %d lines", len(results))
+	}
+
+	// Cancelled mid-flight: a strict completed prefix comes back correct.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel2()
+	}()
+	results, err = pd.DecodeAllContext(ctx2, lines)
+	if err == nil && len(results) != len(lines) {
+		t.Fatal("nil error with an incomplete result set")
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("line %d errored: %v", i, res.Err)
+		}
+		wantData, wantRep := c.DecodeLine(lines[i])
+		if res.Data != wantData || res.Report != wantRep {
+			t.Fatalf("line %d: prefix result differs from serial decode", i)
+		}
+	}
+
+	// Background context: identical to DecodeAll.
+	results, err = pd.DecodeAllContext(context.Background(), lines)
+	if err != nil || len(results) != len(lines) {
+		t.Fatalf("uncancelled run: err=%v results=%d", err, len(results))
 	}
 }

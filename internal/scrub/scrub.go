@@ -9,7 +9,9 @@
 package scrub
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"polyecc/internal/dram"
 	"polyecc/internal/poly"
@@ -45,6 +47,11 @@ type Policy struct {
 	// scrubber recommends replacing the DIMM (the paper cites operators
 	// replacing after as few as 100 correctable errors).
 	ReplacementThreshold int
+	// OnSweep, when set, is called by Run after every completed sweep
+	// with the 1-based sweep number and that sweep's stats and events.
+	// This is where a host injects new faults between patrols, drains
+	// the event log into an FMI pipeline, or cancels the run.
+	OnSweep func(sweep int, st Stats, events []Event)
 }
 
 // DefaultPolicy mirrors the datacenter practice the paper describes.
@@ -86,9 +93,26 @@ func (s *Scrubber) ReplacementDue() bool {
 // corrected lines, and returns the sweep statistics plus the events
 // (corrections and DUEs) for the fault-management log.
 func (s *Scrubber) Sweep() (Stats, []Event) {
+	st, events, _ := s.SweepContext(context.Background())
+	return st, events
+}
+
+// SweepContext is Sweep with a cancellation point before every line:
+// when ctx is cancelled the sweep stops where it is and returns the
+// partial statistics together with the context's error. A nil error
+// means the whole region was patrolled.
+//
+// DUE lines are counted and logged but never written back — the raw
+// burst stays in place for offline forensics and for a later mirror
+// re-provision; rewriting a decode that failed would launder a detected
+// error into silent corruption.
+func (s *Scrubber) SweepContext(ctx context.Context) (Stats, []Event, error) {
 	st := Stats{PerModel: make(map[poly.FaultModel]int)}
 	var events []Event
 	for i := 0; i < s.store.Lines(); i++ {
+		if err := ctx.Err(); err != nil {
+			return st, events, err
+		}
 		burst := s.store.ReadBurst(i)
 		line := s.code.FromBurst(&burst)
 		data, rep := s.code.DecodeLine(line)
@@ -110,5 +134,61 @@ func (s *Scrubber) Sweep() (Stats, []Event) {
 			events = append(events, Event{Line: i, Report: rep})
 		}
 	}
-	return st, events
+	return st, events, nil
+}
+
+// RunStats aggregates a patrol run: how many full sweeps finished and
+// the summed per-sweep statistics (including any partial final sweep).
+type RunStats struct {
+	Sweeps    int
+	Clean     int
+	Corrected int
+	DUE       int
+	PerModel  map[poly.FaultModel]int
+}
+
+func (r *RunStats) add(st Stats) {
+	r.Clean += st.Clean
+	r.Corrected += st.Corrected
+	r.DUE += st.DUE
+	for m, n := range st.PerModel {
+		r.PerModel[m] += n
+	}
+}
+
+// Run patrols the store until ctx is cancelled: one sweep every
+// interval (interval <= 0 sweeps back to back). Cancellation is the
+// normal way a patrol ends, so it is not an error — the aggregate
+// counts, including a partial final sweep, are always returned. The
+// Policy's OnSweep hook fires after each completed sweep and may itself
+// cancel the context to stop the run.
+func (s *Scrubber) Run(ctx context.Context, interval time.Duration) RunStats {
+	agg := RunStats{PerModel: make(map[poly.FaultModel]int)}
+	var tick *time.Ticker
+	if interval > 0 {
+		tick = time.NewTicker(interval)
+		defer tick.Stop()
+	}
+	for {
+		st, events, err := s.SweepContext(ctx)
+		agg.add(st)
+		if err != nil {
+			return agg
+		}
+		agg.Sweeps++
+		if s.policy.OnSweep != nil {
+			s.policy.OnSweep(agg.Sweeps, st, events)
+		}
+		if tick == nil {
+			if ctx.Err() != nil {
+				return agg
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return agg
+		case <-tick.C:
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package scrub
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -149,5 +150,108 @@ func TestSweepCountsDUE(t *testing.T) {
 	}
 	if s.TotalDUE() != st.DUE {
 		t.Fatal("TotalDUE mismatch")
+	}
+}
+
+// A cancelled context stops the sweep mid-region with partial counts.
+func TestSweepContextCancellation(t *testing.T) {
+	code, mod, _ := setup(t, 16)
+	s, _ := New(code, mod, DefaultPolicy())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, events, err := s.SweepContext(ctx)
+	if err == nil {
+		t.Fatal("cancelled sweep reported no error")
+	}
+	if st.Clean+st.Corrected+st.DUE != 0 || len(events) != 0 {
+		t.Fatalf("pre-cancelled sweep scanned lines: %+v", st)
+	}
+}
+
+// Run patrols sweep after sweep until cancelled; counts accumulate
+// across sweeps and the OnSweep hook sees every one of them.
+func TestRunPatrolsUntilCancelled(t *testing.T) {
+	code, mod, _ := setup(t, 8)
+	_ = mod.AddWeakCell(2, 0, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var hookSweeps int
+	policy := Policy{
+		RewriteCorrected: false, // the weak cell re-fires every sweep
+		OnSweep: func(sweep int, st Stats, events []Event) {
+			hookSweeps = sweep
+			if st.Corrected != 1 || len(events) != 1 {
+				t.Errorf("sweep %d: corrected=%d events=%d", sweep, st.Corrected, len(events))
+			}
+			if sweep == 5 {
+				cancel()
+			}
+		},
+	}
+	s, _ := New(code, mod, policy)
+	agg := s.Run(ctx, 0)
+	if agg.Sweeps != 5 || hookSweeps != 5 {
+		t.Fatalf("run stopped after %d sweeps (hook saw %d), want 5", agg.Sweeps, hookSweeps)
+	}
+	if agg.Corrected != 5 || s.TotalCorrected() != 5 {
+		t.Fatalf("corrected: agg=%d lifetime=%d, want 5", agg.Corrected, s.TotalCorrected())
+	}
+}
+
+// recordingStore counts write-backs per line so tests can prove which
+// lines the scrubber touched.
+type recordingStore struct {
+	*dram.Module
+	writes map[int]int
+}
+
+func (r *recordingStore) WriteBurst(i int, b dram.Burst) {
+	r.writes[i]++
+	r.Module.WriteBurst(i, b)
+}
+
+// A DUE line must never be written back: the raw burst is evidence, and
+// rewriting a failed decode would turn a detected error into an SDC.
+func TestRunNeverWritesBackDUE(t *testing.T) {
+	code, mod, _ := setup(t, 4)
+	// Two dead devices + a stuck pin exceed every fault model.
+	_ = mod.KillDevice(1)
+	_ = mod.KillDevice(5)
+	_ = mod.AddStuckPin(33, 1)
+	store := &recordingStore{Module: mod, writes: map[int]int{}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	due := map[int]bool{}
+	corrected := map[int]bool{}
+	policy := DefaultPolicy() // rewriting ON: corrected lines may change, DUE lines must not
+	policy.OnSweep = func(sweep int, st Stats, events []Event) {
+		if st.DUE == 0 {
+			t.Errorf("sweep %d: no DUEs under a double device failure", sweep)
+		}
+		for _, ev := range events {
+			if ev.Report.Status == poly.StatusUncorrectable {
+				due[ev.Line] = true
+			} else {
+				corrected[ev.Line] = true
+			}
+		}
+		if sweep == 3 {
+			cancel()
+		}
+	}
+	s, _ := New(code, store, policy)
+	agg := s.Run(ctx, 0)
+	if agg.DUE == 0 || len(due) == 0 {
+		t.Fatalf("patrol saw no DUEs: %+v", agg)
+	}
+	for line, n := range store.writes {
+		if !corrected[line] {
+			t.Fatalf("line %d written back %d times without ever being corrected", line, n)
+		}
+	}
+	for line := range due {
+		if !corrected[line] && store.writes[line] > 0 {
+			t.Fatalf("DUE-only line %d was written back", line)
+		}
 	}
 }

@@ -1,12 +1,13 @@
 # Developer entry points. `make ci` is the tier-1 gate every PR must
 # keep green; `make bench-snapshot` refreshes the decode-path perf
-# snapshot future PRs are compared against.
+# snapshot future PRs are compared against; `make bench-gate` enforces
+# the 0 allocs/op contract on the scratch encode/decode hot paths.
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-snapshot smoke-campaign
+.PHONY: ci build vet test race bench bench-snapshot bench-gate smoke-campaign
 
-ci: vet build race smoke-campaign
+ci: vet build race smoke-campaign bench-gate
 
 build:
 	$(GO) build ./...
@@ -25,6 +26,9 @@ bench:
 
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -o BENCH_decode.json
+
+bench-gate:
+	$(GO) run ./cmd/benchsnap -gate
 
 # Tiny end-to-end campaign: run the in-model soak with a checkpoint and
 # a timeout, then resume it to completion — the interrupt/resume round

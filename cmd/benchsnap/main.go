@@ -1,14 +1,20 @@
-// Command benchsnap measures the DecodeLine hot paths with the testing
-// package's benchmark driver and writes a JSON snapshot, seeding the
-// perf trajectory future PRs are held against. The scenarios cover the
-// fault-free (clean) path and the single-symbol correction path, each
-// bare and with a telemetry collector attached, so a regression in
-// either the decoder or the nil-hook instrumentation overhead shows up
-// as a ns/op delta between snapshots.
+// Command benchsnap measures the encode/decode hot paths with the
+// testing package's benchmark driver and writes a JSON snapshot, seeding
+// the perf trajectory future PRs are held against. The scenarios cover
+// the fault-free (clean) path and the single-symbol correction path,
+// each bare and with a telemetry collector attached; the scratch-based
+// allocation-free entry points; and a clean-decode bench for every
+// registered cacheline codec.
+//
+// With -gate only the allocation contract is checked: encode and clean
+// decode through a poly.Scratch must run at 0 allocs/op, and the process
+// exits nonzero if either regresses — `make bench-gate` wires this into
+// `make ci`.
 //
 // Usage:
 //
 //	benchsnap [-o BENCH_decode.json] [-v]
+//	benchsnap -gate
 package main
 
 import (
@@ -23,6 +29,8 @@ import (
 	"flag"
 
 	"polyecc"
+	"polyecc/internal/dram"
+	"polyecc/internal/linecode"
 	"polyecc/internal/telemetry"
 )
 
@@ -58,6 +66,7 @@ func corrupt(code *polyecc.Code, line polyecc.Line, r *rand.Rand) polyecc.Line {
 
 func main() {
 	out := flag.String("o", "BENCH_decode.json", "snapshot output path")
+	gate := flag.Bool("gate", false, "check the 0 allocs/op contract on the scratch paths and exit nonzero on regression (no snapshot)")
 	var obs telemetry.CLIFlags
 	obs.Register(flag.CommandLine)
 	flag.Parse()
@@ -88,6 +97,30 @@ func main() {
 			}
 		}
 	}
+	// The gate scenarios carry the repo-wide allocation contract: the
+	// scratch entry points — what the soak, scrubber, and parallel
+	// decoder run per line — never touch the heap.
+	scratch := bare.NewScratch()
+	gated := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"encode-scratch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bare.EncodeLineScratch(&data, scratch)
+			}
+		}},
+		{"decode-scratch/clean", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, rep := bare.DecodeLineScratch(clean, scratch)
+				if rep.Status != polyecc.StatusClean {
+					b.Fatalf("unexpected status %v", rep.Status)
+				}
+			}
+		}},
+	}
 	scenarios := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -102,6 +135,46 @@ func main() {
 		{"decode/clean+metrics", decodeBench(instrumented, clean, true)},
 		{"decode/corrected-ssc", decodeBench(bare, bad, false)},
 		{"decode/corrected-ssc+metrics", decodeBench(instrumented, bad, false)},
+	}
+	scenarios = append(scenarios, gated...)
+	// One clean-decode bench per registered cacheline codec, so the
+	// snapshot tracks every scheme the experiments compare.
+	for _, name := range linecode.Names() {
+		code := linecode.MustNew(name)
+		burst := code.Encode(&data)
+		want := data
+		scenarios = append(scenarios, struct {
+			name string
+			fn   func(b *testing.B)
+		}{"codec/" + name + "/decode-clean", func(b *testing.B) {
+			b.ReportAllocs()
+			var local dram.Burst
+			for i := 0; i < b.N; i++ {
+				local = burst
+				got, outcome, _ := code.Decode(&local)
+				if outcome != linecode.OK || got != want {
+					b.Fatal("clean decode failed")
+				}
+			}
+		}})
+	}
+
+	if *gate {
+		failed := false
+		for _, sc := range gated {
+			res := testing.Benchmark(sc.fn)
+			logger.Info("gate", "scenario", sc.name, "allocs_per_op", res.AllocsPerOp(),
+				"ns_per_op", fmt.Sprintf("%.1f", float64(res.T.Nanoseconds())/float64(res.N)))
+			if res.AllocsPerOp() != 0 {
+				logger.Error("allocation gate FAILED", "scenario", sc.name, "allocs_per_op", res.AllocsPerOp())
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		logger.Info("allocation gate passed: encode and clean decode run at 0 allocs/op")
+		return
 	}
 
 	snap := Snapshot{

@@ -22,7 +22,7 @@
 //
 //	faultinject -fig 4 [-injections 2000] [-workers 8] [-metrics-addr :8080] [-v]
 //	faultinject -fig 5 [-injections 2500]
-//	faultinject -poly [-injections 2000]
+//	faultinject -poly [-code poly-m2005] [-injections 2000]
 //	faultinject -fig 4 -checkpoint fig4.ckpt -checkpoint-every 200 -timeout 1h
 //	faultinject -fig 4 -checkpoint fig4.ckpt -resume   # continue after an interrupt
 package main
@@ -37,12 +37,14 @@ import (
 
 	"polyecc/internal/campaign"
 	"polyecc/internal/exp"
+	"polyecc/internal/linecode"
 	"polyecc/internal/telemetry"
 )
 
 func main() {
 	fig := flag.Int("fig", 4, "figure to regenerate: 4 or 5")
-	polySoak := flag.Bool("poly", false, "run the live in-model soak against the M=2005 decoder instead")
+	polySoak := flag.Bool("poly", false, "run the live in-model soak against a Polymorphic decoder instead")
+	soakCode := linecode.Flag(flag.CommandLine, "code", "poly-m2005", "Polymorphic code the -poly soak decodes with")
 	injections := flag.Int("injections", 0, "injections per campaign (default: the paper's count)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	out := flag.String("o", "", "also write the output to this file")
@@ -90,8 +92,12 @@ func main() {
 		if n == 0 {
 			n = 2000
 		}
-		logger.Info("running in-model soak", "trials", n, "workers", opts.Workers)
-		res, err := exp.PolySoakCtx(ctx, n, *seed, decodeMetrics, opts)
+		lc, err := soakCode()
+		if err != nil {
+			telemetry.Fatal(logger, "building soak code", "err", err)
+		}
+		logger.Info("running in-model soak", "code", lc.Name(), "trials", n, "workers", opts.Workers)
+		res, err := exp.PolySoakCode(ctx, lc, n, *seed, decodeMetrics, opts)
 		if err != nil {
 			telemetry.Fatal(logger, "soak failed", "err", err)
 		}

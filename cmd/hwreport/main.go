@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hwreport [-latency] [-o file]
+//	hwreport [-latency] [-codecs] [-o file]
 package main
 
 import (
@@ -15,11 +15,13 @@ import (
 
 	"polyecc/internal/exp"
 	"polyecc/internal/hwmodel"
+	"polyecc/internal/linecode"
 	"polyecc/internal/telemetry"
 )
 
 func main() {
 	latency := flag.Bool("latency", false, "also print the correction-latency analysis")
+	codecs := flag.Bool("codecs", false, "also print the registered cacheline-codec inventory")
 	out := flag.String("o", "", "also write the output to this file")
 	var obs telemetry.CLIFlags
 	obs.Register(flag.CommandLine)
@@ -28,6 +30,13 @@ func main() {
 
 	var b strings.Builder
 	b.WriteString(exp.TableVI().Render())
+	if *codecs {
+		b.WriteString("\nRegistered cacheline codecs:\n")
+		for _, name := range linecode.Names() {
+			doc, _ := linecode.Describe(name)
+			fmt.Fprintf(&b, "  %-16s %-22s %s\n", name, linecode.MustNew(name).Name(), doc)
+		}
+	}
 	if *latency {
 		l := hwmodel.Latency()
 		b.WriteString("\nCorrection latency (§VIII-C):\n")

@@ -1,11 +1,14 @@
-// Command polyecc demonstrates the Polymorphic ECC read/write path on a
-// single cacheline: encode, inject a fault model of your choosing, and
-// watch the iterative corrector recover the data. With -v the per-trial
-// trace hook logs every correction hypothesis the corrector tries.
+// Command polyecc demonstrates a registered cacheline code on a single
+// line: encode, inject a fault model of your choosing, and watch the
+// decode. For the Polymorphic codes the iterative corrector's full
+// report is shown, and with -v the per-trial trace hook logs every
+// correction hypothesis it tries; the baseline codes (rs-sddc, unity,
+// bamboo, hamming-secded) report their cacheline outcome.
 //
 // Usage:
 //
-//	polyecc [-m 511|1021|2005|131049] [-model chipkill|ssc|dec|bfbf|chipkill+1] [-seed N] [-v] [-metrics-addr :8080]
+//	polyecc [-code poly-m2005-zr] [-model chipkill|ssc|dec[:N]|bfbf|chipkill+1|random[:N]] [-seed N] [-v] [-metrics-addr :8080]
+//	polyecc -list
 package main
 
 import (
@@ -13,85 +16,95 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strings"
 
 	"polyecc/internal/dram"
 	"polyecc/internal/faults"
 	"polyecc/internal/linecode"
-	"polyecc/internal/mac"
 	"polyecc/internal/poly"
 	"polyecc/internal/telemetry"
 )
 
 func main() {
-	multiplier := flag.Uint64("m", 2005, "residue multiplier (511, 1021, 2005, or 131049)")
-	model := flag.String("model", "ssc", "fault model: chipkill, ssc, dec, bfbf, chipkill+1")
+	getCode := linecode.Flag(flag.CommandLine, "code", "poly-m2005-zr", "cacheline code")
+	model := flag.String("model", "ssc", "fault model: chipkill, ssc, dec[:N], bfbf, chipkill+1, random[:N]")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	list := flag.Bool("list", false, "list the registered codes and exit")
 	var obs telemetry.CLIFlags
 	obs.Register(flag.CommandLine)
 	flag.Parse()
 	logger := obs.Init("polyecc")
 
-	var cfg poly.Config
-	var macBits int
-	switch *multiplier {
-	case 511:
-		cfg, macBits = poly.ConfigM511(), 56
-	case 1021:
-		cfg, macBits = poly.ConfigM1021(), 48
-	case 2005:
-		cfg, macBits = poly.ConfigM2005(), 40
-	case 131049:
-		cfg, macBits = poly.ConfigM131049(), 60
-	default:
-		telemetry.Fatal(logger, "unsupported multiplier", "m", *multiplier)
-	}
-
-	metrics := telemetry.NewDecodeMetrics()
-	metrics.Publish("decode")
-	cfg.Metrics = metrics
-	if obs.Verbose {
-		cfg.Trace = func(e poly.TraceEvent) {
-			logger.Debug("correction trial", "model", e.Model.String(),
-				"trial", e.Trial, "word", e.Word, "candidate", e.Candidate, "macMatch", e.MACMatch)
+	if *list {
+		for _, name := range linecode.Names() {
+			doc, _ := linecode.Describe(name)
+			fmt.Printf("%-16s %s\n", name, doc)
 		}
+		return
 	}
 
-	key := [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
-	code, err := poly.New(cfg, mac.MustSipHash(key, macBits))
+	lc, err := getCode()
 	if err != nil {
 		telemetry.Fatal(logger, "building code", "err", err)
 	}
 
-	g := dram.WordGeometry{SymbolBits: cfg.Geometry.SymbolBits}
-	var inj faults.Injector
-	switch strings.ToLower(*model) {
-	case "chipkill":
-		inj = faults.ChipKill{Geometry: g}
-	case "ssc":
-		inj = faults.SSC{Geometry: g}
-	case "dec":
-		inj = faults.DEC{Geometry: g, Words: 2}
-	case "bfbf":
-		inj = faults.BFBF{Geometry: g}
-	case "chipkill+1":
-		inj = faults.ChipKillPlus1{Geometry: g}
-	default:
-		telemetry.Fatal(logger, "unknown fault model", "model", *model)
+	// The Polymorphic codes expose the full iterative-correction surface;
+	// attach the demo's telemetry and trace hooks to it.
+	g := dram.WordGeometry{SymbolBits: 8}
+	var code *poly.Code
+	if p, ok := lc.(linecode.Poly); ok {
+		metrics := telemetry.NewDecodeMetrics()
+		metrics.Publish("decode")
+		code = p.C.WithMetrics(metrics)
+		if obs.Verbose {
+			code = code.WithTrace(func(e poly.TraceEvent) {
+				logger.Debug("correction trial", "model", e.Model.String(),
+					"trial", e.Trial, "word", e.Word, "candidate", e.Candidate, "macMatch", e.MACMatch)
+			})
+		}
+		g.SymbolBits = code.Geometry().SymbolBits
+		lc = linecode.Poly{C: code, Label: p.Label}
+	}
+
+	inj, err := faults.New(*model, g)
+	if err != nil {
+		telemetry.Fatal(logger, "building fault model", "err", err)
 	}
 
 	r := rand.New(rand.NewSource(*seed))
-	var data [poly.LineBytes]byte
+	var data [linecode.LineBytes]byte
 	r.Read(data[:])
-	fmt.Printf("Polymorphic ECC, M=%d: %d-bit symbols, %d codewords/line, %d check bits + %d MAC bits per codeword (%d-bit cacheline MAC)\n",
-		code.M(), cfg.Geometry.SymbolBits, code.Words(), code.CheckBits(), code.MACBitsPerWord(), code.LineMACBits())
+	if code != nil {
+		fmt.Printf("%s, M=%d: %d-bit symbols, %d codewords/line, %d check bits + %d MAC bits per codeword (%d-bit cacheline MAC)\n",
+			lc.Name(), code.M(), g.SymbolBits, code.Words(), code.CheckBits(), code.MACBitsPerWord(), code.LineMACBits())
+	} else {
+		fmt.Printf("%s cacheline code\n", lc.Name())
+	}
 
-	lc := linecode.Poly{C: code}
 	burst := lc.Encode(&data)
-	fmt.Printf("encoded %d data bytes into a %d-bit DDR5 burst\n", poly.LineBytes, dram.BurstBits)
+	fmt.Printf("encoded %d data bytes into a %d-bit DDR5 burst\n", linecode.LineBytes, dram.BurstBits)
 
 	inj.Inject(r, &burst)
-	line := code.FromBurst(&burst)
+	if code != nil {
+		demoPoly(code, lc.Name(), inj, &burst, data)
+		return
+	}
+	fmt.Printf("injected %s fault\n", inj.Name())
+	got, outcome, _ := lc.Decode(&burst)
+	if outcome == linecode.DUE {
+		fmt.Println("detected uncorrectable error (DUE)")
+		os.Exit(1)
+	}
+	if got == data {
+		fmt.Println("data recovered exactly")
+	} else {
+		fmt.Println("SILENT DATA CORRUPTION")
+		os.Exit(2)
+	}
+}
+
+// demoPoly walks the Polymorphic decode with the full report surface.
+func demoPoly(code *poly.Code, name string, inj faults.Injector, burst *dram.Burst, data [linecode.LineBytes]byte) {
+	line := code.FromBurst(burst)
 	corrupted := 0
 	for _, w := range line.Words {
 		if code.Remainder(w) != 0 {

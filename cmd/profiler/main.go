@@ -1,27 +1,35 @@
 // Command profiler regenerates the profiling tables of the paper:
 // Table II (misdetection of out-of-model errors by Hamming and RS),
 // Table III (aliasing-degree histograms), and Table IV (aliasing degrees
-// per fault model per configuration).
+// per fault model per configuration). -cacheline lifts the Table II
+// study to whole bursts over any set of registered cacheline codes.
 //
 // Usage:
 //
 //	profiler -table 2 [-trials N] [-o file]
 //	profiler -table 3
 //	profiler -table 4
+//	profiler -cacheline [-codes all] [-flips 1,2,3,4,8] [-trials N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"polyecc/internal/exp"
+	"polyecc/internal/linecode"
 	"polyecc/internal/telemetry"
 )
 
 func main() {
 	table := flag.Int("table", 2, "table to regenerate: 2, 3, or 4")
-	trials := flag.Int("trials", 100000, "Monte Carlo trials per cell (Table II)")
+	cacheline := flag.Bool("cacheline", false, "profile registered cacheline codes against random wire-bit flips instead")
+	getCodes := linecode.FlagList(flag.CommandLine, "codes", "all", "cacheline codes to profile (-cacheline)")
+	flips := flag.String("flips", "1,2,3,4,8", "comma-separated wire-bit flip counts (-cacheline)")
+	trials := flag.Int("trials", 100000, "Monte Carlo trials per cell (Table II); default 2000 with -cacheline")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	out := flag.String("o", "", "also write the output to this file")
 	var obs telemetry.CLIFlags
@@ -30,12 +38,30 @@ func main() {
 	logger := obs.Init("profiler")
 
 	var text string
-	switch *table {
-	case 2:
+	switch {
+	case *cacheline:
+		codes, err := getCodes()
+		if err != nil {
+			telemetry.Fatal(logger, "resolving -codes", "err", err)
+		}
+		var counts []int
+		for _, f := range strings.Split(*flips, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				telemetry.Fatal(logger, "bad -flips entry", "flips", *flips)
+			}
+			counts = append(counts, n)
+		}
+		n := *trials
+		if n == 100000 { // the Table II default is too slow across all codes
+			n = 2000
+		}
+		text = exp.RenderCachelineMisdetect(exp.CachelineMisdetect(codes, counts, n, *seed))
+	case *table == 2:
 		text = exp.TableII(*trials, *seed).Render()
-	case 3:
+	case *table == 3:
 		text = exp.TableIII().Render()
-	case 4:
+	case *table == 4:
 		text = exp.RenderTableIV(exp.TableIV())
 	default:
 		telemetry.Fatal(logger, "unknown table (use 2, 3, or 4)", "table", *table)

@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	sdcprofiler -table 5 [-trials N] [-dectrials N]
+//	sdcprofiler -table 5 [-codes poly-m2005-zr,rs-sddc,...] [-trials N] [-dectrials N]
 //	sdcprofiler -rowhammer [-patterns N]
 //	sdcprofiler -fig10 [-trials N]
+//
+// -codes selects which registered cacheline codes enter the comparison
+// (default: the paper's Table V set; "all" runs every registered code,
+// including the Hamming SEC-DED baseline).
 //
 // The paper ran 10^5 cachelines per model (a week on 96 cores for DEC);
 // the defaults here finish on a laptop and scale linearly if you raise
@@ -18,13 +22,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"polyecc/internal/exp"
+	"polyecc/internal/linecode"
 	"polyecc/internal/telemetry"
 )
 
 func main() {
 	table5 := flag.Int("table", 5, "table to regenerate (5)")
+	getCodes := linecode.FlagList(flag.CommandLine, "codes",
+		strings.Join(exp.TableVCodeNames, ","), "cacheline codes to compare")
 	fig10 := flag.Bool("fig10", false, "regenerate Figure 10 instead")
 	rowhammer := flag.Bool("rowhammer", false, "regenerate the rowhammer row instead")
 	trials := flag.Int("trials", 2000, "cachelines per fault model")
@@ -42,10 +50,18 @@ func main() {
 	case *fig10:
 		text = exp.RenderFigure10(exp.Figure10(*trials, *seed))
 	case *rowhammer:
-		row := exp.RowhammerRow(*patterns, *seed)
+		codes, err := getCodes()
+		if err != nil {
+			telemetry.Fatal(logger, "resolving -codes", "err", err)
+		}
+		row := exp.RowhammerRowWith(*patterns, *seed, codes)
 		text = exp.RenderTableV([]exp.TableVRow{row})
 	case *table5 == 5:
-		res := exp.TableV(*trials, *decTrials, *seed)
+		codes, err := getCodes()
+		if err != nil {
+			telemetry.Fatal(logger, "resolving -codes", "err", err)
+		}
+		res := exp.TableVWith(*trials, *decTrials, *seed, codes)
 		text = exp.RenderTableV(res.Rows)
 	default:
 		telemetry.Fatal(logger, "unknown table", "table", *table5)

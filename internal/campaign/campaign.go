@@ -51,6 +51,11 @@ type Trial struct {
 	// (Config.Seed, Index). It does not depend on worker count, shard
 	// scheduling, or which trials ran before.
 	RNG *rand.Rand
+	// Local is the per-worker state built by Config.WorkerState (nil when
+	// that hook is unset). Every trial a worker runs sees the same value,
+	// and no other worker ever touches it — the campaign-engine home for
+	// allocation-free scratch buffers like poly.Scratch.
+	Local any
 
 	adds map[string]int64
 }
@@ -99,6 +104,13 @@ type Config struct {
 	// (default "panic"). A panicked trial contributes exactly one count
 	// of this label and nothing else, so reruns stay deterministic.
 	PanicLabel string
+	// WorkerState, when set, is invoked once per worker goroutine; its
+	// return value is handed to every trial that worker runs via
+	// Trial.Local. Trial outcomes must not depend on the state's history
+	// (it is reused across trials in scheduler order), or determinism and
+	// checkpoint resume break. Reusable decode scratch is the intended
+	// use.
+	WorkerState func() any
 	// Metrics, when non-nil, receives live counter updates.
 	Metrics *Metrics
 	// Logger defaults to slog.Default().
@@ -309,7 +321,7 @@ func safeTrial(fn TrialFunc, t *Trial, panicLabel string, logger *slog.Logger) (
 	return false
 }
 
-func runShard(ctx context.Context, cfg *Config, fn TrialFunc, st *state, shard int) {
+func runShard(ctx context.Context, cfg *Config, fn TrialFunc, st *state, shard int, local any) {
 	lo, n := shardRange(cfg.Trials, cfg.Shards, shard)
 	for k := st.doneOf(shard); k < n; k++ {
 		if ctx.Err() != nil {
@@ -320,6 +332,7 @@ func runShard(ctx context.Context, cfg *Config, fn TrialFunc, st *state, shard i
 			Index: idx,
 			Shard: shard,
 			RNG:   rand.New(rand.NewSource(trialSeed(cfg.Seed, idx))),
+			Local: local,
 		}
 		panicked := safeTrial(fn, t, cfg.PanicLabel, cfg.Logger)
 		st.commit(cfg, shard, t.adds, panicked)
@@ -383,8 +396,12 @@ func Run(ctx context.Context, cfg Config, fn TrialFunc) (Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var local any
+			if cfg.WorkerState != nil {
+				local = cfg.WorkerState()
+			}
 			for s := range jobs {
-				runShard(ctx, &cfg, fn, st, s)
+				runShard(ctx, &cfg, fn, st, s, local)
 			}
 		}()
 	}

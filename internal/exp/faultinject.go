@@ -15,7 +15,6 @@ import (
 	"polyecc/internal/faults"
 	"polyecc/internal/inference"
 	"polyecc/internal/linecode"
-	"polyecc/internal/mac"
 	"polyecc/internal/poly"
 	"polyecc/internal/stats"
 	"polyecc/internal/telemetry"
@@ -380,8 +379,9 @@ func Figure5Ctx(ctx context.Context, injections int, seed int64, opts CampaignOp
 
 // PolySoakResult summarises a PolySoak campaign.
 type PolySoakResult struct {
-	Trials        int // requested budget
-	Completed     int // trials accounted for (== Trials unless Partial)
+	Code          string // display name of the decoded scheme
+	Trials        int    // requested budget
+	Completed     int    // trials accounted for (== Trials unless Partial)
 	Partial       bool
 	Panics        int64
 	Clean         int
@@ -398,36 +398,52 @@ func PolySoak(trials int, seed int64, m *telemetry.DecodeMetrics) PolySoakResult
 	return res
 }
 
-// PolySoakCtx drives random in-model faults through the flagship M=2005
-// Polymorphic ECC code with the collector m attached to the decode
-// path, sharded across campaign workers. It is the live observability
-// workload of cmd/faultinject: with -metrics-addr set, the decode.*
-// counters, per-model hits, and the iteration histogram tick at
-// /debug/vars while the soak runs, and faultinject.campaign.* tracks
-// progress, panics, and checkpoints.
+// PolySoakCtx runs the soak against the default flagship instance; see
+// PolySoakNamed.
 func PolySoakCtx(ctx context.Context, trials int, seed int64, m *telemetry.DecodeMetrics, opts CampaignOpts) (PolySoakResult, error) {
-	cfg := poly.ConfigM2005()
-	cfg.MaxIterations = 20000 // the N_max bound keeps worst-case DEC trials sane
-	cfg.Metrics = m
-	key := DefaultKey
-	code := poly.MustNew(cfg, mac.MustSipHash(key, 40))
-	g := dram.WordGeometry{SymbolBits: cfg.Geometry.SymbolBits}
-	injectors := []faults.Injector{
-		faults.ChipKill{Geometry: g},
-		faults.SSC{Geometry: g},
-		faults.DEC{Geometry: g, Words: 2},
-		faults.BFBF{Geometry: g},
-		faults.ChipKillPlus1{Geometry: g},
-	}
+	return PolySoakNamed(ctx, "poly-m2005", trials, seed, m, opts)
+}
 
-	res, err := campaign.Run(ctx, opts.config("polysoak", trials, seed), func(t *campaign.Trial) {
+// PolySoakNamed drives random in-model faults through the named registry
+// code (any Polymorphic variant — the cmd/faultinject -code flag) with
+// the collector m attached to the decode path, sharded across campaign
+// workers. Every worker owns a poly.Scratch via the campaign's
+// per-worker state hook, so the trial loop performs no per-line heap
+// allocation. It is the live observability workload of cmd/faultinject:
+// with -metrics-addr set, the decode.* counters, per-model hits, and the
+// iteration histogram tick at /debug/vars while the soak runs, and
+// faultinject.campaign.* tracks progress, panics, and checkpoints.
+func PolySoakNamed(ctx context.Context, name string, trials int, seed int64, m *telemetry.DecodeMetrics, opts CampaignOpts) (PolySoakResult, error) {
+	lc, err := linecode.New(name)
+	if err != nil {
+		return PolySoakResult{}, err
+	}
+	return PolySoakCode(ctx, lc, trials, seed, m, opts)
+}
+
+// PolySoakCode is PolySoakNamed for an already-built registry code (the
+// shape the shared -code flag resolver hands a command).
+func PolySoakCode(ctx context.Context, lc linecode.Code, trials int, seed int64, m *telemetry.DecodeMetrics, opts CampaignOpts) (PolySoakResult, error) {
+	p, ok := lc.(linecode.Poly)
+	if !ok {
+		return PolySoakResult{}, fmt.Errorf("exp: the in-model soak needs a Polymorphic code, got %s", lc.Name())
+	}
+	// The N_max bound keeps worst-case DEC trials sane.
+	code := p.C.WithMaxIterations(20000).WithMetrics(m)
+	g := dram.WordGeometry{SymbolBits: code.Geometry().SymbolBits}
+	injectors := faults.InModel(g)
+
+	cfg := opts.config("polysoak", trials, seed)
+	cfg.WorkerState = func() any { return code.NewScratch() }
+	res, err := campaign.Run(ctx, cfg, func(t *campaign.Trial) {
+		s := t.Local.(*poly.Scratch)
 		r := t.RNG
 		var data [poly.LineBytes]byte
 		r.Read(data[:])
-		burst := code.ToBurst(code.EncodeLine(&data))
+		burst := code.ToBurst(code.EncodeLineScratch(&data, s))
 		inj := injectors[r.Intn(len(injectors))]
 		inj.Inject(r, &burst)
-		got, rep := code.DecodeLine(code.FromBurst(&burst))
+		got, rep := code.DecodeLineScratch(code.FromBurstScratch(&burst, s), s)
 		t.Add("iterations", int64(rep.Iterations))
 		switch rep.Status {
 		case poly.StatusClean:
@@ -443,6 +459,7 @@ func PolySoakCtx(ctx context.Context, trials int, seed int64, m *telemetry.Decod
 		}
 	})
 	soak := PolySoakResult{
+		Code:          fmt.Sprintf("%s (M=%d)", lc.Name(), code.M()),
 		Trials:        trials,
 		Completed:     res.Completed,
 		Partial:       res.Partial,
@@ -464,7 +481,10 @@ func PolySoakCtx(ctx context.Context, trials int, seed int64, m *telemetry.Decod
 
 // RenderPolySoak formats a soak summary.
 func RenderPolySoak(res PolySoakResult) string {
-	title := "Live in-model soak: M=2005 decode outcomes"
+	title := "Live in-model soak: " + res.Code + " decode outcomes"
+	if res.Code == "" {
+		title = "Live in-model soak: decode outcomes"
+	}
 	if res.Partial {
 		title += fmt.Sprintf(" (PARTIAL: %d/%d trials)", res.Completed, res.Trials)
 	}

@@ -14,9 +14,32 @@ import (
 	"polyecc/internal/stats"
 )
 
-// DefaultKey is the MAC key the experiments share; any key works — the
-// key only has to be secret in a deployment, not in a Monte Carlo study.
-var DefaultKey = [16]byte{0x42, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+// DefaultKey is the MAC key the experiments share. It lives with the
+// codec registry so a code built by name reproduces the published
+// tables; the alias remains for the drivers that build bespoke
+// configurations (Figure 10's DEC-only code).
+var DefaultKey = linecode.DefaultKey
+
+// TableVCodeNames are the registry names of the schemes Table V
+// compares at 8-bit symbol folding, in column order.
+var TableVCodeNames = []string{"poly-m2005-zr", "rs-sddc", "unity", "bamboo"}
+
+// tableVCodes builds the default comparison set from the registry.
+func tableVCodes() []linecode.Code {
+	out := make([]linecode.Code, 0, len(TableVCodeNames))
+	for _, n := range TableVCodeNames {
+		out = append(out, linecode.MustNew(n))
+	}
+	return out
+}
+
+// isPoly reports whether a scheme is a Polymorphic instance — the codes
+// whose iteration counts the table tracks. A type assertion, not a name
+// comparison: registry labels distinguish the multiplier variants.
+func isPoly(c linecode.Code) bool {
+	_, ok := c.(linecode.Poly)
+	return ok
+}
 
 // CodeCell is one (code, fault model) cell of Table V.
 type CodeCell struct {
@@ -42,38 +65,22 @@ type TableVResult struct {
 	Trials int
 }
 
-// defaultPoly builds the flagship M=2005 instance.
-func defaultPoly() *poly.Code {
-	cfg := poly.ConfigM2005()
-	cfg.TryZeroRemainder = true
-	return poly.MustNew(cfg, mac.MustSipHash(DefaultKey, 40))
-}
-
-// poly16 builds the 16-bit-symbol M=131049 instance.
-func poly16() *poly.Code {
-	return poly.MustNew(poly.ConfigM131049(), mac.MustSipHash(DefaultKey, 60))
-}
-
-// TableV runs the Monte Carlo comparison. trials is the number of
-// corrupted cachelines per (model, code) cell; decTrials caps the
-// expensive DEC rows (the paper notes DEC took a week on 96 cores at
-// 10^6 trials — scale accordingly).
+// TableV runs the Monte Carlo comparison over the default registry
+// codes. trials is the number of corrupted cachelines per (model, code)
+// cell; decTrials caps the expensive DEC rows (the paper notes DEC took
+// a week on 96 cores at 10^6 trials — scale accordingly).
 func TableV(trials, decTrials int, seed int64) TableVResult {
+	return TableVWith(trials, decTrials, seed, tableVCodes())
+}
+
+// TableVWith is TableV over an explicit code set (the sdcprofiler -codes
+// flag). The 16-bit-symbol Polymorphic section only runs when the set
+// includes a Polymorphic code, since those rows exist for it alone — the
+// baselines keep their 8-bit symbol folding, as in the paper's table.
+func TableVWith(trials, decTrials int, seed int64, codes []linecode.Code) TableVResult {
 	res := TableVResult{Trials: trials}
 	g8 := dram.WordGeometry{SymbolBits: 8}
-	codes := []linecode.Code{
-		linecode.Poly{C: defaultPoly()},
-		linecode.NewRS(),
-		linecode.NewUnity(),
-		linecode.NewBamboo(),
-	}
-	models := []faults.Injector{
-		faults.ChipKill{Geometry: g8},
-		faults.SSC{Geometry: g8},
-		faults.DEC{Geometry: g8},
-		faults.BFBF{Geometry: g8},
-		faults.ChipKillPlus1{Geometry: g8},
-	}
+	models := faults.Models(g8)
 	for _, inj := range models {
 		n := trials
 		if inj.Name() == "DEC" {
@@ -82,10 +89,15 @@ func TableV(trials, decTrials int, seed int64) TableVResult {
 		res.Rows = append(res.Rows, runModelRow(8, inj, codes, n, seed, 40))
 	}
 
-	// 16-bit-symbol Polymorphic rows (the baselines keep their 8-bit
-	// symbol folding, as in the paper's table).
+	anyPoly := false
+	for _, c := range codes {
+		anyPoly = anyPoly || isPoly(c)
+	}
+	if !anyPoly {
+		return res
+	}
 	g16 := dram.WordGeometry{SymbolBits: 16}
-	codes16 := []linecode.Code{linecode.Poly{C: poly16()}}
+	codes16 := []linecode.Code{linecode.MustNew("poly-m131049")}
 	for _, inj := range []faults.Injector{
 		faults.ChipKill{Geometry: g16},
 		faults.SSC{Geometry: g16},
@@ -125,7 +137,7 @@ func runModelRow(symBits int, inj faults.Injector, codes []linecode.Code, trials
 			default:
 				tally[ci].ok++
 			}
-			if code.Name() == "Polymorphic" && outcome == linecode.OK {
+			if isPoly(code) && outcome == linecode.OK {
 				row.Iterations.Add(float64(iters))
 			}
 		}
@@ -143,17 +155,16 @@ func runModelRow(symBits int, inj faults.Injector, codes []linecode.Code, trials
 	return row
 }
 
-// RowhammerRow reproduces the last row of Table V: all codes against
-// generated rowhammer patterns (§VIII-E).
+// RowhammerRow reproduces the last row of Table V: the default registry
+// codes against generated rowhammer patterns (§VIII-E).
 func RowhammerRow(patterns int, seed int64) TableVRow {
+	return RowhammerRowWith(patterns, seed, tableVCodes())
+}
+
+// RowhammerRowWith is RowhammerRow over an explicit code set.
+func RowhammerRowWith(patterns int, seed int64, codes []linecode.Code) TableVRow {
 	g8 := dram.WordGeometry{SymbolBits: 8}
 	gen := rowhammer.New(seed, g8)
-	codes := []linecode.Code{
-		linecode.Poly{C: defaultPoly()},
-		linecode.NewRS(),
-		linecode.NewUnity(),
-		linecode.NewBamboo(),
-	}
 	row := TableVRow{SymbolBits: 8, Model: "Rowhammer"}
 	type counts struct{ sdc, due, ok int }
 	tally := make([]counts, len(codes))
@@ -174,7 +185,7 @@ func RowhammerRow(patterns int, seed int64) TableVRow {
 			default:
 				tally[ci].ok++
 			}
-			if code.Name() == "Polymorphic" && outcome == linecode.OK {
+			if isPoly(code) && outcome == linecode.OK {
 				row.Iterations.Add(float64(iters))
 			}
 		}

@@ -1,0 +1,83 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"polyecc/internal/dram"
+)
+
+// Names lists the injector names New accepts, in the Table V order.
+func Names() []string {
+	return []string{"chipkill", "ssc", "dec", "bfbf", "chipkill+1", "random"}
+}
+
+// New builds an injector by name for a geometry, so every command-line
+// tool parses -model the same way. Two names take an optional :N suffix:
+//
+//	dec[:N]    — two random bit flips in each of N codewords (default 2;
+//	             0 or N >= words corrupts every codeword, the paper's
+//	             conservative Table V assumption)
+//	random:N   — N uniformly random wire-bit flips (default 4)
+//
+// The bare "dec" default is bounded (two codewords) because the demo
+// tools decode without an iteration cap; the Table V driver keeps the
+// all-words variant via Models.
+func New(name string, g dram.WordGeometry) (Injector, error) {
+	base, arg, hasArg := strings.Cut(name, ":")
+	n := -1
+	if hasArg {
+		v, err := strconv.Atoi(arg)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("faults: bad count in %q", name)
+		}
+		n = v
+	}
+	if hasArg && base != "dec" && base != "random" {
+		return nil, fmt.Errorf("faults: %q takes no :N suffix", base)
+	}
+	switch base {
+	case "chipkill":
+		return ChipKill{Geometry: g}, nil
+	case "ssc":
+		return SSC{Geometry: g}, nil
+	case "dec":
+		if n < 0 {
+			n = 2
+		}
+		return DEC{Geometry: g, Words: n}, nil
+	case "bfbf":
+		return BFBF{Geometry: g}, nil
+	case "chipkill+1":
+		return ChipKillPlus1{Geometry: g}, nil
+	case "random":
+		if n < 0 {
+			n = 4
+		}
+		return RandomBits{N: n}, nil
+	}
+	return nil, fmt.Errorf("faults: unknown model %q (one of: %s)", name, strings.Join(Names(), ", "))
+}
+
+// MustNew is New for known-good names.
+func MustNew(name string, g dram.WordGeometry) Injector {
+	inj, err := New(name, g)
+	if err != nil {
+		panic(err)
+	}
+	return inj
+}
+
+// InModel returns the five in-model injectors with the DEC model bounded
+// to two codewords — the suite the soak and scrub demos run, where every
+// decode must terminate without an iteration cap.
+func InModel(g dram.WordGeometry) []Injector {
+	return []Injector{
+		ChipKill{Geometry: g},
+		SSC{Geometry: g},
+		DEC{Geometry: g, Words: 2},
+		BFBF{Geometry: g},
+		ChipKillPlus1{Geometry: g},
+	}
+}

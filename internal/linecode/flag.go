@@ -1,0 +1,44 @@
+package linecode
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// Flag registers a string flag that names one registered scheme and
+// returns a resolver to call after fs.Parse. Every command shares this
+// helper, so -code accepts the same names everywhere and the error for a
+// typo lists what is available.
+func Flag(fs *flag.FlagSet, name, def, usage string) func() (Code, error) {
+	v := fs.String(name, def, fmt.Sprintf("%s (one of: %s)", usage, strings.Join(names, ", ")))
+	return func() (Code, error) { return New(*v) }
+}
+
+// FlagList is Flag for a comma-separated list of scheme names; the word
+// "all" selects every registered scheme in registration order.
+func FlagList(fs *flag.FlagSet, name, def, usage string) func() ([]Code, error) {
+	v := fs.String(name, def, fmt.Sprintf("%s (comma-separated, or \"all\": %s)", usage, strings.Join(names, ", ")))
+	return func() ([]Code, error) {
+		want := strings.Split(*v, ",")
+		if *v == "all" {
+			want = Names()
+		}
+		var out []Code
+		for _, n := range want {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			c, err := New(n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, c)
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("linecode: -%s selected no codes", name)
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,54 @@
+package linecode
+
+import (
+	"math/rand"
+	"testing"
+
+	"polyecc/internal/dram"
+)
+
+// fuzzCodes builds every registered codec once; a poly.Code's hint
+// tables are expensive to rebuild per fuzz iteration and every Code is
+// safe for concurrent decode.
+var fuzzCodes = func() []Code {
+	var out []Code
+	for _, n := range Names() {
+		out = append(out, MustNew(n))
+	}
+	return out
+}()
+
+// FuzzCodecs drives every registered codec with arbitrary data and
+// arbitrary burst corruption. The contract under fuzz: Decode never
+// panics, and on an uncorrupted burst every codec returns OK with the
+// original data. Corrupted bursts may decode to anything — OK with wrong
+// bytes is an SDC, which the campaigns measure rather than forbid — but
+// the decoder must survive it.
+func FuzzCodecs(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(2), uint8(1))
+	f.Add(int64(3), uint8(8))
+	f.Add(int64(4), uint8(80))
+	f.Fuzz(func(t *testing.T, seed int64, flips uint8) {
+		r := rand.New(rand.NewSource(seed))
+		var data [LineBytes]byte
+		r.Read(data[:])
+		var mask dram.Burst
+		for i := 0; i < int(flips); i++ {
+			mask[r.Intn(len(mask))] ^= byte(1 + r.Intn(255))
+		}
+		clean := mask == dram.Burst{}
+		for _, code := range fuzzCodes {
+			b := code.Encode(&data)
+			b.Xor(&mask)
+			got, outcome, _ := code.Decode(&b)
+			if clean {
+				if outcome != OK {
+					t.Errorf("%s: DUE on an uncorrupted burst", code.Name())
+				} else if got != data {
+					t.Errorf("%s: clean round trip corrupted the data", code.Name())
+				}
+			}
+		}
+	})
+}

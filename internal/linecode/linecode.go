@@ -53,10 +53,18 @@ type Code interface {
 // Poly adapts a poly.Code to the common interface.
 type Poly struct {
 	C *poly.Code
+	// Label overrides the display name; the registry uses it to tell the
+	// multiplier configurations apart. Empty means "Polymorphic".
+	Label string
 }
 
 // Name implements Code.
-func (p Poly) Name() string { return "Polymorphic" }
+func (p Poly) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "Polymorphic"
+}
 
 // Encode implements Code.
 func (p Poly) Encode(data *[LineBytes]byte) dram.Burst {

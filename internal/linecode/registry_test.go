@@ -1,0 +1,127 @@
+package linecode
+
+import (
+	"flag"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestRegistryNames pins the registry inventory: every scheme of the
+// evaluation is constructible by name, documented, and listed once.
+func TestRegistryNames(t *testing.T) {
+	got := Names()
+	if len(got) < 9 {
+		t.Fatalf("Names() lists %d schemes, want at least 9: %v", len(got), got)
+	}
+	want := []string{
+		"poly-m511", "poly-m1021", "poly-m2005", "poly-m2005-zr", "poly-m131049",
+		"rs-sddc", "unity", "bamboo", "hamming-secded",
+	}
+	seen := map[string]bool{}
+	for _, n := range got {
+		if seen[n] {
+			t.Errorf("name %q listed twice", n)
+		}
+		seen[n] = true
+	}
+	for _, n := range want {
+		if !seen[n] {
+			t.Errorf("name %q not registered", n)
+		}
+		if doc, ok := Describe(n); !ok || doc == "" {
+			t.Errorf("name %q has no description", n)
+		}
+		c, err := New(n)
+		if err != nil {
+			t.Errorf("New(%q): %v", n, err)
+			continue
+		}
+		if c.Name() == "" {
+			t.Errorf("New(%q) has an empty display name", n)
+		}
+	}
+}
+
+// TestRegistryUnknown verifies the typo experience: the error lists what
+// is available.
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := New("poly-m9999"); err == nil || !strings.Contains(err.Error(), "poly-m2005-zr") {
+		t.Fatalf("New(unknown) error should list registered names, got %v", err)
+	}
+}
+
+// TestRegistryDisplayLabels pins the display names the rendered tables
+// use: the Table V flagship and the 16-bit instance stay "Polymorphic",
+// the other multipliers are told apart.
+func TestRegistryDisplayLabels(t *testing.T) {
+	for name, display := range map[string]string{
+		"poly-m2005-zr":  "Polymorphic",
+		"poly-m131049":   "Polymorphic",
+		"poly-m511":      "Polymorphic(M=511)",
+		"rs-sddc":        "Reed-Solomon",
+		"hamming-secded": "Hamming SEC-DED",
+	} {
+		if got := MustNew(name).Name(); got != display {
+			t.Errorf("MustNew(%q).Name() = %q, want %q", name, got, display)
+		}
+	}
+}
+
+// TestRegistryCleanRoundTrip: every registered codec returns OK and the
+// exact data on an uncorrupted burst.
+func TestRegistryCleanRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for _, name := range Names() {
+		code := MustNew(name)
+		for trial := 0; trial < 5; trial++ {
+			var data [LineBytes]byte
+			r.Read(data[:])
+			b := code.Encode(&data)
+			got, outcome, _ := code.Decode(&b)
+			if outcome != OK {
+				t.Fatalf("%s: clean decode returned DUE", name)
+			}
+			if got != data {
+				t.Fatalf("%s: clean decode corrupted the data", name)
+			}
+		}
+	}
+}
+
+// TestFlagHelpers exercises the shared -code flag resolvers.
+func TestFlagHelpers(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	getCode := Flag(fs, "code", "poly-m2005-zr", "scheme")
+	getCodes := FlagList(fs, "codes", "all", "schemes")
+	if err := fs.Parse([]string{"-code", "bamboo", "-codes", "rs-sddc, unity"}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := getCode()
+	if err != nil || c.Name() != "Bamboo" {
+		t.Fatalf("Flag resolved %v, %v", c, err)
+	}
+	list, err := getCodes()
+	if err != nil || len(list) != 2 || list[0].Name() != "Reed-Solomon" || list[1].Name() != "Unity" {
+		t.Fatalf("FlagList resolved %v, %v", list, err)
+	}
+
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	getAll := FlagList(fs2, "codes", "all", "schemes")
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	all, err := getAll()
+	if err != nil || len(all) != len(Names()) {
+		t.Fatalf("FlagList(all) resolved %d codes, want %d (%v)", len(all), len(Names()), err)
+	}
+
+	fs3 := flag.NewFlagSet("z", flag.ContinueOnError)
+	getBad := Flag(fs3, "code", "nope", "scheme")
+	if err := fs3.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := getBad(); err == nil {
+		t.Fatal("Flag with an unknown default should fail at resolve time")
+	}
+}

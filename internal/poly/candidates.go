@@ -18,17 +18,29 @@ type symDelta struct {
 
 // correction is one error candidate: a set of symbol adjustments whose
 // combined error integer is congruent to the observed remainder. It is a
-// decoded P_ENTRY sub-entry (Figure 9(b)).
+// decoded P_ENTRY sub-entry (Figure 9(b)). Every fault model touches at
+// most two symbols per codeword, so the deltas live inline — candidate
+// generation allocates nothing.
 type correction struct {
-	deltas []symDelta
+	deltas [2]symDelta
+	n      int8
 	valid  bool // survives the PRUNER for the word it was generated for
+}
+
+// corr1 and corr2 build single- and double-symbol candidates.
+func corr1(sym int, delta int64) correction {
+	return correction{deltas: [2]symDelta{{Sym: sym, Delta: delta}}, n: 1}
+}
+
+func corr2(symA int, deltaA int64, symB int, deltaB int64) correction {
+	return correction{deltas: [2]symDelta{{Sym: symA, Delta: deltaA}, {Sym: symB, Delta: deltaB}}, n: 2}
 }
 
 // cost orders corrections for the REORDERER: fewer touched symbols and
 // smaller magnitudes first.
 func (co correction) cost() int64 {
-	c := int64(len(co.deltas)) << 32
-	for _, d := range co.deltas {
+	c := int64(co.n) << 32
+	for _, d := range co.deltas[:co.n] {
 		if d.Delta >= 0 {
 			c += d.Delta
 		} else {
@@ -42,7 +54,7 @@ func (co correction) cost() int64 {
 // reports whether every symbol stayed in range (no underflow/overflow).
 func (c *Code) applyCorrection(w wideint.U192, co correction) (wideint.U192, bool) {
 	S := c.cfg.Geometry.SymbolBits
-	for _, sd := range co.deltas {
+	for _, sd := range co.deltas[:co.n] {
 		off := sd.Sym * S
 		v := int64(w.Field(off, S))
 		nv := v - sd.Delta
@@ -73,7 +85,7 @@ func (c *Code) flipsOf(w wideint.U192, sd symDelta) (uint64, bool) {
 // aliased candidate that would underflow or overflow a symbol, or whose
 // flips could not have been produced by the model, cannot be the error.
 func (c *Code) prune(w wideint.U192, co correction, model FaultModel) bool {
-	for _, sd := range co.deltas {
+	for _, sd := range co.deltas[:co.n] {
 		flips, ok := c.flipsOf(w, sd)
 		if !ok {
 			return false
@@ -81,7 +93,7 @@ func (c *Code) prune(w wideint.U192, co correction, model FaultModel) bool {
 		switch model {
 		case ModelDEC:
 			want := 1
-			if len(co.deltas) == 1 {
+			if co.n == 1 {
 				want = 2 // both flipped bits inside one symbol
 			}
 			if bits.OnesCount64(flips) != want {
@@ -97,7 +109,10 @@ func (c *Code) prune(w wideint.U192, co correction, model FaultModel) bool {
 	return true
 }
 
-// finishCandidates applies pruning policy and ordering to a raw list.
+// finishCandidates applies pruning policy and ordering to a raw list, in
+// place. The sort is a hand-rolled stable insertion sort rather than
+// sort.SliceStable: candidate lists are short, the ordering is identical,
+// and the reflection-based sort allocates on every call.
 func (c *Code) finishCandidates(w wideint.U192, raw []correction, model FaultModel) []correction {
 	out := raw[:0]
 	for _, co := range raw {
@@ -107,33 +122,61 @@ func (c *Code) finishCandidates(w wideint.U192, raw []correction, model FaultMod
 		}
 	}
 	if !c.cfg.NaturalOrder {
-		sort.SliceStable(out, func(i, j int) bool {
-			if out[i].valid != out[j].valid {
-				return out[i].valid
+		less := func(a, b *correction) bool {
+			if a.valid != b.valid {
+				return a.valid
 			}
-			return out[i].cost() < out[j].cost()
-		})
+			return a.cost() < b.cost()
+		}
+		for i := 1; i < len(out); i++ {
+			co := out[i]
+			j := i
+			for j > 0 && less(&co, &out[j-1]) {
+				out[j] = out[j-1]
+				j--
+			}
+			out[j] = co
+		}
 	}
 	return out
 }
 
+// sortCandidatesLegacy is finishCandidates's original sort.SliceStable
+// ordering, kept (test-only via the golden vectors) as the executable
+// definition the insertion sort above must match.
+func (c *Code) sortCandidatesLegacy(out []correction) {
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].valid != out[j].valid {
+			return out[i].valid
+		}
+		return out[i].cost() < out[j].cost()
+	})
+}
+
+// symbolCandidates evaluates Eq. 2 into the scratch buffer.
+func (c *Code) symbolCandidates(s *Scratch, rem uint64) []residue.Candidate {
+	s.sym = residue.SymbolCandidatesInto(s.sym[:0], rem, c.cfg.M, c.cfg.Geometry, c.inv)
+	return s.sym
+}
+
 // sscCandidates derives single-symbol candidates from Eq. 2 at runtime —
-// no table needed (§V-D).
-func (c *Code) sscCandidates(w wideint.U192, rem uint64) []correction {
-	var raw []correction
-	for _, cand := range residue.SymbolCandidates(rem, c.cfg.M, c.cfg.Geometry, c.inv) {
-		raw = append(raw, correction{deltas: []symDelta{{Sym: cand.Symbol, Delta: cand.Delta}}})
+// no table needed (§V-D). Like every generator below it appends into dst
+// (a per-dimension scratch buffer) and returns the finished list.
+func (c *Code) sscCandidates(dst []correction, s *Scratch, w wideint.U192, rem uint64) []correction {
+	raw := dst
+	for _, cand := range c.symbolCandidates(s, rem) {
+		raw = append(raw, corr1(cand.Symbol, cand.Delta))
 	}
 	return c.finishCandidates(w, raw, ModelSSC)
 }
 
 // sscCandidatesAt restricts Eq. 2 to one hypothesized symbol (the
 // ChipKill hypothesis: a known failing device).
-func (c *Code) sscCandidatesAt(w wideint.U192, rem uint64, sym int) []correction {
-	var raw []correction
-	for _, cand := range residue.SymbolCandidates(rem, c.cfg.M, c.cfg.Geometry, c.inv) {
+func (c *Code) sscCandidatesAt(dst []correction, s *Scratch, w wideint.U192, rem uint64, sym int) []correction {
+	raw := dst
+	for _, cand := range c.symbolCandidates(s, rem) {
 		if cand.Symbol == sym {
-			raw = append(raw, correction{deltas: []symDelta{{Sym: cand.Symbol, Delta: cand.Delta}}})
+			raw = append(raw, corr1(cand.Symbol, cand.Delta))
 		}
 	}
 	return c.finishCandidates(w, raw, ModelChipKill)
@@ -143,20 +186,20 @@ func (c *Code) sscCandidatesAt(w wideint.U192, rem uint64, sym int) []correction
 // same-symbol pairs come from Eq. 2 (any single-symbol candidate whose
 // flip pattern has exactly two bits), the cross-symbol pairs from the DEC
 // hint table plus Eq. 3.
-func (c *Code) decCandidates(w wideint.U192, rem uint64) []correction {
-	var raw []correction
-	for _, cand := range residue.SymbolCandidates(rem, c.cfg.M, c.cfg.Geometry, c.inv) {
-		raw = append(raw, correction{deltas: []symDelta{{Sym: cand.Symbol, Delta: cand.Delta}}})
+func (c *Code) decCandidates(dst []correction, s *Scratch, w wideint.U192, rem uint64) []correction {
+	raw := dst
+	for _, cand := range c.symbolCandidates(s, rem) {
+		raw = append(raw, corr1(cand.Symbol, cand.Delta))
 	}
-	raw = append(raw, c.pairCandidates(rem, ModelDEC)...)
+	raw = c.pairCandidates(raw, rem, ModelDEC)
 	return c.finishCandidates(w, raw, ModelDEC)
 }
 
 // bfbfCandidates reinterprets a remainder as a double bounded fault
 // anywhere in the codeword (used by the aliasing-degree studies; the
 // corrector itself walks pair hypotheses via bfbfCandidatesAt).
-func (c *Code) bfbfCandidates(w wideint.U192, rem uint64) []correction {
-	raw := c.pairCandidates(rem, ModelBFBF)
+func (c *Code) bfbfCandidates(dst []correction, s *Scratch, w wideint.U192, rem uint64) []correction {
+	raw := c.pairCandidates(dst, rem, ModelBFBF)
 	return c.finishCandidates(w, raw, ModelBFBF)
 }
 
@@ -164,8 +207,8 @@ func (c *Code) bfbfCandidates(w wideint.U192, rem uint64) []correction {
 // hypothesized device pair. The pair is a device-level event shared by
 // the whole cacheline, so the corrector iterates pairs the way it
 // iterates ChipKill devices.
-func (c *Code) bfbfCandidatesAt(w wideint.U192, rem uint64, devA, devB int) []correction {
-	var raw []correction
+func (c *Code) bfbfCandidatesAt(dst []correction, s *Scratch, w wideint.U192, rem uint64, devA, devB int) []correction {
+	raw := dst
 	for _, h := range c.hints[ModelBFBF][rem] {
 		if int(h.symA) != devA || int(h.symB) != devB {
 			continue
@@ -174,16 +217,13 @@ func (c *Code) bfbfCandidatesAt(w wideint.U192, rem uint64, devA, devB int) []co
 		if !ok {
 			continue
 		}
-		raw = append(raw, correction{deltas: []symDelta{
-			{Sym: devA, Delta: dA},
-			{Sym: devB, Delta: int64(h.deltaB)},
-		}})
+		raw = append(raw, corr2(devA, dA, devB, int64(h.deltaB)))
 	}
 	// A bounded fault on one device may leave the other device's symbol
 	// intact in this codeword: single-nibble candidates on either device.
-	for _, cand := range residue.SymbolCandidates(rem, c.cfg.M, c.cfg.Geometry, c.inv) {
+	for _, cand := range c.symbolCandidates(s, rem) {
 		if cand.Symbol == devA || cand.Symbol == devB {
-			raw = append(raw, correction{deltas: []symDelta{{Sym: cand.Symbol, Delta: cand.Delta}}})
+			raw = append(raw, corr1(cand.Symbol, cand.Delta))
 		}
 	}
 	return c.finishCandidates(w, raw, ModelBFBF)
@@ -192,17 +232,14 @@ func (c *Code) bfbfCandidatesAt(w wideint.U192, rem uint64, devA, devB int) []co
 // pairCandidates expands the stored hints of a double-symbol fault model:
 // each hint names the two faulty symbols and the second error; the first
 // is derived with Eq. 3.
-func (c *Code) pairCandidates(rem uint64, model FaultModel) []correction {
-	var out []correction
+func (c *Code) pairCandidates(dst []correction, rem uint64, model FaultModel) []correction {
+	out := dst
 	for _, h := range c.hints[model][rem] {
 		dA, ok := residue.SolvePair(rem, int(h.symA), int(h.symB), int64(h.deltaB), c.cfg.M, c.cfg.Geometry, c.inv)
 		if !ok {
 			continue
 		}
-		out = append(out, correction{deltas: []symDelta{
-			{Sym: int(h.symA), Delta: dA},
-			{Sym: int(h.symB), Delta: int64(h.deltaB)},
-		}})
+		out = append(out, corr2(int(h.symA), dA, int(h.symB), int64(h.deltaB)))
 	}
 	return out
 }
@@ -305,12 +342,12 @@ type pinPattern struct {
 // hypothesis (failed device a, second device b with failed pin k): the
 // pin contributes one of its patterns (or nothing) and device a's symbol
 // error is derived from the residual remainder via Eq. 2/Eq. 3.
-func (c *Code) chipKillPlus1Candidates(w wideint.U192, rem uint64, devA, devB, pin int, patterns []pinPattern) []correction {
-	var raw []correction
+func (c *Code) chipKillPlus1Candidates(dst []correction, s *Scratch, w wideint.U192, rem uint64, devA, devB, pin int, patterns []pinPattern) []correction {
+	raw := dst
 	// Pin quiet on this codeword: pure device-a error.
-	for _, cand := range residue.SymbolCandidates(rem, c.cfg.M, c.cfg.Geometry, c.inv) {
+	for _, cand := range c.symbolCandidates(s, rem) {
 		if cand.Symbol == devA {
-			raw = append(raw, correction{deltas: []symDelta{{Sym: devA, Delta: cand.Delta}}})
+			raw = append(raw, corr1(devA, cand.Delta))
 		}
 	}
 	for _, p := range patterns {
@@ -325,14 +362,11 @@ func (c *Code) chipKillPlus1Candidates(w wideint.U192, rem uint64, devA, devB, p
 		}
 		// Pin-only: the whole remainder explained by the pin pattern.
 		if residue.SymbolErrorRemainder(p.delta, devB, c.cfg.M, c.cfg.Geometry) == rem {
-			raw = append(raw, correction{deltas: []symDelta{{Sym: devB, Delta: p.delta}}})
+			raw = append(raw, corr1(devB, p.delta))
 		}
 		// Pin plus device-a error.
 		if dA, ok := residue.SolvePair(rem, devA, devB, p.delta, c.cfg.M, c.cfg.Geometry, c.inv); ok {
-			raw = append(raw, correction{deltas: []symDelta{
-				{Sym: devA, Delta: dA},
-				{Sym: devB, Delta: p.delta},
-			}})
+			raw = append(raw, corr2(devA, dA, devB, p.delta))
 		}
 	}
 	return c.finishCandidates(w, raw, ModelChipKillPlus1)

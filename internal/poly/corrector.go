@@ -72,33 +72,28 @@ func (r *Report) TrialsFor(m FaultModel) int {
 // the trace hook per correction trial; an uninstrumented Code pays none
 // of that.
 func (c *Code) DecodeLine(l Line) ([LineBytes]byte, Report) {
-	if !c.instrumented() {
-		return c.decodeLine(l)
-	}
-	start := time.Now()
-	data, rep := c.decodeLine(l)
-	rep.Elapsed = time.Since(start)
-	if c.metrics != nil {
-		c.observe(&rep)
-	}
+	s := c.pool.Get().(*Scratch)
+	data, rep := c.DecodeLineScratch(l, s)
+	c.pool.Put(s)
 	return data, rep
 }
 
-// decodeLine is the uninstrumented decode path.
-func (c *Code) decodeLine(l Line) ([LineBytes]byte, Report) {
-	rems := make([]uint64, c.words)
-	var corrupted []int
+// decodeLine is the uninstrumented decode path. Every buffer it and the
+// corrector below touch lives in s.
+func (c *Code) decodeLine(l Line, s *Scratch) ([LineBytes]byte, Report) {
+	rems := s.rems
+	corrupted := s.corrupt[:0]
 	for i, w := range l.Words {
 		rems[i] = c.Remainder(w)
 		if rems[i] != 0 {
 			corrupted = append(corrupted, i)
 		}
 	}
-	var data [LineBytes]byte
+	s.corrupt = corrupted
 	rep := Report{CorruptedWords: len(corrupted)}
 
-	embedded := c.assemble(l.Words, &data)
-	if c.mac.Sum(data[:]) == embedded {
+	embedded := c.assemble(l.Words, &s.out)
+	if c.mac.Sum(s.out[:]) == embedded {
 		// All-zero remainders with a matching MAC is the common case; a
 		// nonzero remainder with a matching MAC means the corruption is
 		// confined to check bits — fix them from the intact payload
@@ -107,16 +102,15 @@ func (c *Code) decodeLine(l Line) ([LineBytes]byte, Report) {
 			rep.Status = StatusCorrected
 			rep.Model = ModelSSC
 			rep.ECCFixed = true
-			return data, rep
+			return s.out, rep
 		}
 		rep.Status = StatusClean
-		return data, rep
+		return s.out, rep
 	}
 
 	remaining := c.cfg.MaxIterations // 0 = unlimited
-	var scratch [LineBytes]byte
 	for _, model := range c.models {
-		hit, words := c.tryModel(model, l.Words, rems, corrupted, &rep, &remaining, &scratch)
+		hit, words := c.tryModel(model, l.Words, rems, corrupted, &rep, &remaining, s)
 		if hit {
 			rep.Status = StatusCorrected
 			rep.Model = model
@@ -127,30 +121,31 @@ func (c *Code) decodeLine(l Line) ([LineBytes]byte, Report) {
 					rep.ECCFixed = true
 				}
 			}
-			c.assemble(words, &data)
-			return data, rep
+			c.assemble(words, &s.out)
+			return s.out, rep
 		}
 		if c.cfg.MaxIterations > 0 && remaining == 0 {
 			break
 		}
 	}
 	rep.Status = StatusUncorrectable
-	return data, rep
+	return s.out, rep
 }
 
 // tryModel enumerates a fault model's candidate space. It returns whether
-// a MAC match was found and, if so, the corrected codewords.
-func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, corrupted []int, rep *Report, remaining *int, scratch *[LineBytes]byte) (bool, []wideint.U192) {
+// a MAC match was found and, if so, the corrected codewords (which alias
+// s.trial). Candidate lists live in s.cands, one buffer per dimension,
+// reused across hypotheses.
+func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, corrupted []int, rep *Report, remaining *int, s *Scratch) (bool, []wideint.U192) {
 	switch model {
 	case ModelChipKill:
-		// Hypothesis: device s failed. Errors are correlated — every
-		// corrupted codeword must decode at symbol s.
-		for s := 0; s < c.cfg.Geometry.NumSymbols; s++ {
-			lists := make([][]correction, len(corrupted))
+		// Hypothesis: device sym failed. Errors are correlated — every
+		// corrupted codeword must decode at symbol sym.
+		for sym := 0; sym < c.cfg.Geometry.NumSymbols; sym++ {
 			ok := true
 			for d, wi := range corrupted {
-				lists[d] = c.sscCandidatesAt(base[wi], rems[wi], s)
-				if len(lists[d]) == 0 {
+				s.setCands(d, c.sscCandidatesAt(s.candBuf(d), s, base[wi], rems[wi], sym))
+				if len(s.cands[d]) == 0 {
 					ok = false
 					break
 				}
@@ -158,7 +153,7 @@ func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, co
 			if !ok {
 				continue
 			}
-			if hit, words := c.runCounter(model, base, corrupted, lists, rep, remaining, scratch); hit {
+			if hit, words := c.runCounter(model, base, corrupted, rep, remaining, s); hit {
 				return true, words
 			}
 			if c.cfg.MaxIterations > 0 && *remaining == 0 {
@@ -175,11 +170,10 @@ func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, co
 		n := c.cfg.Geometry.NumSymbols
 		for devA := 0; devA < n; devA++ {
 			for devB := devA + 1; devB < n; devB++ {
-				lists := make([][]correction, len(corrupted))
 				ok := true
 				for d, wi := range corrupted {
-					lists[d] = c.bfbfCandidatesAt(base[wi], rems[wi], devA, devB)
-					if len(lists[d]) == 0 {
+					s.setCands(d, c.bfbfCandidatesAt(s.candBuf(d), s, base[wi], rems[wi], devA, devB))
+					if len(s.cands[d]) == 0 {
 						ok = false
 						break
 					}
@@ -187,7 +181,7 @@ func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, co
 				if !ok {
 					continue
 				}
-				if hit, words := c.runCounter(model, base, corrupted, lists, rep, remaining, scratch); hit {
+				if hit, words := c.runCounter(model, base, corrupted, rep, remaining, s); hit {
 					return true, words
 				}
 				if c.cfg.MaxIterations > 0 && *remaining == 0 {
@@ -207,10 +201,7 @@ func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, co
 		// no-op candidate plus the zero-remainder pin+device pairs.
 		dims := corrupted
 		if c.cfg.TryZeroRemainder {
-			dims = make([]int, c.words)
-			for i := range dims {
-				dims[i] = i
-			}
+			dims = s.allDims
 		}
 		for devA := 0; devA < n; devA++ {
 			for devB := 0; devB < n; devB++ {
@@ -218,14 +209,14 @@ func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, co
 					continue
 				}
 				for pin := 0; pin < 4; pin++ {
-					lists := make([][]correction, len(dims))
 					ok := true
 					for d, wi := range dims {
-						lists[d] = c.chipKillPlus1Candidates(base[wi], rems[wi], devA, devB, pin, patterns)
+						list := c.chipKillPlus1Candidates(s.candBuf(d), s, base[wi], rems[wi], devA, devB, pin, patterns)
 						if rems[wi] == 0 {
-							lists[d] = append([]correction{{valid: true}}, lists[d]...)
+							list = prependNoop(list)
 						}
-						if len(lists[d]) == 0 {
+						s.setCands(d, list)
+						if len(list) == 0 {
 							ok = false
 							break
 						}
@@ -233,7 +224,7 @@ func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, co
 					if !ok {
 						continue
 					}
-					if hit, words := c.runCounter(model, base, dims, lists, rep, remaining, scratch); hit {
+					if hit, words := c.runCounter(model, base, dims, rep, remaining, s); hit {
 						return true, words
 					}
 					if c.cfg.MaxIterations > 0 && *remaining == 0 {
@@ -251,50 +242,56 @@ func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, co
 			// Phase two (§VIII-A): errors aliasing to remainder zero are
 			// also considered, so clean-looking codewords get a no-op
 			// candidate plus the zero-remainder hint bucket.
-			dims = make([]int, c.words)
-			for i := range dims {
-				dims[i] = i
-			}
+			dims = s.allDims
 		}
-		lists := make([][]correction, len(dims))
 		for d, wi := range dims {
-			lists[d] = c.modelCandidates(model, base[wi], rems[wi])
+			list := c.modelCandidates(s.candBuf(d), s, model, base[wi], rems[wi])
 			if rems[wi] == 0 {
-				lists[d] = append([]correction{{valid: true}}, lists[d]...)
+				list = prependNoop(list)
 			}
-			if len(lists[d]) == 0 {
+			s.setCands(d, list)
+			if len(list) == 0 {
 				return false, nil
 			}
 		}
 		if len(dims) == 0 {
 			return false, nil
 		}
-		return c.runCounter(model, base, dims, lists, rep, remaining, scratch)
+		return c.runCounter(model, base, dims, rep, remaining, s)
 	}
+}
+
+// prependNoop inserts the leave-it-alone candidate at the head of a
+// zero-remainder dimension's list, in place.
+func prependNoop(list []correction) []correction {
+	list = append(list, correction{})
+	copy(list[1:], list)
+	list[0] = correction{valid: true}
+	return list
 }
 
 // modelCandidates dispatches per-codeword candidate generation.
-func (c *Code) modelCandidates(model FaultModel, w wideint.U192, rem uint64) []correction {
+func (c *Code) modelCandidates(dst []correction, s *Scratch, model FaultModel, w wideint.U192, rem uint64) []correction {
 	if rem == 0 {
 		if c.cfg.TryZeroRemainder && c.hints[model] != nil {
-			return c.pairCandidatesPruned(w, model)
+			return c.pairCandidatesPruned(dst, w, model)
 		}
-		return nil
+		return dst
 	}
 	switch model {
 	case ModelSSC:
-		return c.sscCandidates(w, rem)
+		return c.sscCandidates(dst, s, w, rem)
 	case ModelDEC:
-		return c.decCandidates(w, rem)
+		return c.decCandidates(dst, s, w, rem)
 	case ModelBFBF:
-		return c.bfbfCandidates(w, rem)
+		return c.bfbfCandidates(dst, s, w, rem)
 	}
-	return nil
+	return dst
 }
 
 // pairCandidatesPruned is the zero-remainder hint bucket with pruning.
-func (c *Code) pairCandidatesPruned(w wideint.U192, model FaultModel) []correction {
-	return c.finishCandidates(w, c.pairCandidates(0, model), model)
+func (c *Code) pairCandidatesPruned(dst []correction, w wideint.U192, model FaultModel) []correction {
+	return c.finishCandidates(w, c.pairCandidates(dst, 0, model), model)
 }
 
 // runCounter is the ITER_DRVR of Figure 9(e), implementing Algorithm 2:
@@ -303,27 +300,31 @@ func (c *Code) pairCandidatesPruned(w wideint.U192, model FaultModel) []correcti
 // to a copy of the cacheline, and checks the MAC; the first match stops
 // the walk (the STOP signal). Every step is billed to model in the
 // report and, when a trace hook is attached, emitted as TraceEvents.
-func (c *Code) runCounter(model FaultModel, base []wideint.U192, dims []int, lists [][]correction, rep *Report, remaining *int, scratch *[LineBytes]byte) (bool, []wideint.U192) {
+func (c *Code) runCounter(model FaultModel, base []wideint.U192, dims []int, rep *Report, remaining *int, s *Scratch) (bool, []wideint.U192) {
 	if len(dims) == 0 {
 		// A residue-invisible error (every remainder zero) offers nothing
 		// to iterate over; only the zero-remainder phase can help.
 		return false, nil
 	}
+	lists := s.cands
 	// Precompute the corrected codeword for every candidate so each trial
 	// is an O(words) splice plus one MAC.
-	applied := make([][]wideint.U192, len(dims))
-	usable := make([][]bool, len(dims))
 	for d, wi := range dims {
-		applied[d] = make([]wideint.U192, len(lists[d]))
-		usable[d] = make([]bool, len(lists[d]))
-		for j, co := range lists[d] {
+		ap := s.applied[d][:0]
+		us := s.usable[d][:0]
+		for _, co := range lists[d] {
 			w, ok := c.applyCorrection(base[wi], co)
-			applied[d][j] = w
-			usable[d][j] = ok && co.valid
+			ap = append(ap, w)
+			us = append(us, ok && co.valid)
 		}
+		s.applied[d], s.usable[d] = ap, us
 	}
-	trial := make([]wideint.U192, len(base))
-	counters := make([]int, len(dims))
+	applied, usable := s.applied, s.usable
+	trial := s.trial[:len(base)]
+	counters := s.counters[:len(dims)]
+	for d := range counters {
+		counters[d] = 0
+	}
 	for {
 		copy(trial, base)
 		ok := true
@@ -337,7 +338,7 @@ func (c *Code) runCounter(model FaultModel, base []wideint.U192, dims []int, lis
 		}
 		rep.Iterations++
 		rep.PerModelTrials[model]++
-		match := ok && c.macMatches(trial, scratch)
+		match := ok && c.macMatches(trial, &s.macBuf)
 		if c.trace != nil {
 			for d, wi := range dims {
 				c.trace(TraceEvent{

@@ -56,8 +56,16 @@ func (p *ParallelDecoder) DecodeAllContext(ctx context.Context, lines []Line) ([
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One Scratch per worker goroutine: the whole batch decodes
+			// without per-line heap traffic. A nil code keeps a nil
+			// scratch — the decode then panics inside decodeOne's
+			// per-line recovery instead of killing the worker here.
+			var s *Scratch
+			if p.code != nil {
+				s = p.code.NewScratch()
+			}
 			for i := range jobs {
-				p.decodeOne(i, lines, results)
+				p.decodeOne(i, lines, results, s)
 			}
 		}()
 	}
@@ -85,12 +93,12 @@ dispatch:
 // decodeOne runs a single decode with panic isolation: a panicking
 // decode is recovered into that line's Err instead of crashing the
 // worker (and with it the process sharing this pool).
-func (p *ParallelDecoder) decodeOne(i int, lines []Line, results []Result) {
+func (p *ParallelDecoder) decodeOne(i int, lines []Line, results []Result, s *Scratch) {
 	defer func() {
 		if r := recover(); r != nil {
 			results[i] = Result{Index: i, Err: fmt.Errorf("poly: decode of line %d panicked: %v", i, r)}
 		}
 	}()
-	data, rep := p.code.DecodeLine(lines[i])
+	data, rep := p.code.DecodeLineScratch(lines[i], s)
 	results[i] = Result{Index: i, Data: data, Report: rep}
 }

@@ -19,6 +19,7 @@ package poly
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"polyecc/internal/dram"
 	"polyecc/internal/mac"
@@ -140,6 +141,12 @@ type Code struct {
 	trace    TraceFunc
 
 	hints map[FaultModel]map[uint64][]pairHint
+
+	// pool backs the scratch-free entry points (DecodeLine): callers that
+	// care about allocation own a Scratch instead (NewScratch). The pool
+	// is a pointer so WithMetrics/WithTrace copies share it — scratches
+	// depend only on geometry, which the copies preserve.
+	pool *sync.Pool
 }
 
 // pairHint is a stored sub-entry for a double-symbol fault model: the
@@ -218,6 +225,7 @@ func New(cfg Config, m mac.MAC) (*Code, error) {
 			c.hints[ModelBFBF] = c.buildBFBFHints()
 		}
 	}
+	c.pool = &sync.Pool{New: func() any { return c.NewScratch() }}
 	return c, nil
 }
 
@@ -329,20 +337,16 @@ func (c *Code) EncodeLine(data *[LineBytes]byte) Line {
 	return Line{Words: words}
 }
 
-// dataField extracts codeword w's data bits from the cacheline.
+// dataField extracts codeword w's data bits from the cacheline: byte i of
+// the slice lands at bit offset 8i (the little-endian layout assemble
+// reverses). Built field-by-field so no intermediate buffer is needed.
 func (c *Code) dataField(data *[LineBytes]byte, w int) wideint.U192 {
 	nBytes := c.dataBits / 8
-	return wideint.FromBytes(reverseBytes(data[w*nBytes : (w+1)*nBytes]))
-}
-
-// reverseBytes maps the little-endian line layout into FromBytes's
-// big-endian argument order.
-func reverseBytes(b []byte) []byte {
-	out := make([]byte, len(b))
-	for i, v := range b {
-		out[len(b)-1-i] = v
+	var u wideint.U192
+	for i := 0; i < nBytes; i++ {
+		u = u.WithField(8*i, 8, uint64(data[w*nBytes+i]))
 	}
-	return out
+	return u
 }
 
 // assemble reconstructs the data bytes and the embedded MAC of a line.

@@ -1,0 +1,150 @@
+package poly
+
+import (
+	"time"
+
+	"polyecc/internal/dram"
+	"polyecc/internal/residue"
+	"polyecc/internal/telemetry"
+	"polyecc/internal/wideint"
+)
+
+// Scratch holds every buffer the encode/decode hot path needs, sized from
+// the Code's geometry, so EncodeLineScratch and DecodeLineScratch run
+// without allocating.
+//
+// Ownership contract: a Scratch belongs to exactly one goroutine at a
+// time. It carries no synchronization — give each worker its own (see
+// ParallelDecoder, campaign.Config.WorkerState) or confine one to a
+// single-goroutine consumer (scrub.Scrubber). A Scratch built for one
+// geometry works with any Code of the same geometry; mixing geometries
+// panics. The legacy EncodeLine/DecodeLine/FromBurst entry points remain
+// scratch-free (DecodeLine borrows from an internal pool) and are the
+// right choice when allocation pressure does not matter.
+type Scratch struct {
+	enc      []wideint.U192 // EncodeLineScratch output; aliased by the returned Line
+	dec      []wideint.U192 // FromBurstScratch output; aliased by the returned Line
+	rems     []uint64
+	corrupt  []int
+	allDims  []int // the identity dims [0..words) for zero-remainder phases
+	trial    []wideint.U192
+	counters []int
+	out      [LineBytes]byte // decode assembly target
+	macBuf   [LineBytes]byte // per-trial MAC recomputation buffer
+
+	// Per-dimension candidate machinery: one growable buffer per codeword,
+	// reused across fault models and hypotheses.
+	cands   [][]correction
+	applied [][]wideint.U192
+	usable  [][]bool
+	sym     []residue.Candidate // Eq. 2 output buffer
+}
+
+// NewScratch builds a Scratch sized for this Code's geometry.
+func (c *Code) NewScratch() *Scratch {
+	s := &Scratch{
+		enc:      make([]wideint.U192, c.words),
+		dec:      make([]wideint.U192, c.words),
+		rems:     make([]uint64, c.words),
+		corrupt:  make([]int, 0, c.words),
+		allDims:  make([]int, c.words),
+		trial:    make([]wideint.U192, c.words),
+		counters: make([]int, c.words),
+		cands:    make([][]correction, c.words),
+		applied:  make([][]wideint.U192, c.words),
+		usable:   make([][]bool, c.words),
+		sym:      make([]residue.Candidate, 0, 2*c.cfg.Geometry.NumSymbols),
+	}
+	for i := range s.allDims {
+		s.allDims[i] = i
+	}
+	return s
+}
+
+// checkScratch guards against a Scratch built for a different geometry.
+func (c *Code) checkScratch(s *Scratch) {
+	if s == nil || len(s.enc) != c.words {
+		panic("poly: Scratch does not match this Code's geometry (use Code.NewScratch)")
+	}
+}
+
+// candBuf returns dimension d's candidate buffer, emptied for reuse. The
+// caller stores the grown result back via setCands so the capacity
+// survives to the next hypothesis.
+func (s *Scratch) candBuf(d int) []correction { return s.cands[d][:0] }
+
+func (s *Scratch) setCands(d int, list []correction) { s.cands[d] = list }
+
+// EncodeLineScratch is EncodeLine writing into the scratch buffers: the
+// returned Line aliases s and is valid until the next use of s. It
+// performs no heap allocation.
+func (c *Code) EncodeLineScratch(data *[LineBytes]byte, s *Scratch) Line {
+	c.checkScratch(s)
+	tag := c.mac.Sum(data[:])
+	for w := 0; w < c.words; w++ {
+		d := c.dataField(data, w)
+		slice := tag >> uint(w*c.macBits) & (1<<uint(c.macBits) - 1)
+		s.enc[w] = c.EncodeWord(d, slice)
+	}
+	return Line{Words: s.enc}
+}
+
+// FromBurstScratch is FromBurst writing into the scratch buffers: the
+// returned Line aliases s and is valid until the next FromBurstScratch
+// on s. Decoding the returned Line with the same Scratch is safe.
+func (c *Code) FromBurstScratch(b *dram.Burst, s *Scratch) Line {
+	c.checkScratch(s)
+	g := dram.WordGeometry{SymbolBits: c.cfg.Geometry.SymbolBits}
+	for w := range s.dec {
+		s.dec[w] = g.Word(b, w)
+	}
+	return Line{Words: s.dec}
+}
+
+// DecodeLineScratch is DecodeLine running entirely inside s: clean
+// decodes perform no heap allocation. The returned data is a copy the
+// caller owns. Instrumentation (Config.Metrics/Config.Trace) behaves
+// exactly as in DecodeLine.
+func (c *Code) DecodeLineScratch(l Line, s *Scratch) ([LineBytes]byte, Report) {
+	c.checkScratch(s)
+	if !c.instrumented() {
+		return c.decodeLine(l, s)
+	}
+	start := time.Now()
+	data, rep := c.decodeLine(l, s)
+	rep.Elapsed = time.Since(start)
+	if c.metrics != nil {
+		c.observe(&rep)
+	}
+	return data, rep
+}
+
+// WithMetrics returns a shallow copy of the Code that feeds m on every
+// decode. The copy shares the hint tables and inverse tables (immutable
+// after New), so registry consumers can attach telemetry to a shared
+// Code without rebuilding it.
+func (c *Code) WithMetrics(m *telemetry.DecodeMetrics) *Code {
+	c2 := *c
+	c2.cfg.Metrics = m
+	c2.metrics = m
+	return &c2
+}
+
+// WithTrace returns a shallow copy of the Code that invokes f on every
+// correction trial.
+func (c *Code) WithTrace(f TraceFunc) *Code {
+	c2 := *c
+	c2.cfg.Trace = f
+	c2.trace = f
+	return &c2
+}
+
+// WithMaxIterations returns a shallow copy of the Code with the per-line
+// trial cap replaced (0 removes the cap). Like WithMetrics, the copy
+// shares the hint tables, inverse tables, and scratch pool, so a soak
+// can bound an unbounded registry code without rebuilding it.
+func (c *Code) WithMaxIterations(n int) *Code {
+	c2 := *c
+	c2.cfg.MaxIterations = n
+	return &c2
+}

@@ -288,11 +288,18 @@ type Candidate struct {
 // inv must be the Pow2Inverses table for (m, g). The result is ordered by
 // symbol position.
 func SymbolCandidates(rem, m uint64, g Geometry, inv []uint64) []Candidate {
+	return SymbolCandidatesInto(nil, rem, m, g, inv)
+}
+
+// SymbolCandidatesInto is SymbolCandidates appending into dst, so hot
+// paths can reuse one buffer across calls (pass dst[:0]) instead of
+// allocating a fresh slice per remainder.
+func SymbolCandidatesInto(dst []Candidate, rem, m uint64, g Geometry, inv []uint64) []Candidate {
 	if rem == 0 {
-		return nil
+		return dst
 	}
 	maxDelta := int64(1)<<uint(g.SymbolBits) - 1
-	var out []Candidate
+	out := dst
 	for s := 0; s < g.NumSymbols; s++ {
 		e := MulMod(rem, inv[s], m) // e in [0, m)
 		if e == 0 {

@@ -59,11 +59,16 @@ func DefaultPolicy() Policy {
 	return Policy{RewriteCorrected: true, ReplacementThreshold: 100}
 }
 
-// Scrubber patrols one store with one code instance.
+// Scrubber patrols one store with one code instance. A Scrubber is a
+// single-goroutine consumer: it owns one poly.Scratch, so a sweep over
+// the whole region performs no per-line heap allocation. Run sweeps from
+// at most one goroutine at a time.
 type Scrubber struct {
-	code   *poly.Code
-	store  Store
-	policy Policy
+	code    *poly.Code
+	store   Store
+	policy  Policy
+	scratch *poly.Scratch
+	buf     [poly.LineBytes]byte
 
 	totalCorrected int
 	totalDUE       int
@@ -74,7 +79,7 @@ func New(code *poly.Code, store Store, policy Policy) (*Scrubber, error) {
 	if code == nil || store == nil {
 		return nil, fmt.Errorf("scrub: code and store are required")
 	}
-	return &Scrubber{code: code, store: store, policy: policy}, nil
+	return &Scrubber{code: code, store: store, policy: policy, scratch: code.NewScratch()}, nil
 }
 
 // TotalCorrected returns the lifetime corrected-error count.
@@ -114,8 +119,9 @@ func (s *Scrubber) SweepContext(ctx context.Context) (Stats, []Event, error) {
 			return st, events, err
 		}
 		burst := s.store.ReadBurst(i)
-		line := s.code.FromBurst(&burst)
-		data, rep := s.code.DecodeLine(line)
+		line := s.code.FromBurstScratch(&burst, s.scratch)
+		var rep poly.Report
+		s.buf, rep = s.code.DecodeLineScratch(line, s.scratch)
 		switch rep.Status {
 		case poly.StatusClean:
 			st.Clean++
@@ -125,7 +131,7 @@ func (s *Scrubber) SweepContext(ctx context.Context) (Stats, []Event, error) {
 			st.PerModel[rep.Model]++
 			events = append(events, Event{Line: i, Report: rep})
 			if s.policy.RewriteCorrected {
-				clean := s.code.ToBurst(s.code.EncodeLine(&data))
+				clean := s.code.ToBurst(s.code.EncodeLineScratch(&s.buf, s.scratch))
 				s.store.WriteBurst(i, clean)
 			}
 		case poly.StatusUncorrectable:

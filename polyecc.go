@@ -77,6 +77,11 @@ type (
 	TraceEvent = poly.TraceEvent
 	// TraceFunc observes correction trials; nil hooks cost nothing.
 	TraceFunc = poly.TraceFunc
+	// Scratch is reusable per-goroutine encode/decode working memory:
+	// thread one through Code.EncodeLineScratch, Code.FromBurstScratch,
+	// and Code.DecodeLineScratch (one goroutine at a time) and the hot
+	// path performs no heap allocation. Build with Code.NewScratch.
+	Scratch = poly.Scratch
 )
 
 // Decode statuses.

@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-snapshot bench-gate smoke-campaign
+.PHONY: ci build vet test race bench bench-snapshot bench-history bench-gate smoke-campaign report-smoke
 
-ci: vet build race smoke-campaign bench-gate
+ci: vet build race smoke-campaign bench-gate report-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,9 @@ bench:
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -o BENCH_decode.json
 
+bench-history:
+	$(GO) run ./cmd/benchsnap -history -history-path BENCH_history.jsonl
+
 bench-gate:
 	$(GO) run ./cmd/benchsnap -gate
 
@@ -41,3 +44,22 @@ smoke-campaign:
 		-checkpoint $(SMOKE_CKPT) -resume >/dev/null
 	@rm -f $(SMOKE_CKPT)
 	@echo "smoke-campaign: checkpoint/resume round trip OK"
+
+# Tiny end-to-end forensics run: a journaled soak, then eccreport over
+# every artifact it leaves, asserting the journal parses as JSONL (the
+# report generator validates every line) and the HTML is non-trivial.
+SMOKE_DIR := $(shell mktemp -u -d /tmp/polyecc-report.XXXXXX)
+report-smoke:
+	@mkdir -p $(SMOKE_DIR)
+	$(GO) run ./cmd/faultinject -poly -injections 30 -workers 4 \
+		-checkpoint $(SMOKE_DIR)/soak.ckpt -journal $(SMOKE_DIR)/events.jsonl \
+		-chrome-trace $(SMOKE_DIR)/trace.json -summary $(SMOKE_DIR)/run.json >/dev/null
+	$(GO) run ./cmd/eccreport -summary $(SMOKE_DIR)/run.json \
+		-checkpoint $(SMOKE_DIR)/soak.ckpt -journal $(SMOKE_DIR)/events.jsonl \
+		-o $(SMOKE_DIR)/report.html
+	@test -s $(SMOKE_DIR)/events.jsonl || { echo "report-smoke: empty journal" >&2; exit 1; }
+	@test -s $(SMOKE_DIR)/report.html || { echo "report-smoke: empty report" >&2; exit 1; }
+	@grep -q 'id="polyecc-report"' $(SMOKE_DIR)/report.html || { echo "report-smoke: report marker missing" >&2; exit 1; }
+	@grep -q 'Flight recorder' $(SMOKE_DIR)/report.html || { echo "report-smoke: journal section missing" >&2; exit 1; }
+	@rm -rf $(SMOKE_DIR)
+	@echo "report-smoke: journal -> eccreport round trip OK"

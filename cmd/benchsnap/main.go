@@ -11,10 +11,15 @@
 // exits nonzero if either regresses — `make bench-gate` wires this into
 // `make ci`.
 //
+// With -history the snapshot is appended as one manifest-stamped line
+// of BENCH_history.jsonl instead, accumulating the perf trajectory
+// across PRs; cmd/eccreport renders it as a trend table.
+//
 // Usage:
 //
 //	benchsnap [-o BENCH_decode.json] [-v]
 //	benchsnap -gate
+//	benchsnap -history [-history-path BENCH_history.jsonl]
 package main
 
 import (
@@ -34,13 +39,15 @@ import (
 	"polyecc/internal/telemetry"
 )
 
-// Snapshot is the file format of BENCH_decode.json.
+// Snapshot is the file format of BENCH_decode.json and of each line of
+// BENCH_history.jsonl.
 type Snapshot struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	GOARCH      string   `json:"goarch"`
-	Config      string   `json:"config"`
-	Benchmarks  []Result `json:"benchmarks"`
+	GeneratedAt string              `json:"generated_at"`
+	GoVersion   string              `json:"go_version"`
+	GOARCH      string              `json:"goarch"`
+	Config      string              `json:"config"`
+	Manifest    *telemetry.Manifest `json:"manifest,omitempty"`
+	Benchmarks  []Result            `json:"benchmarks"`
 }
 
 // Result is one scenario's measurement.
@@ -67,10 +74,13 @@ func corrupt(code *polyecc.Code, line polyecc.Line, r *rand.Rand) polyecc.Line {
 func main() {
 	out := flag.String("o", "BENCH_decode.json", "snapshot output path")
 	gate := flag.Bool("gate", false, "check the 0 allocs/op contract on the scratch paths and exit nonzero on regression (no snapshot)")
+	history := flag.Bool("history", false, "append the snapshot as one line of -history-path instead of overwriting -o, accumulating the perf trajectory across PRs")
+	historyPath := flag.String("history-path", "BENCH_history.jsonl", "history file for -history mode")
 	var obs telemetry.CLIFlags
 	obs.Register(flag.CommandLine)
 	flag.Parse()
 	logger := obs.Init("benchsnap")
+	manifest := telemetry.NewManifest("benchsnap")
 
 	newCode := func(m *polyecc.DecodeMetrics) *polyecc.Code {
 		cfg := polyecc.ConfigM2005()
@@ -182,6 +192,7 @@ func main() {
 		GoVersion:   runtime.Version(),
 		GOARCH:      runtime.GOARCH,
 		Config:      "M2005/siphash40",
+		Manifest:    manifest,
 	}
 	for _, sc := range scenarios {
 		logger.Info("benchmarking", "scenario", sc.name)
@@ -198,6 +209,28 @@ func main() {
 			"allocs_per_op", res.AllocsPerOp())
 	}
 
+	manifest.Finish()
+	if *history {
+		// One compact line per run: the file is a JSONL perf trajectory
+		// that cmd/eccreport renders as a trend table.
+		buf, err := json.Marshal(snap)
+		if err != nil {
+			telemetry.Fatal(logger, "marshal snapshot", "err", err)
+		}
+		f, err := os.OpenFile(*historyPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			telemetry.Fatal(logger, "open history", "path", *historyPath, "err", err)
+		}
+		if _, err := f.Write(append(buf, '\n')); err != nil {
+			f.Close()
+			telemetry.Fatal(logger, "append history", "path", *historyPath, "err", err)
+		}
+		if err := f.Close(); err != nil {
+			telemetry.Fatal(logger, "close history", "path", *historyPath, "err", err)
+		}
+		logger.Info("appended history line", "path", *historyPath, "scenarios", len(snap.Benchmarks))
+		return
+	}
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		telemetry.Fatal(logger, "marshal snapshot", "err", err)

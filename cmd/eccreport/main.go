@@ -1,0 +1,591 @@
+// Command eccreport merges the artifacts a decode or campaign run
+// leaves behind — the manifest-stamped run summary (faultinject
+// -summary), a campaign checkpoint, the flight-recorder journal JSONL
+// (-journal), the benchsnap snapshot, and the benchsnap history — into
+// one self-contained static HTML report: provenance tables for every
+// manifest found, outcome tables with fractions, a forensic table of
+// every journaled decode anomaly (candidate trail included, expandable
+// per row), an SVG per-worker timeline built from the journal's shard
+// spans, and the benchmark trend across PRs.
+//
+// Every input is optional; at least one must be given. The output is a
+// single HTML file with no external assets.
+//
+// Usage:
+//
+//	eccreport [-summary run.json] [-checkpoint fig4.ckpt] [-journal events.jsonl]
+//	          [-bench BENCH_decode.json] [-bench-history BENCH_history.jsonl]
+//	          [-title "fig4 soak"] [-o report.html]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"html/template"
+	"io"
+	"log/slog"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"polyecc/internal/campaign"
+	"polyecc/internal/telemetry"
+)
+
+// benchSnapshot mirrors cmd/benchsnap's Snapshot file format (package
+// main there, so the struct cannot be imported).
+type benchSnapshot struct {
+	GeneratedAt string              `json:"generated_at"`
+	GoVersion   string              `json:"go_version"`
+	GOARCH      string              `json:"goarch"`
+	Config      string              `json:"config"`
+	Manifest    *telemetry.Manifest `json:"manifest,omitempty"`
+	Benchmarks  []benchResult       `json:"benchmarks"`
+}
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// runSummary mirrors cmd/faultinject's -summary file format.
+type runSummary struct {
+	Manifest *telemetry.Manifest `json:"manifest"`
+	Result   campaign.Result     `json:"result"`
+}
+
+type manifestView struct {
+	Origin   string
+	Tool     string
+	Args     string
+	Seed     int64
+	Codec    string
+	Go       string
+	Platform string
+	Host     string
+	PID      int
+	Started  string
+	Finished string
+	Duration string
+}
+
+type countRow struct {
+	Label string
+	N     int64
+	Pct   string
+}
+
+type resultView struct {
+	Origin    string
+	Name      string
+	Trials    int
+	Completed int
+	Skipped   int
+	Panics    int64
+	Partial   bool
+	Elapsed   string
+	Counts    []countRow
+}
+
+type trailRow struct {
+	Model     string
+	Trial     int
+	Word      int
+	Candidate int
+	MACMatch  bool
+}
+
+type anomalyView struct {
+	Seq            uint64
+	Time           string
+	Kind           string
+	Source         string
+	Worker         int
+	Index          int
+	Outcome        string
+	Status         string
+	Model          string
+	Injected       string
+	Iterations     int
+	CorruptedWords int
+	Words          string
+	TrailLen       int
+	TrailDropped   int
+	Trail          []trailRow
+}
+
+type svgLane struct {
+	Y     int
+	TextY int
+	Label string
+}
+
+type svgSpan struct {
+	X, Y, W, H string
+	Fill       string
+	Tip        string
+}
+
+type svgMark struct {
+	CX, CY string
+	Fill   string
+	Tip    string
+}
+
+type timelineView struct {
+	Width, Height int
+	Lanes         []svgLane
+	Spans         []svgSpan
+	Marks         []svgMark
+	Total         string
+}
+
+type journalView struct {
+	Path      string
+	Total     int
+	Kinds     []countRow
+	Anomalies []anomalyView
+	Timeline  *timelineView
+}
+
+type historyTable struct {
+	Columns []string
+	Rows    []historyRow
+}
+
+type historyRow struct {
+	When  string
+	Go    string
+	Cells []string
+}
+
+type page struct {
+	Title     string
+	Generated string
+	Manifests []manifestView
+	Results   []resultView
+	Journal   *journalView
+	Bench     *benchSnapshot
+	History   *historyTable
+}
+
+func main() {
+	out := flag.String("o", "report.html", "report output path")
+	title := flag.String("title", "polyecc run report", "report title")
+	summaryPath := flag.String("summary", "", "run summary JSON written by faultinject -summary")
+	ckptPath := flag.String("checkpoint", "", "campaign checkpoint file")
+	journalPath := flag.String("journal", "", "flight-recorder journal JSONL")
+	benchPath := flag.String("bench", "", "benchsnap snapshot (BENCH_decode.json)")
+	historyPath := flag.String("bench-history", "", "benchsnap history (BENCH_history.jsonl)")
+	var obs telemetry.CLIFlags
+	obs.Register(flag.CommandLine)
+	flag.Parse()
+	logger := obs.Init("eccreport")
+
+	if *summaryPath == "" && *ckptPath == "" && *journalPath == "" && *benchPath == "" && *historyPath == "" {
+		flag.Usage()
+		telemetry.Fatal(logger, "nothing to report on: give at least one of -summary, -checkpoint, -journal, -bench, -bench-history")
+	}
+
+	pg := page{Title: *title, Generated: time.Now().UTC().Format(time.RFC3339)}
+
+	if *summaryPath != "" {
+		var sum runSummary
+		readJSON(logger, *summaryPath, &sum)
+		if sum.Manifest != nil {
+			pg.Manifests = append(pg.Manifests, manifestRow(*summaryPath, sum.Manifest))
+		}
+		pg.Results = append(pg.Results, resultRow(*summaryPath, sum.Result.Name, sum.Result.Trials,
+			sum.Result.Completed, sum.Result.Skipped, sum.Result.Panics, sum.Result.Partial,
+			sum.Result.Elapsed.String(), sum.Result.Counts))
+	}
+	if *ckptPath != "" {
+		info, err := campaign.ReadCheckpointInfo(*ckptPath)
+		if err != nil {
+			telemetry.Fatal(logger, "read checkpoint", "path", *ckptPath, "err", err)
+		}
+		if info.Manifest != nil {
+			pg.Manifests = append(pg.Manifests, manifestRow(*ckptPath, info.Manifest))
+		}
+		pg.Results = append(pg.Results, resultRow(*ckptPath, info.Name, info.Trials,
+			info.Completed, 0, info.Panics, info.Partial,
+			"saved "+info.SavedAt.UTC().Format(time.RFC3339), info.Counts))
+	}
+	if *journalPath != "" {
+		f, err := os.Open(*journalPath)
+		if err != nil {
+			telemetry.Fatal(logger, "open journal", "path", *journalPath, "err", err)
+		}
+		events, err := telemetry.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			telemetry.Fatal(logger, "parse journal", "path", *journalPath, "err", err)
+		}
+		pg.Journal = journalSection(*journalPath, events)
+	}
+	if *benchPath != "" {
+		var snap benchSnapshot
+		readJSON(logger, *benchPath, &snap)
+		pg.Bench = &snap
+		if snap.Manifest != nil {
+			pg.Manifests = append(pg.Manifests, manifestRow(*benchPath, snap.Manifest))
+		}
+	}
+	if *historyPath != "" {
+		pg.History = historySection(logger, *historyPath)
+	}
+
+	var sb strings.Builder
+	if err := reportTemplate.Execute(&sb, &pg); err != nil {
+		telemetry.Fatal(logger, "render report", "err", err)
+	}
+	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+		telemetry.Fatal(logger, "write report", "path", *out, "err", err)
+	}
+	logger.Info("wrote report", "path", *out, "bytes", sb.Len(),
+		"manifests", len(pg.Manifests), "results", len(pg.Results))
+}
+
+func readJSON(logger *slog.Logger, path string, v any) {
+	buf, err := os.ReadFile(path)
+	if err == nil {
+		err = json.Unmarshal(buf, v)
+	}
+	if err != nil {
+		telemetry.Fatal(logger, "read input", "path", path, "err", err)
+	}
+}
+
+func manifestRow(origin string, m *telemetry.Manifest) manifestView {
+	v := manifestView{
+		Origin:   origin,
+		Tool:     m.Tool,
+		Args:     strings.Join(m.Args, " "),
+		Seed:     m.Seed,
+		Codec:    m.Codec,
+		Go:       m.GoVersion,
+		Platform: m.GOOS + "/" + m.GOARCH,
+		Host:     m.Host,
+		PID:      m.PID,
+		Started:  m.Started.UTC().Format(time.RFC3339),
+	}
+	if m.Finished.IsZero() {
+		v.Finished = "(in flight)"
+	} else {
+		v.Finished = m.Finished.UTC().Format(time.RFC3339)
+		v.Duration = m.Finished.Sub(m.Started).Round(time.Millisecond).String()
+	}
+	return v
+}
+
+func resultRow(origin, name string, trials, completed, skipped int, panics int64, partial bool, elapsed string, counts map[string]int64) resultView {
+	v := resultView{Origin: origin, Name: name, Trials: trials, Completed: completed,
+		Skipped: skipped, Panics: panics, Partial: partial, Elapsed: elapsed}
+	v.Counts = countRows(counts, int64(completed))
+	return v
+}
+
+// countRows sorts label counts by weight and computes fractions of
+// denom (0 suppresses the fraction column).
+func countRows(counts map[string]int64, denom int64) []countRow {
+	rows := make([]countRow, 0, len(counts))
+	for label, n := range counts {
+		r := countRow{Label: label, N: n}
+		if denom > 0 {
+			r.Pct = fmt.Sprintf("%.2f%%", 100*float64(n)/float64(denom))
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].N != rows[j].N {
+			return rows[i].N > rows[j].N
+		}
+		return rows[i].Label < rows[j].Label
+	})
+	return rows
+}
+
+func journalSection(path string, events []telemetry.Event) *journalView {
+	jv := &journalView{Path: path, Total: len(events)}
+	kinds := make(map[string]int64)
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	jv.Kinds = countRows(kinds, int64(len(events)))
+
+	for _, e := range events {
+		if e.Kind != telemetry.KindDecodeAnomaly && e.Kind != telemetry.KindScrubFinding {
+			continue
+		}
+		av := anomalyView{
+			Seq:     e.Seq,
+			Time:    time.Unix(0, e.TimeNs).UTC().Format("15:04:05.000000"),
+			Kind:    e.Kind,
+			Source:  e.Source,
+			Worker:  e.Worker,
+			Index:   e.Index,
+			Outcome: e.Outcome,
+		}
+		// Detail arrives as a generic map after the JSONL round trip;
+		// re-marshal it into the typed payload.
+		if e.Detail != nil {
+			var da telemetry.DecodeAnomaly
+			if buf, err := json.Marshal(e.Detail); err == nil && json.Unmarshal(buf, &da) == nil {
+				av.Status = da.Status
+				av.Model = da.Model
+				av.Injected = da.Injected
+				av.Iterations = da.Iterations
+				av.CorruptedWords = da.CorruptedWords
+				av.TrailDropped = da.TrailDropped
+				var words []string
+				for _, w := range da.Words {
+					words = append(words, fmt.Sprintf("w%d:0x%x", w.Word, w.Remainder))
+				}
+				av.Words = strings.Join(words, " ")
+				av.TrailLen = len(da.Trail)
+				for _, s := range da.Trail {
+					av.Trail = append(av.Trail, trailRow(s))
+				}
+			}
+		}
+		jv.Anomalies = append(jv.Anomalies, av)
+	}
+	jv.Timeline = timelineSection(events)
+	return jv
+}
+
+// timelineSection lays the journal's shard spans out as one SVG lane
+// per worker, with anomaly events as markers on their worker's lane.
+func timelineSection(events []telemetry.Event) *timelineView {
+	var t0, t1 int64
+	workers := make(map[int]bool)
+	spans := 0
+	for _, e := range events {
+		end := e.TimeNs + e.DurNs
+		if t0 == 0 || e.TimeNs < t0 {
+			t0 = e.TimeNs
+		}
+		if end > t1 {
+			t1 = end
+		}
+		workers[e.Worker] = true
+		if e.Kind == telemetry.KindSpan {
+			spans++
+		}
+	}
+	if spans == 0 || t1 <= t0 {
+		return nil
+	}
+	order := make([]int, 0, len(workers))
+	for w := range workers {
+		order = append(order, w)
+	}
+	sort.Ints(order)
+	lane := make(map[int]int, len(order))
+	for i, w := range order {
+		lane[w] = i
+	}
+
+	const (
+		left   = 80
+		plotW  = 820
+		rowH   = 22
+		barH   = 14
+		footer = 24
+	)
+	tv := &timelineView{
+		Width:  left + plotW + 10,
+		Height: len(order)*rowH + footer,
+		Total:  time.Duration(t1 - t0).Round(time.Microsecond).String(),
+	}
+	xAt := func(ns int64) float64 {
+		return left + plotW*float64(ns-t0)/float64(t1-t0)
+	}
+	for i, w := range order {
+		tv.Lanes = append(tv.Lanes, svgLane{Y: i * rowH, TextY: i*rowH + rowH/2 + 4,
+			Label: fmt.Sprintf("worker %d", w)})
+	}
+	for _, e := range events {
+		y := lane[e.Worker] * rowH
+		if e.Kind == telemetry.KindSpan {
+			x := xAt(e.TimeNs)
+			w := xAt(e.TimeNs+e.DurNs) - x
+			if w < 1 {
+				w = 1
+			}
+			tv.Spans = append(tv.Spans, svgSpan{
+				X: fmt.Sprintf("%.1f", x), Y: fmt.Sprintf("%d", y+(rowH-barH)/2),
+				W: fmt.Sprintf("%.1f", w), H: fmt.Sprintf("%d", barH),
+				Fill: fmt.Sprintf("hsl(%d,55%%,55%%)", (lane[e.Worker]*47)%360),
+				Tip: fmt.Sprintf("%s %s: %s", e.Source, e.Name,
+					time.Duration(e.DurNs).Round(time.Microsecond)),
+			})
+			continue
+		}
+		fill := "steelblue"
+		switch {
+		case strings.Contains(e.Outcome, "miscorrect") || strings.Contains(e.Outcome, "sdc"):
+			fill = "crimson"
+		case strings.Contains(e.Outcome, "uncorrectable") || strings.Contains(e.Outcome, "due") ||
+			strings.Contains(e.Outcome, "panic"):
+			fill = "darkorange"
+		}
+		tv.Marks = append(tv.Marks, svgMark{
+			CX: fmt.Sprintf("%.1f", xAt(e.TimeNs)), CY: fmt.Sprintf("%d", y+rowH/2),
+			Fill: fill,
+			Tip:  fmt.Sprintf("#%d %s %s (trial %d)", e.Seq, e.Kind, e.Outcome, e.Index),
+		})
+	}
+	return tv
+}
+
+func historySection(logger *slog.Logger, path string) *historyTable {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		telemetry.Fatal(logger, "read history", "path", path, "err", err)
+	}
+	var snaps []benchSnapshot
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	for line := 1; ; line++ {
+		var s benchSnapshot
+		if err := dec.Decode(&s); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			telemetry.Fatal(logger, "parse history", "path", path, "line", line, "err", err)
+		}
+		snaps = append(snaps, s)
+	}
+	// Columns are the union of scenario names across runs, so a scenario
+	// added mid-history still gets a column (blank before it existed).
+	seen := make(map[string]bool)
+	var cols []string
+	for _, s := range snaps {
+		for _, b := range s.Benchmarks {
+			if !seen[b.Name] {
+				seen[b.Name] = true
+				cols = append(cols, b.Name)
+			}
+		}
+	}
+	ht := &historyTable{Columns: cols}
+	for _, s := range snaps {
+		byName := make(map[string]benchResult, len(s.Benchmarks))
+		for _, b := range s.Benchmarks {
+			byName[b.Name] = b
+		}
+		row := historyRow{When: s.GeneratedAt, Go: s.GoVersion}
+		for _, c := range cols {
+			if b, ok := byName[c]; ok {
+				row.Cells = append(row.Cells, fmt.Sprintf("%.1f", b.NsPerOp))
+			} else {
+				row.Cells = append(row.Cells, "")
+			}
+		}
+		ht.Rows = append(ht.Rows, row)
+	}
+	return ht
+}
+
+var reportTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; color: #1a1a2e; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; border-bottom: 1px solid #ddd; padding-bottom: .25rem; }
+table { border-collapse: collapse; margin: .75rem 0; font-size: 13px; }
+th, td { border: 1px solid #ccc; padding: .25rem .6rem; text-align: left; vertical-align: top; }
+th { background: #f0f2f5; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+code { background: #f4f4f6; padding: 0 .25rem; border-radius: 3px; }
+.partial { color: #b00; font-weight: 600; }
+.muted { color: #777; }
+details summary { cursor: pointer; color: #246; }
+svg { background: #fafbfc; border: 1px solid #ddd; }
+</style>
+</head>
+<body id="polyecc-report">
+<h1>{{.Title}}</h1>
+<p class="muted">generated {{.Generated}} by eccreport</p>
+
+{{if .Manifests}}
+<h2>Run provenance</h2>
+<table>
+<tr><th>artifact</th><th>tool</th><th>args</th><th class="num">seed</th><th>codec</th><th>go</th><th>platform</th><th>host</th><th class="num">pid</th><th>started</th><th>finished</th><th>duration</th></tr>
+{{range .Manifests}}<tr><td><code>{{.Origin}}</code></td><td>{{.Tool}}</td><td><code>{{.Args}}</code></td><td class="num">{{.Seed}}</td><td>{{.Codec}}</td><td>{{.Go}}</td><td>{{.Platform}}</td><td>{{.Host}}</td><td class="num">{{.PID}}</td><td>{{.Started}}</td><td>{{.Finished}}</td><td>{{.Duration}}</td></tr>
+{{end}}</table>
+{{end}}
+
+{{if .Results}}
+<h2>Campaign outcomes</h2>
+{{range .Results}}
+<h3>{{.Name}} <span class="muted">({{.Origin}})</span>{{if .Partial}} <span class="partial">PARTIAL</span>{{end}}</h3>
+<p>{{.Completed}}/{{.Trials}} trials completed{{if .Skipped}}, {{.Skipped}} restored from checkpoint{{end}}{{if .Panics}}, <span class="partial">{{.Panics}} panics absorbed</span>{{end}} &mdash; {{.Elapsed}}</p>
+{{if .Counts}}<table>
+<tr><th>outcome</th><th class="num">count</th><th class="num">fraction</th></tr>
+{{range .Counts}}<tr><td>{{.Label}}</td><td class="num">{{.N}}</td><td class="num">{{.Pct}}</td></tr>
+{{end}}</table>{{end}}
+{{end}}
+{{end}}
+
+{{if .Journal}}
+<h2>Flight recorder</h2>
+<p>{{.Journal.Total}} events in <code>{{.Journal.Path}}</code></p>
+<table>
+<tr><th>kind</th><th class="num">events</th><th class="num">fraction</th></tr>
+{{range .Journal.Kinds}}<tr><td>{{.Label}}</td><td class="num">{{.N}}</td><td class="num">{{.Pct}}</td></tr>
+{{end}}</table>
+
+{{if .Journal.Timeline}}
+<h3>Worker timeline <span class="muted">({{.Journal.Timeline.Total}} total)</span></h3>
+<svg width="{{.Journal.Timeline.Width}}" height="{{.Journal.Timeline.Height}}" xmlns="http://www.w3.org/2000/svg">
+{{range .Journal.Timeline.Lanes}}<text x="4" y="{{.TextY}}" font-size="11" fill="#555">{{.Label}}</text>
+{{end}}{{range .Journal.Timeline.Spans}}<rect x="{{.X}}" y="{{.Y}}" width="{{.W}}" height="{{.H}}" fill="{{.Fill}}" opacity="0.8"><title>{{.Tip}}</title></rect>
+{{end}}{{range .Journal.Timeline.Marks}}<circle cx="{{.CX}}" cy="{{.CY}}" r="3.5" fill="{{.Fill}}"><title>{{.Tip}}</title></circle>
+{{end}}</svg>
+{{end}}
+
+{{if .Journal.Anomalies}}
+<h3>Decode anomalies</h3>
+<table>
+<tr><th class="num">seq</th><th>time (UTC)</th><th>kind</th><th>source</th><th class="num">worker</th><th class="num">trial</th><th>outcome</th><th>injected</th><th>matched model</th><th class="num">iters</th><th>corrupted words &amp; remainders</th><th>candidate trail</th></tr>
+{{range .Journal.Anomalies}}<tr>
+<td class="num">{{.Seq}}</td><td>{{.Time}}</td><td>{{.Kind}}</td><td>{{.Source}}</td><td class="num">{{.Worker}}</td><td class="num">{{.Index}}</td><td>{{.Outcome}}</td><td>{{.Injected}}</td><td>{{.Model}}</td><td class="num">{{.Iterations}}</td><td><code>{{.Words}}</code></td>
+<td>{{if .Trail}}<details><summary>{{.TrailLen}} steps{{if .TrailDropped}} (+{{.TrailDropped}} dropped){{end}}</summary>
+<table><tr><th>model</th><th class="num">trial</th><th class="num">word</th><th class="num">candidate</th><th>MAC</th></tr>
+{{range .Trail}}<tr><td>{{.Model}}</td><td class="num">{{.Trial}}</td><td class="num">{{.Word}}</td><td class="num">{{.Candidate}}</td><td>{{if .MACMatch}}match{{else}}&mdash;{{end}}</td></tr>
+{{end}}</table></details>{{else}}<span class="muted">&mdash;</span>{{end}}</td>
+</tr>
+{{end}}</table>
+{{end}}
+{{end}}
+
+{{if .Bench}}
+<h2>Benchmark snapshot</h2>
+<p class="muted">{{.Bench.Config}} &mdash; {{.Bench.GoVersion}} {{.Bench.GOARCH}}, {{.Bench.GeneratedAt}}</p>
+<table>
+<tr><th>scenario</th><th class="num">ns/op</th><th class="num">allocs/op</th><th class="num">B/op</th><th class="num">iterations</th></tr>
+{{range .Bench.Benchmarks}}<tr><td>{{.Name}}</td><td class="num">{{printf "%.1f" .NsPerOp}}</td><td class="num">{{.AllocsPerOp}}</td><td class="num">{{.BytesPerOp}}</td><td class="num">{{.Iterations}}</td></tr>
+{{end}}</table>
+{{end}}
+
+{{if .History}}
+<h2>Benchmark trend</h2>
+<p class="muted">ns/op per scenario, one row per benchsnap -history run</p>
+<table>
+<tr><th>when</th><th>go</th>{{range .History.Columns}}<th class="num">{{.}}</th>{{end}}</tr>
+{{range .History.Rows}}<tr><td>{{.When}}</td><td>{{.Go}}</td>{{range .Cells}}<td class="num">{{.}}</td>{{end}}</tr>
+{{end}}</table>
+{{end}}
+
+</body>
+</html>
+`))

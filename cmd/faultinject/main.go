@@ -18,6 +18,15 @@
 // collectors (decode.*) are served at /debug/vars, and /debug/pprof
 // offers live CPU/heap profiles.
 //
+// With -journal the run carries a flight recorder: worker shard spans,
+// notable trial outcomes, and (in the -poly soak) the full forensic
+// record of every non-clean decode — corrupted words, remainders,
+// injected model, applied candidate trail — are kept in a bounded ring
+// and written as JSONL at exit (and as a Perfetto-viewable Chrome trace
+// with -chrome-trace). -summary writes a manifest-stamped JSON record of
+// the run, and checkpoints embed the same manifest; cmd/eccreport merges
+// all three into one HTML report.
+//
 // Usage:
 //
 //	faultinject -fig 4 [-injections 2000] [-workers 8] [-metrics-addr :8080] [-v]
@@ -25,10 +34,12 @@
 //	faultinject -poly [-code poly-m2005] [-injections 2000]
 //	faultinject -fig 4 -checkpoint fig4.ckpt -checkpoint-every 200 -timeout 1h
 //	faultinject -fig 4 -checkpoint fig4.ckpt -resume   # continue after an interrupt
+//	faultinject -poly -journal events.jsonl -summary run.json -chrome-trace timeline.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,16 +64,26 @@ func main() {
 	ckpt := flag.String("checkpoint", "", "checkpoint campaign progress to this file")
 	ckptEvery := flag.Int("checkpoint-every", 0, "trials between checkpoints (default 1000)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint, skipping completed trials")
+	chromeTrace := flag.String("chrome-trace", "", "also export the journal as a Chrome trace (Perfetto worker timeline) to this file")
+	summary := flag.String("summary", "", "write a manifest-stamped JSON run summary to this file")
 	var obs telemetry.CLIFlags
 	obs.Register(flag.CommandLine)
+	obs.RegisterJournal(flag.CommandLine)
 	flag.Parse()
 	logger := obs.Init("faultinject")
+
+	// The manifest binds every artifact this run writes — checkpoint,
+	// summary, journal — to this exact invocation.
+	manifest := telemetry.NewManifest("faultinject")
+	manifest.Seed = *seed
 
 	opts := exp.CampaignOpts{
 		Workers:         *workers,
 		CheckpointPath:  *ckpt,
 		CheckpointEvery: *ckptEvery,
 		Resume:          *resume,
+		Journal:         obs.Journal,
+		Manifest:        manifest,
 	}
 	if *resume && *ckpt == "" {
 		telemetry.Fatal(logger, "-resume needs -checkpoint")
@@ -96,13 +117,18 @@ func main() {
 		if err != nil {
 			telemetry.Fatal(logger, "building soak code", "err", err)
 		}
+		manifest.Codec = lc.Name()
 		logger.Info("running in-model soak", "code", lc.Name(), "trials", n, "workers", opts.Workers)
 		res, err := exp.PolySoakCode(ctx, lc, n, *seed, decodeMetrics, opts)
 		if err != nil {
 			telemetry.Fatal(logger, "soak failed", "err", err)
 		}
 		run = campaign.Result{Name: "polysoak", Trials: res.Trials, Completed: res.Completed,
-			Partial: res.Partial, Panics: res.Panics}
+			Partial: res.Partial, Panics: res.Panics,
+			Counts: map[string]int64{
+				"clean": int64(res.Clean), "corrected": int64(res.Corrected),
+				"due": int64(res.Uncorrectable), "sdc": int64(res.SDC),
+			}}
 		text = exp.RenderPolySoak(res)
 	case *fig == 4:
 		n := *injections
@@ -152,5 +178,22 @@ func main() {
 			telemetry.Fatal(logger, "write output", "path", *out, "err", err)
 		}
 		logger.Info("wrote output", "path", *out)
+	}
+
+	manifest.Finish()
+	obs.WriteJournal(logger, *chromeTrace)
+	if *summary != "" {
+		doc := struct {
+			Manifest *telemetry.Manifest `json:"manifest"`
+			Result   campaign.Result     `json:"result"`
+		}{manifest, run}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			telemetry.Fatal(logger, "marshal summary", "err", err)
+		}
+		if err := os.WriteFile(*summary, append(buf, '\n'), 0o644); err != nil {
+			telemetry.Fatal(logger, "write summary", "path", *summary, "err", err)
+		}
+		logger.Info("wrote run summary", "path", *summary)
 	}
 }

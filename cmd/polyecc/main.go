@@ -5,9 +5,15 @@
 // correction hypothesis it tries; the baseline codes (rs-sddc, unity,
 // bamboo, hamming-secded) report their cacheline outcome.
 //
+// With -journal the decode is also captured by the flight recorder: the
+// anomaly record (corrupted words, remainders, candidate trail) is
+// written as JSONL for cmd/eccreport — the one-line way to produce a
+// forensic artifact to inspect.
+//
 // Usage:
 //
 //	polyecc [-code poly-m2005-zr] [-model chipkill|ssc|dec[:N]|bfbf|chipkill+1|random[:N]] [-seed N] [-v] [-metrics-addr :8080]
+//	polyecc -journal decode.jsonl
 //	polyecc -list
 package main
 
@@ -31,6 +37,7 @@ func main() {
 	list := flag.Bool("list", false, "list the registered codes and exit")
 	var obs telemetry.CLIFlags
 	obs.Register(flag.CommandLine)
+	obs.RegisterJournal(flag.CommandLine)
 	flag.Parse()
 	logger := obs.Init("polyecc")
 
@@ -85,8 +92,9 @@ func main() {
 
 	inj.Inject(r, &burst)
 	if code != nil {
-		demoPoly(code, lc.Name(), inj, &burst, data)
-		return
+		exit := demoPoly(code, obs.Journal, inj, &burst, data)
+		obs.WriteJournal(logger, "")
+		os.Exit(exit)
 	}
 	fmt.Printf("injected %s fault\n", inj.Name())
 	got, outcome, _ := lc.Decode(&burst)
@@ -102,8 +110,13 @@ func main() {
 	}
 }
 
-// demoPoly walks the Polymorphic decode with the full report surface.
-func demoPoly(code *poly.Code, name string, inj faults.Injector, burst *dram.Burst, data [linecode.LineBytes]byte) {
+// demoPoly walks the Polymorphic decode with the full report surface and
+// returns the process exit code (0 recovered, 1 DUE, 2 SDC). With a
+// journal attached, the decode's forensic record — including the full
+// candidate trail — is captured through an AnomalyRecorder.
+func demoPoly(code *poly.Code, journal *telemetry.Journal, inj faults.Injector, burst *dram.Burst, data [linecode.LineBytes]byte) int {
+	rec := poly.NewAnomalyRecorder(journal, "polyecc", code)
+	code = rec.Code()
 	line := code.FromBurst(burst)
 	corrupted := 0
 	for _, w := range line.Words {
@@ -114,6 +127,7 @@ func demoPoly(code *poly.Code, name string, inj faults.Injector, burst *dram.Bur
 	fmt.Printf("injected %s fault: %d of %d codewords have nonzero remainders\n", inj.Name(), corrupted, code.Words())
 
 	got, rep := code.DecodeLine(line)
+	rec.RecordDecode(line, &rep, telemetry.Event{}, inj.Name(), rep.Status == poly.StatusCorrected && got != data)
 	fmt.Printf("decode: status=%s model=%s iterations=%d eccFixed=%v elapsed=%s\n",
 		rep.Status, rep.Model, rep.Iterations, rep.ECCFixed, rep.Elapsed)
 	for _, fm := range []poly.FaultModel{poly.ModelChipKill, poly.ModelSSC, poly.ModelDEC, poly.ModelBFBF, poly.ModelChipKillPlus1} {
@@ -123,12 +137,12 @@ func demoPoly(code *poly.Code, name string, inj faults.Injector, burst *dram.Bur
 	}
 	if rep.Status == poly.StatusUncorrectable {
 		fmt.Println("detected uncorrectable error (DUE)")
-		os.Exit(1)
+		return 1
 	}
 	if got == data {
 		fmt.Println("data recovered exactly")
-	} else {
-		fmt.Println("SILENT DATA CORRUPTION (MAC collision)")
-		os.Exit(2)
+		return 0
 	}
+	fmt.Println("SILENT DATA CORRUPTION (MAC collision)")
+	return 2
 }

@@ -29,6 +29,8 @@ import (
 	"log/slog"
 	"math/rand"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,6 +49,10 @@ type Trial struct {
 	Index int
 	// Shard is the shard the trial belongs to.
 	Shard int
+	// Worker is the index of the worker goroutine running the trial.
+	// Outcomes must never depend on it (scheduling is nondeterministic);
+	// it exists for observability — journal events and worker timelines.
+	Worker int
 	// RNG is the trial's private deterministic generator, derived from
 	// (Config.Seed, Index). It does not depend on worker count, shard
 	// scheduling, or which trials ran before.
@@ -113,6 +119,20 @@ type Config struct {
 	WorkerState func() any
 	// Metrics, when non-nil, receives live counter updates.
 	Metrics *Metrics
+	// Journal, when non-nil, is the flight recorder: every worker's
+	// per-shard execution is recorded as a span (the Chrome-trace worker
+	// timeline), every recovered panic as a trial-outcome event, and
+	// every trial matching JournalOutcomes likewise. The journal is
+	// bounded, so a week-long campaign records at steady memory.
+	Journal *telemetry.Journal
+	// JournalOutcomes selects which trials are journaled: a trial is
+	// recorded when any of its outcome labels contains one of these
+	// substrings ("sdc" matches both "sdc" and "matmul.ne.sdc"). Nil
+	// journals only panics. Ignored without Journal.
+	JournalOutcomes []string
+	// Manifest, when non-nil, is embedded in every checkpoint so the file
+	// is traceable to the invocation that wrote it.
+	Manifest *telemetry.Manifest
 	// Logger defaults to slog.Default().
 	Logger *slog.Logger
 	// ProgressEvery is the interval between progress/ETA log lines
@@ -144,16 +164,18 @@ func (cfg *Config) applyDefaults() {
 	}
 }
 
-// Result summarizes a campaign run.
+// Result summarizes a campaign run. The JSON shape is part of the
+// artifact surface: cmd/faultinject -summary embeds a Result, and
+// cmd/eccreport reads it back.
 type Result struct {
-	Name      string
-	Trials    int
-	Completed int // trials accounted for, including resumed ones
-	Skipped   int // trials restored from the checkpoint instead of re-run
-	Panics    int64
-	Partial   bool // cancelled or timed out before the budget was spent
-	Elapsed   time.Duration
-	Counts    map[string]int64 // aggregated outcome labels
+	Name      string           `json:"name"`
+	Trials    int              `json:"trials"`
+	Completed int              `json:"completed"` // trials accounted for, including resumed ones
+	Skipped   int              `json:"skipped"`   // trials restored from the checkpoint instead of re-run
+	Panics    int64            `json:"panics"`
+	Partial   bool             `json:"partial"` // cancelled or timed out before the budget was spent
+	Elapsed   time.Duration    `json:"elapsed_ns"`
+	Counts    map[string]int64 `json:"counts"` // aggregated outcome labels
 }
 
 // Count returns the aggregated count for one outcome label.
@@ -321,21 +343,80 @@ func safeTrial(fn TrialFunc, t *Trial, panicLabel string, logger *slog.Logger) (
 	return false
 }
 
-func runShard(ctx context.Context, cfg *Config, fn TrialFunc, st *state, shard int, local any) {
+// journalOutcome returns the comma-joined labels of adds that match the
+// configured filter substrings ("" when the trial is not journal-worthy).
+func journalOutcome(filters []string, adds map[string]int64) string {
+	if len(filters) == 0 || len(adds) == 0 {
+		return ""
+	}
+	var matched []string
+	for label := range adds {
+		for _, f := range filters {
+			if strings.Contains(label, f) {
+				matched = append(matched, label)
+				break
+			}
+		}
+	}
+	sort.Strings(matched)
+	return strings.Join(matched, ",")
+}
+
+func runShard(ctx context.Context, cfg *Config, fn TrialFunc, st *state, worker, shard int, local any) {
 	lo, n := shardRange(cfg.Trials, cfg.Shards, shard)
+	journaled := cfg.Journal.Enabled()
+	var spanStart time.Time
+	ran := 0
+	if journaled {
+		spanStart = time.Now()
+	}
 	for k := st.doneOf(shard); k < n; k++ {
 		if ctx.Err() != nil {
-			return
+			break
 		}
 		idx := lo + k
 		t := &Trial{
-			Index: idx,
-			Shard: shard,
-			RNG:   rand.New(rand.NewSource(trialSeed(cfg.Seed, idx))),
-			Local: local,
+			Index:  idx,
+			Shard:  shard,
+			Worker: worker,
+			RNG:    rand.New(rand.NewSource(trialSeed(cfg.Seed, idx))),
+			Local:  local,
 		}
 		panicked := safeTrial(fn, t, cfg.PanicLabel, cfg.Logger)
 		st.commit(cfg, shard, t.adds, panicked)
+		ran++
+		if !journaled {
+			continue
+		}
+		outcome := ""
+		if panicked {
+			outcome = cfg.PanicLabel
+		} else {
+			outcome = journalOutcome(cfg.JournalOutcomes, t.adds)
+		}
+		if outcome != "" {
+			cfg.Journal.Record(telemetry.Event{
+				Kind:    telemetry.KindTrialOutcome,
+				Source:  cfg.Name,
+				Worker:  worker,
+				Index:   idx,
+				Outcome: outcome,
+			})
+		}
+	}
+	if journaled && ran > 0 {
+		// One span per (worker, shard) execution: the building block of
+		// the per-worker campaign timeline in the Chrome trace and the
+		// eccreport timeline view.
+		cfg.Journal.Record(telemetry.Event{
+			Kind:   telemetry.KindSpan,
+			Source: cfg.Name,
+			Name:   fmt.Sprintf("shard-%d", shard),
+			Worker: worker,
+			Index:  shard,
+			TimeNs: spanStart.UnixNano(),
+			DurNs:  time.Since(spanStart).Nanoseconds(),
+		})
 	}
 }
 
@@ -401,7 +482,7 @@ func Run(ctx context.Context, cfg Config, fn TrialFunc) (Result, error) {
 				local = cfg.WorkerState()
 			}
 			for s := range jobs {
-				runShard(ctx, &cfg, fn, st, s, local)
+				runShard(ctx, &cfg, fn, st, w, s, local)
 			}
 		}()
 	}

@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"sync/atomic"
 	"testing"
+
+	"polyecc/internal/telemetry"
 )
 
 // quietLogger keeps the panic-isolation and drain tests from spamming
@@ -281,5 +283,95 @@ func TestFewerTrialsThanShards(t *testing.T) {
 	}
 	if res.Completed != 3 {
 		t.Fatalf("completed = %d", res.Completed)
+	}
+}
+
+// With a journal attached the engine must emit one trial-outcome event
+// per filter-matched trial and one span per executed (worker, shard),
+// and the checkpoint must carry the run's manifest.
+func TestJournalAndManifestFlow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ckpt")
+	cfg := baseConfig(300)
+	cfg.Workers = 4
+	cfg.CheckpointPath = path
+	cfg.Journal = telemetry.NewJournal(8192)
+	cfg.JournalOutcomes = []string{"c"}
+	cfg.Manifest = telemetry.NewManifest("campaign-test")
+	res, err := Run(context.Background(), cfg, testTrial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var outcomes, spans int64
+	for _, e := range cfg.Journal.Drain() {
+		switch e.Kind {
+		case telemetry.KindTrialOutcome:
+			outcomes++
+			if e.Outcome != "c" || e.Source != "test" {
+				t.Fatalf("unexpected trial-outcome event: %+v", e)
+			}
+			if e.Worker < 0 || e.Worker >= 4 || e.Index < 0 || e.Index >= 300 {
+				t.Fatalf("event off the campaign grid: %+v", e)
+			}
+		case telemetry.KindSpan:
+			spans++
+			if e.DurNs <= 0 || e.Name == "" {
+				t.Fatalf("span without duration or name: %+v", e)
+			}
+		default:
+			t.Fatalf("unexpected event kind %q", e.Kind)
+		}
+	}
+	if outcomes != res.Counts["c"] {
+		t.Fatalf("journaled %d c-trials, campaign counted %d", outcomes, res.Counts["c"])
+	}
+	if spans == 0 || spans > 64 { // one per executed shard; default 64 shards
+		t.Fatalf("spans = %d, want 1..64", spans)
+	}
+
+	info, err := ReadCheckpointInfo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Manifest == nil || info.Manifest.Tool != "campaign-test" {
+		t.Fatalf("checkpoint manifest missing or wrong: %+v", info.Manifest)
+	}
+	if !reflect.DeepEqual(info.Counts, res.Counts) {
+		t.Fatalf("checkpoint counts %v != result counts %v", info.Counts, res.Counts)
+	}
+	if info.Completed != 300 || info.Partial {
+		t.Fatalf("checkpoint info wrong: %+v", info)
+	}
+}
+
+// Panicking trials are always journaled, regardless of the outcome
+// filter.
+func TestJournalRecordsPanics(t *testing.T) {
+	cfg := baseConfig(50)
+	cfg.Workers = 2
+	cfg.Journal = telemetry.NewJournal(1024)
+	res, err := Run(context.Background(), cfg, func(tr *Trial) {
+		if tr.Index == 17 {
+			panic("blown trial")
+		}
+		tr.Record("ok")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Panics != 1 {
+		t.Fatalf("panics = %d, want 1", res.Panics)
+	}
+	var panicEvents int
+	for _, e := range cfg.Journal.Drain() {
+		if e.Kind == telemetry.KindTrialOutcome {
+			if e.Outcome != "panic" || e.Index != 17 {
+				t.Fatalf("unexpected trial-outcome: %+v", e)
+			}
+			panicEvents++
+		}
+	}
+	if panicEvents != 1 {
+		t.Fatalf("journaled %d panic events, want 1", panicEvents)
 	}
 }

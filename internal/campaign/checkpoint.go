@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"polyecc/internal/telemetry"
 )
 
 // checkpointVersion guards the on-disk format; bump on layout changes.
@@ -16,17 +18,18 @@ const checkpointVersion = 1
 // labels — the snapshot is taken under the state lock, so the two are
 // always consistent with each other.
 type checkpoint struct {
-	Version   int                `json:"version"`
-	Name      string             `json:"campaign"`
-	Seed      int64              `json:"seed"`
-	Trials    int                `json:"trials"`
-	Shards    int                `json:"shards"`
-	Completed int                `json:"completed"`
-	Panics    int64              `json:"panics"`
-	Partial   bool               `json:"partial"`
-	SavedAt   time.Time          `json:"saved_at"`
-	Done      []int              `json:"done"`
-	Counts    []map[string]int64 `json:"counts"`
+	Version   int                 `json:"version"`
+	Name      string              `json:"campaign"`
+	Seed      int64               `json:"seed"`
+	Trials    int                 `json:"trials"`
+	Shards    int                 `json:"shards"`
+	Completed int                 `json:"completed"`
+	Panics    int64               `json:"panics"`
+	Partial   bool                `json:"partial"`
+	SavedAt   time.Time           `json:"saved_at"`
+	Manifest  *telemetry.Manifest `json:"manifest,omitempty"`
+	Done      []int               `json:"done"`
+	Counts    []map[string]int64  `json:"counts"`
 }
 
 // snapshotLocked copies the live state into a checkpoint; callers hold
@@ -42,6 +45,7 @@ func (st *state) snapshotLocked(cfg *Config) *checkpoint {
 		Panics:    st.panics,
 		Partial:   st.completed < cfg.Trials,
 		SavedAt:   time.Now().UTC(),
+		Manifest:  cfg.Manifest,
 		Done:      append([]int(nil), st.done...),
 		Counts:    make([]map[string]int64, len(st.counts)),
 	}
@@ -114,6 +118,50 @@ func loadCheckpoint(path string) (*checkpoint, error) {
 		return nil, fmt.Errorf("campaign: checkpoint %s completed=%d but shards sum to %d", path, ck.Completed, total)
 	}
 	return &ck, nil
+}
+
+// CheckpointInfo is the read-only reporting view of a checkpoint file:
+// run identity, progress, provenance, and the outcome counts aggregated
+// across shards. cmd/eccreport builds its campaign section from it.
+type CheckpointInfo struct {
+	Name      string
+	Seed      int64
+	Trials    int
+	Shards    int
+	Completed int
+	Panics    int64
+	Partial   bool
+	SavedAt   time.Time
+	Manifest  *telemetry.Manifest
+	Counts    map[string]int64
+}
+
+// ReadCheckpointInfo loads and validates a checkpoint for reporting —
+// the same structural checks a resume performs, without requiring the
+// matching Config.
+func ReadCheckpointInfo(path string) (*CheckpointInfo, error) {
+	ck, err := loadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	info := &CheckpointInfo{
+		Name:      ck.Name,
+		Seed:      ck.Seed,
+		Trials:    ck.Trials,
+		Shards:    ck.Shards,
+		Completed: ck.Completed,
+		Panics:    ck.Panics,
+		Partial:   ck.Partial,
+		SavedAt:   ck.SavedAt,
+		Manifest:  ck.Manifest,
+		Counts:    make(map[string]int64),
+	}
+	for _, m := range ck.Counts {
+		for label, n := range m {
+			info.Counts[label] += n
+		}
+	}
+	return info, nil
 }
 
 // matches verifies the checkpoint belongs to this exact campaign; a

@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"polyecc/internal/linecode"
+	"polyecc/internal/telemetry"
 	"polyecc/internal/workload"
 )
 
@@ -492,5 +494,56 @@ func TestFigure4PartialDrain(t *testing.T) {
 	}
 	if res.Completed != 0 || len(rows) != 0 {
 		t.Fatalf("pre-cancelled campaign reported rows: completed=%d rows=%d", res.Completed, len(rows))
+	}
+}
+
+// The soak with a flight recorder attached must journal every injected
+// decode with its forensic payload (the soak injects a fault every
+// trial, so every decode is anomalous) plus worker spans, and the
+// decoded outcome labels must agree with the soak's own counts.
+func TestPolySoakJournalsDecodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("injection campaign")
+	}
+	const trials, seed = 150, 11
+	j := telemetry.NewJournal(16384)
+	lc := linecode.MustNew("poly-m2005")
+	res, err := PolySoakCode(context.Background(), lc, trials, seed, nil,
+		CampaignOpts{Workers: 3, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var anomalies, spans int
+	for _, e := range j.Drain() {
+		switch e.Kind {
+		case telemetry.KindDecodeAnomaly:
+			anomalies++
+			if e.Source != "polysoak" {
+				t.Fatalf("anomaly from unexpected source: %+v", e)
+			}
+			da, ok := e.Detail.(*telemetry.DecodeAnomaly)
+			if !ok {
+				t.Fatalf("Detail is %T", e.Detail)
+			}
+			if da.Injected == "" || len(da.Words) == 0 {
+				t.Fatalf("forensic payload incomplete: %+v", da)
+			}
+		case telemetry.KindSpan:
+			spans++
+		case telemetry.KindTrialOutcome:
+			// sdc/due/panic trials, already covered by the anomaly record
+		default:
+			t.Fatalf("unexpected event kind %q", e.Kind)
+		}
+	}
+	// Every soak trial injects a fault, so every decode journals.
+	if anomalies != trials {
+		t.Fatalf("journaled %d decode anomalies, want %d", anomalies, trials)
+	}
+	if spans == 0 {
+		t.Fatal("no worker spans journaled")
+	}
+	if res.Completed != trials {
+		t.Fatalf("soak incomplete: %+v", res)
 	}
 }

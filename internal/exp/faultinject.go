@@ -65,11 +65,26 @@ type CampaignOpts struct {
 	CheckpointEvery int
 	// Resume restarts from CheckpointPath, skipping completed trials.
 	Resume bool
+	// Journal, when non-nil, is the flight recorder: worker shard spans,
+	// notable trial outcomes (JournalOutcomes), and — in the -poly soak —
+	// full decode-anomaly records with the candidate trail.
+	Journal *telemetry.Journal
+	// JournalOutcomes overrides the per-study default filter for which
+	// trial outcome labels are journaled (substring match).
+	JournalOutcomes []string
+	// Manifest, when non-nil, stamps every checkpoint with the run's
+	// provenance.
+	Manifest *telemetry.Manifest
 }
 
 // config assembles the campaign.Config for one named study, wiring the
-// shared faultinject telemetry in.
-func (o CampaignOpts) config(name string, trials int, seed int64) campaign.Config {
+// shared faultinject telemetry in. defaultOutcomes is the study's
+// journal-worthy label set, used unless the caller overrides it.
+func (o CampaignOpts) config(name string, trials int, seed int64, defaultOutcomes ...string) campaign.Config {
+	outcomes := o.JournalOutcomes
+	if outcomes == nil {
+		outcomes = defaultOutcomes
+	}
 	return campaign.Config{
 		Name:            name,
 		Trials:          trials,
@@ -79,6 +94,9 @@ func (o CampaignOpts) config(name string, trials int, seed int64) campaign.Confi
 		CheckpointEvery: o.CheckpointEvery,
 		Resume:          o.Resume,
 		Metrics:         &Campaign().Runner,
+		Journal:         o.Journal,
+		JournalOutcomes: outcomes,
+		Manifest:        o.Manifest,
 	}
 }
 
@@ -181,7 +199,8 @@ func Figure4Ctx(ctx context.Context, injections int, seed int64, opts CampaignOp
 	}
 
 	cm := Campaign()
-	res, err := campaign.Run(ctx, opts.config("figure4", injections*len(programs), seed), func(t *campaign.Trial) {
+	res, err := campaign.Run(ctx, opts.config("figure4", injections*len(programs), seed,
+		"."+workload.SDC.String(), "."+workload.Hang.String(), "."+workload.Crashed.String()), func(t *campaign.Trial) {
 		p := programs[t.Index/injections]
 		b := bases[t.Index/injections]
 		r := t.RNG
@@ -315,7 +334,8 @@ func Figure5Ctx(ctx context.Context, injections int, seed int64, opts CampaignOp
 	}
 
 	cm := Campaign()
-	res, err := campaign.Run(ctx, opts.config("figure5", injections*len(subs), seed), func(t *campaign.Trial) {
+	res, err := campaign.Run(ctx, opts.config("figure5", injections*len(subs), seed,
+		".failed", ".big-drop"), func(t *campaign.Trial) {
 		si := t.Index / injections
 		s, model, ds, base := subs[si], models[si], datasets[si], baselines[si]
 		r := t.RNG
@@ -433,18 +453,34 @@ func PolySoakCode(ctx context.Context, lc linecode.Code, trials int, seed int64,
 	g := dram.WordGeometry{SymbolBits: code.Geometry().SymbolBits}
 	injectors := faults.InModel(g)
 
-	cfg := opts.config("polysoak", trials, seed)
-	cfg.WorkerState = func() any { return code.NewScratch() }
+	cfg := opts.config("polysoak", trials, seed, "sdc", "due", "panic")
+	// Each worker owns a scratch and, when the flight recorder is on, an
+	// AnomalyRecorder: its trace hook captures the candidate trail of the
+	// decode in flight, and RecordDecode turns every non-clean decode into
+	// a journal event carrying the corrupted words, remainders, injected
+	// model, and that trail. With the journal off the recorder hands back
+	// the original code, preserving the allocation-free trial loop.
+	type soakState struct {
+		scratch *poly.Scratch
+		rec     *poly.AnomalyRecorder
+	}
+	cfg.WorkerState = func() any {
+		rec := poly.NewAnomalyRecorder(opts.Journal, "polysoak", code)
+		return &soakState{scratch: rec.Code().NewScratch(), rec: rec}
+	}
 	res, err := campaign.Run(ctx, cfg, func(t *campaign.Trial) {
-		s := t.Local.(*poly.Scratch)
+		ws := t.Local.(*soakState)
+		s, wcode := ws.scratch, ws.rec.Code()
 		r := t.RNG
 		var data [poly.LineBytes]byte
 		r.Read(data[:])
-		burst := code.ToBurst(code.EncodeLineScratch(&data, s))
+		burst := wcode.ToBurst(wcode.EncodeLineScratch(&data, s))
 		inj := injectors[r.Intn(len(injectors))]
 		inj.Inject(r, &burst)
-		got, rep := code.DecodeLineScratch(code.FromBurstScratch(&burst, s), s)
+		line := wcode.FromBurstScratch(&burst, s)
+		got, rep := wcode.DecodeLineScratch(line, s)
 		t.Add("iterations", int64(rep.Iterations))
+		sdc := false
 		switch rep.Status {
 		case poly.StatusClean:
 			t.Record("clean")
@@ -452,11 +488,16 @@ func PolySoakCode(ctx context.Context, lc linecode.Code, trials int, seed int64,
 			t.Record("corrected")
 			t.Record("model." + rep.Model.String())
 			if got != data {
+				sdc = true
 				t.Record("sdc")
 			}
 		case poly.StatusUncorrectable:
 			t.Record("due")
 		}
+		ws.rec.RecordDecode(line, &rep, telemetry.Event{
+			Worker: t.Worker,
+			Index:  t.Index,
+		}, inj.Name(), sdc)
 	})
 	soak := PolySoakResult{
 		Code:          fmt.Sprintf("%s (M=%d)", lc.Name(), code.M()),

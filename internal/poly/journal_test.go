@@ -1,0 +1,138 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+
+	"polyecc/internal/telemetry"
+)
+
+// Without a journal the recorder must be free: the returned Code is the
+// original (no trace hook, so the 0 allocs/op decode contract survives)
+// and RecordDecode is inert.
+func TestAnomalyRecorderDisabled(t *testing.T) {
+	c := MustNew(ConfigM2005(), weakMAC{bits: 40})
+	rec := NewAnomalyRecorder(nil, "test", c)
+	if rec.Code() != c {
+		t.Fatal("disabled recorder must hand back the original Code")
+	}
+	r := rand.New(rand.NewSource(1))
+	data := randLine(r)
+	l := c.EncodeLine(&data)
+	_, rep := c.DecodeLine(l)
+	rec.RecordDecode(l, &rep, telemetry.Event{}, "", false) // must not panic
+}
+
+// The acceptance scenario of the flight recorder: force a
+// miscorrection (a colliding MAC accepts a wrong candidate) and demand
+// the journal event carry the full forensic record — codeword indices
+// with remainders, the fault model that matched, and the applied
+// candidate trail.
+func TestAnomalyRecorderForcedMiscorrection(t *testing.T) {
+	j := telemetry.NewJournal(4096)
+	rec := NewAnomalyRecorder(j, "poly-test", MustNew(ConfigM2005(), weakMAC{bits: 40}))
+	c := rec.Code()
+	r := rand.New(rand.NewSource(1))
+
+	var sdcEvent *telemetry.Event
+	for i := 0; i < 200 && sdcEvent == nil; i++ {
+		data := randLine(r)
+		bad := c.EncodeLine(&data).Clone()
+		for w := range bad.Words {
+			s := r.Intn(10)
+			old := bad.Words[w].Field(s*8, 8)
+			bad.Words[w] = bad.Words[w].WithField(s*8, 8, old^uint64(1+r.Intn(255)))
+		}
+		got, rep := c.DecodeLine(bad)
+		sdc := rep.Status == StatusCorrected && got != data
+		rec.RecordDecode(bad, &rep, telemetry.Event{Worker: 3, Index: i}, "per-word-symbol", sdc)
+		if sdc {
+			events := j.Snapshot()
+			sdcEvent = &events[len(events)-1]
+		}
+	}
+	if sdcEvent == nil {
+		t.Fatal("no SDC in 200 trials despite a colliding MAC")
+	}
+
+	e := *sdcEvent
+	if e.Kind != telemetry.KindDecodeAnomaly || e.Source != "poly-test" || e.Worker != 3 {
+		t.Fatalf("event header wrong: %+v", e)
+	}
+	if e.Outcome != "miscorrected" {
+		t.Fatalf("Outcome = %q, want miscorrected", e.Outcome)
+	}
+	da, ok := e.Detail.(*telemetry.DecodeAnomaly)
+	if !ok {
+		t.Fatalf("Detail is %T, want *telemetry.DecodeAnomaly", e.Detail)
+	}
+	if !da.SDC || da.Status != "corrected" || da.Injected != "per-word-symbol" {
+		t.Fatalf("anomaly payload wrong: %+v", da)
+	}
+	if da.Model == "" {
+		t.Fatal("matched fault model missing")
+	}
+	if len(da.Words) == 0 {
+		t.Fatal("corrupted codeword list missing")
+	}
+	for _, w := range da.Words {
+		if w.Remainder == 0 {
+			t.Fatalf("word %d journaled with zero remainder", w.Word)
+		}
+	}
+	if len(da.Trail) == 0 {
+		t.Fatal("candidate trail missing")
+	}
+	last := da.Trail[len(da.Trail)-1]
+	if !last.MACMatch {
+		t.Fatalf("trail must end at the MAC-matching candidate: %+v", last)
+	}
+}
+
+// Clean decodes must leave no trace in the journal — the flight
+// recorder only keeps anomalies.
+func TestAnomalyRecorderCleanDecodeSilent(t *testing.T) {
+	j := telemetry.NewJournal(64)
+	rec := NewAnomalyRecorder(j, "poly-test", MustNew(ConfigM2005(), weakMAC{bits: 40}))
+	c := rec.Code()
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		data := randLine(r)
+		l := c.EncodeLine(&data)
+		_, rep := c.DecodeLine(l)
+		rec.RecordDecode(l, &rep, telemetry.Event{Index: i}, "", false)
+	}
+	if got := j.Recorded(); got != 0 {
+		t.Fatalf("clean decodes journaled %d events, want 0", got)
+	}
+}
+
+// A recorder attached to a Code that already carries a trace hook (the
+// -v debug logger, say) must chain after it, not replace it.
+func TestAnomalyRecorderChainsExistingTrace(t *testing.T) {
+	prevCalls := 0
+	base := MustNew(ConfigM2005(), weakMAC{bits: 40}).WithTrace(func(TraceEvent) { prevCalls++ })
+	j := telemetry.NewJournal(64)
+	rec := NewAnomalyRecorder(j, "poly-test", base)
+	c := rec.Code()
+
+	r := rand.New(rand.NewSource(3))
+	data := randLine(r)
+	bad := c.EncodeLine(&data).Clone()
+	old := bad.Words[0].Field(16, 8)
+	bad.Words[0] = bad.Words[0].WithField(16, 8, old^0x5a)
+	_, rep := c.DecodeLine(bad)
+	rec.RecordDecode(bad, &rep, telemetry.Event{}, "ssc", false)
+
+	if prevCalls == 0 {
+		t.Fatal("pre-existing trace hook was dropped")
+	}
+	events := j.Snapshot()
+	if len(events) != 1 {
+		t.Fatalf("journal events = %d, want 1", len(events))
+	}
+	da := events[0].Detail.(*telemetry.DecodeAnomaly)
+	if len(da.Trail) == 0 || len(da.Trail) > prevCalls {
+		t.Fatalf("recorder trail (%d) inconsistent with hook calls (%d)", len(da.Trail), prevCalls)
+	}
+}

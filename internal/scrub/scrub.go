@@ -15,6 +15,7 @@ import (
 
 	"polyecc/internal/dram"
 	"polyecc/internal/poly"
+	"polyecc/internal/telemetry"
 )
 
 // Store is the memory being scrubbed, at burst granularity.
@@ -52,6 +53,11 @@ type Policy struct {
 	// This is where a host injects new faults between patrols, drains
 	// the event log into an FMI pipeline, or cancels the run.
 	OnSweep func(sweep int, st Stats, events []Event)
+	// Journal, when non-nil, receives a scrub-finding flight-recorder
+	// event for every correction and DUE the patrol encounters, carrying
+	// the line index, remainders, and the applied candidate trail — the
+	// forensic half of the FMI log the in-memory Event slice summarizes.
+	Journal *telemetry.Journal
 }
 
 // DefaultPolicy mirrors the datacenter practice the paper describes.
@@ -68,18 +74,23 @@ type Scrubber struct {
 	store   Store
 	policy  Policy
 	scratch *poly.Scratch
+	rec     *poly.AnomalyRecorder
 	buf     [poly.LineBytes]byte
 
 	totalCorrected int
 	totalDUE       int
 }
 
-// New builds a scrubber.
+// New builds a scrubber. With Policy.Journal set, the scrubber decodes
+// through an AnomalyRecorder so every finding carries its candidate
+// trail; the recorder shares the scrubber's single-goroutine contract.
 func New(code *poly.Code, store Store, policy Policy) (*Scrubber, error) {
 	if code == nil || store == nil {
 		return nil, fmt.Errorf("scrub: code and store are required")
 	}
-	return &Scrubber{code: code, store: store, policy: policy, scratch: code.NewScratch()}, nil
+	rec := poly.NewAnomalyRecorder(policy.Journal, "scrub", code)
+	return &Scrubber{code: rec.Code(), store: store, policy: policy,
+		scratch: code.NewScratch(), rec: rec}, nil
 }
 
 // TotalCorrected returns the lifetime corrected-error count.
@@ -122,6 +133,10 @@ func (s *Scrubber) SweepContext(ctx context.Context) (Stats, []Event, error) {
 		line := s.code.FromBurstScratch(&burst, s.scratch)
 		var rep poly.Report
 		s.buf, rep = s.code.DecodeLineScratch(line, s.scratch)
+		s.rec.RecordDecode(line, &rep, telemetry.Event{
+			Kind:  telemetry.KindScrubFinding,
+			Index: i,
+		}, "", false)
 		switch rep.Status {
 		case poly.StatusClean:
 			st.Clean++

@@ -8,6 +8,7 @@ import (
 	"polyecc/internal/dram"
 	"polyecc/internal/mac"
 	"polyecc/internal/poly"
+	"polyecc/internal/telemetry"
 )
 
 var key = [16]byte{7, 7, 7, 7, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
@@ -253,5 +254,48 @@ func TestRunNeverWritesBackDUE(t *testing.T) {
 		if !corrected[line] && store.writes[line] > 0 {
 			t.Fatalf("DUE-only line %d was written back", line)
 		}
+	}
+}
+
+// A journaling scrubber files one scrub-finding event per non-clean
+// line, carrying the corrupted word's remainder.
+func TestSweepJournalsFindings(t *testing.T) {
+	code, mod, _ := setup(t, 16)
+	for _, line := range []int{4, 11} {
+		if err := mod.AddWeakCell(line, 1, 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	policy := DefaultPolicy()
+	policy.Journal = telemetry.NewJournal(256)
+	s, err := New(code, mod, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.Sweep()
+	if st.Corrected != 2 {
+		t.Fatalf("corrected %d, want 2", st.Corrected)
+	}
+	events := policy.Journal.Drain()
+	if len(events) != 2 {
+		t.Fatalf("journal events = %d, want 2", len(events))
+	}
+	wantLines := map[int]bool{4: true, 11: true}
+	for _, e := range events {
+		if e.Kind != telemetry.KindScrubFinding || e.Source != "scrub" {
+			t.Fatalf("unexpected event: %+v", e)
+		}
+		if !wantLines[e.Index] {
+			t.Fatalf("finding on unexpected line %d", e.Index)
+		}
+		delete(wantLines, e.Index)
+		da, ok := e.Detail.(*telemetry.DecodeAnomaly)
+		if !ok || da.Status != "corrected" || len(da.Words) == 0 {
+			t.Fatalf("finding payload wrong: %+v", e.Detail)
+		}
+	}
+	// The healed module must journal nothing on the next sweep.
+	if _, _ = s.Sweep(); policy.Journal.Len() != 0 {
+		t.Fatalf("clean re-sweep journaled %d events", policy.Journal.Len())
 	}
 }

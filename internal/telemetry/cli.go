@@ -7,33 +7,96 @@ import (
 )
 
 // CLIFlags is the shared observability flag set of the cmd tools:
-// structured-logging verbosity and the live metrics/profiling endpoint.
+// structured-logging verbosity, the live metrics/profiling endpoint,
+// and (for tools that opt in with RegisterJournal) the flight-recorder
+// journal.
 type CLIFlags struct {
 	Verbose     bool
 	MetricsAddr string
+
+	// JournalPath/JournalCap are bound by RegisterJournal; Init builds
+	// Journal from them so /healthz can report its pressure.
+	JournalPath string
+	JournalCap  int
+	Journal     *Journal
 }
 
 // Register binds -v and -metrics-addr on fs.
 func (f *CLIFlags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&f.Verbose, "v", false, "verbose (debug-level) logging")
 	fs.StringVar(&f.MetricsAddr, "metrics-addr", "",
-		"serve /debug/vars and /debug/pprof on this address (e.g. :8080)")
+		"serve /debug/vars, /debug/pprof, /healthz and /metrics on this address (e.g. :8080)")
 }
 
-// Init installs the process-wide slog logger (also returned) and, when
-// -metrics-addr was given, starts the observability server. Call it
+// RegisterJournal additionally binds -journal and -journal-cap for
+// tools that feed the flight recorder. A tool that registers these must
+// call WriteJournal (or export the events itself) before exiting.
+func (f *CLIFlags) RegisterJournal(fs *flag.FlagSet) {
+	fs.StringVar(&f.JournalPath, "journal", "",
+		"record decode/campaign anomalies and write them to this JSONL file at exit")
+	fs.IntVar(&f.JournalCap, "journal-cap", 4096,
+		"flight-recorder capacity in events (oldest are dropped beyond this)")
+}
+
+// Init installs the process-wide slog logger (also returned), builds the
+// journal when -journal was given, and, when -metrics-addr was given,
+// starts the observability server with that journal attached. Call it
 // once, after flag.Parse.
 func (f *CLIFlags) Init(tool string) *slog.Logger {
 	logger := NewLogger(tool, f.Verbose)
+	if f.JournalPath != "" && f.Journal == nil {
+		f.Journal = NewJournal(f.JournalCap)
+		f.Journal.Publish("journal")
+		logger.Info("flight recorder on", "path", f.JournalPath, "capacity", f.JournalCap)
+	}
 	if f.MetricsAddr != "" {
-		addr, err := StartServer(f.MetricsAddr)
+		addr, err := StartServerJournal(f.MetricsAddr, f.Journal)
 		if err != nil {
 			Fatal(logger, "metrics server failed", "addr", f.MetricsAddr, "err", err)
 		}
 		logger.Info("observability server listening",
-			"addr", addr, "vars", "/debug/vars", "pprof", "/debug/pprof/")
+			"addr", addr, "vars", "/debug/vars", "pprof", "/debug/pprof/",
+			"healthz", "/healthz", "metrics", "/metrics")
 	}
 	return logger
+}
+
+// WriteJournal drains the flight recorder into -journal as JSONL (and,
+// when chromePath is non-empty, also renders the same events as a Chrome
+// trace for Perfetto). A tool without an active journal is a no-op.
+func (f *CLIFlags) WriteJournal(logger *slog.Logger, chromePath string) {
+	if f.Journal == nil || f.JournalPath == "" {
+		return
+	}
+	events := f.Journal.Drain()
+	out, err := os.Create(f.JournalPath)
+	if err != nil {
+		Fatal(logger, "create journal file", "path", f.JournalPath, "err", err)
+	}
+	if err := WriteJSONL(out, events); err != nil {
+		out.Close()
+		Fatal(logger, "write journal", "path", f.JournalPath, "err", err)
+	}
+	if err := out.Close(); err != nil {
+		Fatal(logger, "close journal", "path", f.JournalPath, "err", err)
+	}
+	logger.Info("wrote journal", "path", f.JournalPath,
+		"events", len(events), "dropped", f.Journal.Dropped())
+	if chromePath == "" {
+		return
+	}
+	tf, err := os.Create(chromePath)
+	if err != nil {
+		Fatal(logger, "create chrome trace", "path", chromePath, "err", err)
+	}
+	if err := WriteChromeTrace(tf, events); err != nil {
+		tf.Close()
+		Fatal(logger, "write chrome trace", "path", chromePath, "err", err)
+	}
+	if err := tf.Close(); err != nil {
+		Fatal(logger, "close chrome trace", "path", chromePath, "err", err)
+	}
+	logger.Info("wrote chrome trace", "path", chromePath, "events", len(events))
 }
 
 // NewLogger builds the shared text-handler slog logger, tags every

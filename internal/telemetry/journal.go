@@ -1,0 +1,320 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Journal is the flight recorder of the decode and campaign pipelines: a
+// sharded, bounded ring buffer of structured events. The campaigns only
+// *count* rare events — miscorrections, DUEs, MAC collisions — but a
+// count is useless for forensics; the journal keeps the last N full
+// records (which fault, which remainder, which candidate trail) so a
+// multi-hour run that ends with "miscorrected: 3" can say exactly what
+// those three were.
+//
+// Design contract:
+//
+//   - A nil *Journal is a valid, disabled recorder: every method is a
+//     no-op (Record is a single nil check), so instrumented code carries
+//     no conditional wiring.
+//   - Recording is sharded: writers hash across independent locked rings,
+//     so heavy concurrent recording does not serialize the campaign.
+//   - The buffer is bounded. When a ring is full the oldest event in that
+//     shard is overwritten and the drop counter is incremented — memory
+//     stays bounded no matter how long the run, and the operator can see
+//     exactly how much history was lost.
+//   - Export is pull-based: Snapshot copies, Drain copies-and-clears,
+//     both returning events in global sequence order. WriteJSONL and
+//     WriteChromeTrace turn an event slice into the two artifact formats
+//     (line-delimited JSON for cmd/eccreport; Chrome trace-event JSON,
+//     viewable in Perfetto, for worker timelines).
+type Journal struct {
+	shards []journalShard
+	seq    atomic.Uint64
+
+	recorded Counter // events accepted (including later-overwritten ones)
+	dropped  Counter // events lost to ring overwrite
+}
+
+type journalShard struct {
+	mu   sync.Mutex
+	ring []Event
+	next int // next write slot
+	n    int // live events in the ring
+}
+
+// Event kinds recorded by the pipeline. Detail payloads are
+// kind-specific; see DecodeAnomaly.
+const (
+	// KindDecodeAnomaly is a non-clean poly decode: a correction, an
+	// Update-ECC fix, a DUE, or a (forced or natural) miscorrection, with
+	// the candidate trail in Detail.
+	KindDecodeAnomaly = "decode-anomaly"
+	// KindTrialOutcome is a campaign trial whose outcome labels matched
+	// the campaign's journal filter (plus every recovered panic).
+	KindTrialOutcome = "trial-outcome"
+	// KindScrubFinding is a correction or DUE found by a patrol sweep.
+	KindScrubFinding = "scrub-finding"
+	// KindSpan is a timed interval — one campaign worker executing one
+	// shard — exported to the Chrome trace timeline.
+	KindSpan = "span"
+)
+
+// Event is one journal record. Seq and TimeNs are stamped by Record;
+// the remaining fields are caller-populated and kind-dependent. Index
+// is a generic position: the trial index of a campaign event, the line
+// index of a scrub finding.
+type Event struct {
+	Seq     uint64 `json:"seq"`
+	TimeNs  int64  `json:"time_unix_ns"`
+	Kind    string `json:"kind"`
+	Source  string `json:"source,omitempty"`
+	Name    string `json:"name,omitempty"`
+	Worker  int    `json:"worker"`
+	Index   int    `json:"index,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+	DurNs   int64  `json:"dur_ns,omitempty"`
+	Detail  any    `json:"detail,omitempty"`
+}
+
+// DecodeAnomaly is the Detail payload of a KindDecodeAnomaly (and
+// KindScrubFinding) event: the full forensic record of one non-clean
+// decode.
+type DecodeAnomaly struct {
+	Status         string      `json:"status"`
+	Model          string      `json:"model,omitempty"` // fault model that produced the MAC match
+	Injected       string      `json:"injected,omitempty"`
+	Iterations     int         `json:"iterations"`
+	CorruptedWords int         `json:"corrupted_words"`
+	ECCFixed       bool        `json:"ecc_fixed,omitempty"`
+	SDC            bool        `json:"sdc,omitempty"` // corrected to wrong data (MAC collision)
+	Words          []WordState `json:"words,omitempty"`
+	Trail          []TraceStep `json:"trail,omitempty"`
+	TrailDropped   int         `json:"trail_dropped,omitempty"`
+}
+
+// WordState is one corrupted codeword of an anomalous line: its index
+// within the cacheline and the residue remainder the corrector worked
+// from.
+type WordState struct {
+	Word      int    `json:"word"`
+	Remainder uint64 `json:"remainder"`
+}
+
+// TraceStep is one candidate application within a correction trial —
+// the journal-side mirror of poly.TraceEvent (telemetry cannot import
+// poly; poly converts).
+type TraceStep struct {
+	Model     string `json:"model"`
+	Trial     int    `json:"trial"`
+	Word      int    `json:"word"`
+	Candidate int    `json:"candidate"`
+	MACMatch  bool   `json:"mac_match"`
+}
+
+// journalShards is the fixed shard count: enough to keep a 96-worker
+// campaign's recorders from serializing, small enough that Drain's
+// merge stays trivial.
+const journalShards = 8
+
+// NewJournal builds a journal bounded to roughly capacity events
+// (rounded up to a multiple of the shard count). Capacity <= 0 gets a
+// 4096-event default.
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	per := (capacity + journalShards - 1) / journalShards
+	j := &Journal{shards: make([]journalShard, journalShards)}
+	for i := range j.shards {
+		j.shards[i].ring = make([]Event, per)
+	}
+	return j
+}
+
+// Enabled reports whether recording does anything; callers building
+// expensive Detail payloads should check it first.
+func (j *Journal) Enabled() bool { return j != nil }
+
+// Record stamps e with a sequence number and (if unset) the current
+// time, then stores it, overwriting the oldest event in its shard when
+// full. Safe for concurrent use; a nil journal ignores the call.
+func (j *Journal) Record(e Event) {
+	if j == nil {
+		return
+	}
+	e.Seq = j.seq.Add(1)
+	if e.TimeNs == 0 {
+		e.TimeNs = time.Now().UnixNano()
+	}
+	sh := &j.shards[e.Seq%journalShards]
+	sh.mu.Lock()
+	if sh.n == len(sh.ring) {
+		j.dropped.Add(1) // the slot at next is the shard's oldest event
+	} else {
+		sh.n++
+	}
+	sh.ring[sh.next] = e
+	sh.next = (sh.next + 1) % len(sh.ring)
+	sh.mu.Unlock()
+	j.recorded.Add(1)
+}
+
+// Recorded returns the number of events ever accepted.
+func (j *Journal) Recorded() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.recorded.Value()
+}
+
+// Dropped returns the number of events overwritten before export.
+func (j *Journal) Dropped() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.dropped.Value()
+}
+
+// Len returns the number of events currently buffered.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	n := 0
+	for i := range j.shards {
+		sh := &j.shards[i]
+		sh.mu.Lock()
+		n += sh.n
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// collect gathers every buffered event in sequence order, clearing the
+// rings when drain is set.
+func (j *Journal) collect(drain bool) []Event {
+	if j == nil {
+		return nil
+	}
+	var out []Event
+	for i := range j.shards {
+		sh := &j.shards[i]
+		sh.mu.Lock()
+		// Oldest-first within the shard: the ring's oldest live slot is
+		// next-n (mod len) when full, else slot 0 onward.
+		start := (sh.next - sh.n + len(sh.ring)) % len(sh.ring)
+		for k := 0; k < sh.n; k++ {
+			out = append(out, sh.ring[(start+k)%len(sh.ring)])
+		}
+		if drain {
+			sh.n, sh.next = 0, 0
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Snapshot returns a copy of the buffered events in sequence order,
+// leaving the journal intact.
+func (j *Journal) Snapshot() []Event { return j.collect(false) }
+
+// Drain returns the buffered events in sequence order and empties the
+// journal. Events recorded concurrently with the drain land in either
+// this batch or the next, never both.
+func (j *Journal) Drain() []Event { return j.collect(true) }
+
+// Publish registers the journal's meta-counters in expvar under
+// prefix.recorded and prefix.dropped (idempotently, like Publish).
+func (j *Journal) Publish(prefix string) {
+	if j == nil {
+		return
+	}
+	Publish(prefix+".recorded", &j.recorded)
+	Publish(prefix+".dropped", &j.dropped)
+}
+
+// WriteJSONL writes events as line-delimited JSON, one event per line —
+// the journal artifact format cmd/eccreport consumes.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("telemetry: encode journal event %d: %w", events[i].Seq, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a journal JSONL stream, validating every line; it is
+// both the loader and the format checker (make report-smoke fails on a
+// malformed journal through it).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for line := 1; ; line++ {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("telemetry: journal line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+}
+
+// chromeTraceEvent is one entry of the Chrome trace-event format
+// (catapult "JSON Array Format"), viewable in Perfetto and
+// chrome://tracing. Timestamps and durations are microseconds.
+type chromeTraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders events as a Chrome trace: KindSpan events
+// become complete ("X") slices on their worker's track, everything else
+// an instant ("i") marker. Load the output in Perfetto to see the
+// campaign's per-worker shard timeline with anomalies pinned on it.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	trace := make([]chromeTraceEvent, 0, len(events))
+	for _, e := range events {
+		ct := chromeTraceEvent{
+			Name:  e.Name,
+			Cat:   e.Kind,
+			TsUs:  float64(e.TimeNs) / 1e3,
+			PID:   1,
+			TID:   e.Worker,
+			Args:  map[string]any{"seq": e.Seq, "source": e.Source},
+		}
+		if e.Outcome != "" {
+			ct.Args["outcome"] = e.Outcome
+		}
+		if e.Kind == KindSpan {
+			ct.Phase = "X"
+			ct.DurUs = float64(e.DurNs) / 1e3
+		} else {
+			ct.Phase = "i"
+			ct.Scope = "t"
+			if ct.Name == "" {
+				ct.Name = e.Kind
+			}
+		}
+		trace = append(trace, ct)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJournalRecordAndDrain(t *testing.T) {
+	j := NewJournal(64)
+	if !j.Enabled() {
+		t.Fatal("non-nil journal must report enabled")
+	}
+	for i := 0; i < 10; i++ {
+		j.Record(Event{Kind: KindTrialOutcome, Worker: i % 3, Index: i, Outcome: "sdc"})
+	}
+	if got := j.Len(); got != 10 {
+		t.Fatalf("Len = %d, want 10", got)
+	}
+	snap := j.Snapshot()
+	if len(snap) != 10 {
+		t.Fatalf("Snapshot = %d events, want 10", len(snap))
+	}
+	for i, e := range snap {
+		if i > 0 && e.Seq <= snap[i-1].Seq {
+			t.Fatalf("snapshot not seq-ordered at %d: %d after %d", i, e.Seq, snap[i-1].Seq)
+		}
+		if e.TimeNs == 0 {
+			t.Fatalf("event %d not timestamped", i)
+		}
+	}
+	// Snapshot must not consume.
+	if got := j.Len(); got != 10 {
+		t.Fatalf("Len after Snapshot = %d, want 10", got)
+	}
+	if got := len(j.Drain()); got != 10 {
+		t.Fatalf("Drain = %d events, want 10", got)
+	}
+	if got := j.Len(); got != 0 {
+		t.Fatalf("Len after Drain = %d, want 0", got)
+	}
+}
+
+func TestJournalOverwritesOldest(t *testing.T) {
+	j := NewJournal(16) // 2 slots per shard
+	const n = 100
+	for i := 0; i < n; i++ {
+		j.Record(Event{Kind: KindTrialOutcome, Index: i})
+	}
+	if got := j.Recorded(); got != n {
+		t.Fatalf("Recorded = %d, want %d", got, n)
+	}
+	events := j.Drain()
+	if len(events) > 16 {
+		t.Fatalf("ring held %d events, capacity 16", len(events))
+	}
+	if got := j.Dropped(); got != int64(n-len(events)) {
+		t.Fatalf("Dropped = %d, want recorded−kept = %d", got, n-len(events))
+	}
+	// The flight recorder keeps the newest events, not the oldest.
+	for _, e := range events {
+		if e.Index < n-16*2 {
+			t.Fatalf("kept suspiciously old event index %d", e.Index)
+		}
+	}
+}
+
+// A nil journal is the disabled state: every method must be a safe
+// no-op so call sites need no branches.
+func TestJournalNilDisabled(t *testing.T) {
+	var j *Journal
+	if j.Enabled() {
+		t.Fatal("nil journal must report disabled")
+	}
+	j.Record(Event{Kind: KindSpan})
+	if j.Recorded() != 0 || j.Dropped() != 0 || j.Len() != 0 {
+		t.Fatal("nil journal must count nothing")
+	}
+	if got := j.Snapshot(); got != nil {
+		t.Fatalf("nil Snapshot = %v, want nil", got)
+	}
+	if got := j.Drain(); got != nil {
+		t.Fatalf("nil Drain = %v, want nil", got)
+	}
+}
+
+// The campaign engine hammers the journal from every worker while the
+// exporter drains — the counters must stay exact and the memory
+// bounded. Run with -race this doubles as the locking proof.
+func TestJournalConcurrent(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 2000
+		capacity  = 256
+	)
+	j := NewJournal(capacity)
+	var wg sync.WaitGroup
+	drained := make(chan []Event, 1)
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // one concurrent drainer, like the exporter
+		defer wg.Done()
+		var all []Event
+		for {
+			select {
+			case <-stop:
+				all = append(all, j.Drain()...)
+				drained <- all
+				return
+			default:
+				all = append(all, j.Drain()...)
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				j.Record(Event{Kind: KindTrialOutcome, Worker: w, Index: i})
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	all := <-drained
+
+	if got := j.Recorded(); got != writers*perWriter {
+		t.Fatalf("Recorded = %d, want %d", got, writers*perWriter)
+	}
+	// Every recorded event is either drained or counted as dropped.
+	if got := int64(len(all)) + j.Dropped(); got != int64(writers*perWriter) {
+		t.Fatalf("drained %d + dropped %d = %d, want %d",
+			len(all), j.Dropped(), got, writers*perWriter)
+	}
+	seen := make(map[uint64]bool, len(all))
+	for _, e := range all {
+		if seen[e.Seq] {
+			t.Fatalf("seq %d drained twice", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	if j.Len() != 0 {
+		t.Fatalf("Len after final drain = %d, want 0", j.Len())
+	}
+}
+
+func TestJournalJSONLRoundTrip(t *testing.T) {
+	j := NewJournal(0)
+	j.Record(Event{Kind: KindDecodeAnomaly, Source: "test", Worker: 2, Index: 41, Outcome: "miscorrected",
+		Detail: &DecodeAnomaly{Status: "corrected", Model: "SSC", Injected: "DEC", Iterations: 3,
+			CorruptedWords: 1, SDC: true,
+			Words: []WordState{{Word: 4, Remainder: 0x1a2b}},
+			Trail: []TraceStep{{Model: "ChipKill", Trial: 1, Word: 4, Candidate: 0, MACMatch: false}}}})
+	j.Record(Event{Kind: KindSpan, Source: "campaign", Name: "shard-0", Worker: 1, DurNs: 1500})
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, j.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", got)
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("ReadJSONL = %d events, want 2", len(events))
+	}
+	e := events[0]
+	if e.Kind != KindDecodeAnomaly || e.Outcome != "miscorrected" || e.Index != 41 {
+		t.Fatalf("round-tripped event mangled: %+v", e)
+	}
+	// Detail survives as a generic map; re-marshal recovers the type.
+	raw, _ := json.Marshal(e.Detail)
+	var da DecodeAnomaly
+	if err := json.Unmarshal(raw, &da); err != nil {
+		t.Fatal(err)
+	}
+	if da.Model != "SSC" || len(da.Words) != 1 || da.Words[0].Remainder != 0x1a2b || len(da.Trail) != 1 {
+		t.Fatalf("detail mangled: %+v", da)
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"seq\":1}\nnot json\n")); err == nil {
+		t.Fatal("malformed journal line must fail")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	j := NewJournal(0)
+	j.Record(Event{Kind: KindSpan, Source: "campaign", Name: "shard-3", Worker: 2, DurNs: 2_000_000})
+	j.Record(Event{Kind: KindDecodeAnomaly, Source: "polysoak", Worker: 1, Index: 9, Outcome: "sdc"})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, j.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var trace []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v", err)
+	}
+	if len(trace) != 2 {
+		t.Fatalf("trace events = %d, want 2", len(trace))
+	}
+	var phases []string
+	for _, e := range trace {
+		phases = append(phases, fmt.Sprint(e["ph"]))
+	}
+	sawX, sawI := false, false
+	for i, e := range trace {
+		switch phases[i] {
+		case "X":
+			sawX = true
+			if e["dur"].(float64) != 2000 { // µs
+				t.Fatalf("span dur = %v µs, want 2000", e["dur"])
+			}
+			if e["tid"].(float64) != 2 {
+				t.Fatalf("span tid = %v, want worker 2", e["tid"])
+			}
+		case "i":
+			sawI = true
+		}
+	}
+	if !sawX || !sawI {
+		t.Fatalf("want one complete and one instant event, got phases %v", phases)
+	}
+}
+
+// journal.Publish rides the idempotent registry: re-publication (a
+// second CLIFlags.Init in tests, say) must neither panic nor reset.
+func TestJournalPublishIdempotent(t *testing.T) {
+	j := NewJournal(8)
+	j.Record(Event{Kind: KindSpan})
+	j.Publish("telemetry_test.journal")
+	j.Publish("telemetry_test.journal")
+	if got := expvar.Get("telemetry_test.journal.recorded"); got == nil || got.String() != "1" {
+		t.Fatalf("journal.recorded = %v, want 1", got)
+	}
+	if got := expvar.Get("telemetry_test.journal.dropped"); got == nil || got.String() != "0" {
+		t.Fatalf("journal.dropped = %v, want 0", got)
+	}
+}

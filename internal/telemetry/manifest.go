@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"os"
+	"runtime"
+	"time"
+)
+
+// Manifest binds an artifact — a campaign checkpoint, a benchmark
+// snapshot, a results file — to the exact run that produced it. A
+// results table without its seed, arguments, and toolchain is
+// unreproducible the day after it is written; every writer in the repo
+// embeds one of these so cmd/eccreport (and a human with jq) can trace
+// any file back to its invocation.
+//
+// A zero Finished time means the run was still in flight when the
+// artifact was written (mid-campaign checkpoints look like this).
+type Manifest struct {
+	Tool      string    `json:"tool"`
+	Args      []string  `json:"args,omitempty"`
+	Seed      int64     `json:"seed,omitempty"`
+	Codec     string    `json:"codec,omitempty"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	Host      string    `json:"host,omitempty"`
+	PID       int       `json:"pid"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished,omitempty"`
+}
+
+// NewManifest captures the current process's identity: tool name, the
+// full command-line arguments, toolchain and platform, host, and start
+// time. Callers fill Seed/Codec and call Finish before the final write.
+func NewManifest(tool string) *Manifest {
+	host, _ := os.Hostname()
+	return &Manifest{
+		Tool:      tool,
+		Args:      append([]string(nil), os.Args[1:]...),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Host:      host,
+		PID:       os.Getpid(),
+		Started:   time.Now().UTC(),
+	}
+}
+
+// Finish stamps the end time; artifacts written after Finish describe a
+// completed run.
+func (m *Manifest) Finish() {
+	if m != nil {
+		m.Finished = time.Now().UTC()
+	}
+}

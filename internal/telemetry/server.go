@@ -1,17 +1,29 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"strings"
+	"time"
 )
 
+// processStart anchors /healthz uptime reporting.
+var processStart = time.Now()
+
 // NewMux builds the observability HTTP mux: /debug/vars (the expvar
-// registry, including every collector registered through Publish) and
-// the /debug/pprof endpoints (CPU/heap/goroutine profiles and execution
-// traces) for live profiling of a running campaign.
-func NewMux() *http.ServeMux {
+// registry, including every collector registered through Publish), the
+// /debug/pprof endpoints (CPU/heap/goroutine profiles and execution
+// traces), /healthz (liveness: uptime, goroutines, journal pressure),
+// and /metrics (the expvar registry re-rendered in Prometheus text
+// exposition format, so a standard scraper can watch a campaign without
+// any extra dependency). j may be nil when the process runs without a
+// flight recorder.
+func NewMux(j *Journal) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -19,19 +31,117 @@ func NewMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", healthzHandler(j))
+	mux.HandleFunc("/metrics", metricsHandler)
 	return mux
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
+	Journal       struct {
+		Enabled  bool  `json:"enabled"`
+		Buffered int   `json:"buffered"`
+		Recorded int64 `json:"recorded"`
+		Dropped  int64 `json:"dropped"`
+	} `json:"journal"`
+}
+
+func healthzHandler(j *Journal) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h := Health{
+			Status:        "ok",
+			UptimeSeconds: time.Since(processStart).Seconds(),
+			Goroutines:    runtime.NumGoroutine(),
+		}
+		h.Journal.Enabled = j.Enabled()
+		h.Journal.Buffered = j.Len()
+		h.Journal.Recorded = j.Recorded()
+		h.Journal.Dropped = j.Dropped()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h) //nolint:errcheck — best-effort health response
+	}
+}
+
+// promName maps an expvar name ("decode.latency_ns") to a legal
+// Prometheus metric name ("decode_latency_ns").
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format.
+func promLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// metricsHandler renders every scrapeable expvar as Prometheus text
+// exposition: telemetry Counters as counters, LabeledCounters as
+// labeled counters, Histograms as cumulative-bucket histograms, and
+// plain expvar Ints/Floats as gauges. Composite expvars (memstats,
+// cmdline) are skipped — pprof already serves the memory story.
+func metricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	expvar.Do(func(kv expvar.KeyValue) {
+		name := promName(kv.Key)
+		switch v := kv.Value.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v.Value())
+		case *LabeledCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n", name)
+			v.Do(func(label string, value int64) {
+				fmt.Fprintf(w, "%s{label=%q} %d\n", name, promLabel(label), value)
+			})
+		case *Histogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			cum := int64(0)
+			for i := 0; i < v.NumBuckets(); i++ {
+				cum += v.BucketCount(i)
+				if bound, inf := v.Bound(i); inf {
+					fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+				} else {
+					fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum)
+				}
+			}
+			fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, v.Sum(), name, v.Count())
+		case *expvar.Int:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v.Value())
+		case *expvar.Float:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, v.Value())
+		}
+	})
 }
 
 // StartServer listens on addr (e.g. ":8080") and serves NewMux in a
 // background goroutine for the life of the process. The listen happens
 // synchronously so a bad address fails fast; the resolved address is
 // returned (useful with ":0").
-func StartServer(addr string) (string, error) {
+func StartServer(addr string) (string, error) { return StartServerJournal(addr, nil) }
+
+// StartServerJournal is StartServer with a flight recorder attached, so
+// /healthz reports journal buffer depth and drop counts live.
+func StartServerJournal(addr string, j *Journal) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: NewMux()}
+	srv := &http.Server{Handler: NewMux(j)}
 	go srv.Serve(ln) //nolint:errcheck — lives until process exit
 	return ln.Addr().String(), nil
 }

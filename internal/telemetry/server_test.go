@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHealthzReportsJournalPressure(t *testing.T) {
+	j := NewJournal(16)
+	for i := 0; i < 40; i++ {
+		j.Record(Event{Kind: KindTrialOutcome, Index: i})
+	}
+	srv := httptest.NewServer(NewMux(j))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Goroutines <= 0 || h.UptimeSeconds < 0 {
+		t.Fatalf("implausible health: %+v", h)
+	}
+	if !h.Journal.Enabled {
+		t.Fatal("journal must report enabled")
+	}
+	if h.Journal.Recorded != 40 || h.Journal.Dropped != 40-int64(h.Journal.Buffered) {
+		t.Fatalf("journal pressure wrong: %+v", h.Journal)
+	}
+}
+
+func TestHealthzWithoutJournal(t *testing.T) {
+	srv := httptest.NewServer(NewMux(nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Journal.Enabled {
+		t.Fatal("nil journal must report disabled")
+	}
+}
+
+func TestMetricsPrometheusExposition(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	Publish("server_test.trials", &c)
+	var lc LabeledCounter
+	lc.Add("sdc", 3)
+	lc.Add("due", 1)
+	Publish("server_test.outcomes", &lc)
+	h := NewHistogram(1000, 10000, 100000)
+	h.Observe(int64(3 * time.Microsecond))
+	Publish("server_test.latency_ns", h)
+
+	srv := httptest.NewServer(NewMux(nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE server_test_trials counter",
+		"server_test_trials 5",
+		`server_test_outcomes{label="sdc"} 3`,
+		`server_test_outcomes{label="due"} 1`,
+		"# TYPE server_test_latency_ns histogram",
+		`server_test_latency_ns_bucket{le="+Inf"}`,
+		"server_test_latency_ns_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if strings.Contains(body, "server_test.trials") {
+		t.Error("dots must be sanitized out of metric names")
+	}
+}
+
+func TestDebugVarsStillServed(t *testing.T) {
+	var c Counter
+	c.Add(2)
+	Publish("server_test.debugvars", &c)
+	srv := httptest.NewServer(NewMux(nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if string(vars["server_test.debugvars"]) != "2" {
+		t.Fatalf("debug/vars missing counter: %s", vars["server_test.debugvars"])
+	}
+}

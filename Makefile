@@ -1,13 +1,17 @@
 # Developer entry points. `make ci` is the tier-1 gate every PR must
 # keep green; `make bench-snapshot` refreshes the decode-path perf
 # snapshot future PRs are compared against; `make bench-gate` enforces
-# the 0 allocs/op contract on the scratch encode/decode hot paths.
+# the perf contract on the hot paths: 0 allocs/op for encode, the
+# scratch entry points, and the corrected-SSC decode, plus a latency
+# gate holding the corrected-SSC decode within 10% of the committed
+# BENCH_decode.json baseline. `make bench-compare OLD=old.json` prints
+# the before/after table for a perf PR.
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-snapshot bench-history bench-gate smoke-campaign report-smoke
+.PHONY: ci build vet test race bench bench-snapshot bench-history bench-gate bench-compare smoke-campaign scrub-smoke report-smoke
 
-ci: vet build race smoke-campaign bench-gate report-smoke
+ci: vet build race smoke-campaign scrub-smoke bench-gate report-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +37,12 @@ bench-history:
 bench-gate:
 	$(GO) run ./cmd/benchsnap -gate
 
+# Percent-delta table of the current tree against an older snapshot:
+#   make bench-compare OLD=BENCH_decode.json
+OLD ?= BENCH_decode.json
+bench-compare:
+	$(GO) run ./cmd/benchsnap -compare $(OLD)
+
 # Tiny end-to-end campaign: run the in-model soak with a checkpoint and
 # a timeout, then resume it to completion — the interrupt/resume round
 # trip every long fault-injection run depends on.
@@ -44,6 +54,13 @@ smoke-campaign:
 		-checkpoint $(SMOKE_CKPT) -resume >/dev/null
 	@rm -f $(SMOKE_CKPT)
 	@echo "smoke-campaign: checkpoint/resume round trip OK"
+
+# Short batched-decode campaign: a journal-free patrol over a faulted
+# region runs the poly.DecodeLines sweep path end to end (the journaled
+# per-line path is covered by report-smoke).
+scrub-smoke:
+	$(GO) run ./examples/scrubber -lines 256 -sweeps 3 -interval 0 -seed 11 >/dev/null
+	@echo "scrub-smoke: batched patrol sweep OK"
 
 # Tiny end-to-end forensics run: a journaled soak, then eccreport over
 # every artifact it leaves, asserting the journal parses as JSONL (the

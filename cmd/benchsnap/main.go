@@ -6,10 +6,17 @@
 // allocation-free entry points; and a clean-decode bench for every
 // registered cacheline codec.
 //
-// With -gate only the allocation contract is checked: encode and clean
-// decode through a poly.Scratch must run at 0 allocs/op, and the process
-// exits nonzero if either regresses — `make bench-gate` wires this into
-// `make ci`.
+// With -gate two contracts are checked and the process exits nonzero if
+// either regresses — `make bench-gate` wires this into `make ci`:
+//
+//   - allocation: encode (EncodeLineInto), the scratch entry points, and
+//     the corrected-SSC decode must all run at 0 allocs/op;
+//   - latency: decode/corrected-ssc must stay within -gate-tolerance
+//     percent of the committed -baseline snapshot's ns/op.
+//
+// With -compare the scenarios are measured and printed as percent deltas
+// against an older snapshot instead of being written anywhere — the
+// before/after table for a perf PR.
 //
 // With -history the snapshot is appended as one manifest-stamped line
 // of BENCH_history.jsonl instead, accumulating the perf trajectory
@@ -18,7 +25,8 @@
 // Usage:
 //
 //	benchsnap [-o BENCH_decode.json] [-v]
-//	benchsnap -gate
+//	benchsnap -gate [-baseline BENCH_decode.json] [-gate-tolerance 10]
+//	benchsnap -compare old.json
 //	benchsnap -history [-history-path BENCH_history.jsonl]
 package main
 
@@ -59,6 +67,29 @@ type Result struct {
 	Iterations  int     `json:"iterations"`
 }
 
+// result looks a scenario up by name.
+func (s Snapshot) result(name string) (Result, bool) {
+	for _, r := range s.Benchmarks {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// loadSnapshot reads a snapshot file (the -baseline and -compare inputs).
+func loadSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return s, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return s, nil
+}
+
 var benchKey = [16]byte{0xb, 0xe, 0xa, 0xc, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
 
 // corrupt returns line with one random data-symbol error in one word.
@@ -73,7 +104,10 @@ func corrupt(code *polyecc.Code, line polyecc.Line, r *rand.Rand) polyecc.Line {
 
 func main() {
 	out := flag.String("o", "BENCH_decode.json", "snapshot output path")
-	gate := flag.Bool("gate", false, "check the 0 allocs/op contract on the scratch paths and exit nonzero on regression (no snapshot)")
+	gate := flag.Bool("gate", false, "check the 0 allocs/op contract on the hot paths plus the corrected-decode latency against -baseline, and exit nonzero on regression (no snapshot)")
+	baseline := flag.String("baseline", "BENCH_decode.json", "committed snapshot the -gate latency check compares against (empty disables the latency gate)")
+	gateTolerance := flag.Float64("gate-tolerance", 10, "percent decode/corrected-ssc ns/op regression over -baseline that fails -gate")
+	compare := flag.String("compare", "", "older snapshot to diff against: measure the scenarios and print percent deltas instead of writing a snapshot")
 	history := flag.Bool("history", false, "append the snapshot as one line of -history-path instead of overwriting -o, accumulating the perf trajectory across PRs")
 	historyPath := flag.String("history-path", "BENCH_history.jsonl", "history file for -history mode")
 	var obs telemetry.CLIFlags
@@ -107,14 +141,23 @@ func main() {
 			}
 		}
 	}
-	// The gate scenarios carry the repo-wide allocation contract: the
-	// scratch entry points — what the soak, scrubber, and parallel
-	// decoder run per line — never touch the heap.
+	// The gate scenarios carry the repo-wide allocation contract: encode
+	// into a reused Line and the scratch entry points — what the soak,
+	// scrubber, and parallel decoder run per line — never touch the heap,
+	// and the iterative corrector resolves an SSC without one either.
 	scratch := bare.NewScratch()
+	correctedSSC := decodeBench(bare, bad, false)
 	gated := []struct {
 		name string
 		fn   func(b *testing.B)
 	}{
+		{"encode", func(b *testing.B) {
+			b.ReportAllocs()
+			var dst polyecc.Line
+			for i := 0; i < b.N; i++ {
+				bare.EncodeLineInto(&dst, &data)
+			}
+		}},
 		{"encode-scratch", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -130,21 +173,32 @@ func main() {
 				}
 			}
 		}},
+		{"decode/corrected-ssc", correctedSSC},
 	}
 	scenarios := []struct {
 		name string
 		fn   func(b *testing.B)
 	}{
-		{"encode", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				bare.EncodeLine(&data)
-			}
-		}},
 		{"decode/clean", decodeBench(bare, clean, true)},
 		{"decode/clean+metrics", decodeBench(instrumented, clean, true)},
-		{"decode/corrected-ssc", decodeBench(bare, bad, false)},
 		{"decode/corrected-ssc+metrics", decodeBench(instrumented, bad, false)},
+		{"decode-batch32/clean", func(b *testing.B) {
+			// One op is a 32-line batch through DecodeLines — the scrubber
+			// and parallel-decoder steady state. ns/op is per batch.
+			lines := make([]polyecc.Line, 32)
+			for i := range lines {
+				lines[i] = clean.Clone()
+			}
+			results := make([]polyecc.Result, 0, len(lines))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results = bare.DecodeLines(results[:0], lines, scratch)
+				if results[0].Report.Status != polyecc.StatusClean {
+					b.Fatalf("unexpected status %v", results[0].Report.Status)
+				}
+			}
+		}},
 	}
 	scenarios = append(scenarios, gated...)
 	// One clean-decode bench per registered cacheline codec, so the
@@ -173,17 +227,62 @@ func main() {
 		failed := false
 		for _, sc := range gated {
 			res := testing.Benchmark(sc.fn)
+			ns := float64(res.T.Nanoseconds()) / float64(res.N)
 			logger.Info("gate", "scenario", sc.name, "allocs_per_op", res.AllocsPerOp(),
-				"ns_per_op", fmt.Sprintf("%.1f", float64(res.T.Nanoseconds())/float64(res.N)))
+				"ns_per_op", fmt.Sprintf("%.1f", ns))
 			if res.AllocsPerOp() != 0 {
 				logger.Error("allocation gate FAILED", "scenario", sc.name, "allocs_per_op", res.AllocsPerOp())
 				failed = true
+			}
+			if sc.name == "decode/corrected-ssc" && *baseline != "" {
+				old, err := loadSnapshot(*baseline)
+				if err != nil {
+					logger.Error("latency gate FAILED: baseline unreadable", "path", *baseline, "err", err)
+					failed = true
+				} else if ref, ok := old.result(sc.name); !ok {
+					logger.Warn("latency gate skipped: baseline has no corrected-ssc entry", "path", *baseline)
+				} else if limit := ref.NsPerOp * (1 + *gateTolerance/100); ns > limit {
+					logger.Error("latency gate FAILED", "scenario", sc.name,
+						"ns_per_op", fmt.Sprintf("%.1f", ns),
+						"baseline_ns_per_op", fmt.Sprintf("%.1f", ref.NsPerOp),
+						"tolerance_pct", *gateTolerance)
+					failed = true
+				} else {
+					logger.Info("latency gate", "scenario", sc.name,
+						"ns_per_op", fmt.Sprintf("%.1f", ns),
+						"baseline_ns_per_op", fmt.Sprintf("%.1f", ref.NsPerOp),
+						"delta_pct", fmt.Sprintf("%+.1f", 100*(ns-ref.NsPerOp)/ref.NsPerOp))
+				}
 			}
 		}
 		if failed {
 			os.Exit(1)
 		}
-		logger.Info("allocation gate passed: encode and clean decode run at 0 allocs/op")
+		logger.Info("bench gate passed: hot paths at 0 allocs/op, corrected decode within tolerance")
+		return
+	}
+
+	if *compare != "" {
+		old, err := loadSnapshot(*compare)
+		if err != nil {
+			telemetry.Fatal(logger, "read compare snapshot", "path", *compare, "err", err)
+		}
+		fmt.Printf("%-34s %12s %12s %8s %8s\n", "scenario", "old ns/op", "new ns/op", "Δ ns", "allocs")
+		for _, sc := range scenarios {
+			res := testing.Benchmark(sc.fn)
+			ns := float64(res.T.Nanoseconds()) / float64(res.N)
+			ref, ok := old.result(sc.name)
+			if !ok {
+				fmt.Printf("%-34s %12s %12.1f %8s %8d\n", sc.name, "-", ns, "new", res.AllocsPerOp())
+				continue
+			}
+			allocs := fmt.Sprintf("%d", res.AllocsPerOp())
+			if res.AllocsPerOp() != ref.AllocsPerOp {
+				allocs = fmt.Sprintf("%d→%d", ref.AllocsPerOp, res.AllocsPerOp())
+			}
+			fmt.Printf("%-34s %12.1f %12.1f %+7.1f%% %8s\n",
+				sc.name, ref.NsPerOp, ns, 100*(ns-ref.NsPerOp)/ref.NsPerOp, allocs)
+		}
 		return
 	}
 

@@ -35,6 +35,11 @@
 //	faultinject -fig 4 -checkpoint fig4.ckpt -checkpoint-every 200 -timeout 1h
 //	faultinject -fig 4 -checkpoint fig4.ckpt -resume   # continue after an interrupt
 //	faultinject -poly -journal events.jsonl -summary run.json -chrome-trace timeline.json
+//	faultinject -poly -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -cpuprofile and -memprofile write offline pprof profiles bracketing the
+// campaign; they are produced on a graceful drain (Ctrl-C, -timeout) too,
+// so a soak can be profiled without waiting for the full budget.
 package main
 
 import (
@@ -44,6 +49,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"polyecc/internal/campaign"
@@ -66,6 +73,8 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from -checkpoint, skipping completed trials")
 	chromeTrace := flag.String("chrome-trace", "", "also export the journal as a Chrome trace (Perfetto worker timeline) to this file")
 	summary := flag.String("summary", "", "write a manifest-stamped JSON run summary to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile, taken after the campaign, to this file")
 	var obs telemetry.CLIFlags
 	obs.Register(flag.CommandLine)
 	obs.RegisterJournal(flag.CommandLine)
@@ -104,6 +113,22 @@ func main() {
 	// any future in-model campaign) feeds them.
 	decodeMetrics := telemetry.NewDecodeMetrics()
 	decodeMetrics.Publish("decode")
+
+	// Offline profiles bracket the campaign itself, not the report
+	// rendering. They are stopped and written right after the campaign
+	// returns, so a graceful drain (Ctrl-C or -timeout) still produces
+	// them; only telemetry.Fatal paths lose the profile.
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			telemetry.Fatal(logger, "create cpu profile", "path", *cpuProfile, "err", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			telemetry.Fatal(logger, "start cpu profile", "err", err)
+		}
+		cpuFile = f
+	}
 
 	var text string
 	var run campaign.Result
@@ -156,6 +181,28 @@ func main() {
 		text = exp.RenderFigure5(results)
 	default:
 		telemetry.Fatal(logger, "unknown figure (use 4 or 5)", "fig", *fig)
+	}
+
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			telemetry.Fatal(logger, "close cpu profile", "path", *cpuProfile, "err", err)
+		}
+		logger.Info("wrote cpu profile", "path", *cpuProfile)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			telemetry.Fatal(logger, "create heap profile", "path", *memProfile, "err", err)
+		}
+		runtime.GC() // settle the heap so the profile shows what survives the campaign
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			telemetry.Fatal(logger, "write heap profile", "path", *memProfile, "err", err)
+		}
+		if err := f.Close(); err != nil {
+			telemetry.Fatal(logger, "close heap profile", "path", *memProfile, "err", err)
+		}
+		logger.Info("wrote heap profile", "path", *memProfile)
 	}
 
 	if run.Partial {

@@ -141,6 +141,13 @@ func (m *Model) Image() []byte {
 	return out
 }
 
+// ImageInto is Image into a caller-owned buffer, reused when it has
+// capacity — the injection campaigns corrupt one scratch image per worker
+// instead of allocating a copy per trial.
+func (m *Model) ImageInto(dst []byte) []byte {
+	return append(dst[:0], m.img...)
+}
+
 // saturating clamp for the fixed-point accumulators.
 const satLimit = 1 << 28
 

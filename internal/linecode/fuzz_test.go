@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"polyecc/internal/dram"
+	"polyecc/internal/poly"
 )
 
 // fuzzCodes builds every registered codec once; a poly.Code's hint
@@ -47,6 +48,52 @@ func FuzzCodecs(f *testing.F) {
 					t.Errorf("%s: DUE on an uncorrupted burst", code.Name())
 				} else if got != data {
 					t.Errorf("%s: clean round trip corrupted the data", code.Name())
+				}
+			}
+		}
+	})
+}
+
+// FuzzBatchedDecode holds the batched decode path to the single-line
+// path, across every registered Polymorphic variant: for any burst
+// corruption, poly.Code.DecodeLines must return bit-identical data and
+// an identical report to DecodeLine — the batching, candidate pruning,
+// and working-state reuse are pure mechanics, never visible in results.
+func FuzzBatchedDecode(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(2), uint8(1))
+	f.Add(int64(5), uint8(8))
+	f.Add(int64(9), uint8(80))
+	f.Fuzz(func(t *testing.T, seed int64, flips uint8) {
+		r := rand.New(rand.NewSource(seed))
+		var data [LineBytes]byte
+		r.Read(data[:])
+		var mask dram.Burst
+		for i := 0; i < int(flips); i++ {
+			mask[r.Intn(len(mask))] ^= byte(1 + r.Intn(255))
+		}
+		for _, code := range fuzzCodes {
+			p, ok := code.(Poly)
+			if !ok {
+				continue
+			}
+			b := p.C.ToBurst(p.C.EncodeLine(&data))
+			b.Xor(&mask)
+			line := p.C.FromBurst(&b)
+			want, wantRep := p.C.DecodeLine(line)
+			s := p.C.NewScratch()
+			// The same line twice in one batch also checks that the first
+			// decode leaves no state behind that shifts the second.
+			res := p.C.DecodeLines(nil, []poly.Line{line, line}, s)
+			for i := range res {
+				if res[i].Err != nil {
+					t.Fatalf("%s: batched decode %d errored: %v", code.Name(), i, res[i].Err)
+				}
+				if res[i].Data != want {
+					t.Errorf("%s: batched decode %d data diverges from single decode", code.Name(), i)
+				}
+				if res[i].Report != wantRep {
+					t.Errorf("%s: batched decode %d report %+v, single %+v", code.Name(), i, res[i].Report, wantRep)
 				}
 			}
 		}

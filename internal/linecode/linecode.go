@@ -71,9 +71,11 @@ func (p Poly) Encode(data *[LineBytes]byte) dram.Burst {
 	return p.C.ToBurst(p.C.EncodeLine(data))
 }
 
-// Decode implements Code.
+// Decode implements Code. It runs wire-to-data through the Code's
+// pooled scratch (poly.Code.DecodeBurst), so registry consumers decode
+// without per-call heap allocation.
 func (p Poly) Decode(b *dram.Burst) ([LineBytes]byte, Outcome, int) {
-	data, rep := p.C.DecodeLine(p.C.FromBurst(b))
+	data, rep := p.C.DecodeBurst(b)
 	if rep.Status == poly.StatusUncorrectable {
 		return data, DUE, rep.Iterations
 	}

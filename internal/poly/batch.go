@@ -1,0 +1,62 @@
+package poly
+
+import (
+	"fmt"
+
+	"polyecc/internal/dram"
+	"polyecc/internal/wideint"
+)
+
+// DecodeLines decodes a batch of lines through one Scratch, appending
+// one Result per line to dst (indexed relative to lines) and returning
+// the extended slice. With a dst that has capacity for the batch the
+// call performs no heap allocation, so sweeps decode in cache-friendly
+// batches — the Scratch's buffers and the Code's tables stay hot across
+// the whole run instead of being re-warmed line by line. A panicking
+// decode is recovered into that line's Err; the rest of the batch still
+// decodes.
+func (c *Code) DecodeLines(dst []Result, lines []Line, s *Scratch) []Result {
+	c.checkScratch(s)
+	for i := range lines {
+		dst = append(dst, Result{Index: i})
+		c.decodeLineInto(&dst[len(dst)-1], lines[i], s)
+	}
+	return dst
+}
+
+// decodeLineInto decodes one line into a prepared Result with panic
+// isolation — the batched counterpart of ParallelDecoder.decodeOne.
+func (c *Code) decodeLineInto(r *Result, l Line, s *Scratch) {
+	defer func() {
+		if p := recover(); p != nil {
+			*r = Result{Index: r.Index, Err: fmt.Errorf("poly: decode of line %d panicked: %v", r.Index, p)}
+		}
+	}()
+	r.Data, r.Report = c.DecodeLineScratch(l, s)
+}
+
+// FromBurstInto is FromBurst reading into a caller-owned words slice
+// (reused when it has capacity), for batch consumers that keep one Line
+// arena per batch slot instead of borrowing the Scratch's single buffer.
+func (c *Code) FromBurstInto(dst []wideint.U192, b *dram.Burst) Line {
+	if cap(dst) < c.words {
+		dst = make([]wideint.U192, c.words)
+	}
+	dst = dst[:c.words]
+	g := dram.WordGeometry{SymbolBits: c.cfg.Geometry.SymbolBits}
+	for w := range dst {
+		dst[w] = g.Word(b, w)
+	}
+	return Line{Words: dst}
+}
+
+// DecodeBurst reads a line off the wire and decodes it through a pooled
+// Scratch — the wire-to-data path with no per-call heap traffic, for
+// callers without their own Scratch (the codec registry's adapter).
+func (c *Code) DecodeBurst(b *dram.Burst) ([LineBytes]byte, Report) {
+	s := c.pool.Get().(*Scratch)
+	l := c.FromBurstScratch(b, s)
+	data, rep := c.DecodeLineScratch(l, s)
+	c.pool.Put(s)
+	return data, rep
+}

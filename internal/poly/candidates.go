@@ -153,9 +153,17 @@ func (c *Code) sortCandidatesLegacy(out []correction) {
 	})
 }
 
-// symbolCandidates evaluates Eq. 2 into the scratch buffer.
+// symbolCandidates evaluates Eq. 2 into the scratch buffer. Within one
+// decode the same remainder is priced once per hypothesized symbol
+// (ChipKill walks all ten devices over one corrupted word), so the buffer
+// doubles as a one-entry cache keyed by remainder; decodeLine invalidates
+// it on entry.
 func (c *Code) symbolCandidates(s *Scratch, rem uint64) []residue.Candidate {
-	s.sym = residue.SymbolCandidatesInto(s.sym[:0], rem, c.cfg.M, c.cfg.Geometry, c.inv)
+	if s.symCacheOK && s.symCacheRem == rem {
+		return s.sym
+	}
+	s.sym = c.tab.SymbolCandidatesInto(s.sym[:0], rem)
+	s.symCacheRem, s.symCacheOK = rem, true
 	return s.sym
 }
 
@@ -213,7 +221,7 @@ func (c *Code) bfbfCandidatesAt(dst []correction, s *Scratch, w wideint.U192, re
 		if int(h.symA) != devA || int(h.symB) != devB {
 			continue
 		}
-		dA, ok := residue.SolvePair(rem, devA, devB, int64(h.deltaB), c.cfg.M, c.cfg.Geometry, c.inv)
+		dA, ok := c.tab.SolvePair(rem, devA, devB, int64(h.deltaB))
 		if !ok {
 			continue
 		}
@@ -235,7 +243,7 @@ func (c *Code) bfbfCandidatesAt(dst []correction, s *Scratch, w wideint.U192, re
 func (c *Code) pairCandidates(dst []correction, rem uint64, model FaultModel) []correction {
 	out := dst
 	for _, h := range c.hints[model][rem] {
-		dA, ok := residue.SolvePair(rem, int(h.symA), int(h.symB), int64(h.deltaB), c.cfg.M, c.cfg.Geometry, c.inv)
+		dA, ok := c.tab.SolvePair(rem, int(h.symA), int(h.symB), int64(h.deltaB))
 		if !ok {
 			continue
 		}
@@ -258,9 +266,7 @@ func (c *Code) buildDECHints() map[uint64][]pairHint {
 						for _, signB := range []int64{1, -1} {
 							dA := signA << uint(tA)
 							dB := signB << uint(tB)
-							rem := residue.SymbolErrorRemainder(dA, sA, c.cfg.M, g) +
-								residue.SymbolErrorRemainder(dB, sB, c.cfg.M, g)
-							rem %= c.cfg.M
+							rem := (c.tab.SymbolRemainder(dA, sA) + c.tab.SymbolRemainder(dB, sB)) % c.cfg.M
 							table[rem] = append(table[rem], pairHint{symA: int8(sA), symB: int8(sB), deltaB: int32(dB)})
 						}
 					}
@@ -286,9 +292,7 @@ func (c *Code) buildBFBFHints() map[uint64][]pairHint {
 		for sB := sA + 1; sB < g.NumSymbols; sB++ {
 			for _, dA := range nibbleDeltas {
 				for _, dB := range nibbleDeltas {
-					rem := residue.SymbolErrorRemainder(dA, sA, c.cfg.M, g) +
-						residue.SymbolErrorRemainder(dB, sB, c.cfg.M, g)
-					rem %= c.cfg.M
+					rem := (c.tab.SymbolRemainder(dA, sA) + c.tab.SymbolRemainder(dB, sB)) % c.cfg.M
 					table[rem] = append(table[rem], pairHint{symA: int8(sA), symB: int8(sB), deltaB: int32(dB)})
 				}
 			}
@@ -361,11 +365,11 @@ func (c *Code) chipKillPlus1Candidates(dst []correction, s *Scratch, w wideint.U
 			continue
 		}
 		// Pin-only: the whole remainder explained by the pin pattern.
-		if residue.SymbolErrorRemainder(p.delta, devB, c.cfg.M, c.cfg.Geometry) == rem {
+		if c.tab.SymbolRemainder(p.delta, devB) == rem {
 			raw = append(raw, corr1(devB, p.delta))
 		}
 		// Pin plus device-a error.
-		if dA, ok := residue.SolvePair(rem, devA, devB, p.delta, c.cfg.M, c.cfg.Geometry, c.inv); ok {
+		if dA, ok := c.tab.SolvePair(rem, devA, devB, p.delta); ok {
 			raw = append(raw, corr2(devA, dA, devB, p.delta))
 		}
 	}

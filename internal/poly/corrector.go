@@ -108,6 +108,16 @@ func (c *Code) decodeLine(l Line, s *Scratch) ([LineBytes]byte, Report) {
 		return s.out, rep
 	}
 
+	// Arm the trial working state: work/workEmbedded mirror the base
+	// line's assembly, trial mirrors its codewords. runCounter patches
+	// only the codewords a candidate touches and reverts them on exit, so
+	// these stay in sync with base across models and hypotheses.
+	s.work = s.out
+	s.workEmbedded = embedded
+	copy(s.trial[:len(l.Words)], l.Words)
+	s.resetSeen()
+	s.symCacheOK = false
+
 	remaining := c.cfg.MaxIterations // 0 = unlimited
 	for _, model := range c.models {
 		hit, words := c.tryModel(model, l.Words, rems, corrupted, &rep, &remaining, s)
@@ -121,8 +131,10 @@ func (c *Code) decodeLine(l Line, s *Scratch) ([LineBytes]byte, Report) {
 					rep.ECCFixed = true
 				}
 			}
-			c.assemble(words, &s.out)
-			return s.out, rep
+			// The matching trial's data bytes are already assembled in
+			// work (the check-bit rewrite above never touches data or MAC
+			// fields), so no reassembly is needed.
+			return s.work, rep
 		}
 		if c.cfg.MaxIterations > 0 && remaining == 0 {
 			break
@@ -296,10 +308,16 @@ func (c *Code) pairCandidatesPruned(dst []correction, w wideint.U192, model Faul
 
 // runCounter is the ITER_DRVR of Figure 9(e), implementing Algorithm 2:
 // a multidimensional counter over the candidate lists of the corrupted
-// codewords. Each step selects one candidate per codeword, applies them
-// to a copy of the cacheline, and checks the MAC; the first match stops
-// the walk (the STOP signal). Every step is billed to model in the
-// report and, when a trace hook is attached, emitted as TraceEvents.
+// codewords. Each step selects one candidate per codeword, patches them
+// into the working assembly (s.work/s.workEmbedded — no per-trial line
+// copy or reassembly), and checks the MAC; the first match stops the
+// walk (the STOP signal). Single-codeword steps whose corrected word was
+// already MAC-tested this decode (an overlap between fault models or
+// hypotheses) are skipped outright — same verdict, no bill. Every real
+// step is billed to model in the report and, when a trace hook is
+// attached, emitted as TraceEvents. On every non-hit exit the dims'
+// codewords are reverted to base, restoring the working state's
+// invariant for the next hypothesis.
 func (c *Code) runCounter(model FaultModel, base []wideint.U192, dims []int, rep *Report, remaining *int, s *Scratch) (bool, []wideint.U192) {
 	if len(dims) == 0 {
 		// A residue-invisible error (every remainder zero) offers nothing
@@ -308,7 +326,7 @@ func (c *Code) runCounter(model FaultModel, base []wideint.U192, dims []int, rep
 	}
 	lists := s.cands
 	// Precompute the corrected codeword for every candidate so each trial
-	// is an O(words) splice plus one MAC.
+	// is a ≤2-codeword patch plus one MAC.
 	for d, wi := range dims {
 		ap := s.applied[d][:0]
 		us := s.usable[d][:0]
@@ -325,8 +343,30 @@ func (c *Code) runCounter(model FaultModel, base []wideint.U192, dims []int, rep
 	for d := range counters {
 		counters[d] = 0
 	}
+	single := len(dims) == 1
+	revert := func() {
+		for _, wi := range dims {
+			trial[wi] = base[wi]
+			c.patchWord(base[wi], wi, &s.work, &s.workEmbedded)
+		}
+	}
+	// advance is Algorithm 2's counter increment with carry; false means
+	// LAST_ITERATION.
+	advance := func() bool {
+		d := 0
+		for {
+			counters[d]++
+			if counters[d] < len(lists[d]) {
+				return true
+			}
+			counters[d] = 0
+			d++
+			if d == len(dims) {
+				return false
+			}
+		}
+	}
 	for {
-		copy(trial, base)
 		ok := true
 		for d, wi := range dims {
 			j := counters[d]
@@ -336,9 +376,21 @@ func (c *Code) runCounter(model FaultModel, base []wideint.U192, dims []int, rep
 			}
 			trial[wi] = applied[d][j]
 		}
+		if ok {
+			if single && s.seenBefore(dims[0], applied[0][counters[0]]) {
+				if !advance() {
+					revert()
+					return false, nil
+				}
+				continue
+			}
+			for d, wi := range dims {
+				c.patchWord(applied[d][counters[d]], wi, &s.work, &s.workEmbedded)
+			}
+		}
 		rep.Iterations++
 		rep.PerModelTrials[model]++
-		match := ok && c.macMatches(trial, &s.macBuf)
+		match := ok && c.mac.Sum(s.work[:]) == s.workEmbedded
 		if c.trace != nil {
 			for d, wi := range dims {
 				c.trace(TraceEvent{
@@ -357,21 +409,13 @@ func (c *Code) runCounter(model FaultModel, base []wideint.U192, dims []int, rep
 			*remaining--
 			if *remaining <= 0 {
 				*remaining = 0
+				revert()
 				return false, nil
 			}
 		}
-		// Algorithm 2: increment the lowest counter, carrying upward.
-		d := 0
-		for {
-			counters[d]++
-			if counters[d] < len(lists[d]) {
-				break
-			}
-			counters[d] = 0
-			d++
-			if d == len(dims) {
-				return false, nil // LAST_ITERATION
-			}
+		if !advance() {
+			revert()
+			return false, nil // LAST_ITERATION
 		}
 	}
 }

@@ -43,41 +43,54 @@ func (p *ParallelDecoder) DecodeAll(lines []Line) []Result {
 	return results
 }
 
+// decodeBatchSize is the lines-per-job granularity of DecodeAllContext:
+// large enough that workers run the batched DecodeLines path with warm
+// scratch state between channel operations, small enough that
+// cancellation still reacts promptly.
+const decodeBatchSize = 32
+
+// span is one dispatched batch: lines [lo, hi).
+type span struct{ lo, hi int }
+
 // DecodeAllContext decodes lines concurrently until ctx is cancelled.
-// Lines are dispatched in order; on cancellation no new line is started,
-// in-flight decodes finish, and the completed prefix of results is
-// returned together with the context's error. A nil error means every
-// line was decoded.
+// Lines are dispatched in order as contiguous batches; on cancellation
+// no new batch is started, in-flight batches finish, and the completed
+// prefix of results is returned together with the context's error. A
+// nil error means every line was decoded.
 func (p *ParallelDecoder) DecodeAllContext(ctx context.Context, lines []Line) ([]Result, error) {
 	results := make([]Result, len(lines))
-	jobs := make(chan int)
+	jobs := make(chan span)
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One Scratch per worker goroutine: the whole batch decodes
+			// One Scratch per worker goroutine: the whole run decodes
 			// without per-line heap traffic. A nil code keeps a nil
-			// scratch — the decode then panics inside decodeOne's
-			// per-line recovery instead of killing the worker here.
+			// scratch — the decode then panics inside the per-line
+			// recovery instead of killing the worker here.
 			var s *Scratch
 			if p.code != nil {
 				s = p.code.NewScratch()
 			}
-			for i := range jobs {
-				p.decodeOne(i, lines, results, s)
+			for sp := range jobs {
+				p.decodeSpan(sp, lines, results, s)
 			}
 		}()
 	}
 	dispatched := 0
 dispatch:
-	for i := range lines {
+	for lo := 0; lo < len(lines); lo += decodeBatchSize {
 		if ctx.Err() != nil {
 			break
 		}
+		hi := lo + decodeBatchSize
+		if hi > len(lines) {
+			hi = len(lines)
+		}
 		select {
-		case jobs <- i:
-			dispatched++
+		case jobs <- span{lo: lo, hi: hi}:
+			dispatched = hi
 		case <-ctx.Done():
 			break dispatch
 		}
@@ -88,6 +101,23 @@ dispatch:
 		return results[:dispatched], err
 	}
 	return results, nil
+}
+
+// decodeSpan decodes one dispatched batch into its slice of results via
+// the batched DecodeLines path, then rebases the per-batch indices to
+// the full input. A nil code falls back to per-line decodes so each
+// line's panic is still isolated into its own Err.
+func (p *ParallelDecoder) decodeSpan(sp span, lines []Line, results []Result, s *Scratch) {
+	if p.code == nil {
+		for i := sp.lo; i < sp.hi; i++ {
+			p.decodeOne(i, lines, results, s)
+		}
+		return
+	}
+	out := p.code.DecodeLines(results[sp.lo:sp.lo:sp.hi], lines[sp.lo:sp.hi], s)
+	for i := range out {
+		out[i].Index = sp.lo + i
+	}
 }
 
 // decodeOne runs a single decode with panic isolation: a panicking

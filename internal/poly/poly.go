@@ -17,6 +17,7 @@
 package poly
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -136,6 +137,7 @@ type Code struct {
 	macBits  int // MAC slice bits per codeword
 	words    int // codewords per cacheline
 	inv      []uint64
+	tab      *residue.Tables
 	models   []FaultModel
 	metrics  *telemetry.DecodeMetrics
 	trace    TraceFunc
@@ -193,7 +195,7 @@ func New(cfg Config, m mac.MAC) (*Code, error) {
 	if m.Bits() != macBits*words {
 		return nil, fmt.Errorf("poly: MAC is %d bits, configuration embeds %d", m.Bits(), macBits*words)
 	}
-	inv, err := residue.Pow2Inverses(cfg.M, g)
+	tab, err := residue.NewTables(cfg.M, g)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +210,8 @@ func New(cfg Config, m mac.MAC) (*Code, error) {
 		dataBits: dataBits,
 		macBits:  macBits,
 		words:    words,
-		inv:      inv,
+		inv:      tab.Inv,
+		tab:      tab,
 		models:   models,
 		metrics:  cfg.Metrics,
 		trace:    cfg.Trace,
@@ -278,13 +281,15 @@ func (c *Code) maxSym() int64 { return int64(1)<<uint(c.cfg.Geometry.SymbolBits)
 func (c *Code) EncodeWord(data wideint.U192, slice uint64) wideint.U192 {
 	payload := data.Lsh(uint(c.macBits)).Or(wideint.FromUint64(mac.Truncate(slice, c.macBits)))
 	v := payload.Lsh(uint(c.k))
-	r := v.Mod64(c.cfg.M)
+	r := c.tab.Remainder(v)
 	check := (c.cfg.M - r) % c.cfg.M
 	return v.Or(wideint.FromUint64(check))
 }
 
-// Remainder returns C mod M — zero for an intact codeword.
-func (c *Code) Remainder(w wideint.U192) uint64 { return w.Mod64(c.cfg.M) }
+// Remainder returns C mod M — zero for an intact codeword. It folds the
+// codeword's bytes through the precomputed residue tables rather than
+// dividing (Figure 9(a)'s remainder unit as ROM lookups).
+func (c *Code) Remainder(w wideint.U192) uint64 { return c.tab.Remainder(w) }
 
 // WordData extracts the data field of a codeword.
 func (c *Code) WordData(w wideint.U192) wideint.U192 {
@@ -304,7 +309,7 @@ func (c *Code) WordCheck(w wideint.U192) uint64 {
 // canonicalCheck returns the check bits implied by a codeword's payload.
 func (c *Code) canonicalCheck(w wideint.U192) uint64 {
 	v := w.Rsh(uint(c.k)).Lsh(uint(c.k))
-	r := v.Mod64(c.cfg.M)
+	r := c.tab.Remainder(v)
 	return (c.cfg.M - r) % c.cfg.M
 }
 
@@ -327,20 +332,41 @@ func (l Line) Clone() Line {
 // data, sliced evenly across the codewords, and each codeword's check
 // bits cover its data and MAC slice.
 func (c *Code) EncodeLine(data *[LineBytes]byte) Line {
+	var l Line
+	c.EncodeLineInto(&l, data)
+	return l
+}
+
+// EncodeLineInto is EncodeLine writing into a caller-owned Line: dst's
+// words slice is reused when it has capacity, so steady-state reuse of
+// one Line encodes without heap allocation.
+func (c *Code) EncodeLineInto(dst *Line, data *[LineBytes]byte) {
+	if cap(dst.Words) < c.words {
+		dst.Words = make([]wideint.U192, c.words)
+	}
+	dst.Words = dst.Words[:c.words]
 	tag := c.mac.Sum(data[:])
-	words := make([]wideint.U192, c.words)
 	for w := 0; w < c.words; w++ {
 		d := c.dataField(data, w)
 		slice := tag >> uint(w*c.macBits) & (1<<uint(c.macBits) - 1)
-		words[w] = c.EncodeWord(d, slice)
+		dst.Words[w] = c.EncodeWord(d, slice)
 	}
-	return Line{Words: words}
 }
 
 // dataField extracts codeword w's data bits from the cacheline: byte i of
-// the slice lands at bit offset 8i (the little-endian layout assemble
-// reverses). Built field-by-field so no intermediate buffer is needed.
+// the slice lands at bit offset 8i, which is exactly the little-endian
+// integer of the slice — both paper configurations (64- and 128-bit data
+// fields) load whole limbs instead of splicing byte fields.
 func (c *Code) dataField(data *[LineBytes]byte, w int) wideint.U192 {
+	switch c.dataBits {
+	case 64:
+		return wideint.U192{W0: binary.LittleEndian.Uint64(data[w*8:])}
+	case 128:
+		return wideint.U192{
+			W0: binary.LittleEndian.Uint64(data[w*16:]),
+			W1: binary.LittleEndian.Uint64(data[w*16+8:]),
+		}
+	}
 	nBytes := c.dataBits / 8
 	var u wideint.U192
 	for i := 0; i < nBytes; i++ {
@@ -349,24 +375,42 @@ func (c *Code) dataField(data *[LineBytes]byte, w int) wideint.U192 {
 	return u
 }
 
-// assemble reconstructs the data bytes and the embedded MAC of a line.
-func (c *Code) assemble(words []wideint.U192, data *[LineBytes]byte) (embedded uint64) {
-	nBytes := c.dataBits / 8
-	for w, word := range words {
-		d := c.WordData(word)
+// writeWordData stores codeword w's data field into its slice of the
+// cacheline — the store half of dataField's limb-at-a-time layout.
+func (c *Code) writeWordData(word wideint.U192, w int, data *[LineBytes]byte) {
+	d := c.WordData(word)
+	switch c.dataBits {
+	case 64:
+		binary.LittleEndian.PutUint64(data[w*8:], d.W0)
+	case 128:
+		binary.LittleEndian.PutUint64(data[w*16:], d.W0)
+		binary.LittleEndian.PutUint64(data[w*16+8:], d.W1)
+	default:
+		nBytes := c.dataBits / 8
 		for i := 0; i < nBytes; i++ {
 			data[w*nBytes+i] = byte(d.Field(8*i, 8))
 		}
+	}
+}
+
+// assemble reconstructs the data bytes and the embedded MAC of a line.
+func (c *Code) assemble(words []wideint.U192, data *[LineBytes]byte) (embedded uint64) {
+	for w, word := range words {
+		c.writeWordData(word, w, data)
 		embedded |= c.WordMACSlice(word) << uint(w*c.macBits)
 	}
 	return embedded
 }
 
-// macMatches recomputes the MAC over assembled data and compares it to
-// the embedded slices. It is the per-iteration check of Figure 8.
-func (c *Code) macMatches(words []wideint.U192, scratch *[LineBytes]byte) bool {
-	embedded := c.assemble(words, scratch)
-	return c.mac.Sum(scratch[:]) == embedded
+// patchWord splices one codeword into a working assembly: its data bytes
+// into work and its MAC slice into the embedded-MAC accumulator. The
+// correction trial loop uses it to update only the codewords a candidate
+// touches instead of reassembling the whole line.
+func (c *Code) patchWord(word wideint.U192, w int, work *[LineBytes]byte, embedded *uint64) {
+	c.writeWordData(word, w, work)
+	sh := uint(w * c.macBits)
+	mask := (uint64(1)<<uint(c.macBits) - 1) << sh
+	*embedded = *embedded&^mask | c.WordMACSlice(word)<<sh
 }
 
 // ToBurst lays an encoded line onto the DDR5 wire (for experiments that

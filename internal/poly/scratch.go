@@ -30,7 +30,14 @@ type Scratch struct {
 	trial    []wideint.U192
 	counters []int
 	out      [LineBytes]byte // decode assembly target
-	macBuf   [LineBytes]byte // per-trial MAC recomputation buffer
+
+	// Correction working state: work/workEmbedded hold the assembled
+	// bytes and embedded MAC of the trial line, kept current by patching
+	// only the codewords a candidate touches (patchWord) and reverting
+	// them to the base line when a hypothesis is exhausted — the undo log
+	// is the base codewords themselves, so revert is a handful of stores.
+	work         [LineBytes]byte
+	workEmbedded uint64
 
 	// Per-dimension candidate machinery: one growable buffer per codeword,
 	// reused across fault models and hypotheses.
@@ -38,6 +45,59 @@ type Scratch struct {
 	applied [][]wideint.U192
 	usable  [][]bool
 	sym     []residue.Candidate // Eq. 2 output buffer
+
+	// One-entry Eq. 2 cache over sym, keyed by remainder (see
+	// symbolCandidates); invalidated at every decode entry.
+	symCacheRem uint64
+	symCacheOK  bool
+
+	// Dedup of single-codeword correction trials: overlapping fault
+	// models (and overlapping hypotheses within one model) frequently
+	// propose the same corrected codeword; the first MAC verdict covers
+	// them all. Epoch tagging makes per-decode reset O(1) — entries from
+	// earlier decodes are simply stale.
+	seen      [seenSlots]seenEntry
+	seenEpoch uint32
+}
+
+// seenSlots sizes the trial-dedup table; must be a power of two. 512
+// slots dwarf any real trial sweep (budgets cap iterations far lower).
+const seenSlots = 512
+
+type seenEntry struct {
+	epoch uint32
+	word  int32
+	w     wideint.U192
+}
+
+// seenBefore reports whether the corrected codeword w for word index wi
+// was already MAC-tested during this decode, inserting it if not. On a
+// full probe window it reports false — a missed dedup costs one
+// redundant MAC, never a wrong answer.
+func (s *Scratch) seenBefore(wi int, w wideint.U192) bool {
+	h := w.W0*0x9e3779b97f4a7c15 ^ w.W1*0xbf58476d1ce4e5b9 ^
+		w.W2*0x94d049bb133111eb ^ uint64(wi)*0xd6e8feb86659fd93
+	h ^= h >> 29
+	for probe := uint64(0); probe < 8; probe++ {
+		e := &s.seen[(h+probe)&(seenSlots-1)]
+		if e.epoch != s.seenEpoch {
+			*e = seenEntry{epoch: s.seenEpoch, word: int32(wi), w: w}
+			return false
+		}
+		if e.word == int32(wi) && e.w == w {
+			return true
+		}
+	}
+	return false
+}
+
+// resetSeen starts a fresh dedup generation for one decode.
+func (s *Scratch) resetSeen() {
+	s.seenEpoch++
+	if s.seenEpoch == 0 { // epoch wrapped: stale entries would look fresh
+		s.seen = [seenSlots]seenEntry{}
+		s.seenEpoch = 1
+	}
 }
 
 // NewScratch builds a Scratch sized for this Code's geometry.

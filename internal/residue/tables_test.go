@@ -1,0 +1,143 @@
+package residue
+
+import (
+	"math/rand"
+	"testing"
+
+	"polyecc/internal/wideint"
+)
+
+// The fold tables must agree with the wide division for every modulus
+// the codes use, across the full U192 range.
+func TestTablesRemainderMatchesMod64(t *testing.T) {
+	for _, tc := range []struct {
+		m uint64
+		g Geometry
+	}{
+		{511, DDR5x8}, {1021, DDR5x8}, {2005, DDR5x8}, {131049, DDR5x16},
+	} {
+		tab, err := NewTables(tc.m, tc.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tab.folded {
+			t.Fatalf("m=%d: fold tables unexpectedly disabled", tc.m)
+		}
+		r := rand.New(rand.NewSource(int64(tc.m)))
+		for i := 0; i < 5000; i++ {
+			u := wideint.U192{W0: r.Uint64(), W1: r.Uint64(), W2: r.Uint64()}
+			switch i % 4 {
+			case 1:
+				u.W2 = 0 // the 8-bit configuration's 80-bit codewords
+				u.W1 &= 0xffff
+			case 2:
+				u.W1, u.W2 = 0, 0
+			case 3:
+				u = wideint.U192{W0: uint64(i)}
+			}
+			if got, want := tab.Remainder(u), u.Mod64(tc.m); got != want {
+				t.Fatalf("m=%d: Remainder(%v) = %d, want %d", tc.m, u, got, want)
+			}
+		}
+	}
+}
+
+// A modulus past the fold bound must fall back to the wide division and
+// stay correct.
+func TestTablesRemainderFallback(t *testing.T) {
+	m := uint64(1)<<62 + 1 // odd, 63 bits: past foldMaxBits
+	tab, err := NewTables(m, DDR5x8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.folded {
+		t.Fatal("fold tables built past the overflow bound")
+	}
+	u := wideint.U192{W0: 0xdeadbeefcafebabe, W1: 0x0123456789abcdef, W2: 7}
+	if got, want := tab.Remainder(u), u.Mod64(m); got != want {
+		t.Fatalf("fallback Remainder = %d, want %d", got, want)
+	}
+}
+
+func TestTablesSymbolRemainderAndSolvePair(t *testing.T) {
+	for _, tc := range []struct {
+		m uint64
+		g Geometry
+	}{
+		{2005, DDR5x8}, {131049, DDR5x16},
+	} {
+		tab, err := NewTables(tc.m, tc.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxDelta := int64(1)<<uint(tc.g.SymbolBits) - 1
+		r := rand.New(rand.NewSource(9))
+		for i := 0; i < 2000; i++ {
+			s := r.Intn(tc.g.NumSymbols)
+			d := int64(1 + r.Intn(int(maxDelta)))
+			if r.Intn(2) == 0 {
+				d = -d
+			}
+			if got, want := tab.SymbolRemainder(d, s), SymbolErrorRemainder(d, s, tc.m, tc.g); got != want {
+				t.Fatalf("m=%d: SymbolRemainder(%d, %d) = %d, want %d", tc.m, d, s, got, want)
+			}
+			sA := r.Intn(tc.g.NumSymbols)
+			sB := (sA + 1 + r.Intn(tc.g.NumSymbols-1)) % tc.g.NumSymbols
+			rem := uint64(r.Int63n(int64(tc.m)))
+			gotD, gotOK := tab.SolvePair(rem, sA, sB, d)
+			wantD, wantOK := SolvePair(rem, sA, sB, d, tc.m, tc.g, tab.Inv)
+			if gotD != wantD || gotOK != wantOK {
+				t.Fatalf("m=%d: SolvePair(%d,%d,%d,%d) = (%d,%v), want (%d,%v)",
+					tc.m, rem, sA, sB, d, gotD, gotOK, wantD, wantOK)
+			}
+		}
+	}
+}
+
+func TestTablesSymbolCandidatesMatch(t *testing.T) {
+	for _, tc := range []struct {
+		m uint64
+		g Geometry
+	}{
+		{511, DDR5x8}, {2005, DDR5x8}, {131049, DDR5x16},
+	} {
+		tab, err := NewTables(tc.m, tc.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rem := uint64(0); rem < tc.m && rem < 4096; rem++ {
+			got := tab.SymbolCandidatesInto(nil, rem)
+			want := SymbolCandidates(rem, tc.m, tc.g, tab.Inv)
+			if len(got) != len(want) {
+				t.Fatalf("m=%d rem=%d: %d candidates, want %d", tc.m, rem, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("m=%d rem=%d: candidate %d = %+v, want %+v", tc.m, rem, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTablesRemainder(b *testing.B) {
+	tab, err := NewTables(2005, DDR5x8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := wideint.U192{W0: 0xdeadbeefcafebabe, W1: 0x9b1d}
+	b.Run("folded", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc += tab.Remainder(u)
+		}
+		_ = acc
+	})
+	b.Run("div64", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc += u.Mod64(2005)
+		}
+		_ = acc
+	})
+}

@@ -202,7 +202,15 @@ func Baseline(p Program, seed int64, maxSteps int) (digest uint64, steps int, er
 // steps, apply corrupt to the live memory image, resume, and classify
 // against the fault-free digest and step count.
 func Inject(p Program, seed int64, injectStep int, corrupt func(mem []byte), baseDigest uint64, baseSteps int) Outcome {
-	mem := p.Init(seed)
+	return InjectPrepared(p, p.Init(seed), injectStep, corrupt, baseDigest, baseSteps)
+}
+
+// InjectPrepared is Inject over a caller-built memory image: mem must be
+// a pristine Init image for the seed the baseline was measured on, and is
+// consumed (stepped and corrupted) by the run. Campaigns that fire many
+// injections at the same seed keep one pristine image per worker and hand
+// a fresh copy here each trial, skipping the per-trial Init.
+func InjectPrepared(p Program, mem []byte, injectStep int, corrupt func(mem []byte), baseDigest uint64, baseSteps int) Outcome {
 	limit := HangFactor * baseSteps
 	step := 0
 	for ; step < injectStep && step < limit; step++ {

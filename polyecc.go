@@ -82,6 +82,9 @@ type (
 	// and Code.DecodeLineScratch (one goroutine at a time) and the hot
 	// path performs no heap allocation. Build with Code.NewScratch.
 	Scratch = poly.Scratch
+	// Result pairs one decode's output with its input index — what
+	// Code.DecodeLines and the ParallelDecoder produce per line.
+	Result = poly.Result
 )
 
 // Decode statuses.

@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-snapshot bench-history bench-gate bench-compare smoke-campaign scrub-smoke report-smoke
+.PHONY: ci build vet test race bench bench-snapshot bench-history bench-gate bench-compare smoke-campaign scrub-smoke report-smoke health-smoke
 
-ci: vet build race smoke-campaign scrub-smoke bench-gate report-smoke
+ci: vet build race smoke-campaign scrub-smoke bench-gate report-smoke health-smoke
 
 build:
 	$(GO) build ./...
@@ -80,3 +80,28 @@ report-smoke:
 	@grep -q 'Flight recorder' $(SMOKE_DIR)/report.html || { echo "report-smoke: journal section missing" >&2; exit 1; }
 	@rm -rf $(SMOKE_DIR)
 	@echo "report-smoke: journal -> eccreport round trip OK"
+
+# Live health end to end: a seeded rowhammer storm soak serves its health
+# engine on a random port, ecctop blocks until the SLO tracker pages,
+# /healthz must answer 503 while paging, and /regions must carry the
+# rowhammer-storm signature. Everything the dashboard path promises,
+# asserted against a real server.
+HEALTH_DIR := $(shell mktemp -u -d /tmp/polyecc-health.XXXXXX)
+health-smoke:
+	@mkdir -p $(HEALTH_DIR)
+	@$(GO) build -o $(HEALTH_DIR)/faultinject ./cmd/faultinject
+	@$(GO) build -o $(HEALTH_DIR)/ecctop ./cmd/ecctop
+	@$(HEALTH_DIR)/faultinject -storm -injections 4000 -seed 7 \
+		-journal $(HEALTH_DIR)/events.jsonl \
+		-metrics-addr 127.0.0.1:0 -metrics-addr-file $(HEALTH_DIR)/addr \
+		-serve-after 90s >/dev/null 2>&1 & echo $$! > $(HEALTH_DIR)/pid
+	@$(HEALTH_DIR)/ecctop -addr-file $(HEALTH_DIR)/addr -wait 60s -wait-for page >/dev/null \
+		|| { echo "health-smoke: engine never paged" >&2; kill `cat $(HEALTH_DIR)/pid` 2>/dev/null; exit 1; }
+	@addr=`cat $(HEALTH_DIR)/addr`; \
+	code=`curl -s -o $(HEALTH_DIR)/healthz.json -w '%{http_code}' http://$$addr/healthz`; \
+	test "$$code" = 503 || { echo "health-smoke: /healthz returned $$code while paging, want 503" >&2; kill `cat $(HEALTH_DIR)/pid` 2>/dev/null; exit 1; }; \
+	curl -s http://$$addr/regions | grep -q rowhammer-storm \
+		|| { echo "health-smoke: /regions missing rowhammer-storm signature" >&2; kill `cat $(HEALTH_DIR)/pid` 2>/dev/null; exit 1; }
+	@kill `cat $(HEALTH_DIR)/pid` 2>/dev/null || true
+	@rm -rf $(HEALTH_DIR)
+	@echo "health-smoke: storm paged, /healthz 503, rowhammer signature live OK"

@@ -9,10 +9,15 @@
 // With -gate two contracts are checked and the process exits nonzero if
 // either regresses — `make bench-gate` wires this into `make ci`:
 //
-//   - allocation: encode (EncodeLineInto), the scratch entry points, and
-//     the corrected-SSC decode must all run at 0 allocs/op;
+//   - allocation: encode (EncodeLineInto), the scratch entry points, the
+//     corrected-SSC decode, and the clean decode with a journal
+//     subscriber attached (the live health engine's tap) must all run at
+//     0 allocs/op;
 //   - latency: decode/corrected-ssc must stay within -gate-tolerance
-//     percent of the committed -baseline snapshot's ns/op.
+//     percent of the committed -baseline snapshot's ns/op, and the
+//     +journal-sub variants must stay within a fixed multiple of their
+//     bare counterpart measured in the same run (a ratio, so machine
+//     noise that moves both paths together cannot fail the gate).
 //
 // With -compare the scenarios are measured and printed as percent deltas
 // against an older snapshot instead of being written anywhere — the
@@ -44,6 +49,7 @@ import (
 	"polyecc"
 	"polyecc/internal/dram"
 	"polyecc/internal/linecode"
+	"polyecc/internal/poly"
 	"polyecc/internal/telemetry"
 )
 
@@ -145,26 +151,40 @@ func main() {
 	// into a reused Line and the scratch entry points — what the soak,
 	// scrubber, and parallel decoder run per line — never touch the heap,
 	// and the iterative corrector resolves an SSC without one either.
+	// The +journal-sub variants decode through an AnomalyRecorder whose
+	// journal has a live subscriber (the health engine's tap): the clean
+	// path must still be allocation-free (nothing is recorded), and the
+	// corrected path's record-and-fan-out must hold the latency budget.
 	scratch := bare.NewScratch()
 	correctedSSC := decodeBench(bare, bad, false)
+	jour := telemetry.NewJournal(4096)
+	jsub := jour.Subscribe(1024)
+	defer jsub.Close()
+	jrec := poly.NewAnomalyRecorder(jour, "benchsnap", bare)
+	jcode := jrec.Code()
+	jscratch := jcode.NewScratch()
 	gated := []struct {
-		name string
-		fn   func(b *testing.B)
+		name      string
+		allocFree bool    // must run at 0 allocs/op
+		latency   bool    // ns/op held to -gate-tolerance of -baseline
+		ratioOf   string  // earlier gated scenario this one is held relative to
+		maxRatio  float64 // ns/op must stay under maxRatio x that scenario's
+		fn        func(b *testing.B)
 	}{
-		{"encode", func(b *testing.B) {
+		{name: "encode", allocFree: true, fn: func(b *testing.B) {
 			b.ReportAllocs()
 			var dst polyecc.Line
 			for i := 0; i < b.N; i++ {
 				bare.EncodeLineInto(&dst, &data)
 			}
 		}},
-		{"encode-scratch", func(b *testing.B) {
+		{name: "encode-scratch", allocFree: true, fn: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				bare.EncodeLineScratch(&data, scratch)
 			}
 		}},
-		{"decode-scratch/clean", func(b *testing.B) {
+		{name: "decode-scratch/clean", allocFree: true, fn: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, rep := bare.DecodeLineScratch(clean, scratch)
@@ -173,7 +193,36 @@ func main() {
 				}
 			}
 		}},
-		{"decode/corrected-ssc", correctedSSC},
+		// The attached-path budget is a ratio against the bare path from
+		// the same run: the trace hook plus a clean RecordDecode may cost
+		// at most 3x a bare clean decode, and recording+fan-out at most 3x
+		// a bare corrected decode. Absolute baselines would conflate this
+		// with machine noise.
+		{name: "decode-scratch/clean+journal-sub", allocFree: true,
+			ratioOf: "decode-scratch/clean", maxRatio: 3,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, rep := jcode.DecodeLineScratch(clean, jscratch)
+					jrec.RecordDecode(clean, &rep, telemetry.Event{Index: i}, "", false)
+					if rep.Status != polyecc.StatusClean {
+						b.Fatalf("unexpected status %v", rep.Status)
+					}
+				}
+			}},
+		{name: "decode/corrected-ssc", allocFree: true, latency: true, fn: correctedSSC},
+		{name: "decode/corrected-ssc+journal-sub",
+			ratioOf: "decode/corrected-ssc", maxRatio: 3,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, rep := jcode.DecodeLineScratch(bad, jscratch)
+					jrec.RecordDecode(bad, &rep, telemetry.Event{Index: i}, "ssc", false)
+					if rep.Status == polyecc.StatusClean {
+						b.Fatalf("unexpected status %v", rep.Status)
+					}
+				}
+			}},
 	}
 	scenarios := []struct {
 		name string
@@ -200,7 +249,12 @@ func main() {
 			}
 		}},
 	}
-	scenarios = append(scenarios, gated...)
+	for _, g := range gated {
+		scenarios = append(scenarios, struct {
+			name string
+			fn   func(b *testing.B)
+		}{g.name, g.fn})
+	}
 	// One clean-decode bench per registered cacheline codec, so the
 	// snapshot tracks every scheme the experiments compare.
 	for _, name := range linecode.Names() {
@@ -224,35 +278,64 @@ func main() {
 	}
 
 	if *gate {
+		var base Snapshot
+		baseOK := false
+		if *baseline != "" {
+			var err error
+			if base, err = loadSnapshot(*baseline); err != nil {
+				logger.Error("latency gate degraded: baseline unreadable", "path", *baseline, "err", err)
+			} else {
+				baseOK = true
+			}
+		}
 		failed := false
+		measured := map[string]float64{}
 		for _, sc := range gated {
 			res := testing.Benchmark(sc.fn)
 			ns := float64(res.T.Nanoseconds()) / float64(res.N)
+			measured[sc.name] = ns
 			logger.Info("gate", "scenario", sc.name, "allocs_per_op", res.AllocsPerOp(),
 				"ns_per_op", fmt.Sprintf("%.1f", ns))
-			if res.AllocsPerOp() != 0 {
+			if sc.allocFree && res.AllocsPerOp() != 0 {
 				logger.Error("allocation gate FAILED", "scenario", sc.name, "allocs_per_op", res.AllocsPerOp())
 				failed = true
 			}
-			if sc.name == "decode/corrected-ssc" && *baseline != "" {
-				old, err := loadSnapshot(*baseline)
-				if err != nil {
-					logger.Error("latency gate FAILED: baseline unreadable", "path", *baseline, "err", err)
+			if sc.ratioOf != "" {
+				ref, ok := measured[sc.ratioOf]
+				if !ok || ref <= 0 {
+					logger.Error("ratio gate FAILED: reference not measured", "scenario", sc.name, "ref", sc.ratioOf)
 					failed = true
-				} else if ref, ok := old.result(sc.name); !ok {
-					logger.Warn("latency gate skipped: baseline has no corrected-ssc entry", "path", *baseline)
-				} else if limit := ref.NsPerOp * (1 + *gateTolerance/100); ns > limit {
-					logger.Error("latency gate FAILED", "scenario", sc.name,
-						"ns_per_op", fmt.Sprintf("%.1f", ns),
-						"baseline_ns_per_op", fmt.Sprintf("%.1f", ref.NsPerOp),
-						"tolerance_pct", *gateTolerance)
+				} else if ratio := ns / ref; ratio > sc.maxRatio {
+					logger.Error("ratio gate FAILED", "scenario", sc.name,
+						"ratio", fmt.Sprintf("%.2fx", ratio), "ref", sc.ratioOf,
+						"max_ratio", fmt.Sprintf("%.1fx", sc.maxRatio))
 					failed = true
 				} else {
-					logger.Info("latency gate", "scenario", sc.name,
-						"ns_per_op", fmt.Sprintf("%.1f", ns),
-						"baseline_ns_per_op", fmt.Sprintf("%.1f", ref.NsPerOp),
-						"delta_pct", fmt.Sprintf("%+.1f", 100*(ns-ref.NsPerOp)/ref.NsPerOp))
+					logger.Info("ratio gate", "scenario", sc.name,
+						"ratio", fmt.Sprintf("%.2fx", ratio), "ref", sc.ratioOf,
+						"max_ratio", fmt.Sprintf("%.1fx", sc.maxRatio))
 				}
+			}
+			if !sc.latency || *baseline == "" {
+				continue
+			}
+			if !baseOK {
+				failed = true
+				continue
+			}
+			if ref, ok := base.result(sc.name); !ok {
+				logger.Warn("latency gate skipped: baseline has no entry", "scenario", sc.name, "path", *baseline)
+			} else if limit := ref.NsPerOp * (1 + *gateTolerance/100); ns > limit {
+				logger.Error("latency gate FAILED", "scenario", sc.name,
+					"ns_per_op", fmt.Sprintf("%.1f", ns),
+					"baseline_ns_per_op", fmt.Sprintf("%.1f", ref.NsPerOp),
+					"tolerance_pct", *gateTolerance)
+				failed = true
+			} else {
+				logger.Info("latency gate", "scenario", sc.name,
+					"ns_per_op", fmt.Sprintf("%.1f", ns),
+					"baseline_ns_per_op", fmt.Sprintf("%.1f", ref.NsPerOp),
+					"delta_pct", fmt.Sprintf("%+.1f", 100*(ns-ref.NsPerOp)/ref.NsPerOp))
 			}
 		}
 		if failed {

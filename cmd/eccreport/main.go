@@ -1,12 +1,14 @@
 // Command eccreport merges the artifacts a decode or campaign run
 // leaves behind — the manifest-stamped run summary (faultinject
 // -summary), a campaign checkpoint, the flight-recorder journal JSONL
-// (-journal), the benchsnap snapshot, and the benchsnap history — into
-// one self-contained static HTML report: provenance tables for every
+// (-journal), the health-engine snapshot (faultinject -health-snapshot),
+// the benchsnap snapshot, and the benchsnap history — into one
+// self-contained static HTML report: provenance tables for every
 // manifest found, outcome tables with fractions, a forensic table of
 // every journaled decode anomaly (candidate trail included, expandable
 // per row), an SVG per-worker timeline built from the journal's shard
-// spans, and the benchmark trend across PRs.
+// spans, the health section (SLO burn states, fault signatures, region
+// heatmap, alert timeline), and the benchmark trend across PRs.
 //
 // Every input is optional; at least one must be given. The output is a
 // single HTML file with no external assets.
@@ -14,7 +16,8 @@
 // Usage:
 //
 //	eccreport [-summary run.json] [-checkpoint fig4.ckpt] [-journal events.jsonl]
-//	          [-bench BENCH_decode.json] [-bench-history BENCH_history.jsonl]
+//	          [-health health.json] [-bench BENCH_decode.json]
+//	          [-bench-history BENCH_history.jsonl]
 //	          [-title "fig4 soak"] [-o report.html]
 package main
 
@@ -33,6 +36,7 @@ import (
 	"time"
 
 	"polyecc/internal/campaign"
+	"polyecc/internal/health"
 	"polyecc/internal/telemetry"
 )
 
@@ -155,6 +159,66 @@ type journalView struct {
 	Timeline  *timelineView
 }
 
+type sloRow struct {
+	Class  string
+	Budget float64
+	Fast   string
+	Slow   string
+	State  string
+	Hot    bool
+}
+
+type classRow struct {
+	Class string
+	Total int64
+	Fast  string
+	Slow  string
+	EWMA  string
+}
+
+type sigRow struct {
+	Kind  string
+	Where string
+	Count int
+	Last  string
+}
+
+type heatRow struct {
+	Region    int
+	FirstLine int
+	Corrected int64
+	DUE       int64
+	SDC       int64
+	Scrub     int64
+	Rate      string
+	BarPct    int
+}
+
+type alertRow struct {
+	Time     string
+	Severity string
+	Kind     string
+	Message  string
+	Page     bool
+}
+
+type healthView struct {
+	Origin     string
+	Status     string
+	Page       bool
+	Events     int64
+	Dropped    int64
+	Regions    int
+	Overflowed int64
+	Window     string
+	SLOs       []sloRow
+	Classes    []classRow
+	Signatures []sigRow
+	Heatmap    []heatRow
+	HeatHidden int
+	Alerts     []alertRow
+}
+
 type historyTable struct {
 	Columns []string
 	Rows    []historyRow
@@ -172,6 +236,7 @@ type page struct {
 	Manifests []manifestView
 	Results   []resultView
 	Journal   *journalView
+	Health    *healthView
 	Bench     *benchSnapshot
 	History   *historyTable
 }
@@ -182,6 +247,7 @@ func main() {
 	summaryPath := flag.String("summary", "", "run summary JSON written by faultinject -summary")
 	ckptPath := flag.String("checkpoint", "", "campaign checkpoint file")
 	journalPath := flag.String("journal", "", "flight-recorder journal JSONL")
+	healthPath := flag.String("health", "", "health snapshot JSON written by faultinject -health-snapshot")
 	benchPath := flag.String("bench", "", "benchsnap snapshot (BENCH_decode.json)")
 	historyPath := flag.String("bench-history", "", "benchsnap history (BENCH_history.jsonl)")
 	var obs telemetry.CLIFlags
@@ -189,9 +255,9 @@ func main() {
 	flag.Parse()
 	logger := obs.Init("eccreport")
 
-	if *summaryPath == "" && *ckptPath == "" && *journalPath == "" && *benchPath == "" && *historyPath == "" {
+	if *summaryPath == "" && *ckptPath == "" && *journalPath == "" && *healthPath == "" && *benchPath == "" && *historyPath == "" {
 		flag.Usage()
-		telemetry.Fatal(logger, "nothing to report on: give at least one of -summary, -checkpoint, -journal, -bench, -bench-history")
+		telemetry.Fatal(logger, "nothing to report on: give at least one of -summary, -checkpoint, -journal, -health, -bench, -bench-history")
 	}
 
 	pg := page{Title: *title, Generated: time.Now().UTC().Format(time.RFC3339)}
@@ -229,6 +295,11 @@ func main() {
 			telemetry.Fatal(logger, "parse journal", "path", *journalPath, "err", err)
 		}
 		pg.Journal = journalSection(*journalPath, events)
+	}
+	if *healthPath != "" {
+		var snap health.Snapshot
+		readJSON(logger, *healthPath, &snap)
+		pg.Health = healthSection(*healthPath, &snap)
 	}
 	if *benchPath != "" {
 		var snap benchSnapshot
@@ -333,26 +404,21 @@ func journalSection(path string, events []telemetry.Event) *journalView {
 			Index:   e.Index,
 			Outcome: e.Outcome,
 		}
-		// Detail arrives as a generic map after the JSONL round trip;
-		// re-marshal it into the typed payload.
-		if e.Detail != nil {
-			var da telemetry.DecodeAnomaly
-			if buf, err := json.Marshal(e.Detail); err == nil && json.Unmarshal(buf, &da) == nil {
-				av.Status = da.Status
-				av.Model = da.Model
-				av.Injected = da.Injected
-				av.Iterations = da.Iterations
-				av.CorruptedWords = da.CorruptedWords
-				av.TrailDropped = da.TrailDropped
-				var words []string
-				for _, w := range da.Words {
-					words = append(words, fmt.Sprintf("w%d:0x%x", w.Word, w.Remainder))
-				}
-				av.Words = strings.Join(words, " ")
-				av.TrailLen = len(da.Trail)
-				for _, s := range da.Trail {
-					av.Trail = append(av.Trail, trailRow(s))
-				}
+		if da, ok := e.AnomalyDetail(); ok {
+			av.Status = da.Status
+			av.Model = da.Model
+			av.Injected = da.Injected
+			av.Iterations = da.Iterations
+			av.CorruptedWords = da.CorruptedWords
+			av.TrailDropped = da.TrailDropped
+			var words []string
+			for _, w := range da.Words {
+				words = append(words, fmt.Sprintf("w%d:0x%x", w.Word, w.Remainder))
+			}
+			av.Words = strings.Join(words, " ")
+			av.TrailLen = len(da.Trail)
+			for _, s := range da.Trail {
+				av.Trail = append(av.Trail, trailRow(s))
 			}
 		}
 		jv.Anomalies = append(jv.Anomalies, av)
@@ -446,6 +512,96 @@ func timelineSection(events []telemetry.Event) *timelineView {
 	return tv
 }
 
+// healthSection shapes a health-engine snapshot into the report's
+// static equivalent of the ecctop dashboard: SLO burn table, class
+// rates, fault signatures, the hottest-first region heatmap, and the
+// alert timeline.
+func healthSection(path string, s *health.Snapshot) *healthView {
+	hv := &healthView{
+		Origin:     path,
+		Status:     strings.ToUpper(s.Status.String()),
+		Page:       s.Status == health.StatePage,
+		Events:     s.Events,
+		Dropped:    s.SubDropped,
+		Regions:    s.RegionsTotal,
+		Overflowed: s.RegionsOver,
+		Window:     fmt.Sprintf("%.0fs", s.WindowSeconds),
+	}
+	for _, t := range s.SLOs {
+		hv.SLOs = append(hv.SLOs, sloRow{
+			Class: t.Class, Budget: t.BudgetPerSec,
+			Fast:  fmt.Sprintf("%.1fx", t.BurnFast),
+			Slow:  fmt.Sprintf("%.1fx", t.BurnSlow),
+			State: strings.ToUpper(t.State.String()),
+			Hot:   t.State != health.StateOK,
+		})
+	}
+	for _, class := range []string{"corrected", "due", "sdc", "scrub"} {
+		c := s.Classes[class]
+		hv.Classes = append(hv.Classes, classRow{
+			Class: class, Total: c.Total,
+			Fast: fmt.Sprintf("%.2f", c.RateFast),
+			Slow: fmt.Sprintf("%.2f", c.RateSlow),
+			EWMA: fmt.Sprintf("%.2f", c.EWMA),
+		})
+	}
+	for _, sig := range s.Signatures {
+		where := fmt.Sprintf("count %d", sig.Count)
+		switch sig.Kind {
+		case "rowhammer-storm":
+			where = fmt.Sprintf("aggressor row %d", sig.Row)
+		case "repeat-offender":
+			where = fmt.Sprintf("line %d (region %d)", sig.Line, sig.Region)
+		case "scrub-recurrence":
+			where = fmt.Sprintf("region %d", sig.Region)
+		}
+		hv.Signatures = append(hv.Signatures, sigRow{
+			Kind: sig.Kind, Where: where, Count: sig.Count,
+			Last: time.Unix(0, sig.LastNs).UTC().Format("15:04:05"),
+		})
+	}
+	regions := append([]health.RegionStat(nil), s.Regions...)
+	sort.Slice(regions, func(a, b int) bool {
+		ea := regions[a].Corrected + regions[a].DUE + regions[a].SDC
+		eb := regions[b].Corrected + regions[b].DUE + regions[b].SDC
+		if ea != eb {
+			return ea > eb
+		}
+		return regions[a].Region < regions[b].Region
+	})
+	var maxErr int64 = 1
+	for _, r := range regions {
+		if n := r.Corrected + r.DUE + r.SDC; n > maxErr {
+			maxErr = n
+		}
+	}
+	const heatTop = 32
+	shown := regions
+	if len(shown) > heatTop {
+		shown = shown[:heatTop]
+		hv.HeatHidden = len(regions) - heatTop
+	}
+	for _, r := range shown {
+		n := r.Corrected + r.DUE + r.SDC
+		hv.Heatmap = append(hv.Heatmap, heatRow{
+			Region: r.Region, FirstLine: r.FirstLine,
+			Corrected: r.Corrected, DUE: r.DUE, SDC: r.SDC, Scrub: r.Scrub,
+			Rate:   fmt.Sprintf("%.2f", r.RateSlow),
+			BarPct: int(n * 100 / maxErr),
+		})
+	}
+	for _, a := range s.Alerts {
+		hv.Alerts = append(hv.Alerts, alertRow{
+			Time:     time.Unix(0, a.TimeNs).UTC().Format("15:04:05.000"),
+			Severity: strings.ToUpper(a.Severity),
+			Kind:     a.Kind,
+			Message:  a.Message,
+			Page:     a.Severity == "page",
+		})
+	}
+	return hv
+}
+
 func historySection(logger *slog.Logger, path string) *historyTable {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -510,6 +666,9 @@ code { background: #f4f4f6; padding: 0 .25rem; border-radius: 3px; }
 .muted { color: #777; }
 details summary { cursor: pointer; color: #246; }
 svg { background: #fafbfc; border: 1px solid #ddd; }
+.heat { display: inline-block; height: 10px; background: linear-gradient(90deg, #f6b93b, #e55039); border-radius: 2px; vertical-align: middle; }
+.status-page { color: #b00; font-weight: 700; }
+.status-ok { color: #2a7; font-weight: 700; }
 </style>
 </head>
 <body id="polyecc-report">
@@ -564,6 +723,46 @@ svg { background: #fafbfc; border: 1px solid #ddd; }
 {{range .Trail}}<tr><td>{{.Model}}</td><td class="num">{{.Trial}}</td><td class="num">{{.Word}}</td><td class="num">{{.Candidate}}</td><td>{{if .MACMatch}}match{{else}}&mdash;{{end}}</td></tr>
 {{end}}</table></details>{{else}}<span class="muted">&mdash;</span>{{end}}</td>
 </tr>
+{{end}}</table>
+{{end}}
+{{end}}
+
+{{if .Health}}
+<h2>Live health {{if .Health.Page}}<span class="status-page">{{.Health.Status}}</span>{{else}}<span class="status-ok">{{.Health.Status}}</span>{{end}}</h2>
+<p class="muted">{{.Health.Events}} events observed over a {{.Health.Window}} window from <code>{{.Health.Origin}}</code>{{if .Health.Dropped}}, {{.Health.Dropped}} dropped under load{{end}}{{if .Health.Overflowed}}, {{.Health.Overflowed}} hits beyond the region cap{{end}}</p>
+
+<h3>SLO burn rates</h3>
+<table>
+<tr><th>class</th><th class="num">budget/s</th><th class="num">fast burn</th><th class="num">slow burn</th><th>state</th></tr>
+{{range .Health.SLOs}}<tr><td>{{.Class}}</td><td class="num">{{.Budget}}</td><td class="num">{{.Fast}}</td><td class="num">{{.Slow}}</td><td>{{if .Hot}}<span class="partial">{{.State}}</span>{{else}}{{.State}}{{end}}</td></tr>
+{{end}}</table>
+
+<h3>Error rates</h3>
+<table>
+<tr><th>class</th><th class="num">fast /s</th><th class="num">slow /s</th><th class="num">ewma</th><th class="num">total</th></tr>
+{{range .Health.Classes}}<tr><td>{{.Class}}</td><td class="num">{{.Fast}}</td><td class="num">{{.Slow}}</td><td class="num">{{.EWMA}}</td><td class="num">{{.Total}}</td></tr>
+{{end}}</table>
+
+{{if .Health.Signatures}}
+<h3>Fault signatures</h3>
+<table>
+<tr><th>kind</th><th>where</th><th class="num">hits</th><th>last seen (UTC)</th></tr>
+{{range .Health.Signatures}}<tr><td><span class="partial">{{.Kind}}</span></td><td>{{.Where}}</td><td class="num">{{.Count}}</td><td>{{.Last}}</td></tr>
+{{end}}</table>
+{{end}}
+
+<h3>Region heatmap <span class="muted">(hottest first, {{.Health.Regions}} regions tracked)</span></h3>
+<table>
+<tr><th class="num">region</th><th class="num">first line</th><th class="num">corrected</th><th class="num">due</th><th class="num">sdc</th><th class="num">scrub</th><th class="num">err/s</th><th>heat</th></tr>
+{{range .Health.Heatmap}}<tr><td class="num">{{.Region}}</td><td class="num">{{.FirstLine}}</td><td class="num">{{.Corrected}}</td><td class="num">{{.DUE}}</td><td class="num">{{.SDC}}</td><td class="num">{{.Scrub}}</td><td class="num">{{.Rate}}</td><td><span class="heat" style="width: {{.BarPct}}px"></span></td></tr>
+{{end}}</table>
+{{if .Health.HeatHidden}}<p class="muted">… {{.Health.HeatHidden}} cooler regions not shown</p>{{end}}
+
+{{if .Health.Alerts}}
+<h3>Alert timeline</h3>
+<table>
+<tr><th>time (UTC)</th><th>severity</th><th>kind</th><th>message</th></tr>
+{{range .Health.Alerts}}<tr><td>{{.Time}}</td><td>{{if .Page}}<span class="partial">{{.Severity}}</span>{{else}}{{.Severity}}{{end}}</td><td>{{.Kind}}</td><td>{{.Message}}</td></tr>
 {{end}}</table>
 {{end}}
 {{end}}

@@ -1,0 +1,237 @@
+// Command ecctop is the live terminal dashboard of the health engine:
+// it polls a running tool's /regions endpoint (any cmd with
+// -metrics-addr and -journal, e.g. `faultinject -storm -serve-after`)
+// and renders the SLO burn state, per-class error rates, fault
+// signatures, the per-region error heatmap, and the alert timeline,
+// refreshing in place like top(1).
+//
+// It also reads offline artifacts: -snapshot renders a
+// `faultinject -health-snapshot` JSON file once and exits.
+//
+// Usage:
+//
+//	ecctop -addr localhost:8080
+//	ecctop -addr-file /tmp/metrics.addr -interval 1s
+//	ecctop -snapshot health.json
+//	ecctop -addr-file a.txt -once -wait 60s -wait-for page   # scripting: block until the engine pages
+//
+// -wait-for polls until the engine's overall status matches (ok, warn,
+// or page), then renders and exits 0; if -wait elapses first it exits 1.
+// `make health-smoke` uses exactly that to assert a storm soak pages.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"polyecc/internal/health"
+	"polyecc/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "", "health engine host:port to poll (its /regions endpoint)")
+	addrFile := flag.String("addr-file", "", "read -addr from this file (written by -metrics-addr-file)")
+	snapshot := flag.String("snapshot", "", "render this health snapshot JSON file once instead of polling")
+	interval := flag.Duration("interval", 2*time.Second, "poll/refresh interval")
+	once := flag.Bool("once", false, "render a single frame and exit (no screen clearing)")
+	wait := flag.Duration("wait", 0, "with -wait-for: give up (exit 1) after this long")
+	waitFor := flag.String("wait-for", "", "poll until the overall status matches this state (ok, warn, page), then exit 0")
+	top := flag.Int("top", 16, "regions shown in the heatmap")
+	var obs telemetry.CLIFlags
+	obs.Register(flag.CommandLine)
+	flag.Parse()
+	logger := obs.Init("ecctop")
+
+	if *snapshot != "" {
+		buf, err := os.ReadFile(*snapshot)
+		if err != nil {
+			telemetry.Fatal(logger, "read snapshot", "path", *snapshot, "err", err)
+		}
+		var s health.Snapshot
+		if err := json.Unmarshal(buf, &s); err != nil {
+			telemetry.Fatal(logger, "parse snapshot", "path", *snapshot, "err", err)
+		}
+		fmt.Print(render(&s, *top))
+		return
+	}
+
+	target := *addr
+	if *addrFile != "" {
+		target = readAddrFile(*addrFile, *wait)
+		if target == "" {
+			telemetry.Fatal(logger, "address file never appeared", "path", *addrFile)
+		}
+	}
+	if target == "" {
+		telemetry.Fatal(logger, "need -addr, -addr-file, or -snapshot")
+	}
+	url := "http://" + target + "/regions"
+
+	deadline := time.Time{}
+	if *wait > 0 {
+		deadline = time.Now().Add(*wait)
+	}
+	want := strings.ToLower(*waitFor)
+	for {
+		s, err := fetch(url)
+		switch {
+		case err != nil && want == "":
+			telemetry.Fatal(logger, "poll failed", "url", url, "err", err)
+		case err == nil:
+			if want == "" && !*once {
+				fmt.Print("\x1b[2J\x1b[H") // clear and home, top(1)-style
+			}
+			if want == "" || s.Status.String() == want {
+				fmt.Print(render(s, *top))
+			}
+			if want != "" && s.Status.String() == want {
+				return // matched: exit 0 for the scripting handshake
+			}
+			if *once && want == "" {
+				return
+			}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			if want != "" {
+				telemetry.Fatal(logger, "state never reached", "want", want, "waited", *wait)
+			}
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// readAddrFile waits (up to the -wait budget, at least 5s) for the
+// address file a freshly launched tool writes, then returns its content.
+func readAddrFile(path string, wait time.Duration) string {
+	if wait < 5*time.Second {
+		wait = 5 * time.Second
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		if buf, err := os.ReadFile(path); err == nil {
+			if s := strings.TrimSpace(string(buf)); s != "" {
+				return s
+			}
+		}
+		if time.Now().After(deadline) {
+			return ""
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fetch pulls and parses one /regions snapshot.
+func fetch(url string) (*health.Snapshot, error) {
+	c := http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("ecctop: %s returned %s: %s", url, resp.Status, strings.TrimSpace(string(buf)))
+	}
+	var s health.Snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("ecctop: parse %s: %w", url, err)
+	}
+	return &s, nil
+}
+
+// render draws one dashboard frame.
+func render(s *health.Snapshot, top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ecctop — live ECC health  |  status: %s  |  events: %d  |  regions: %d  |  window: %.0fs\n",
+		strings.ToUpper(s.Status.String()), s.Events, s.RegionsTotal, s.WindowSeconds)
+	if s.SubDropped > 0 {
+		fmt.Fprintf(&b, "  (engine subscription dropped %d events under load)\n", s.SubDropped)
+	}
+
+	b.WriteString("\nSLO burn rates\n")
+	fmt.Fprintf(&b, "  %-10s %-12s %10s %10s %8s\n", "class", "budget/s", "fast burn", "slow burn", "state")
+	for _, t := range s.SLOs {
+		fmt.Fprintf(&b, "  %-10s %-12g %9.1fx %9.1fx %8s\n",
+			t.Class, t.BudgetPerSec, t.BurnFast, t.BurnSlow, strings.ToUpper(t.State.String()))
+	}
+
+	b.WriteString("\nError rates (events/s)\n")
+	fmt.Fprintf(&b, "  %-10s %10s %10s %10s %12s\n", "class", "fast", "slow", "ewma/s", "total")
+	for _, class := range []string{"corrected", "due", "sdc", "scrub"} {
+		c := s.Classes[class]
+		fmt.Fprintf(&b, "  %-10s %10.2f %10.2f %10.2f %12d\n",
+			class, c.RateFast, c.RateSlow, c.EWMA, c.Total)
+	}
+
+	if len(s.Signatures) > 0 {
+		b.WriteString("\nFault signatures\n")
+		for _, sig := range s.Signatures {
+			switch sig.Kind {
+			case "rowhammer-storm":
+				fmt.Fprintf(&b, "  ⚠ rowhammer-storm   aggressor row %-6d %6d clustered hits\n", sig.Row, sig.Count)
+			case "repeat-offender":
+				fmt.Fprintf(&b, "  ⚠ repeat-offender   line %-13d %6d hits (trending permanent)\n", sig.Line, sig.Count)
+			case "scrub-recurrence":
+				fmt.Fprintf(&b, "  ⚠ scrub-recurrence  region %-11d %6d patrol findings\n", sig.Region, sig.Count)
+			default:
+				fmt.Fprintf(&b, "  ⚠ %-17s count %d\n", sig.Kind, sig.Count)
+			}
+		}
+	}
+
+	b.WriteString("\nRegion heatmap (hottest first)\n")
+	fmt.Fprintf(&b, "  %-8s %-11s %9s %6s %5s %6s %9s  %s\n",
+		"region", "first line", "corrected", "due", "sdc", "scrub", "err/s", "")
+	regions := append([]health.RegionStat(nil), s.Regions...)
+	sort.Slice(regions, func(a, b int) bool {
+		ea := regions[a].Corrected + regions[a].DUE + regions[a].SDC
+		eb := regions[b].Corrected + regions[b].DUE + regions[b].SDC
+		if ea != eb {
+			return ea > eb
+		}
+		return regions[a].Region < regions[b].Region
+	})
+	var maxErr int64 = 1
+	for _, r := range regions {
+		if n := r.Corrected + r.DUE + r.SDC; n > maxErr {
+			maxErr = n
+		}
+	}
+	shown := regions
+	if len(shown) > top {
+		shown = shown[:top]
+	}
+	for _, r := range shown {
+		n := r.Corrected + r.DUE + r.SDC
+		bar := strings.Repeat("█", int(n*24/maxErr))
+		fmt.Fprintf(&b, "  %-8d %-11d %9d %6d %5d %6d %9.2f  %s\n",
+			r.Region, r.FirstLine, r.Corrected, r.DUE, r.SDC, r.Scrub, r.RateSlow, bar)
+	}
+	if hidden := len(regions) - len(shown); hidden > 0 {
+		fmt.Fprintf(&b, "  … %d cooler regions not shown\n", hidden)
+	}
+
+	if len(s.Alerts) > 0 {
+		b.WriteString("\nAlert timeline (newest last)\n")
+		tail := s.Alerts
+		if len(tail) > 8 {
+			tail = tail[len(tail)-8:]
+		}
+		for _, a := range tail {
+			fmt.Fprintf(&b, "  %s  %-5s %-18s %s\n",
+				time.Unix(0, a.TimeNs).UTC().Format("15:04:05"), strings.ToUpper(a.Severity), a.Kind, a.Message)
+		}
+	}
+	return b.String()
+}

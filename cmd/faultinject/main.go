@@ -27,11 +27,22 @@
 // the run, and checkpoints embed the same manifest; cmd/eccreport merges
 // all three into one HTML report.
 //
+// With -journal the run also powers the live health engine
+// (internal/health): it subscribes to the journal stream and maintains
+// sliding-window error rates, a per-region heatmap (/regions), fault
+// signatures, and SLO burn-rate state served through /healthz — watch
+// it live with cmd/ecctop. -health-snapshot writes the engine's final
+// snapshot as JSON, and -serve-after keeps the observability server (and
+// the engine) up after the campaign finishes, so dashboards can inspect
+// a completed run.
+//
 // Usage:
 //
 //	faultinject -fig 4 [-injections 2000] [-workers 8] [-metrics-addr :8080] [-v]
 //	faultinject -fig 5 [-injections 2500]
 //	faultinject -poly [-code poly-m2005] [-injections 2000]
+//	faultinject -storm -journal events.jsonl -health-snapshot health.json
+//	faultinject -storm -journal events.jsonl -metrics-addr 127.0.0.1:0 -serve-after 2m
 //	faultinject -fig 4 -checkpoint fig4.ckpt -checkpoint-every 200 -timeout 1h
 //	faultinject -fig 4 -checkpoint fig4.ckpt -resume   # continue after an interrupt
 //	faultinject -poly -journal events.jsonl -summary run.json -chrome-trace timeline.json
@@ -52,9 +63,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"syscall"
+	"time"
 
 	"polyecc/internal/campaign"
 	"polyecc/internal/exp"
+	"polyecc/internal/health"
 	"polyecc/internal/linecode"
 	"polyecc/internal/telemetry"
 )
@@ -62,7 +75,8 @@ import (
 func main() {
 	fig := flag.Int("fig", 4, "figure to regenerate: 4 or 5")
 	polySoak := flag.Bool("poly", false, "run the live in-model soak against a Polymorphic decoder instead")
-	soakCode := linecode.Flag(flag.CommandLine, "code", "poly-m2005", "Polymorphic code the -poly soak decodes with")
+	storm := flag.Bool("storm", false, "run the seeded rowhammer-storm soak instead (hammers one aggressor row)")
+	soakCode := linecode.Flag(flag.CommandLine, "code", "poly-m2005", "Polymorphic code the -poly/-storm soaks decode with")
 	injections := flag.Int("injections", 0, "injections per campaign (default: the paper's count)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	out := flag.String("o", "", "also write the output to this file")
@@ -75,10 +89,27 @@ func main() {
 	summary := flag.String("summary", "", "write a manifest-stamped JSON run summary to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile, taken after the campaign, to this file")
+	healthSnap := flag.String("health-snapshot", "", "write the health engine's final snapshot (regions, signatures, SLOs, alerts) as JSON to this file")
+	serveAfter := flag.Duration("serve-after", 0, "keep the observability server (and health engine) up this long after the campaign finishes")
 	var obs telemetry.CLIFlags
 	obs.Register(flag.CommandLine)
 	obs.RegisterJournal(flag.CommandLine)
 	flag.Parse()
+
+	// The health engine subscribes to the journal stream, so both must
+	// exist before Init starts the observability server: the server's
+	// /healthz and /regions then carry the engine's state from the first
+	// request.
+	var engine *health.Engine
+	if obs.JournalPath != "" {
+		obs.Journal = telemetry.NewJournal(obs.JournalCap)
+		obs.Journal.Publish("journal")
+		engine = health.New(health.Config{WallClock: true})
+		engine.Publish("health")
+		stopEngine := engine.Start(obs.Journal)
+		defer stopEngine()
+		obs.Vitals = engine
+	}
 	logger := obs.Init("faultinject")
 
 	// The manifest binds every artifact this run writes — checkpoint,
@@ -133,6 +164,29 @@ func main() {
 	var text string
 	var run campaign.Result
 	switch {
+	case *storm:
+		n := *injections
+		if n == 0 {
+			n = 4000
+		}
+		lc, err := soakCode()
+		if err != nil {
+			telemetry.Fatal(logger, "building soak code", "err", err)
+		}
+		manifest.Codec = lc.Name()
+		logger.Info("running rowhammer storm soak", "code", lc.Name(), "trials", n, "workers", opts.Workers)
+		res, err := exp.RowhammerStorm(ctx, lc, n, *seed, decodeMetrics, opts)
+		if err != nil {
+			telemetry.Fatal(logger, "storm soak failed", "err", err)
+		}
+		run = campaign.Result{Name: "stormsoak", Trials: res.Trials, Completed: res.Completed,
+			Partial: res.Partial, Panics: int64(res.Panics),
+			Counts: map[string]int64{
+				"hammer": int64(res.HammerTrials), "clean": int64(res.Clean),
+				"corrected": int64(res.Corrected), "due": int64(res.Uncorrectable),
+				"sdc": int64(res.SDC),
+			}}
+		text = exp.RenderStormSoak(res)
 	case *polySoak:
 		n := *injections
 		if n == 0 {
@@ -242,5 +296,41 @@ func main() {
 			telemetry.Fatal(logger, "write summary", "path", *summary, "err", err)
 		}
 		logger.Info("wrote run summary", "path", *summary)
+	}
+
+	if *healthSnap != "" {
+		if engine == nil {
+			telemetry.Fatal(logger, "-health-snapshot needs -journal (the health engine feeds on the flight recorder)")
+		}
+		waitEngineSettled(engine, obs.Journal)
+		buf, err := json.MarshalIndent(engine.Snapshot(), "", "  ")
+		if err != nil {
+			telemetry.Fatal(logger, "marshal health snapshot", "err", err)
+		}
+		if err := os.WriteFile(*healthSnap, append(buf, '\n'), 0o644); err != nil {
+			telemetry.Fatal(logger, "write health snapshot", "path", *healthSnap, "err", err)
+		}
+		logger.Info("wrote health snapshot", "path", *healthSnap, "status", engine.State())
+	}
+	if *serveAfter > 0 && obs.MetricsAddr != "" {
+		logger.Info("campaign done; observability server stays up", "for", *serveAfter)
+		select {
+		case <-ctx.Done():
+		case <-time.After(*serveAfter):
+		}
+	}
+}
+
+// waitEngineSettled gives the health engine's subscription pump a
+// bounded window to catch up with everything the journal recorded, so
+// the final snapshot misses nothing from the just-finished campaign.
+func waitEngineSettled(e *health.Engine, j *telemetry.Journal) {
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		s := e.Snapshot()
+		if s.Events+s.SubDropped >= j.Recorded() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -15,8 +15,12 @@
 // The scrubber is also the deployment-shaped telemetry demo: a
 // DecodeMetrics collector rides the decode path and is published at
 // /debug/vars (with /debug/pprof alongside) when -metrics-addr is set.
+// With -journal the patrol additionally feeds the live health engine:
+// every scrub finding streams into per-region heatmaps and SLO burn
+// tracking, /healthz carries the engine's verdict, /regions serves the
+// heatmap to ecctop, and each sweep logs the current health state.
 //
-//	go run ./examples/scrubber [-lines 512] [-sweeps 20] [-interval 0] [-metrics-addr :8080] [-v]
+//	go run ./examples/scrubber [-lines 512] [-sweeps 20] [-interval 0] [-metrics-addr :8080] [-journal scrub.jsonl] [-v]
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 
 	"polyecc"
 	"polyecc/internal/dram"
+	"polyecc/internal/health"
 	"polyecc/internal/scrub"
 	"polyecc/internal/telemetry"
 )
@@ -41,7 +46,24 @@ func main() {
 	seed := flag.Int64("seed", 11, "deterministic seed")
 	var obs telemetry.CLIFlags
 	obs.Register(flag.CommandLine)
+	obs.RegisterJournal(flag.CommandLine)
 	flag.Parse()
+
+	// With a journal the patrol gets a live health engine: scrub findings
+	// stream into region heatmaps and SLO burn tracking, and the
+	// observability server (when -metrics-addr is also set) serves the
+	// engine on /healthz and /regions. Built before Init so the server
+	// starts with the engine already attached.
+	var engine *health.Engine
+	if obs.JournalPath != "" {
+		obs.Journal = telemetry.NewJournal(obs.JournalCap)
+		obs.Journal.Publish("journal")
+		engine = health.New(health.Config{WallClock: true})
+		engine.Publish("health")
+		stopEngine := engine.Start(obs.Journal)
+		defer stopEngine()
+		obs.Vitals = engine
+	}
 	logger := obs.Init("scrubber")
 
 	metrics := polyecc.NewDecodeMetrics()
@@ -70,10 +92,15 @@ func main() {
 
 	stuckPinFrom := *sweeps / 2
 	policy := scrub.DefaultPolicy()
+	policy.Journal = obs.Journal
 	policy.OnSweep = func(sweep int, st scrub.Stats, events []scrub.Event) {
 		logger.Debug("sweep complete", "sweep", sweep,
 			"corrected", st.Corrected, "due", st.DUE,
 			"lifetime-corrected", metrics.Corrected.Value())
+		if engine != nil {
+			status, _ := engine.VitalSigns()
+			logger.Debug("health", "sweep", sweep, "status", status)
+		}
 		// The host's repair action: DUE lines are re-provisioned from the
 		// (simulated) mirror — the scrubber itself left them untouched.
 		for _, ev := range events {
@@ -133,4 +160,11 @@ func main() {
 		telemetry.Fatal(logger, "silent corruption", "lines", sdc)
 	}
 	fmt.Println("every correction verified against ground truth — no SDCs")
+
+	if engine != nil {
+		snap := engine.Snapshot()
+		fmt.Printf("health: status=%s  regions=%d  signatures=%d  alerts=%d\n",
+			snap.Status, snap.RegionsTotal, len(snap.Signatures), len(snap.Alerts))
+	}
+	obs.WriteJournal(logger, "")
 }

@@ -382,6 +382,12 @@ func runShard(ctx context.Context, cfg *Config, fn TrialFunc, st *state, worker,
 			RNG:    rand.New(rand.NewSource(trialSeed(cfg.Seed, idx))),
 			Local:  local,
 		}
+		// Per-trial timing exists only on journaled runs, so the plain
+		// campaign hot loop pays no clock reads.
+		var trialStart time.Time
+		if journaled {
+			trialStart = time.Now()
+		}
 		panicked := safeTrial(fn, t, cfg.PanicLabel, cfg.Logger)
 		st.commit(cfg, shard, t.adds, panicked)
 		ran++
@@ -401,6 +407,7 @@ func runShard(ctx context.Context, cfg *Config, fn TrialFunc, st *state, worker,
 				Worker:  worker,
 				Index:   idx,
 				Outcome: outcome,
+				DurNs:   time.Since(trialStart).Nanoseconds(),
 			})
 		}
 	}

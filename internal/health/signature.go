@@ -1,0 +1,147 @@
+package health
+
+import "fmt"
+
+// Signature is one classified fault pattern, detected online from the
+// engine's ring of recent error hits. The kinds mirror the DRAM failure
+// taxonomy the paper's fault models encode:
+//
+//   - "rowhammer-storm": corrections spatially clustered in the two
+//     neighbor rows of a common aggressor row — the disturbance
+//     signature of an active hammering attack — while the aggressor row
+//     itself stays (comparatively) clean.
+//   - "repeat-offender": one line correcting over and over inside the
+//     window, the trend of a weak cell going permanent; the candidate
+//     for line replacement (scrub.Policy.ReplacementThreshold).
+//   - "scrub-recurrence": a region whose patrol scrubs keep finding
+//     errors sweep after sweep — scrubbing is masking, not fixing, the
+//     region.
+type Signature struct {
+	Kind    string `json:"kind"`
+	Row     int    `json:"row,omitempty"`    // aggressor row (rowhammer-storm)
+	Line    int    `json:"line,omitempty"`   // offending line (repeat-offender)
+	Region  int    `json:"region,omitempty"` // recurring region (scrub-recurrence)
+	Count   int    `json:"count"`            // supporting hits inside the window
+	FirstNs int64  `json:"first_unix_ns"`    // when this signature was first raised
+	LastNs  int64  `json:"last_unix_ns"`     // last classification that confirmed it
+}
+
+// key identifies a signature across classification passes so FirstNs
+// survives and re-detection does not re-alert.
+func (s *Signature) key() string {
+	return fmt.Sprintf("%s/%d/%d/%d", s.Kind, s.Row, s.Line, s.Region)
+}
+
+// hit is one recent error observation kept for spatial classification.
+type hit struct {
+	line   int
+	timeNs int64
+	class  Class
+}
+
+// hitRing is the bounded buffer of recent hits the classifier scans.
+type hitRing struct {
+	buf  []hit
+	next int
+	n    int
+}
+
+func newHitRing(capacity int) *hitRing { return &hitRing{buf: make([]hit, capacity)} }
+
+func (r *hitRing) add(h hit) {
+	r.buf[r.next] = h
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// each visits every buffered hit (order unspecified).
+func (r *hitRing) each(f func(hit)) {
+	start := (r.next - r.n + len(r.buf)) % len(r.buf)
+	for k := 0; k < r.n; k++ {
+		f(r.buf[(start+k)%len(r.buf)])
+	}
+}
+
+// classifySignatures scans the recent hits inside [nowNs-windowNs,
+// nowNs] and returns every signature currently supported by the
+// evidence. FirstNs is stamped nowNs; the engine rewrites it from the
+// previous active set for signatures that persist.
+func classifySignatures(ring *hitRing, nowNs, windowNs int64, cfg *Config) []Signature {
+	rowCnt := map[int]int{}  // corrections+SDC per row
+	lineCnt := map[int]int{} // corrections+SDC+DUE per line
+	scrubCnt := map[int]int{}
+	cutoff := nowNs - windowNs
+	ring.each(func(h hit) {
+		if h.timeNs < cutoff {
+			return
+		}
+		switch h.class {
+		case ClassCorrected, ClassSDC:
+			rowCnt[h.line/cfg.RowLines]++
+			lineCnt[h.line]++
+		case ClassDUE:
+			lineCnt[h.line]++
+		case ClassScrub:
+			scrubCnt[h.line/cfg.RegionLines]++
+			rowCnt[h.line/cfg.RowLines]++
+		}
+	})
+
+	var out []Signature
+	stormVictims := map[int]bool{}
+	// Rowhammer: for every candidate aggressor row r, both neighbor rows
+	// r-1 and r+1 must each carry a meaningful share of the corrections
+	// (a one-sided cluster plus a stray background hit is not hammering),
+	// their sum must clear the storm floor, and must dwarf (4x) the
+	// aggressor row's own count — the spatial asymmetry that separates
+	// hammering from uniform noise.
+	minVictim := cfg.RowhammerMin / 4
+	if minVictim < 1 {
+		minVictim = 1
+	}
+	for a, ca := range rowCnt {
+		cb, ok := rowCnt[a+2]
+		if !ok || ca < minVictim || cb < minVictim {
+			continue
+		}
+		r := a + 1
+		victims := ca + cb
+		aggr := rowCnt[r]
+		if aggr < 1 {
+			aggr = 1
+		}
+		if victims >= cfg.RowhammerMin && victims >= 4*aggr {
+			out = append(out, Signature{
+				Kind: "rowhammer-storm", Row: r, Count: victims,
+				FirstNs: nowNs, LastNs: nowNs,
+			})
+			stormVictims[a] = true
+			stormVictims[a+2] = true
+		}
+	}
+	for line, c := range lineCnt {
+		// A hammered victim row trips every line in it; the storm
+		// signature already explains those, so they are not separately
+		// flagged as repeat offenders.
+		if stormVictims[line/cfg.RowLines] {
+			continue
+		}
+		if c >= cfg.RepeatMin {
+			out = append(out, Signature{
+				Kind: "repeat-offender", Line: line, Region: line / cfg.RegionLines,
+				Count: c, FirstNs: nowNs, LastNs: nowNs,
+			})
+		}
+	}
+	for region, c := range scrubCnt {
+		if c >= cfg.ScrubRepeatMin {
+			out = append(out, Signature{
+				Kind: "scrub-recurrence", Region: region, Count: c,
+				FirstNs: nowNs, LastNs: nowNs,
+			})
+		}
+	}
+	return out
+}

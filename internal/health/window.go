@@ -1,0 +1,104 @@
+package health
+
+// window is a sliding event-count window: a ring of fixed-width time
+// buckets keyed by epoch (time / bucketNs), plus an EWMA of per-bucket
+// counts folded every time the window advances past a completed bucket.
+// It is event-time driven — add() carries the observation's own
+// timestamp — so replaying a recorded journal produces exactly the
+// rates the live run saw, and the deterministic storm tests never
+// depend on the machine clock.
+//
+// The ring never needs wholesale clearing: each slot remembers which
+// epoch it holds, and a slot whose epoch no longer matches is treated
+// as empty (and reset lazily on the next write).
+type window struct {
+	bucketNs int64
+	counts   []int64
+	epochs   []int64
+	last     int64 // newest epoch observed
+	seen     bool
+	alpha    float64
+	ewma     float64 // events per bucket, exponentially weighted
+	total    int64
+}
+
+func newWindow(bucketNs int64, buckets int, alpha float64) *window {
+	return &window{
+		bucketNs: bucketNs,
+		counts:   make([]int64, buckets),
+		epochs:   make([]int64, buckets),
+		alpha:    alpha,
+	}
+}
+
+// add records n events at time tNs. Events older than the window span
+// (replay reordering slack) are counted in total but not bucketed.
+func (w *window) add(tNs, n int64) {
+	w.total += n
+	e := tNs / w.bucketNs
+	if !w.seen {
+		w.seen = true
+		w.last = e
+	}
+	if e > w.last {
+		w.advance(e)
+	}
+	if e <= w.last-int64(len(w.counts)) {
+		return
+	}
+	slot := w.slot(e)
+	if w.epochs[slot] != e {
+		w.epochs[slot] = e
+		w.counts[slot] = 0
+	}
+	w.counts[slot] += n
+}
+
+func (w *window) slot(epoch int64) int {
+	s := int(epoch % int64(len(w.counts)))
+	if s < 0 {
+		s += len(w.counts)
+	}
+	return s
+}
+
+// advance folds every bucket completed by moving the frontier from
+// w.last to newEpoch into the EWMA: the frontier bucket's final count,
+// then one zero per silent epoch in between. The fold is capped at the
+// ring length plus one — beyond that every additional silent epoch
+// multiplies the EWMA by (1-alpha), which saturates to ~0 anyway.
+func (w *window) advance(newEpoch int64) {
+	steps := newEpoch - w.last
+	if max := int64(len(w.counts)) + 1; steps > max {
+		steps = max
+	}
+	for i := int64(0); i < steps; i++ {
+		e := w.last + i
+		var c int64
+		if slot := w.slot(e); w.epochs[slot] == e {
+			c = w.counts[slot]
+		}
+		w.ewma = w.alpha*float64(c) + (1-w.alpha)*w.ewma
+	}
+	w.last = newEpoch
+}
+
+// rate returns events/second over the nb most recent buckets ending at
+// nowNs's epoch (the in-progress bucket included).
+func (w *window) rate(nowNs int64, nb int) float64 {
+	if !w.seen || nb <= 0 {
+		return 0
+	}
+	if nb > len(w.counts) {
+		nb = len(w.counts)
+	}
+	e := nowNs / w.bucketNs
+	var sum int64
+	for i := 0; i < nb; i++ {
+		ep := e - int64(i)
+		if slot := w.slot(ep); w.epochs[slot] == ep {
+			sum += w.counts[slot]
+		}
+	}
+	return float64(sum) / (float64(nb) * float64(w.bucketNs) / 1e9)
+}

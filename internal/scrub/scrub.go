@@ -255,12 +255,23 @@ func (s *Scrubber) Run(ctx context.Context, interval time.Duration) RunStats {
 		defer tick.Stop()
 	}
 	for {
+		start := time.Now()
 		st, events, err := s.SweepContext(ctx)
 		agg.add(st)
 		if err != nil {
 			return agg
 		}
 		agg.Sweeps++
+		// Each completed patrol sweep is a span on the flight-recorder
+		// timeline, so the health engine and the Chrome trace both see the
+		// scrub cadence next to the findings it produced.
+		s.policy.Journal.Record(telemetry.Event{
+			Kind:    telemetry.KindSpan,
+			Source:  "scrub",
+			Name:    fmt.Sprintf("sweep-%d", agg.Sweeps),
+			Outcome: fmt.Sprintf("corrected=%d due=%d", st.Corrected, st.DUE),
+			DurNs:   time.Since(start).Nanoseconds(),
+		})
 		if s.policy.OnSweep != nil {
 			s.policy.OnSweep(agg.Sweeps, st, events)
 		}

@@ -14,11 +14,21 @@ type CLIFlags struct {
 	Verbose     bool
 	MetricsAddr string
 
+	// MetricsAddrFile, when non-empty, receives the resolved listen
+	// address once the server is up — the handshake scripts need it when
+	// -metrics-addr is ":0".
+	MetricsAddrFile string
+
 	// JournalPath/JournalCap are bound by RegisterJournal; Init builds
 	// Journal from them so /healthz can report its pressure.
 	JournalPath string
 	JournalCap  int
 	Journal     *Journal
+
+	// Vitals, when set before Init, attaches a live health engine to the
+	// observability server: /healthz carries its status and /regions its
+	// region heatmap.
+	Vitals Vitals
 }
 
 // Register binds -v and -metrics-addr on fs.
@@ -26,6 +36,8 @@ func (f *CLIFlags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&f.Verbose, "v", false, "verbose (debug-level) logging")
 	fs.StringVar(&f.MetricsAddr, "metrics-addr", "",
 		"serve /debug/vars, /debug/pprof, /healthz and /metrics on this address (e.g. :8080)")
+	fs.StringVar(&f.MetricsAddrFile, "metrics-addr-file", "",
+		"write the resolved metrics listen address to this file (for scripts using -metrics-addr :0)")
 }
 
 // RegisterJournal additionally binds -journal and -journal-cap for
@@ -50,13 +62,18 @@ func (f *CLIFlags) Init(tool string) *slog.Logger {
 		logger.Info("flight recorder on", "path", f.JournalPath, "capacity", f.JournalCap)
 	}
 	if f.MetricsAddr != "" {
-		addr, err := StartServerJournal(f.MetricsAddr, f.Journal)
+		addr, err := StartServerVitals(f.MetricsAddr, f.Journal, f.Vitals)
 		if err != nil {
 			Fatal(logger, "metrics server failed", "addr", f.MetricsAddr, "err", err)
 		}
 		logger.Info("observability server listening",
 			"addr", addr, "vars", "/debug/vars", "pprof", "/debug/pprof/",
-			"healthz", "/healthz", "metrics", "/metrics")
+			"healthz", "/healthz", "metrics", "/metrics", "regions", "/regions")
+		if f.MetricsAddrFile != "" {
+			if err := os.WriteFile(f.MetricsAddrFile, []byte(addr+"\n"), 0o644); err != nil {
+				Fatal(logger, "write metrics addr file", "path", f.MetricsAddrFile, "err", err)
+			}
+		}
 	}
 	return logger
 }

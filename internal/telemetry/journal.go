@@ -40,6 +40,13 @@ type Journal struct {
 
 	recorded Counter // events accepted (including later-overwritten ones)
 	dropped  Counter // events lost to ring overwrite
+
+	// Streaming fan-out (Subscribe). nsubs mirrors len(subs) so the
+	// no-subscriber Record path pays a single atomic load instead of a
+	// lock acquisition.
+	subMu sync.RWMutex
+	subs  []*Subscription
+	nsubs atomic.Int32
 }
 
 type journalShard struct {
@@ -164,6 +171,21 @@ func (j *Journal) Record(e Event) {
 	sh.next = (sh.next + 1) % len(sh.ring)
 	sh.mu.Unlock()
 	j.recorded.Add(1)
+	if j.nsubs.Load() != 0 {
+		j.fanOut(e)
+	}
+}
+
+// fanOut pushes e into every live subscription ring. Each subscription
+// is bounded independently: a slow consumer loses its own oldest events
+// (counted exactly on its Dropped counter) without slowing the journal,
+// other subscribers, or the recording hot path.
+func (j *Journal) fanOut(e Event) {
+	j.subMu.RLock()
+	for _, s := range j.subs {
+		s.push(e)
+	}
+	j.subMu.RUnlock()
 }
 
 // Recorded returns the number of events ever accepted.
@@ -239,6 +261,185 @@ func (j *Journal) Publish(prefix string) {
 	}
 	Publish(prefix+".recorded", &j.recorded)
 	Publish(prefix+".dropped", &j.dropped)
+}
+
+// --- Streaming subscriptions -----------------------------------------------
+
+// Subscription is one live consumer of the journal stream: every event
+// accepted by Record after Subscribe is also pushed into the
+// subscription's own bounded ring. It decouples producers from
+// consumers completely — a consumer that stalls loses its oldest
+// buffered events (counted exactly by Dropped) while recording
+// continues at full speed.
+//
+// Poll drains the buffered events; C is a level-triggered wakeup that
+// receives at most one pending notification, so the canonical consumer
+// loop is:
+//
+//	for {
+//		select {
+//		case <-ctx.Done():
+//			handle(sub.Poll(nil)) // final drain
+//			return
+//		case <-sub.C():
+//			handle(sub.Poll(buf[:0]))
+//		}
+//	}
+type Subscription struct {
+	j *Journal
+
+	mu      sync.Mutex
+	ring    []Event
+	next    int // next write slot
+	n       int // live events
+	closed  bool
+	dropped Counter // events overwritten before this subscriber polled them
+	pushed  Counter // events ever pushed to this subscriber
+
+	notify chan struct{} // cap 1, level-triggered
+}
+
+// Subscribe attaches a new bounded subscription to the journal stream
+// (capacity <= 0 gets a 1024-event default). It returns nil on a nil
+// (disabled) journal; every Subscription method tolerates a nil
+// receiver, so the disabled path needs no conditional wiring.
+func (j *Journal) Subscribe(capacity int) *Subscription {
+	if j == nil {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	s := &Subscription{
+		j:      j,
+		ring:   make([]Event, capacity),
+		notify: make(chan struct{}, 1),
+	}
+	j.subMu.Lock()
+	j.subs = append(j.subs, s)
+	j.nsubs.Store(int32(len(j.subs)))
+	j.subMu.Unlock()
+	return s
+}
+
+// push stores one event in the subscription ring, overwriting the
+// oldest when full, and wakes the consumer.
+func (s *Subscription) push(e Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.n == len(s.ring) {
+		s.dropped.Add(1)
+	} else {
+		s.n++
+	}
+	s.ring[s.next] = e
+	s.next = (s.next + 1) % len(s.ring)
+	s.pushed.Add(1)
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Poll appends every buffered event to dst (oldest first) and clears
+// the buffer. Events pushed concurrently land in this batch or the
+// next, never both, so received + Dropped always accounts for exactly
+// the events pushed. A nil subscription returns dst unchanged.
+func (s *Subscription) Poll(dst []Event) []Event {
+	if s == nil {
+		return dst
+	}
+	s.mu.Lock()
+	start := (s.next - s.n + len(s.ring)) % len(s.ring)
+	for k := 0; k < s.n; k++ {
+		dst = append(dst, s.ring[(start+k)%len(s.ring)])
+	}
+	s.n, s.next = 0, 0
+	s.mu.Unlock()
+	return dst
+}
+
+// C returns the wakeup channel: it receives after new events arrive.
+// One receive can cover many pushes; always drain with Poll. A nil
+// subscription returns a nil (never-ready) channel.
+func (s *Subscription) C() <-chan struct{} {
+	if s == nil {
+		return nil
+	}
+	return s.notify
+}
+
+// Dropped returns how many events this subscriber lost to ring
+// overwrite before polling them.
+func (s *Subscription) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Value()
+}
+
+// Pushed returns how many events were ever pushed to this subscriber.
+func (s *Subscription) Pushed() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.pushed.Value()
+}
+
+// Close detaches the subscription from the journal. Buffered events
+// stay pollable; further recorded events are no longer delivered.
+// Close is idempotent and nil-safe.
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	j := s.j
+	j.subMu.Lock()
+	for i, sub := range j.subs {
+		if sub == s {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			break
+		}
+	}
+	j.nsubs.Store(int32(len(j.subs)))
+	j.subMu.Unlock()
+}
+
+// AnomalyDetail extracts the typed DecodeAnomaly payload of a
+// decode-anomaly or scrub-finding event. In-process events carry the
+// struct directly; events read back from JSONL carry a generic map,
+// which is re-marshaled into the typed form. Returns false when the
+// event has no detail or it does not parse as a DecodeAnomaly.
+func (e *Event) AnomalyDetail() (*DecodeAnomaly, bool) {
+	switch d := e.Detail.(type) {
+	case *DecodeAnomaly:
+		return d, true
+	case DecodeAnomaly:
+		return &d, true
+	case nil:
+		return nil, false
+	default:
+		buf, err := json.Marshal(e.Detail)
+		if err != nil {
+			return nil, false
+		}
+		var da DecodeAnomaly
+		if json.Unmarshal(buf, &da) != nil {
+			return nil, false
+		}
+		return &da, true
+	}
 }
 
 // WriteJSONL writes events as line-delimited JSON, one event per line —

@@ -249,3 +249,140 @@ func TestJournalPublishIdempotent(t *testing.T) {
 		t.Fatalf("journal.dropped = %v, want 0", got)
 	}
 }
+
+// A subscription must deliver the stream without ever slowing or
+// corrupting the journal: basic ordering, bounded-buffer drops with
+// exact accounting, and detachment on Close.
+func TestSubscribeDeliversAndDetaches(t *testing.T) {
+	j := NewJournal(64)
+	sub := j.Subscribe(8)
+	for i := 0; i < 5; i++ {
+		j.Record(Event{Kind: KindTrialOutcome, Index: i})
+	}
+	got := sub.Poll(nil)
+	if len(got) != 5 {
+		t.Fatalf("Poll = %d events, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.Index != i {
+			t.Fatalf("event %d has Index %d: stream out of order", i, e.Index)
+		}
+	}
+	// Overflow the 8-slot ring: the oldest go, the counts stay exact.
+	for i := 0; i < 20; i++ {
+		j.Record(Event{Kind: KindTrialOutcome, Index: 100 + i})
+	}
+	got = sub.Poll(got[:0])
+	if len(got) != 8 {
+		t.Fatalf("Poll after overflow = %d events, want 8", len(got))
+	}
+	if got[0].Index != 112 || got[7].Index != 119 {
+		t.Fatalf("overflow must keep the newest 8: got Index %d..%d", got[0].Index, got[7].Index)
+	}
+	if d := sub.Dropped(); d != 12 {
+		t.Fatalf("Dropped = %d, want 12", d)
+	}
+	if p := sub.Pushed(); p != 25 {
+		t.Fatalf("Pushed = %d, want 25", p)
+	}
+	sub.Close()
+	j.Record(Event{Kind: KindTrialOutcome, Index: 999})
+	if rest := sub.Poll(nil); len(rest) != 0 {
+		t.Fatalf("closed subscription still received %d events", len(rest))
+	}
+	// The journal itself never lost anything to the subscriber.
+	if j.Recorded() != 26 || j.Dropped() != 0 {
+		t.Fatalf("journal recorded=%d dropped=%d, want 26/0", j.Recorded(), j.Dropped())
+	}
+}
+
+// Nil journal and nil subscription are the disabled path: every method
+// must be a safe no-op so instrumented code needs no conditionals.
+func TestSubscribeNilSafe(t *testing.T) {
+	var j *Journal
+	sub := j.Subscribe(16)
+	if sub != nil {
+		t.Fatal("nil journal must return a nil subscription")
+	}
+	if got := sub.Poll(nil); got != nil {
+		t.Fatalf("nil sub Poll = %v", got)
+	}
+	if sub.C() != nil {
+		t.Fatal("nil sub C() must be a nil channel")
+	}
+	if sub.Dropped() != 0 || sub.Pushed() != 0 {
+		t.Fatal("nil sub counters must read 0")
+	}
+	sub.Close()
+}
+
+// The fan-out contract under concurrency: with writers hammering the
+// journal and one deliberately slow consumer polling tiny batches, every
+// pushed event is either received or counted dropped — never both,
+// never lost — and a second subscriber closing mid-stream must not
+// disturb the first. Run with -race this is also the data-race proof
+// for the subscribe/record/poll/close interleavings.
+func TestSubscribeConcurrentExactAccounting(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 2000
+		total     = writers * perWriter
+	)
+	j := NewJournal(256)
+	sub := j.Subscribe(64) // far smaller than the stream: drops guaranteed
+	ephemeral := j.Subscribe(32)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				j.Record(Event{Kind: KindTrialOutcome, Worker: w, Index: i})
+			}
+		}(w)
+	}
+
+	received := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]Event, 0, 16)
+		for {
+			select {
+			case <-sub.C():
+				buf = sub.Poll(buf[:0])
+				received += len(buf)
+			case <-start:
+			}
+			if sub.Pushed() == int64(total) {
+				// Writers are done (pushes happen inside Record): one final
+				// drain catches anything between the last wakeup and now.
+				received += len(sub.Poll(buf[:0]))
+				return
+			}
+		}
+	}()
+
+	close(start)
+	// A subscriber detaching mid-stream must not disturb the others.
+	ephemeral.Close()
+	wg.Wait()
+	<-done
+
+	if int64(received)+sub.Dropped() != sub.Pushed() {
+		t.Fatalf("accounting broken: received %d + dropped %d != pushed %d",
+			received, sub.Dropped(), sub.Pushed())
+	}
+	if sub.Pushed() != int64(total) {
+		t.Fatalf("Pushed = %d, want %d (every Record must fan out)", sub.Pushed(), total)
+	}
+	if received == 0 {
+		t.Fatal("consumer never received anything")
+	}
+	if j.Recorded() != int64(total) {
+		t.Fatalf("journal Recorded = %d, want %d", j.Recorded(), total)
+	}
+}

@@ -15,6 +15,20 @@ import (
 // processStart anchors /healthz uptime reporting.
 var processStart = time.Now()
 
+// Vitals is the hook a live health engine (internal/health) implements
+// to enrich the observability server: /healthz embeds its status and
+// vital signs, and /regions serves its per-region error heatmap. The
+// telemetry package only defines the contract so it stays dependency-
+// free; a nil Vitals leaves the server exactly as before.
+type Vitals interface {
+	// VitalSigns returns the engine's overall status — "ok", "warn", or
+	// "page" — and a JSON-marshalable detail payload for /healthz.
+	VitalSigns() (status string, detail any)
+	// RegionsPayload returns the JSON-marshalable /regions response:
+	// the full health snapshot with the per-region error heatmap.
+	RegionsPayload() any
+}
+
 // NewMux builds the observability HTTP mux: /debug/vars (the expvar
 // registry, including every collector registered through Publish), the
 // /debug/pprof endpoints (CPU/heap/goroutine profiles and execution
@@ -23,7 +37,13 @@ var processStart = time.Now()
 // exposition format, so a standard scraper can watch a campaign without
 // any extra dependency). j may be nil when the process runs without a
 // flight recorder.
-func NewMux(j *Journal) *http.ServeMux {
+func NewMux(j *Journal) *http.ServeMux { return NewMuxVitals(j, nil) }
+
+// NewMuxVitals is NewMux with a live health engine attached: /healthz
+// reports the engine's SLO status (HTTP 503 while it is at "page", so a
+// load balancer or alerter can act on it directly) and /regions serves
+// the per-region error heatmap snapshot.
+func NewMuxVitals(j *Journal, v Vitals) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -31,7 +51,8 @@ func NewMux(j *Journal) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/healthz", healthzHandler(j))
+	mux.HandleFunc("/healthz", healthzHandler(j, v))
+	mux.HandleFunc("/regions", regionsHandler(v))
 	mux.HandleFunc("/metrics", metricsHandler)
 	return mux
 }
@@ -47,9 +68,12 @@ type Health struct {
 		Recorded int64 `json:"recorded"`
 		Dropped  int64 `json:"dropped"`
 	} `json:"journal"`
+	// Live carries the attached health engine's vital signs (nil when
+	// the process runs without one).
+	Live any `json:"health,omitempty"`
 }
 
-func healthzHandler(j *Journal) http.HandlerFunc {
+func healthzHandler(j *Journal, v Vitals) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		h := Health{
 			Status:        "ok",
@@ -60,10 +84,38 @@ func healthzHandler(j *Journal) http.HandlerFunc {
 		h.Journal.Buffered = j.Len()
 		h.Journal.Recorded = j.Recorded()
 		h.Journal.Dropped = j.Dropped()
+		code := http.StatusOK
+		if v != nil {
+			status, detail := v.VitalSigns()
+			h.Status = status
+			h.Live = detail
+			if status == "page" {
+				// The SLO burn has crossed the paging threshold: make the
+				// endpoint itself unhealthy so anything probing it reacts.
+				code = http.StatusServiceUnavailable
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(h) //nolint:errcheck — best-effort health response
+	}
+}
+
+// regionsHandler serves the health engine's region heatmap snapshot as
+// JSON, or a 404 explaining there is no engine attached.
+func regionsHandler(v Vitals) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if v == nil {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintln(w, `{"error": "no health engine attached (run with a flight-recorder journal)"}`)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v.RegionsPayload()) //nolint:errcheck — best-effort snapshot
 	}
 }
 
@@ -84,18 +136,45 @@ func promName(name string) string {
 	return b.String()
 }
 
-// promLabel escapes a label value per the exposition format.
+// promLabel escapes a label value per the exposition format: backslash,
+// double-quote, and newline get a backslash escape, everything else
+// passes through. The caller wraps the result in plain quotes — using
+// %q on top of this would double-escape.
 func promLabel(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	v = strings.ReplaceAll(v, `"`, `\"`)
 	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
+// writePromHistogram renders one histogram series in exposition format.
+// The bucket counts are read exactly once into a cumulative series and
+// the _count line is emitted from the same read, so the invariant every
+// Prometheus parser checks — le="+Inf" == _count — holds even while the
+// histogram is being written concurrently. labels is either empty or a
+// rendered `name="value",` prefix for the per-label series of a
+// LabeledHistogram.
+func writePromHistogram(w http.ResponseWriter, name, labels string, h *Histogram) {
+	cum := int64(0)
+	for i := 0; i < h.NumBuckets(); i++ {
+		cum += h.BucketCount(i)
+		if bound, inf := h.Bound(i); inf {
+			fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", name, labels, bound, cum)
+		}
+	}
+	if labels != "" {
+		labels = "{" + strings.TrimSuffix(labels, ",") + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", name, labels, h.Sum(), name, labels, cum)
+}
+
 // metricsHandler renders every scrapeable expvar as Prometheus text
 // exposition: telemetry Counters as counters, LabeledCounters as
-// labeled counters, Histograms as cumulative-bucket histograms, and
-// plain expvar Ints/Floats as gauges. Composite expvars (memstats,
-// cmdline) are skipped — pprof already serves the memory story.
+// labeled counters, Histograms and LabeledHistograms as
+// cumulative-bucket histograms, and plain expvar Ints/Floats as gauges.
+// Composite expvars (memstats, cmdline) are skipped — pprof already
+// serves the memory story.
 func metricsHandler(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	expvar.Do(func(kv expvar.KeyValue) {
@@ -106,20 +185,16 @@ func metricsHandler(w http.ResponseWriter, r *http.Request) {
 		case *LabeledCounter:
 			fmt.Fprintf(w, "# TYPE %s counter\n", name)
 			v.Do(func(label string, value int64) {
-				fmt.Fprintf(w, "%s{label=%q} %d\n", name, promLabel(label), value)
+				fmt.Fprintf(w, "%s{label=\"%s\"} %d\n", name, promLabel(label), value)
 			})
 		case *Histogram:
 			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
-			cum := int64(0)
-			for i := 0; i < v.NumBuckets(); i++ {
-				cum += v.BucketCount(i)
-				if bound, inf := v.Bound(i); inf {
-					fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-				} else {
-					fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum)
-				}
-			}
-			fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, v.Sum(), name, v.Count())
+			writePromHistogram(w, name, "", v)
+		case *LabeledHistogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			v.Do(func(label string, h *Histogram) {
+				writePromHistogram(w, name, fmt.Sprintf("label=\"%s\",", promLabel(label)), h)
+			})
 		case *expvar.Int:
 			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v.Value())
 		case *expvar.Float:
@@ -132,16 +207,22 @@ func metricsHandler(w http.ResponseWriter, r *http.Request) {
 // background goroutine for the life of the process. The listen happens
 // synchronously so a bad address fails fast; the resolved address is
 // returned (useful with ":0").
-func StartServer(addr string) (string, error) { return StartServerJournal(addr, nil) }
+func StartServer(addr string) (string, error) { return StartServerVitals(addr, nil, nil) }
 
 // StartServerJournal is StartServer with a flight recorder attached, so
 // /healthz reports journal buffer depth and drop counts live.
 func StartServerJournal(addr string, j *Journal) (string, error) {
+	return StartServerVitals(addr, j, nil)
+}
+
+// StartServerVitals is StartServerJournal with a live health engine
+// attached: /healthz carries its vital signs and /regions its heatmap.
+func StartServerVitals(addr string, j *Journal, v Vitals) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: NewMux(j)}
+	srv := &http.Server{Handler: NewMuxVitals(j, v)}
 	go srv.Serve(ln) //nolint:errcheck — lives until process exit
 	return ln.Addr().String(), nil
 }

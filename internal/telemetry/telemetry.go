@@ -207,6 +207,83 @@ func (h *Histogram) String() string {
 	return b.String()
 }
 
+// --- LabeledHistogram ------------------------------------------------------
+
+// LabeledHistogram is a family of Histograms keyed by a string label,
+// all sharing one bucket layout — the per-fault-model latency or
+// iteration distribution shape. It implements expvar.Var, rendering as
+// a JSON object of label → histogram, and /metrics renders it as a
+// labeled Prometheus histogram family.
+type LabeledHistogram struct {
+	bounds []int64
+	mu     sync.RWMutex
+	m      map[string]*Histogram
+}
+
+// NewLabeledHistogram builds an empty family with the given bucket
+// bounds (validated like NewHistogram on first Observe).
+func NewLabeledHistogram(bounds ...int64) *LabeledHistogram {
+	if len(bounds) == 0 {
+		panic("telemetry: labeled histogram needs at least one bucket bound")
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &LabeledHistogram{bounds: b, m: make(map[string]*Histogram)}
+}
+
+// get returns the histogram for label, creating it on first use.
+func (lh *LabeledHistogram) get(label string) *Histogram {
+	lh.mu.RLock()
+	h := lh.m[label]
+	lh.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	if h = lh.m[label]; h == nil {
+		h = NewHistogram(lh.bounds...)
+		lh.m[label] = h
+	}
+	return h
+}
+
+// Observe records one value under label.
+func (lh *LabeledHistogram) Observe(label string, v int64) { lh.get(label).Observe(v) }
+
+// Do calls f for every labeled histogram in sorted label order.
+func (lh *LabeledHistogram) Do(f func(label string, h *Histogram)) {
+	lh.mu.RLock()
+	labels := make([]string, 0, len(lh.m))
+	for l := range lh.m {
+		labels = append(labels, l)
+	}
+	lh.mu.RUnlock()
+	sort.Strings(labels)
+	for _, l := range labels {
+		lh.mu.RLock()
+		h := lh.m[l]
+		lh.mu.RUnlock()
+		f(l, h)
+	}
+}
+
+// String renders the family as a JSON object for expvar.
+func (lh *LabeledHistogram) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	lh.Do(func(label string, h *Histogram) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%q: %s", label, h.String())
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
 // --- expvar publication ----------------------------------------------------
 
 var publishMu sync.Mutex

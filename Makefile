@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-snapshot bench-history bench-gate bench-compare smoke-campaign scrub-smoke report-smoke health-smoke
+.PHONY: ci build vet test race bench bench-snapshot bench-history bench-gate bench-compare smoke-campaign scrub-smoke report-smoke health-smoke heal-smoke
 
-ci: vet build race smoke-campaign scrub-smoke bench-gate report-smoke health-smoke
+ci: vet build race smoke-campaign scrub-smoke bench-gate report-smoke health-smoke heal-smoke
 
 build:
 	$(GO) build ./...
@@ -105,3 +105,25 @@ health-smoke:
 	@kill `cat $(HEALTH_DIR)/pid` 2>/dev/null || true
 	@rm -rf $(HEALTH_DIR)
 	@echo "health-smoke: storm paged, /healthz 503, rowhammer signature live OK"
+
+# Self-healing end to end: the seeded storm soak runs closed-loop through
+# the adaptive memory controller and must print the SELF-HEAL OK marker
+# (health reached page during the storm and recovered to ok, with both an
+# escalation and a quarantine on the action log). The journal and action
+# log feed eccreport, which must render the Self-healing actions section.
+HEAL_DIR := $(shell mktemp -u -d /tmp/polyecc-heal.XXXXXX)
+heal-smoke:
+	@mkdir -p $(HEAL_DIR)
+	$(GO) run ./cmd/faultinject -memctl -injections 8000 -seed 1 \
+		-journal $(HEAL_DIR)/events.jsonl -actions $(HEAL_DIR)/actions.json \
+		-summary $(HEAL_DIR)/run.json > $(HEAL_DIR)/soak.txt
+	@grep -q 'SELF-HEAL OK' $(HEAL_DIR)/soak.txt \
+		|| { echo "heal-smoke: soak did not heal" >&2; cat $(HEAL_DIR)/soak.txt >&2; exit 1; }
+	@grep -q '"kind": *"quarantine"' $(HEAL_DIR)/actions.json \
+		|| { echo "heal-smoke: no quarantine action recorded" >&2; exit 1; }
+	$(GO) run ./cmd/eccreport -summary $(HEAL_DIR)/run.json \
+		-journal $(HEAL_DIR)/events.jsonl -o $(HEAL_DIR)/report.html
+	@grep -q 'Self-healing actions' $(HEAL_DIR)/report.html \
+		|| { echo "heal-smoke: report missing self-healing actions section" >&2; exit 1; }
+	@rm -rf $(HEAL_DIR)
+	@echo "heal-smoke: storm escalated, quarantined, recovered to ok OK"

@@ -37,6 +37,7 @@ import (
 
 	"polyecc/internal/campaign"
 	"polyecc/internal/health"
+	"polyecc/internal/memctl"
 	"polyecc/internal/telemetry"
 )
 
@@ -156,7 +157,20 @@ type journalView struct {
 	Total     int
 	Kinds     []countRow
 	Anomalies []anomalyView
+	Actions   []actionView
 	Timeline  *timelineView
+}
+
+// actionView is one self-healing controller decision on the report's
+// action timeline.
+type actionView struct {
+	Seq      int64
+	Time     string
+	Kind     string
+	Target   string
+	From     string
+	To       string
+	Evidence string
 }
 
 type sloRow struct {
@@ -422,6 +436,24 @@ func journalSection(path string, events []telemetry.Event) *journalView {
 			}
 		}
 		jv.Anomalies = append(jv.Anomalies, av)
+	}
+
+	// The self-healing action timeline: every policy-action event the
+	// adaptive memory controller journaled, with its evidence.
+	for i := range events {
+		a, ok := memctl.ActionDetail(&events[i])
+		if !ok {
+			continue
+		}
+		jv.Actions = append(jv.Actions, actionView{
+			Seq:      a.Seq,
+			Time:     time.Unix(0, a.TimeNs).UTC().Format("15:04:05.000000"),
+			Kind:     a.Kind,
+			Target:   a.Target(),
+			From:     a.From,
+			To:       a.To,
+			Evidence: a.Evidence,
+		})
 	}
 	jv.Timeline = timelineSection(events)
 	return jv
@@ -722,6 +754,16 @@ svg { background: #fafbfc; border: 1px solid #ddd; }
 <table><tr><th>model</th><th class="num">trial</th><th class="num">word</th><th class="num">candidate</th><th>MAC</th></tr>
 {{range .Trail}}<tr><td>{{.Model}}</td><td class="num">{{.Trial}}</td><td class="num">{{.Word}}</td><td class="num">{{.Candidate}}</td><td>{{if .MACMatch}}match{{else}}&mdash;{{end}}</td></tr>
 {{end}}</table></details>{{else}}<span class="muted">&mdash;</span>{{end}}</td>
+</tr>
+{{end}}</table>
+{{end}}
+
+{{if .Journal.Actions}}
+<h3>Self-healing actions</h3>
+<table>
+<tr><th class="num">seq</th><th>time (UTC)</th><th>action</th><th>target</th><th>from</th><th>to</th><th>evidence</th></tr>
+{{range .Journal.Actions}}<tr>
+<td class="num">{{.Seq}}</td><td>{{.Time}}</td><td>{{.Kind}}</td><td>{{.Target}}</td><td>{{.From}}</td><td>{{.To}}</td><td>{{.Evidence}}</td>
 </tr>
 {{end}}</table>
 {{end}}

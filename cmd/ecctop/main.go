@@ -16,8 +16,18 @@
 //	ecctop -addr-file a.txt -once -wait 60s -wait-for page   # scripting: block until the engine pages
 //
 // -wait-for polls until the engine's overall status matches (ok, warn,
-// or page), then renders and exits 0; if -wait elapses first it exits 1.
-// `make health-smoke` uses exactly that to assert a storm soak pages.
+// or page), then renders and exits 0. Failures are distinguished for
+// scripts: if -wait elapses while the server was answering, ecctop
+// prints the last status it observed and exits 1 (a real timeout); if
+// the server never answered at all it exits 2 (unreachable — wrong
+// address, or the tool died). `make health-smoke` uses exactly that to
+// assert a storm soak pages.
+//
+// When the polled tool runs the adaptive memory controller (`faultinject
+// -memctl`, examples/scrubber -journal), its /memctl endpoint feeds an
+// extra panel: scrub escalation level, decided fault-model trial order,
+// quarantined lines, retired pages, codec migrations, and the recent
+// action log with the evidence that triggered each decision.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"polyecc/internal/health"
+	"polyecc/internal/memctl"
 	"polyecc/internal/telemetry"
 )
 
@@ -73,25 +84,34 @@ func main() {
 		telemetry.Fatal(logger, "need -addr, -addr-file, or -snapshot")
 	}
 	url := "http://" + target + "/regions"
+	memctlURL := "http://" + target + "/memctl"
 
 	deadline := time.Time{}
 	if *wait > 0 {
 		deadline = time.Now().Add(*wait)
 	}
 	want := strings.ToLower(*waitFor)
+	lastStatus := "" // newest successfully observed status
+	var lastErr error
 	for {
 		s, err := fetch(url)
 		switch {
 		case err != nil && want == "":
 			telemetry.Fatal(logger, "poll failed", "url", url, "err", err)
+		case err != nil:
+			lastErr = err
 		case err == nil:
+			lastStatus = s.Status.String()
 			if want == "" && !*once {
 				fmt.Print("\x1b[2J\x1b[H") // clear and home, top(1)-style
 			}
-			if want == "" || s.Status.String() == want {
+			if want == "" || lastStatus == want {
 				fmt.Print(render(s, *top))
+				if ms := fetchMemctl(memctlURL); ms != nil {
+					fmt.Print(renderMemctl(ms))
+				}
 			}
-			if want != "" && s.Status.String() == want {
+			if want != "" && lastStatus == want {
 				return // matched: exit 0 for the scripting handshake
 			}
 			if *once && want == "" {
@@ -100,7 +120,14 @@ func main() {
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			if want != "" {
-				telemetry.Fatal(logger, "state never reached", "want", want, "waited", *wait)
+				if lastStatus == "" {
+					// Never got a single answer: the server is unreachable
+					// (wrong address or a dead tool), not a slow state machine.
+					logger.Error("server unreachable", "url", url, "waited", *wait, "err", lastErr)
+					os.Exit(2)
+				}
+				telemetry.Fatal(logger, "state never reached",
+					"want", want, "last-observed", lastStatus, "waited", *wait)
 			}
 			return
 		}
@@ -148,6 +175,70 @@ func fetch(url string) (*health.Snapshot, error) {
 		return nil, fmt.Errorf("ecctop: parse %s: %w", url, err)
 	}
 	return &s, nil
+}
+
+// fetchMemctl pulls the controller state of a tool running the adaptive
+// memory controller. Tools without one don't mount /memctl — any error
+// (404 included) just means there is no panel to draw.
+func fetchMemctl(url string) *memctl.Snapshot {
+	c := http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var s memctl.Snapshot
+	if json.Unmarshal(buf, &s) != nil {
+		return nil
+	}
+	return &s
+}
+
+// renderMemctl draws the self-healing actions/quarantine panel.
+func renderMemctl(s *memctl.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nSelf-healing controller  |  scrub level %d (interval %s)  |  actions: %d\n",
+		s.ScrubLevel, s.ScrubInterval, s.ActionsTotal)
+	if len(s.ModelOrder) > 0 {
+		fmt.Fprintf(&b, "  decoder trial order: %s\n", strings.Join(s.ModelOrder, " > "))
+	}
+	if len(s.Quarantined) > 0 {
+		parts := make([]string, 0, len(s.Quarantined))
+		for _, q := range s.Quarantined {
+			parts = append(parts, fmt.Sprintf("%d (strike %d)", q.Line, q.Strikes))
+		}
+		fmt.Fprintf(&b, "  quarantined lines: %s\n", strings.Join(parts, ", "))
+	}
+	if len(s.RetiredPages) > 0 {
+		parts := make([]string, len(s.RetiredPages))
+		for i, p := range s.RetiredPages {
+			parts[i] = fmt.Sprintf("%d", p)
+		}
+		fmt.Fprintf(&b, "  retired pages: %s\n", strings.Join(parts, ", "))
+	}
+	for _, m := range s.Migrations {
+		fmt.Fprintf(&b, "  region %d re-encoded with %s\n", m.Region, m.Codec)
+	}
+	if len(s.Recent) > 0 {
+		b.WriteString("  recent actions (newest last)\n")
+		tail := s.Recent
+		if len(tail) > 8 {
+			tail = tail[len(tail)-8:]
+		}
+		for _, a := range tail {
+			evidence := a.Evidence
+			if len(evidence) > 72 {
+				evidence = evidence[:69] + "..."
+			}
+			fmt.Fprintf(&b, "  %s  %-15s %-10s %s\n",
+				time.Unix(0, a.TimeNs).UTC().Format("15:04:05"), a.Kind, a.Target(), evidence)
+		}
+	}
+	return b.String()
 }
 
 // render draws one dashboard frame.

@@ -36,12 +36,23 @@
 // the engine) up after the campaign finishes, so dashboards can inspect
 // a completed run.
 //
+// -memctl runs the self-healing storm soak instead: the same seeded
+// rowhammer storm, but closed-loop through the adaptive
+// protection-policy controller (internal/memctl) — the controller
+// consumes the journal, escalates the scrub cadence, quarantines and
+// retires the victim lines, reorders the decoder's fault-model trials,
+// and migrates hot regions up a codec ladder, and every decision is a
+// journaled policy-action event. The soak runs on a virtual clock and
+// is deterministic for a seed; its state is served at /memctl and its
+// action log written with -actions.
+//
 // Usage:
 //
 //	faultinject -fig 4 [-injections 2000] [-workers 8] [-metrics-addr :8080] [-v]
 //	faultinject -fig 5 [-injections 2500]
 //	faultinject -poly [-code poly-m2005] [-injections 2000]
 //	faultinject -storm -journal events.jsonl -health-snapshot health.json
+//	faultinject -memctl -journal events.jsonl -actions actions.json
 //	faultinject -storm -journal events.jsonl -metrics-addr 127.0.0.1:0 -serve-after 2m
 //	faultinject -fig 4 -checkpoint fig4.ckpt -checkpoint-every 200 -timeout 1h
 //	faultinject -fig 4 -checkpoint fig4.ckpt -resume   # continue after an interrupt
@@ -69,6 +80,7 @@ import (
 	"polyecc/internal/exp"
 	"polyecc/internal/health"
 	"polyecc/internal/linecode"
+	"polyecc/internal/memctl"
 	"polyecc/internal/telemetry"
 )
 
@@ -76,6 +88,8 @@ func main() {
 	fig := flag.Int("fig", 4, "figure to regenerate: 4 or 5")
 	polySoak := flag.Bool("poly", false, "run the live in-model soak against a Polymorphic decoder instead")
 	storm := flag.Bool("storm", false, "run the seeded rowhammer-storm soak instead (hammers one aggressor row)")
+	memctlMode := flag.Bool("memctl", false, "run the self-healing storm soak closed-loop through the adaptive memory controller instead")
+	actionsOut := flag.String("actions", "", "write the controller's action log (-memctl) as JSON to this file")
 	soakCode := linecode.Flag(flag.CommandLine, "code", "poly-m2005", "Polymorphic code the -poly/-storm soaks decode with")
 	injections := flag.Int("injections", 0, "injections per campaign (default: the paper's count)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
@@ -99,9 +113,30 @@ func main() {
 	// The health engine subscribes to the journal stream, so both must
 	// exist before Init starts the observability server: the server's
 	// /healthz and /regions then carry the engine's state from the first
-	// request.
+	// request. The -memctl soak instead attaches the controller (which
+	// embeds its own event-time engine and is driven synchronously by
+	// the soak loop), and serves its state at /memctl.
 	var engine *health.Engine
-	if obs.JournalPath != "" {
+	var ctl *memctl.Controller
+	codeName := flag.CommandLine.Lookup("code").Value.String()
+	switch {
+	case *memctlMode:
+		if obs.Journal == nil {
+			// The controller consumes the journal even when no -journal
+			// file will be written at exit.
+			obs.Journal = telemetry.NewJournal(obs.JournalCap)
+			obs.Journal.Publish("journal")
+		}
+		c, err := memctl.New(exp.MemctlSoakConfig(codeName, obs.Journal))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ctl = c
+		ctl.Publish("memctl")
+		obs.Vitals = ctl
+		obs.Extra = append(obs.Extra, telemetry.Endpoint{Path: "/memctl", Payload: ctl.Payload})
+	case obs.JournalPath != "":
 		obs.Journal = telemetry.NewJournal(obs.JournalCap)
 		obs.Journal.Publish("journal")
 		engine = health.New(health.Config{WallClock: true})
@@ -164,6 +199,32 @@ func main() {
 	var text string
 	var run campaign.Result
 	switch {
+	case *memctlMode:
+		n := *injections
+		if n == 0 {
+			n = 8000
+		}
+		manifest.Codec = codeName
+		logger.Info("running self-healing storm soak", "code", codeName, "trials", n)
+		res, err := exp.MemctlStorm(ctx, codeName, n, *seed, decodeMetrics, obs.Journal, ctl)
+		if err != nil && !res.Partial {
+			telemetry.Fatal(logger, "self-healing soak failed", "err", err)
+		}
+		counts := map[string]int64{}
+		for _, ph := range res.Phases {
+			counts["hammer"] += int64(ph.Hammer)
+			counts["blocked"] += int64(ph.Blocked)
+			counts["clean"] += int64(ph.Clean)
+			counts["corrected"] += int64(ph.Corrected)
+			counts["due"] += int64(ph.DUE)
+			counts["sdc"] += int64(ph.SDC)
+		}
+		for k, v := range res.Actions {
+			counts["action:"+k] = v
+		}
+		run = campaign.Result{Name: "memctlsoak", Trials: res.Trials, Completed: res.Completed,
+			Partial: res.Partial, Counts: counts}
+		text = exp.RenderMemctlSoak(res)
 	case *storm:
 		n := *injections
 		if n == 0 {
@@ -298,19 +359,41 @@ func main() {
 		logger.Info("wrote run summary", "path", *summary)
 	}
 
+	if *actionsOut != "" {
+		if ctl == nil {
+			telemetry.Fatal(logger, "-actions needs -memctl (the controller produces the action log)")
+		}
+		buf, err := json.MarshalIndent(ctl.Actions(), "", "  ")
+		if err != nil {
+			telemetry.Fatal(logger, "marshal action log", "err", err)
+		}
+		if err := os.WriteFile(*actionsOut, append(buf, '\n'), 0o644); err != nil {
+			telemetry.Fatal(logger, "write action log", "path", *actionsOut, "err", err)
+		}
+		logger.Info("wrote action log", "path", *actionsOut, "actions", ctl.ActionsTotal())
+	}
+
 	if *healthSnap != "" {
-		if engine == nil {
+		snapEngine := engine
+		if snapEngine == nil && ctl != nil {
+			// The -memctl soak drives its controller synchronously, so the
+			// embedded engine is already settled.
+			snapEngine = ctl.Health()
+		}
+		if snapEngine == nil {
 			telemetry.Fatal(logger, "-health-snapshot needs -journal (the health engine feeds on the flight recorder)")
 		}
-		waitEngineSettled(engine, obs.Journal)
-		buf, err := json.MarshalIndent(engine.Snapshot(), "", "  ")
+		if engine != nil {
+			waitEngineSettled(engine, obs.Journal)
+		}
+		buf, err := json.MarshalIndent(snapEngine.Snapshot(), "", "  ")
 		if err != nil {
 			telemetry.Fatal(logger, "marshal health snapshot", "err", err)
 		}
 		if err := os.WriteFile(*healthSnap, append(buf, '\n'), 0o644); err != nil {
 			telemetry.Fatal(logger, "write health snapshot", "path", *healthSnap, "err", err)
 		}
-		logger.Info("wrote health snapshot", "path", *healthSnap, "status", engine.State())
+		logger.Info("wrote health snapshot", "path", *healthSnap, "status", snapEngine.State())
 	}
 	if *serveAfter > 0 && obs.MetricsAddr != "" {
 		logger.Info("campaign done; observability server stays up", "for", *serveAfter)

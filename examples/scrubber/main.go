@@ -15,10 +15,14 @@
 // The scrubber is also the deployment-shaped telemetry demo: a
 // DecodeMetrics collector rides the decode path and is published at
 // /debug/vars (with /debug/pprof alongside) when -metrics-addr is set.
-// With -journal the patrol additionally feeds the live health engine:
-// every scrub finding streams into per-region heatmaps and SLO burn
-// tracking, /healthz carries the engine's verdict, /regions serves the
-// heatmap to ecctop, and each sweep logs the current health state.
+// With -journal the patrol additionally runs under the adaptive memory
+// controller (internal/memctl): every scrub finding streams into the
+// controller's embedded health engine (per-region heatmaps, SLO burn
+// tracking, /healthz, /regions for ecctop), and the controller closes
+// the loop — a fault signature escalates the patrol cadence through the
+// scrub.Policy.Interval hook, repeat-offender lines are quarantined,
+// and the journaled action log is summarized at exit. The controller's
+// live state is served at /memctl.
 //
 //	go run ./examples/scrubber [-lines 512] [-sweeps 20] [-interval 0] [-metrics-addr :8080] [-journal scrub.jsonl] [-v]
 package main
@@ -35,6 +39,7 @@ import (
 	"polyecc"
 	"polyecc/internal/dram"
 	"polyecc/internal/health"
+	"polyecc/internal/memctl"
 	"polyecc/internal/scrub"
 	"polyecc/internal/telemetry"
 )
@@ -49,20 +54,32 @@ func main() {
 	obs.RegisterJournal(flag.CommandLine)
 	flag.Parse()
 
-	// With a journal the patrol gets a live health engine: scrub findings
-	// stream into region heatmaps and SLO burn tracking, and the
-	// observability server (when -metrics-addr is also set) serves the
-	// engine on /healthz and /regions. Built before Init so the server
+	// With a journal the patrol runs under the adaptive memory controller:
+	// scrub findings stream into its embedded health engine (region
+	// heatmaps, SLO burn tracking, /healthz, /regions), and the controller
+	// closes the loop — escalating patrol cadence on fault signatures and
+	// quarantining repeat offenders. Built before Init so the server
 	// starts with the engine already attached.
 	var engine *health.Engine
+	var ctl *memctl.Controller
 	if obs.JournalPath != "" {
 		obs.Journal = telemetry.NewJournal(obs.JournalCap)
 		obs.Journal.Publish("journal")
-		engine = health.New(health.Config{WallClock: true})
-		engine.Publish("health")
-		stopEngine := engine.Start(obs.Journal)
-		defer stopEngine()
-		obs.Vitals = engine
+		mcfg := memctl.Config{
+			Health:  health.Config{WallClock: true},
+			Journal: obs.Journal,
+		}
+		if *interval > 0 {
+			mcfg.ScrubBase = *interval
+			mcfg.ScrubMin = *interval / 8
+		}
+		ctl = memctl.MustNew(mcfg)
+		ctl.Publish("memctl")
+		stopCtl := ctl.Start(obs.Journal)
+		defer stopCtl()
+		engine = ctl.Health()
+		obs.Vitals = ctl
+		obs.Extra = append(obs.Extra, telemetry.Endpoint{Path: "/memctl", Payload: ctl.Payload})
 	}
 	logger := obs.Init("scrubber")
 
@@ -93,6 +110,12 @@ func main() {
 	stuckPinFrom := *sweeps / 2
 	policy := scrub.DefaultPolicy()
 	policy.Journal = obs.Journal
+	// Close the loop: the controller owns the patrol cadence, shortening
+	// the pause whenever a fault signature escalates the scrub level.
+	// Only when a real pause exists — the back-to-back default stays.
+	if ctl != nil && *interval > 0 {
+		policy.Interval = ctl.ScrubInterval
+	}
 	policy.OnSweep = func(sweep int, st scrub.Stats, events []scrub.Event) {
 		logger.Debug("sweep complete", "sweep", sweep,
 			"corrected", st.Corrected, "due", st.DUE,
@@ -165,6 +188,19 @@ func main() {
 		snap := engine.Snapshot()
 		fmt.Printf("health: status=%s  regions=%d  signatures=%d  alerts=%d\n",
 			snap.Status, snap.RegionsTotal, len(snap.Signatures), len(snap.Alerts))
+	}
+	if ctl != nil {
+		ms := ctl.Snapshot()
+		fmt.Printf("controller: scrub-level=%d interval=%s actions=%d",
+			ms.ScrubLevel, ms.ScrubInterval, ms.ActionsTotal)
+		for _, k := range []string{memctl.ActionScrubEscalate, memctl.ActionScrubRelax,
+			memctl.ActionQuarantine, memctl.ActionRelease, memctl.ActionRetire,
+			memctl.ActionMigrate, memctl.ActionReorder} {
+			if ms.ByKind[k] > 0 {
+				fmt.Printf("  %s=%d", k, ms.ByKind[k])
+			}
+		}
+		fmt.Println()
 	}
 	obs.WriteJournal(logger, "")
 }

@@ -7,6 +7,13 @@
 // ~half a block of garbage plaintext; with Polymorphic ECC the error is
 // corrected before decryption and the MAC guarantees what survives.
 //
+// The store is also self-healing: every non-clean decode is journaled
+// into an adaptive memory controller (internal/memctl). When one key's
+// cacheline is hammered into a repeat offender, the controller
+// quarantines it — subsequent reads are fenced away from the failing
+// cell and served from the mirror copy (the replica a real host would
+// keep), and the journaled action log shows the decision trail.
+//
 //	go run ./examples/securekv
 package main
 
@@ -17,28 +24,64 @@ import (
 
 	"polyecc"
 	"polyecc/internal/aes"
+	"polyecc/internal/memctl"
+	"polyecc/internal/telemetry"
+)
+
+// kvT0 anchors the store's virtual clock; each access advances it by
+// kvTickNs so controller decisions are deterministic run to run.
+const (
+	kvT0     = int64(1_700_000_000_000_000_000)
+	kvTickNs = int64(100_000_000) // 100ms per access
 )
 
 // record is one stored value: a 64-byte encrypted cacheline protected by
-// an encoded Polymorphic ECC line.
+// an encoded Polymorphic ECC line, plus the pristine mirror copy the
+// host serves from when the controller fences the primary.
 type record struct {
-	line polyecc.Line
-	addr uint64
+	line   polyecc.Line
+	mirror polyecc.Line
+	addr   uint64
+	idx    int
 }
 
 type store struct {
-	code *polyecc.Code
-	mem  *aes.Memory
-	data map[string]record
-	next uint64
+	code    *polyecc.Code
+	mem     *aes.Memory
+	data    map[string]record
+	next    uint64
+	journal *telemetry.Journal
+	sub     *telemetry.Subscription
+	ctl     *memctl.Controller
+	nowNs   int64
+	fenced  int // reads served from the mirror instead of the hammered cell
 }
 
 func newStore() *store {
 	key := [16]byte{1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144 & 0xff, 233 & 0xff, 121, 98, 219}
-	return &store{
-		code: polyecc.MustNew(polyecc.ConfigM2005(), polyecc.NewSipHashMAC(key, 40)),
-		mem:  aes.MustNewMemory(key[:], append([]byte{0xA5}, key[1:]...)),
-		data: make(map[string]record),
+	j := telemetry.NewJournal(512)
+	s := &store{
+		code:    polyecc.MustNew(polyecc.ConfigM2005(), polyecc.NewSipHashMAC(key, 40)),
+		mem:     aes.MustNewMemory(key[:], append([]byte{0xA5}, key[1:]...)),
+		data:    make(map[string]record),
+		journal: j,
+		sub:     j.Subscribe(512),
+		ctl:     memctl.MustNew(memctl.Config{Journal: j}),
+		nowNs:   kvT0,
+	}
+	return s
+}
+
+// drain pumps journaled events into the controller synchronously, so
+// every Get sees the policy decisions its own anomalies triggered.
+func (s *store) drain() {
+	var buf []telemetry.Event
+	for {
+		buf = s.sub.Poll(buf[:0])
+		if len(buf) == 0 {
+			return
+		}
+		s.ctl.ObserveAll(buf)
 	}
 }
 
@@ -52,18 +95,49 @@ func (s *store) Put(k, v string) {
 	plain[polyecc.LineBytes-1] = byte(len(v))
 	var cipher [polyecc.LineBytes]byte
 	addr := s.next * polyecc.LineBytes
+	idx := int(s.next)
 	s.next++
 	s.mem.EncryptLine(cipher[:], plain[:], addr)
-	s.data[k] = record{line: s.code.EncodeLine(&cipher), addr: addr}
+	// Two independent encodes: Line holds a slice, and the mirror must
+	// not share backing storage with the cell faults land in.
+	s.data[k] = record{
+		line: s.code.EncodeLine(&cipher), mirror: s.code.EncodeLine(&cipher),
+		addr: addr, idx: idx,
+	}
 }
 
 // Get corrects any in-memory corruption, verifies the MAC, and decrypts.
+// Reads of a quarantined line never touch the failing cell: the record
+// is re-provisioned from its mirror first, the way a hypervisor repairs
+// from a replica.
 func (s *store) Get(k string) (string, polyecc.Report, bool) {
 	rec, ok := s.data[k]
 	if !ok {
 		return "", polyecc.Report{}, false
 	}
+	s.nowNs += kvTickNs
+	if s.ctl.Blocked(rec.idx) {
+		copy(rec.line.Words, rec.mirror.Words)
+		s.data[k] = rec
+		s.fenced++
+	}
 	cipher, rep := s.code.DecodeLine(rec.line)
+	if rep.Status != polyecc.StatusClean {
+		outcome := "corrected"
+		if rep.Status == polyecc.StatusUncorrectable {
+			outcome = "uncorrectable"
+		}
+		s.journal.Record(telemetry.Event{
+			Kind: telemetry.KindDecodeAnomaly, Source: "securekv",
+			Index: rec.idx, Outcome: outcome, TimeNs: s.nowNs,
+			Detail: &telemetry.DecodeAnomaly{
+				Status: outcome, Model: rep.Model.String(), Iterations: rep.Iterations,
+			},
+		})
+	} else {
+		s.ctl.Tick(s.nowNs)
+	}
+	s.drain()
 	if rep.Status == polyecc.StatusUncorrectable {
 		return "", rep, false
 	}
@@ -124,4 +198,41 @@ func main() {
 		}
 	}
 	fmt.Println("\nall values decrypted intact — no diffusion damage reached the plaintext")
+
+	// Now the sustained attack: one key's cacheline is hammered over and
+	// over. Each read corrects and journals the hit; after enough strikes
+	// the controller quarantines the line and reads are fenced to the
+	// mirror — the failing cell is never decoded again.
+	const victim = "txn/99041"
+	vIdx := s.data[victim].idx
+	fmt.Printf("\nrowhammer attack: hammering the line under %s\n", victim)
+	for i := 1; i <= 6; i++ {
+		s.corrupt(victim, r, 1)
+		fencedBefore := s.fenced
+		got, rep, ok := s.Get(victim)
+		switch {
+		case s.fenced > fencedBefore:
+			fmt.Printf("  hit %d: line fenced — served %q from the mirror\n", i, got)
+		case !ok:
+			fmt.Printf("  hit %d: uncorrectable (detected, not served)\n", i)
+		case rep.Status == polyecc.StatusCorrected:
+			fmt.Printf("  hit %d: corrected via %s\n", i, rep.Model)
+		default:
+			fmt.Printf("  hit %d: clean\n", i)
+		}
+	}
+	if !s.ctl.Quarantined(vIdx) {
+		log.Fatalf("controller never quarantined line %d", vIdx)
+	}
+	got, _, ok := s.Get(victim)
+	if !ok || got != entries[victim] {
+		log.Fatalf("%s: lost after quarantine: %q", victim, got)
+	}
+	fmt.Printf("\n%s still reads %q — %d reads served from the mirror\n",
+		victim, got, s.fenced)
+
+	fmt.Println("\nself-healing action log:")
+	for _, a := range s.ctl.Actions() {
+		fmt.Printf("  #%d %-10s %-8s %s\n", a.Seq, a.Kind, a.Target(), a.Evidence)
+	}
 }

@@ -110,6 +110,12 @@ type Config struct {
 	// replay and tests.
 	WallClock bool
 
+	// Journal, when non-nil, receives a typed region-evict event every
+	// time the MaxRegions cap forces a region out of the heatmap — caps
+	// are never silent. The engine skips its own eviction events when it
+	// observes them back through a subscription.
+	Journal *telemetry.Journal
+
 	// SubscriptionCap is the journal subscription ring size used by
 	// Start (default 8192).
 	SubscriptionCap int
@@ -333,7 +339,13 @@ func (e *Engine) ObserveAll(events []telemetry.Event) {
 // hit for signature classification, and — once per completed time
 // bucket — reclassifies signatures and evaluates the SLO state
 // machines.
-func (e *Engine) Observe(ev telemetry.Event) {
+func (e *Engine) Observe(ev telemetry.Event) { e.ObserveClassify(ev) }
+
+// ObserveClassify is Observe returning the event's health
+// classification (class, line address, and whether the event counted) —
+// the hook a policy controller uses to drive its own per-line state off
+// exactly the classification the engine applied.
+func (e *Engine) ObserveClassify(ev telemetry.Event) (Class, int, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.events++
@@ -358,6 +370,25 @@ func (e *Engine) Observe(ev telemetry.Event) {
 		}
 	}
 
+	if epoch := e.nowNs / e.cfg.BucketNs; epoch > e.lastEvalEpoch {
+		evals := int(epoch - e.lastEvalEpoch)
+		e.lastEvalEpoch = epoch
+		e.evalLocked(e.nowNs, evals)
+	}
+	return class, line, ok
+}
+
+// Advance moves the event-time frontier to nowNs without recording an
+// event, running any bucket-boundary evaluations that completes — the
+// heartbeat hook replay drivers and the memory controller use so rates
+// decay and signatures expire during quiet stretches of virtual time.
+// A frontier in the past is ignored (event time is monotonic).
+func (e *Engine) Advance(nowNs int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if nowNs > e.nowNs {
+		e.nowNs = nowNs
+	}
 	if epoch := e.nowNs / e.cfg.BucketNs; epoch > e.lastEvalEpoch {
 		evals := int(epoch - e.lastEvalEpoch)
 		e.lastEvalEpoch = epoch
@@ -410,8 +441,7 @@ func (e *Engine) observeRegion(class Class, line int, tNs int64) {
 	rs := e.regions[region]
 	if rs == nil {
 		if len(e.regions) >= e.cfg.MaxRegions {
-			e.regionsOver++
-			return
+			e.evictRegionLocked(tNs)
 		}
 		rs = &regionStat{
 			errWin:  newWindow(e.cfg.BucketNs, e.cfg.WindowBuckets, e.cfg.EWMAAlpha),
@@ -424,6 +454,43 @@ func (e *Engine) observeRegion(class Class, line int, tNs int64) {
 	if tNs > rs.lastNs {
 		rs.lastNs = tNs
 	}
+}
+
+// evictRegionLocked drops the least-recently-hit region (ties broken by
+// the lower region id) to make room at the MaxRegions cap, journaling a
+// typed region-evict event carrying the dropped region's final stats —
+// the cap shrinks the heatmap, never the record of what was lost.
+func (e *Engine) evictRegionLocked(tNs int64) {
+	victim, found := 0, false
+	var vs *regionStat
+	for region, rs := range e.regions {
+		if !found || rs.lastNs < vs.lastNs || (rs.lastNs == vs.lastNs && region < victim) {
+			victim, vs, found = region, rs, true
+		}
+	}
+	if !found {
+		return
+	}
+	delete(e.regions, victim)
+	e.regionsOver++
+	e.cfg.Journal.Record(telemetry.Event{
+		Kind:    telemetry.KindRegionEvict,
+		Source:  "health",
+		Index:   victim,
+		TimeNs:  tNs,
+		Outcome: "evicted",
+		Detail: RegionStat{
+			Region:    victim,
+			FirstLine: victim * e.cfg.RegionLines,
+			Corrected: vs.counts[ClassCorrected],
+			DUE:       vs.counts[ClassDUE],
+			SDC:       vs.counts[ClassSDC],
+			Scrub:     vs.counts[ClassScrub],
+			RateSlow:  vs.errWin.rate(tNs, e.cfg.WindowBuckets),
+			FirstNs:   vs.firstNs,
+			LastNs:    vs.lastNs,
+		},
+	})
 }
 
 // evalLocked reclassifies signatures and steps every SLO tracker.

@@ -267,3 +267,54 @@ func TestRegionOverflowBounded(t *testing.T) {
 		t.Fatalf("regions overflowed = %d, want 6", s.RegionsOver)
 	}
 }
+
+// The MaxRegions cap is never silent: dropping a region from the
+// heatmap journals a typed region-evict event carrying the victim's
+// final statistics, and the newly observed region takes its slot.
+func TestMaxRegionsEvictionJournaled(t *testing.T) {
+	j := telemetry.NewJournal(64)
+	e := New(Config{MaxRegions: 2, RegionLines: 1, Journal: j})
+	e.Observe(corrected(0, at(0)))
+	e.Observe(corrected(0, at(0.1)))
+	e.Observe(corrected(1, at(1)))
+	e.Observe(corrected(2, at(2))) // at the cap: region 0 is the LRU victim
+
+	var evict *telemetry.Event
+	for _, ev := range j.Snapshot() {
+		if ev.Kind == telemetry.KindRegionEvict {
+			ev := ev
+			if evict != nil {
+				t.Fatalf("more than one eviction journaled")
+			}
+			evict = &ev
+		}
+	}
+	if evict == nil {
+		t.Fatal("no region-evict event at the cap")
+	}
+	if evict.Index != 0 || evict.Source != "health" || evict.Outcome != "evicted" {
+		t.Fatalf("evict envelope = %+v", evict)
+	}
+	rs, ok := evict.Detail.(RegionStat)
+	if !ok || rs.Region != 0 || rs.Corrected != 2 || rs.LastNs != at(0.1) {
+		t.Fatalf("evict detail = %#v", evict.Detail)
+	}
+
+	s := e.Snapshot()
+	if s.RegionsTotal != 2 || s.RegionsOver != 1 {
+		t.Fatalf("tracked=%d over=%d, want 2/1", s.RegionsTotal, s.RegionsOver)
+	}
+	regions := map[int]bool{}
+	for _, r := range s.Regions {
+		regions[r.Region] = true
+	}
+	if !regions[1] || !regions[2] || regions[0] {
+		t.Fatalf("surviving regions = %v, want {1,2}", regions)
+	}
+	// The engine observing its own eviction event back (as a subscriber
+	// would) must not reclassify it as an error.
+	e.Observe(*evict)
+	if got := e.Snapshot().Classes["corrected"].Total; got != 4 {
+		t.Fatalf("corrected total after self-observe = %d, want 4", got)
+	}
+}

@@ -1,0 +1,93 @@
+package memctl
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"polyecc/internal/telemetry"
+)
+
+// Action kinds — the controller's complete decision taxonomy. Every
+// state change the controller makes emits exactly one of these, so the
+// journal's policy-action stream is the full history of the policy
+// state machine (DESIGN.md §13).
+const (
+	// ActionReorder replaces the decoder's fault-model trial order with
+	// the observed error mix, dominant family first.
+	ActionReorder = "reorder-models"
+	// ActionScrubEscalate halves the patrol pause one step in response
+	// to an active rowhammer-storm or repeat-offender signature.
+	ActionScrubEscalate = "scrub-escalate"
+	// ActionScrubRelax walks the patrol pause one step back toward the
+	// base cadence after a signature-free calm period.
+	ActionScrubRelax = "scrub-relax"
+	// ActionQuarantine fences a line trending toward DUE: the host must
+	// stop serving it (Blocked) until a release or retirement.
+	ActionQuarantine = "quarantine"
+	// ActionRelease returns a quarantined line to service after its
+	// hysteresis calm period passed without further errors.
+	ActionRelease = "release"
+	// ActionRetire permanently removes a page whose lines exhausted
+	// their quarantine retries — the bounded end of a flapping line.
+	ActionRetire = "retire-page"
+	// ActionMigrate moves a hot region one step up the configured codec
+	// ladder; the host re-encodes the region through internal/linecode.
+	ActionMigrate = "migrate-codec"
+)
+
+// Action is one journaled controller decision: what was done, to which
+// address, and the evidence that triggered it. TimeNs is event time (the
+// decision clock), so a replayed journal reproduces the exact timeline.
+type Action struct {
+	Seq      int64  `json:"seq"`
+	TimeNs   int64  `json:"time_unix_ns"`
+	Kind     string `json:"kind"`
+	Line     int    `json:"line,omitempty"`
+	Page     int    `json:"page,omitempty"`
+	Region   int    `json:"region,omitempty"`
+	From     string `json:"from,omitempty"`
+	To       string `json:"to,omitempty"`
+	Evidence string `json:"evidence"`
+}
+
+// Target renders the action's address for tables: the line, page, or
+// region it touched, or "-" for global actions like a model reorder.
+func (a *Action) Target() string {
+	switch a.Kind {
+	case ActionQuarantine, ActionRelease:
+		return fmt.Sprintf("line %d", a.Line)
+	case ActionRetire:
+		return fmt.Sprintf("page %d", a.Page)
+	case ActionMigrate:
+		return fmt.Sprintf("region %d", a.Region)
+	}
+	return "-"
+}
+
+// ActionDetail extracts the typed Action payload of a policy-action
+// event. In-process events carry the struct directly; events read back
+// from JSONL carry a generic map, which is re-marshaled into the typed
+// form (the same convention as telemetry.Event.AnomalyDetail).
+func ActionDetail(e *telemetry.Event) (*Action, bool) {
+	if e.Kind != telemetry.KindPolicyAction {
+		return nil, false
+	}
+	switch d := e.Detail.(type) {
+	case *Action:
+		return d, true
+	case Action:
+		return &d, true
+	case nil:
+		return nil, false
+	default:
+		buf, err := json.Marshal(e.Detail)
+		if err != nil {
+			return nil, false
+		}
+		var a Action
+		if json.Unmarshal(buf, &a) != nil || a.Kind == "" {
+			return nil, false
+		}
+		return &a, true
+	}
+}

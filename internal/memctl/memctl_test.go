@@ -1,0 +1,351 @@
+package memctl
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"polyecc/internal/health"
+	"polyecc/internal/poly"
+	"polyecc/internal/telemetry"
+)
+
+// base keeps test epochs well away from zero so bucket arithmetic is
+// exercised with realistic timestamps.
+const base = int64(1_700_000_000) * int64(time.Second)
+
+func at(sec float64) int64 { return base + int64(sec*1e9) }
+
+func corrected(line int, tNs int64, model string) telemetry.Event {
+	return telemetry.Event{
+		Kind: telemetry.KindDecodeAnomaly, Source: "test", Outcome: "corrected",
+		Index: line, TimeNs: tNs,
+		Detail: &telemetry.DecodeAnomaly{Status: "corrected", Model: model, Iterations: 2},
+	}
+}
+
+// quietConfig disables every policy except the one a test exercises:
+// signatures and reorders need impossibly large evidence, so only
+// quarantine/release/retire actions fire.
+func quietConfig(j *telemetry.Journal) Config {
+	return Config{
+		Health: health.Config{
+			BucketNs: int64(time.Second), WindowBuckets: 8, FastWindowBuckets: 2,
+			RegionLines: 64, RowLines: 8,
+			RowhammerMin: 1 << 20, RepeatMin: 1 << 20, ScrubRepeatMin: 1 << 20,
+		},
+		Journal:         j,
+		QuarantineAfter: 3,
+		ReleaseCalm:     4,
+		MaxRequarantine: 2,
+		ReorderMin:      1 << 20,
+	}
+}
+
+func kinds(actions []Action) []string {
+	out := make([]string, len(actions))
+	for i := range actions {
+		out[i] = actions[i].Kind
+	}
+	return out
+}
+
+// A flapping line must not oscillate forever: the quarantine/release
+// cycle is bounded by MaxRequarantine, after which the page retires and
+// further errors on it are ignored.
+func TestQuarantineReleaseHysteresisBounded(t *testing.T) {
+	c := MustNew(quietConfig(nil))
+	now := at(0)
+	burst := func() {
+		for i := 0; i < 3; i++ {
+			now += int64(10 * time.Millisecond)
+			c.Observe(corrected(9, now, "SSC"))
+		}
+	}
+	calm := func() {
+		now += int64(5 * time.Second)
+		c.Tick(now)
+	}
+
+	burst() // strike 1
+	if !c.Quarantined(9) || !c.Blocked(9) {
+		t.Fatal("line 9 not quarantined after 3 hits")
+	}
+	calm()
+	if c.Quarantined(9) {
+		t.Fatal("line 9 not released after the calm period")
+	}
+	burst() // strike 2
+	if !c.Quarantined(9) {
+		t.Fatal("line 9 not re-quarantined")
+	}
+	calm()
+	burst() // third crossing: retries exhausted, the page retires
+	if c.Quarantined(9) {
+		t.Fatal("line 9 still quarantined after its page retired")
+	}
+	if !c.RetiredPage(0) || !c.Blocked(9) {
+		t.Fatal("page 0 not retired")
+	}
+	// Retired means out of the loop: more errors change nothing.
+	burst()
+	calm()
+	want := []string{ActionQuarantine, ActionRelease, ActionQuarantine, ActionRelease, ActionRetire}
+	if got := kinds(c.Actions()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("action sequence = %v, want %v", got, want)
+	}
+}
+
+// A hit burst split by a quiet gap longer than the calm window must not
+// quarantine: the decay resets the count, so two old hits plus one new
+// one is not three strikes of evidence.
+func TestHitDecayAcrossQuietGaps(t *testing.T) {
+	c := MustNew(quietConfig(nil))
+	c.Observe(corrected(5, at(0), "SSC"))
+	c.Observe(corrected(5, at(0.1), "SSC"))
+	c.Observe(corrected(5, at(20), "SSC")) // 20s later: stale evidence decayed
+	if c.Quarantined(5) {
+		t.Fatal("decayed hits still quarantined the line")
+	}
+	if n := c.ActionsTotal(); n != 0 {
+		t.Fatalf("actions = %d, want 0", n)
+	}
+}
+
+// The observed correction mix reorders the decoder's trial order once
+// the dominant model clears the evidence floor, and the order maps back
+// onto poly fault models.
+func TestModelReorderFromObservedMix(t *testing.T) {
+	cfg := quietConfig(nil)
+	cfg.ReorderMin = 4
+	cfg.QuarantineAfter = 100
+	c := MustNew(cfg)
+	for i := 0; i < 6; i++ {
+		c.Observe(corrected(i*64, at(float64(i)*0.1), "DEC"))
+	}
+	c.Observe(corrected(400, at(1.5), "ChipKill")) // crosses an epoch → eval
+	names := c.ModelNames()
+	if len(names) == 0 || names[0] != "DEC" {
+		t.Fatalf("model order = %v, want DEC first", names)
+	}
+	models := c.Models()
+	if len(models) == 0 || models[0] != poly.ModelDEC {
+		t.Fatalf("poly models = %v, want ModelDEC first", models)
+	}
+	acts := c.Actions()
+	if len(acts) != 1 || acts[0].Kind != ActionReorder {
+		t.Fatalf("actions = %v, want one reorder", kinds(acts))
+	}
+}
+
+// A repeat-offender signature escalates the scrub cadence; a calm
+// period relaxes it back to the base interval, one step per ScrubCalm
+// epochs.
+func TestScrubEscalateAndRelax(t *testing.T) {
+	cfg := quietConfig(nil)
+	cfg.Health.RepeatMin = 8
+	cfg.QuarantineAfter = 100
+	cfg.ScrubBase = time.Minute
+	cfg.ScrubMin = time.Second
+	cfg.MaxScrubLevel = 3
+	cfg.ScrubCalm = 4
+	c := MustNew(cfg)
+	if c.ScrubInterval() != time.Minute {
+		t.Fatalf("base interval = %v", c.ScrubInterval())
+	}
+	// Eight hits on one line inside the first epoch, then two more events
+	// crossing epoch boundaries: each eval sees the active signature.
+	for i := 0; i < 8; i++ {
+		c.Observe(corrected(5, at(0.1+float64(i)*0.05), "SSC"))
+	}
+	c.Observe(corrected(5, at(1.1), "SSC"))
+	c.Observe(corrected(5, at(2.1), "SSC"))
+	if lvl := c.ScrubLevel(); lvl != 2 {
+		t.Fatalf("scrub level = %d, want 2", lvl)
+	}
+	if c.ScrubInterval() != time.Minute>>2 {
+		t.Fatalf("interval = %v, want %v", c.ScrubInterval(), time.Minute>>2)
+	}
+	// Quiet time: ticks drive the relax path back to level 0.
+	for sec := 3.0; sec < 30; sec++ {
+		c.Tick(at(sec))
+	}
+	if lvl := c.ScrubLevel(); lvl != 0 {
+		t.Fatalf("scrub level after calm = %d, want 0", lvl)
+	}
+	snap := c.Snapshot()
+	if snap.ByKind[ActionScrubEscalate] != 2 || snap.ByKind[ActionScrubRelax] != 2 {
+		t.Fatalf("actions by kind = %v, want 2 escalates and 2 relaxes", snap.ByKind)
+	}
+}
+
+// A region whose slow-window error rate crosses MigrateRate climbs the
+// codec ladder exactly once per step and stops at the top.
+func TestCodecMigrationClimbsLadder(t *testing.T) {
+	cfg := quietConfig(nil)
+	cfg.QuarantineAfter = 100
+	cfg.Codecs = []string{"poly-m2005", "poly-m131049"}
+	cfg.MigrateRate = 2
+	c := MustNew(cfg)
+	if got := c.CodecName(3); got != "poly-m2005" {
+		t.Fatalf("initial codec = %q", got)
+	}
+	// Region 3 (lines 192..255): >2 err/s over the 8s slow window.
+	for i := 0; i < 40; i++ {
+		c.Observe(corrected(192+i%8, at(float64(i)*0.1), "SSC"))
+	}
+	c.Tick(at(6))
+	if got := c.CodecName(3); got != "poly-m131049" {
+		t.Fatalf("codec after hot window = %q, want poly-m131049", got)
+	}
+	snap := c.Snapshot()
+	if snap.ByKind[ActionMigrate] != 1 {
+		t.Fatalf("migrations = %d, want exactly 1 (top of the ladder)", snap.ByKind[ActionMigrate])
+	}
+}
+
+// New rejects a ladder entry that is not a registered linecode scheme.
+func TestNewValidatesCodecLadder(t *testing.T) {
+	cfg := quietConfig(nil)
+	cfg.Codecs = []string{"no-such-code"}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unregistered ladder entry accepted")
+	}
+}
+
+// The determinism contract: replaying the journal a live run recorded —
+// anomalies, the controller's own policy actions, everything — through
+// a fresh controller reproduces the identical action log.
+func TestReplayReproducesActionLog(t *testing.T) {
+	j := telemetry.NewJournal(8192)
+	cfg := quietConfig(j)
+	cfg.Health.RepeatMin = 8
+	cfg.Health.RowhammerMin = 16
+	cfg.ReorderMin = 6
+	cfg.ScrubCalm = 3
+	cfg.Codecs = []string{"poly-m2005", "poly-m131049"}
+	cfg.MigrateRate = 2
+	live := MustNew(cfg)
+	sub := j.Subscribe(8192)
+	defer sub.Close()
+	var buf []telemetry.Event
+	drain := func() {
+		for {
+			buf = sub.Poll(buf[:0])
+			if len(buf) == 0 {
+				return
+			}
+			live.ObserveAll(buf)
+		}
+	}
+
+	// A busy, messy run: a hammered row with flapping lines, background
+	// noise across regions, and long quiet stretches, driven the same
+	// way the soak drives — record, then drain synchronously.
+	models := []string{"SSC", "DEC", "ChipKill"}
+	now := at(0)
+	for i := 0; i < 600; i++ {
+		now += int64(100 * time.Millisecond)
+		switch {
+		case i%10 < 4: // hammer two lines of one row
+			j.Record(corrected(40+i%2, now, models[i%3]))
+		case i%10 < 5: // background elsewhere
+			j.Record(corrected((i*37)%1024, now, models[i%3]))
+		default:
+			live.Tick(now)
+		}
+		drain()
+	}
+	for sec := 61.0; sec < 90; sec++ { // cool down: releases and relaxes
+		live.Tick(at(sec))
+		drain()
+	}
+
+	liveActions := live.Actions()
+	if len(liveActions) == 0 {
+		t.Fatal("live run produced no actions — the fixture is too tame to test replay")
+	}
+	seen := map[string]bool{}
+	for _, a := range liveActions {
+		seen[a.Kind] = true
+	}
+	for _, k := range []string{ActionQuarantine, ActionRelease, ActionScrubEscalate, ActionScrubRelax} {
+		if !seen[k] {
+			t.Fatalf("fixture produced no %s action (got %v)", k, kinds(liveActions))
+		}
+	}
+
+	events := j.Snapshot()
+	replayCfg := cfg
+	replayCfg.Journal = nil
+	replayed, err := Replay(replayCfg, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replayed.Actions(); !reflect.DeepEqual(got, liveActions) {
+		t.Fatalf("replayed action log diverged:\nlive:   %+v\nreplay: %+v", liveActions, got)
+	}
+}
+
+// Actions land in the journal as typed policy-action events, and the
+// detail survives a JSONL round trip through ActionDetail.
+func TestActionsAreJournaledWithEvidence(t *testing.T) {
+	j := telemetry.NewJournal(256)
+	c := MustNew(quietConfig(j))
+	for i := 0; i < 3; i++ {
+		c.Observe(corrected(9, at(float64(i)*0.01), "SSC"))
+	}
+	var found *telemetry.Event
+	events := j.Snapshot()
+	for i := range events {
+		if events[i].Kind == telemetry.KindPolicyAction {
+			found = &events[i]
+		}
+	}
+	if found == nil {
+		t.Fatal("no policy-action event journaled")
+	}
+	a, ok := ActionDetail(found)
+	if !ok || a.Kind != ActionQuarantine || a.Line != 9 || a.Evidence == "" {
+		t.Fatalf("action detail = %+v, ok=%v", a, ok)
+	}
+	if found.Source != "memctl" || found.TimeNs != a.TimeNs {
+		t.Fatalf("event envelope = %+v", found)
+	}
+}
+
+// The controller is safe under concurrent producers and inspectors —
+// the -race half of the suite.
+func TestConcurrentObserveAndInspect(t *testing.T) {
+	j := telemetry.NewJournal(8192)
+	cfg := quietConfig(j)
+	c := MustNew(cfg)
+	stop := c.Start(j)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				j.Record(corrected(w*64+i%8, at(float64(i)*0.01), "SSC"))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = c.Snapshot()
+			_ = c.Blocked(i)
+			_ = c.ScrubInterval()
+			_, _ = c.VitalSigns()
+			_ = c.RegionsPayload()
+		}
+	}()
+	wg.Wait()
+	stop()
+	if c.Health().Snapshot().Events == 0 {
+		t.Fatal("pump observed nothing")
+	}
+}

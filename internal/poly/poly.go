@@ -69,6 +69,19 @@ func (m FaultModel) String() string {
 // correlated hypotheses first, the expensive independent ones last.
 var DefaultModels = []FaultModel{ModelChipKill, ModelSSC, ModelBFBF, ModelChipKillPlus1, ModelDEC}
 
+// ModelFromName parses the String form of a FaultModel ("ChipKill",
+// "SSC", "DEC", "BF+BF", "ChipKill+1") — the inverse the memory
+// controller needs to turn journaled model labels back into a trial
+// order.
+func ModelFromName(name string) (FaultModel, bool) {
+	for _, m := range []FaultModel{ModelChipKill, ModelSSC, ModelDEC, ModelBFBF, ModelChipKillPlus1} {
+		if m.String() == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
 // Config selects a Polymorphic ECC instance.
 type Config struct {
 	Geometry residue.Geometry // symbols per codeword and symbol width

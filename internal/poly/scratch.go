@@ -1,6 +1,7 @@
 package poly
 
 import (
+	"fmt"
 	"time"
 
 	"polyecc/internal/dram"
@@ -207,4 +208,37 @@ func (c *Code) WithMaxIterations(n int) *Code {
 	c2 := *c
 	c2.cfg.MaxIterations = n
 	return &c2
+}
+
+// WithModels returns a shallow copy of the Code whose correction trials
+// run in the given fault-model order — the candidate-ordering hook the
+// adaptive memory controller drives to put the observed dominant error
+// family first. Every model must already be configured on the receiver:
+// the copy shares its hint tables, so a model whose hints were never
+// built cannot be introduced here.
+func (c *Code) WithModels(models []FaultModel) (*Code, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("poly: WithModels needs at least one model")
+	}
+	for _, m := range models {
+		found := false
+		for _, have := range c.models {
+			if m == have {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("poly: model %s is not configured on this code", m)
+		}
+	}
+	c2 := *c
+	c2.models = append([]FaultModel(nil), models...)
+	c2.cfg.Models = c2.models
+	return &c2, nil
+}
+
+// Models returns a copy of the active fault-model trial order.
+func (c *Code) Models() []FaultModel {
+	return append([]FaultModel(nil), c.models...)
 }

@@ -58,6 +58,11 @@ type Policy struct {
 	// the line index, remainders, and the applied candidate trail — the
 	// forensic half of the FMI log the in-memory Event slice summarizes.
 	Journal *telemetry.Journal
+	// Interval, when set, is consulted by Run before every inter-sweep
+	// pause and overrides the fixed interval — the adaptive-cadence hook
+	// the memory controller drives: under an escalation it returns a
+	// shorter pause, and a zero or negative return sweeps back to back.
+	Interval func() time.Duration
 }
 
 // DefaultPolicy mirrors the datacenter practice the paper describes.
@@ -241,19 +246,21 @@ func (r *RunStats) add(st Stats) {
 	}
 }
 
-// Run patrols the store until ctx is cancelled: one sweep every
-// interval (interval <= 0 sweeps back to back). Cancellation is the
-// normal way a patrol ends, so it is not an error — the aggregate
-// counts, including a partial final sweep, are always returned. The
-// Policy's OnSweep hook fires after each completed sweep and may itself
-// cancel the context to stop the run.
+// Run patrols the store until ctx is cancelled, pausing interval
+// between sweeps (interval <= 0 sweeps back to back); a Policy.Interval
+// hook replaces the fixed pause per cycle, so an adaptive controller
+// can escalate the cadence mid-run. Cancellation is the normal way a
+// patrol ends, so it is not an error — the aggregate counts, including
+// a partial final sweep, are always returned. The Policy's OnSweep hook
+// fires after each completed sweep and may itself cancel the context to
+// stop the run.
 func (s *Scrubber) Run(ctx context.Context, interval time.Duration) RunStats {
 	agg := RunStats{PerModel: make(map[poly.FaultModel]int)}
-	var tick *time.Ticker
-	if interval > 0 {
-		tick = time.NewTicker(interval)
-		defer tick.Stop()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
 	}
+	defer timer.Stop()
 	for {
 		start := time.Now()
 		st, events, err := s.SweepContext(ctx)
@@ -275,16 +282,21 @@ func (s *Scrubber) Run(ctx context.Context, interval time.Duration) RunStats {
 		if s.policy.OnSweep != nil {
 			s.policy.OnSweep(agg.Sweeps, st, events)
 		}
-		if tick == nil {
+		pause := interval
+		if s.policy.Interval != nil {
+			pause = s.policy.Interval()
+		}
+		if pause <= 0 {
 			if ctx.Err() != nil {
 				return agg
 			}
 			continue
 		}
+		timer.Reset(pause)
 		select {
 		case <-ctx.Done():
 			return agg
-		case <-tick.C:
+		case <-timer.C:
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"polyecc/internal/dram"
 	"polyecc/internal/mac"
@@ -297,5 +298,34 @@ func TestSweepJournalsFindings(t *testing.T) {
 	// The healed module must journal nothing on the next sweep.
 	if _, _ = s.Sweep(); policy.Journal.Len() != 0 {
 		t.Fatalf("clean re-sweep journaled %d events", policy.Journal.Len())
+	}
+}
+
+// The adaptive-cadence hook overrides the fixed pause every cycle: with
+// a hook returning zero the patrol sweeps back to back even though the
+// fixed interval is an hour, and the hook is consulted once per sweep.
+func TestAdaptiveIntervalHookOverridesPause(t *testing.T) {
+	code, mod, _ := setup(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var consulted int
+	policy := Policy{
+		Interval: func() time.Duration {
+			consulted++
+			return 0
+		},
+		OnSweep: func(sweep int, st Stats, events []Event) {
+			if sweep == 5 {
+				cancel()
+			}
+		},
+	}
+	s, _ := New(code, mod, policy)
+	agg := s.Run(ctx, time.Hour)
+	if agg.Sweeps != 5 {
+		t.Fatalf("sweeps = %d, want 5 (hook should override the 1h pause)", agg.Sweeps)
+	}
+	if consulted != 5 {
+		t.Fatalf("hook consulted %d times, want once per sweep", consulted)
 	}
 }

@@ -29,6 +29,10 @@ type CLIFlags struct {
 	// observability server: /healthz carries its status and /regions its
 	// region heatmap.
 	Vitals Vitals
+
+	// Extra endpoints mounted on the observability server when set
+	// before Init — e.g. the memory controller's /memctl snapshot.
+	Extra []Endpoint
 }
 
 // Register binds -v and -metrics-addr on fs.
@@ -62,7 +66,7 @@ func (f *CLIFlags) Init(tool string) *slog.Logger {
 		logger.Info("flight recorder on", "path", f.JournalPath, "capacity", f.JournalCap)
 	}
 	if f.MetricsAddr != "" {
-		addr, err := StartServerVitals(f.MetricsAddr, f.Journal, f.Vitals)
+		addr, err := StartServerEndpoints(f.MetricsAddr, f.Journal, f.Vitals, f.Extra...)
 		if err != nil {
 			Fatal(logger, "metrics server failed", "addr", f.MetricsAddr, "err", err)
 		}

@@ -71,6 +71,15 @@ const (
 	// KindSpan is a timed interval — one campaign worker executing one
 	// shard — exported to the Chrome trace timeline.
 	KindSpan = "span"
+	// KindPolicyAction is one decision of the adaptive memory controller
+	// (internal/memctl): quarantine, release, retire, scrub escalation,
+	// model reorder, or codec migration, with the triggering evidence in
+	// Detail. Policy consumers must skip these on replay (the controller
+	// does) so recorded decisions never feed back into new ones.
+	KindPolicyAction = "policy-action"
+	// KindRegionEvict is the health engine dropping a region from its
+	// bounded heatmap at the MaxRegions cap — the cap is never silent.
+	KindRegionEvict = "region-evict"
 )
 
 // Event is one journal record. Seq and TimeNs are stamped by Record;

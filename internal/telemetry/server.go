@@ -39,12 +39,35 @@ type Vitals interface {
 // flight recorder.
 func NewMux(j *Journal) *http.ServeMux { return NewMuxVitals(j, nil) }
 
+// Endpoint is one extra JSON surface a host mounts on the observability
+// server — e.g. the memory controller's /memctl action/quarantine
+// snapshot. Payload is called per request and its result marshaled as
+// indented JSON. The telemetry package stays dependency-free this way:
+// it serves any payload without importing the package that produces it.
+type Endpoint struct {
+	Path    string
+	Payload func() any
+}
+
 // NewMuxVitals is NewMux with a live health engine attached: /healthz
 // reports the engine's SLO status (HTTP 503 while it is at "page", so a
 // load balancer or alerter can act on it directly) and /regions serves
 // the per-region error heatmap snapshot.
-func NewMuxVitals(j *Journal, v Vitals) *http.ServeMux {
+func NewMuxVitals(j *Journal, v Vitals) *http.ServeMux { return NewMuxEndpoints(j, v) }
+
+// NewMuxEndpoints is NewMuxVitals plus any number of extra JSON
+// endpoints.
+func NewMuxEndpoints(j *Journal, v Vitals, extra ...Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
+	for _, ep := range extra {
+		payload := ep.Payload
+		mux.HandleFunc(ep.Path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(payload()) //nolint:errcheck — best-effort snapshot
+		})
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -218,11 +241,17 @@ func StartServerJournal(addr string, j *Journal) (string, error) {
 // StartServerVitals is StartServerJournal with a live health engine
 // attached: /healthz carries its vital signs and /regions its heatmap.
 func StartServerVitals(addr string, j *Journal, v Vitals) (string, error) {
+	return StartServerEndpoints(addr, j, v)
+}
+
+// StartServerEndpoints is StartServerVitals plus extra JSON endpoints
+// (see Endpoint).
+func StartServerEndpoints(addr string, j *Journal, v Vitals, extra ...Endpoint) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: NewMuxVitals(j, v)}
+	srv := &http.Server{Handler: NewMuxEndpoints(j, v, extra...)}
 	go srv.Serve(ln) //nolint:errcheck — lives until process exit
 	return ln.Addr().String(), nil
 }

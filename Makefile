@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-snapshot bench-history bench-gate bench-compare smoke-campaign scrub-smoke report-smoke health-smoke heal-smoke
+.PHONY: ci build vet test race bench bench-snapshot bench-history bench-gate bench-compare smoke-campaign scrub-smoke report-smoke scenario-smoke health-smoke heal-smoke
 
-ci: vet build race smoke-campaign scrub-smoke bench-gate report-smoke health-smoke heal-smoke
+ci: vet build race smoke-campaign scrub-smoke bench-gate report-smoke scenario-smoke health-smoke heal-smoke
 
 build:
 	$(GO) build ./...
@@ -48,9 +48,9 @@ bench-compare:
 # trip every long fault-injection run depends on.
 SMOKE_CKPT := $(shell mktemp -u /tmp/polyecc-smoke.XXXXXX)
 smoke-campaign:
-	$(GO) run ./cmd/faultinject -poly -injections 40 -workers 4 \
+	$(GO) run ./cmd/faultinject -scenario polysoak -n 40 -workers 4 \
 		-checkpoint $(SMOKE_CKPT) -checkpoint-every 5 -timeout 120s >/dev/null
-	$(GO) run ./cmd/faultinject -poly -injections 40 -workers 2 \
+	$(GO) run ./cmd/faultinject -scenario polysoak -n 40 -workers 2 \
 		-checkpoint $(SMOKE_CKPT) -resume >/dev/null
 	@rm -f $(SMOKE_CKPT)
 	@echo "smoke-campaign: checkpoint/resume round trip OK"
@@ -68,7 +68,7 @@ scrub-smoke:
 SMOKE_DIR := $(shell mktemp -u -d /tmp/polyecc-report.XXXXXX)
 report-smoke:
 	@mkdir -p $(SMOKE_DIR)
-	$(GO) run ./cmd/faultinject -poly -injections 30 -workers 4 \
+	$(GO) run ./cmd/faultinject -scenario polysoak -n 30 -workers 4 \
 		-checkpoint $(SMOKE_DIR)/soak.ckpt -journal $(SMOKE_DIR)/events.jsonl \
 		-chrome-trace $(SMOKE_DIR)/trace.json -summary $(SMOKE_DIR)/run.json >/dev/null
 	$(GO) run ./cmd/eccreport -summary $(SMOKE_DIR)/run.json \
@@ -81,6 +81,35 @@ report-smoke:
 	@rm -rf $(SMOKE_DIR)
 	@echo "report-smoke: journal -> eccreport round trip OK"
 
+# Scenario engine end to end: the preset registry lists, a deprecated
+# flag spelling prints its equivalence note and produces byte-identical
+# output to its -scenario preset, a user-authored spec file runs on the
+# virtual clock, and the run summary's scenario digest reaches the
+# report's Scenario section.
+SCEN_DIR := $(shell mktemp -u -d /tmp/polyecc-scenario.XXXXXX)
+scenario-smoke:
+	@mkdir -p $(SCEN_DIR)
+	@$(GO) build -o $(SCEN_DIR)/faultinject ./cmd/faultinject
+	@$(SCEN_DIR)/faultinject -list-scenarios > $(SCEN_DIR)/list.txt
+	@grep -q 'memctlsoak' $(SCEN_DIR)/list.txt \
+		|| { echo "scenario-smoke: preset registry incomplete" >&2; exit 1; }
+	@grep -q 'Deprecated flag spellings' $(SCEN_DIR)/list.txt \
+		|| { echo "scenario-smoke: deprecation notes missing from -list-scenarios" >&2; exit 1; }
+	@$(SCEN_DIR)/faultinject -scenario polysoak -n 60 -seed 9 \
+		-summary $(SCEN_DIR)/run.json > $(SCEN_DIR)/new.txt
+	@$(SCEN_DIR)/faultinject -poly -injections 60 -seed 9 \
+		> $(SCEN_DIR)/old.txt 2> $(SCEN_DIR)/note.txt
+	@grep -q 'deprecated; the equivalent preset is' $(SCEN_DIR)/note.txt \
+		|| { echo "scenario-smoke: deprecated flag printed no equivalence note" >&2; exit 1; }
+	@cmp -s $(SCEN_DIR)/new.txt $(SCEN_DIR)/old.txt \
+		|| { echo "scenario-smoke: -poly and -scenario polysoak outputs diverge" >&2; exit 1; }
+	@$(SCEN_DIR)/faultinject -spec examples/scenarios/mixed-tenants.json -n 120 >/dev/null
+	$(GO) run ./cmd/eccreport -summary $(SCEN_DIR)/run.json -o $(SCEN_DIR)/report.html
+	@grep -q '<h2>Scenario</h2>' $(SCEN_DIR)/report.html \
+		|| { echo "scenario-smoke: report missing Scenario section" >&2; exit 1; }
+	@rm -rf $(SCEN_DIR)
+	@echo "scenario-smoke: presets, deprecated spellings, spec file, report section OK"
+
 # Live health end to end: a seeded rowhammer storm soak serves its health
 # engine on a random port, ecctop blocks until the SLO tracker pages,
 # /healthz must answer 503 while paging, and /regions must carry the
@@ -91,7 +120,7 @@ health-smoke:
 	@mkdir -p $(HEALTH_DIR)
 	@$(GO) build -o $(HEALTH_DIR)/faultinject ./cmd/faultinject
 	@$(GO) build -o $(HEALTH_DIR)/ecctop ./cmd/ecctop
-	@$(HEALTH_DIR)/faultinject -storm -injections 4000 -seed 7 \
+	@$(HEALTH_DIR)/faultinject -scenario stormsoak -n 4000 -seed 7 \
 		-journal $(HEALTH_DIR)/events.jsonl \
 		-metrics-addr 127.0.0.1:0 -metrics-addr-file $(HEALTH_DIR)/addr \
 		-serve-after 90s >/dev/null 2>&1 & echo $$! > $(HEALTH_DIR)/pid
@@ -114,7 +143,7 @@ health-smoke:
 HEAL_DIR := $(shell mktemp -u -d /tmp/polyecc-heal.XXXXXX)
 heal-smoke:
 	@mkdir -p $(HEAL_DIR)
-	$(GO) run ./cmd/faultinject -memctl -injections 8000 -seed 1 \
+	$(GO) run ./cmd/faultinject -scenario memctlsoak -n 8000 -seed 1 \
 		-journal $(HEAL_DIR)/events.jsonl -actions $(HEAL_DIR)/actions.json \
 		-summary $(HEAL_DIR)/run.json > $(HEAL_DIR)/soak.txt
 	@grep -q 'SELF-HEAL OK' $(HEAL_DIR)/soak.txt \

@@ -4,7 +4,8 @@
 // (-journal), the health-engine snapshot (faultinject -health-snapshot),
 // the benchsnap snapshot, and the benchsnap history — into one
 // self-contained static HTML report: provenance tables for every
-// manifest found, outcome tables with fractions, a forensic table of
+// manifest found, the scenario digest behind each summary (client mix,
+// fault environments, phases), outcome tables with fractions, a forensic table of
 // every journaled decode anomaly (candidate trail included, expandable
 // per row), an SVG per-worker timeline built from the journal's shard
 // spans, the health section (SLO burn states, fault signatures, region
@@ -38,6 +39,7 @@ import (
 	"polyecc/internal/campaign"
 	"polyecc/internal/health"
 	"polyecc/internal/memctl"
+	"polyecc/internal/scenario"
 	"polyecc/internal/telemetry"
 )
 
@@ -63,7 +65,26 @@ type benchResult struct {
 // runSummary mirrors cmd/faultinject's -summary file format.
 type runSummary struct {
 	Manifest *telemetry.Manifest `json:"manifest"`
+	Scenario *scenario.Summary   `json:"scenario"`
 	Result   campaign.Result     `json:"result"`
+}
+
+// scenarioView shapes the embedded spec digest for the report's
+// Scenario section: what workload mix produced the outcome tables.
+type scenarioView struct {
+	Origin  string
+	Name    string
+	Kind    string
+	Trials  int
+	Seed    int64
+	Code    string
+	Lines   int
+	Tick    string
+	Memctl  bool
+	Preset  string
+	Notes   string
+	Clients []scenario.ClientSummary
+	Phases  []string
 }
 
 type manifestView struct {
@@ -248,6 +269,7 @@ type page struct {
 	Title     string
 	Generated string
 	Manifests []manifestView
+	Scenarios []scenarioView
 	Results   []resultView
 	Journal   *journalView
 	Health    *healthView
@@ -281,6 +303,9 @@ func main() {
 		readJSON(logger, *summaryPath, &sum)
 		if sum.Manifest != nil {
 			pg.Manifests = append(pg.Manifests, manifestRow(*summaryPath, sum.Manifest))
+		}
+		if sum.Scenario != nil {
+			pg.Scenarios = append(pg.Scenarios, scenarioRow(*summaryPath, sum.Scenario))
 		}
 		pg.Results = append(pg.Results, resultRow(*summaryPath, sum.Result.Name, sum.Result.Trials,
 			sum.Result.Completed, sum.Result.Skipped, sum.Result.Panics, sum.Result.Partial,
@@ -368,6 +393,15 @@ func manifestRow(origin string, m *telemetry.Manifest) manifestView {
 		v.Duration = m.Finished.Sub(m.Started).Round(time.Millisecond).String()
 	}
 	return v
+}
+
+func scenarioRow(origin string, s *scenario.Summary) scenarioView {
+	return scenarioView{
+		Origin: origin, Name: s.Name, Kind: s.Kind, Trials: s.Trials,
+		Seed: s.Seed, Code: s.Code, Lines: s.Lines, Tick: s.Tick,
+		Memctl: s.Memctl, Preset: s.Preset, Notes: s.Notes,
+		Clients: s.Clients, Phases: s.Phases,
+	}
 }
 
 func resultRow(origin, name string, trials, completed, skipped int, panics int64, partial bool, elapsed string, counts map[string]int64) resultView {
@@ -713,6 +747,20 @@ svg { background: #fafbfc; border: 1px solid #ddd; }
 <tr><th>artifact</th><th>tool</th><th>args</th><th class="num">seed</th><th>codec</th><th>go</th><th>platform</th><th>host</th><th class="num">pid</th><th>started</th><th>finished</th><th>duration</th></tr>
 {{range .Manifests}}<tr><td><code>{{.Origin}}</code></td><td>{{.Tool}}</td><td><code>{{.Args}}</code></td><td class="num">{{.Seed}}</td><td>{{.Codec}}</td><td>{{.Go}}</td><td>{{.Platform}}</td><td>{{.Host}}</td><td class="num">{{.PID}}</td><td>{{.Started}}</td><td>{{.Finished}}</td><td>{{.Duration}}</td></tr>
 {{end}}</table>
+{{end}}
+
+{{if .Scenarios}}
+<h2>Scenario</h2>
+{{range .Scenarios}}
+<h3>{{.Name}} <span class="muted">({{.Origin}})</span></h3>
+<p>{{.Kind}} scenario, {{.Trials}} trials, seed {{.Seed}}{{if .Code}}, code <code>{{.Code}}</code>{{end}}{{if .Lines}}, {{.Lines}} lines{{end}}{{if .Tick}}, tick {{.Tick}}{{end}}{{if .Memctl}}, <b>closed memctl loop</b>{{end}}{{if .Preset}} &mdash; built-in preset <code>{{.Preset}}</code>{{end}}</p>
+{{if .Notes}}<p class="muted">{{.Notes}}</p>{{end}}
+{{if .Clients}}<table>
+<tr><th>client</th><th class="num">fraction</th><th>arrival</th><th>access</th><th>faults</th></tr>
+{{range .Clients}}<tr><td>{{.Name}}</td><td class="num">{{printf "%.3f" .Fraction}}</td><td>{{.Arrival}}</td><td>{{.Access}}</td><td><code>{{.Faults}}</code></td></tr>
+{{end}}</table>{{end}}
+{{if .Phases}}<p>phases: {{range $i, $p := .Phases}}{{if $i}} &rarr; {{end}}<code>{{$p}}</code>{{end}}</p>{{end}}
+{{end}}
 {{end}}
 
 {{if .Results}}

@@ -1,8 +1,12 @@
-// Command faultinject regenerates the out-of-model fault-injection
-// studies — Figure 4 (workload outcomes with plaintext vs encrypted
-// memory) and Figure 5 (inference accuracy histograms) — and runs the
-// live in-model soak that exercises the Polymorphic ECC decode path
-// under every fault model.
+// Command faultinject runs fault-injection scenarios: declarative
+// workload/fault specs executed by the scenario engine
+// (internal/scenario). The paper's campaigns — Figure 4 (workload
+// outcomes with plaintext vs encrypted memory), Figure 5 (inference
+// accuracy histograms), the live in-model soak, the rowhammer storm,
+// and the self-healing memctl soak — are built-in presets
+// (-list-scenarios); any other workload mix is a JSON spec file run
+// with -spec. A recorded journal re-runs as an injection schedule with
+// -replay.
 //
 // The campaigns run on the resilient campaign engine: trials are
 // sharded across -workers goroutines, progress is checkpointed
@@ -10,7 +14,10 @@
 // interrupted run (Ctrl-C, -timeout, or a crash) picks up exactly where
 // it left off with -resume — same seed, bit-identical final counts, at
 // any worker count. Per-trial panics are absorbed and counted instead
-// of killing the campaign.
+// of killing the campaign. Scenarios that need globally ordered time
+// (memctl feedback, scrub patrols, non-uniform arrivals) run on the
+// engine's single-threaded virtual clock instead and stay deterministic
+// for a seed.
 //
 // With -metrics-addr the run is observable while in flight: the
 // campaign counters (faultinject.*, including
@@ -19,13 +26,13 @@
 // offers live CPU/heap profiles.
 //
 // With -journal the run carries a flight recorder: worker shard spans,
-// notable trial outcomes, and (in the -poly soak) the full forensic
-// record of every non-clean decode — corrupted words, remainders,
-// injected model, applied candidate trail — are kept in a bounded ring
-// and written as JSONL at exit (and as a Perfetto-viewable Chrome trace
-// with -chrome-trace). -summary writes a manifest-stamped JSON record of
-// the run, and checkpoints embed the same manifest; cmd/eccreport merges
-// all three into one HTML report.
+// notable trial outcomes, and the full forensic record of every
+// non-clean decode — corrupted words, remainders, injected model,
+// applied candidate trail — are kept in a bounded ring and written as
+// JSONL at exit (and as a Perfetto-viewable Chrome trace with
+// -chrome-trace). -summary writes a manifest-stamped JSON record of the
+// run including the scenario digest, and checkpoints embed the same
+// manifest; cmd/eccreport merges all three into one HTML report.
 //
 // With -journal the run also powers the live health engine
 // (internal/health): it subscribes to the journal stream and maintains
@@ -36,28 +43,34 @@
 // the engine) up after the campaign finishes, so dashboards can inspect
 // a completed run.
 //
-// -memctl runs the self-healing storm soak instead: the same seeded
-// rowhammer storm, but closed-loop through the adaptive
-// protection-policy controller (internal/memctl) — the controller
-// consumes the journal, escalates the scrub cadence, quarantines and
-// retires the victim lines, reorders the decoder's fault-model trials,
-// and migrates hot regions up a codec ladder, and every decision is a
-// journaled policy-action event. The soak runs on a virtual clock and
-// is deterministic for a seed; its state is served at /memctl and its
-// action log written with -actions.
+// Scenarios with memctl enabled (the memctlsoak preset, -replay
+// combined with -memctl, or a spec file's memctl block) instead close
+// the loop through the adaptive protection-policy controller
+// (internal/memctl): the controller consumes the journal, escalates the
+// scrub cadence, quarantines and retires the victim lines, reorders the
+// decoder's fault-model trials, and migrates hot regions up a codec
+// ladder, and every decision is a journaled policy-action event. Its
+// state is served at /memctl and its action log written with -actions.
 //
 // Usage:
 //
-//	faultinject -fig 4 [-injections 2000] [-workers 8] [-metrics-addr :8080] [-v]
-//	faultinject -fig 5 [-injections 2500]
-//	faultinject -poly [-code poly-m2005] [-injections 2000]
-//	faultinject -storm -journal events.jsonl -health-snapshot health.json
-//	faultinject -memctl -journal events.jsonl -actions actions.json
-//	faultinject -storm -journal events.jsonl -metrics-addr 127.0.0.1:0 -serve-after 2m
-//	faultinject -fig 4 -checkpoint fig4.ckpt -checkpoint-every 200 -timeout 1h
-//	faultinject -fig 4 -checkpoint fig4.ckpt -resume   # continue after an interrupt
-//	faultinject -poly -journal events.jsonl -summary run.json -chrome-trace timeline.json
-//	faultinject -poly -cpuprofile cpu.pprof -memprofile mem.pprof
+//	faultinject -list-scenarios
+//	faultinject -scenario figure4 [-n 2000] [-workers 8] [-metrics-addr :8080] [-v]
+//	faultinject -scenario figure5 [-n 2500]
+//	faultinject -scenario polysoak [-code poly-m2005] [-n 2000]
+//	faultinject -scenario stormsoak -journal events.jsonl -health-snapshot health.json
+//	faultinject -scenario memctlsoak -journal events.jsonl -actions actions.json
+//	faultinject -spec examples/scenarios/mixed-tenants.json -journal events.jsonl
+//	faultinject -scenario stormsoak -dump-spec > storm.json   # export a preset as a spec
+//	faultinject -replay events.jsonl [-memctl]                # re-run a recorded journal
+//	faultinject -scenario figure4 -checkpoint fig4.ckpt -checkpoint-every 200 -timeout 1h
+//	faultinject -scenario figure4 -checkpoint fig4.ckpt -resume  # continue after an interrupt
+//	faultinject -scenario polysoak -journal events.jsonl -summary run.json -chrome-trace timeline.json
+//	faultinject -scenario polysoak -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The pre-scenario flag spellings (-fig 4, -fig 5, -poly, -storm,
+// -memctl) are deprecated but still honored; each maps to its preset
+// with identical schedules and counts for the same seed.
 //
 // -cpuprofile and -memprofile write offline pprof profiles bracketing the
 // campaign; they are produced on a graceful drain (Ctrl-C, -timeout) too,
@@ -73,6 +86,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
@@ -81,26 +95,36 @@ import (
 	"polyecc/internal/health"
 	"polyecc/internal/linecode"
 	"polyecc/internal/memctl"
+	"polyecc/internal/scenario"
 	"polyecc/internal/telemetry"
 )
 
 func main() {
-	fig := flag.Int("fig", 4, "figure to regenerate: 4 or 5")
-	polySoak := flag.Bool("poly", false, "run the live in-model soak against a Polymorphic decoder instead")
-	storm := flag.Bool("storm", false, "run the seeded rowhammer-storm soak instead (hammers one aggressor row)")
-	memctlMode := flag.Bool("memctl", false, "run the self-healing storm soak closed-loop through the adaptive memory controller instead")
-	actionsOut := flag.String("actions", "", "write the controller's action log (-memctl) as JSON to this file")
-	soakCode := linecode.Flag(flag.CommandLine, "code", "poly-m2005", "Polymorphic code the -poly/-storm soaks decode with")
-	injections := flag.Int("injections", 0, "injections per campaign (default: the paper's count)")
-	seed := flag.Int64("seed", 1, "deterministic seed")
+	specPath := flag.String("spec", "", "run the scenario spec in this JSON file")
+	scenarioName := flag.String("scenario", "", "run a built-in scenario preset by name or alias (-list-scenarios prints the registry)")
+	replayPath := flag.String("replay", "", "re-run the decode anomalies recorded in this journal JSONL as an injection schedule (add -memctl to close the controller loop)")
+	listScenarios := flag.Bool("list-scenarios", false, "list the built-in scenario presets and the deprecated flag spellings, then exit")
+	dumpSpec := flag.Bool("dump-spec", false, "print the resolved scenario spec as JSON and exit without running it")
+
+	// Deprecated spellings, kept for compatibility: each maps to a preset.
+	fig := flag.Int("fig", 0, "deprecated: use -scenario figure4 / -scenario figure5")
+	polySoak := flag.Bool("poly", false, "deprecated: use -scenario polysoak")
+	storm := flag.Bool("storm", false, "deprecated: use -scenario stormsoak")
+	memctlMode := flag.Bool("memctl", false, "close the loop through the adaptive memory controller; alone it is deprecated for -scenario memctlsoak")
+
+	actionsOut := flag.String("actions", "", "write the controller's action log (memctl scenarios) as JSON to this file")
+	codeName := flag.String("code", "poly-m2005", "registry code decode scenarios run with (overrides the spec's code when set explicitly)")
+	trials := flag.Int("n", 0, "trial budget (default: the scenario's own; per client for the figure campaigns)")
+	injections := flag.Int("injections", 0, "deprecated alias for -n")
+	seed := flag.Int64("seed", 1, "deterministic seed (overrides a spec file's seed when set explicitly)")
 	out := flag.String("o", "", "also write the output to this file")
-	workers := flag.Int("workers", 0, "concurrent trial workers (default GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "concurrent trial workers (default GOMAXPROCS; sequential scenarios ignore this)")
 	timeout := flag.Duration("timeout", 0, "abort the campaign after this long, keeping partial results")
 	ckpt := flag.String("checkpoint", "", "checkpoint campaign progress to this file")
 	ckptEvery := flag.Int("checkpoint-every", 0, "trials between checkpoints (default 1000)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint, skipping completed trials")
 	chromeTrace := flag.String("chrome-trace", "", "also export the journal as a Chrome trace (Perfetto worker timeline) to this file")
-	summary := flag.String("summary", "", "write a manifest-stamped JSON run summary to this file")
+	summary := flag.String("summary", "", "write a manifest-stamped JSON run summary (with the scenario digest) to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile, taken after the campaign, to this file")
 	healthSnap := flag.String("health-snapshot", "", "write the health engine's final snapshot (regions, signatures, SLOs, alerts) as JSON to this file")
@@ -110,27 +134,65 @@ func main() {
 	obs.RegisterJournal(flag.CommandLine)
 	flag.Parse()
 
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *listScenarios {
+		printScenarios()
+		return
+	}
+
+	s, presetName := resolveSpec(*specPath, *replayPath, *scenarioName, *fig, *polySoak, *storm, *memctlMode, explicit)
+
+	// Flag overrides: a spec file owns its seed unless -seed is explicit;
+	// presets and the deprecated spellings always take the flag (the
+	// pre-scenario behavior).
+	if *specPath == "" || explicit["seed"] {
+		s.Seed = *seed
+	}
+	n := *trials
+	if n == 0 {
+		n = *injections
+	}
+	if n > 0 {
+		s.SetBudget(n)
+	}
+	if explicit["code"] {
+		s.Code = *codeName
+	}
+	if err := s.Validate(); err != nil {
+		die("%v", err)
+	}
+
+	if *dumpSpec {
+		buf, err := s.MarshalIndent()
+		if err != nil {
+			die("marshal spec: %v", err)
+		}
+		fmt.Println(string(buf))
+		return
+	}
+
 	// The health engine subscribes to the journal stream, so both must
 	// exist before Init starts the observability server: the server's
 	// /healthz and /regions then carry the engine's state from the first
-	// request. The -memctl soak instead attaches the controller (which
+	// request. Memctl scenarios instead attach the controller (which
 	// embeds its own event-time engine and is driven synchronously by
-	// the soak loop), and serves its state at /memctl.
+	// the scenario loop), and serve its state at /memctl.
 	var engine *health.Engine
 	var ctl *memctl.Controller
-	codeName := flag.CommandLine.Lookup("code").Value.String()
+	memctlOn := s.Memctl != nil && s.Memctl.Enabled
 	switch {
-	case *memctlMode:
+	case memctlOn:
 		if obs.Journal == nil {
 			// The controller consumes the journal even when no -journal
 			// file will be written at exit.
 			obs.Journal = telemetry.NewJournal(obs.JournalCap)
 			obs.Journal.Publish("journal")
 		}
-		c, err := memctl.New(exp.MemctlSoakConfig(codeName, obs.Journal))
+		c, err := memctl.New(exp.MemctlSoakConfig(s.Code, obs.Journal))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			die("%v", err)
 		}
 		ctl = c
 		ctl.Publish("memctl")
@@ -150,7 +212,13 @@ func main() {
 	// The manifest binds every artifact this run writes — checkpoint,
 	// summary, journal — to this exact invocation.
 	manifest := telemetry.NewManifest("faultinject")
-	manifest.Seed = *seed
+	manifest.Seed = s.Seed
+
+	// The decode collectors are published up front so /debug/vars shows
+	// the full metric surface from the first scrape; every decode-path
+	// scenario feeds them.
+	decodeMetrics := telemetry.NewDecodeMetrics()
+	decodeMetrics.Publish("decode")
 
 	opts := exp.CampaignOpts{
 		Workers:         *workers,
@@ -159,9 +227,25 @@ func main() {
 		Resume:          *resume,
 		Journal:         obs.Journal,
 		Manifest:        manifest,
+		Metrics:         decodeMetrics,
+		Controller:      ctl,
 	}
 	if *resume && *ckpt == "" {
 		telemetry.Fatal(logger, "-resume needs -checkpoint")
+	}
+
+	// Decode scenarios resolve the code here so the manifest carries its
+	// display name; memctl scenarios record the registry key that roots
+	// the controller's migration ladder instead.
+	if memctlOn {
+		manifest.Codec = s.Code
+	} else if s.Kind == scenario.KindDecode || s.Kind == scenario.KindReplay {
+		lc, err := linecode.New(s.Code)
+		if err != nil {
+			telemetry.Fatal(logger, "building scenario code", "err", err)
+		}
+		opts.Code = lc
+		manifest.Codec = lc.Name()
 	}
 
 	// Ctrl-C (or -timeout) drains the campaign instead of killing it: a
@@ -173,12 +257,6 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-
-	// The decode collectors are published up front so /debug/vars shows
-	// the full metric surface from the first scrape; the -poly soak (and
-	// any future in-model campaign) feeds them.
-	decodeMetrics := telemetry.NewDecodeMetrics()
-	decodeMetrics.Publish("decode")
 
 	// Offline profiles bracket the campaign itself, not the report
 	// rendering. They are stopped and written right after the campaign
@@ -196,107 +274,17 @@ func main() {
 		cpuFile = f
 	}
 
-	var text string
-	var run campaign.Result
-	switch {
-	case *memctlMode:
-		n := *injections
-		if n == 0 {
-			n = 8000
-		}
-		manifest.Codec = codeName
-		logger.Info("running self-healing storm soak", "code", codeName, "trials", n)
-		res, err := exp.MemctlStorm(ctx, codeName, n, *seed, decodeMetrics, obs.Journal, ctl)
-		if err != nil && !res.Partial {
-			telemetry.Fatal(logger, "self-healing soak failed", "err", err)
-		}
-		counts := map[string]int64{}
-		for _, ph := range res.Phases {
-			counts["hammer"] += int64(ph.Hammer)
-			counts["blocked"] += int64(ph.Blocked)
-			counts["clean"] += int64(ph.Clean)
-			counts["corrected"] += int64(ph.Corrected)
-			counts["due"] += int64(ph.DUE)
-			counts["sdc"] += int64(ph.SDC)
-		}
-		for k, v := range res.Actions {
-			counts["action:"+k] = v
-		}
-		run = campaign.Result{Name: "memctlsoak", Trials: res.Trials, Completed: res.Completed,
-			Partial: res.Partial, Counts: counts}
-		text = exp.RenderMemctlSoak(res)
-	case *storm:
-		n := *injections
-		if n == 0 {
-			n = 4000
-		}
-		lc, err := soakCode()
-		if err != nil {
-			telemetry.Fatal(logger, "building soak code", "err", err)
-		}
-		manifest.Codec = lc.Name()
-		logger.Info("running rowhammer storm soak", "code", lc.Name(), "trials", n, "workers", opts.Workers)
-		res, err := exp.RowhammerStorm(ctx, lc, n, *seed, decodeMetrics, opts)
-		if err != nil {
-			telemetry.Fatal(logger, "storm soak failed", "err", err)
-		}
-		run = campaign.Result{Name: "stormsoak", Trials: res.Trials, Completed: res.Completed,
-			Partial: res.Partial, Panics: int64(res.Panics),
-			Counts: map[string]int64{
-				"hammer": int64(res.HammerTrials), "clean": int64(res.Clean),
-				"corrected": int64(res.Corrected), "due": int64(res.Uncorrectable),
-				"sdc": int64(res.SDC),
-			}}
-		text = exp.RenderStormSoak(res)
-	case *polySoak:
-		n := *injections
-		if n == 0 {
-			n = 2000
-		}
-		lc, err := soakCode()
-		if err != nil {
-			telemetry.Fatal(logger, "building soak code", "err", err)
-		}
-		manifest.Codec = lc.Name()
-		logger.Info("running in-model soak", "code", lc.Name(), "trials", n, "workers", opts.Workers)
-		res, err := exp.PolySoakCode(ctx, lc, n, *seed, decodeMetrics, opts)
-		if err != nil {
-			telemetry.Fatal(logger, "soak failed", "err", err)
-		}
-		run = campaign.Result{Name: "polysoak", Trials: res.Trials, Completed: res.Completed,
-			Partial: res.Partial, Panics: res.Panics,
-			Counts: map[string]int64{
-				"clean": int64(res.Clean), "corrected": int64(res.Corrected),
-				"due": int64(res.Uncorrectable), "sdc": int64(res.SDC),
-			}}
-		text = exp.RenderPolySoak(res)
-	case *fig == 4:
-		n := *injections
-		if n == 0 {
-			n = 2000 // the paper's Leveugle-sized campaign
-		}
-		logger.Info("running figure 4 campaign", "injections", n, "workers", opts.Workers)
-		rows, res, err := exp.Figure4Ctx(ctx, n, *seed, opts)
-		if err != nil {
-			telemetry.Fatal(logger, "figure 4 failed", "err", err)
-		}
-		run = res
-		text = exp.RenderFigure4(rows)
-	case *fig == 5:
-		n := *injections
-		if n == 0 {
-			n = 2500
-		}
-		logger.Info("running figure 5 campaign", "injections", n, "workers", opts.Workers)
-		results, res, err := exp.Figure5Ctx(ctx, n, *seed, opts)
-		if err != nil {
-			telemetry.Fatal(logger, "figure 5 failed", "err", err)
-		}
-		run = res
-		text = exp.RenderFigure5(results)
-	default:
-		telemetry.Fatal(logger, "unknown figure (use 4 or 5)", "fig", *fig)
+	logger.Info("running scenario", "name", s.Name, "kind", s.Kind, "trials", s.Trials,
+		"seed", s.Seed, "workers", opts.Workers)
+	res, err := scenario.Run(ctx, s, opts)
+	if res == nil {
+		telemetry.Fatal(logger, "scenario failed", "name", s.Name, "err", err)
 	}
+	if err != nil && !res.Campaign.Partial {
+		telemetry.Fatal(logger, "scenario failed", "name", s.Name, "err", err)
+	}
+	run := res.Campaign
+	text := renderText(presetName, s, res)
 
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -345,10 +333,13 @@ func main() {
 	manifest.Finish()
 	obs.WriteJournal(logger, *chromeTrace)
 	if *summary != "" {
+		scenSum := s.Summarize()
+		scenSum.Preset = presetName
 		doc := struct {
 			Manifest *telemetry.Manifest `json:"manifest"`
+			Scenario *scenario.Summary   `json:"scenario"`
 			Result   campaign.Result     `json:"result"`
-		}{manifest, run}
+		}{manifest, scenSum, run}
 		buf, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			telemetry.Fatal(logger, "marshal summary", "err", err)
@@ -361,7 +352,7 @@ func main() {
 
 	if *actionsOut != "" {
 		if ctl == nil {
-			telemetry.Fatal(logger, "-actions needs -memctl (the controller produces the action log)")
+			telemetry.Fatal(logger, "-actions needs a memctl scenario (the controller produces the action log)")
 		}
 		buf, err := json.MarshalIndent(ctl.Actions(), "", "  ")
 		if err != nil {
@@ -376,7 +367,7 @@ func main() {
 	if *healthSnap != "" {
 		snapEngine := engine
 		if snapEngine == nil && ctl != nil {
-			// The -memctl soak drives its controller synchronously, so the
+			// Memctl scenarios drive their controller synchronously, so the
 			// embedded engine is already settled.
 			snapEngine = ctl.Health()
 		}
@@ -402,6 +393,99 @@ func main() {
 		case <-time.After(*serveAfter):
 		}
 	}
+}
+
+// resolveSpec picks the scenario to run: an explicit spec file, a
+// journal replay, a named preset, or one of the deprecated flag
+// spellings (which print an equivalence note to stderr). The bare
+// invocation keeps its historical meaning and runs figure4.
+func resolveSpec(specPath, replayPath, scenarioName string, fig int, polySoak, storm, memctlMode bool, explicit map[string]bool) (*scenario.Spec, string) {
+	deprecated := func(old, preset string) *scenario.Spec {
+		fmt.Fprintf(os.Stderr, "faultinject: note: %s is deprecated; the equivalent preset is `-scenario %s` (identical schedule and counts for the same seed)\n", old, preset)
+		p, _ := scenario.LookupPreset(preset)
+		return p.Spec()
+	}
+	switch {
+	case specPath != "":
+		s, err := scenario.ParseFile(specPath)
+		if err != nil {
+			die("%v", err)
+		}
+		return s, ""
+	case replayPath != "":
+		s := &scenario.Spec{Name: "replay", Kind: scenario.KindReplay,
+			Replay: &scenario.ReplaySpec{Path: replayPath}}
+		if memctlMode {
+			s.Memctl = &scenario.MemctlSpec{Enabled: true, RegionLines: 64}
+		}
+		return s, ""
+	case scenarioName != "":
+		p, ok := scenario.LookupPreset(scenarioName)
+		if !ok {
+			die("unknown scenario %q (-list-scenarios prints the registry)", scenarioName)
+		}
+		return p.Spec(), p.Name
+	case memctlMode:
+		return deprecated("-memctl", "memctlsoak"), "memctlsoak"
+	case storm:
+		return deprecated("-storm", "stormsoak"), "stormsoak"
+	case polySoak:
+		return deprecated("-poly", "polysoak"), "polysoak"
+	case fig == 5:
+		return deprecated("-fig 5", "figure5"), "figure5"
+	case fig == 4 || fig == 0:
+		if explicit["fig"] {
+			return deprecated("-fig 4", "figure4"), "figure4"
+		}
+		p, _ := scenario.LookupPreset("figure4")
+		return p.Spec(), "figure4"
+	default:
+		die("unknown figure (use 4 or 5)")
+		return nil, ""
+	}
+}
+
+// renderText keeps the paper-named renderers for the preset campaigns
+// (and the SELF-HEAL verdict line `make heal-smoke` greps for on memctl
+// runs); everything else — spec files, replays — uses the generic
+// scenario renderer.
+func renderText(presetName string, s *scenario.Spec, res *scenario.Result) string {
+	if res.Seq != nil && s.Memctl != nil && s.Memctl.Enabled {
+		return exp.RenderMemctlSoak(*res.Seq)
+	}
+	switch presetName {
+	case "figure4":
+		return exp.RenderFigure4(res.ProgramRows())
+	case "figure5":
+		return exp.RenderFigure5(res.InferenceResults())
+	case "polysoak":
+		return exp.RenderPolySoak(res.Decode())
+	}
+	return res.Render()
+}
+
+func printScenarios() {
+	fmt.Println("Built-in scenarios (run with -scenario <name>; -dump-spec exports the resolved spec as JSON):")
+	for _, p := range scenario.Presets() {
+		fmt.Printf("  %-11s %s\n", p.Name, p.Doc)
+		extras := []string{fmt.Sprintf("default budget %d", p.DefaultTrials)}
+		if len(p.Aliases) > 0 {
+			extras = append([]string{"aliases: " + strings.Join(p.Aliases, ", ")}, extras...)
+		}
+		fmt.Printf("              %s\n", strings.Join(extras, "; "))
+	}
+	fmt.Println()
+	fmt.Println("Deprecated flag spellings (still honored, identical schedules for the same seed):")
+	for _, p := range scenario.Presets() {
+		fmt.Printf("  %-9s -> -scenario %s\n", p.Legacy, p.Name)
+	}
+	fmt.Println()
+	fmt.Println("Custom workload mixes are JSON spec files run with -spec; see examples/scenarios/ and EXPERIMENTS.md.")
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "faultinject: "+format+"\n", args...)
+	os.Exit(1)
 }
 
 // waitEngineSettled gives the health engine's subscription pump a

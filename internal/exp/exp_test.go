@@ -256,18 +256,6 @@ func TestMiscorrectionPool(t *testing.T) {
 	}
 }
 
-// An exhausted profiling budget is an error with a partial pool, not an
-// unbounded spin.
-func TestMiscorrectionPoolBudget(t *testing.T) {
-	pool, err := newMiscorrectionPool(1000, 1, 50)
-	if err == nil {
-		t.Fatal("a 50-trial budget cannot yield 1000 masks; want an error")
-	}
-	if len(pool.Masks) >= 1000 {
-		t.Fatalf("partial pool holds %d masks", len(pool.Masks))
-	}
-}
-
 // Figure 4 at small scale: encryption must not reduce SDCs on aggregate
 // (the paper: "No application showed reduction in SDC with encrypted
 // memory"), checked on the suite-wide totals to keep noise manageable.

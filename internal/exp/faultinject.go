@@ -3,164 +3,61 @@ package exp
 import (
 	"context"
 	"fmt"
-	"log/slog"
-	"math/rand"
 	"sort"
-	"strings"
-	"sync"
 
-	"polyecc/internal/aes"
 	"polyecc/internal/campaign"
-	"polyecc/internal/dram"
-	"polyecc/internal/faults"
-	"polyecc/internal/inference"
 	"polyecc/internal/linecode"
-	"polyecc/internal/poly"
+	"polyecc/internal/scenario"
 	"polyecc/internal/stats"
 	"polyecc/internal/telemetry"
-	"polyecc/internal/workload"
 )
+
+// The fault-injection campaigns live in internal/scenario now: every
+// legacy driver here is a thin wrapper around the corresponding preset
+// spec, kept so existing callers (and the paper-figure vocabulary) keep
+// working. New evaluation shapes should be authored as scenario specs,
+// not new drivers.
 
 // CampaignMetrics are the live collectors of a running fault-injection
-// campaign. Watch them at /debug/vars under the "faultinject." prefix
-// while a cmd/faultinject run is in flight; the campaign runner's own
-// progress/panic/checkpoint counters live under "faultinject.campaign.".
-type CampaignMetrics struct {
-	PoolTrials telemetry.Counter        // RS profiling attempts while building the pool
-	PoolMasks  telemetry.Counter        // miscorrection masks collected
-	Injections telemetry.Counter        // workload/inference injections performed
-	Outcomes   telemetry.LabeledCounter // injection outcomes by class
-	Runner     campaign.Metrics         // campaign engine: completed/panics/resumed/checkpoints
-}
-
-var (
-	fiOnce    sync.Once
-	fiMetrics CampaignMetrics
-)
+// campaign; see scenario.CampaignMetrics.
+type CampaignMetrics = scenario.CampaignMetrics
 
 // Campaign returns the process-wide campaign collectors, publishing
 // them in expvar on first use.
-func Campaign() *CampaignMetrics {
-	fiOnce.Do(func() {
-		telemetry.Publish("faultinject.pool.trials", &fiMetrics.PoolTrials)
-		telemetry.Publish("faultinject.pool.masks", &fiMetrics.PoolMasks)
-		telemetry.Publish("faultinject.injections", &fiMetrics.Injections)
-		telemetry.Publish("faultinject.outcomes", &fiMetrics.Outcomes)
-		fiMetrics.Runner.Publish("faultinject.campaign")
-	})
-	return &fiMetrics
-}
+func Campaign() *CampaignMetrics { return scenario.Campaign() }
 
 // CampaignOpts are the operator knobs shared by the long-running
 // fault-injection campaigns — the cmd/faultinject -workers, -checkpoint,
 // -checkpoint-every, and -resume flags. The zero value runs in-memory
 // with GOMAXPROCS workers.
-type CampaignOpts struct {
-	// Workers is the concurrent trial goroutine count (default GOMAXPROCS).
-	Workers int
-	// CheckpointPath periodically receives an atomic JSON snapshot of
-	// campaign progress when non-empty.
-	CheckpointPath string
-	// CheckpointEvery is the trial count between checkpoints (default 1000).
-	CheckpointEvery int
-	// Resume restarts from CheckpointPath, skipping completed trials.
-	Resume bool
-	// Journal, when non-nil, is the flight recorder: worker shard spans,
-	// notable trial outcomes (JournalOutcomes), and — in the -poly soak —
-	// full decode-anomaly records with the candidate trail.
-	Journal *telemetry.Journal
-	// JournalOutcomes overrides the per-study default filter for which
-	// trial outcome labels are journaled (substring match).
-	JournalOutcomes []string
-	// Manifest, when non-nil, stamps every checkpoint with the run's
-	// provenance.
-	Manifest *telemetry.Manifest
-}
+type CampaignOpts = scenario.Opts
 
-// config assembles the campaign.Config for one named study, wiring the
-// shared faultinject telemetry in. defaultOutcomes is the study's
-// journal-worthy label set, used unless the caller overrides it.
-func (o CampaignOpts) config(name string, trials int, seed int64, defaultOutcomes ...string) campaign.Config {
-	outcomes := o.JournalOutcomes
-	if outcomes == nil {
-		outcomes = defaultOutcomes
-	}
-	return campaign.Config{
-		Name:            name,
-		Trials:          trials,
-		Seed:            seed,
-		Workers:         o.Workers,
-		CheckpointPath:  o.CheckpointPath,
-		CheckpointEvery: o.CheckpointEvery,
-		Resume:          o.Resume,
-		Metrics:         &Campaign().Runner,
-		Journal:         o.Journal,
-		JournalOutcomes: outcomes,
-		Manifest:        o.Manifest,
-	}
-}
+// MiscorrectionPool holds cacheline error masks produced by profiling
+// the SDDC Reed-Solomon code against out-of-model faults (§VII-B).
+type MiscorrectionPool = scenario.MiscorrectionPool
 
-// MiscorrectionPool holds cacheline error masks produced by profiling the
-// SDDC Reed-Solomon code against out-of-model faults (§VII-B "Memory
-// Errors Generation"): each mask is the data-visible difference between
-// the truth and what RS silently returned after miscorrecting.
-type MiscorrectionPool struct {
-	Masks [][linecode.LineBytes]byte
-}
-
-// poolTrialsPerMask bounds pool profiling: RS miscorrects a few percent
-// of random multi-bit flips, so a budget of 1000 trials per wanted mask
-// is ~20x headroom — if it runs out, the code under profile has stopped
-// miscorrecting and looping further would spin forever.
-const poolTrialsPerMask = 1000
-
-// NewMiscorrectionPool profiles RS until want masks are collected or the
-// trial budget is exhausted. On exhaustion it returns the partial pool
-// alongside the error, so a caller may still choose to proceed.
+// NewMiscorrectionPool profiles RS until want masks are collected or
+// the trial budget is exhausted.
 func NewMiscorrectionPool(want int, seed int64) (MiscorrectionPool, error) {
-	return newMiscorrectionPool(want, seed, want*poolTrialsPerMask)
+	return scenario.NewMiscorrectionPool(want, seed)
 }
 
-func newMiscorrectionPool(want int, seed int64, maxTrials int) (MiscorrectionPool, error) {
-	cm := Campaign()
-	code := linecode.NewRS()
-	r := rand.New(rand.NewSource(seed))
-	var pool MiscorrectionPool
-	for trials := 0; len(pool.Masks) < want && trials < maxTrials; trials++ {
-		cm.PoolTrials.Add(1)
-		var data [linecode.LineBytes]byte
-		r.Read(data[:])
-		burst := code.Encode(&data)
-		// Out-of-model fault: a handful of random bit flips.
-		faults.RandomBits{N: 2 + r.Intn(4)}.Inject(r, &burst)
-		got, outcome, _ := code.Decode(&burst)
-		if outcome != linecode.OK || got == data {
-			continue
-		}
-		var mask [linecode.LineBytes]byte
-		for i := range mask {
-			mask[i] = got[i] ^ data[i]
-		}
-		pool.Masks = append(pool.Masks, mask)
-		cm.PoolMasks.Add(1)
+// presetSpec builds a named preset's spec with the legacy flag budget
+// applied (per client for the block-stratified figures, total for the
+// soaks) and the campaign seed set.
+func presetSpec(name string, n int, seed int64) *scenario.Spec {
+	p, ok := scenario.LookupPreset(name)
+	if !ok {
+		panic("exp: unknown preset " + name) // the legacy names are built in
 	}
-	if len(pool.Masks) < want {
-		return pool, fmt.Errorf("exp: miscorrection pool exhausted its %d-trial budget with %d/%d masks",
-			maxTrials, len(pool.Masks), want)
-	}
-	slog.Debug("miscorrection pool ready", "masks", len(pool.Masks), "trials", cm.PoolTrials.Value())
-	return pool, nil
+	s := p.Build()
+	s.Seed = seed
+	s.SetBudget(n)
+	return s
 }
 
 // Figure4Row is one workload's outcome shares, in percent.
-type Figure4Row struct {
-	Workload  string
-	Encrypted bool
-	Crashed   float64
-	Hang      float64
-	SDC       float64
-	NoEffect  float64
-}
+type Figure4Row = scenario.ProgramRow
 
 // Figure4 runs the full campaign uninterruptibly; see Figure4Ctx.
 func Figure4(injections int, seed int64) ([]Figure4Row, error) {
@@ -168,119 +65,24 @@ func Figure4(injections int, seed int64) ([]Figure4Row, error) {
 	return rows, err
 }
 
-// Figure4Ctx runs the fault-injection campaign of §III-B on the
-// resilient campaign engine: for every workload, inject RS-miscorrection
+// Figure4Ctx runs the fault-injection campaign of §III-B — the
+// "figure4" scenario preset: for every workload, inject RS-miscorrection
 // masks into the memory image at uniformly random times and cacheline
 // addresses, once against plaintext memory (NE) and once AES-amplified
 // (E), using the same checkpoint, time, address, and error for both —
-// exactly the paper's pairing. Each trial is one such pair; trials are
-// sharded across workers, checkpointable, and resumable. On cancellation
-// the returned rows cover the completed trials and the campaign.Result
-// is marked Partial.
+// exactly the paper's pairing. Trials are sharded across workers,
+// checkpointable, and resumable. On cancellation the returned rows
+// cover the completed trials and the campaign.Result is marked Partial.
 func Figure4Ctx(ctx context.Context, injections int, seed int64, opts CampaignOpts) ([]Figure4Row, campaign.Result, error) {
-	pool, err := NewMiscorrectionPool(256, seed)
+	res, err := scenario.Run(ctx, presetSpec("figure4", injections, seed), opts)
 	if err != nil {
-		return nil, campaign.Result{}, err
-	}
-	mem := aes.MustNewMemory(DefaultKey[:], append([]byte{0xAA}, DefaultKey[1:]...))
-	programs := workload.Programs()
-	type baseline struct {
-		digest uint64
-		steps  int
-	}
-	bases := make([]baseline, len(programs))
-	const maxSteps = 200000
-	for i, p := range programs {
-		digest, steps, err := workload.Baseline(p, seed, maxSteps)
-		if err != nil {
-			return nil, campaign.Result{}, fmt.Errorf("baseline %s: %w", p.Name(), err)
+		var cres campaign.Result
+		if res != nil {
+			cres = res.Campaign
 		}
-		bases[i] = baseline{digest, steps}
+		return nil, cres, err
 	}
-
-	cm := Campaign()
-	cfg := opts.config("figure4", injections*len(programs), seed,
-		"."+workload.SDC.String(), "."+workload.Hang.String(), "."+workload.Crashed.String())
-	// Each worker keeps one pristine Init image per program plus a work
-	// buffer: a trial's two paired runs each copy the pristine bytes and
-	// go through workload.InjectPrepared, so the (deterministic, seed-only)
-	// Init cost is paid once per worker instead of twice per trial.
-	type fig4State struct {
-		imgs [][]byte
-		work []byte
-	}
-	cfg.WorkerState = func() any {
-		st := &fig4State{imgs: make([][]byte, len(programs))}
-		for i, p := range programs {
-			st.imgs[i] = p.Init(seed)
-		}
-		return st
-	}
-	res, err := campaign.Run(ctx, cfg, func(t *campaign.Trial) {
-		pi := t.Index / injections
-		p := programs[pi]
-		b := bases[pi]
-		st := t.Local.(*fig4State)
-		r := t.RNG
-		tInj := r.Intn(b.steps)
-		mask := pool.Masks[r.Intn(len(pool.Masks))]
-		aInj := -1
-		// Both runs share t_inj, A_inj, and the error (§VII-B).
-		pickAddr := func(memImg []byte) int {
-			if aInj < 0 {
-				lines := len(memImg) / linecode.LineBytes
-				aInj = r.Intn(lines) * linecode.LineBytes
-			}
-			return aInj
-		}
-		st.work = append(st.work[:0], st.imgs[pi]...)
-		outNE := workload.InjectPrepared(p, st.work, tInj, func(m []byte) {
-			addr := pickAddr(m)
-			for j := 0; j < linecode.LineBytes; j++ {
-				m[addr+j] ^= mask[j]
-			}
-		}, b.digest, b.steps)
-		st.work = append(st.work[:0], st.imgs[pi]...)
-		outE := workload.InjectPrepared(p, st.work, tInj, func(m []byte) {
-			addr := pickAddr(m)
-			amplified := mem.AmplifyError(m[addr:addr+linecode.LineBytes], mask[:], uint64(addr))
-			copy(m[addr:addr+linecode.LineBytes], amplified)
-		}, b.digest, b.steps)
-		name := p.Name()
-		t.Record(name + ".trials")
-		t.Record(name + ".ne." + outNE.String())
-		t.Record(name + ".e." + outE.String())
-		cm.Injections.Add(2)
-		cm.Outcomes.Add(outNE.String(), 1)
-		cm.Outcomes.Add(outE.String(), 1)
-	})
-	if err != nil {
-		return nil, res, err
-	}
-
-	var rows []Figure4Row
-	for _, p := range programs {
-		name := p.Name()
-		total := float64(res.Count(name + ".trials"))
-		if total == 0 {
-			continue // a partial run never reached this workload
-		}
-		for enc := 0; enc <= 1; enc++ {
-			prefix := name + ".ne."
-			if enc == 1 {
-				prefix = name + ".e."
-			}
-			rows = append(rows, Figure4Row{
-				Workload:  name,
-				Encrypted: enc == 1,
-				Crashed:   100 * float64(res.Count(prefix+workload.Crashed.String())) / total,
-				Hang:      100 * float64(res.Count(prefix+workload.Hang.String())) / total,
-				SDC:       100 * float64(res.Count(prefix+workload.SDC.String())) / total,
-				NoEffect:  100 * float64(res.Count(prefix+workload.NoEffect.String())) / total,
-			})
-		}
-	}
-	return rows, res, nil
+	return res.ProgramRows(), res.Campaign, nil
 }
 
 // RenderFigure4 formats the campaign like the paper's stacked bars.
@@ -298,22 +100,11 @@ func RenderFigure4(rows []Figure4Row) string {
 }
 
 // Figure5Bucket is one accuracy-histogram bucket.
-type Figure5Bucket struct {
-	LowPct, HighPct int // accuracy range relative to baseline, percent
-	Count           int
-}
+type Figure5Bucket = scenario.InferenceBucket
 
 // Figure5Result is one inference campaign: the accuracy histogram plus
 // the failed-inference count.
-type Figure5Result struct {
-	Name         string
-	BaselineAcc  float64
-	Buckets      []Figure5Bucket
-	Failed       int
-	NearBaseline int // injections within 1% of baseline accuracy
-	BigDropShare float64
-	Injections   int // trials actually accounted for (== requested unless partial)
-}
+type Figure5Result = scenario.InferenceResult
 
 // Figure5 runs the full campaign uninterruptibly; see Figure5Ctx.
 func Figure5(injections int, seed int64) ([]Figure5Result, error) {
@@ -321,125 +112,27 @@ func Figure5(injections int, seed int64) ([]Figure5Result, error) {
 	return results, err
 }
 
-// Figure5Ctx runs the inference fault-injection study on the campaign
-// engine: (a) the MobileNet stand-in with plaintext vs encrypted weight
-// memory, and (b) the CryptoNets/FHE stand-in where every corruption
-// diffuses across its ciphertext block. Returns results in the order:
-// plain, encrypted, FHE.
+// Figure5Ctx runs the inference fault-injection study — the "figure5"
+// scenario preset: (a) the MobileNet stand-in with plaintext vs
+// encrypted weight memory, and (b) the CryptoNets/FHE stand-in where
+// every corruption diffuses across its ciphertext block. Returns
+// results in the order: plain, encrypted, FHE.
 func Figure5Ctx(ctx context.Context, injections int, seed int64, opts CampaignOpts) ([]Figure5Result, campaign.Result, error) {
-	pool, err := NewMiscorrectionPool(256, seed+1)
+	res, err := scenario.Run(ctx, presetSpec("figure5", injections, seed), opts)
 	if err != nil {
-		return nil, campaign.Result{}, err
+		var cres campaign.Result
+		if res != nil {
+			cres = res.Campaign
+		}
+		return nil, cres, err
 	}
-	mem := aes.MustNewMemory(DefaultKey[:], append([]byte{0xBB}, DefaultKey[1:]...))
-
-	subs := []struct {
-		name    string
-		prefix  string
-		act     inference.Activation
-		samples int
-		amplify bool
-	}{
-		{"mobilenet-like/plain", "plain", inference.ReLU, 500, false},
-		{"mobilenet-like/encrypted", "enc", inference.ReLU, 500, true},
-		{"cryptonets-like/FHE", "fhe", inference.Square, 100, true},
-	}
-	models := make([]*inference.Model, len(subs))
-	datasets := make([]inference.Dataset, len(subs))
-	baselines := make([]float64, len(subs))
-	for i, s := range subs {
-		models[i] = inference.NewModel(seed, s.act)
-		datasets[i] = inference.NewDataset(seed, s.samples)
-		baselines[i] = models[i].Evaluate(models[i].Image(), datasets[i]).Accuracy
-	}
-
-	cm := Campaign()
-	cfg := opts.config("figure5", injections*len(subs), seed,
-		".failed", ".big-drop")
-	// One scratch weight image per worker: every trial re-fills it from
-	// the model's pristine image (ImageInto) instead of allocating a copy.
-	type fig5State struct {
-		img []byte
-	}
-	cfg.WorkerState = func() any { return &fig5State{} }
-	res, err := campaign.Run(ctx, cfg, func(t *campaign.Trial) {
-		si := t.Index / injections
-		s, model, ds, base := subs[si], models[si], datasets[si], baselines[si]
-		st := t.Local.(*fig5State)
-		r := t.RNG
-		st.img = model.ImageInto(st.img)
-		img := st.img
-		mask := pool.Masks[r.Intn(len(pool.Masks))]
-		addr := r.Intn(len(img)/linecode.LineBytes) * linecode.LineBytes
-		if s.amplify {
-			amplified := mem.AmplifyError(img[addr:addr+linecode.LineBytes], mask[:], uint64(addr))
-			copy(img[addr:addr+linecode.LineBytes], amplified)
-		} else {
-			for j := 0; j < linecode.LineBytes; j++ {
-				img[addr+j] ^= mask[j]
-			}
-		}
-		cm.Injections.Add(1)
-		t.Record(s.prefix + ".trials")
-		out := model.Evaluate(img, ds)
-		if out.Failed {
-			t.Record(s.prefix + ".failed")
-			cm.Outcomes.Add("inference-failed", 1)
-			return
-		}
-		cm.Outcomes.Add("inference-ok", 1)
-		if out.Accuracy >= base-0.01 {
-			t.Record(s.prefix + ".near-baseline")
-		}
-		if out.Accuracy < base-0.10 {
-			t.Record(s.prefix + ".big-drop")
-		}
-		bucket := min(int(out.Accuracy*10), 9)
-		t.Record(fmt.Sprintf("%s.bucket.%d", s.prefix, bucket))
-	})
-	if err != nil {
-		return nil, res, err
-	}
-
-	results := make([]Figure5Result, len(subs))
-	for i, s := range subs {
-		total := res.Count(s.prefix + ".trials")
-		fr := Figure5Result{
-			Name:         s.name,
-			BaselineAcc:  baselines[i],
-			Failed:       int(res.Count(s.prefix + ".failed")),
-			NearBaseline: int(res.Count(s.prefix + ".near-baseline")),
-			Injections:   int(total),
-		}
-		if total > 0 {
-			fr.BigDropShare = float64(res.Count(s.prefix+".big-drop")) / float64(total)
-		}
-		for b := 0; b < 10; b++ {
-			if n := res.Count(fmt.Sprintf("%s.bucket.%d", s.prefix, b)); n > 0 {
-				fr.Buckets = append(fr.Buckets, Figure5Bucket{LowPct: b * 10, HighPct: (b + 1) * 10, Count: int(n)})
-			}
-		}
-		results[i] = fr
-	}
-	return results, res, nil
+	return res.InferenceResults(), res.Campaign, nil
 }
 
 // --- Live in-model soak ----------------------------------------------------
 
 // PolySoakResult summarises a PolySoak campaign.
-type PolySoakResult struct {
-	Code          string // display name of the decoded scheme
-	Trials        int    // requested budget
-	Completed     int    // trials accounted for (== Trials unless Partial)
-	Partial       bool
-	Panics        int64
-	Clean         int
-	Corrected     int
-	Uncorrectable int
-	SDC           int // corrected but wrong data (MAC collision)
-	PerModel      map[string]int
-	Iterations    int64 // total correction trials
-}
+type PolySoakResult = scenario.DecodeSummary
 
 // PolySoak runs the full soak uninterruptibly; see PolySoakCtx.
 func PolySoak(trials int, seed int64, m *telemetry.DecodeMetrics) PolySoakResult {
@@ -455,10 +148,8 @@ func PolySoakCtx(ctx context.Context, trials int, seed int64, m *telemetry.Decod
 
 // PolySoakNamed drives random in-model faults through the named registry
 // code (any Polymorphic variant — the cmd/faultinject -code flag) with
-// the collector m attached to the decode path, sharded across campaign
-// workers. Every worker owns a poly.Scratch via the campaign's
-// per-worker state hook, so the trial loop performs no per-line heap
-// allocation. It is the live observability workload of cmd/faultinject:
+// the collector m attached to the decode path — the "polysoak" scenario
+// preset. It is the live observability workload of cmd/faultinject:
 // with -metrics-addr set, the decode.* counters, per-model hits, and the
 // iteration histogram tick at /debug/vars while the soak runs, and
 // faultinject.campaign.* tracks progress, panics, and checkpoints.
@@ -473,87 +164,14 @@ func PolySoakNamed(ctx context.Context, name string, trials int, seed int64, m *
 // PolySoakCode is PolySoakNamed for an already-built registry code (the
 // shape the shared -code flag resolver hands a command).
 func PolySoakCode(ctx context.Context, lc linecode.Code, trials int, seed int64, m *telemetry.DecodeMetrics, opts CampaignOpts) (PolySoakResult, error) {
-	p, ok := lc.(linecode.Poly)
-	if !ok {
-		return PolySoakResult{}, fmt.Errorf("exp: the in-model soak needs a Polymorphic code, got %s", lc.Name())
+	s := presetSpec("polysoak", trials, seed)
+	opts.Metrics = m
+	opts.Code = lc
+	res, err := scenario.Run(ctx, s, opts)
+	if res == nil {
+		return PolySoakResult{}, err
 	}
-	// The N_max bound keeps worst-case DEC trials sane.
-	code := p.C.WithMaxIterations(20000).WithMetrics(m)
-	g := dram.WordGeometry{SymbolBits: code.Geometry().SymbolBits}
-	injectors := faults.InModel(g)
-
-	cfg := opts.config("polysoak", trials, seed, "sdc", "due", "panic")
-	// Each worker owns a scratch and, when the flight recorder is on, an
-	// AnomalyRecorder: its trace hook captures the candidate trail of the
-	// decode in flight, and RecordDecode turns every non-clean decode into
-	// a journal event carrying the corrupted words, remainders, injected
-	// model, and that trail. With the journal off the recorder hands back
-	// the original code, preserving the allocation-free trial loop.
-	// Each worker also caches one clean protected line, encoded once at
-	// worker start from the campaign seed alone (so outcomes stay
-	// independent of worker count): a trial corrupts a value copy of that
-	// burst instead of re-encoding, leaving the trial loop decode-only.
-	type soakState struct {
-		scratch *poly.Scratch
-		rec     *poly.AnomalyRecorder
-		data    [poly.LineBytes]byte
-		clean   dram.Burst
-	}
-	cfg.WorkerState = func() any {
-		rec := poly.NewAnomalyRecorder(opts.Journal, "polysoak", code)
-		ws := &soakState{scratch: rec.Code().NewScratch(), rec: rec}
-		rand.New(rand.NewSource(seed)).Read(ws.data[:])
-		ws.clean = rec.Code().ToBurst(rec.Code().EncodeLineScratch(&ws.data, ws.scratch))
-		return ws
-	}
-	res, err := campaign.Run(ctx, cfg, func(t *campaign.Trial) {
-		ws := t.Local.(*soakState)
-		s, wcode := ws.scratch, ws.rec.Code()
-		r := t.RNG
-		burst := ws.clean
-		inj := injectors[r.Intn(len(injectors))]
-		inj.Inject(r, &burst)
-		line := wcode.FromBurstScratch(&burst, s)
-		got, rep := wcode.DecodeLineScratch(line, s)
-		t.Add("iterations", int64(rep.Iterations))
-		sdc := false
-		switch rep.Status {
-		case poly.StatusClean:
-			t.Record("clean")
-		case poly.StatusCorrected:
-			t.Record("corrected")
-			t.Record("model." + rep.Model.String())
-			if got != ws.data {
-				sdc = true
-				t.Record("sdc")
-			}
-		case poly.StatusUncorrectable:
-			t.Record("due")
-		}
-		ws.rec.RecordDecode(line, &rep, telemetry.Event{
-			Worker: t.Worker,
-			Index:  t.Index,
-		}, inj.Name(), sdc)
-	})
-	soak := PolySoakResult{
-		Code:          fmt.Sprintf("%s (M=%d)", lc.Name(), code.M()),
-		Trials:        trials,
-		Completed:     res.Completed,
-		Partial:       res.Partial,
-		Panics:        res.Panics,
-		Clean:         int(res.Count("clean")),
-		Corrected:     int(res.Count("corrected")),
-		Uncorrectable: int(res.Count("due")),
-		SDC:           int(res.Count("sdc")),
-		PerModel:      map[string]int{},
-		Iterations:    res.Count("iterations"),
-	}
-	for label, n := range res.Counts {
-		if model, ok := strings.CutPrefix(label, "model."); ok {
-			soak.PerModel[model] = int(n)
-		}
-	}
-	return soak, err
+	return res.Decode(), err
 }
 
 // RenderPolySoak formats a soak summary.

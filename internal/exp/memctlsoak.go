@@ -3,37 +3,25 @@ package exp
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"strings"
 	"time"
 
-	"polyecc/internal/dram"
-	"polyecc/internal/faults"
 	"polyecc/internal/health"
-	"polyecc/internal/linecode"
 	"polyecc/internal/memctl"
-	"polyecc/internal/poly"
-	"polyecc/internal/rowhammer"
+	"polyecc/internal/scenario"
 	"polyecc/internal/stats"
 	"polyecc/internal/telemetry"
 )
 
 // The self-healing soak runs on a virtual clock: every trial advances
-// event time by MemctlTickNs from the fixed epoch memctlT0, so the
-// whole closed loop — injected faults, health trajectory, controller
-// actions — is a pure function of the seed and replays identically
-// from the recorded journal on any machine at any speed.
+// event time by MemctlTickNs from a fixed epoch, so the whole closed
+// loop — injected faults, health trajectory, controller actions — is a
+// pure function of the seed and replays identically from the recorded
+// journal on any machine at any speed.
 const (
 	// MemctlTickNs is the virtual time per trial: 2ms, i.e. 500
 	// trials/sec of simulated traffic.
-	MemctlTickNs = 2_000_000
-	// memctlT0 is the fixed virtual epoch (2023-11-14T22:13:20Z).
-	memctlT0 = int64(1_700_000_000_000_000_000)
-	// memctlBackgroundP is the per-trial probability of a background
-	// in-model fault outside the storm: ~2 errors/sec of virtual time,
-	// burning the corrected-rate SLO budget at exactly 1x — under the
-	// warn threshold, so only the storm moves the state machine.
-	memctlBackgroundP = 0.004
+	MemctlTickNs = scenario.MemctlTickNs
 	// memctlStrongCodec is the top of the default migration ladder: the
 	// 16-bit-symbol instance regions are re-encoded with when their
 	// error rate crosses the migration threshold.
@@ -59,11 +47,11 @@ func MemctlSoakHealth() health.Config {
 }
 
 // MemctlSoakConfig is the controller configuration the `faultinject
-// -memctl` soak runs: thresholds scaled to the soak's 250ms decision
-// epoch so a storm escalates within a bucket or two, quarantined lines
-// release after 2s of calm, a flapping line retires on its third
-// strike, and the codec ladder climbs from the driven code to the
-// 16-bit-symbol instance.
+// -scenario memctlsoak` soak runs: thresholds scaled to the soak's
+// 250ms decision epoch so a storm escalates within a bucket or two,
+// quarantined lines release after 2s of calm, a flapping line retires
+// on its third strike, and the codec ladder climbs from the driven code
+// to the 16-bit-symbol instance.
 func MemctlSoakConfig(codeName string, j *telemetry.Journal) memctl.Config {
 	ladder := []string{codeName}
 	if codeName != memctlStrongCodec {
@@ -88,283 +76,33 @@ func MemctlSoakConfig(codeName string, j *telemetry.Journal) memctl.Config {
 }
 
 // MemctlPhase summarizes one phase of the self-healing soak.
-type MemctlPhase struct {
-	Name      string
-	Trials    int
-	Hammer    int
-	Blocked   int // accesses the controller fenced (quarantine/retire)
-	Clean     int
-	Corrected int
-	DUE       int
-	SDC       int
-	Worst     string // worst health state seen during the phase
-	End       string // health state when the phase ended
-}
+type MemctlPhase = scenario.SeqPhase
 
 // MemctlSoakResult summarizes one self-healing storm soak.
-type MemctlSoakResult struct {
-	Code         string
-	Trials       int
-	Completed    int
-	Partial      bool
-	AggressorRow int
-	Phases       []MemctlPhase
-	Actions      map[string]int64
-	ModelOrder   []string
-	RetiredPages []int
-	Migrations   []memctl.RegionCodec
-	ScrubPeak    int
-	FinalScrub   string
-	StormWorst   string
-	FinalStatus  string
-	// Healed is the soak's verdict: the storm degraded health, the
-	// controller escalated the patrol and quarantined the aggressor's
-	// victims, and health returned to ok by the end of recovery.
-	Healed bool
-}
+type MemctlSoakResult = scenario.SeqResult
 
-// MemctlStorm drives the closed self-healing loop: a three-phase
-// seeded workload (background noise, a rowhammer storm on one
-// seed-derived aggressor row, recovery) decodes through the codec the
-// controller currently assigns each region, journals every anomaly
-// with its virtual timestamp, and synchronously feeds the journal back
-// into the controller after every trial. Controller decisions steer
-// the next trial: quarantined and retired lines are fenced (Blocked),
-// a decided trial-order reorder is applied to the decoder via
-// poly.Code.WithModels, and migrated regions re-encode through the
-// next codec on the ladder.
+// MemctlStorm drives the closed self-healing loop — the "memctlsoak"
+// scenario preset: a three-phase seeded workload (background noise, a
+// rowhammer storm on one seed-derived aggressor row, recovery) decodes
+// through the codec the controller currently assigns each region,
+// journals every anomaly with its virtual timestamp, and synchronously
+// feeds the journal back into the controller after every trial.
+// Controller decisions steer the next trial: quarantined and retired
+// lines are fenced (Blocked), a decided trial-order reorder is applied
+// to the decoder via poly.Code.WithModels, and migrated regions
+// re-encode through the next codec on the ladder.
 //
 // The caller builds ctl from MemctlSoakConfig(codeName, j) — sharing
 // the journal is what closes the loop — and may also serve it as the
 // /memctl endpoint while the soak runs. j must be enabled.
 func MemctlStorm(ctx context.Context, codeName string, trials int, seed int64, m *telemetry.DecodeMetrics, j *telemetry.Journal, ctl *memctl.Controller) (MemctlSoakResult, error) {
-	res := MemctlSoakResult{Code: codeName, Trials: trials}
-	if !j.Enabled() {
-		return res, fmt.Errorf("exp: the memctl soak needs a journal — the controller consumes it")
+	s := presetSpec("memctlsoak", trials, seed)
+	s.Code = codeName
+	res, err := scenario.Run(ctx, s, scenario.Opts{Journal: j, Metrics: m, Controller: ctl})
+	if res == nil || res.Seq == nil {
+		return MemctlSoakResult{Code: codeName, Trials: trials}, err
 	}
-
-	// The aggressor row comes from the seed alone, like RowhammerStorm.
-	rows := StormLines / StormRowLines
-	aggr := 1 + rand.New(rand.NewSource(seed)).Intn(rows-2)
-	res.AggressorRow = aggr
-	rng := rand.New(rand.NewSource(seed))
-	regionLines := MemctlSoakHealth().RegionLines
-
-	// Per-codec decode state for the migration ladder. Every codec
-	// protects the same payload, so a migration is just a re-encode.
-	type codecState struct {
-		base      *poly.Code // instrumented base instance (default order)
-		rec       *poly.AnomalyRecorder
-		scratch   *poly.Scratch
-		orderKey  string
-		data      [poly.LineBytes]byte
-		clean     dram.Burst
-		g         dram.WordGeometry
-		injectors []faults.Injector
-	}
-	// refresh re-applies the controller's decided trial order when it
-	// changed: decided models the codec knows come first, the rest keep
-	// their configured order (WithModels shares the hint tables, so
-	// this is cheap).
-	refresh := func(cs *codecState) error {
-		names := ctl.ModelNames()
-		key := strings.Join(names, ",")
-		if cs.rec != nil && key == cs.orderKey {
-			return nil
-		}
-		cs.orderKey = key
-		code := cs.base
-		if decided := ctl.Models(); len(decided) > 0 {
-			have := code.Models()
-			order := make([]poly.FaultModel, 0, len(have))
-			in := func(list []poly.FaultModel, m poly.FaultModel) bool {
-				for _, x := range list {
-					if x == m {
-						return true
-					}
-				}
-				return false
-			}
-			for _, m := range decided {
-				if in(have, m) {
-					order = append(order, m)
-				}
-			}
-			for _, m := range have {
-				if !in(order, m) {
-					order = append(order, m)
-				}
-			}
-			reordered, err := code.WithModels(order)
-			if err != nil {
-				return err
-			}
-			code = reordered
-		}
-		cs.rec = poly.NewAnomalyRecorder(j, "memctlsoak", code)
-		cs.scratch = cs.rec.Code().NewScratch()
-		cs.clean = cs.rec.Code().ToBurst(cs.rec.Code().EncodeLineScratch(&cs.data, cs.scratch))
-		return nil
-	}
-	codecs := map[string]*codecState{}
-	getCodec := func(name string) (*codecState, error) {
-		if cs, ok := codecs[name]; ok {
-			return cs, refresh(cs)
-		}
-		lc, err := linecode.New(name)
-		if err != nil {
-			return nil, err
-		}
-		p, ok := lc.(linecode.Poly)
-		if !ok {
-			return nil, fmt.Errorf("exp: the memctl soak needs Polymorphic codes on the ladder, got %s", lc.Name())
-		}
-		cs := &codecState{base: p.C.WithMaxIterations(20000).WithMetrics(m)}
-		cs.g = dram.WordGeometry{SymbolBits: cs.base.Geometry().SymbolBits}
-		cs.injectors = faults.InModel(cs.g)
-		rand.New(rand.NewSource(seed)).Read(cs.data[:])
-		codecs[name] = cs
-		return cs, refresh(cs)
-	}
-
-	// Synchronous feedback: after every trial the subscription is
-	// drained to empty, so the controller has seen everything the trial
-	// journaled (and its own just-emitted actions) before the next
-	// access is decided.
-	sub := j.Subscribe(16384)
-	defer sub.Close()
-	var evbuf []telemetry.Event
-	drain := func() {
-		for {
-			evbuf = sub.Poll(evbuf[:0])
-			if len(evbuf) == 0 {
-				return
-			}
-			ctl.ObserveAll(evbuf)
-		}
-	}
-
-	nBack := trials / 4
-	nStorm := trials / 2
-	phases := []struct {
-		name   string
-		n      int
-		hammer bool
-	}{
-		{"background", nBack, false},
-		{"storm", nStorm, true},
-		{"recovery", trials - nBack - nStorm, false},
-	}
-
-	now := memctlT0
-	var stormWorst health.State
-	for _, pdef := range phases {
-		ph := MemctlPhase{Name: pdef.name, Trials: pdef.n}
-		worst := health.StateOK
-		for k := 0; k < pdef.n; k++ {
-			if err := ctx.Err(); err != nil {
-				res.Partial = true
-				ph.Worst, ph.End = worst.String(), ctl.Health().State().String()
-				res.Phases = append(res.Phases, ph)
-				return res, err
-			}
-			now += MemctlTickNs
-			hammer := pdef.hammer && rng.Float64() < StormShare
-			var line int
-			var injected string
-			if hammer {
-				ph.Hammer++
-				victim := aggr - 1
-				if rng.Intn(2) == 1 {
-					victim = aggr + 1
-				}
-				line = victim*StormRowLines + rng.Intn(StormRowLines)
-				injected = "rowhammer"
-			} else {
-				line = rng.Intn(StormLines)
-				if rng.Float64() < memctlBackgroundP {
-					injected = "background"
-				}
-			}
-			if ctl.Blocked(line) {
-				// The access is fenced: the fault never reaches a decoder.
-				// Time still passes, so releases and relaxes stay on
-				// schedule.
-				ph.Blocked++
-				res.Completed++
-				ctl.Tick(now)
-				drain()
-				if st := ctl.Health().State(); st > worst {
-					worst = st
-				}
-				continue
-			}
-			cs, err := getCodec(ctl.CodecName(line / regionLines))
-			if err != nil {
-				return res, err
-			}
-			burst := cs.clean
-			switch {
-			case hammer:
-				mask := rowhammer.New(rng.Int63(), cs.g).Next()
-				burst.Xor(&mask)
-			case injected != "":
-				inj := cs.injectors[rng.Intn(len(cs.injectors))]
-				inj.Inject(rng, &burst)
-				injected = inj.Name()
-			}
-			// Tick before recording the anomaly so the journal order
-			// matches the decision order: epoch-boundary pure decisions
-			// (releases, relaxes, migrations) are made before this trial's
-			// anomaly is observed, live and on replay alike.
-			ctl.Tick(now)
-			wcode := cs.rec.Code()
-			rl := wcode.FromBurstScratch(&burst, cs.scratch)
-			got, rep := wcode.DecodeLineScratch(rl, cs.scratch)
-			sdc := false
-			switch rep.Status {
-			case poly.StatusClean:
-				ph.Clean++
-			case poly.StatusCorrected:
-				ph.Corrected++
-				if got != cs.data {
-					sdc = true
-					ph.SDC++
-				}
-			case poly.StatusUncorrectable:
-				ph.DUE++
-			}
-			cs.rec.RecordDecode(rl, &rep, telemetry.Event{Index: line, TimeNs: now}, injected, sdc)
-			drain()
-			res.Completed++
-			if st := ctl.Health().State(); st > worst {
-				worst = st
-			}
-			if lvl := ctl.ScrubLevel(); lvl > res.ScrubPeak {
-				res.ScrubPeak = lvl
-			}
-		}
-		ph.Worst = worst.String()
-		ph.End = ctl.Health().State().String()
-		res.Phases = append(res.Phases, ph)
-		if pdef.hammer && worst > stormWorst {
-			stormWorst = worst
-		}
-	}
-
-	snap := ctl.Snapshot()
-	res.Actions = snap.ByKind
-	res.ModelOrder = snap.ModelOrder
-	res.RetiredPages = snap.RetiredPages
-	res.Migrations = snap.Migrations
-	res.FinalScrub = snap.ScrubInterval
-	res.StormWorst = stormWorst.String()
-	res.FinalStatus = ctl.Health().State().String()
-	res.Healed = stormWorst >= health.StateWarn &&
-		ctl.Health().State() == health.StateOK &&
-		res.Actions[memctl.ActionScrubEscalate] > 0 &&
-		res.Actions[memctl.ActionQuarantine] > 0
-	return res, nil
+	return *res.Seq, err
 }
 
 // RenderMemctlSoak formats a self-healing soak summary, ending with the

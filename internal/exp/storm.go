@@ -3,14 +3,9 @@ package exp
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
-	"polyecc/internal/campaign"
-	"polyecc/internal/dram"
-	"polyecc/internal/faults"
 	"polyecc/internal/linecode"
-	"polyecc/internal/poly"
-	"polyecc/internal/rowhammer"
+	"polyecc/internal/scenario"
 	"polyecc/internal/stats"
 	"polyecc/internal/telemetry"
 )
@@ -19,14 +14,14 @@ import (
 // lines per DRAM row (matching the health engine's default RowLines so
 // the signature classifier sees the same row arithmetic).
 const (
-	StormLines    = 1024
-	StormRowLines = 8
+	StormLines    = scenario.StormLines
+	StormRowLines = scenario.StormRowLines
 )
 
 // StormShare is the fraction of trials that hammer the aggressor's
 // victim rows; the rest are uniform background in-model faults, the
 // noise floor the health engine's spatial classifier must see through.
-const StormShare = 0.9
+const StormShare = scenario.StormShare
 
 // StormSoakResult summarizes one rowhammer-storm soak.
 type StormSoakResult struct {
@@ -44,101 +39,37 @@ type StormSoakResult struct {
 }
 
 // RowhammerStorm drives a seeded rowhammer attack through the decode
-// path of lc: one seed-derived aggressor row is hammered for StormShare
-// of the trials, producing Centauri-distribution flip masks spatially
-// clustered in the aggressor's two victim rows, over a background of
-// uniform in-model faults across the whole StormLines address space.
-// Every journaled decode anomaly carries the victim line address in
-// Index, so the health engine's spatial classifier can watch the storm
-// form: it is the workload behind `cmd/faultinject -storm`, the
+// path of lc — the "stormsoak" scenario preset: one seed-derived
+// aggressor row is hammered for StormShare of the trials, producing
+// Centauri-distribution flip masks spatially clustered in the
+// aggressor's two victim rows, over a background of uniform in-model
+// faults across the whole StormLines address space. Every journaled
+// decode anomaly carries the victim line address in Index, so the
+// health engine's spatial classifier can watch the storm form: it is
+// the workload behind `cmd/faultinject -scenario stormsoak`, the
 // `make health-smoke` handshake, and the deterministic PAGE test in
 // internal/health.
 func RowhammerStorm(ctx context.Context, lc linecode.Code, trials int, seed int64, m *telemetry.DecodeMetrics, opts CampaignOpts) (StormSoakResult, error) {
-	p, ok := lc.(linecode.Poly)
-	if !ok {
-		return StormSoakResult{}, fmt.Errorf("exp: the storm soak needs a Polymorphic code, got %s", lc.Name())
+	s := presetSpec("stormsoak", trials, seed)
+	opts.Metrics = m
+	opts.Code = lc
+	res, err := scenario.Run(ctx, s, opts)
+	if res == nil {
+		return StormSoakResult{}, err
 	}
-	code := p.C.WithMaxIterations(20000).WithMetrics(m)
-	g := dram.WordGeometry{SymbolBits: code.Geometry().SymbolBits}
-	injectors := faults.InModel(g)
-
-	// The aggressor row comes from the campaign seed alone, so every
-	// run (and every resume, at any worker count) hammers the same rows.
-	rows := StormLines / StormRowLines
-	aggr := 1 + rand.New(rand.NewSource(seed)).Intn(rows-2)
-
-	cfg := opts.config("stormsoak", trials, seed, "sdc", "due", "panic")
-	type stormState struct {
-		scratch *poly.Scratch
-		rec     *poly.AnomalyRecorder
-		data    [poly.LineBytes]byte
-		clean   dram.Burst
-	}
-	cfg.WorkerState = func() any {
-		rec := poly.NewAnomalyRecorder(opts.Journal, "stormsoak", code)
-		ws := &stormState{scratch: rec.Code().NewScratch(), rec: rec}
-		rand.New(rand.NewSource(seed)).Read(ws.data[:])
-		ws.clean = rec.Code().ToBurst(rec.Code().EncodeLineScratch(&ws.data, ws.scratch))
-		return ws
-	}
-	res, err := campaign.Run(ctx, cfg, func(t *campaign.Trial) {
-		ws := t.Local.(*stormState)
-		s, wcode := ws.scratch, ws.rec.Code()
-		r := t.RNG
-		burst := ws.clean
-		var line int
-		var injected string
-		if r.Float64() < StormShare {
-			// Hammer: the flip lands in one of the aggressor's two victim
-			// rows, on a random line within that row.
-			t.Record("hammer")
-			victim := aggr - 1
-			if r.Intn(2) == 1 {
-				victim = aggr + 1
-			}
-			line = victim*StormRowLines + r.Intn(StormRowLines)
-			mask := rowhammer.New(r.Int63(), g).Next()
-			burst.Xor(&mask)
-			injected = "rowhammer"
-		} else {
-			// Background: a uniform in-model fault anywhere in the space.
-			line = r.Intn(StormLines)
-			inj := injectors[r.Intn(len(injectors))]
-			inj.Inject(r, &burst)
-			injected = inj.Name()
-		}
-		rl := wcode.FromBurstScratch(&burst, s)
-		got, rep := wcode.DecodeLineScratch(rl, s)
-		sdc := false
-		switch rep.Status {
-		case poly.StatusClean:
-			t.Record("clean")
-		case poly.StatusCorrected:
-			t.Record("corrected")
-			if got != ws.data {
-				sdc = true
-				t.Record("sdc")
-			}
-		case poly.StatusUncorrectable:
-			t.Record("due")
-		}
-		ws.rec.RecordDecode(rl, &rep, telemetry.Event{
-			Worker: t.Worker,
-			Index:  line,
-		}, injected, sdc)
-	})
+	c := res.Campaign
 	return StormSoakResult{
 		Code:          lc.Name(),
 		Trials:        trials,
-		Completed:     res.Completed,
-		Partial:       res.Partial,
-		Panics:        int(res.Panics),
-		AggressorRow:  aggr,
-		HammerTrials:  int(res.Count("hammer")),
-		Clean:         int(res.Count("clean")),
-		Corrected:     int(res.Count("corrected")),
-		Uncorrectable: int(res.Count("due")),
-		SDC:           int(res.Count("sdc")),
+		Completed:     c.Completed,
+		Partial:       c.Partial,
+		Panics:        int(c.Panics),
+		AggressorRow:  res.AggressorRow,
+		HammerTrials:  int(c.Count("client.hammer")),
+		Clean:         int(c.Count("clean")),
+		Corrected:     int(c.Count("corrected")),
+		Uncorrectable: int(c.Count("due")),
+		SDC:           int(c.Count("sdc")),
 	}, err
 }
 

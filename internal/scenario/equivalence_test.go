@@ -1,0 +1,155 @@
+package scenario_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+
+	"polyecc/internal/exp"
+	"polyecc/internal/memctl"
+	"polyecc/internal/scenario"
+	"polyecc/internal/telemetry"
+)
+
+// goldenCampaign pins one legacy driver's exact outcome counts, recorded
+// from the pre-scenario per-figure code paths at a fixed seed. The
+// scenario presets must reproduce every count bit-identically — at one
+// worker AND at eight, since the splitmix64 per-trial streams make the
+// schedule independent of sharding.
+type goldenCampaign struct {
+	Trials int              `json:"trials"`
+	Seed   int64            `json:"seed"`
+	Counts map[string]int64 `json:"counts"`
+}
+
+type goldenFile struct {
+	Figure4   goldenCampaign  `json:"figure4"`
+	Figure5   goldenCampaign  `json:"figure5"`
+	PolySoak  goldenCampaign  `json:"polysoak"`
+	StormSoak goldenCampaign  `json:"stormsoak"`
+	Memctl    json.RawMessage `json:"memctlsoak"`
+}
+
+func loadGolden(t *testing.T) *goldenFile {
+	t.Helper()
+	buf, err := os.ReadFile("testdata/golden_legacy.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g goldenFile
+	if err := json.Unmarshal(buf, &g); err != nil {
+		t.Fatal(err)
+	}
+	return &g
+}
+
+// runPreset builds a preset spec at the golden budget/seed and runs it.
+func runPreset(t *testing.T, name string, g goldenCampaign, workers int) *scenario.Result {
+	t.Helper()
+	p, ok := scenario.LookupPreset(name)
+	if !ok {
+		t.Fatalf("preset %q missing", name)
+	}
+	s := p.Build()
+	s.Seed = g.Seed
+	s.SetBudget(g.Trials)
+	res, err := scenario.Run(context.Background(), s, scenario.Opts{Workers: workers})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res
+}
+
+// checkCounts asserts every golden count key against the campaign
+// counters. Two keys need mapping: "hammer" was the storm driver's own
+// tally and is now the engine's per-client counter, and "aggressor"
+// records the seed-derived hammered row, not a count.
+func checkCounts(t *testing.T, name string, g goldenCampaign, res *scenario.Result) {
+	t.Helper()
+	for key, want := range g.Counts {
+		var got int64
+		switch key {
+		case "hammer":
+			got = res.Campaign.Count("client.hammer")
+		case "aggressor":
+			got = int64(res.AggressorRow)
+		default:
+			got = res.Campaign.Count(key)
+		}
+		if got != want {
+			t.Errorf("%s: %s = %d, want %d", name, key, got, want)
+		}
+	}
+	if res.Campaign.Completed != res.Spec.Trials {
+		t.Errorf("%s: completed %d of %d trials", name, res.Campaign.Completed, res.Spec.Trials)
+	}
+	if res.Campaign.Partial {
+		t.Errorf("%s: run reported partial", name)
+	}
+}
+
+// TestPresetEquivalence pins each preset bit-identical to its legacy
+// driver at both ends of the sharding range.
+func TestPresetEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence campaigns are slow; skipped under -short")
+	}
+	g := loadGolden(t)
+	cases := []struct {
+		preset string
+		golden goldenCampaign
+	}{
+		{"figure4", g.Figure4},
+		{"figure5", g.Figure5},
+		{"polysoak", g.PolySoak},
+		{"stormsoak", g.StormSoak},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 8} {
+			res := runPreset(t, tc.preset, tc.golden, workers)
+			checkCounts(t, tc.preset, tc.golden, res)
+		}
+	}
+}
+
+// TestMemctlEquivalence pins the sequential closed-loop preset to the
+// legacy MemctlStorm trajectory: every phase tally, policy action,
+// migration, and the final verdict must match the recorded run.
+func TestMemctlEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the memctl soak is slow; skipped under -short")
+	}
+	g := loadGolden(t)
+	var want scenario.SeqResult
+	if err := json.Unmarshal(g.Memctl, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	p, ok := scenario.LookupPreset("memctlsoak")
+	if !ok {
+		t.Fatal("preset memctlsoak missing")
+	}
+	s := p.Build()
+	s.Seed = 1
+	s.SetBudget(want.Trials)
+
+	j := telemetry.NewJournal(0)
+	ctl, err := memctl.New(exp.MemctlSoakConfig(want.Code, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.Run(context.Background(), s, scenario.Opts{Journal: j, Controller: ctl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq == nil {
+		t.Fatal("memctlsoak produced no sequential result")
+	}
+	if !reflect.DeepEqual(*res.Seq, want) {
+		gotJSON, _ := json.MarshalIndent(res.Seq, "", "  ")
+		wantJSON, _ := json.MarshalIndent(&want, "", "  ")
+		t.Errorf("memctlsoak trajectory diverged from legacy golden:\ngot:\n%s\nwant:\n%s", gotJSON, wantJSON)
+	}
+}

@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"polyecc/internal/aes"
+	"polyecc/internal/campaign"
+	"polyecc/internal/inference"
+	"polyecc/internal/linecode"
+)
+
+// inferenceTweak parameterizes the inference study's AES memory; the
+// pool seed is likewise offset by one so the two stratified studies
+// never share masks.
+const inferenceTweak = 0xBB
+
+// runInference executes an inference-kind spec: the §III-C study. Each
+// client is one model configuration; every trial corrupts one weight
+// cacheline (plain XOR, or AES-amplified when the client's memory is
+// encrypted) and measures the accuracy drop against the client's clean
+// baseline. Clients are block-stratified like the programs study.
+func runInference(ctx context.Context, s *Spec, opts Opts) (*Result, error) {
+	pool, err := NewMiscorrectionPool(256, s.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	mem := aes.MustNewMemory(linecode.DefaultKey[:], append([]byte{inferenceTweak}, linecode.DefaultKey[1:]...))
+
+	models := make([]*inference.Model, len(s.Clients))
+	datasets := make([]inference.Dataset, len(s.Clients))
+	base := make([]float64, len(s.Clients))
+	amplify := make([]bool, len(s.Clients))
+	baselines := make(map[string]float64, len(s.Clients))
+	for i := range s.Clients {
+		act, samples, amp := inferenceDefaults(&s.Clients[i])
+		models[i] = inference.NewModel(s.Seed, act)
+		datasets[i] = inference.NewDataset(s.Seed, samples)
+		base[i] = models[i].Evaluate(models[i].Image(), datasets[i]).Accuracy
+		amplify[i] = amp
+		baselines[s.Clients[i].Name] = base[i]
+	}
+
+	p := newPlan(s)
+	cm := Campaign()
+	cfg := opts.config(s.Name, s.Trials, s.Seed, ".failed", ".big-drop")
+	// One scratch weight image per worker: every trial re-fills it from
+	// the model's pristine image (ImageInto) instead of allocating a copy.
+	type infState struct {
+		img []byte
+	}
+	cfg.WorkerState = func() any { return &infState{} }
+	res, err := campaign.Run(ctx, cfg, func(t *campaign.Trial) {
+		ci := p.blockClient(t.Index)
+		prefix, model, ds, b := s.Clients[ci].Name, models[ci], datasets[ci], base[ci]
+		st := t.Local.(*infState)
+		r := t.RNG
+		st.img = model.ImageInto(st.img)
+		img := st.img
+		mask := pool.Masks[r.Intn(len(pool.Masks))]
+		addr := r.Intn(len(img)/linecode.LineBytes) * linecode.LineBytes
+		if amplify[ci] {
+			amplified := mem.AmplifyError(img[addr:addr+linecode.LineBytes], mask[:], uint64(addr))
+			copy(img[addr:addr+linecode.LineBytes], amplified)
+		} else {
+			for j := 0; j < linecode.LineBytes; j++ {
+				img[addr+j] ^= mask[j]
+			}
+		}
+		cm.Injections.Add(1)
+		t.Record(prefix + ".trials")
+		out := model.Evaluate(img, ds)
+		if out.Failed {
+			t.Record(prefix + ".failed")
+			cm.Outcomes.Add("inference-failed", 1)
+			return
+		}
+		cm.Outcomes.Add("inference-ok", 1)
+		if out.Accuracy >= b-0.01 {
+			t.Record(prefix + ".near-baseline")
+		}
+		if out.Accuracy < b-0.10 {
+			t.Record(prefix + ".big-drop")
+		}
+		bucket := min(int(out.Accuracy*10), 9)
+		t.Record(fmt.Sprintf("%s.bucket.%d", prefix, bucket))
+	})
+	return &Result{Spec: s, Campaign: res, Baselines: baselines, AggressorRow: -1}, err
+}
+
+// InferenceBucket is one accuracy-histogram bucket.
+type InferenceBucket struct {
+	LowPct, HighPct int // accuracy range, percent
+	Count           int
+}
+
+// InferenceResult is one inference client's digest: the accuracy
+// histogram plus the failed-inference count.
+type InferenceResult struct {
+	Name         string
+	BaselineAcc  float64
+	Buckets      []InferenceBucket
+	Failed       int
+	NearBaseline int // injections within 1% of baseline accuracy
+	BigDropShare float64
+	Injections   int // trials actually accounted for (== requested unless partial)
+}
+
+// InferenceResults derives the per-client digests of an inference-kind
+// run, in client order.
+func (r *Result) InferenceResults() []InferenceResult {
+	res := r.Campaign
+	results := make([]InferenceResult, len(r.Spec.Clients))
+	for i := range r.Spec.Clients {
+		c := &r.Spec.Clients[i]
+		name := c.Label
+		if name == "" {
+			name = c.Name
+		}
+		total := res.Count(c.Name + ".trials")
+		fr := InferenceResult{
+			Name:         name,
+			BaselineAcc:  r.Baselines[c.Name],
+			Failed:       int(res.Count(c.Name + ".failed")),
+			NearBaseline: int(res.Count(c.Name + ".near-baseline")),
+			Injections:   int(total),
+		}
+		if total > 0 {
+			fr.BigDropShare = float64(res.Count(c.Name+".big-drop")) / float64(total)
+		}
+		for b := 0; b < 10; b++ {
+			if n := res.Count(fmt.Sprintf("%s.bucket.%d", c.Name, b)); n > 0 {
+				fr.Buckets = append(fr.Buckets, InferenceBucket{LowPct: b * 10, HighPct: (b + 1) * 10, Count: int(n)})
+			}
+		}
+		results[i] = fr
+	}
+	return results
+}

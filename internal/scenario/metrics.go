@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"sync"
+
+	"polyecc/internal/campaign"
+	"polyecc/internal/telemetry"
+)
+
+// CampaignMetrics are the live collectors of a running fault-injection
+// campaign. Watch them at /debug/vars under the "faultinject." prefix
+// while a cmd/faultinject run is in flight; the campaign runner's own
+// progress/panic/checkpoint counters live under "faultinject.campaign.".
+type CampaignMetrics struct {
+	PoolTrials telemetry.Counter        // RS profiling attempts while building the pool
+	PoolMasks  telemetry.Counter        // miscorrection masks collected
+	Injections telemetry.Counter        // workload/inference injections performed
+	Outcomes   telemetry.LabeledCounter // injection outcomes by class
+	Runner     campaign.Metrics         // campaign engine: completed/panics/resumed/checkpoints
+}
+
+var (
+	fiOnce    sync.Once
+	fiMetrics CampaignMetrics
+)
+
+// Campaign returns the process-wide campaign collectors, publishing
+// them in expvar on first use.
+func Campaign() *CampaignMetrics {
+	fiOnce.Do(func() {
+		telemetry.Publish("faultinject.pool.trials", &fiMetrics.PoolTrials)
+		telemetry.Publish("faultinject.pool.masks", &fiMetrics.PoolMasks)
+		telemetry.Publish("faultinject.injections", &fiMetrics.Injections)
+		telemetry.Publish("faultinject.outcomes", &fiMetrics.Outcomes)
+		fiMetrics.Runner.Publish("faultinject.campaign")
+	})
+	return &fiMetrics
+}

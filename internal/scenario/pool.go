@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"fmt"
+	"log/slog"
+	"math/rand"
+
+	"polyecc/internal/faults"
+	"polyecc/internal/linecode"
+)
+
+// MiscorrectionPool holds cacheline error masks produced by profiling the
+// SDDC Reed-Solomon code against out-of-model faults (§VII-B "Memory
+// Errors Generation"): each mask is the data-visible difference between
+// the truth and what RS silently returned after miscorrecting.
+type MiscorrectionPool struct {
+	Masks [][linecode.LineBytes]byte
+}
+
+// poolTrialsPerMask bounds pool profiling: RS miscorrects a few percent
+// of random multi-bit flips, so a budget of 1000 trials per wanted mask
+// is ~20x headroom — if it runs out, the code under profile has stopped
+// miscorrecting and looping further would spin forever.
+const poolTrialsPerMask = 1000
+
+// NewMiscorrectionPool profiles RS until want masks are collected or the
+// trial budget is exhausted. On exhaustion it returns the partial pool
+// alongside the error, so a caller may still choose to proceed.
+func NewMiscorrectionPool(want int, seed int64) (MiscorrectionPool, error) {
+	return newMiscorrectionPool(want, seed, want*poolTrialsPerMask)
+}
+
+func newMiscorrectionPool(want int, seed int64, maxTrials int) (MiscorrectionPool, error) {
+	cm := Campaign()
+	code := linecode.NewRS()
+	r := rand.New(rand.NewSource(seed))
+	var pool MiscorrectionPool
+	for trials := 0; len(pool.Masks) < want && trials < maxTrials; trials++ {
+		cm.PoolTrials.Add(1)
+		var data [linecode.LineBytes]byte
+		r.Read(data[:])
+		burst := code.Encode(&data)
+		// Out-of-model fault: a handful of random bit flips.
+		faults.RandomBits{N: 2 + r.Intn(4)}.Inject(r, &burst)
+		got, outcome, _ := code.Decode(&burst)
+		if outcome != linecode.OK || got == data {
+			continue
+		}
+		var mask [linecode.LineBytes]byte
+		for i := range mask {
+			mask[i] = got[i] ^ data[i]
+		}
+		pool.Masks = append(pool.Masks, mask)
+		cm.PoolMasks.Add(1)
+	}
+	if len(pool.Masks) < want {
+		return pool, fmt.Errorf("scenario: miscorrection pool exhausted its %d-trial budget with %d/%d masks",
+			maxTrials, len(pool.Masks), want)
+	}
+	slog.Debug("miscorrection pool ready", "masks", len(pool.Masks), "trials", cm.PoolTrials.Value())
+	return pool, nil
+}

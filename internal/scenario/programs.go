@@ -1,0 +1,159 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"polyecc/internal/aes"
+	"polyecc/internal/campaign"
+	"polyecc/internal/linecode"
+	"polyecc/internal/workload"
+)
+
+// programMaxSteps bounds the baseline run of each synthetic program —
+// the hang-detection horizon of the §III-B study.
+const programMaxSteps = 200000
+
+// programsTweak parameterizes the study's AES memory: amplified (E)
+// runs share the data key but a distinct tweak per scenario kind.
+const programsTweak = 0xAA
+
+// runPrograms executes a programs-kind spec: the §III-B checkpoint/
+// corrupt/resume study. Every trial draws an injection time, an
+// RS-miscorrection mask, and a cacheline address, then runs the
+// client's program twice from the same checkpoint — once with the mask
+// XORed into plaintext memory (NE), once AES-amplified (E) — and
+// classifies both outcomes. Clients are block-stratified, so each
+// program owns a contiguous index span and the RNG stream per trial is
+// independent of the client set.
+func runPrograms(ctx context.Context, s *Spec, opts Opts) (*Result, error) {
+	pool, err := NewMiscorrectionPool(256, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	mem := aes.MustNewMemory(linecode.DefaultKey[:], append([]byte{programsTweak}, linecode.DefaultKey[1:]...))
+
+	type baseline struct {
+		digest uint64
+		steps  int
+	}
+	programs := make([]workload.Program, len(s.Clients))
+	bases := make([]baseline, len(s.Clients))
+	for i := range s.Clients {
+		name := s.Clients[i].Program
+		if name == "" {
+			name = s.Clients[i].Name
+		}
+		pr := workload.ByName(name)
+		if pr == nil {
+			return nil, fmt.Errorf("scenario %q: unknown program %q", s.Name, name)
+		}
+		programs[i] = pr
+		digest, steps, err := workload.Baseline(pr, s.Seed, programMaxSteps)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", pr.Name(), err)
+		}
+		bases[i] = baseline{digest, steps}
+	}
+
+	p := newPlan(s)
+	cm := Campaign()
+	cfg := opts.config(s.Name, s.Trials, s.Seed,
+		"."+workload.SDC.String(), "."+workload.Hang.String(), "."+workload.Crashed.String())
+	// Each worker keeps one pristine Init image per program plus a work
+	// buffer: a trial's two paired runs each copy the pristine bytes and
+	// go through workload.InjectPrepared, so the (deterministic, seed-only)
+	// Init cost is paid once per worker instead of twice per trial.
+	type progState struct {
+		imgs [][]byte
+		work []byte
+	}
+	cfg.WorkerState = func() any {
+		st := &progState{imgs: make([][]byte, len(programs))}
+		for i, pr := range programs {
+			st.imgs[i] = pr.Init(s.Seed)
+		}
+		return st
+	}
+	res, err := campaign.Run(ctx, cfg, func(t *campaign.Trial) {
+		ci := p.blockClient(t.Index)
+		pr := programs[ci]
+		b := bases[ci]
+		st := t.Local.(*progState)
+		r := t.RNG
+		tInj := r.Intn(b.steps)
+		mask := pool.Masks[r.Intn(len(pool.Masks))]
+		aInj := -1
+		// Both runs share t_inj, A_inj, and the error (§VII-B).
+		pickAddr := func(memImg []byte) int {
+			if aInj < 0 {
+				lines := len(memImg) / linecode.LineBytes
+				aInj = r.Intn(lines) * linecode.LineBytes
+			}
+			return aInj
+		}
+		st.work = append(st.work[:0], st.imgs[ci]...)
+		outNE := workload.InjectPrepared(pr, st.work, tInj, func(m []byte) {
+			addr := pickAddr(m)
+			for j := 0; j < linecode.LineBytes; j++ {
+				m[addr+j] ^= mask[j]
+			}
+		}, b.digest, b.steps)
+		st.work = append(st.work[:0], st.imgs[ci]...)
+		outE := workload.InjectPrepared(pr, st.work, tInj, func(m []byte) {
+			addr := pickAddr(m)
+			amplified := mem.AmplifyError(m[addr:addr+linecode.LineBytes], mask[:], uint64(addr))
+			copy(m[addr:addr+linecode.LineBytes], amplified)
+		}, b.digest, b.steps)
+		name := pr.Name()
+		t.Record(name + ".trials")
+		t.Record(name + ".ne." + outNE.String())
+		t.Record(name + ".e." + outE.String())
+		cm.Injections.Add(2)
+		cm.Outcomes.Add(outNE.String(), 1)
+		cm.Outcomes.Add(outE.String(), 1)
+	})
+	return &Result{Spec: s, Campaign: res, AggressorRow: -1}, err
+}
+
+// ProgramRow is one workload's outcome shares, in percent.
+type ProgramRow struct {
+	Workload  string
+	Encrypted bool
+	Crashed   float64
+	Hang      float64
+	SDC       float64
+	NoEffect  float64
+}
+
+// ProgramRows derives the per-program outcome-share table of a
+// programs-kind run. Programs a partial run never reached are omitted.
+func (r *Result) ProgramRows() []ProgramRow {
+	res := r.Campaign
+	var rows []ProgramRow
+	for i := range r.Spec.Clients {
+		name := r.Spec.Clients[i].Program
+		if name == "" {
+			name = r.Spec.Clients[i].Name
+		}
+		total := float64(res.Count(name + ".trials"))
+		if total == 0 {
+			continue // a partial run never reached this workload
+		}
+		for enc := 0; enc <= 1; enc++ {
+			prefix := name + ".ne."
+			if enc == 1 {
+				prefix = name + ".e."
+			}
+			rows = append(rows, ProgramRow{
+				Workload:  name,
+				Encrypted: enc == 1,
+				Crashed:   100 * float64(res.Count(prefix+workload.Crashed.String())) / total,
+				Hang:      100 * float64(res.Count(prefix+workload.Hang.String())) / total,
+				SDC:       100 * float64(res.Count(prefix+workload.SDC.String())) / total,
+				NoEffect:  100 * float64(res.Count(prefix+workload.NoEffect.String())) / total,
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"polyecc/internal/campaign"
+	"polyecc/internal/faults"
+	"polyecc/internal/health"
+	"polyecc/internal/poly"
+	"polyecc/internal/rowhammer"
+	"polyecc/internal/telemetry"
+)
+
+// ReplayStep is one entry of a replayed injection schedule: a recorded
+// decode anomaly turned back into "inject this fault model on this
+// line at this time".
+type ReplayStep struct {
+	Seq    uint64 `json:"seq"`
+	TimeNs int64  `json:"time_ns"`
+	Line   int    `json:"line"`
+	Model  string `json:"model"` // injected model name; "" when the record carried none
+	Source string `json:"source"`
+}
+
+// LoadSchedule turns a recorded journal stream into an injection
+// schedule: every decode-anomaly event becomes one step carrying the
+// injected model, the line, and the virtual timestamp. Non-anomaly
+// events (spans, trial outcomes, policy actions) are skipped — the
+// replay regenerates its own.
+func LoadSchedule(events []telemetry.Event) []ReplayStep {
+	var steps []ReplayStep
+	for i := range events {
+		e := &events[i]
+		if e.Kind != telemetry.KindDecodeAnomaly {
+			continue
+		}
+		step := ReplayStep{Seq: e.Seq, TimeNs: e.TimeNs, Line: e.Index, Source: e.Source}
+		if da, ok := e.AnomalyDetail(); ok {
+			step.Model = da.Injected
+		}
+		steps = append(steps, step)
+	}
+	return steps
+}
+
+// LoadScheduleFile reads a journal JSONL artifact into a schedule.
+func LoadScheduleFile(path string) ([]ReplayStep, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: replay: %w", err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return nil, err
+	}
+	return LoadSchedule(events), nil
+}
+
+// runReplay re-runs a recorded journal as a scenario: one trial per
+// recorded anomaly, re-injecting the same fault model on the same line
+// with the same virtual timestamp. The schedule comes from
+// Opts.ReplayEvents when preloaded, else from Spec.Replay.Path. Replay
+// composes with everything the engine offers: checkpoint/resume
+// (trials shard like any campaign), the journal (the re-run records a
+// fresh anomaly stream to diff against the original), and — when the
+// spec enables memctl — the closed controller loop, re-driven by the
+// recorded fault sequence.
+func runReplay(ctx context.Context, s *Spec, opts Opts) (*Result, error) {
+	var schedule []ReplayStep
+	if len(opts.ReplayEvents) > 0 {
+		schedule = LoadSchedule(opts.ReplayEvents)
+	} else {
+		if s.Replay == nil || s.Replay.Path == "" {
+			return nil, fmt.Errorf("scenario %q: replay needs a recorded journal (replay.path or preloaded events)", s.Name)
+		}
+		loaded, err := LoadScheduleFile(s.Replay.Path)
+		if err != nil {
+			return nil, err
+		}
+		schedule = loaded
+	}
+	if len(schedule) == 0 {
+		return nil, fmt.Errorf("scenario %q: the recorded journal holds no decode anomalies to replay", s.Name)
+	}
+	s.Trials = len(schedule)
+
+	if s.Memctl != nil && s.Memctl.Enabled {
+		return replaySeq(ctx, s, opts, schedule)
+	}
+	return replayCampaign(ctx, s, opts, schedule)
+}
+
+// replayCampaign shards the schedule across campaign workers: per-step
+// RNG comes from the campaign's splitmix64 stream, so the re-run is
+// bit-identical at any worker count (though not bit-identical to the
+// original run's raw masks — replay pins model/line/time, not bits).
+// Checkpoint/resume works exactly as for any campaign: a resumed
+// replay skips the steps already accounted for.
+func replayCampaign(ctx context.Context, s *Spec, opts Opts, schedule []ReplayStep) (*Result, error) {
+	lc, code, err := resolveCode(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := opts.config(s.Name, s.Trials, s.Seed, "sdc", "due", "panic")
+	cfg.WorkerState = func() any {
+		// Replay keys injectors by their recorded display name (the
+		// journal's Injected field), so the named map holds the in-model
+		// set under ChipKill/SSC/DEC/BF+BF/ChipKill+1.
+		ws := newDecodeState(opts.Journal, s.Name, code, s.Seed, nil)
+		ws.named = make(map[string]faults.Injector, len(ws.injectors))
+		for _, inj := range ws.injectors {
+			ws.named[inj.Name()] = inj
+		}
+		return ws
+	}
+	res, err := campaign.Run(ctx, cfg, func(t *campaign.Trial) {
+		ws := t.Local.(*decodeState)
+		step := &schedule[t.Index]
+		burst := ws.clean
+		injected := step.Model
+		switch {
+		case step.Model == "rowhammer":
+			mask := rowhammer.New(t.RNG.Int63(), ws.g).Next()
+			burst.Xor(&mask)
+		case step.Model != "":
+			if inj, ok := ws.named[step.Model]; ok {
+				inj.Inject(t.RNG, &burst)
+			} else {
+				// A model replay cannot re-materialize (e.g. recorded
+				// without provenance) leaves the line clean and is
+				// counted, never silently modeled as something else.
+				t.Record("replay.unmodeled")
+				injected = ""
+			}
+		}
+		rl := ws.rec.Code().FromBurstScratch(&burst, ws.scratch)
+		got, rep := ws.rec.Code().DecodeLineScratch(rl, ws.scratch)
+		t.Add("iterations", int64(rep.Iterations))
+		sdc := false
+		switch rep.Status {
+		case poly.StatusClean:
+			t.Record("clean")
+		case poly.StatusCorrected:
+			t.Record("corrected")
+			t.Record("model." + rep.Model.String())
+			if got != ws.data {
+				sdc = true
+				t.Record("sdc")
+			}
+		case poly.StatusUncorrectable:
+			t.Record("due")
+		}
+		ws.rec.RecordDecode(rl, &rep, telemetry.Event{
+			Worker: t.Worker, Index: step.Line, TimeNs: step.TimeNs,
+		}, injected, sdc)
+	})
+	return &Result{
+		Spec:         s,
+		Campaign:     res,
+		Schedule:     schedule,
+		AggressorRow: -1,
+		CodeLabel:    fmt.Sprintf("%s (M=%d)", lc.Name(), code.M()),
+	}, err
+}
+
+// replaySeq re-drives the closed memctl loop from a recorded fault
+// sequence: steps run in order on the recorded timestamps, fenced
+// lines are skipped like live accesses, and the controller sees the
+// fresh anomaly stream through the shared journal.
+func replaySeq(ctx context.Context, s *Spec, opts Opts, schedule []ReplayStep) (*Result, error) {
+	e, err := newSeqEngine(s, opts, nil, -1)
+	if err != nil {
+		return nil, err
+	}
+	defer e.close()
+	rng := rand.New(rand.NewSource(s.Seed))
+	ph := SeqPhase{Name: "replay", Trials: len(schedule)}
+	worst := health.StateOK
+	bail := func(err error) (*Result, error) {
+		e.endPhase(&ph, worst)
+		e.seq.StormWorst = worst.String()
+		out := e.finish(true, -1)
+		out.Schedule = schedule
+		return out, err
+	}
+	for i := range schedule {
+		if err := ctx.Err(); err != nil {
+			return bail(err)
+		}
+		step := &schedule[i]
+		now := step.TimeNs
+		if e.fenced(step.Line, now, &ph) {
+			e.trackHealth(&worst)
+			continue
+		}
+		cs, err := e.codecAt(step.Line)
+		if err != nil {
+			return bail(err)
+		}
+		burst := cs.clean
+		injected := step.Model
+		switch {
+		case step.Model == "rowhammer":
+			ph.Hammer++
+			e.counts["hammer"]++
+			mask := rowhammer.New(rng.Int63(), cs.g).Next()
+			burst.Xor(&mask)
+		case step.Model != "":
+			if inj, ok := cs.byDisplay[step.Model]; ok {
+				inj.Inject(rng, &burst)
+			} else {
+				e.counts["replay.unmodeled"]++
+				injected = ""
+			}
+		}
+		if e.ctl != nil {
+			e.ctl.Tick(now)
+		}
+		e.decode(cs, burst, &ph, step.Line, now, injected)
+		e.trackHealth(&worst)
+	}
+	e.endPhase(&ph, worst)
+	e.seq.StormWorst = worst.String()
+	out := e.finish(false, -1)
+	out.Schedule = schedule
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package scenario_test
+
+import (
+	"context"
+	"testing"
+
+	"polyecc/internal/scenario"
+	"polyecc/internal/telemetry"
+)
+
+// recordStorm runs the rowhammer storm preset with a journal big enough
+// that the ring never drops, and returns the recorded events.
+func recordStorm(t *testing.T, trials int, seed int64) []telemetry.Event {
+	t.Helper()
+	p, ok := scenario.LookupPreset("stormsoak")
+	if !ok {
+		t.Fatal("preset stormsoak missing")
+	}
+	s := p.Build()
+	s.Seed = seed
+	s.SetBudget(trials)
+	j := telemetry.NewJournal(8 * trials)
+	if _, err := scenario.Run(context.Background(), s, scenario.Opts{Workers: 4, Journal: j}); err != nil {
+		t.Fatal(err)
+	}
+	return j.Snapshot()
+}
+
+// anomalies filters a journal stream down to its decode-anomaly records.
+func anomalies(events []telemetry.Event) []telemetry.Event {
+	var out []telemetry.Event
+	for _, e := range events {
+		if e.Kind == telemetry.KindDecodeAnomaly {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestLoadScheduleMatchesAnomalyStream: the compiled schedule must be a
+// faithful projection of the recorded anomaly stream — same order, same
+// lines, same injected models, same virtual timestamps.
+func TestLoadScheduleMatchesAnomalyStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm recording is slow; skipped under -short")
+	}
+	events := recordStorm(t, 200, 7)
+	want := anomalies(events)
+	if len(want) == 0 {
+		t.Fatal("storm recorded no anomalies")
+	}
+	schedule := scenario.LoadSchedule(events)
+	if len(schedule) != len(want) {
+		t.Fatalf("schedule has %d steps, journal has %d anomalies", len(schedule), len(want))
+	}
+	for i, step := range schedule {
+		e := &want[i]
+		if step.Seq != e.Seq || step.TimeNs != e.TimeNs || step.Line != e.Index {
+			t.Fatalf("step %d = %+v does not match event seq=%d time=%d line=%d", i, step, e.Seq, e.TimeNs, e.Index)
+		}
+		da, ok := e.AnomalyDetail()
+		if !ok {
+			t.Fatalf("anomaly %d carries no detail", i)
+		}
+		if step.Model != da.Injected {
+			t.Fatalf("step %d model %q, recorded injection %q", i, step.Model, da.Injected)
+		}
+	}
+}
+
+// TestReplayReproducesSchedule: replaying a recorded journal must run
+// one trial per recorded anomaly, re-injecting the same model on the
+// same line at the same virtual time — and the replay's own journal
+// must carry that schedule back out.
+func TestReplayReproducesSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm recording is slow; skipped under -short")
+	}
+	events := recordStorm(t, 200, 7)
+	schedule := scenario.LoadSchedule(events)
+	if len(schedule) == 0 {
+		t.Fatal("nothing to replay")
+	}
+
+	spec := &scenario.Spec{Name: "replay-test", Kind: scenario.KindReplay}
+	replayJournal := telemetry.NewJournal(8 * len(schedule))
+	res, err := scenario.Run(context.Background(), spec, scenario.Opts{
+		Workers:      1,
+		Journal:      replayJournal,
+		ReplayEvents: events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule) != len(schedule) {
+		t.Fatalf("replay ran %d steps, schedule has %d", len(res.Schedule), len(schedule))
+	}
+	if got := res.Campaign.Completed; got != len(schedule) {
+		t.Fatalf("replay completed %d trials, want one per anomaly (%d)", got, len(schedule))
+	}
+	total := res.Campaign.Count("clean") + res.Campaign.Count("corrected") + res.Campaign.Count("due")
+	if total != int64(len(schedule)) {
+		t.Fatalf("clean+corrected+due = %d, want %d", total, len(schedule))
+	}
+
+	// The replay's journal records a fresh anomaly stream; at one worker
+	// it must land in schedule order with the pinned line/model/time.
+	replayed := anomalies(replayJournal.Snapshot())
+	byOrder := 0
+	for _, e := range replayed {
+		if byOrder >= len(schedule) {
+			t.Fatalf("replay journaled more anomalies than scheduled steps")
+		}
+		step := schedule[byOrder]
+		byOrder++
+		if e.Index != step.Line || e.TimeNs != step.TimeNs {
+			t.Fatalf("replayed anomaly %d at line=%d time=%d, scheduled line=%d time=%d",
+				byOrder-1, e.Index, e.TimeNs, step.Line, step.TimeNs)
+		}
+		da, ok := e.AnomalyDetail()
+		if !ok {
+			t.Fatalf("replayed anomaly %d carries no detail", byOrder-1)
+		}
+		if da.Injected != step.Model {
+			t.Fatalf("replayed anomaly %d injected %q, scheduled %q", byOrder-1, da.Injected, step.Model)
+		}
+	}
+	if byOrder != len(schedule) {
+		t.Fatalf("replay journaled %d anomalies, want one per scheduled step (%d)", byOrder, len(schedule))
+	}
+}

@@ -1,0 +1,542 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"polyecc/internal/campaign"
+	"polyecc/internal/dram"
+	"polyecc/internal/faults"
+	"polyecc/internal/health"
+	"polyecc/internal/linecode"
+	"polyecc/internal/memctl"
+	"polyecc/internal/poly"
+	"polyecc/internal/rowhammer"
+	"polyecc/internal/telemetry"
+)
+
+// SeqPhase summarizes one phase of a sequential scenario run.
+type SeqPhase struct {
+	Name      string
+	Trials    int
+	Hammer    int
+	Blocked   int // accesses the controller fenced (quarantine/retire)
+	Clean     int
+	Corrected int
+	DUE       int
+	SDC       int
+	Worst     string // worst health state seen during the phase
+	End       string // health state when the phase ended
+}
+
+// SeqResult summarizes one sequential (virtual-clock) scenario run.
+// The controller fields are empty when the scenario does not close the
+// memctl loop; the scrub counters are zero without a patrol.
+type SeqResult struct {
+	Code         string
+	Trials       int
+	Completed    int
+	Partial      bool
+	AggressorRow int
+	Phases       []SeqPhase
+	Actions      map[string]int64
+	ModelOrder   []string
+	RetiredPages []int
+	Migrations   []memctl.RegionCodec
+	ScrubPeak    int
+	FinalScrub   string
+	StormWorst   string
+	FinalStatus  string
+	// Healed is the closed-loop verdict: the storm degraded health, the
+	// controller escalated the patrol and quarantined the aggressor's
+	// victims, and health returned to ok by the end of recovery.
+	Healed bool
+	// ScrubSweeps/ScrubFindings count the engine's own standing-fault
+	// patrol (Spec.Scrub), distinct from the controller's scrub cadence.
+	ScrubSweeps   int `json:",omitempty"`
+	ScrubFindings int `json:",omitempty"`
+}
+
+// seqCodec is the per-codec decode state of the sequential loop. Every
+// codec protects the same payload, so a region migration is just a
+// re-encode of the shared data under the next codec on the ladder.
+type seqCodec struct {
+	base      *poly.Code // instrumented base instance (default order)
+	rec       *poly.AnomalyRecorder
+	scratch   *poly.Scratch
+	orderKey  string
+	data      [poly.LineBytes]byte
+	clean     dram.Burst
+	g         dram.WordGeometry
+	injectors []faults.Injector
+	named     map[string]faults.Injector
+	byDisplay map[string]faults.Injector // in-model injectors keyed by display name, for replay
+}
+
+// seqEngine is the shared machinery of the single-threaded virtual-
+// clock runners (runSeq and the memctl replay): the codec ladder, the
+// controller feedback subscription, and the result assembly.
+type seqEngine struct {
+	s           *Spec
+	opts        Opts
+	ctl         *memctl.Controller
+	regionLines int
+	models      []string
+	codecs      map[string]*seqCodec
+	sole        *seqCodec
+	evbuf       []telemetry.Event
+	sub         *telemetry.Subscription
+	seq         *SeqResult
+	counts      map[string]int64
+	started     time.Time
+}
+
+func newSeqEngine(s *Spec, opts Opts, models []string, aggr int) (*seqEngine, error) {
+	j := opts.Journal
+	ctl := opts.Controller
+	if s.Memctl != nil && s.Memctl.Enabled {
+		if ctl == nil {
+			return nil, fmt.Errorf("scenario %q: memctl enabled but no controller supplied", s.Name)
+		}
+		if !j.Enabled() {
+			return nil, fmt.Errorf("scenario %q: the memctl loop needs a journal — the controller consumes it", s.Name)
+		}
+	} else {
+		ctl = nil // a stray controller without memctl in the spec stays out of the loop
+	}
+	e := &seqEngine{
+		s: s, opts: opts, ctl: ctl, regionLines: 64, models: models,
+		codecs:  map[string]*seqCodec{},
+		seq:     &SeqResult{Code: s.Code, Trials: s.Trials, AggressorRow: aggr},
+		counts:  map[string]int64{},
+		started: time.Now(),
+	}
+	if s.Memctl != nil && s.Memctl.RegionLines > 0 {
+		e.regionLines = s.Memctl.RegionLines
+	}
+	if ctl == nil {
+		lc := opts.Code
+		if lc == nil {
+			built, err := linecode.New(s.Code)
+			if err != nil {
+				return nil, err
+			}
+			lc = built
+		}
+		cs, err := e.buildCodec(lc)
+		if err != nil {
+			return nil, err
+		}
+		e.sole = cs
+	} else {
+		// Synchronous feedback: after every trial the subscription is
+		// drained to empty, so the controller has seen everything the
+		// trial journaled (and its own just-emitted actions) before the
+		// next access is decided.
+		e.sub = j.Subscribe(16384)
+	}
+	return e, nil
+}
+
+func (e *seqEngine) close() {
+	if e.sub != nil {
+		e.sub.Close()
+	}
+}
+
+// refresh re-applies the controller's decided trial order when it
+// changed: decided models the codec knows come first, the rest keep
+// their configured order (WithModels shares the hint tables, so this
+// is cheap). Without a controller the order never changes.
+func (e *seqEngine) refresh(cs *seqCodec) error {
+	key := ""
+	if e.ctl != nil {
+		key = strings.Join(e.ctl.ModelNames(), ",")
+	}
+	if cs.rec != nil && key == cs.orderKey {
+		return nil
+	}
+	cs.orderKey = key
+	code := cs.base
+	if e.ctl != nil {
+		if decided := e.ctl.Models(); len(decided) > 0 {
+			have := code.Models()
+			order := make([]poly.FaultModel, 0, len(have))
+			in := func(list []poly.FaultModel, m poly.FaultModel) bool {
+				for _, x := range list {
+					if x == m {
+						return true
+					}
+				}
+				return false
+			}
+			for _, m := range decided {
+				if in(have, m) {
+					order = append(order, m)
+				}
+			}
+			for _, m := range have {
+				if !in(order, m) {
+					order = append(order, m)
+				}
+			}
+			reordered, err := code.WithModels(order)
+			if err != nil {
+				return err
+			}
+			code = reordered
+		}
+	}
+	cs.rec = poly.NewAnomalyRecorder(e.opts.Journal, e.s.Name, code)
+	cs.scratch = cs.rec.Code().NewScratch()
+	cs.clean = cs.rec.Code().ToBurst(cs.rec.Code().EncodeLineScratch(&cs.data, cs.scratch))
+	return nil
+}
+
+func (e *seqEngine) buildCodec(lc linecode.Code) (*seqCodec, error) {
+	pl, ok := lc.(linecode.Poly)
+	if !ok {
+		return nil, fmt.Errorf("scenario %q: sequential scenarios need Polymorphic codes, got %s", e.s.Name, lc.Name())
+	}
+	cs := &seqCodec{base: pl.C.WithMaxIterations(decodeMaxIterations).WithMetrics(e.opts.Metrics)}
+	cs.g = dram.WordGeometry{SymbolBits: cs.base.Geometry().SymbolBits}
+	cs.injectors = faults.InModel(cs.g)
+	cs.byDisplay = make(map[string]faults.Injector, len(cs.injectors))
+	for _, inj := range cs.injectors {
+		cs.byDisplay[inj.Name()] = inj
+	}
+	if len(e.models) > 0 {
+		cs.named = make(map[string]faults.Injector, len(e.models))
+		for _, name := range e.models {
+			inj, err := faults.New(name, cs.g)
+			if err != nil {
+				return nil, err
+			}
+			cs.named[name] = inj
+		}
+	}
+	rand.New(rand.NewSource(e.s.Seed)).Read(cs.data[:])
+	return cs, e.refresh(cs)
+}
+
+// codecAt resolves the codec protecting a line: the controller's
+// region assignment, or the single spec codec without one.
+func (e *seqEngine) codecAt(line int) (*seqCodec, error) {
+	if e.ctl == nil {
+		return e.sole, e.refresh(e.sole)
+	}
+	name := e.ctl.CodecName(line / e.regionLines)
+	if cs, ok := e.codecs[name]; ok {
+		return cs, e.refresh(cs)
+	}
+	lc, err := linecode.New(name)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := e.buildCodec(lc)
+	if err != nil {
+		return nil, err
+	}
+	e.codecs[name] = cs
+	return cs, nil
+}
+
+func (e *seqEngine) drain() {
+	if e.ctl == nil {
+		return
+	}
+	for {
+		e.evbuf = e.sub.Poll(e.evbuf[:0])
+		if len(e.evbuf) == 0 {
+			return
+		}
+		e.ctl.ObserveAll(e.evbuf)
+	}
+}
+
+// decode runs one access through the line's codec and classifies it
+// into the phase counters. The controller tick happens before the
+// anomaly is recorded so the journal order matches the decision order:
+// epoch-boundary pure decisions (releases, relaxes, migrations) are
+// made before this trial's anomaly is observed, live and on replay
+// alike.
+func (e *seqEngine) decode(cs *seqCodec, burst dram.Burst, ph *SeqPhase, line int, now int64, injected string) {
+	wcode := cs.rec.Code()
+	rl := wcode.FromBurstScratch(&burst, cs.scratch)
+	got, rep := wcode.DecodeLineScratch(rl, cs.scratch)
+	e.counts["iterations"] += int64(rep.Iterations)
+	sdc := false
+	switch rep.Status {
+	case poly.StatusClean:
+		ph.Clean++
+		e.counts["clean"]++
+	case poly.StatusCorrected:
+		ph.Corrected++
+		e.counts["corrected"]++
+		e.counts["model."+rep.Model.String()]++
+		if got != cs.data {
+			sdc = true
+			ph.SDC++
+			e.counts["sdc"]++
+		}
+	case poly.StatusUncorrectable:
+		ph.DUE++
+		e.counts["due"]++
+	}
+	cs.rec.RecordDecode(rl, &rep, telemetry.Event{Index: line, TimeNs: now}, injected, sdc)
+	e.drain()
+	e.seq.Completed++
+}
+
+// fenced handles a blocked access: time still passes, so releases and
+// relaxes stay on schedule. Reports whether the access was fenced.
+func (e *seqEngine) fenced(line int, now int64, ph *SeqPhase) bool {
+	if e.ctl == nil || !e.ctl.Blocked(line) {
+		return false
+	}
+	ph.Blocked++
+	e.counts["blocked"]++
+	e.seq.Completed++
+	e.ctl.Tick(now)
+	e.drain()
+	return true
+}
+
+func (e *seqEngine) trackHealth(worst *health.State) {
+	if e.ctl == nil {
+		return
+	}
+	if st := e.ctl.Health().State(); st > *worst {
+		*worst = st
+	}
+	if lvl := e.ctl.ScrubLevel(); lvl > e.seq.ScrubPeak {
+		e.seq.ScrubPeak = lvl
+	}
+}
+
+func (e *seqEngine) endPhase(ph *SeqPhase, worst health.State) {
+	ph.Worst = worst.String()
+	if e.ctl != nil {
+		ph.End = e.ctl.Health().State().String()
+	}
+	e.seq.Phases = append(e.seq.Phases, *ph)
+}
+
+// finish assembles the Result; partial marks a cancelled run.
+func (e *seqEngine) finish(partial bool, aggr int) *Result {
+	e.seq.Partial = partial
+	if e.ctl != nil {
+		snap := e.ctl.Snapshot()
+		e.seq.Actions = snap.ByKind
+		e.seq.ModelOrder = snap.ModelOrder
+		e.seq.RetiredPages = snap.RetiredPages
+		e.seq.Migrations = snap.Migrations
+		e.seq.FinalScrub = snap.ScrubInterval
+		e.seq.FinalStatus = e.ctl.Health().State().String()
+	}
+	res := campaign.Result{
+		Name: e.s.Name, Trials: e.s.Trials, Completed: e.seq.Completed,
+		Partial: partial, Elapsed: time.Since(e.started), Counts: e.counts,
+	}
+	return &Result{Spec: e.s, Campaign: res, Seq: e.seq, AggressorRow: aggr, CodeLabel: e.s.Code}
+}
+
+// runSeq executes a spec on the single-threaded virtual-clock loop:
+// closed-loop memctl feedback, scrub patrols, standing faults, and
+// non-uniform arrivals all need globally ordered time, which no worker
+// sharding can provide. The whole run — injected faults, health
+// trajectory, controller actions — is a pure function of the seed.
+func runSeq(ctx context.Context, s *Spec, opts Opts) (*Result, error) {
+	p := newPlan(s)
+	e, err := newSeqEngine(s, opts, p.models, p.aggr)
+	if err != nil {
+		return nil, err
+	}
+	defer e.close()
+	multi := len(s.Clients) > 1
+	rng := rand.New(rand.NewSource(s.Seed))
+	j := opts.Journal
+
+	// Standing faults persist on their line as XOR deltas against the
+	// clean burst until a patrol heals them.
+	standing := map[int]dram.Burst{}
+	scrubEvery := int64(0)
+	if s.Scrub != nil {
+		scrubEvery = s.Scrub.IntervalMs * int64(time.Millisecond)
+	}
+	nextScrub := virtualT0 + scrubEvery
+	patrol := func(now int64) error {
+		e.seq.ScrubSweeps++
+		lines := make([]int, 0, len(standing))
+		for line := range standing {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			cs, err := e.codecAt(line)
+			if err != nil {
+				return err
+			}
+			burst := cs.clean
+			delta := standing[line]
+			burst.Xor(&delta)
+			rl := cs.rec.Code().FromBurstScratch(&burst, cs.scratch)
+			_, rep := cs.rec.Code().DecodeLineScratch(rl, cs.scratch)
+			outcome := "corrected"
+			switch rep.Status {
+			case poly.StatusClean:
+				outcome = "clean"
+				delete(standing, line)
+			case poly.StatusCorrected:
+				delete(standing, line) // the patrol writes the corrected line back
+				e.seq.ScrubFindings++
+			case poly.StatusUncorrectable:
+				outcome = "due" // beyond repair: the fault stays until fenced
+				e.seq.ScrubFindings++
+			}
+			if j.Enabled() {
+				j.Record(telemetry.Event{
+					Kind: telemetry.KindScrubFinding, Source: s.Name, Name: "scrub",
+					Index: line, Outcome: outcome, TimeNs: now,
+				})
+			}
+		}
+		return nil
+	}
+
+	// Per-client gamma-burst counters.
+	burstLeft := make([]int, len(s.Clients))
+
+	now := virtualT0
+	var stormWorst health.State
+	for pi := range p.phases {
+		span := &p.phases[pi]
+		ph := SeqPhase{Name: span.name, Trials: span.end - span.start}
+		worst := health.StateOK
+		for k := span.start; k < span.end; k++ {
+			if err := ctx.Err(); err != nil {
+				e.endPhase(&ph, worst)
+				return e.finish(true, p.aggr), err
+			}
+			ci := p.pickClient(rng, span)
+			// Advance the virtual clock by the client's arrival process.
+			// Uniform consumes no randomness, keeping single-client and
+			// uniform scenarios on the bare seeded stream.
+			cp := &p.clients[ci]
+			tick := s.TickNs
+			switch {
+			case cp.c.Arrival == nil || cp.c.Arrival.Process == "" || cp.c.Arrival.Process == "uniform":
+				now += tick
+			case cp.c.Arrival.Process == "poisson":
+				gap := int64(rng.ExpFloat64() * float64(tick))
+				if gap < 1 {
+					gap = 1
+				}
+				now += gap
+			case cp.c.Arrival.Process == "gamma":
+				// Bursts of burstEvery arrivals packed at quarter-tick
+				// spacing, separated by exponential gaps with mean
+				// burstEvery ticks.
+				if burstLeft[ci] == 0 {
+					gap := int64(rng.ExpFloat64() * float64(tick) * float64(cp.burstEvery))
+					if gap < tick {
+						gap = tick
+					}
+					now += gap
+					burstLeft[ci] = cp.burstEvery
+				} else {
+					now += tick/4 + 1
+				}
+				burstLeft[ci]--
+			}
+			if scrubEvery > 0 && now >= nextScrub {
+				if err := patrol(now); err != nil {
+					e.endPhase(&ph, worst)
+					return e.finish(true, p.aggr), err
+				}
+				for nextScrub <= now {
+					nextScrub += scrubEvery
+				}
+			}
+			if multi {
+				e.counts["client."+cp.c.Name]++
+			}
+			line := p.drawLine(rng, ci)
+			if line < 0 {
+				line = 0 // the sequential loop always has an address: default to one line
+			}
+			env := p.envAt(ci, k)
+			fire := envActive(env)
+			if fire && env.Rate > 0 && env.Rate < 1 {
+				fire = rng.Float64() < env.Rate
+			}
+			if fire && env.Kind == "rowhammer" {
+				ph.Hammer++
+				e.counts["hammer"]++
+			}
+			if e.fenced(line, now, &ph) {
+				e.trackHealth(&worst)
+				continue
+			}
+			cs, err := e.codecAt(line)
+			if err != nil {
+				e.endPhase(&ph, worst)
+				return e.finish(true, p.aggr), err
+			}
+			burst := cs.clean
+			injected := ""
+			if delta, ok := standing[line]; ok {
+				burst.Xor(&delta)
+				injected = "standing"
+			}
+			if fire {
+				switch env.Kind {
+				case "rowhammer":
+					mask := rowhammer.New(rng.Int63(), cs.g).Next()
+					burst.Xor(&mask)
+					injected = "rowhammer"
+				case "in-model":
+					inj := cs.injectors[rng.Intn(len(cs.injectors))]
+					inj.Inject(rng, &burst)
+					injected = inj.Name()
+				case "model":
+					inj := cs.named[env.Model]
+					inj.Inject(rng, &burst)
+					injected = inj.Name()
+				}
+				if env.Standing {
+					delta := burst
+					delta.Xor(&cs.clean)
+					if delta == (dram.Burst{}) {
+						delete(standing, line)
+					} else {
+						standing[line] = delta
+					}
+				}
+			}
+			if e.ctl != nil {
+				e.ctl.Tick(now)
+			}
+			e.decode(cs, burst, &ph, line, now, injected)
+			e.trackHealth(&worst)
+		}
+		e.endPhase(&ph, worst)
+		if span.hammer && worst > stormWorst {
+			stormWorst = worst
+		}
+	}
+
+	e.seq.StormWorst = stormWorst.String()
+	out := e.finish(false, p.aggr)
+	if e.ctl != nil {
+		e.seq.Healed = stormWorst >= health.StateWarn &&
+			e.ctl.Health().State() == health.StateOK &&
+			e.seq.Actions[memctl.ActionScrubEscalate] > 0 &&
+			e.seq.Actions[memctl.ActionQuarantine] > 0
+	}
+	return out, nil
+}

@@ -2,16 +2,18 @@
 # keep green; `make bench-snapshot` refreshes the decode-path perf
 # snapshot future PRs are compared against; `make bench-gate` enforces
 # the perf contract on the hot paths: 0 allocs/op for encode, the
-# scratch entry points, and the corrected-SSC decode, plus a latency
+# scratch entry points, the corrected-SSC decode, and the decodes with
+# a journal subscriber or a latency probe attached, plus a latency
 # gate holding the corrected-SSC decode within 10% of the committed
-# BENCH_decode.json baseline. `make bench-compare OLD=old.json` prints
+# BENCH_decode.json baseline and the attached-path variants within 3x
+# of their bare counterparts. `make bench-compare OLD=old.json` prints
 # the before/after table for a perf PR.
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-snapshot bench-history bench-gate bench-compare smoke-campaign scrub-smoke report-smoke scenario-smoke health-smoke heal-smoke
+.PHONY: ci build vet test race bench bench-snapshot bench-history bench-gate bench-compare smoke-campaign scrub-smoke report-smoke scenario-smoke health-smoke heal-smoke latency-smoke
 
-ci: vet build race smoke-campaign scrub-smoke bench-gate report-smoke scenario-smoke health-smoke heal-smoke
+ci: vet build race smoke-campaign scrub-smoke bench-gate report-smoke scenario-smoke health-smoke heal-smoke latency-smoke
 
 build:
 	$(GO) build ./...
@@ -156,3 +158,43 @@ heal-smoke:
 		|| { echo "heal-smoke: report missing self-healing actions section" >&2; exit 1; }
 	@rm -rf $(HEAL_DIR)
 	@echo "heal-smoke: storm escalated, quarantined, recovered to ok OK"
+
+# Latency observatory end to end: a seeded soak runs with the latency
+# collector and the time-series recorder live, ecctop blocks on a
+# latency condition against /latency (the -wait-for count form), both
+# endpoints must answer with real data, and the summary + recorder
+# artifacts feed eccreport, which must render the Latency section with
+# the clean-vs-corrected overlay and the time-series chart.
+LAT_DIR := $(shell mktemp -u -d /tmp/polyecc-latency.XXXXXX)
+latency-smoke:
+	@mkdir -p $(LAT_DIR)
+	@$(GO) build -o $(LAT_DIR)/faultinject ./cmd/faultinject
+	@$(GO) build -o $(LAT_DIR)/ecctop ./cmd/ecctop
+	@$(LAT_DIR)/faultinject -scenario polysoak -n 20000 -seed 7 -latency \
+		-timeseries $(LAT_DIR)/ticks.jsonl -timeseries-interval 50ms \
+		-summary $(LAT_DIR)/run.json \
+		-metrics-addr 127.0.0.1:0 -metrics-addr-file $(LAT_DIR)/addr \
+		-serve-after 90s >/dev/null 2>&1 & echo $$! > $(LAT_DIR)/pid
+	@$(LAT_DIR)/ecctop -addr-file $(LAT_DIR)/addr -wait 60s -wait-for 'corrected.count>100' >/dev/null \
+		|| { echo "latency-smoke: -wait-for latency condition never met" >&2; kill `cat $(LAT_DIR)/pid` 2>/dev/null; exit 1; }
+	@addr=`cat $(LAT_DIR)/addr`; \
+	curl -s http://$$addr/latency | grep -q '"corrected"' \
+		|| { echo "latency-smoke: /latency missing corrected histogram" >&2; kill `cat $(LAT_DIR)/pid` 2>/dev/null; exit 1; }; \
+	curl -s http://$$addr/timeseries | grep -q '"interval_ns"' \
+		|| { echo "latency-smoke: /timeseries not answering" >&2; kill `cat $(LAT_DIR)/pid` 2>/dev/null; exit 1; }
+	@for i in `seq 1 120`; do test -s $(LAT_DIR)/run.json && break; sleep 0.5; done; \
+	test -s $(LAT_DIR)/run.json \
+		|| { echo "latency-smoke: summary never written" >&2; kill `cat $(LAT_DIR)/pid` 2>/dev/null; exit 1; }
+	@kill `cat $(LAT_DIR)/pid` 2>/dev/null || true
+	@grep -q '"latency"' $(LAT_DIR)/run.json \
+		|| { echo "latency-smoke: summary missing latency digest" >&2; exit 1; }
+	$(GO) run ./cmd/eccreport -summary $(LAT_DIR)/run.json \
+		-timeseries $(LAT_DIR)/ticks.jsonl -o $(LAT_DIR)/report.html
+	@grep -q '<h2>Latency</h2>' $(LAT_DIR)/report.html \
+		|| { echo "latency-smoke: report missing Latency section" >&2; exit 1; }
+	@grep -q 'Clean vs corrected decode time' $(LAT_DIR)/report.html \
+		|| { echo "latency-smoke: report missing distribution overlay" >&2; exit 1; }
+	@grep -q 'Latency over time' $(LAT_DIR)/report.html \
+		|| { echo "latency-smoke: report missing time-series chart" >&2; exit 1; }
+	@rm -rf $(LAT_DIR)
+	@echo "latency-smoke: live /latency, -wait-for handshake, recorder -> report round trip OK"

@@ -10,14 +10,15 @@
 // either regresses — `make bench-gate` wires this into `make ci`:
 //
 //   - allocation: encode (EncodeLineInto), the scratch entry points, the
-//     corrected-SSC decode, and the clean decode with a journal
-//     subscriber attached (the live health engine's tap) must all run at
-//     0 allocs/op;
+//     corrected-SSC decode, the clean decode with a journal subscriber
+//     attached (the live health engine's tap), and both decodes with a
+//     latency probe attached must all run at 0 allocs/op;
 //   - latency: decode/corrected-ssc must stay within -gate-tolerance
 //     percent of the committed -baseline snapshot's ns/op, and the
-//     +journal-sub variants must stay within a fixed multiple of their
-//     bare counterpart measured in the same run (a ratio, so machine
-//     noise that moves both paths together cannot fail the gate).
+//     +journal-sub and +latency variants must stay within a fixed
+//     multiple of their bare counterpart measured in the same run (a
+//     ratio, so machine noise that moves both paths together cannot
+//     fail the gate).
 //
 // With -compare the scenarios are measured and printed as percent deltas
 // against an older snapshot instead of being written anywhere — the
@@ -48,6 +49,7 @@ import (
 
 	"polyecc"
 	"polyecc/internal/dram"
+	"polyecc/internal/latency"
 	"polyecc/internal/linecode"
 	"polyecc/internal/poly"
 	"polyecc/internal/telemetry"
@@ -157,6 +159,9 @@ func main() {
 	// corrected path's record-and-fan-out must hold the latency budget.
 	scratch := bare.NewScratch()
 	correctedSSC := decodeBench(bare, bad, false)
+	lcoll := latency.NewCollector()
+	lcode := bare.WithLatency(lcoll.Probe())
+	lscratch := lcode.NewScratch()
 	jour := telemetry.NewJournal(4096)
 	jsub := jour.Subscribe(1024)
 	defer jsub.Close()
@@ -210,7 +215,34 @@ func main() {
 					}
 				}
 			}},
+		// The latency-probe variants decode through a Code with a striped
+		// histogram attached: two clock reads plus two uncontended atomic
+		// adds per op. The budget is the same 3x-of-bare ratio shape as the
+		// journal-subscriber entries, and the probe path must stay
+		// allocation-free on both outcomes.
+		{name: "decode-scratch/clean+latency", allocFree: true,
+			ratioOf: "decode-scratch/clean", maxRatio: 3,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, rep := lcode.DecodeLineScratch(clean, lscratch)
+					if rep.Status != polyecc.StatusClean {
+						b.Fatalf("unexpected status %v", rep.Status)
+					}
+				}
+			}},
 		{name: "decode/corrected-ssc", allocFree: true, latency: true, fn: correctedSSC},
+		{name: "decode/corrected-ssc+latency", allocFree: true,
+			ratioOf: "decode/corrected-ssc", maxRatio: 3,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, rep := lcode.DecodeLineScratch(bad, lscratch)
+					if rep.Status == polyecc.StatusClean {
+						b.Fatalf("unexpected status %v", rep.Status)
+					}
+				}
+			}},
 		{name: "decode/corrected-ssc+journal-sub",
 			ratioOf: "decode/corrected-ssc", maxRatio: 3,
 			fn: func(b *testing.B) {

@@ -9,7 +9,10 @@
 // every journaled decode anomaly (candidate trail included, expandable
 // per row), an SVG per-worker timeline built from the journal's shard
 // spans, the health section (SLO burn states, fault signatures, region
-// heatmap, alert timeline), and the benchmark trend across PRs.
+// heatmap, alert timeline), the latency section (per-class and
+// per-client/per-phase decode percentiles from the summary's digest, a
+// clean-vs-corrected distribution overlay, and SVG trends from the
+// recorder's -timeseries JSONL), and the benchmark trend across PRs.
 //
 // Every input is optional; at least one must be given. The output is a
 // single HTML file with no external assets.
@@ -17,8 +20,8 @@
 // Usage:
 //
 //	eccreport [-summary run.json] [-checkpoint fig4.ckpt] [-journal events.jsonl]
-//	          [-health health.json] [-bench BENCH_decode.json]
-//	          [-bench-history BENCH_history.jsonl]
+//	          [-health health.json] [-timeseries ticks.jsonl]
+//	          [-bench BENCH_decode.json] [-bench-history BENCH_history.jsonl]
 //	          [-title "fig4 soak"] [-o report.html]
 package main
 
@@ -31,6 +34,7 @@ import (
 	"html/template"
 	"io"
 	"log/slog"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -38,6 +42,7 @@ import (
 
 	"polyecc/internal/campaign"
 	"polyecc/internal/health"
+	"polyecc/internal/latency"
 	"polyecc/internal/memctl"
 	"polyecc/internal/scenario"
 	"polyecc/internal/telemetry"
@@ -64,9 +69,10 @@ type benchResult struct {
 
 // runSummary mirrors cmd/faultinject's -summary file format.
 type runSummary struct {
-	Manifest *telemetry.Manifest `json:"manifest"`
-	Scenario *scenario.Summary   `json:"scenario"`
-	Result   campaign.Result     `json:"result"`
+	Manifest *telemetry.Manifest     `json:"manifest"`
+	Scenario *scenario.Summary       `json:"scenario"`
+	Result   campaign.Result         `json:"result"`
+	Latency  *scenario.LatencyDigest `json:"latency"`
 }
 
 // scenarioView shapes the embedded spec digest for the report's
@@ -254,6 +260,49 @@ type healthView struct {
 	Alerts     []alertRow
 }
 
+// latRow is one line of the Latency section's percentile table: a
+// decode-outcome class, a client, or a phase (µs columns).
+type latRow struct {
+	Kind string // "", "client", "phase"
+	Name string
+	N    int64
+	Mean string
+	P50  string
+	P90  string
+	P99  string
+	P999 string
+	Max  string
+	Wall string // phases only: wall-clock window
+}
+
+type svgText struct {
+	X, Y string
+	Fill string
+	Text string
+}
+
+type svgPoly struct {
+	Points string
+	Stroke string
+}
+
+// latChart is a generic inline-SVG canvas: bars for the histogram
+// overlay, polylines for the time-series trends.
+type latChart struct {
+	Width, Height int
+	Bars          []svgSpan
+	Polys         []svgPoly
+	Texts         []svgText
+}
+
+type latencyView struct {
+	Origin     string
+	Rows       []latRow
+	Overlay    *latChart // clean-vs-corrected decode time distribution
+	Series     *latChart // recorder window trends
+	SeriesNote string
+}
+
 type historyTable struct {
 	Columns []string
 	Rows    []historyRow
@@ -273,6 +322,7 @@ type page struct {
 	Results   []resultView
 	Journal   *journalView
 	Health    *healthView
+	Latency   *latencyView
 	Bench     *benchSnapshot
 	History   *historyTable
 }
@@ -286,14 +336,15 @@ func main() {
 	healthPath := flag.String("health", "", "health snapshot JSON written by faultinject -health-snapshot")
 	benchPath := flag.String("bench", "", "benchsnap snapshot (BENCH_decode.json)")
 	historyPath := flag.String("bench-history", "", "benchsnap history (BENCH_history.jsonl)")
+	tsPath := flag.String("timeseries", "", "recorder time-series JSONL written by faultinject -timeseries")
 	var obs telemetry.CLIFlags
 	obs.Register(flag.CommandLine)
 	flag.Parse()
 	logger := obs.Init("eccreport")
 
-	if *summaryPath == "" && *ckptPath == "" && *journalPath == "" && *healthPath == "" && *benchPath == "" && *historyPath == "" {
+	if *summaryPath == "" && *ckptPath == "" && *journalPath == "" && *healthPath == "" && *benchPath == "" && *historyPath == "" && *tsPath == "" {
 		flag.Usage()
-		telemetry.Fatal(logger, "nothing to report on: give at least one of -summary, -checkpoint, -journal, -health, -bench, -bench-history")
+		telemetry.Fatal(logger, "nothing to report on: give at least one of -summary, -checkpoint, -journal, -health, -bench, -bench-history, -timeseries")
 	}
 
 	pg := page{Title: *title, Generated: time.Now().UTC().Format(time.RFC3339)}
@@ -310,6 +361,23 @@ func main() {
 		pg.Results = append(pg.Results, resultRow(*summaryPath, sum.Result.Name, sum.Result.Trials,
 			sum.Result.Completed, sum.Result.Skipped, sum.Result.Panics, sum.Result.Partial,
 			sum.Result.Elapsed.String(), sum.Result.Counts))
+		if sum.Latency != nil {
+			pg.Latency = latencySection(*summaryPath, sum.Latency)
+		}
+	}
+	if *tsPath != "" {
+		ticks, m, err := telemetry.ReadTimeseriesFile(*tsPath)
+		if err != nil {
+			telemetry.Fatal(logger, "read timeseries", "path", *tsPath, "err", err)
+		}
+		if m != nil {
+			pg.Manifests = append(pg.Manifests, manifestRow(*tsPath, m))
+		}
+		if pg.Latency == nil {
+			pg.Latency = &latencyView{Origin: *tsPath}
+		}
+		pg.Latency.Series = seriesChart(ticks)
+		pg.Latency.SeriesNote = fmt.Sprintf("%d recorder ticks from %s", len(ticks), *tsPath)
 	}
 	if *ckptPath != "" {
 		info, err := campaign.ReadCheckpointInfo(*ckptPath)
@@ -668,6 +736,203 @@ func healthSection(path string, s *health.Snapshot) *healthView {
 	return hv
 }
 
+// latencySection shapes a run's latency digest into the report's
+// percentile tables plus the clean-vs-corrected distribution overlay.
+func latencySection(origin string, d *scenario.LatencyDigest) *latencyView {
+	lv := &latencyView{Origin: origin}
+	us := func(ns float64) string { return fmt.Sprintf("%.1f", ns/1e3) }
+	add := func(kind, name string, q latency.Quantiles, wall string) {
+		if q.Count == 0 {
+			return
+		}
+		lv.Rows = append(lv.Rows, latRow{
+			Kind: kind, Name: name, N: q.Count,
+			Mean: us(q.MeanNs), P50: us(q.P50), P90: us(q.P90),
+			P99: us(q.P99), P999: us(q.P999), Max: us(float64(q.MaxNs)),
+			Wall: wall,
+		})
+	}
+	for _, cls := range []string{"clean", "corrected", "uncorrectable", "encode"} {
+		add("", cls, d.Ops[cls], "")
+	}
+	for _, name := range sortedQKeys(d.Clients) {
+		add("client", name, d.Clients[name], "")
+	}
+	for _, name := range sortedQKeys(d.Phases) {
+		wall := ""
+		if w, ok := d.PhaseWallMs[name]; ok {
+			wall = fmt.Sprintf("%.0fms", w)
+		}
+		add("phase", name, d.Phases[name], wall)
+	}
+	lv.Overlay = overlayChart(d.Overlay)
+	return lv
+}
+
+func sortedQKeys(m map[string]latency.Quantiles) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// overlayChart draws the clean and corrected decode-time histograms on
+// one log-scaled time axis, so the cost of correction reads directly as
+// the horizontal shift between the two distributions.
+func overlayChart(o *scenario.LatencyOverlay) *latChart {
+	if o == nil || (len(o.Clean) == 0 && len(o.Corrected) == 0) {
+		return nil
+	}
+	const (
+		left  = 10
+		plotW = 820
+		plotH = 150
+		axisH = 22
+	)
+	loNs, hiNs := int64(0), int64(0)
+	var maxN int64 = 1
+	for _, series := range [][]latency.BucketCount{o.Clean, o.Corrected} {
+		for _, b := range series {
+			if loNs == 0 || b.LoNs < loNs {
+				loNs = b.LoNs
+			}
+			if b.HiNs > hiNs {
+				hiNs = b.HiNs
+			}
+			if b.N > maxN {
+				maxN = b.N
+			}
+		}
+	}
+	if loNs < 1 {
+		loNs = 1
+	}
+	logLo, logHi := math.Log(float64(loNs)), math.Log(float64(hiNs))
+	if logHi <= logLo {
+		logHi = logLo + 1
+	}
+	xAt := func(ns int64) float64 {
+		if ns < 1 {
+			ns = 1
+		}
+		return left + plotW*(math.Log(float64(ns))-logLo)/(logHi-logLo)
+	}
+	ch := &latChart{Width: left + plotW + 10, Height: plotH + axisH}
+	draw := func(series []latency.BucketCount, label, fill string) {
+		for _, b := range series {
+			x := xAt(b.LoNs)
+			w := xAt(b.HiNs) - x
+			if w < 1 {
+				w = 1
+			}
+			h := float64(plotH-10) * float64(b.N) / float64(maxN)
+			if h < 1 {
+				h = 1
+			}
+			ch.Bars = append(ch.Bars, svgSpan{
+				X: fmt.Sprintf("%.1f", x), Y: fmt.Sprintf("%.1f", float64(plotH)-h),
+				W: fmt.Sprintf("%.1f", w), H: fmt.Sprintf("%.1f", h),
+				Fill: fill,
+				Tip: fmt.Sprintf("%s %s–%s: %d", label,
+					time.Duration(b.LoNs), time.Duration(b.HiNs), b.N),
+			})
+		}
+	}
+	draw(o.Clean, "clean", "#2a9d8f")
+	draw(o.Corrected, "corrected", "#e76f51")
+	// Decade ticks across whatever the data spans.
+	for ns := int64(1); ns <= hiNs; ns *= 10 {
+		if ns < loNs {
+			continue
+		}
+		ch.Texts = append(ch.Texts, svgText{
+			X: fmt.Sprintf("%.1f", xAt(ns)), Y: fmt.Sprintf("%d", plotH+14),
+			Fill: "#777", Text: time.Duration(ns).String(),
+		})
+	}
+	ch.Texts = append(ch.Texts,
+		svgText{X: "14", Y: "14", Fill: "#2a9d8f", Text: "■ clean"},
+		svgText{X: "80", Y: "14", Fill: "#e76f51", Text: "■ corrected"})
+	return ch
+}
+
+// seriesChart turns the recorder window into polyline trends: every
+// windowed latency p99 plus the mean, one line per series, scaled to
+// the window maximum.
+func seriesChart(ticks []telemetry.Tick) *latChart {
+	if len(ticks) < 2 {
+		return nil
+	}
+	keySet := make(map[string]bool)
+	for _, t := range ticks {
+		for k := range t.Values {
+			if strings.HasPrefix(k, "latency.") && strings.HasSuffix(k, ".p99") {
+				keySet[k] = true
+			}
+		}
+	}
+	if len(keySet) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	const (
+		left  = 10
+		plotW = 820
+		plotH = 150
+		axisH = 22
+	)
+	t0, t1 := ticks[0].TimeNs, ticks[len(ticks)-1].TimeNs
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	vmax := 1.0
+	for _, t := range ticks {
+		for _, k := range keys {
+			if v, ok := t.Values[k]; ok && v > vmax {
+				vmax = v
+			}
+		}
+	}
+	palette := []string{"#2a9d8f", "#e76f51", "#264653", "#e9c46a", "#8ab17d", "#6d597a"}
+	ch := &latChart{Width: left + plotW + 10, Height: plotH + axisH}
+	for i, k := range keys {
+		var pts []string
+		for _, t := range ticks {
+			v, ok := t.Values[k]
+			if !ok {
+				continue // no observations that interval: gap, not zero
+			}
+			x := left + float64(plotW)*float64(t.TimeNs-t0)/float64(t1-t0)
+			y := float64(plotH) - float64(plotH-14)*v/vmax
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		if len(pts) < 2 {
+			continue
+		}
+		color := palette[i%len(palette)]
+		ch.Polys = append(ch.Polys, svgPoly{Points: strings.Join(pts, " "), Stroke: color})
+		label := strings.TrimSuffix(strings.TrimPrefix(k, "latency."), ".p99") + " p99"
+		ch.Texts = append(ch.Texts, svgText{
+			X: fmt.Sprintf("%d", 14+i*110), Y: "14", Fill: color, Text: "— " + label,
+		})
+	}
+	if len(ch.Polys) == 0 {
+		return nil
+	}
+	ch.Texts = append(ch.Texts,
+		svgText{X: "14", Y: "30", Fill: "#777",
+			Text: fmt.Sprintf("peak %s", time.Duration(int64(vmax)).Round(time.Microsecond))},
+		svgText{X: fmt.Sprintf("%d", left), Y: fmt.Sprintf("%d", plotH+14), Fill: "#777",
+			Text: fmt.Sprintf("window %s", time.Duration(t1-t0).Round(time.Second))})
+	return ch
+}
+
 func historySection(logger *slog.Logger, path string) *historyTable {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -760,6 +1025,31 @@ svg { background: #fafbfc; border: 1px solid #ddd; }
 {{range .Clients}}<tr><td>{{.Name}}</td><td class="num">{{printf "%.3f" .Fraction}}</td><td>{{.Arrival}}</td><td>{{.Access}}</td><td><code>{{.Faults}}</code></td></tr>
 {{end}}</table>{{end}}
 {{if .Phases}}<p>phases: {{range $i, $p := .Phases}}{{if $i}} &rarr; {{end}}<code>{{$p}}</code>{{end}}</p>{{end}}
+{{end}}
+{{end}}
+
+{{if .Latency}}
+<h2>Latency</h2>
+<p class="muted">decode-path timing from <code>{{.Latency.Origin}}</code> (µs; per outcome class, then per client and phase when the scenario attributes them)</p>
+{{if .Latency.Rows}}<table>
+<tr><th>histogram</th><th class="num">n</th><th class="num">mean</th><th class="num">p50</th><th class="num">p90</th><th class="num">p99</th><th class="num">p99.9</th><th class="num">max</th><th class="num">wall</th></tr>
+{{range .Latency.Rows}}<tr><td>{{if .Kind}}{{.Kind}} {{end}}<code>{{.Name}}</code></td><td class="num">{{.N}}</td><td class="num">{{.Mean}}</td><td class="num">{{.P50}}</td><td class="num">{{.P90}}</td><td class="num">{{.P99}}</td><td class="num">{{.P999}}</td><td class="num">{{.Max}}</td><td class="num">{{.Wall}}</td></tr>
+{{end}}</table>{{end}}
+
+{{if .Latency.Overlay}}
+<h3>Clean vs corrected decode time <span class="muted">(log time axis; bucket height = share of observations)</span></h3>
+<svg width="{{.Latency.Overlay.Width}}" height="{{.Latency.Overlay.Height}}" xmlns="http://www.w3.org/2000/svg">
+{{range .Latency.Overlay.Bars}}<rect x="{{.X}}" y="{{.Y}}" width="{{.W}}" height="{{.H}}" fill="{{.Fill}}" fill-opacity="0.55"><title>{{.Tip}}</title></rect>
+{{end}}{{range .Latency.Overlay.Texts}}<text x="{{.X}}" y="{{.Y}}" font-size="11" fill="{{.Fill}}">{{.Text}}</text>
+{{end}}</svg>
+{{end}}
+
+{{if .Latency.Series}}
+<h3>Latency over time <span class="muted">({{.Latency.SeriesNote}}; windowed p99 per interval)</span></h3>
+<svg width="{{.Latency.Series.Width}}" height="{{.Latency.Series.Height}}" xmlns="http://www.w3.org/2000/svg">
+{{range .Latency.Series.Polys}}<polyline points="{{.Points}}" fill="none" stroke="{{.Stroke}}" stroke-width="1.5"/>
+{{end}}{{range .Latency.Series.Texts}}<text x="{{.X}}" y="{{.Y}}" font-size="11" fill="{{.Fill}}">{{.Text}}</text>
+{{end}}</svg>
 {{end}}
 {{end}}
 

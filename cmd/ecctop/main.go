@@ -23,6 +23,21 @@
 // address, or the tool died). `make health-smoke` uses exactly that to
 // assert a storm soak pages.
 //
+// -wait-for also accepts latency conditions against the /latency
+// endpoint of a tool running with -latency: `corrected.count>100`
+// blocks until the corrected-decode histogram has seen 100
+// observations, `clean.p99<250us` until the clean-decode p99 drops
+// under 250µs. The form is <name>.<field><op><value> where name is an
+// op class (clean, corrected, uncorrectable, encode) or any client or
+// phase name, field is count, mean, p50, p90, p99, p999, or max, op is
+// < or >, and value is a count or a Go duration. `make latency-smoke`
+// uses the count form as its handshake.
+//
+// When the polled tool serves /latency, every dashboard frame gains a
+// latency panel: live percentiles per decode-outcome class (and per
+// client/phase when a scenario attributes them), with p99 sparklines
+// drawn from the /timeseries window when the recorder is on.
+//
 // When the polled tool runs the adaptive memory controller (`faultinject
 // -memctl`, examples/scrubber -journal), its /memctl endpoint feeds an
 // extra panel: scrub escalation level, decided fault-model trial order,
@@ -35,13 +50,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"polyecc/internal/health"
+	"polyecc/internal/latency"
 	"polyecc/internal/memctl"
 	"polyecc/internal/telemetry"
 )
@@ -85,12 +103,23 @@ func main() {
 	}
 	url := "http://" + target + "/regions"
 	memctlURL := "http://" + target + "/memctl"
+	latURL := "http://" + target + "/latency"
+	tsURL := "http://" + target + "/timeseries"
 
 	deadline := time.Time{}
 	if *wait > 0 {
 		deadline = time.Now().Add(*wait)
 	}
 	want := strings.ToLower(*waitFor)
+	if want != "" && want != "ok" && want != "warn" && want != "page" {
+		cond, err := parseLatCond(want)
+		if err != nil {
+			telemetry.Fatal(logger, "bad -wait-for (not a status or latency condition)",
+				"arg", *waitFor, "err", err)
+		}
+		waitLatency(logger, latURL, tsURL, cond, deadline, *interval, *wait)
+		return
+	}
 	lastStatus := "" // newest successfully observed status
 	var lastErr error
 	for {
@@ -109,6 +138,9 @@ func main() {
 				fmt.Print(render(s, *top))
 				if ms := fetchMemctl(memctlURL); ms != nil {
 					fmt.Print(renderMemctl(ms))
+				}
+				if lp := fetchLatency(latURL); lp != nil {
+					fmt.Print(renderLatency(lp, fetchTimeseries(tsURL)))
 				}
 			}
 			if want != "" && lastStatus == want {
@@ -175,6 +207,229 @@ func fetch(url string) (*health.Snapshot, error) {
 		return nil, fmt.Errorf("ecctop: parse %s: %w", url, err)
 	}
 	return &s, nil
+}
+
+// fetchLatency pulls /latency from a tool running with -latency. Tools
+// without the collector don't mount it — errors mean no panel.
+func fetchLatency(url string) *latency.Payload {
+	var p latency.Payload
+	if !fetchJSON(url, &p) || len(p.Ops) == 0 {
+		return nil
+	}
+	return &p
+}
+
+// fetchTimeseries pulls the recorder window for sparkline trends.
+func fetchTimeseries(url string) *telemetry.TimeseriesPayload {
+	var p telemetry.TimeseriesPayload
+	if !fetchJSON(url, &p) || len(p.Ticks) == 0 {
+		return nil
+	}
+	return &p
+}
+
+func fetchJSON(url string, into any) bool {
+	c := http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return false
+	}
+	return json.Unmarshal(buf, into) == nil
+}
+
+// latCond is one parsed -wait-for latency condition:
+// <name>.<field><op><value>, e.g. corrected.count>100 or clean.p99<250us.
+type latCond struct {
+	raw    string
+	name   string // op class, client, or phase name
+	field  string // count, mean, p50, p90, p99, p999, max
+	less   bool   // true for <, false for >
+	thresh float64
+}
+
+func parseLatCond(s string) (*latCond, error) {
+	op := strings.IndexAny(s, "<>")
+	if op < 0 {
+		return nil, fmt.Errorf("no < or > comparator in %q", s)
+	}
+	dot := strings.LastIndex(s[:op], ".")
+	if dot <= 0 {
+		return nil, fmt.Errorf("want <name>.<field><op><value>, got %q", s)
+	}
+	c := &latCond{raw: s, name: s[:dot], field: s[dot+1 : op], less: s[op] == '<'}
+	switch c.field {
+	case "count", "mean", "p50", "p90", "p99", "p999", "max":
+	default:
+		return nil, fmt.Errorf("unknown field %q (count, mean, p50, p90, p99, p999, max)", c.field)
+	}
+	val := s[op+1:]
+	if c.field == "count" {
+		n, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("count threshold %q: %w", val, err)
+		}
+		c.thresh = n
+	} else {
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return nil, fmt.Errorf("duration threshold %q: %w", val, err)
+		}
+		c.thresh = float64(d.Nanoseconds())
+	}
+	return c, nil
+}
+
+// met evaluates the condition against one /latency payload, returning
+// whether it holds and a human description of the observed value.
+func (c *latCond) met(p *latency.Payload) (bool, string) {
+	q, ok := p.Ops[c.name]
+	if !ok {
+		q, ok = p.Clients[c.name]
+	}
+	if !ok {
+		q, ok = p.Phases[c.name]
+	}
+	if !ok {
+		return false, fmt.Sprintf("%s: no such histogram yet", c.name)
+	}
+	var v float64
+	switch c.field {
+	case "count":
+		v = float64(q.Count)
+	case "mean":
+		v = q.MeanNs
+	case "p50":
+		v = q.P50
+	case "p90":
+		v = q.P90
+	case "p99":
+		v = q.P99
+	case "p999":
+		v = q.P999
+	case "max":
+		v = float64(q.MaxNs)
+	}
+	observed := fmt.Sprintf("%s.%s=%v", c.name, c.field, v)
+	if c.field != "count" {
+		observed = fmt.Sprintf("%s.%s=%s", c.name, c.field, time.Duration(v))
+	}
+	if c.less {
+		// A quantile condition on an empty histogram is vacuously 0 < x;
+		// require at least one observation so scripts don't race startup.
+		return q.Count > 0 && v < c.thresh, observed
+	}
+	return v > c.thresh, observed
+}
+
+// waitLatency is the -wait-for loop for latency conditions, with the
+// same exit discipline as the status wait: 0 on match, 1 on timeout
+// with the last observed value, 2 when /latency never answered.
+func waitLatency(logger *slog.Logger, latURL, tsURL string, cond *latCond,
+	deadline time.Time, interval, wait time.Duration) {
+	last := ""
+	for {
+		if p := fetchLatency(latURL); p != nil {
+			met, observed := cond.met(p)
+			last = observed
+			if met {
+				fmt.Print(renderLatency(p, fetchTimeseries(tsURL)))
+				return
+			}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			if last == "" {
+				logger.Error("latency endpoint unreachable", "url", latURL, "waited", wait)
+				os.Exit(2)
+			}
+			telemetry.Fatal(logger, "latency condition never met",
+				"want", cond.raw, "last-observed", last, "waited", wait)
+		}
+		time.Sleep(interval)
+	}
+}
+
+// renderLatency draws the live latency panel: percentiles per
+// decode-outcome class, then per client and phase when a scenario
+// attributes them, with p99 sparklines from the recorder window.
+func renderLatency(p *latency.Payload, ts *telemetry.TimeseriesPayload) string {
+	var b strings.Builder
+	b.WriteString("\nDecode latency (µs)\n")
+	fmt.Fprintf(&b, "  %-22s %9s %9s %9s %9s %9s %9s  %s\n",
+		"", "n", "p50", "p90", "p99", "p99.9", "max", "trend(p99)")
+	row := func(kind, name string, q latency.Quantiles) {
+		if q.Count == 0 {
+			return
+		}
+		label := name
+		if kind != "" {
+			label = kind + " " + name
+		}
+		fmt.Fprintf(&b, "  %-22s %9d %9.1f %9.1f %9.1f %9.1f %9.1f  %s\n",
+			label, q.Count, q.P50/1e3, q.P90/1e3, q.P99/1e3, q.P999/1e3,
+			float64(q.MaxNs)/1e3, spark(ts, "latency."+name+".p99"))
+	}
+	for _, cls := range []string{"clean", "corrected", "uncorrectable", "encode"} {
+		row("", cls, p.Ops[cls])
+	}
+	for _, name := range sortedKeys(p.Clients) {
+		row("client", name, p.Clients[name])
+	}
+	for _, name := range sortedKeys(p.Phases) {
+		row("phase", name, p.Phases[name])
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]latency.Quantiles) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// spark draws the last 24 recorder ticks of one field as a unicode
+// sparkline, scaled to the window maximum. Ticks where the field is
+// absent (no observations that interval) draw as gaps.
+func spark(ts *telemetry.TimeseriesPayload, key string) string {
+	if ts == nil {
+		return ""
+	}
+	ticks := ts.Ticks
+	if len(ticks) > 24 {
+		ticks = ticks[len(ticks)-24:]
+	}
+	vals := make([]float64, len(ticks))
+	present := make([]bool, len(ticks))
+	max, any := 0.0, false
+	for i, t := range ticks {
+		if v, ok := t.Values[key]; ok {
+			vals[i], present[i], any = v, true, true
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if !any || max <= 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	out := make([]rune, len(ticks))
+	for i := range ticks {
+		if !present[i] {
+			out[i] = ' '
+			continue
+		}
+		idx := int(vals[i] / max * float64(len(ramp)-1))
+		out[i] = ramp[idx]
+	}
+	return string(out)
 }
 
 // fetchMemctl pulls the controller state of a tool running the adaptive

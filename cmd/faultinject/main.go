@@ -93,6 +93,7 @@ import (
 	"polyecc/internal/campaign"
 	"polyecc/internal/exp"
 	"polyecc/internal/health"
+	"polyecc/internal/latency"
 	"polyecc/internal/linecode"
 	"polyecc/internal/memctl"
 	"polyecc/internal/scenario"
@@ -129,6 +130,10 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile, taken after the campaign, to this file")
 	healthSnap := flag.String("health-snapshot", "", "write the health engine's final snapshot (regions, signatures, SLOs, alerts) as JSON to this file")
 	serveAfter := flag.Duration("serve-after", 0, "keep the observability server (and health engine) up this long after the campaign finishes")
+	latencyOn := flag.Bool("latency", false, "time every decode and encode (zero-alloc log-linear histograms): per-outcome/per-client/per-phase percentiles in the output and summary, latency.* at /debug/vars and /metrics, live digests at /latency")
+	timeseries := flag.String("timeseries", "", "persist the telemetry recorder's cadence samples (counters, windowed latency percentiles, health vitals) to this JSONL file; implies -latency and is served live at /timeseries")
+	tsInterval := flag.Duration("timeseries-interval", time.Second, "telemetry recorder sampling cadence")
+	tsCap := flag.Int("timeseries-cap", 0, "recorder ring capacity in ticks (default 512; oldest ticks drop from /timeseries but stay in the -timeseries file)")
 	var obs telemetry.CLIFlags
 	obs.Register(flag.CommandLine)
 	obs.RegisterJournal(flag.CommandLine)
@@ -207,6 +212,30 @@ func main() {
 		defer stopEngine()
 		obs.Vitals = engine
 	}
+
+	// The latency observatory: a zero-alloc collector on the decode path
+	// plus the windowed time-series recorder, both mounted on the
+	// observability server before it starts so /latency and /timeseries
+	// answer from the first request. A latency stanza in the spec enables
+	// the collector too, so spec-driven runs get the same surfaces.
+	var latColl *latency.Collector
+	var rec *telemetry.Recorder
+	if *latencyOn || *timeseries != "" || (s.Latency != nil && s.Latency.Enabled) {
+		latColl = latency.NewCollector()
+		latColl.Publish("latency")
+		rec = telemetry.NewRecorder(*tsInterval, *tsCap)
+		rec.Latency("latency.clean", latColl.Op(latency.OpDecodeClean))
+		rec.Latency("latency.corrected", latColl.Op(latency.OpDecodeCorrected))
+		rec.Latency("latency.uncorrectable", latColl.Op(latency.OpDecodeUncorrectable))
+		rec.Latency("latency.encode", latColl.Op(latency.OpEncode))
+		rec.Counter("campaign.completed", &scenario.Campaign().Runner.Completed)
+		if engine != nil {
+			rec.Source("health", engine.Sample)
+		}
+		obs.Extra = append(obs.Extra,
+			telemetry.Endpoint{Path: "/latency", Payload: func() any { return latColl.Payload() }},
+			telemetry.Endpoint{Path: "/timeseries", Payload: func() any { return rec.Payload() }})
+	}
 	logger := obs.Init("faultinject")
 
 	// The manifest binds every artifact this run writes — checkpoint,
@@ -219,6 +248,20 @@ func main() {
 	// scenario feeds them.
 	decodeMetrics := telemetry.NewDecodeMetrics()
 	decodeMetrics.Publish("decode")
+	if rec != nil {
+		rec.Counter("decode.clean", &decodeMetrics.Clean)
+		rec.Counter("decode.corrected", &decodeMetrics.Corrected)
+		rec.Counter("decode.uncorrectable", &decodeMetrics.Uncorrectable)
+		if *timeseries != "" {
+			// The recorder file is manifest-stamped and resumable the way
+			// campaign checkpoints are: an existing file's tail reloads
+			// into the ring and new ticks append after it.
+			if err := rec.Persist(*timeseries, manifest); err != nil {
+				telemetry.Fatal(logger, "open timeseries file", "path", *timeseries, "err", err)
+			}
+		}
+		rec.Start()
+	}
 
 	opts := exp.CampaignOpts{
 		Workers:         *workers,
@@ -228,6 +271,7 @@ func main() {
 		Journal:         obs.Journal,
 		Manifest:        manifest,
 		Metrics:         decodeMetrics,
+		Latency:         latColl,
 		Controller:      ctl,
 	}
 	if *resume && *ckpt == "" {
@@ -336,10 +380,11 @@ func main() {
 		scenSum := s.Summarize()
 		scenSum.Preset = presetName
 		doc := struct {
-			Manifest *telemetry.Manifest `json:"manifest"`
-			Scenario *scenario.Summary   `json:"scenario"`
-			Result   campaign.Result     `json:"result"`
-		}{manifest, scenSum, run}
+			Manifest *telemetry.Manifest     `json:"manifest"`
+			Scenario *scenario.Summary       `json:"scenario"`
+			Result   campaign.Result         `json:"result"`
+			Latency  *scenario.LatencyDigest `json:"latency,omitempty"`
+		}{manifest, scenSum, run, res.Latency}
 		buf, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			telemetry.Fatal(logger, "marshal summary", "err", err)
@@ -393,6 +438,10 @@ func main() {
 		case <-time.After(*serveAfter):
 		}
 	}
+	// The recorder outlives the campaign so /timeseries keeps ticking
+	// through -serve-after; Stop takes the final sample and closes the
+	// -timeseries sink.
+	rec.Stop()
 }
 
 // resolveSpec picks the scenario to run: an explicit spec file, a
@@ -451,7 +500,7 @@ func resolveSpec(specPath, replayPath, scenarioName string, fig int, polySoak, s
 // scenario renderer.
 func renderText(presetName string, s *scenario.Spec, res *scenario.Result) string {
 	if res.Seq != nil && s.Memctl != nil && s.Memctl.Enabled {
-		return exp.RenderMemctlSoak(*res.Seq)
+		return exp.RenderMemctlSoak(*res.Seq) + res.RenderLatency()
 	}
 	switch presetName {
 	case "figure4":
@@ -459,7 +508,7 @@ func renderText(presetName string, s *scenario.Spec, res *scenario.Result) strin
 	case "figure5":
 		return exp.RenderFigure5(res.InferenceResults())
 	case "polysoak":
-		return exp.RenderPolySoak(res.Decode())
+		return exp.RenderPolySoak(res.Decode()) + res.RenderLatency()
 	}
 	return res.Render()
 }

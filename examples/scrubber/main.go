@@ -14,7 +14,10 @@
 //
 // The scrubber is also the deployment-shaped telemetry demo: a
 // DecodeMetrics collector rides the decode path and is published at
-// /debug/vars (with /debug/pprof alongside) when -metrics-addr is set.
+// /debug/vars (with /debug/pprof alongside) when -metrics-addr is set,
+// and a striped latency collector times every patrol decode — live
+// per-outcome-class percentiles at /latency, a clean-vs-corrected
+// summary at exit.
 // With -journal the patrol additionally runs under the adaptive memory
 // controller (internal/memctl): every scrub finding streams into the
 // controller's embedded health engine (per-region heatmaps, SLO burn
@@ -39,6 +42,7 @@ import (
 	"polyecc"
 	"polyecc/internal/dram"
 	"polyecc/internal/health"
+	"polyecc/internal/latency"
 	"polyecc/internal/memctl"
 	"polyecc/internal/scrub"
 	"polyecc/internal/telemetry"
@@ -81,6 +85,11 @@ func main() {
 		obs.Vitals = ctl
 		obs.Extra = append(obs.Extra, telemetry.Endpoint{Path: "/memctl", Payload: ctl.Payload})
 	}
+	// The patrol's decode timings ride a striped latency collector:
+	// per-outcome-class percentiles live at /latency next to /debug/vars.
+	lcoll := latency.NewCollector()
+	lcoll.Publish("latency")
+	obs.Extra = append(obs.Extra, telemetry.Endpoint{Path: "/latency", Payload: func() any { return lcoll.Payload() }})
 	logger := obs.Init("scrubber")
 
 	metrics := polyecc.NewDecodeMetrics()
@@ -110,6 +119,7 @@ func main() {
 	stuckPinFrom := *sweeps / 2
 	policy := scrub.DefaultPolicy()
 	policy.Journal = obs.Journal
+	policy.Latency = lcoll.Probe()
 	// Close the loop: the controller owns the patrol cadence, shortening
 	// the pause whenever a fault signature escalates the scrub level.
 	// Only when a real pause exists — the back-to-back default stays.
@@ -179,6 +189,10 @@ func main() {
 	}
 	fmt.Printf("\ntelemetry: decode latency samples=%d, correction-trial histogram %s\n",
 		metrics.Latency.Count(), metrics.Iterations.String())
+	cq := lcoll.Op(latency.OpDecodeClean).Quantiles()
+	xq := lcoll.Op(latency.OpDecodeCorrected).Quantiles()
+	fmt.Printf("patrol decode latency (µs): clean p50=%.1f p99=%.1f (n=%d), corrected p50=%.1f p99=%.1f (n=%d)\n",
+		cq.P50/1e3, cq.P99/1e3, cq.Count, xq.P50/1e3, xq.P99/1e3, xq.Count)
 	if sdc > 0 {
 		telemetry.Fatal(logger, "silent corruption", "lines", sdc)
 	}

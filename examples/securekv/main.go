@@ -14,6 +14,10 @@
 // cell and served from the mirror copy (the replica a real host would
 // keep), and the journaled action log shows the decision trail.
 //
+// A latency probe on the store's codec times every encode and decode,
+// so the run ends with the co-design's latency bill: clean reads vs
+// reads that paid for a correction.
+//
 //	go run ./examples/securekv
 package main
 
@@ -24,6 +28,7 @@ import (
 
 	"polyecc"
 	"polyecc/internal/aes"
+	"polyecc/internal/latency"
 	"polyecc/internal/memctl"
 	"polyecc/internal/telemetry"
 )
@@ -53,6 +58,7 @@ type store struct {
 	journal *telemetry.Journal
 	sub     *telemetry.Subscription
 	ctl     *memctl.Controller
+	lat     *latency.Collector
 	nowNs   int64
 	fenced  int // reads served from the mirror instead of the hammered cell
 }
@@ -60,8 +66,11 @@ type store struct {
 func newStore() *store {
 	key := [16]byte{1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144 & 0xff, 233 & 0xff, 121, 98, 219}
 	j := telemetry.NewJournal(512)
+	lat := latency.NewCollector()
 	s := &store{
-		code:    polyecc.MustNew(polyecc.ConfigM2005(), polyecc.NewSipHashMAC(key, 40)),
+		code: polyecc.MustNew(polyecc.ConfigM2005(), polyecc.NewSipHashMAC(key, 40)).
+			WithLatency(lat.Probe()),
+		lat:     lat,
 		mem:     aes.MustNewMemory(key[:], append([]byte{0xA5}, key[1:]...)),
 		data:    make(map[string]record),
 		journal: j,
@@ -234,5 +243,15 @@ func main() {
 	fmt.Println("\nself-healing action log:")
 	for _, a := range s.ctl.Actions() {
 		fmt.Printf("  #%d %-10s %-8s %s\n", a.Seq, a.Kind, a.Target(), a.Evidence)
+	}
+
+	// The co-design's latency bill, straight from the probe on the store's
+	// codec: what encryption+ECC reads cost clean vs under attack.
+	fmt.Println("\ndecode latency (µs):")
+	for _, op := range []latency.Op{latency.OpEncode, latency.OpDecodeClean, latency.OpDecodeCorrected, latency.OpDecodeUncorrectable} {
+		if q := s.lat.Op(op).Quantiles(); q.Count > 0 {
+			fmt.Printf("  %-13s n=%-4d p50=%-7.1f p99=%-7.1f max=%.1f\n",
+				op, q.Count, q.P50/1e3, q.P99/1e3, float64(q.MaxNs)/1e3)
+		}
 	}
 }

@@ -692,3 +692,19 @@ func (e *Engine) VitalSigns() (string, any) {
 // RegionsPayload implements telemetry.Vitals: the full snapshot,
 // heatmap included, for /regions.
 func (e *Engine) RegionsPayload() any { return e.Snapshot() }
+
+// Sample emits the engine's scalar vitals in the shape
+// telemetry.Recorder.Source consumes, so health state trends alongside
+// counters and latency percentiles on the /timeseries ring: overall
+// status (0=ok 1=warn 2=page), event totals, region pressure, and the
+// fast-window rate per error class.
+func (e *Engine) Sample(put func(field string, v float64)) {
+	snap := e.Snapshot()
+	put("status", float64(snap.Status))
+	put("events", float64(snap.Events))
+	put("regions", float64(snap.RegionsTotal))
+	put("alerts", float64(len(snap.Alerts)))
+	for class, st := range snap.Classes {
+		put("rate."+class, st.RateFast)
+	}
+}

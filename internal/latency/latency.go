@@ -1,0 +1,525 @@
+// Package latency is the zero-allocation operation-timing substrate:
+// a striped, lock-free, log-linear (HDR-style) histogram of nanosecond
+// durations with quantile estimation, shaped for the decode hot path.
+//
+// The layout trades a fixed 8 KiB of memory per stripe for allocation-
+// free recording and bounded relative error. Values 0..63 ns land in
+// unit-width buckets (index == value); above that each power-of-two
+// octave is split into 32 sub-buckets, so a bucket's width is at most
+// 1/32 of its lower bound (~3.1% worst-case, ~1.6% at the midpoint).
+// With 32 sub-buckets per octave and a clamp at 2^36 ns (~68.7 s) the
+// table is exactly 1024 buckets.
+//
+// Concurrency follows the scratch-buffer pattern used elsewhere in the
+// repo: contention is eliminated structurally, not with clever atomics.
+// A Hist never takes a lock on the record path — instead each worker
+// mints its own *Stripe handle (Hist.Handle, Collector.Probe) at setup
+// time and observes into it with plain uncontended atomic adds.
+// Snapshot merges all stripes into a caller-provided Snapshot value, so
+// Observe, Snapshot, Merge, and Quantile are all 0 allocs/op.
+package latency
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Bucket geometry. subBits picks the resolution: 2^subBits sub-buckets
+// per octave. maxExp is the clamp: durations of 2^maxExp ns or more
+// land in the last bucket.
+const (
+	subBits    = 5
+	subCount   = 1 << subBits // 32 sub-buckets per octave
+	maxExp     = 36           // clamp at 2^36 ns ≈ 68.7 s
+	NumBuckets = 1024         // (maxExp - subBits) * subCount + 2*subCount
+)
+
+// bucketIndex maps a non-negative nanosecond value to its bucket. The
+// linear range covers 0..63 (index == value); above that the index is
+// group*32 + sub where group counts octaves past 32 and sub is the top
+// five bits below the leading one.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < 2*subCount { // 0..63: unit buckets, index == value
+		return int(u)
+	}
+	top := bits.Len64(u) - 1 // >= 6
+	g := top - subBits + 1
+	sub := int(u>>(top-subBits)) - subCount
+	i := g<<subBits + sub
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns the inclusive [lo, hi] nanosecond range of bucket
+// i. Buckets tile the axis exactly: hi(i)+1 == lo(i+1).
+func BucketBound(i int) (lo, hi int64) {
+	if i < 2*subCount {
+		return int64(i), int64(i)
+	}
+	g := i >> subBits
+	sub := i & (subCount - 1)
+	shift := uint(g - 1)
+	lo = int64(subCount+sub) << shift
+	hi = lo + (int64(1) << shift) - 1
+	return lo, hi
+}
+
+// Stripe is one worker's private recording handle: a fixed bucket array
+// updated with uncontended atomic adds. Mint one per goroutine with
+// Hist.Handle (or Collector.Probe) and never share it across workers.
+// A nil Stripe discards observations.
+type Stripe struct {
+	sum     atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// Observe records one duration. 0 allocs, two atomic adds.
+func (s *Stripe) Observe(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.buckets[bucketIndex(int64(d))].Add(1)
+	s.sum.Add(int64(d))
+}
+
+// Hist is a striped histogram. The zero value is NOT ready; use New.
+// Recording goes through per-worker Stripe handles; the Hist itself
+// only owns the stripe list and merges them on Snapshot.
+type Hist struct {
+	mu      sync.Mutex
+	stripes []*Stripe
+}
+
+// New returns an empty histogram with one default stripe (so
+// Hist.Observe works without minting a handle first).
+func New() *Hist {
+	h := &Hist{}
+	h.stripes = append(h.stripes, &Stripe{})
+	return h
+}
+
+// Handle mints a fresh private stripe for one worker. Handles are cheap
+// relative to worker lifetime (8 KiB each) but not per-operation —
+// mint at setup, observe forever.
+func (h *Hist) Handle() *Stripe {
+	if h == nil {
+		return nil
+	}
+	s := &Stripe{}
+	h.mu.Lock()
+	h.stripes = append(h.stripes, s)
+	h.mu.Unlock()
+	return s
+}
+
+// Observe records into the default stripe. Correct from any goroutine,
+// but concurrent writers contend on the shared cachelines — hot
+// multi-worker paths should mint Handles instead.
+func (h *Hist) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.stripes[0].Observe(d)
+}
+
+// Snapshot is a merged, immutable view of a histogram. The zero value
+// is an empty snapshot ready for Hist.Snapshot or Merge.
+type Snapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [NumBuckets]int64
+}
+
+// Snapshot merges every stripe into dst, replacing its contents.
+// 0 allocs/op: the caller owns dst and may reuse it across calls.
+func (h *Hist) Snapshot(dst *Snapshot) {
+	*dst = Snapshot{}
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	stripes := h.stripes
+	h.mu.Unlock()
+	for _, s := range stripes {
+		dst.Sum += s.sum.Load()
+		for i := range s.buckets {
+			if n := s.buckets[i].Load(); n != 0 {
+				dst.Buckets[i] += n
+				dst.Count += n
+			}
+		}
+	}
+}
+
+// Merge adds other's counts into s.
+func (s *Snapshot) Merge(other *Snapshot) {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// Sub subtracts prev from s in place, turning two cumulative snapshots
+// into a windowed one — the recorder uses this for per-tick quantiles.
+func (s *Snapshot) Sub(prev *Snapshot) {
+	s.Count -= prev.Count
+	s.Sum -= prev.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] -= prev.Buckets[i]
+	}
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) in nanoseconds by
+// walking the buckets and interpolating linearly inside the target
+// bucket. 0 allocs/op.
+func (s *Snapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		n := s.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		if float64(cum)+float64(n) >= rank {
+			lo, hi := BucketBound(i)
+			frac := (rank - float64(cum)) / float64(n)
+			return float64(lo) + frac*float64(hi-lo+1)
+		}
+		cum += n
+	}
+	_, hi := BucketBound(NumBuckets - 1)
+	return float64(hi)
+}
+
+// Mean returns the exact mean in nanoseconds (the sum is tracked
+// outside the buckets, so the mean carries no bucketing error).
+func (s *Snapshot) Mean() float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Max returns the upper bound of the highest non-empty bucket — an
+// overestimate by at most the bucket width (~3.1%).
+func (s *Snapshot) Max() int64 {
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			_, hi := BucketBound(i)
+			return hi
+		}
+	}
+	return 0
+}
+
+// Quantiles is the serialized percentile digest every surface shares:
+// /latency payloads, run summaries, ecctop panels, eccreport tables.
+type Quantiles struct {
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50    float64 `json:"p50_ns"`
+	P90    float64 `json:"p90_ns"`
+	P99    float64 `json:"p99_ns"`
+	P999   float64 `json:"p999_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// Quantiles digests the snapshot into the standard percentile set.
+func (s *Snapshot) Quantiles() Quantiles {
+	return Quantiles{
+		Count:  s.Count,
+		MeanNs: s.Mean(),
+		P50:    s.Quantile(0.50),
+		P90:    s.Quantile(0.90),
+		P99:    s.Quantile(0.99),
+		P999:   s.Quantile(0.999),
+		MaxNs:  s.Max(),
+	}
+}
+
+// BucketCount is one non-empty histogram bucket: its inclusive
+// nanosecond range and the observation count. The slice form is the
+// raw material of distribution charts (eccreport's clean-vs-corrected
+// overlay) and stays small because empty buckets are omitted.
+type BucketCount struct {
+	LoNs int64 `json:"lo_ns"`
+	HiNs int64 `json:"hi_ns"`
+	N    int64 `json:"n"`
+}
+
+// NonEmptyBuckets dumps the snapshot's occupied buckets in order.
+func (s *Snapshot) NonEmptyBuckets() []BucketCount {
+	var out []BucketCount
+	for i := 0; i < NumBuckets; i++ {
+		if n := s.Buckets[i]; n != 0 {
+			lo, hi := BucketBound(i)
+			out = append(out, BucketCount{LoNs: lo, HiNs: hi, N: n})
+		}
+	}
+	return out
+}
+
+// Quantiles snapshots the histogram and digests it in one call.
+func (h *Hist) Quantiles() Quantiles {
+	var s Snapshot
+	h.Snapshot(&s)
+	return s.Quantiles()
+}
+
+// String renders the percentile digest as JSON, making *Hist an
+// expvar.Var so Collector.Publish can register histograms directly.
+func (h *Hist) String() string {
+	b, err := json.Marshal(h.Quantiles())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Op classifies a timed operation. The decode classes mirror
+// poly.Status so per-outcome latency distributions fall out of the
+// decoder's own report.
+type Op uint8
+
+const (
+	OpEncode Op = iota
+	OpDecodeClean
+	OpDecodeCorrected
+	OpDecodeUncorrectable
+	NumOps
+)
+
+var opNames = [NumOps]string{"encode", "clean", "corrected", "uncorrectable"}
+
+// String returns the stable label used in expvar names, payload keys,
+// and Prometheus series.
+func (op Op) String() string {
+	if op < NumOps {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op-%d", uint8(op))
+}
+
+// Probe is one worker's recording handle across all operation classes —
+// the value that attaches to poly.Config.Latency. A nil Probe is the
+// disabled state and costs one pointer test. Probes must not be shared
+// across goroutines; Fork mints a sibling for another worker of the
+// same collector.
+type Probe struct {
+	coll *Collector
+	ops  [NumOps]*Stripe
+}
+
+// Observe records a duration under one operation class. 0 allocs/op.
+func (p *Probe) Observe(op Op, d time.Duration) {
+	if p == nil || op >= NumOps {
+		return
+	}
+	p.ops[op].Observe(d)
+}
+
+// Fork mints a fresh probe over the same collector, for handing each
+// worker goroutine its own uncontended stripes. Fork of nil is nil, so
+// instrumentation stays zero-cost when disabled.
+func (p *Probe) Fork() *Probe {
+	if p == nil {
+		return nil
+	}
+	return p.coll.Probe()
+}
+
+// Collector is the run-level container: one histogram per operation
+// class plus named per-client and per-phase histograms, created on
+// demand. It is the unit a driver creates once, publishes, and serves
+// at /latency.
+type Collector struct {
+	ops [NumOps]*Hist
+
+	mu      sync.Mutex
+	prefix  string // non-empty once Publish ran; late hists self-register
+	clients map[string]*Hist
+	phases  map[string]*Hist
+}
+
+// NewCollector returns an empty collector with all operation-class
+// histograms allocated.
+func NewCollector() *Collector {
+	c := &Collector{clients: map[string]*Hist{}, phases: map[string]*Hist{}}
+	for i := range c.ops {
+		c.ops[i] = New()
+	}
+	return c
+}
+
+// Probe mints a worker-private probe with fresh stripes on every
+// operation-class histogram.
+func (c *Collector) Probe() *Probe {
+	if c == nil {
+		return nil
+	}
+	p := &Probe{coll: c}
+	for i := range c.ops {
+		p.ops[i] = c.ops[i].Handle()
+	}
+	return p
+}
+
+// Op returns the histogram for one operation class.
+func (c *Collector) Op(op Op) *Hist {
+	if c == nil || op >= NumOps {
+		return nil
+	}
+	return c.ops[op]
+}
+
+// Client returns (creating on first use) the named per-client
+// histogram. Callers mint per-worker Handles from it.
+func (c *Collector) Client(name string) *Hist {
+	if c == nil {
+		return nil
+	}
+	return c.named(&c.clients, "client", name)
+}
+
+// Phase returns (creating on first use) the named per-phase histogram.
+func (c *Collector) Phase(name string) *Hist {
+	if c == nil {
+		return nil
+	}
+	return c.named(&c.phases, "phase", name)
+}
+
+func (c *Collector) named(m *map[string]*Hist, kind, name string) *Hist {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok := (*m)[name]; ok {
+		return h
+	}
+	h := New()
+	(*m)[name] = h
+	if c.prefix != "" {
+		publish(c.prefix+"."+kind+"."+name, h)
+	}
+	return h
+}
+
+// Publish registers every histogram in expvar under prefix.<class>
+// (and prefix.client.<name> / prefix.phase.<name>, including ones
+// created after this call), making them visible at /debug/vars and as
+// latency_* series at /metrics.
+func (c *Collector) Publish(prefix string) {
+	if c == nil {
+		return
+	}
+	for op := Op(0); op < NumOps; op++ {
+		publish(prefix+"."+op.String(), c.ops[op])
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.prefix = prefix
+	for name, h := range c.clients {
+		publish(prefix+".client."+name, h)
+	}
+	for name, h := range c.phases {
+		publish(prefix+".phase."+name, h)
+	}
+}
+
+// publish is an idempotent expvar.Publish, mirroring
+// telemetry.Publish without importing it (telemetry imports latency).
+func publish(name string, v expvar.Var) {
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, v)
+	}
+}
+
+// Payload is the /latency endpoint document.
+type Payload struct {
+	Ops     map[string]Quantiles `json:"ops"`
+	Clients map[string]Quantiles `json:"clients,omitempty"`
+	Phases  map[string]Quantiles `json:"phases,omitempty"`
+}
+
+// Payload digests every histogram into the /latency document. Keys are
+// operation-class names ("encode", "clean", ...), client names, and
+// phase names; all values are the standard percentile set.
+func (c *Collector) Payload() Payload {
+	p := Payload{Ops: map[string]Quantiles{}}
+	if c == nil {
+		return p
+	}
+	var s Snapshot
+	for op := Op(0); op < NumOps; op++ {
+		c.ops[op].Snapshot(&s)
+		p.Ops[op.String()] = s.Quantiles()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.clients) > 0 {
+		p.Clients = map[string]Quantiles{}
+		for name, h := range c.clients {
+			h.Snapshot(&s)
+			p.Clients[name] = s.Quantiles()
+		}
+	}
+	if len(c.phases) > 0 {
+		p.Phases = map[string]Quantiles{}
+		for name, h := range c.phases {
+			h.Snapshot(&s)
+			p.Phases[name] = s.Quantiles()
+		}
+	}
+	return p
+}
+
+// ClientNames returns the sorted set of per-client histogram names.
+func (c *Collector) ClientNames() []string {
+	if c == nil {
+		return nil
+	}
+	return c.names(&c.clients)
+}
+
+// PhaseNames returns the sorted set of per-phase histogram names.
+func (c *Collector) PhaseNames() []string {
+	if c == nil {
+		return nil
+	}
+	return c.names(&c.phases)
+}
+
+func (c *Collector) names(m *map[string]*Hist) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(*m))
+	for name := range *m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

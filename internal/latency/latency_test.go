@@ -1,0 +1,301 @@
+package latency
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The buckets must tile the nanosecond axis exactly: every value maps
+// into a bucket whose [lo, hi] range contains it, and hi(i)+1 == lo(i+1).
+func TestBucketTiling(t *testing.T) {
+	for i := 0; i < NumBuckets-1; i++ {
+		_, hi := BucketBound(i)
+		lo, _ := BucketBound(i + 1)
+		if hi+1 != lo {
+			t.Fatalf("bucket %d hi=%d but bucket %d lo=%d: gap or overlap", i, hi, i+1, lo)
+		}
+	}
+	lo0, _ := BucketBound(0)
+	if lo0 != 0 {
+		t.Fatalf("bucket 0 lo=%d, want 0", lo0)
+	}
+	_, hiLast := BucketBound(NumBuckets - 1)
+	if hiLast != (1<<maxExp)-1 {
+		t.Fatalf("last bucket hi=%d, want 2^%d-1", hiLast, maxExp)
+	}
+}
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	check := func(v int64) {
+		i := bucketIndex(v)
+		lo, hi := BucketBound(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d landed in bucket %d [%d,%d]", v, i, lo, hi)
+		}
+		// Log-linear contract: relative width <= 1/32 above the linear range.
+		if lo >= 2*subCount && hi-lo+1 > lo/subCount {
+			t.Fatalf("bucket %d [%d,%d] wider than lo/%d", i, lo, hi, subCount)
+		}
+	}
+	for v := int64(0); v < 4096; v++ {
+		check(v)
+	}
+	g := rand.New(rand.NewSource(1))
+	for k := 0; k < 100000; k++ {
+		check(g.Int63n((1 << maxExp) - 1))
+	}
+	// Boundary and clamp cases.
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("negative value bucket = %d, want 0", got)
+	}
+	for _, v := range []int64{1 << maxExp, 1<<maxExp + 12345, 1 << 62} {
+		if got := bucketIndex(v); got != NumBuckets-1 {
+			t.Fatalf("bucketIndex(%d) = %d, want clamp to %d", v, got, NumBuckets-1)
+		}
+	}
+}
+
+// Quantile estimates must stay within one bucket width of the true
+// order statistic for an arbitrary recorded population.
+func TestQuantileAccuracyProperty(t *testing.T) {
+	g := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		h := New()
+		n := 200 + g.Intn(2000)
+		vals := make([]int64, n)
+		for i := range vals {
+			// Mixed scales: sub-µs, µs, and ms populations.
+			switch g.Intn(3) {
+			case 0:
+				vals[i] = g.Int63n(1000)
+			case 1:
+				vals[i] = 1000 + g.Int63n(100000)
+			default:
+				vals[i] = 1000000 + g.Int63n(50000000)
+			}
+			h.Observe(time.Duration(vals[i]))
+		}
+		var s Snapshot
+		h.Snapshot(&s)
+		if s.Count != int64(n) {
+			t.Fatalf("count=%d want %d", s.Count, n)
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			est := s.Quantile(q)
+			// True rank value (ceil(q*n), 1-based, matching Quantile's
+			// rank convention), computed by sorting a copy.
+			sorted := append([]int64(nil), vals...)
+			sortInt64(sorted)
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > n {
+				rank = n
+			}
+			truth := sorted[rank-1]
+			i := bucketIndex(truth)
+			lo, hi := BucketBound(i)
+			if est < float64(lo) || est > float64(hi)+1 {
+				t.Fatalf("q=%g est=%g outside truth bucket [%d,%d] (truth=%d)", q, est, lo, hi, truth)
+			}
+		}
+	}
+}
+
+func sortInt64(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Concurrent observers on private stripes plus a racing snapshotter:
+// the final merged count must be exact. Run under -race this is also
+// the data-race proof for the striped design.
+func TestConcurrentObserveSnapshot(t *testing.T) {
+	h := New()
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		stripe := h.Handle()
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			g := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				stripe.Observe(time.Duration(g.Int63n(10_000_000)))
+			}
+		}(int64(w))
+	}
+	done := make(chan struct{})
+	go func() { // racing reader
+		var s Snapshot
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				h.Snapshot(&s)
+				_ = s.Quantile(0.99)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	var s Snapshot
+	h.Snapshot(&s)
+	if s.Count != workers*perWorker {
+		t.Fatalf("merged count=%d want %d", s.Count, workers*perWorker)
+	}
+}
+
+func TestMergeAndSub(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Duration(i * 100))
+		b.Observe(time.Duration(i * 3000))
+	}
+	var sa, sb, merged Snapshot
+	a.Snapshot(&sa)
+	b.Snapshot(&sb)
+	merged.Merge(&sa)
+	merged.Merge(&sb)
+	if merged.Count != sa.Count+sb.Count || merged.Sum != sa.Sum+sb.Sum {
+		t.Fatalf("merge totals wrong: %+v", merged.Quantiles())
+	}
+	merged.Sub(&sb)
+	if merged.Count != sa.Count || merged.Sum != sa.Sum {
+		t.Fatalf("sub did not invert merge")
+	}
+	for i := range merged.Buckets {
+		if merged.Buckets[i] != sa.Buckets[i] {
+			t.Fatalf("bucket %d: sub did not invert merge", i)
+		}
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	var s Snapshot
+	New().Snapshot(&s)
+	q := s.Quantiles()
+	if q.Count != 0 || q.P99 != 0 || q.MeanNs != 0 || q.MaxNs != 0 {
+		t.Fatalf("empty snapshot digest non-zero: %+v", q)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var h *Hist
+	var p *Probe
+	var c *Collector
+	var st *Stripe
+	h.Observe(time.Millisecond) // must not panic
+	st.Observe(time.Millisecond)
+	p.Observe(OpEncode, time.Millisecond)
+	if p.Fork() != nil {
+		t.Fatal("Fork of nil probe must be nil")
+	}
+	if h.Handle() != nil {
+		t.Fatal("Handle of nil hist must be nil")
+	}
+	if c.Op(OpEncode) != nil || c.Client("x") != nil || c.Phase("y") != nil {
+		t.Fatal("nil collector lookups must be nil")
+	}
+	c.Publish("nope")
+	var s Snapshot
+	h.Snapshot(&s)
+	if s.Count != 0 {
+		t.Fatal("nil hist snapshot must be empty")
+	}
+}
+
+func TestCollectorProbeAndPayload(t *testing.T) {
+	c := NewCollector()
+	p1, p2 := c.Probe(), c.Probe()
+	for i := 0; i < 10; i++ {
+		p1.Observe(OpDecodeClean, 500*time.Nanosecond)
+		p2.Observe(OpDecodeClean, 700*time.Nanosecond)
+		p1.Observe(OpDecodeCorrected, 2*time.Microsecond)
+	}
+	c.Client("reader").Handle().Observe(time.Microsecond)
+	c.Phase("storm").Observe(4 * time.Microsecond)
+
+	pl := c.Payload()
+	if pl.Ops["clean"].Count != 20 {
+		t.Fatalf("clean count=%d want 20 (both probes merged)", pl.Ops["clean"].Count)
+	}
+	if pl.Ops["corrected"].Count != 10 || pl.Ops["encode"].Count != 0 {
+		t.Fatalf("op counts wrong: %+v", pl.Ops)
+	}
+	if pl.Clients["reader"].Count != 1 || pl.Phases["storm"].Count != 1 {
+		t.Fatalf("named hist counts wrong: %+v %+v", pl.Clients, pl.Phases)
+	}
+	// Payload must survive a JSON round trip (it is the /latency body).
+	b, err := json.Marshal(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Payload
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Ops["clean"].Count != 20 {
+		t.Fatalf("payload round trip lost counts: %+v", back.Ops)
+	}
+
+	if got := c.ClientNames(); len(got) != 1 || got[0] != "reader" {
+		t.Fatalf("ClientNames=%v", got)
+	}
+	if got := c.PhaseNames(); len(got) != 1 || got[0] != "storm" {
+		t.Fatalf("PhaseNames=%v", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{OpEncode: "encode", OpDecodeClean: "clean",
+		OpDecodeCorrected: "corrected", OpDecodeUncorrectable: "uncorrectable"}
+	for op, name := range want {
+		if op.String() != name {
+			t.Fatalf("Op(%d).String()=%q want %q", op, op.String(), name)
+		}
+	}
+}
+
+// The perf contract the benchsnap gate depends on: Observe, Snapshot,
+// and Quantile must never allocate.
+func TestZeroAllocContract(t *testing.T) {
+	h := New()
+	stripe := h.Handle()
+	p := NewCollector().Probe()
+	var s Snapshot
+	if n := testing.AllocsPerRun(1000, func() { stripe.Observe(123 * time.Nanosecond) }); n != 0 {
+		t.Fatalf("Stripe.Observe allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { p.Observe(OpDecodeClean, 123*time.Nanosecond) }); n != 0 {
+		t.Fatalf("Probe.Observe allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.Snapshot(&s) }); n != 0 {
+		t.Fatalf("Snapshot allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = s.Quantile(0.99) }); n != 0 {
+		t.Fatalf("Quantile allocs/op = %v, want 0", n)
+	}
+	var s2 Snapshot
+	if n := testing.AllocsPerRun(100, func() { s2.Merge(&s) }); n != 0 {
+		t.Fatalf("Merge allocs/op = %v, want 0", n)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	stripe := New().Handle()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stripe.Observe(time.Duration(i))
+	}
+}

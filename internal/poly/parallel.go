@@ -68,13 +68,20 @@ func (p *ParallelDecoder) DecodeAllContext(ctx context.Context, lines []Line) ([
 			// One Scratch per worker goroutine: the whole run decodes
 			// without per-line heap traffic. A nil code keeps a nil
 			// scratch — the decode then panics inside the per-line
-			// recovery instead of killing the worker here.
+			// recovery instead of killing the worker here. A latency
+			// probe is single-goroutine like the Scratch, so each worker
+			// decodes through its own fork (fresh uncontended stripes on
+			// the same shared histograms).
+			code := p.code
 			var s *Scratch
-			if p.code != nil {
-				s = p.code.NewScratch()
+			if code != nil {
+				s = code.NewScratch()
+				if lp := code.Latency(); lp != nil {
+					code = code.WithLatency(lp.Fork())
+				}
 			}
 			for sp := range jobs {
-				p.decodeSpan(sp, lines, results, s)
+				p.decodeSpan(code, sp, lines, results, s)
 			}
 		}()
 	}
@@ -107,14 +114,14 @@ dispatch:
 // the batched DecodeLines path, then rebases the per-batch indices to
 // the full input. A nil code falls back to per-line decodes so each
 // line's panic is still isolated into its own Err.
-func (p *ParallelDecoder) decodeSpan(sp span, lines []Line, results []Result, s *Scratch) {
-	if p.code == nil {
+func (p *ParallelDecoder) decodeSpan(code *Code, sp span, lines []Line, results []Result, s *Scratch) {
+	if code == nil {
 		for i := sp.lo; i < sp.hi; i++ {
-			p.decodeOne(i, lines, results, s)
+			decodeOne(code, i, lines, results, s)
 		}
 		return
 	}
-	out := p.code.DecodeLines(results[sp.lo:sp.lo:sp.hi], lines[sp.lo:sp.hi], s)
+	out := code.DecodeLines(results[sp.lo:sp.lo:sp.hi], lines[sp.lo:sp.hi], s)
 	for i := range out {
 		out[i].Index = sp.lo + i
 	}
@@ -123,12 +130,12 @@ func (p *ParallelDecoder) decodeSpan(sp span, lines []Line, results []Result, s 
 // decodeOne runs a single decode with panic isolation: a panicking
 // decode is recovered into that line's Err instead of crashing the
 // worker (and with it the process sharing this pool).
-func (p *ParallelDecoder) decodeOne(i int, lines []Line, results []Result, s *Scratch) {
+func decodeOne(code *Code, i int, lines []Line, results []Result, s *Scratch) {
 	defer func() {
 		if r := recover(); r != nil {
 			results[i] = Result{Index: i, Err: fmt.Errorf("poly: decode of line %d panicked: %v", i, r)}
 		}
 	}()
-	data, rep := p.code.DecodeLineScratch(lines[i], s)
+	data, rep := code.DecodeLineScratch(lines[i], s)
 	results[i] = Result{Index: i, Data: data, Report: rep}
 }

@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"time"
 
 	"polyecc/internal/dram"
+	"polyecc/internal/latency"
 	"polyecc/internal/mac"
 	"polyecc/internal/residue"
 	"polyecc/internal/telemetry"
@@ -111,6 +113,12 @@ type Config struct {
 	// Trace, when non-nil, observes every correction trial (the
 	// TraceFunc contract). A nil hook adds no work to the decode path.
 	Trace TraceFunc
+	// Latency, when non-nil, receives every encode and decode duration
+	// classified by outcome (clean/corrected/uncorrectable) at 0
+	// allocs/op. A Probe is a single-goroutine handle — concurrent
+	// consumers mint one per worker (latency.Probe.Fork), which
+	// ParallelDecoder does automatically. Nil costs one branch.
+	Latency *latency.Probe
 }
 
 // The paper's DDR5 configurations (Table IV).
@@ -154,6 +162,7 @@ type Code struct {
 	models   []FaultModel
 	metrics  *telemetry.DecodeMetrics
 	trace    TraceFunc
+	latency  *latency.Probe
 
 	hints map[FaultModel]map[uint64][]pairHint
 
@@ -228,6 +237,7 @@ func New(cfg Config, m mac.MAC) (*Code, error) {
 		models:   models,
 		metrics:  cfg.Metrics,
 		trace:    cfg.Trace,
+		latency:  cfg.Latency,
 		hints:    make(map[FaultModel]map[uint64][]pairHint),
 	}
 	for _, fm := range models {
@@ -354,6 +364,16 @@ func (c *Code) EncodeLine(data *[LineBytes]byte) Line {
 // words slice is reused when it has capacity, so steady-state reuse of
 // one Line encodes without heap allocation.
 func (c *Code) EncodeLineInto(dst *Line, data *[LineBytes]byte) {
+	if c.latency == nil {
+		c.encodeLineInto(dst, data)
+		return
+	}
+	start := time.Now()
+	c.encodeLineInto(dst, data)
+	c.latency.Observe(latency.OpEncode, time.Since(start))
+}
+
+func (c *Code) encodeLineInto(dst *Line, data *[LineBytes]byte) {
 	if cap(dst.Words) < c.words {
 		dst.Words = make([]wideint.U192, c.words)
 	}

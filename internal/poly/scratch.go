@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"polyecc/internal/dram"
+	"polyecc/internal/latency"
 	"polyecc/internal/residue"
 	"polyecc/internal/telemetry"
 	"polyecc/internal/wideint"
@@ -141,11 +142,18 @@ func (s *Scratch) setCands(d int, list []correction) { s.cands[d] = list }
 // performs no heap allocation.
 func (c *Code) EncodeLineScratch(data *[LineBytes]byte, s *Scratch) Line {
 	c.checkScratch(s)
+	var start time.Time
+	if c.latency != nil {
+		start = time.Now()
+	}
 	tag := c.mac.Sum(data[:])
 	for w := 0; w < c.words; w++ {
 		d := c.dataField(data, w)
 		slice := tag >> uint(w*c.macBits) & (1<<uint(c.macBits) - 1)
 		s.enc[w] = c.EncodeWord(d, slice)
+	}
+	if c.latency != nil {
+		c.latency.Observe(latency.OpEncode, time.Since(start))
 	}
 	return Line{Words: s.enc}
 }
@@ -177,6 +185,9 @@ func (c *Code) DecodeLineScratch(l Line, s *Scratch) ([LineBytes]byte, Report) {
 	if c.metrics != nil {
 		c.observe(&rep)
 	}
+	if c.latency != nil {
+		c.latency.Observe(decodeOp(rep.Status), rep.Elapsed)
+	}
 	return data, rep
 }
 
@@ -197,6 +208,18 @@ func (c *Code) WithTrace(f TraceFunc) *Code {
 	c2 := *c
 	c2.cfg.Trace = f
 	c2.trace = f
+	return &c2
+}
+
+// WithLatency returns a shallow copy of the Code that records every
+// encode/decode duration into p (nil detaches). Like WithMetrics, the
+// copy shares the hint tables, inverse tables, and scratch pool. The
+// probe follows the Scratch ownership rule — one goroutine; concurrent
+// pools mint per-worker forks (see ParallelDecoder).
+func (c *Code) WithLatency(p *latency.Probe) *Code {
+	c2 := *c
+	c2.cfg.Latency = p
+	c2.latency = p
 	return &c2
 }
 

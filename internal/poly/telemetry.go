@@ -1,6 +1,9 @@
 package poly
 
-import "polyecc/internal/telemetry"
+import (
+	"polyecc/internal/latency"
+	"polyecc/internal/telemetry"
+)
 
 // NumFaultModels is the number of defined FaultModel values; it sizes
 // Report.PerModelTrials and must track the FaultModel const block.
@@ -54,8 +57,28 @@ func (c *Code) observe(rep *Report) {
 
 // instrumented reports whether this Code pays for the clock reads that
 // populate Report.Elapsed.
-func (c *Code) instrumented() bool { return c.metrics != nil || c.trace != nil }
+func (c *Code) instrumented() bool {
+	return c.metrics != nil || c.trace != nil || c.latency != nil
+}
+
+// decodeOp classifies a decode outcome into its latency operation
+// class, so distributions are kept per outcome (a corrected decode is
+// orders of magnitude slower than a clean one; mixing them hides both).
+func decodeOp(st Status) latency.Op {
+	switch st {
+	case StatusClean:
+		return latency.OpDecodeClean
+	case StatusCorrected:
+		return latency.OpDecodeCorrected
+	default:
+		return latency.OpDecodeUncorrectable
+	}
+}
 
 // Metrics returns the collector attached at construction (nil when the
 // Code is uninstrumented).
 func (c *Code) Metrics() *telemetry.DecodeMetrics { return c.metrics }
+
+// Latency returns the probe attached at construction or via
+// WithLatency (nil when latency capture is off).
+func (c *Code) Latency() *latency.Probe { return c.latency }

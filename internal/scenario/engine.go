@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"time"
 
 	"polyecc/internal/campaign"
 	"polyecc/internal/dram"
@@ -71,6 +72,9 @@ type Result struct {
 	// CodeLabel is the display name of the decoded scheme
 	// ("Polymorphic(M=2005) (M=2005)"-style), decode/replay kinds only.
 	CodeLabel string
+	// Latency is the run's latency digest, nil unless latency recording
+	// was enabled (Opts.Latency or the spec's latency stanza).
+	Latency *LatencyDigest `json:",omitempty"`
 }
 
 // Run executes a validated spec. This is the one engine behind every
@@ -221,12 +225,17 @@ func newPlan(s *Spec) *plan {
 
 // phaseAt finds the span holding a trial index.
 func (p *plan) phaseAt(index int) *phaseSpan {
+	return &p.phases[p.phaseIdx(index)]
+}
+
+// phaseIdx finds the position of the span holding a trial index.
+func (p *plan) phaseIdx(index int) int {
 	for i := range p.phases {
 		if index < p.phases[i].end {
-			return &p.phases[i]
+			return i
 		}
 	}
-	return &p.phases[len(p.phases)-1]
+	return len(p.phases) - 1
 }
 
 // pickClient selects the trial's client. A single active client draws
@@ -322,6 +331,7 @@ type decodeState struct {
 	g         dram.WordGeometry
 	injectors []faults.Injector
 	named     map[string]faults.Injector
+	lat       *workerLat
 }
 
 func newDecodeState(j *telemetry.Journal, source string, code *poly.Code, seed int64, modelNames []string) *decodeState {
@@ -396,19 +406,35 @@ func runDecode(ctx context.Context, s *Spec, opts Opts) (*Result, error) {
 	}
 	p := newPlan(s)
 	multi := len(s.Clients) > 1
+	coll := latCollector(s, opts)
+	var clocks []phaseClock
+	if coll != nil {
+		clocks = make([]phaseClock, len(p.phases))
+	}
 
 	cfg := opts.config(s.Name, s.Trials, s.Seed, "sdc", "due", "panic")
 	cfg.WorkerState = func() any {
-		return newDecodeState(opts.Journal, s.Name, code, s.Seed, p.models)
+		wcode := code
+		if coll != nil {
+			// Per-worker probe: every decode/encode of this worker lands
+			// in its own uncontended stripes on the shared collector.
+			wcode = code.WithLatency(coll.Probe())
+		}
+		ws := newDecodeState(opts.Journal, s.Name, wcode, s.Seed, p.models)
+		if coll != nil {
+			ws.lat = newWorkerLat(coll, s, p)
+		}
+		return ws
 	}
 	res, err := campaign.Run(ctx, cfg, func(t *campaign.Trial) {
 		ws := t.Local.(*decodeState)
 		r := t.RNG
+		pi := p.phaseIdx(t.Index)
 		var ci int
 		if s.Selection == "block" {
 			ci = p.blockClient(t.Index)
 		} else {
-			ci = p.pickClient(r, p.phaseAt(t.Index))
+			ci = p.pickClient(r, &p.phases[pi])
 		}
 		if multi {
 			t.Record("client." + s.Clients[ci].Name)
@@ -428,6 +454,13 @@ func runDecode(ctx context.Context, s *Spec, opts Opts) (*Result, error) {
 		wcode := ws.rec.Code()
 		rl := wcode.FromBurstScratch(&burst, ws.scratch)
 		got, rep := wcode.DecodeLineScratch(rl, ws.scratch)
+		if ws.lat != nil {
+			// rep.Elapsed is stamped because the latency probe makes the
+			// code instrumented; attribution consumes no randomness.
+			ws.lat.clients[ci].Observe(rep.Elapsed)
+			ws.lat.phases[pi].Observe(rep.Elapsed)
+			clocks[pi].stamp(time.Now().UnixNano())
+		}
 		t.Add("iterations", int64(rep.Iterations))
 		sdc := false
 		switch rep.Status {
@@ -457,6 +490,9 @@ func runDecode(ctx context.Context, s *Spec, opts Opts) (*Result, error) {
 		Campaign:     res,
 		AggressorRow: p.aggr,
 		CodeLabel:    fmt.Sprintf("%s (M=%d)", lc.Name(), code.M()),
+	}
+	if coll != nil {
+		out.Latency = latDigest(coll, phaseWall(clocks, p))
 	}
 	return out, err
 }

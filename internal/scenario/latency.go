@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"sync/atomic"
+	"time"
+
+	"polyecc/internal/latency"
+)
+
+// latCollector resolves the run's latency collector: a caller-supplied
+// Opts.Latency wins (the -latency flag shape, where the collector is
+// also published and served); a spec latency stanza without one gets a
+// private collector so the digest still lands in the result.
+func latCollector(s *Spec, opts Opts) *latency.Collector {
+	if opts.Latency != nil {
+		return opts.Latency
+	}
+	if s.Latency != nil && s.Latency.Enabled {
+		return latency.NewCollector()
+	}
+	return nil
+}
+
+// workerLat is one campaign worker's latency handles: private stripes
+// on the per-client and per-phase histograms, indexed by the plan's
+// client and phase positions so the hot path is two slice lookups and
+// two uncontended atomic observes — no RNG consumed, so outcome counts
+// stay bit-identical at any worker count.
+type workerLat struct {
+	clients []*latency.Stripe
+	phases  []*latency.Stripe
+}
+
+func newWorkerLat(coll *latency.Collector, s *Spec, p *plan) *workerLat {
+	wl := &workerLat{
+		clients: make([]*latency.Stripe, len(s.Clients)),
+		phases:  make([]*latency.Stripe, len(p.phases)),
+	}
+	for i := range s.Clients {
+		wl.clients[i] = coll.Client(s.Clients[i].Name).Handle()
+	}
+	for i := range p.phases {
+		wl.phases[i] = coll.Phase(p.phases[i].name).Handle()
+	}
+	return wl
+}
+
+// seqLat is the sequential loop's latency state: one probe (a single
+// goroutine needs no striping) plus cached per-client and per-phase
+// histograms so the per-trial cost is map-free after the first access.
+// A nil *seqLat discards everything — the disabled state.
+type seqLat struct {
+	coll    *latency.Collector
+	probe   *latency.Probe
+	clients map[string]*latency.Hist
+	phases  map[string]*latency.Hist
+}
+
+func newSeqLat(coll *latency.Collector) *seqLat {
+	if coll == nil {
+		return nil
+	}
+	return &seqLat{
+		coll: coll, probe: coll.Probe(),
+		clients: map[string]*latency.Hist{},
+		phases:  map[string]*latency.Hist{},
+	}
+}
+
+// observe attributes one decode's elapsed time to its client (when
+// named) and phase.
+func (l *seqLat) observe(client, phase string, d time.Duration) {
+	if l == nil {
+		return
+	}
+	if client != "" {
+		h := l.clients[client]
+		if h == nil {
+			h = l.coll.Client(client)
+			l.clients[client] = h
+		}
+		h.Observe(d)
+	}
+	h := l.phases[phase]
+	if h == nil {
+		h = l.coll.Phase(phase)
+		l.phases[phase] = h
+	}
+	h.Observe(d)
+}
+
+// phaseClock tracks the wall-clock window of one phase's trials across
+// workers: CAS-min on the earliest stamp, CAS-max on the latest. A zero
+// first means the phase never ran (e.g. a resumed campaign skipped it).
+type phaseClock struct {
+	first atomic.Int64
+	last  atomic.Int64
+}
+
+func (pc *phaseClock) stamp(now int64) {
+	for {
+		f := pc.first.Load()
+		if f != 0 && f <= now {
+			break
+		}
+		if pc.first.CompareAndSwap(f, now) {
+			break
+		}
+	}
+	for {
+		l := pc.last.Load()
+		if l >= now {
+			break
+		}
+		if pc.last.CompareAndSwap(l, now) {
+			break
+		}
+	}
+}
+
+// wall renders the clocks into a per-phase wall-clock map (ms).
+func phaseWall(clocks []phaseClock, p *plan) map[string]float64 {
+	wall := map[string]float64{}
+	for i := range clocks {
+		f, l := clocks[i].first.Load(), clocks[i].last.Load()
+		if f == 0 || l < f {
+			continue
+		}
+		wall[p.phases[i].name] = float64(l-f) / 1e6
+	}
+	return wall
+}
+
+// LatencyDigest is the run-level latency summary embedded in Result
+// (and through it in faultinject -summary documents): the standard
+// percentile set per operation class, client, and phase, the wall-clock
+// window each phase's trials spanned, and the clean-vs-corrected bucket
+// overlay eccreport charts.
+type LatencyDigest struct {
+	latency.Payload
+	PhaseWallMs map[string]float64 `json:"phase_wall_ms,omitempty"`
+	Overlay     *LatencyOverlay    `json:"overlay,omitempty"`
+}
+
+// LatencyOverlay is the non-empty-bucket dump of the clean and
+// corrected decode histograms — the raw material of the clean-vs-
+// faulted latency distribution chart.
+type LatencyOverlay struct {
+	Clean     []latency.BucketCount `json:"clean,omitempty"`
+	Corrected []latency.BucketCount `json:"corrected,omitempty"`
+}
+
+// latDigest assembles the result digest from a run's collector. A nil
+// collector (latency not enabled) digests to nil, keeping summaries
+// byte-identical to pre-latency runs.
+func latDigest(coll *latency.Collector, wall map[string]float64) *LatencyDigest {
+	if coll == nil {
+		return nil
+	}
+	d := &LatencyDigest{Payload: coll.Payload()}
+	if len(wall) > 0 {
+		d.PhaseWallMs = wall
+	}
+	var snap latency.Snapshot
+	ov := &LatencyOverlay{}
+	coll.Op(latency.OpDecodeClean).Snapshot(&snap)
+	ov.Clean = snap.NonEmptyBuckets()
+	coll.Op(latency.OpDecodeCorrected).Snapshot(&snap)
+	ov.Corrected = snap.NonEmptyBuckets()
+	if len(ov.Clean) > 0 || len(ov.Corrected) > 0 {
+		d.Overlay = ov
+	}
+	return d
+}

@@ -1,0 +1,153 @@
+package scenario_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"polyecc/internal/latency"
+	"polyecc/internal/scenario"
+)
+
+// latSpec is a small two-client, two-phase decode scenario with the
+// latency stanza on — every attribution axis exercised at once.
+func latSpec(trials int) *scenario.Spec {
+	return &scenario.Spec{
+		Name:   "lat-test",
+		Kind:   scenario.KindDecode,
+		Trials: trials,
+		Seed:   7,
+		Lines:  128,
+		Clients: []scenario.Client{
+			{Name: "api", Fraction: 0.5, Faults: &scenario.FaultEnv{Kind: "in-model", Rate: 0.5}},
+			{Name: "batch", Fraction: 0.5},
+		},
+		Phases: []scenario.Phase{
+			{Name: "warm", Fraction: 0.5},
+			{Name: "storm", Fraction: 0.5},
+		},
+		Latency: &scenario.LatencySpec{Enabled: true},
+	}
+}
+
+// Latency recording must not perturb the seeded outcome stream: counts
+// stay bit-identical with the stanza on or off, at one worker and at
+// eight.
+func TestLatencyDoesNotPerturbCounts(t *testing.T) {
+	base := latSpec(2000)
+	base.Latency = nil
+	want, err := scenario.Run(context.Background(), base, scenario.Opts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Latency != nil {
+		t.Fatal("latency digest present without the stanza")
+	}
+	for _, workers := range []int{1, 8} {
+		res, err := scenario.Run(context.Background(), latSpec(2000), scenario.Opts{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Campaign.Counts, want.Campaign.Counts) {
+			t.Errorf("workers=%d: counts diverged with latency enabled:\n got %v\nwant %v",
+				workers, res.Campaign.Counts, want.Campaign.Counts)
+		}
+	}
+}
+
+func TestLatencyDigest(t *testing.T) {
+	coll := latency.NewCollector()
+	res, err := scenario.Run(context.Background(), latSpec(2000),
+		scenario.Opts{Workers: 4, Latency: coll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Latency
+	if d == nil {
+		t.Fatal("no latency digest")
+	}
+	total := int64(0)
+	for _, cls := range []string{"clean", "corrected", "uncorrectable"} {
+		total += d.Ops[cls].Count
+	}
+	if total != 2000 {
+		t.Errorf("decode op classes account for %d observations, want 2000", total)
+	}
+	if n := d.Clients["api"].Count + d.Clients["batch"].Count; n != 2000 {
+		t.Errorf("client histograms account for %d observations, want 2000", n)
+	}
+	if n := d.Phases["warm"].Count; n != 1000 {
+		t.Errorf("phase warm saw %d observations, want 1000", n)
+	}
+	if n := d.Phases["storm"].Count; n != 1000 {
+		t.Errorf("phase storm saw %d observations, want 1000", n)
+	}
+	for _, ph := range []string{"warm", "storm"} {
+		if d.PhaseWallMs[ph] < 0 {
+			t.Errorf("phase %s wall-clock window negative: %v", ph, d.PhaseWallMs[ph])
+		}
+		if _, ok := d.PhaseWallMs[ph]; !ok {
+			t.Errorf("phase %s missing from wall-clock map", ph)
+		}
+	}
+	if q := d.Ops["clean"]; q.Count > 0 && (q.P50 <= 0 || q.P99 < q.P50) {
+		t.Errorf("clean percentiles implausible: %+v", q)
+	}
+	if d.Overlay == nil || len(d.Overlay.Clean) == 0 {
+		t.Error("clean-vs-corrected overlay missing clean buckets")
+	}
+	// Workers also timed their setup encode plus every decode through
+	// the shared collector.
+	if coll.Op(latency.OpEncode).Quantiles().Count == 0 {
+		t.Error("encode histogram empty — worker setup encodes not timed")
+	}
+	// The rendered form carries the latency block.
+	if out := res.Render(); !strings.Contains(out, "decode latency") ||
+		!strings.Contains(out, "client api") || !strings.Contains(out, "phase storm") {
+		t.Errorf("render missing latency lines:\n%s", out)
+	}
+}
+
+// The sequential engine must attribute per-client and per-phase too.
+func TestLatencySequential(t *testing.T) {
+	s := latSpec(600)
+	s.TickNs = 1_000_000
+	s.Clients[1].Arrival = &scenario.Arrival{Process: "poisson"} // forces the sequential loop
+	res, err := scenario.Run(context.Background(), s, scenario.Opts{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq == nil {
+		t.Fatal("expected a sequential run")
+	}
+	d := res.Latency
+	if d == nil {
+		t.Fatal("no latency digest from the sequential engine")
+	}
+	if n := d.Clients["api"].Count + d.Clients["batch"].Count; n != 600 {
+		t.Errorf("client histograms account for %d observations, want 600", n)
+	}
+	if n := d.Phases["warm"].Count + d.Phases["storm"].Count; n != 600 {
+		t.Errorf("phase histograms account for %d observations, want 600", n)
+	}
+	for _, ph := range res.Seq.Phases {
+		if d.PhaseWallMs[ph.Name] <= 0 {
+			t.Errorf("phase %s wall-clock not recorded: %v", ph.Name, d.PhaseWallMs[ph.Name])
+		}
+	}
+	if len(d.PhaseWallMs) != 2 {
+		t.Errorf("wall-clock map has %d phases, want 2", len(d.PhaseWallMs))
+	}
+}
+
+func TestLatencySpecValidation(t *testing.T) {
+	s := &scenario.Spec{
+		Name: "bad", Kind: scenario.KindPrograms, Trials: 10,
+		Clients: []scenario.Client{{Name: "hot-loop"}},
+		Latency: &scenario.LatencySpec{Enabled: true},
+	}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "latency") {
+		t.Errorf("programs-kind latency stanza not rejected: %v", err)
+	}
+}

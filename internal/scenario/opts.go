@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"polyecc/internal/campaign"
+	"polyecc/internal/latency"
 	"polyecc/internal/linecode"
 	"polyecc/internal/memctl"
 	"polyecc/internal/telemetry"
@@ -38,6 +39,13 @@ type Opts struct {
 	// Metrics, when non-nil, rides the decode path of decode/replay
 	// scenarios (the -metrics-addr decode.* collectors).
 	Metrics *telemetry.DecodeMetrics
+	// Latency, when non-nil, collects decode/encode timings for the run:
+	// per outcome class, per client, and per phase, through per-worker
+	// probes (decode/replay kinds). Enabling it consumes no seeded
+	// randomness, so outcome counts stay bit-identical to an untimed
+	// run. A spec latency stanza without a collector here gets a private
+	// one, visible only through the result digest.
+	Latency *latency.Collector
 	// Code, when non-nil, is a pre-built line code overriding Spec.Code
 	// resolution — the shape the shared -code flag resolver hands a
 	// command. Decode scenarios require it to be a linecode.Poly.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"polyecc/internal/latency"
 	"polyecc/internal/stats"
 )
 
@@ -84,6 +85,7 @@ func (r *Result) renderDecode() string {
 	if len(r.Schedule) > 0 {
 		out += fmt.Sprintf("replayed %d recorded anomalies\n", len(r.Schedule))
 	}
+	out += r.RenderLatency()
 	return out
 }
 
@@ -132,7 +134,53 @@ func (r *Result) renderSeq() string {
 	if len(r.Schedule) > 0 {
 		out += fmt.Sprintf("replayed %d recorded anomalies\n", len(r.Schedule))
 	}
+	out += r.RenderLatency()
 	return out
+}
+
+// RenderLatency prints the run's latency digest: percentile lines per
+// decode-outcome class, then per client and per phase when recorded.
+// Empty without a digest, so preset renderers can append it blindly.
+func (r *Result) RenderLatency() string {
+	d := r.Latency
+	if d == nil {
+		return ""
+	}
+	out := "decode latency (µs):\n"
+	for _, cls := range []string{"clean", "corrected", "uncorrectable", "encode"} {
+		if q, ok := d.Ops[cls]; ok && q.Count > 0 {
+			out += fmt.Sprintf("  %-14s %s\n", cls, quantileLine(q))
+		}
+	}
+	out += quantileGroup("client", d.Clients, nil)
+	out += quantileGroup("phase", d.Phases, d.PhaseWallMs)
+	return out
+}
+
+// quantileGroup prints one named histogram family (clients or phases),
+// sorted by name, with an optional wall-clock annotation per entry.
+func quantileGroup(kind string, m map[string]latency.Quantiles, wall map[string]float64) string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		if m[name].Count > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := ""
+	for _, name := range names {
+		line := fmt.Sprintf("  %-14s %s", kind+" "+name, quantileLine(m[name]))
+		if w, ok := wall[name]; ok {
+			line += fmt.Sprintf(" wall=%.0fms", w)
+		}
+		out += line + "\n"
+	}
+	return out
+}
+
+func quantileLine(q latency.Quantiles) string {
+	return fmt.Sprintf("n=%-8d p50=%-8.1f p90=%-8.1f p99=%-8.1f p99.9=%-8.1f max=%.1f",
+		q.Count, q.P50/1e3, q.P90/1e3, q.P99/1e3, q.P999/1e3, float64(q.MaxNs)/1e3)
 }
 
 func sortedCounts(header string, m map[string]int) string {

@@ -105,12 +105,17 @@ func replayCampaign(ctx context.Context, s *Spec, opts Opts, schedule []ReplaySt
 	if err != nil {
 		return nil, err
 	}
+	coll := latCollector(s, opts)
 	cfg := opts.config(s.Name, s.Trials, s.Seed, "sdc", "due", "panic")
 	cfg.WorkerState = func() any {
+		wcode := code
+		if coll != nil {
+			wcode = code.WithLatency(coll.Probe())
+		}
 		// Replay keys injectors by their recorded display name (the
 		// journal's Injected field), so the named map holds the in-model
 		// set under ChipKill/SSC/DEC/BF+BF/ChipKill+1.
-		ws := newDecodeState(opts.Journal, s.Name, code, s.Seed, nil)
+		ws := newDecodeState(opts.Journal, s.Name, wcode, s.Seed, nil)
 		ws.named = make(map[string]faults.Injector, len(ws.injectors))
 		for _, inj := range ws.injectors {
 			ws.named[inj.Name()] = inj
@@ -158,13 +163,17 @@ func replayCampaign(ctx context.Context, s *Spec, opts Opts, schedule []ReplaySt
 			Worker: t.Worker, Index: step.Line, TimeNs: step.TimeNs,
 		}, injected, sdc)
 	})
-	return &Result{
+	out := &Result{
 		Spec:         s,
 		Campaign:     res,
 		Schedule:     schedule,
 		AggressorRow: -1,
 		CodeLabel:    fmt.Sprintf("%s (M=%d)", lc.Name(), code.M()),
-	}, err
+	}
+	if coll != nil {
+		out.Latency = latDigest(coll, nil)
+	}
+	return out, err
 }
 
 // replaySeq re-drives the closed memctl loop from a recorded fault
@@ -220,7 +229,7 @@ func replaySeq(ctx context.Context, s *Spec, opts Opts, schedule []ReplayStep) (
 		if e.ctl != nil {
 			e.ctl.Tick(now)
 		}
-		e.decode(cs, burst, &ph, step.Line, now, injected)
+		e.decode(cs, burst, &ph, "", step.Line, now, injected)
 		e.trackHealth(&worst)
 	}
 	e.endPhase(&ph, worst)

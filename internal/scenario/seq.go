@@ -93,6 +93,9 @@ type seqEngine struct {
 	seq         *SeqResult
 	counts      map[string]int64
 	started     time.Time
+	lat         *seqLat
+	phStart     time.Time
+	phWall      map[string]float64 // phase name -> wall-clock ms
 }
 
 func newSeqEngine(s *Spec, opts Opts, models []string, aggr int) (*seqEngine, error) {
@@ -114,6 +117,9 @@ func newSeqEngine(s *Spec, opts Opts, models []string, aggr int) (*seqEngine, er
 		seq:     &SeqResult{Code: s.Code, Trials: s.Trials, AggressorRow: aggr},
 		counts:  map[string]int64{},
 		started: time.Now(),
+		lat:     newSeqLat(latCollector(s, opts)),
+		phStart: time.Now(),
+		phWall:  map[string]float64{},
 	}
 	if s.Memctl != nil && s.Memctl.RegionLines > 0 {
 		e.regionLines = s.Memctl.RegionLines
@@ -202,7 +208,14 @@ func (e *seqEngine) buildCodec(lc linecode.Code) (*seqCodec, error) {
 	if !ok {
 		return nil, fmt.Errorf("scenario %q: sequential scenarios need Polymorphic codes, got %s", e.s.Name, lc.Name())
 	}
-	cs := &seqCodec{base: pl.C.WithMaxIterations(decodeMaxIterations).WithMetrics(e.opts.Metrics)}
+	base := pl.C.WithMaxIterations(decodeMaxIterations).WithMetrics(e.opts.Metrics)
+	if e.lat != nil {
+		// One probe for the whole single-threaded loop; every codec on
+		// the migration ladder shares it, so op-class timings aggregate
+		// across codecs the way the outcome counts do.
+		base = base.WithLatency(e.lat.probe)
+	}
+	cs := &seqCodec{base: base}
 	cs.g = dram.WordGeometry{SymbolBits: cs.base.Geometry().SymbolBits}
 	cs.injectors = faults.InModel(cs.g)
 	cs.byDisplay = make(map[string]faults.Injector, len(cs.injectors))
@@ -264,10 +277,11 @@ func (e *seqEngine) drain() {
 // epoch-boundary pure decisions (releases, relaxes, migrations) are
 // made before this trial's anomaly is observed, live and on replay
 // alike.
-func (e *seqEngine) decode(cs *seqCodec, burst dram.Burst, ph *SeqPhase, line int, now int64, injected string) {
+func (e *seqEngine) decode(cs *seqCodec, burst dram.Burst, ph *SeqPhase, client string, line int, now int64, injected string) {
 	wcode := cs.rec.Code()
 	rl := wcode.FromBurstScratch(&burst, cs.scratch)
 	got, rep := wcode.DecodeLineScratch(rl, cs.scratch)
+	e.lat.observe(client, ph.Name, rep.Elapsed)
 	e.counts["iterations"] += int64(rep.Iterations)
 	sdc := false
 	switch rep.Status {
@@ -320,6 +334,11 @@ func (e *seqEngine) trackHealth(worst *health.State) {
 
 func (e *seqEngine) endPhase(ph *SeqPhase, worst health.State) {
 	ph.Worst = worst.String()
+	// Wall-clock stays off the trajectory struct: SeqResult must remain a
+	// pure function of the event stream (replay/equivalence pin it
+	// bit-for-bit). The digest carries the timing instead.
+	e.phWall[ph.Name] = float64(time.Since(e.phStart).Nanoseconds()) / 1e6
+	e.phStart = time.Now()
 	if e.ctl != nil {
 		ph.End = e.ctl.Health().State().String()
 	}
@@ -342,7 +361,11 @@ func (e *seqEngine) finish(partial bool, aggr int) *Result {
 		Name: e.s.Name, Trials: e.s.Trials, Completed: e.seq.Completed,
 		Partial: partial, Elapsed: time.Since(e.started), Counts: e.counts,
 	}
-	return &Result{Spec: e.s, Campaign: res, Seq: e.seq, AggressorRow: aggr, CodeLabel: e.s.Code}
+	out := &Result{Spec: e.s, Campaign: res, Seq: e.seq, AggressorRow: aggr, CodeLabel: e.s.Code}
+	if e.lat != nil {
+		out.Latency = latDigest(e.lat.coll, e.phWall)
+	}
+	return out
 }
 
 // runSeq executes a spec on the single-threaded virtual-clock loop:
@@ -521,7 +544,7 @@ func runSeq(ctx context.Context, s *Spec, opts Opts) (*Result, error) {
 			if e.ctl != nil {
 				e.ctl.Tick(now)
 			}
-			e.decode(cs, burst, &ph, line, now, injected)
+			e.decode(cs, burst, &ph, cp.c.Name, line, now, injected)
 			e.trackHealth(&worst)
 		}
 		e.endPhase(&ph, worst)

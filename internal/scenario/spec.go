@@ -115,6 +115,12 @@ type Spec struct {
 	// Replay points at the recorded journal a replay-kind scenario
 	// re-runs.
 	Replay *ReplaySpec `json:"replay,omitempty"`
+	// Latency, when enabled, times every decode of the run (decode and
+	// replay kinds): per-outcome-class, per-client, and per-phase
+	// percentile digests land in the result. Timing consumes no seeded
+	// randomness, so outcome counts stay bit-identical to an untimed
+	// run at any worker count. The -latency flag enables it too.
+	Latency *LatencySpec `json:"latency,omitempty"`
 	// Notes is free-form documentation carried into reports.
 	Notes string `json:"notes,omitempty"`
 }
@@ -226,6 +232,11 @@ type MemctlSpec struct {
 	// RegionLines is the controller's region granularity in lines
 	// (default 64, matching the self-healing soak's health config).
 	RegionLines int `json:"region_lines,omitempty"`
+}
+
+// LatencySpec turns on per-run latency recording.
+type LatencySpec struct {
+	Enabled bool `json:"enabled"`
 }
 
 // ReplaySpec points a replay scenario at its recorded journal.
@@ -384,6 +395,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Memctl != nil && s.Memctl.Enabled && s.Kind != KindDecode && s.Kind != KindReplay {
 		return fmt.Errorf("scenario %q: memctl closes the loop over decode or replay scenarios only", s.Name)
+	}
+	if s.Latency != nil && s.Latency.Enabled && s.Kind != KindDecode && s.Kind != KindReplay {
+		return fmt.Errorf("scenario %q: latency recording times the decode path — decode or replay scenarios only", s.Name)
 	}
 	if s.Kind == KindReplay && (s.Replay == nil || s.Replay.Path == "") {
 		// Opts.ReplayEvents may still supply the schedule; flag the
@@ -667,6 +681,7 @@ type Summary struct {
 	Lines   int             `json:"lines,omitempty"`
 	Tick    string          `json:"tick,omitempty"`
 	Memctl  bool            `json:"memctl,omitempty"`
+	Latency bool            `json:"latency,omitempty"`
 	Preset  string          `json:"preset,omitempty"` // built-in preset the run used, "" for spec files
 	Notes   string          `json:"notes,omitempty"`
 	Clients []ClientSummary `json:"clients,omitempty"`
@@ -687,7 +702,8 @@ func (s *Spec) Summarize() *Summary {
 	sum := &Summary{
 		Name: s.Name, Kind: s.Kind, Trials: s.Trials, Seed: s.Seed,
 		Code: s.Code, Lines: s.Lines, Notes: s.Notes,
-		Memctl: s.Memctl != nil && s.Memctl.Enabled,
+		Memctl:  s.Memctl != nil && s.Memctl.Enabled,
+		Latency: s.Latency != nil && s.Latency.Enabled,
 	}
 	if s.TickNs > 0 {
 		sum.Tick = time.Duration(s.TickNs).String()

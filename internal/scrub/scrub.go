@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"polyecc/internal/dram"
+	"polyecc/internal/latency"
 	"polyecc/internal/poly"
 	"polyecc/internal/telemetry"
 )
@@ -63,6 +64,11 @@ type Policy struct {
 	// the memory controller drives: under an escalation it returns a
 	// shorter pause, and a zero or negative return sweeps back to back.
 	Interval func() time.Duration
+	// Latency, when non-nil, times every patrol decode and rewrite
+	// encode by outcome class (poly.Config.Latency semantics). The
+	// scrubber is a single-goroutine consumer, so it uses the probe
+	// directly — hand it a dedicated fork, not one shared with workers.
+	Latency *latency.Probe
 }
 
 // DefaultPolicy mirrors the datacenter practice the paper describes.
@@ -104,6 +110,9 @@ const scrubBatch = 32
 func New(code *poly.Code, store Store, policy Policy) (*Scrubber, error) {
 	if code == nil || store == nil {
 		return nil, fmt.Errorf("scrub: code and store are required")
+	}
+	if policy.Latency != nil {
+		code = code.WithLatency(policy.Latency)
 	}
 	rec := poly.NewAnomalyRecorder(policy.Journal, "scrub", code)
 	return &Scrubber{code: rec.Code(), store: store, policy: policy,

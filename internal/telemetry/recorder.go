@@ -1,0 +1,343 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"polyecc/internal/latency"
+)
+
+// Recorder samples registered sources — counters, latency histograms,
+// health-engine snapshots — on a fixed cadence into a bounded in-memory
+// ring of Ticks, optionally persisting each tick as one JSONL line. It
+// is the time axis the live endpoints lack: /debug/vars and /latency
+// answer "what is the state now", the recorder answers "how did it
+// trend", bounded to the last Capacity ticks at steady memory like the
+// journal before it.
+//
+// Sources are closures so the recorder stays dependency-free in the
+// same way Endpoint does: health.Engine and the campaign counters
+// register themselves without this package importing them.
+type Recorder struct {
+	interval time.Duration
+	capacity int
+
+	mu      sync.Mutex
+	sources []recSource
+	ring    []Tick // chronological ring; next is the write position
+	next    int
+	full    bool
+	total   int64 // ticks recorded over the recorder's lifetime
+	sink    *os.File
+	bw      *bufio.Writer
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type recSource struct {
+	name   string
+	sample func(put func(field string, v float64))
+}
+
+// Tick is one cadence sample: a timestamp plus every sampled field,
+// keyed "<source>.<field>". The JSON shape is the JSONL persistence
+// format and the /timeseries payload element.
+type Tick struct {
+	TimeNs int64              `json:"t_ns"`
+	Values map[string]float64 `json:"v"`
+}
+
+// NewRecorder builds a recorder sampling every interval (default 1s)
+// keeping the last capacity ticks (default 512).
+func NewRecorder(interval time.Duration, capacity int) *Recorder {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &Recorder{interval: interval, capacity: capacity, ring: make([]Tick, capacity)}
+}
+
+// Interval returns the sampling cadence.
+func (r *Recorder) Interval() time.Duration { return r.interval }
+
+// Source registers a sampling closure. At every tick the closure is
+// invoked with a put function; each put(field, v) lands in the tick as
+// "<name>.<field>" (or just "<name>" for an empty field). Register
+// before Start; sources added later join at the next tick.
+func (r *Recorder) Source(name string, sample func(put func(field string, v float64))) {
+	if r == nil || sample == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sources = append(r.sources, recSource{name: name, sample: sample})
+	r.mu.Unlock()
+}
+
+// Counter registers a counter source: the tick carries its running
+// value under "<name>".
+func (r *Recorder) Counter(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.Source(name, func(put func(string, float64)) {
+		put("", float64(c.Value()))
+	})
+}
+
+// Latency registers a latency histogram as a *windowed* source: each
+// tick carries the percentiles of the observations made since the
+// previous tick (plus the cumulative count), so sparklines and SVG
+// trends show the latency of each interval rather than a
+// run-so-far average that flattens every regression.
+func (r *Recorder) Latency(name string, h *latency.Hist) {
+	if r == nil || h == nil {
+		return
+	}
+	var prev latency.Snapshot
+	var cur latency.Snapshot
+	r.Source(name, func(put func(string, float64)) {
+		h.Snapshot(&cur)
+		total := cur.Count
+		win := cur
+		win.Sub(&prev)
+		prev = cur
+		put("count", float64(win.Count))
+		put("total", float64(total))
+		if win.Count > 0 {
+			put("p50", win.Quantile(0.50))
+			put("p99", win.Quantile(0.99))
+			put("mean", win.Mean())
+		}
+	})
+}
+
+// SampleNow takes one sample immediately, stamps it now, appends it to
+// the ring, and persists it when a sink is attached. Exported so tests
+// and drain paths can tick deterministically without the wall-clock
+// loop.
+func (r *Recorder) SampleNow(now time.Time) Tick {
+	if r == nil {
+		return Tick{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tick := Tick{TimeNs: now.UnixNano(), Values: make(map[string]float64, 2*len(r.sources))}
+	for _, src := range r.sources {
+		prefix := src.name
+		src.sample(func(field string, v float64) {
+			key := prefix
+			if field != "" {
+				key = prefix + "." + field
+			}
+			tick.Values[key] = v
+		})
+	}
+	r.ring[r.next] = tick
+	r.next = (r.next + 1) % r.capacity
+	if r.next == 0 {
+		r.full = true
+	}
+	r.total++
+	if r.bw != nil {
+		if b, err := json.Marshal(tick); err == nil {
+			r.bw.Write(b)        //nolint:errcheck — best-effort persistence
+			r.bw.WriteByte('\n') //nolint:errcheck
+			r.bw.Flush()         //nolint:errcheck — a tick per second; durability over batching
+		}
+	}
+	return tick
+}
+
+// Ticks returns the retained samples in chronological order.
+func (r *Recorder) Ticks() []Tick {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ticksLocked()
+}
+
+func (r *Recorder) ticksLocked() []Tick {
+	if !r.full {
+		return append([]Tick(nil), r.ring[:r.next]...)
+	}
+	out := make([]Tick, 0, r.capacity)
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// persistHeader is the first line of a recorder JSONL file: the
+// manifest of the run that wrote it, so the artifact is traceable like
+// checkpoints and summaries are.
+type persistHeader struct {
+	Manifest *Manifest `json:"manifest"`
+}
+
+// Persist attaches a JSONL sink. A fresh (or empty) file gets a
+// manifest header line; an existing file is *resumed* — its tail ticks
+// are loaded back into the ring (so /timeseries spans the interruption)
+// and new ticks append after them, the same contract as campaign
+// checkpoints.
+func (r *Recorder) Persist(path string, m *Manifest) error {
+	if r == nil || path == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	existing, _, err := readTicks(path)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if len(existing) == 0 {
+		// Fresh artifact: stamp it. (A resumed file keeps its original
+		// manifest; the new process's identity lives in its own summary.)
+		if b, err := json.Marshal(persistHeader{Manifest: m}); err == nil {
+			f.Write(b)          //nolint:errcheck — best-effort persistence
+			f.WriteString("\n") //nolint:errcheck
+		}
+	}
+	if n := len(existing); n > r.capacity {
+		existing = existing[n-r.capacity:]
+	}
+	for i, t := range existing {
+		r.ring[i] = t
+	}
+	r.next = len(existing) % r.capacity
+	r.full = len(existing) == r.capacity
+	r.total = int64(len(existing))
+	r.sink = f
+	r.bw = bufio.NewWriter(f)
+	return nil
+}
+
+// ReadTimeseriesFile loads a persisted recorder artifact: every tick
+// in order, plus the manifest header when the file carries one.
+// eccreport uses it to chart a run's time series offline.
+func ReadTimeseriesFile(path string) ([]Tick, *Manifest, error) {
+	return readTicks(path)
+}
+
+// readTicks loads every tick line of an existing recorder file,
+// returning the manifest header separately. A missing file is an
+// empty history.
+func readTicks(path string) ([]Tick, *Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	defer f.Close()
+	var ticks []Tick
+	var manifest *Manifest
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var hdr persistHeader
+		if err := json.Unmarshal(line, &hdr); err == nil && hdr.Manifest != nil {
+			if manifest == nil {
+				manifest = hdr.Manifest
+			}
+			continue
+		}
+		var t Tick
+		if err := json.Unmarshal(line, &t); err != nil {
+			return nil, nil, fmt.Errorf("telemetry: recorder file %s line %d: %w", path, lineNo, err)
+		}
+		ticks = append(ticks, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("telemetry: recorder file %s: %w", path, err)
+	}
+	return ticks, manifest, nil
+}
+
+// Start launches the cadence loop. Stop (or a second Start) must not be
+// called concurrently with Start.
+func (r *Recorder) Start() {
+	if r == nil || r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(r.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case now := <-ticker.C:
+				r.SampleNow(now)
+			}
+		}
+	}()
+}
+
+// Stop halts the cadence loop, takes one final sample (so short runs
+// always leave at least one tick), and closes the sink.
+func (r *Recorder) Stop() {
+	if r == nil {
+		return
+	}
+	if r.stop != nil {
+		close(r.stop)
+		<-r.done
+		r.stop, r.done = nil, nil
+	}
+	r.SampleNow(time.Now())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.bw != nil {
+		r.bw.Flush() //nolint:errcheck — final drain
+		r.sink.Close()
+		r.bw, r.sink = nil, nil
+	}
+}
+
+// TimeseriesPayload is the /timeseries endpoint document.
+type TimeseriesPayload struct {
+	IntervalNs int64  `json:"interval_ns"`
+	Capacity   int    `json:"capacity"`
+	Total      int64  `json:"total_ticks"`
+	Dropped    int64  `json:"dropped_ticks"`
+	Ticks      []Tick `json:"ticks"`
+}
+
+// Payload snapshots the retained window for /timeseries.
+func (r *Recorder) Payload() TimeseriesPayload {
+	if r == nil {
+		return TimeseriesPayload{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ticks := r.ticksLocked()
+	return TimeseriesPayload{
+		IntervalNs: int64(r.interval),
+		Capacity:   r.capacity,
+		Total:      r.total,
+		Dropped:    r.total - int64(len(ticks)),
+		Ticks:      ticks,
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"strings"
 	"time"
+
+	"polyecc/internal/latency"
 )
 
 // processStart anchors /healthz uptime reporting.
@@ -192,6 +194,29 @@ func writePromHistogram(w http.ResponseWriter, name, labels string, h *Histogram
 	fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", name, labels, h.Sum(), name, labels, cum)
 }
 
+// writePromLatency renders a log-linear latency histogram in exposition
+// format. The 1024 buckets would bloat every scrape, so only non-empty
+// buckets are emitted (cumulative counts are unaffected: an empty
+// bucket adds nothing) plus the mandatory le="+Inf". All lines derive
+// from one Snapshot, so le="+Inf" == _count holds under concurrent
+// writers exactly as for the fixed-bucket histograms.
+func writePromLatency(w http.ResponseWriter, name string, h *latency.Hist) {
+	var s latency.Snapshot
+	h.Snapshot(&s)
+	cum := int64(0)
+	for i := 0; i < latency.NumBuckets; i++ {
+		n := s.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		cum += n
+		_, hi := latency.BucketBound(i)
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, hi, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, s.Sum, name, cum)
+}
+
 // metricsHandler renders every scrapeable expvar as Prometheus text
 // exposition: telemetry Counters as counters, LabeledCounters as
 // labeled counters, Histograms and LabeledHistograms as
@@ -218,6 +243,9 @@ func metricsHandler(w http.ResponseWriter, r *http.Request) {
 			v.Do(func(label string, h *Histogram) {
 				writePromHistogram(w, name, fmt.Sprintf("label=\"%s\",", promLabel(label)), h)
 			})
+		case *latency.Hist:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			writePromLatency(w, name, v)
 		case *expvar.Int:
 			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v.Value())
 		case *expvar.Float:

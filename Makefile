@@ -2,18 +2,34 @@
 # keep green; `make bench-snapshot` refreshes the decode-path perf
 # snapshot future PRs are compared against; `make bench-gate` enforces
 # the perf contract on the hot paths: 0 allocs/op for encode, the
-# scratch entry points, the corrected-SSC decode, and the decodes with
-# a journal subscriber or a latency probe attached, plus a latency
-# gate holding the corrected-SSC decode within 10% of the committed
-# BENCH_decode.json baseline and the attached-path variants within 3x
-# of their bare counterparts. `make bench-compare OLD=old.json` prints
-# the before/after table for a perf PR.
+# scratch entry points, the clean and corrected decodes (SSC, DEC,
+# BF+BF, batched tile), and the decodes with a journal subscriber or a
+# latency probe attached; absolute latency ceilings on the
+# candidate-free fast path (clean decode <= 250 ns/op, corrected SSC
+# <= 400 ns/op, encode <= 200 ns/op); metrics attachment within 1.25x
+# of the bare clean decode and the other attached-path variants within
+# 3x of their bare counterparts; every latency-gated scenario within
+# -gate-tolerance of the committed BENCH_decode.json baseline; and the
+# remainder->hint tables within their 4 MiB per-codec budget.
+# `make fastpath-smoke` proves the fast path bit-identical to the
+# legacy enumeration (differential tables, decode equivalence, golden
+# vectors). `make bench-compare OLD=old.json` prints the before/after
+# table for a perf PR.
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-snapshot bench-history bench-gate bench-compare smoke-campaign scrub-smoke report-smoke scenario-smoke health-smoke heal-smoke latency-smoke
+.PHONY: ci build vet test race bench bench-snapshot bench-history bench-gate bench-compare fastpath-smoke smoke-campaign scrub-smoke report-smoke scenario-smoke health-smoke heal-smoke latency-smoke
 
-ci: vet build race smoke-campaign scrub-smoke bench-gate report-smoke scenario-smoke health-smoke heal-smoke latency-smoke
+ci: vet build race fastpath-smoke smoke-campaign scrub-smoke bench-gate report-smoke scenario-smoke health-smoke heal-smoke latency-smoke
+
+# Differential proof that the candidate-free fast path (remainder->hint
+# tables + incremental MAC) decodes bit-identically to the legacy
+# enumeration: per-remainder candidate-list equality, randomized decode
+# equivalence, incremental-MAC algebra, and the pinned golden vectors.
+fastpath-smoke:
+	$(GO) test ./internal/poly -run 'TestHintTableDifferential|TestChipKillPlus1Differential|TestFastDecodeEquivalence|TestHintTableBytes|TestGoldenVectors' -count=1
+	$(GO) test ./internal/mac -run 'TestSumSave|TestSumFrom' -count=1
+	@echo "fastpath-smoke: hint tables and incremental MAC match enumeration"
 
 build:
 	$(GO) build ./...

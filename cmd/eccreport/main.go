@@ -56,6 +56,7 @@ type benchSnapshot struct {
 	GOARCH      string              `json:"goarch"`
 	Config      string              `json:"config"`
 	Manifest    *telemetry.Manifest `json:"manifest,omitempty"`
+	HintTables  map[string]int64    `json:"hint_table_bytes,omitempty"`
 	Benchmarks  []benchResult       `json:"benchmarks"`
 }
 
@@ -1154,6 +1155,14 @@ svg { background: #fafbfc; border: 1px solid #ddd; }
 <tr><th>scenario</th><th class="num">ns/op</th><th class="num">allocs/op</th><th class="num">B/op</th><th class="num">iterations</th></tr>
 {{range .Bench.Benchmarks}}<tr><td>{{.Name}}</td><td class="num">{{printf "%.1f" .NsPerOp}}</td><td class="num">{{.AllocsPerOp}}</td><td class="num">{{.BytesPerOp}}</td><td class="num">{{.Iterations}}</td></tr>
 {{end}}</table>
+{{if .Bench.HintTables}}
+<h3>Remainder&rarr;hint tables</h3>
+<p class="muted">per-codec candidate-free correction table footprint (budget 4 MiB each)</p>
+<table>
+<tr><th>codec</th><th class="num">bytes</th></tr>
+{{range $codec, $bytes := .Bench.HintTables}}<tr><td>{{$codec}}</td><td class="num">{{$bytes}}</td></tr>
+{{end}}</table>
+{{end}}
 {{end}}
 
 {{if .History}}

@@ -50,6 +50,17 @@ func FuzzCodecs(f *testing.F) {
 					t.Errorf("%s: clean round trip corrupted the data", code.Name())
 				}
 			}
+			// Polymorphic codes with hint tables must decode identically
+			// through the legacy runtime enumeration — data AND report.
+			if p, ok := code.(Poly); ok && p.C.HintTableBytes() > 0 {
+				line := p.C.FromBurst(&b)
+				fastData, fastRep := p.C.DecodeLine(line)
+				enumData, enumRep := p.C.WithEnumeratedCandidates().DecodeLine(line)
+				if fastData != enumData || fastRep != enumRep {
+					t.Errorf("%s: hint-table decode diverges from enumeration:\n fast %+v\n enum %+v",
+						code.Name(), fastRep, enumRep)
+				}
+			}
 		}
 	})
 }
@@ -81,6 +92,15 @@ func FuzzBatchedDecode(f *testing.F) {
 			b.Xor(&mask)
 			line := p.C.FromBurst(&b)
 			want, wantRep := p.C.DecodeLine(line)
+			if p.C.HintTableBytes() > 0 {
+				// The enumeration oracle must match the fast path through
+				// the single-line entry point before the batch comparison.
+				enumData, enumRep := p.C.WithEnumeratedCandidates().DecodeLine(line)
+				if enumData != want || enumRep != wantRep {
+					t.Errorf("%s: enumeration decode diverges:\n fast %+v\n enum %+v",
+						code.Name(), wantRep, enumRep)
+				}
+			}
 			s := p.C.NewScratch()
 			// The same line twice in one batch also checks that the first
 			// decode leaves no state behind that shifts the second.

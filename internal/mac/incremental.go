@@ -1,0 +1,197 @@
+package mac
+
+// Incremental is the delta-update capability of a chained MAC: both
+// provided MACs absorb their input as a chain of 8-byte blocks, so the
+// tag over a message that differs from a previously-summed one only
+// from block f onward can be recomputed from a checkpoint of the chain
+// state at block f instead of from the start. Polymorphic ECC's
+// corrector exploits this: every correction trial patches at most two
+// codewords of the 64-byte line, so re-verification touches only the
+// changed suffix (≈half the blocks on average for a uniform word).
+//
+// The contract: SumSave(data, st) returns exactly Sum(data) while
+// recording per-block checkpoints in st; SumFrom(data', st, f) returns
+// exactly Sum(data') provided len(data') == len(data) and data' agrees
+// with data on every byte before offset 8*f. The tags are bit-identical
+// to Sum — incremental recomputation is an optimization, never a
+// different function.
+type Incremental interface {
+	MAC
+	// SumSave is Sum recording chain-state checkpoints into st.
+	SumSave(data []byte, st *IncState) uint64
+	// SumFrom is Sum over data assumed unchanged before byte 8*fromBlock,
+	// resumed from st's checkpoint. fromBlock is clamped to the saved
+	// range; fromBlock <= 0 recomputes everything (still correct).
+	SumFrom(data []byte, st *IncState, fromBlock int) uint64
+}
+
+// incMaxBlocks bounds the message length SumSave checkpoints: one state
+// per full 8-byte block plus one before the final/partial block. A
+// 64-byte cacheline needs 9; longer messages fall back to full
+// recomputation inside SumFrom.
+const incMaxBlocks = 16
+
+// IncState holds the chain-state checkpoints of one SumSave. v[i] is
+// the state before absorbing block i (SipHash uses all four lanes,
+// Qarma only lane 0). A zero IncState is only valid once SumSave has
+// filled it; callers gate SumFrom on having called SumSave over the
+// same-length base message.
+type IncState struct {
+	v [incMaxBlocks][4]uint64
+	n int // checkpoints saved; 0 means SumSave fell back (message too long)
+}
+
+// --- SipHash ----------------------------------------------------------------
+
+// SumSave implements Incremental.
+func (s *SipHash) SumSave(data []byte, st *IncState) uint64 {
+	if len(data)/8+1 > incMaxBlocks {
+		st.n = 0
+		return s.Sum(data)
+	}
+	v0 := s.k0 ^ 0x736f6d6570736575
+	v1 := s.k1 ^ 0x646f72616e646f6d
+	v2 := s.k0 ^ 0x6c7967656e657261
+	v3 := s.k1 ^ 0x7465646279746573
+
+	n := len(data)
+	blk := 0
+	for ; len(data) >= 8; data = data[8:] {
+		st.v[blk] = [4]uint64{v0, v1, v2, v3}
+		blk++
+		var m uint64
+		for i := 7; i >= 0; i-- {
+			m = m<<8 | uint64(data[i])
+		}
+		v3 ^= m
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+		v0 ^= m
+	}
+	st.v[blk] = [4]uint64{v0, v1, v2, v3}
+	st.n = blk + 1
+	m := uint64(n&0xff) << 56
+	for i := len(data) - 1; i >= 0; i-- {
+		m |= uint64(data[i]) << uint(8*i)
+	}
+	v3 ^= m
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0 ^= m
+	v2 ^= 0xff
+	for i := 0; i < 4; i++ {
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	}
+	return Truncate(v0^v1^v2^v3, s.bits)
+}
+
+// SumFrom implements Incremental.
+func (s *SipHash) SumFrom(data []byte, st *IncState, fromBlock int) uint64 {
+	if st.n == 0 || st.n != len(data)/8+1 {
+		return s.Sum(data) // no (or mismatched) checkpoints: recompute
+	}
+	if fromBlock < 0 {
+		fromBlock = 0
+	}
+	if fromBlock >= st.n {
+		fromBlock = st.n - 1
+	}
+	v0, v1, v2, v3 := st.v[fromBlock][0], st.v[fromBlock][1], st.v[fromBlock][2], st.v[fromBlock][3]
+	n := len(data)
+	for data = data[8*fromBlock:]; len(data) >= 8; data = data[8:] {
+		var m uint64
+		for i := 7; i >= 0; i-- {
+			m = m<<8 | uint64(data[i])
+		}
+		v3 ^= m
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+		v0 ^= m
+	}
+	m := uint64(n&0xff) << 56
+	for i := len(data) - 1; i >= 0; i-- {
+		m |= uint64(data[i]) << uint(8*i)
+	}
+	v3 ^= m
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0 ^= m
+	v2 ^= 0xff
+	for i := 0; i < 4; i++ {
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	}
+	return Truncate(v0^v1^v2^v3, s.bits)
+}
+
+// --- Qarma ------------------------------------------------------------------
+
+// SumSave implements Incremental. The Qarma chain state is a single
+// 64-bit value and the tweak is the block index, so a checkpoint is one
+// lane.
+func (q *Qarma) SumSave(data []byte, st *IncState) uint64 {
+	if len(data)/8+1 > incMaxBlocks {
+		st.n = 0
+		return q.Sum(data)
+	}
+	total := uint64(len(data))
+	var state uint64
+	var tweak uint64
+	blk := 0
+	for len(data) >= 8 {
+		st.v[blk][0] = state
+		blk++
+		var m uint64
+		for i := 0; i < 8; i++ {
+			m = m<<8 | uint64(data[i])
+		}
+		state = q.c.Encrypt(state^m, tweak)
+		tweak++
+		data = data[8:]
+	}
+	st.v[blk][0] = state
+	st.n = blk + 1
+	if len(data) > 0 {
+		var m uint64
+		for i, b := range data {
+			m |= uint64(b) << uint(8*i)
+		}
+		m |= uint64(len(data))<<56 | 1<<63
+		state = q.c.Encrypt(state^m, tweak)
+	}
+	state = q.c.Encrypt(state^total, ^uint64(0))
+	return Truncate(state, q.bits)
+}
+
+// SumFrom implements Incremental.
+func (q *Qarma) SumFrom(data []byte, st *IncState, fromBlock int) uint64 {
+	if st.n == 0 || st.n != len(data)/8+1 {
+		return q.Sum(data)
+	}
+	if fromBlock < 0 {
+		fromBlock = 0
+	}
+	if fromBlock >= st.n {
+		fromBlock = st.n - 1
+	}
+	total := uint64(len(data))
+	state := st.v[fromBlock][0]
+	tweak := uint64(fromBlock)
+	for data = data[8*fromBlock:]; len(data) >= 8; data = data[8:] {
+		var m uint64
+		for i := 0; i < 8; i++ {
+			m = m<<8 | uint64(data[i])
+		}
+		state = q.c.Encrypt(state^m, tweak)
+		tweak++
+	}
+	if len(data) > 0 {
+		var m uint64
+		for i, b := range data {
+			m |= uint64(b) << uint(8*i)
+		}
+		m |= uint64(len(data))<<56 | 1<<63
+		state = q.c.Encrypt(state^m, tweak)
+	}
+	state = q.c.Encrypt(state^total, ^uint64(0))
+	return Truncate(state, q.bits)
+}

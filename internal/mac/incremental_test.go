@@ -1,0 +1,116 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// incrementalMACs builds one instance of every Incremental MAC at a few
+// tag widths.
+func incrementalMACs(t *testing.T) []Incremental {
+	t.Helper()
+	key := [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	return []Incremental{
+		MustSipHash(key, 40),
+		MustSipHash(key, 64),
+		MustQarma(key, 40),
+		MustQarma(key, 60),
+	}
+}
+
+// TestSumSaveMatchesSum pins SumSave to Sum bit-for-bit over message
+// lengths covering empty, partial-tail, and whole-block inputs,
+// including the 64-byte cacheline the corrector uses.
+func TestSumSaveMatchesSum(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, m := range incrementalMACs(t) {
+		for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 63, 64, 119, 120, 121, 200} {
+			data := make([]byte, n)
+			r.Read(data)
+			var st IncState
+			if got, want := m.SumSave(data, &st), m.Sum(data); got != want {
+				t.Errorf("%T len %d: SumSave %#x, Sum %#x", m, n, got, want)
+			}
+		}
+	}
+}
+
+// TestSumFromMatchesSum is the incremental-MAC property test of the
+// corrector's delta-update path: after checkpointing a base message,
+// mutating at most two 8-byte blocks (the ≤2-symbol correction trial
+// shape) and recomputing from the first changed block must equal the
+// full MAC of the mutated message — for every block pair, every MAC,
+// and random deltas.
+func TestSumFromMatchesSum(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, m := range incrementalMACs(t) {
+		for _, n := range []int{64, 40, 57} { // whole-block and partial-tail bases
+			base := make([]byte, n)
+			r.Read(base)
+			var st IncState
+			if got, want := m.SumSave(base, &st), m.Sum(base); got != want {
+				t.Fatalf("%T: SumSave %#x, Sum %#x", m, got, want)
+			}
+			blocks := n / 8
+			for trial := 0; trial < 200; trial++ {
+				mut := append([]byte(nil), base...)
+				bA := r.Intn(blocks)
+				bB := r.Intn(blocks)
+				for _, b := range []int{bA, bB} {
+					for i := 0; i < 8 && 8*b+i < n; i++ {
+						mut[8*b+i] ^= byte(r.Intn(256))
+					}
+				}
+				from := bA
+				if bB < from {
+					from = bB
+				}
+				if got, want := m.SumFrom(mut, &st, from), m.Sum(mut); got != want {
+					t.Fatalf("%T len %d blocks (%d,%d): SumFrom %#x, Sum %#x", m, n, bA, bB, got, want)
+				}
+			}
+			// Recomputing from block 0 and from beyond the end must also agree.
+			if got, want := m.SumFrom(base, &st, 0), m.Sum(base); got != want {
+				t.Errorf("%T: SumFrom(0) %#x, Sum %#x", m, got, want)
+			}
+			if got, want := m.SumFrom(base, &st, blocks+5), m.Sum(base); got != want {
+				t.Errorf("%T: clamped SumFrom %#x, Sum %#x", m, got, want)
+			}
+		}
+	}
+}
+
+// TestSumFromMismatchedLengthFallsBack checks the safety valve: a state
+// saved over one length silently falls back to a full recomputation for
+// a different length instead of producing a wrong tag.
+func TestSumFromMismatchedLengthFallsBack(t *testing.T) {
+	for _, m := range incrementalMACs(t) {
+		base := make([]byte, 64)
+		other := make([]byte, 48)
+		var st IncState
+		m.SumSave(base, &st)
+		if got, want := m.SumFrom(other, &st, 3), m.Sum(other); got != want {
+			t.Errorf("%T: mismatched-length SumFrom %#x, Sum %#x", m, got, want)
+		}
+	}
+}
+
+// TestSumSaveLongMessageFallsBack checks that messages beyond the
+// checkpoint capacity still produce correct tags via the fallback.
+func TestSumSaveLongMessageFallsBack(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, m := range incrementalMACs(t) {
+		data := make([]byte, 8*incMaxBlocks+40)
+		r.Read(data)
+		var st IncState
+		if got, want := m.SumSave(data, &st), m.Sum(data); got != want {
+			t.Errorf("%T: long SumSave %#x, Sum %#x", m, got, want)
+		}
+		if st.n != 0 {
+			t.Errorf("%T: long SumSave saved %d checkpoints, want fallback", m, st.n)
+		}
+		if got, want := m.SumFrom(data, &st, 2), m.Sum(data); got != want {
+			t.Errorf("%T: long SumFrom %#x, Sum %#x", m, got, want)
+		}
+	}
+}

@@ -50,9 +50,40 @@ func (co correction) cost() int64 {
 	return c
 }
 
+// getSym8/putSym8 are the byte-aligned symbol accessors of the
+// 8-bit-symbol layout (codewords ≤ 128 bits: symbols 0-7 in W0, the rest
+// in W1) — one shift and mask instead of the generic U192 field walk.
+func getSym8(w wideint.U192, s int) uint64 {
+	if s < 8 {
+		return w.W0 >> uint(8*s) & 0xff
+	}
+	return w.W1 >> uint(8*(s-8)) & 0xff
+}
+
+func putSym8(w wideint.U192, s int, v uint64) wideint.U192 {
+	if s < 8 {
+		sh := uint(8 * s)
+		w.W0 = w.W0&^(uint64(0xff)<<sh) | v<<sh
+	} else {
+		sh := uint(8 * (s - 8))
+		w.W1 = w.W1&^(uint64(0xff)<<sh) | v<<sh
+	}
+	return w
+}
+
 // applyCorrection subtracts a candidate error from a codeword. The bool
 // reports whether every symbol stayed in range (no underflow/overflow).
 func (c *Code) applyCorrection(w wideint.U192, co correction) (wideint.U192, bool) {
+	if c.fastSym8 {
+		for _, sd := range co.deltas[:co.n] {
+			nv := int64(getSym8(w, sd.Sym)) - sd.Delta
+			if nv < 0 || nv > 255 {
+				return w, false
+			}
+			w = putSym8(w, sd.Sym, uint64(nv))
+		}
+		return w, true
+	}
 	S := c.cfg.Geometry.SymbolBits
 	for _, sd := range co.deltas[:co.n] {
 		off := sd.Sym * S
@@ -69,6 +100,14 @@ func (c *Code) applyCorrection(w wideint.U192, co correction) (wideint.U192, boo
 // flipsOf returns the XOR pattern a correction implies on one symbol of a
 // word, for fault-model consistency checks.
 func (c *Code) flipsOf(w wideint.U192, sd symDelta) (uint64, bool) {
+	if c.fastSym8 {
+		v := int64(getSym8(w, sd.Sym))
+		nv := v - sd.Delta
+		if nv < 0 || nv > 255 {
+			return 0, false
+		}
+		return uint64(v ^ nv), true
+	}
 	S := c.cfg.Geometry.SymbolBits
 	off := sd.Sym * S
 	v := int64(w.Field(off, S))
@@ -171,6 +210,9 @@ func (c *Code) symbolCandidates(s *Scratch, rem uint64) []residue.Candidate {
 // no table needed (§V-D). Like every generator below it appends into dst
 // (a per-dimension scratch buffer) and returns the finished list.
 func (c *Code) sscCandidates(dst []correction, s *Scratch, w wideint.U192, rem uint64) []correction {
+	if c.fast != nil {
+		return c.fastSingles(dst, w, rem, ModelSSC)
+	}
 	raw := dst
 	for _, cand := range c.symbolCandidates(s, rem) {
 		raw = append(raw, corr1(cand.Symbol, cand.Delta))
@@ -181,6 +223,16 @@ func (c *Code) sscCandidates(dst []correction, s *Scratch, w wideint.U192, rem u
 // sscCandidatesAt restricts Eq. 2 to one hypothesized symbol (the
 // ChipKill hypothesis: a known failing device).
 func (c *Code) sscCandidatesAt(dst []correction, s *Scratch, w wideint.U192, rem uint64, sym int) []correction {
+	if c.fast != nil {
+		if d := c.fastSingleAt(rem, sym); d != 0 {
+			co := corr1(sym, int64(d))
+			if c.prune(w, co, ModelChipKill) {
+				co.valid = true
+				dst = append(dst, co)
+			}
+		}
+		return dst
+	}
 	raw := dst
 	for _, cand := range c.symbolCandidates(s, rem) {
 		if cand.Symbol == sym {
@@ -195,6 +247,12 @@ func (c *Code) sscCandidatesAt(dst []correction, s *Scratch, w wideint.U192, rem
 // flip pattern has exactly two bits), the cross-symbol pairs from the DEC
 // hint table plus Eq. 3.
 func (c *Code) decCandidates(dst []correction, s *Scratch, w wideint.U192, rem uint64) []correction {
+	if c.fast != nil {
+		// Singles always cost below pairs, so the concatenation of the two
+		// pruned, cost-sorted runs is the legacy globally-sorted list.
+		dst = c.fastSingles(dst, w, rem, ModelDEC)
+		return c.fastDECPairs(dst, w, rem)
+	}
 	raw := dst
 	for _, cand := range c.symbolCandidates(s, rem) {
 		raw = append(raw, corr1(cand.Symbol, cand.Delta))
@@ -207,6 +265,12 @@ func (c *Code) decCandidates(dst []correction, s *Scratch, w wideint.U192, rem u
 // anywhere in the codeword (used by the aliasing-degree studies; the
 // corrector itself walks pair hypotheses via bfbfCandidatesAt).
 func (c *Code) bfbfCandidates(dst []correction, s *Scratch, w wideint.U192, rem uint64) []correction {
+	if c.fast != nil && c.fast.bfbfIdx != nil {
+		// The gathered runs keep the hint bucket's raw order for ties, so
+		// the same finish sort reproduces the legacy list — with Eq. 3
+		// pre-solved instead of one MulMod chain per stored hint.
+		return c.finishCandidates(w, c.fastBFBFGather(dst, rem), ModelBFBF)
+	}
 	raw := c.pairCandidates(dst, rem, ModelBFBF)
 	return c.finishCandidates(w, raw, ModelBFBF)
 }
@@ -216,6 +280,28 @@ func (c *Code) bfbfCandidates(dst []correction, s *Scratch, w wideint.U192, rem 
 // the whole cacheline, so the corrector iterates pairs the way it
 // iterates ChipKill devices.
 func (c *Code) bfbfCandidatesAt(dst []correction, s *Scratch, w wideint.U192, rem uint64, devA, devB int) []correction {
+	if c.fast != nil {
+		// Singles sort below pairs; the two surviving singles (at most one
+		// per device) order by cost with the devA-first tie-break the
+		// stable legacy sort produces.
+		var singles [2]correction
+		ns := 0
+		for _, dev := range [2]int{devA, devB} {
+			if d := c.fastSingleAt(rem, dev); d != 0 {
+				co := corr1(dev, int64(d))
+				if c.prune(w, co, ModelBFBF) {
+					co.valid = true
+					singles[ns] = co
+					ns++
+				}
+			}
+		}
+		if ns == 2 && singles[1].cost() < singles[0].cost() {
+			singles[0], singles[1] = singles[1], singles[0]
+		}
+		dst = append(dst, singles[:ns]...)
+		return c.fastBFBFAt(dst, w, rem, devA, devB)
+	}
 	raw := dst
 	for _, h := range c.hints[ModelBFBF][rem] {
 		if int(h.symA) != devA || int(h.symB) != devB {
@@ -319,6 +405,11 @@ func dedupeHints(table map[uint64][]pairHint) {
 	}
 }
 
+// pinPatterns is pinDeltaPatterns computed once: the pattern set is a
+// pure function of the 8-bit-symbol layout, and rebuilding it per
+// ChipKill+1 attempt was the only allocation on the corrected path.
+var pinPatterns = pinDeltaPatterns()
+
 // pinDeltaPatterns returns the signed in-symbol deltas a single failed
 // pin can produce on one codeword of the 8-bit-symbol layout: the pin's
 // bit in the first beat (bit k), in the second beat (bit k+4), or both.
@@ -349,9 +440,15 @@ type pinPattern struct {
 func (c *Code) chipKillPlus1Candidates(dst []correction, s *Scratch, w wideint.U192, rem uint64, devA, devB, pin int, patterns []pinPattern) []correction {
 	raw := dst
 	// Pin quiet on this codeword: pure device-a error.
-	for _, cand := range c.symbolCandidates(s, rem) {
-		if cand.Symbol == devA {
-			raw = append(raw, corr1(devA, cand.Delta))
+	if c.fast != nil {
+		if d := c.fastSingleAt(rem, devA); d != 0 {
+			raw = append(raw, corr1(devA, int64(d)))
+		}
+	} else {
+		for _, cand := range c.symbolCandidates(s, rem) {
+			if cand.Symbol == devA {
+				raw = append(raw, corr1(devA, cand.Delta))
+			}
 		}
 	}
 	for _, p := range patterns {

@@ -79,12 +79,24 @@ func (c *Code) DecodeLine(l Line) ([LineBytes]byte, Report) {
 }
 
 // decodeLine is the uninstrumented decode path. Every buffer it and the
-// corrector below touch lives in s.
+// corrector below touch lives in s. When s.remsPrimed is set the
+// remainder scan is skipped — DecodeLines' tile prepass has already
+// batch-folded every codeword's remainder into s.rems.
 func (c *Code) decodeLine(l Line, s *Scratch) ([LineBytes]byte, Report) {
 	rems := s.rems
+	if s.remsPrimed {
+		s.remsPrimed = false
+	} else if len(l.Words) <= len(rems) {
+		// The batch fold's unrolled 80-bit path beats per-word Remainder
+		// calls even for a single line's eight codewords.
+		c.tab.RemainderBatch(rems[:len(l.Words)], l.Words)
+	} else {
+		for i, w := range l.Words {
+			rems[i] = c.Remainder(w)
+		}
+	}
 	corrupted := s.corrupt[:0]
-	for i, w := range l.Words {
-		rems[i] = c.Remainder(w)
+	for i := range l.Words {
 		if rems[i] != 0 {
 			corrupted = append(corrupted, i)
 		}
@@ -93,7 +105,18 @@ func (c *Code) decodeLine(l Line, s *Scratch) ([LineBytes]byte, Report) {
 	rep := Report{CorruptedWords: len(corrupted)}
 
 	embedded := c.assemble(l.Words, &s.out)
-	if c.mac.Sum(s.out[:]) == embedded {
+	var sum uint64
+	if c.macInc != nil && len(corrupted) > 0 {
+		// A corrupted line is headed for the correction loop: absorb the
+		// base assembly once, checkpointing the MAC chain per block, so
+		// every trial re-verifies only from its first patched codeword.
+		sum = c.macInc.SumSave(s.out[:], &s.macState)
+		s.macSaved = true
+	} else {
+		sum = c.mac.Sum(s.out[:])
+		s.macSaved = false
+	}
+	if sum == embedded {
 		// All-zero remainders with a matching MAC is the common case; a
 		// nonzero remainder with a matching MAC means the corruption is
 		// confined to check bits — fix them from the intact payload
@@ -204,7 +227,7 @@ func (c *Code) tryModel(model FaultModel, base []wideint.U192, rems []uint64, co
 		return false, nil
 
 	case ModelChipKillPlus1:
-		patterns := pinDeltaPatterns()
+		patterns := pinPatterns
 		n := c.cfg.Geometry.NumSymbols
 		// ChipKill+1 has errors that alias to remainder zero (the paper
 		// counts 218 for M=2005, §VIII-A): a device error cancelling the
@@ -303,6 +326,18 @@ func (c *Code) modelCandidates(dst []correction, s *Scratch, model FaultModel, w
 
 // pairCandidatesPruned is the zero-remainder hint bucket with pruning.
 func (c *Code) pairCandidatesPruned(dst []correction, w wideint.U192, model FaultModel) []correction {
+	if c.fast != nil {
+		switch model {
+		case ModelDEC:
+			if c.fast.decIdx != nil {
+				return c.fastDECPairs(dst, w, 0)
+			}
+		case ModelBFBF:
+			if c.fast.bfbfIdx != nil {
+				return c.finishCandidates(w, c.fastBFBFGather(dst, 0), model)
+			}
+		}
+	}
 	return c.finishCandidates(w, c.pairCandidates(dst, 0, model), model)
 }
 
@@ -344,6 +379,15 @@ func (c *Code) runCounter(model FaultModel, base []wideint.U192, dims []int, rep
 		counters[d] = 0
 	}
 	single := len(dims) == 1
+	// Incremental MAC: dims is ascending and trials only patch dims'
+	// codewords, so every trial's assembly agrees with the checkpointed
+	// base (s.macState, saved at decode entry) on all blocks before
+	// dims[0]'s data field — recompute the MAC from there.
+	macFast := c.macInc != nil && s.macSaved
+	fromBlock := 0
+	if macFast {
+		fromBlock = dims[0] * c.dataBits / 64
+	}
 	revert := func() {
 		for _, wi := range dims {
 			trial[wi] = base[wi]
@@ -390,7 +434,16 @@ func (c *Code) runCounter(model FaultModel, base []wideint.U192, dims []int, rep
 		}
 		rep.Iterations++
 		rep.PerModelTrials[model]++
-		match := ok && c.mac.Sum(s.work[:]) == s.workEmbedded
+		match := false
+		if ok {
+			var sum uint64
+			if macFast {
+				sum = c.macInc.SumFrom(s.work[:], &s.macState, fromBlock)
+			} else {
+				sum = c.mac.Sum(s.work[:])
+			}
+			match = sum == s.workEmbedded
+		}
 		if c.trace != nil {
 			for d, wi := range dims {
 				c.trace(TraceEvent{

@@ -166,6 +166,31 @@ type Code struct {
 
 	hints map[FaultModel]map[uint64][]pairHint
 
+	// fast holds the candidate-free correction tables (fast.go) when the
+	// configuration admits them; nil falls back to runtime enumeration.
+	fast *fastTables
+	// macInc is the MAC's incremental interface when it supports
+	// checkpointed recomputation and the data field is whole 8-byte
+	// blocks; nil keeps every trial on the full-line Sum.
+	macInc mac.Incremental
+
+	// Single-limb layout shortcuts for the 8-bit-symbol codes: the data
+	// field is one 64-bit limb spanning W0/W1 (fastField), every symbol
+	// is a byte of W0 or W1 (fastSym8), and check+MAC sit in W0's low
+	// loBits bits. The assembly/patch/correction hot paths use these to
+	// avoid the generic U192 shift-and-mask machinery.
+	fastField bool
+	fastSym8  bool
+	loBits    uint   // k + macBits: bit offset of the data field
+	macMask   uint64 // (1 << macBits) - 1
+
+	// hitCounters/trialCounters cache the per-model telemetry counters so
+	// the instrumented decode path adds atomically without re-resolving
+	// the label map (and its RLock) per decode. Populated only when
+	// metrics is non-nil.
+	hitCounters   [NumFaultModels]*telemetry.Counter
+	trialCounters [NumFaultModels]*telemetry.Counter
+
 	// pool backs the scratch-free entry points (DecodeLine): callers that
 	// care about allocation own a Scratch instead (NewScratch). The pool
 	// is a pointer so WithMetrics/WithTrace copies share it — scratches
@@ -251,8 +276,37 @@ func New(cfg Config, m mac.MAC) (*Code, error) {
 			c.hints[ModelBFBF] = c.buildBFBFHints()
 		}
 	}
+	c.loBits = uint(c.k + c.macBits)
+	c.macMask = uint64(1)<<uint(c.macBits) - 1
+	c.fastField = c.dataBits == 64 && c.loBits > 0 && c.loBits < 64
+	c.fastSym8 = g.SymbolBits == 8 && g.CodewordBits() <= 128
+	// Candidate-free fast path: invert the generators into per-remainder
+	// tables. Gated to strict small-M 8-bit-symbol codes where the tables
+	// stay small and every (remainder, symbol) has at most one Eq. 2
+	// solution; the ablation knobs keep the enumeration they study.
+	if !cfg.Relaxed && !cfg.DisablePrune && !cfg.NaturalOrder &&
+		g.SymbolBits <= 8 && cfg.M <= 1<<16 && int64(cfg.M) > 2*c.maxSym() {
+		c.fast = c.buildFastTables()
+	}
+	if inc, ok := m.(mac.Incremental); ok && c.dataBits%64 == 0 {
+		c.macInc = inc
+	}
+	c.cacheCounters()
 	c.pool = &sync.Pool{New: func() any { return c.NewScratch() }}
 	return c, nil
+}
+
+// cacheCounters resolves the per-fault-model counter pointers once so
+// observe never touches the label maps on the decode path.
+func (c *Code) cacheCounters() {
+	if c.metrics == nil {
+		return
+	}
+	for fm := 0; fm < NumFaultModels; fm++ {
+		name := FaultModel(fm).String()
+		c.hitCounters[fm] = c.metrics.ModelHits.Counter(name)
+		c.trialCounters[fm] = c.metrics.ModelTrials.Counter(name)
+	}
 }
 
 // MustNew is New for known-good configurations.
@@ -305,7 +359,10 @@ func (c *Code) EncodeWord(data wideint.U192, slice uint64) wideint.U192 {
 	payload := data.Lsh(uint(c.macBits)).Or(wideint.FromUint64(mac.Truncate(slice, c.macBits)))
 	v := payload.Lsh(uint(c.k))
 	r := c.tab.Remainder(v)
-	check := (c.cfg.M - r) % c.cfg.M
+	check := uint64(0)
+	if r != 0 {
+		check = c.cfg.M - r
+	}
 	return v.Or(wideint.FromUint64(check))
 }
 
@@ -330,10 +387,15 @@ func (c *Code) WordCheck(w wideint.U192) uint64 {
 }
 
 // canonicalCheck returns the check bits implied by a codeword's payload.
+// The check field always fits W0 (k = bitlen(M) < 64), so clearing it is
+// one masked store rather than a shift round-trip.
 func (c *Code) canonicalCheck(w wideint.U192) uint64 {
-	v := w.Rsh(uint(c.k)).Lsh(uint(c.k))
-	r := c.tab.Remainder(v)
-	return (c.cfg.M - r) % c.cfg.M
+	w.W0 &^= uint64(1)<<uint(c.k) - 1
+	r := c.tab.Remainder(w)
+	if r == 0 {
+		return 0
+	}
+	return c.cfg.M - r
 }
 
 // --- Cacheline encode/decode ----------------------------------------------
@@ -378,11 +440,34 @@ func (c *Code) encodeLineInto(dst *Line, data *[LineBytes]byte) {
 		dst.Words = make([]wideint.U192, c.words)
 	}
 	dst.Words = dst.Words[:c.words]
-	tag := c.mac.Sum(data[:])
-	for w := 0; w < c.words; w++ {
+	c.encodeWords(dst.Words, data, c.mac.Sum(data[:]))
+}
+
+// encodeWords fills out with the encoded codewords of one cacheline.
+// The fastField path assembles every payload with single-limb shifts,
+// folds all remainders in one batch pass, and splices the check bits in
+// place — the encode-side counterpart of the decode prepass.
+func (c *Code) encodeWords(out []wideint.U192, data *[LineBytes]byte, tag uint64) {
+	if c.fastField && c.words <= 8 {
+		lo, hi, k := c.loBits, 64-c.loBits, uint(c.k)
+		for w := range out {
+			d := binary.LittleEndian.Uint64(data[w*8:])
+			slice := tag >> uint(w*c.macBits) & c.macMask
+			out[w] = wideint.U192{W0: d<<lo | slice<<k, W1: d >> hi}
+		}
+		var rems [8]uint64
+		c.tab.RemainderBatch(rems[:len(out)], out)
+		for w := range out {
+			if rems[w] != 0 {
+				out[w].W0 |= c.cfg.M - rems[w]
+			}
+		}
+		return
+	}
+	for w := range out {
 		d := c.dataField(data, w)
 		slice := tag >> uint(w*c.macBits) & (1<<uint(c.macBits) - 1)
-		dst.Words[w] = c.EncodeWord(d, slice)
+		out[w] = c.EncodeWord(d, slice)
 	}
 }
 
@@ -427,7 +512,19 @@ func (c *Code) writeWordData(word wideint.U192, w int, data *[LineBytes]byte) {
 }
 
 // assemble reconstructs the data bytes and the embedded MAC of a line.
+// The fastField path extracts each codeword's 64-bit data limb and MAC
+// slice with two shifts instead of the generic U192 field machinery —
+// this runs once per decode and once per correction patch, so it is a
+// first-order term of the clean-decode budget.
 func (c *Code) assemble(words []wideint.U192, data *[LineBytes]byte) (embedded uint64) {
+	if c.fastField {
+		lo, hi, k := c.loBits, 64-c.loBits, uint(c.k)
+		for w, word := range words {
+			binary.LittleEndian.PutUint64(data[w*8:], word.W0>>lo|word.W1<<hi)
+			embedded |= (word.W0 >> k & c.macMask) << uint(w*c.macBits)
+		}
+		return embedded
+	}
 	for w, word := range words {
 		c.writeWordData(word, w, data)
 		embedded |= c.WordMACSlice(word) << uint(w*c.macBits)
@@ -440,8 +537,13 @@ func (c *Code) assemble(words []wideint.U192, data *[LineBytes]byte) (embedded u
 // correction trial loop uses it to update only the codewords a candidate
 // touches instead of reassembling the whole line.
 func (c *Code) patchWord(word wideint.U192, w int, work *[LineBytes]byte, embedded *uint64) {
-	c.writeWordData(word, w, work)
 	sh := uint(w * c.macBits)
+	if c.fastField {
+		binary.LittleEndian.PutUint64(work[w*8:], word.W0>>c.loBits|word.W1<<(64-c.loBits))
+		*embedded = *embedded&^(c.macMask<<sh) | (word.W0>>uint(c.k)&c.macMask)<<sh
+		return
+	}
+	c.writeWordData(word, w, work)
 	mask := (uint64(1)<<uint(c.macBits) - 1) << sh
 	*embedded = *embedded&^mask | c.WordMACSlice(word)<<sh
 }

@@ -6,6 +6,7 @@ import (
 
 	"polyecc/internal/dram"
 	"polyecc/internal/latency"
+	"polyecc/internal/mac"
 	"polyecc/internal/residue"
 	"polyecc/internal/telemetry"
 	"polyecc/internal/wideint"
@@ -32,6 +33,31 @@ type Scratch struct {
 	trial    []wideint.U192
 	counters []int
 	out      [LineBytes]byte // decode assembly target
+
+	// Incremental-MAC checkpoint over the base assembly (s.out), saved at
+	// decode entry when the line is corrupted and the Code's MAC supports
+	// it. macSaved gates SumFrom: a Scratch outlives one decode and may
+	// serve Codes with different MACs, so a stale state must never be
+	// resumed.
+	macState mac.IncState
+	macSaved bool
+
+	// Metrics-only latency sampling (see DecodeLineScratch): latSkip
+	// counts decodes remaining until the next clock read; latHeld is the
+	// most recent sampled duration, re-observed (via its precomputed
+	// histogram bucket) for the unsampled decodes in between so
+	// Latency.Count() tracks the true decode count.
+	latSkip       int
+	latHeld       time.Duration
+	latHeldBucket int
+
+	// Batch-decode tile buffers: DecodeLines gathers a tile's codewords
+	// flat into tileWords and folds their remainders into tileRems in
+	// one pass (residue.Tables.RemainderBatch). remsPrimed tells the
+	// next decodeLine that s.rems is already filled from the prepass.
+	tileWords  []wideint.U192
+	tileRems   []uint64
+	remsPrimed bool
 
 	// Correction working state: work/workEmbedded hold the assembled
 	// bytes and embedded MAC of the trial line, kept current by patching
@@ -116,6 +142,9 @@ func (c *Code) NewScratch() *Scratch {
 		applied:  make([][]wideint.U192, c.words),
 		usable:   make([][]bool, c.words),
 		sym:      make([]residue.Candidate, 0, 2*c.cfg.Geometry.NumSymbols),
+
+		tileWords: make([]wideint.U192, 0, batchTile*c.words),
+		tileRems:  make([]uint64, batchTile*c.words),
 	}
 	for i := range s.allDims {
 		s.allDims[i] = i
@@ -146,12 +175,7 @@ func (c *Code) EncodeLineScratch(data *[LineBytes]byte, s *Scratch) Line {
 	if c.latency != nil {
 		start = time.Now()
 	}
-	tag := c.mac.Sum(data[:])
-	for w := 0; w < c.words; w++ {
-		d := c.dataField(data, w)
-		slice := tag >> uint(w*c.macBits) & (1<<uint(c.macBits) - 1)
-		s.enc[w] = c.EncodeWord(d, slice)
-	}
+	c.encodeWords(s.enc, data, c.mac.Sum(data[:]))
 	if c.latency != nil {
 		c.latency.Observe(latency.OpEncode, time.Since(start))
 	}
@@ -170,23 +194,51 @@ func (c *Code) FromBurstScratch(b *dram.Burst, s *Scratch) Line {
 	return Line{Words: s.dec}
 }
 
+// latSampleEvery is the metrics-only timing sample period: one decode
+// in every latSampleEvery reads the clock. On machines where a
+// time.Now/Since pair costs ~85ns (more than half the clean decode
+// itself) per-decode timestamps would dominate the instrumented
+// overhead; sampling amortizes the clock to ~1ns/decode while the
+// counters — which are exact — cost ~20ns.
+const latSampleEvery = 8
+
 // DecodeLineScratch is DecodeLine running entirely inside s: clean
 // decodes perform no heap allocation. The returned data is a copy the
 // caller owns. Instrumentation (Config.Metrics/Config.Trace) behaves
 // exactly as in DecodeLine.
+//
+// Timing granularity: a Code with a latency probe or trace hook times
+// every decode. A metrics-only Code samples the clock once per
+// latSampleEvery decodes on each Scratch — Report.Elapsed is stamped
+// only on sampled decodes (zero otherwise), and the in-between decodes
+// re-observe the held sample so the latency histogram's Count stays
+// exact while its distribution is a sampled estimate. Counters
+// (Clean/Corrected/ModelHits/trials) are always exact.
 func (c *Code) DecodeLineScratch(l Line, s *Scratch) ([LineBytes]byte, Report) {
 	c.checkScratch(s)
 	if !c.instrumented() {
 		return c.decodeLine(l, s)
+	}
+	if c.latency == nil && c.trace == nil && s.latSkip > 0 {
+		s.latSkip--
+		data, rep := c.decodeLine(l, s)
+		c.observe(&rep)
+		c.metrics.Latency.ObserveInBucket(s.latHeldBucket, int64(s.latHeld))
+		return data, rep
 	}
 	start := time.Now()
 	data, rep := c.decodeLine(l, s)
 	rep.Elapsed = time.Since(start)
 	if c.metrics != nil {
 		c.observe(&rep)
+		c.metrics.ObserveLatency(rep.Elapsed)
 	}
 	if c.latency != nil {
 		c.latency.Observe(decodeOp(rep.Status), rep.Elapsed)
+	} else if c.trace == nil {
+		s.latSkip = latSampleEvery - 1
+		s.latHeld = rep.Elapsed
+		s.latHeldBucket = c.metrics.Latency.BucketOf(int64(rep.Elapsed))
 	}
 	return data, rep
 }
@@ -199,6 +251,9 @@ func (c *Code) WithMetrics(m *telemetry.DecodeMetrics) *Code {
 	c2 := *c
 	c2.cfg.Metrics = m
 	c2.metrics = m
+	c2.hitCounters = [NumFaultModels]*telemetry.Counter{}
+	c2.trialCounters = [NumFaultModels]*telemetry.Counter{}
+	c2.cacheCounters()
 	return &c2
 }
 

@@ -29,15 +29,28 @@ type TraceEvent struct {
 // across goroutines must be safe for concurrent use.
 type TraceFunc func(TraceEvent)
 
-// observe feeds one decode's report into the attached collector.
+// observe feeds one decode's counters into the attached collector; the
+// latency histogram is fed separately by DecodeLineScratch (timed
+// decodes search for their bucket, unsampled metrics-only decodes reuse
+// the held sample's cached bucket).
 func (c *Code) observe(rep *Report) {
 	m := c.metrics
 	switch rep.Status {
 	case StatusClean:
 		m.Clean.Add(1)
+		if !rep.ECCFixed && rep.Iterations == 0 {
+			// A clean decode with no trials has nothing else to record;
+			// skipping the per-model sweep keeps the instrumented clean
+			// path inside its 1.25x budget.
+			return
+		}
 	case StatusCorrected:
 		m.Corrected.Add(1)
-		m.ModelHits.Add(rep.Model.String(), 1)
+		if hc := c.hitCounters[rep.Model]; hc != nil {
+			hc.Add(1)
+		} else {
+			m.ModelHits.Add(rep.Model.String(), 1)
+		}
 	case StatusUncorrectable:
 		m.Uncorrectable.Add(1)
 	}
@@ -49,10 +62,13 @@ func (c *Code) observe(rep *Report) {
 	}
 	for fm, n := range rep.PerModelTrials {
 		if n > 0 {
-			m.ModelTrials.Add(FaultModel(fm).String(), int64(n))
+			if tc := c.trialCounters[fm]; tc != nil {
+				tc.Add(int64(n))
+			} else {
+				m.ModelTrials.Add(FaultModel(fm).String(), int64(n))
+			}
 		}
 	}
-	m.ObserveLatency(rep.Elapsed)
 }
 
 // instrumented reports whether this Code pays for the clock reads that

@@ -141,3 +141,81 @@ func BenchmarkTablesRemainder(b *testing.B) {
 		_ = acc
 	})
 }
+
+// TestFastReduceMatchesMod sweeps the Lemire reduction against the
+// hardware divide over the full armed range's edges and a random fill.
+func TestFastReduceMatchesMod(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, m := range []uint64{3, 511, 1021, 2005, 131049, 1<<27 - 1} {
+		tab, err := NewTables(m, DDR5x8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.fastmod == 0 {
+			t.Fatalf("m=%d: fastmod unexpectedly disabled", m)
+		}
+		xs := []uint64{0, 1, m - 1, m, m + 1, 24 * (m - 1), 1<<32 - 1}
+		for i := 0; i < 20000; i++ {
+			xs = append(xs, r.Uint64()&(1<<32-1))
+		}
+		for _, x := range xs {
+			if got, want := tab.fastReduce(x), x%m; got != want {
+				t.Fatalf("m=%d: fastReduce(%d) = %d, want %d", m, x, got, want)
+			}
+		}
+	}
+	// Above the cap the fast path must be disarmed, not wrong.
+	tab, err := NewTables(1<<28+1, DDR5x8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.fastmod != 0 {
+		t.Fatal("fastmod armed beyond its dividend bound")
+	}
+}
+
+// TestRemainderBatchMatchesRemainder holds the bit-sliced batch fold to
+// the scalar fold, including words with garbage above the codeword
+// width (which must take the scalar fallback, not silently fold to a
+// different remainder).
+func TestRemainderBatchMatchesRemainder(t *testing.T) {
+	for _, tc := range []struct {
+		m uint64
+		g Geometry
+	}{
+		{511, DDR5x8}, {2005, DDR5x8}, {131049, DDR5x16},
+	} {
+		tab, err := NewTables(tc.m, tc.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(int64(tc.m) + 1))
+		nbytes := (tc.g.CodewordBits() + 7) / 8
+		words := make([]wideint.U192, 100)
+		for i := range words {
+			u := wideint.U192{W0: r.Uint64(), W1: r.Uint64(), W2: r.Uint64()}
+			// Most words stay inside the codeword width; a few keep high
+			// garbage to exercise the fallback.
+			if i%7 != 0 {
+				for b := nbytes; b < 24; b++ {
+					switch {
+					case b < 8:
+						u.W0 &^= 0xff << uint(8*b)
+					case b < 16:
+						u.W1 &^= 0xff << uint(8*(b-8))
+					default:
+						u.W2 &^= 0xff << uint(8*(b-16))
+					}
+				}
+			}
+			words[i] = u
+		}
+		dst := make([]uint64, len(words))
+		tab.RemainderBatch(dst, words)
+		for i, w := range words {
+			if got, want := dst[i], tab.Remainder(w); got != want {
+				t.Fatalf("m=%d word %d: batch %d, scalar %d", tc.m, i, got, want)
+			}
+		}
+	}
+}

@@ -72,6 +72,11 @@ func (lc *LabeledCounter) get(label string) *Counter {
 // Add increments the counter for label by n.
 func (lc *LabeledCounter) Add(label string, n int64) { lc.get(label).Add(n) }
 
+// Counter returns the counter for label, creating it on first use. Hot
+// paths resolve their labels once through this and Add on the returned
+// pointer, skipping the family's lock and map probe per increment.
+func (lc *LabeledCounter) Counter(label string) *Counter { return lc.get(label) }
+
 // Value returns the count for label (0 if the label was never used).
 func (lc *LabeledCounter) Value(label string) int64 {
 	lc.mu.RLock()
@@ -158,9 +163,47 @@ func ExpBuckets(start, factor int64, n int) []int64 {
 	return out
 }
 
-// Observe records one value.
+// Observe records one value. The bucket search is an open-coded binary
+// search: sort.Search's closure call per probe is measurable on the
+// instrumented decode path.
 func (h *Histogram) Observe(v int64) {
-	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// BucketOf returns the bucket index Observe(v) would increment, for
+// callers that observe one sampled value repeatedly (the poly decode
+// path's held latency sample) and want to pay the search once.
+func (h *Histogram) BucketOf(v int64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ObserveInBucket records v into bucket i, previously computed by
+// BucketOf(v) — Observe minus the search. An out-of-range i lands in
+// the overflow bucket rather than panicking.
+func (h *Histogram) ObserveInBucket(i int, v int64) {
+	if i < 0 || i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
